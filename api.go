@@ -1,0 +1,362 @@
+package hrtsched
+
+import (
+	"hrtsched/internal/bsp"
+	"hrtsched/internal/core"
+	"hrtsched/internal/cyclic"
+	"hrtsched/internal/group"
+	"hrtsched/internal/ksync"
+	"hrtsched/internal/legion"
+	"hrtsched/internal/machine"
+	"hrtsched/internal/mem"
+	"hrtsched/internal/ndp"
+	"hrtsched/internal/omp"
+	"hrtsched/internal/paging"
+	"hrtsched/internal/pgas"
+	"hrtsched/internal/scope"
+	"hrtsched/internal/sim"
+	"hrtsched/internal/timesync"
+	"hrtsched/internal/trace"
+)
+
+// --- Platform (internal/machine) -------------------------------------------
+
+// Spec describes a simulated hardware platform.
+type Spec = machine.Spec
+
+// Machine is one simulated shared-memory x64 node.
+type Machine = machine.Machine
+
+// CPU is one simulated hardware thread.
+type CPU = machine.CPU
+
+// DeviceSource is a steerable external interrupt source.
+type DeviceSource = machine.DeviceSource
+
+// PhiKNL returns the paper's Xeon Phi 7210 testbed model (256 CPUs,
+// 1.3 GHz).
+func PhiKNL() Spec { return machine.PhiKNL() }
+
+// R415 returns the paper's Dell R415 testbed model (8 CPUs, 2.2 GHz).
+func R415() Spec { return machine.R415() }
+
+// NewMachine builds a machine from a spec with all randomness derived from
+// seed; equal seeds give bit-identical simulations.
+func NewMachine(spec Spec, seed uint64) *Machine { return machine.New(spec, seed) }
+
+// --- Kernel and scheduler (internal/core) ----------------------------------
+
+// Kernel is a booted Nautilus-style kernel instance.
+type Kernel = core.Kernel
+
+// Config is the boot-time local scheduler configuration.
+type Config = core.Config
+
+// LocalScheduler is the per-CPU eager EDF engine.
+type LocalScheduler = core.LocalScheduler
+
+// Thread is a kernel thread.
+type Thread = core.Thread
+
+// Task is a queued callback cheaper than a thread (softIRQ/DPC analogue).
+type Task = core.Task
+
+// Constraints is the admission-control interface: aperiodic, periodic
+// (phase, period, slice) or sporadic (phase, size, deadline, priority).
+type Constraints = core.Constraints
+
+// ConstraintType selects the timing-constraint class.
+type ConstraintType = core.ConstraintType
+
+// Timing constraint classes.
+const (
+	Aperiodic = core.Aperiodic
+	Periodic  = core.Periodic
+	Sporadic  = core.Sporadic
+)
+
+// Program is the body of a thread: a state machine yielding Actions.
+type Program = core.Program
+
+// ProgramFunc adapts a function to Program.
+type ProgramFunc = core.ProgramFunc
+
+// ThreadCtx is the context passed to program steps.
+type ThreadCtx = core.ThreadCtx
+
+// Action is one step of thread execution.
+type Action = core.Action
+
+// Thread actions.
+type (
+	// Compute consumes CPU cycles.
+	Compute = core.Compute
+	// Exit terminates the thread.
+	Exit = core.Exit
+	// Yield invokes the scheduler without blocking.
+	Yield = core.Yield
+	// SleepUntil parks the thread until a wall-clock time.
+	SleepUntil = core.SleepUntil
+	// Block parks the thread until woken.
+	Block = core.Block
+	// Call runs a function instantaneously in thread context.
+	Call = core.Call
+	// ChangeConstraints performs individual admission control.
+	ChangeConstraints = core.ChangeConstraints
+)
+
+// Step is a continuation-passing program stage, for multi-phase protocols.
+type Step = core.Step
+
+// Boot constructs a kernel on a machine: calibrates cycle counters and
+// starts one local scheduler per CPU.
+func Boot(m *Machine, cfg Config) *Kernel { return core.Boot(m, cfg) }
+
+// DefaultConfig returns the paper's default scheduler configuration for a
+// platform (99% utilization limit, 10% sporadic and 10% aperiodic
+// reservations, eager EDF, power-of-two-choices work stealing).
+func DefaultConfig(spec Spec) Config { return core.DefaultConfig(spec) }
+
+// PeriodicConstraints builds (phase, period, slice) constraints (ns).
+func PeriodicConstraints(phaseNs, periodNs, sliceNs int64) Constraints {
+	return core.PeriodicConstraints(phaseNs, periodNs, sliceNs)
+}
+
+// SporadicConstraints builds (phase, size, deadline, priority) constraints.
+func SporadicConstraints(phaseNs, sizeNs, deadlineNs int64, prio uint32) Constraints {
+	return core.SporadicConstraints(phaseNs, sizeNs, deadlineNs, prio)
+}
+
+// AperiodicConstraints builds priority-only constraints.
+func AperiodicConstraints(priority uint32) Constraints {
+	return core.AperiodicConstraints(priority)
+}
+
+// FlowProgram turns a step chain into a Program.
+func FlowProgram(start Step) Program { return core.FlowProgram(start) }
+
+// FlowThen runs a step chain, then continues with cont.
+func FlowThen(start Step, cont Program) Program { return core.FlowThen(start, cont) }
+
+// --- Groups (internal/group) ------------------------------------------------
+
+// Group is a named thread group with distributed admission control.
+type Group = group.Group
+
+// GroupBarrier is a reusable group barrier with measured release stagger.
+type GroupBarrier = group.Barrier
+
+// GroupCosts models the coordination costs inside group operations.
+type GroupCosts = group.Costs
+
+// GroupAdmitOptions tunes group admission (phase correction on/off).
+type GroupAdmitOptions = group.AdmitOptions
+
+// NewGroup creates a thread group expecting size members.
+func NewGroup(k *Kernel, name string, size int, costs GroupCosts) *Group {
+	return group.New(k, name, size, costs)
+}
+
+// DefaultGroupCosts returns the Figure 10 calibration.
+func DefaultGroupCosts() GroupCosts { return group.DefaultCosts() }
+
+// --- BSP microbenchmark (internal/bsp) --------------------------------------
+
+// BSPParams configures the Section 6.1 microbenchmark.
+type BSPParams = bsp.Params
+
+// BSPResult reports one benchmark run.
+type BSPResult = bsp.Result
+
+// BSPBench is one instantiated benchmark.
+type BSPBench = bsp.Bench
+
+// NewBSP builds the benchmark on a kernel.
+func NewBSP(k *Kernel, p BSPParams) *BSPBench { return bsp.New(k, p) }
+
+// BSPCoarseGrain returns the coarsest granularity of the paper's study.
+func BSPCoarseGrain(p, n int) BSPParams { return bsp.CoarseGrain(p, n) }
+
+// BSPFineGrain returns the finest granularity of the paper's study.
+func BSPFineGrain(p, n int) BSPParams { return bsp.FineGrain(p, n) }
+
+// --- Cyclic executives (internal/cyclic) -------------------------------------
+
+// CyclicTask is one periodic task to compile into a static schedule.
+type CyclicTask = cyclic.Task
+
+// CyclicTable is a compiled cyclic-executive schedule.
+type CyclicTable = cyclic.Table
+
+// CyclicExecutive runs a compiled table on one CPU, time-driven.
+type CyclicExecutive = cyclic.Executive
+
+// BuildCyclic compiles a task set into a static schedule (offline EDF),
+// validating schedulability — the paper's future-work direction of
+// real-time behavior by static construction.
+func BuildCyclic(tasks []CyclicTask, utilizationLimit float64) (*CyclicTable, error) {
+	return cyclic.Build(tasks, utilizationLimit)
+}
+
+// NewCyclicExecutive prepares an executive for the table on the given CPU.
+func NewCyclicExecutive(k *Kernel, cpu int, table *CyclicTable) *CyclicExecutive {
+	return cyclic.NewExecutive(k, cpu, table)
+}
+
+// --- Memory substrate (internal/mem) -----------------------------------------
+
+// MemZone is one NUMA zone managed by a buddy allocator with bounded,
+// deterministic operation path lengths.
+type MemZone = mem.Zone
+
+// NUMA is the zone-selected allocation layer.
+type NUMA = mem.NUMA
+
+// NewMemZone creates a buddy-managed zone.
+func NewMemZone(name string, base, size, minBlock uint64) (*MemZone, error) {
+	return mem.NewZone(name, base, size, minBlock)
+}
+
+// --- Parallel run-times (internal/omp, internal/ndp) -------------------------
+
+// OMPTeam is the OpenMP-like worker team: statically-scheduled parallel-for
+// regions, optionally gang-scheduled, optionally barrier-free.
+type OMPTeam = omp.Team
+
+// OMPConfig configures a team.
+type OMPConfig = omp.Config
+
+// OMPRegion is one parallel-for region.
+type OMPRegion = omp.Region
+
+// OMP synchronization modes.
+const (
+	OMPSyncBarrier = omp.SyncBarrier
+	OMPSyncTimed   = omp.SyncTimed
+)
+
+// NewOMPTeam creates and starts a worker team.
+func NewOMPTeam(k *Kernel, cfg OMPConfig) *OMPTeam { return omp.NewTeam(k, cfg) }
+
+// LegionRuntime is the Legion-like task-based run-time: tasks with region
+// requirements, implicit dependence extraction, greedy worker-pool
+// execution.
+type LegionRuntime = legion.Runtime
+
+// LegionTask is a unit of work with declared region requirements.
+type LegionTask = legion.Task
+
+// LegionRegion is a logical region tasks operate on.
+type LegionRegion = legion.Region
+
+// LegionReq is one region requirement.
+type LegionReq = legion.Req
+
+// Legion access modes.
+const (
+	LegionReadOnly  = legion.ReadOnly
+	LegionReadWrite = legion.ReadWrite
+)
+
+// NewLegion creates a Legion-like runtime with a worker pool.
+func NewLegion(k *Kernel, cfg legion.Config) *LegionRuntime { return legion.New(k, cfg) }
+
+// PGASArray is a shared array partitioned across a team (UPC-like).
+type PGASArray = pgas.Array
+
+// PGAS distributions and placements.
+const (
+	PGASBlocked    = pgas.Blocked
+	PGASCyclic     = pgas.Cyclic
+	PGASByAffinity = pgas.ByAffinity
+	PGASByChunk    = pgas.ByChunk
+)
+
+// NewPGASArray allocates a shared array on the team.
+func NewPGASArray(team *OMPTeam, n int, dist pgas.Distribution) *PGASArray {
+	return pgas.NewArray(team, n, dist)
+}
+
+// PGASForAll runs an affinity-aware parallel loop over [0, n).
+func PGASForAll(team *OMPTeam, name string, n int, placement pgas.Placement,
+	touches []*PGASArray, body func(i int), maxEvents uint64) error {
+	return pgas.ForAll(team, name, n, placement, touches, body, maxEvents)
+}
+
+// SegVector is a flattened nested vector for the NESL-like run-time.
+type SegVector = ndp.SegVector
+
+// NewSegVector builds a segmented vector from nested slices.
+func NewSegVector(segments [][]float64) *SegVector { return ndp.NewSegVector(segments) }
+
+// --- Kernel synchronization (internal/ksync) ---------------------------------
+
+// WaitQueue is the event-signaling primitive.
+type WaitQueue = ksync.WaitQueue
+
+// KMutex is a blocking kernel mutex with FIFO handoff.
+type KMutex = ksync.Mutex
+
+// KSemaphore is a counting semaphore with blocking acquire.
+type KSemaphore = ksync.Semaphore
+
+// NewWaitQueue creates a wait queue.
+func NewWaitQueue(k *Kernel) *WaitQueue { return ksync.NewWaitQueue(k) }
+
+// NewKMutex creates a mutex.
+func NewKMutex(k *Kernel) *KMutex { return ksync.NewMutex(k) }
+
+// NewKSemaphore creates a semaphore.
+func NewKSemaphore(k *Kernel, initial int64) *KSemaphore {
+	return ksync.NewSemaphore(k, initial)
+}
+
+// --- Tracing (internal/trace) -------------------------------------------------
+
+// TraceRecorder accumulates a structured execution timeline.
+type TraceRecorder = trace.Recorder
+
+// NewTraceRecorder creates a recorder holding up to limit events.
+func NewTraceRecorder(limit int) *TraceRecorder { return trace.NewRecorder(limit) }
+
+// AttachTrace wires a recorder into a kernel's instrumentation hooks.
+func AttachTrace(k *Kernel, r *TraceRecorder) { trace.Attach(k, r) }
+
+// --- Paging (internal/paging) --------------------------------------------------
+
+// MMU models identity-mapped translation with a TLB.
+type MMU = paging.MMU
+
+// PagingPageSize selects the mapping granularity.
+type PagingPageSize = paging.PageSize
+
+// Page sizes.
+const (
+	Page4K = paging.Page4K
+	Page2M = paging.Page2M
+	Page1G = paging.Page1G
+)
+
+// NewMMU builds an MMU over an identity map.
+func NewMMU(physBytes uint64, size PagingPageSize, tlbEntries int, walkCostPerLevel int64) *MMU {
+	return paging.NewMMU(physBytes, size, tlbEntries, walkCostPerLevel)
+}
+
+// --- Instruments ------------------------------------------------------------
+
+// ScopeTrace is the analysis of one GPIO pin (external verification).
+type ScopeTrace = scope.Trace
+
+// AnalyzeScope extracts a trace for a GPIO pin.
+func AnalyzeScope(m *Machine, pin uint, label string) *ScopeTrace {
+	return scope.Analyze(m, pin, label)
+}
+
+// ScopeHook wires GPIO instrumentation to one CPU and thread.
+type ScopeHook = core.ScopeHook
+
+// CalibResult is the outcome of boot-time cycle-counter calibration.
+type CalibResult = timesync.Result
+
+// SimTime is a point in simulated time (cycles of the reference clock).
+type SimTime = sim.Time

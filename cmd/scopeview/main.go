@@ -1,0 +1,60 @@
+// Command scopeview renders the Figure 4 experiment as ASCII oscilloscope
+// traces: it runs a periodic hard real-time thread with GPIO
+// instrumentation on the simulated Phi and prints a persistence view of
+// each pin — '#' columns are hit on every cycle (sharp), '.' columns only
+// sometimes (fuzz).
+//
+// Usage:
+//
+//	scopeview [-period us] [-slice us] [-ms run-milliseconds] [-cols n]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"hrtsched/internal/core"
+	"hrtsched/internal/machine"
+	"hrtsched/internal/scope"
+)
+
+func main() {
+	var (
+		periodUs = flag.Int64("period", 100, "thread period in microseconds")
+		sliceUs  = flag.Int64("slice", 50, "thread slice in microseconds")
+		runMs    = flag.Int64("ms", 50, "simulated run length in milliseconds")
+		cols     = flag.Int("cols", 100, "persistence view width")
+		seed     = flag.Uint64("seed", 7, "random seed")
+	)
+	flag.Parse()
+
+	spec := machine.PhiKNL().Scaled(4)
+	m := machine.New(spec, *seed)
+	k := core.Boot(m, core.DefaultConfig(spec))
+
+	const cpu = 1
+	admitted := false
+	cons := core.PeriodicConstraints(0, *periodUs*1000, *sliceUs*1000)
+	th := k.Spawn("test", cpu, core.ProgramFunc(func(tc *core.ThreadCtx) core.Action {
+		if !admitted {
+			admitted = true
+			return core.ChangeConstraints{C: cons}
+		}
+		return core.Compute{Cycles: 20_000}
+	}))
+	k.SetScope(&core.ScopeHook{CPU: cpu, Thread: th})
+	k.RunNs(*runMs * 1_000_000)
+
+	fmt.Printf("periodic thread tau=%dus sigma=%dus on simulated %s (CPU %d), %d ms\n\n",
+		*periodUs, *sliceUs, spec.Name, cpu, *runMs)
+	for _, tr := range []*scope.Trace{
+		scope.Analyze(m, 0, "test thread"),
+		scope.Analyze(m, 1, "scheduler"),
+		scope.Analyze(m, 2, "interrupt"),
+	} {
+		fmt.Println(tr)
+		fmt.Print(tr.RenderPersistence(*cols))
+		fmt.Println()
+	}
+	fmt.Printf("thread: arrivals=%d misses=%d\n", th.Arrivals, th.Misses)
+}

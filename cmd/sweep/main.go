@@ -1,0 +1,86 @@
+// Command sweep runs a single BSP benchmark configuration at arbitrary
+// parameters — the building block of Figures 13-16 — and prints the
+// result row: utilization, execution time, misses, skew, and the
+// with/without-barrier comparison when requested.
+//
+// Usage:
+//
+//	sweep -p 64 -ne 8192 -nc 8 -nw 16 -n 20 -period 1000 -slicepct 50
+//	sweep -p 255 -fine -compare            # with vs without barrier
+//	sweep -p 64 -aperiodic                 # non-real-time reference
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hrtsched/internal/bsp"
+	"hrtsched/internal/core"
+	"hrtsched/internal/machine"
+)
+
+func main() {
+	var (
+		p        = flag.Int("p", 64, "benchmark threads (CPUs 1..p)")
+		ne       = flag.Int("ne", 8192, "elements per CPU")
+		nc       = flag.Int("nc", 8, "computations per element")
+		nw       = flag.Int("nw", 16, "remote writes per iteration")
+		n        = flag.Int("n", 20, "iterations")
+		fine     = flag.Bool("fine", false, "use the finest-granularity preset")
+		coarse   = flag.Bool("coarse", false, "use the coarsest-granularity preset")
+		periodUs = flag.Int64("period", 1000, "period in microseconds")
+		slicePct = flag.Int64("slicepct", 50, "slice as percent of period")
+		aper     = flag.Bool("aperiodic", false, "run without real-time constraints")
+		compare  = flag.Bool("compare", false, "run with AND without the barrier")
+		seed     = flag.Uint64("seed", 11, "random seed")
+	)
+	flag.Parse()
+
+	params := bsp.Params{P: *p, NE: *ne, NC: *nc, NW: *nw, N: *n,
+		FirstCPU: 1, UseBarrier: true, PhaseCorrection: true}
+	if *fine {
+		params = bsp.FineGrain(*p, *n)
+	}
+	if *coarse {
+		params = bsp.CoarseGrain(*p, *n)
+	}
+	if *aper {
+		params.Constraints = core.AperiodicConstraints(50)
+	} else {
+		periodNs := *periodUs * 1000
+		params.Constraints = core.PeriodicConstraints(0, periodNs, periodNs**slicePct/100)
+	}
+
+	run := func(useBarrier bool) bsp.Result {
+		spec := machine.PhiKNL().Scaled(*p + 1)
+		m := machine.New(spec, *seed)
+		k := core.Boot(m, core.DefaultConfig(spec))
+		pp := params
+		pp.UseBarrier = useBarrier
+		return bsp.New(k, pp).Run(1 << 32)
+	}
+
+	print := func(tag string, r bsp.Result) {
+		if r.GroupFailed {
+			fmt.Fprintf(os.Stderr, "%s: group admission FAILED\n", tag)
+			os.Exit(1)
+		}
+		fmt.Printf("%-16s util=%.2f exec=%.4fs iterations=%d misses=%d skew=%d writeErrs=%d\n",
+			tag, r.Params.Constraints.Utilization(), float64(r.ExecNs)/1e9,
+			r.Iterations, r.Misses, r.MaxSkew, r.WriteErrors)
+	}
+
+	if *compare && !*aper {
+		with := run(true)
+		without := run(false)
+		print("with-barrier", with)
+		print("without-barrier", without)
+		if without.ExecNs > 0 {
+			fmt.Printf("barrier removal speedup: %.2fx\n",
+				float64(with.ExecNs)/float64(without.ExecNs))
+		}
+		return
+	}
+	print("run", run(params.UseBarrier || *aper))
+}

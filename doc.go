@@ -1,0 +1,33 @@
+// Package hrtsched is a reproduction, as a Go library, of "Hard Real-time
+// Scheduling for Parallel Run-time Systems" (Dinda, Wang, Wang, Beauchene,
+// Hetland — HPDC 2018): a hard real-time scheduler for node-level parallel
+// systems, built in the Nautilus hybrid run-time kernel framework and
+// evaluated on the Intel Xeon Phi.
+//
+// Because a garbage-collected Go runtime cannot itself be a bare-metal hard
+// real-time kernel, the library reimplements the paper's entire software
+// stack — the per-CPU eager-EDF local schedulers, admission control with
+// utilization limits and reservations, thread groups with distributed
+// admission and phase correction, tasks, work stealing, and the BSP
+// microbenchmark — on top of a deterministic, cycle-resolution simulation
+// of the hardware platform (TSCs with boot skew, APIC one-shot timers,
+// IPIs, steerable device interrupts, and SMI "missing time"). Every
+// algorithm is the paper's; only the physics is simulated. See DESIGN.md
+// for the substitution table and EXPERIMENTS.md for paper-vs-measured
+// results on every figure.
+//
+// This package is a facade: it re-exports the stable public surface of the
+// internal packages so that library consumers have a single import.
+//
+//	spec := hrtsched.PhiKNL()
+//	m := hrtsched.NewMachine(spec, 42)
+//	k := hrtsched.Boot(m, hrtsched.DefaultConfig(spec))
+//	th := k.Spawn("worker", 1, hrtsched.ProgramFunc(func(tc *hrtsched.ThreadCtx) hrtsched.Action {
+//	    return hrtsched.Compute{Cycles: 20_000}
+//	}))
+//	k.RunNs(50_000_000)
+//
+// The cmd/hrtbench tool regenerates every figure of the paper's evaluation;
+// cmd/scopeview renders the oscilloscope verification; cmd/sweep runs
+// individual BSP benchmark points.
+package hrtsched

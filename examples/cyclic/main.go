@@ -1,0 +1,44 @@
+// Cyclic example: the paper's future-work direction (Section 8) — compile
+// a periodic task set into a cyclic executive and get hard real-time
+// behavior by static construction, with far fewer scheduler interactions
+// than online EDF.
+package main
+
+import (
+	"fmt"
+
+	"hrtsched/internal/core"
+	"hrtsched/internal/cyclic"
+	"hrtsched/internal/machine"
+)
+
+func main() {
+	tasks := []cyclic.Task{
+		{Name: "sensor-fusion", PeriodNs: 100_000, SliceNs: 25_000},
+		{Name: "control-law", PeriodNs: 200_000, SliceNs: 70_000},
+		{Name: "telemetry", PeriodNs: 400_000, SliceNs: 60_000},
+	}
+	tbl, err := cyclic.Build(tasks, 0.99)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("compiled static schedule:")
+	fmt.Print(tbl)
+
+	spec := machine.PhiKNL().Scaled(2)
+	m := machine.New(spec, 77)
+	k := core.Boot(m, core.DefaultConfig(spec))
+	ex := cyclic.NewExecutive(k, 1, tbl)
+	ex.Start()
+	k.RunNs(100_000_000) // 100 ms
+
+	fmt.Printf("\nafter 100 ms: %d hyperperiods, %d dispatches, worst dispatch jitter %d ns\n",
+		ex.Cycles(), ex.Dispatches, ex.WorstJitterNs)
+	for i, task := range tasks {
+		fmt.Printf("  %-14s served %.2f ms (asked %.2f ms)\n", task.Name,
+			float64(ex.ServedNs[i])/1e6,
+			float64(tbl.HyperperiodNs/task.PeriodNs*task.SliceNs)*float64(ex.Cycles())/1e6)
+	}
+	fmt.Printf("scheduler invocations on the executive CPU: %d (one per table entry, no admission control)\n",
+		k.Locals[1].Stats.Invocations)
+}

@@ -1,0 +1,79 @@
+// Taskgraph example: the Legion-like task-based run-time (one of the
+// Section 2 HRT ports). A small pipeline-with-fanout graph — simulate,
+// then analyze in parallel, then reduce — runs twice: free-running, and
+// with every worker individually admitted as a hard real-time periodic
+// thread (time-sharing the node with guaranteed slices).
+package main
+
+import (
+	"fmt"
+
+	"hrtsched/internal/core"
+	"hrtsched/internal/legion"
+	"hrtsched/internal/machine"
+)
+
+func run(label string, cons core.Constraints) {
+	spec := machine.PhiKNL().Scaled(5)
+	m := machine.New(spec, 1234)
+	k := core.Boot(m, core.DefaultConfig(spec))
+	rt := legion.New(k, legion.Config{Workers: 4, FirstCPU: 1, Constraints: cons})
+
+	state := rt.NewRegion("state", 64)
+	parts := make([]*legion.Region, 4)
+	for i := range parts {
+		parts[i] = rt.NewRegion(fmt.Sprintf("analysis-%d", i), 1)
+	}
+	result := rt.NewRegion("result", 1)
+
+	start := k.NowNs()
+	const steps = 6
+	total := 0
+	for s := 0; s < steps; s++ {
+		// Simulation step: exclusive on state.
+		rt.Submit(legion.Task{Name: "sim", CostCycles: 600_000,
+			Reqs: []legion.Req{{Region: state, Mode: legion.ReadWrite}},
+			Fn: func() {
+				for i := range state.Data {
+					state.Data[i] += 1
+				}
+			}})
+		total++
+		// Fan-out analyses: read state, write private partials — all four
+		// run concurrently.
+		for i := range parts {
+			p := parts[i]
+			rt.Submit(legion.Task{Name: "analyze", CostCycles: 900_000,
+				Reqs: []legion.Req{{Region: state, Mode: legion.ReadOnly},
+					{Region: p, Mode: legion.ReadWrite}},
+				Fn: func() { p.Data[0] = state.Data[0] * 2 }})
+			total++
+		}
+		// Reduce: read partials, update result.
+		rt.Submit(legion.Task{Name: "reduce", CostCycles: 200_000,
+			Reqs: []legion.Req{
+				{Region: parts[0], Mode: legion.ReadOnly},
+				{Region: parts[1], Mode: legion.ReadOnly},
+				{Region: parts[2], Mode: legion.ReadOnly},
+				{Region: parts[3], Mode: legion.ReadOnly},
+				{Region: result, Mode: legion.ReadWrite}},
+			Fn: func() {
+				result.Data[0] = parts[0].Data[0] + parts[1].Data[0] +
+					parts[2].Data[0] + parts[3].Data[0]
+			}})
+		total++
+	}
+	if !rt.Wait(total, 1<<28) {
+		panic("graph stalled")
+	}
+	fmt.Printf("%-24s %7.3f ms   result=%v   peak parallelism=%d\n",
+		label, float64(k.NowNs()-start)/1e6, result.Data[0], rt.MaxConcurrent)
+}
+
+func main() {
+	fmt.Println("Legion-like task graph: 6x (simulate -> 4x analyze -> reduce)")
+	run("free-running", core.AperiodicConstraints(50))
+	run("RT workers (50% each)", core.PeriodicConstraints(0, 200_000, 100_000))
+	fmt.Println("\nsame results, dependence-driven parallelism intact; the RT run")
+	fmt.Println("time-shares the node with a guaranteed 50% slice per worker.")
+}

@@ -1,0 +1,3 @@
+module hrtsched
+
+go 1.22

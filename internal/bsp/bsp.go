@@ -1,0 +1,276 @@
+// Package bsp implements the bulk-synchronous-parallel microbenchmark of
+// Section 6.1: an iterative computation on a discrete domain (a vector of
+// doubles per CPU) with fine-grain control over computation (NE elements,
+// NC operations each), communication (NW ring-pattern remote writes) and
+// synchronization (an optional barrier per iteration).
+package bsp
+
+import (
+	"fmt"
+
+	"hrtsched/internal/core"
+	"hrtsched/internal/group"
+)
+
+// Params configures one benchmark run, mirroring the paper's P/NE/NC/NW/N.
+type Params struct {
+	P  int // CPUs used; thread i runs on CPU FirstCPU+i
+	NE int // elements of the domain local to each CPU
+	NC int // computations per element per iteration
+	NW int // remote writes per iteration (ring: i writes to (i+1)%P)
+	N  int // iterations
+
+	// FirstCPU offsets thread placement, e.g. 1 keeps CPU 0 free as the
+	// interrupt-laden partition.
+	FirstCPU int
+
+	// UseBarrier keeps the optional_barrier() call in the loop.
+	UseBarrier bool
+
+	// Constraints applied through group admission before the loop. An
+	// Aperiodic type runs the benchmark without real-time scheduling (in
+	// which case the barrier is required for correctness).
+	Constraints     core.Constraints
+	PhaseCorrection bool
+
+	// VerifyData performs the real element arithmetic (slower); otherwise
+	// only the write-count invariants are maintained.
+	VerifyData bool
+}
+
+// CoarseGrain returns the coarsest granularity of the paper's study.
+func CoarseGrain(p, n int) Params {
+	return Params{P: p, NE: 8192, NC: 8, NW: 16, N: n, FirstCPU: 1, UseBarrier: true}
+}
+
+// FineGrain returns the finest granularity of the paper's study.
+func FineGrain(p, n int) Params {
+	return Params{P: p, NE: 512, NC: 8, NW: 16, N: n, FirstCPU: 1, UseBarrier: true}
+}
+
+// Result reports one benchmark run.
+type Result struct {
+	Params       Params
+	ExecNs       int64 // first loop entry to last loop exit
+	StartNs      int64
+	EndNs        int64
+	Iterations   int64 // total across threads (== P*N on success)
+	MaxSkew      int64 // max iteration-count divergence observed
+	Misses       int64 // deadline misses across member threads
+	Arrivals     int64
+	GroupFailed  bool
+	WriteErrors  int64 // ring write-count invariant violations
+	SupplyCycles int64
+}
+
+// Bench is one instantiated benchmark attached to a kernel.
+type Bench struct {
+	k   *core.Kernel
+	p   Params
+	g   *group.Group
+	bar *group.Barrier
+
+	data     [][]float64
+	writeCnt [][]int64 // writeCnt[target][src] = writes received
+	iter     []int64
+	started  []int64
+	finished []int64
+	doneN    int
+	maxSkew  int64
+
+	threads []*core.Thread
+}
+
+// New builds the benchmark on kernel k.
+func New(k *core.Kernel, p Params) *Bench {
+	if p.P < 1 {
+		panic("bsp: P must be positive")
+	}
+	if p.FirstCPU+p.P > k.NumCPUs() {
+		panic(fmt.Sprintf("bsp: %d threads from CPU %d exceed %d CPUs",
+			p.P, p.FirstCPU, k.NumCPUs()))
+	}
+	b := &Bench{
+		k:        k,
+		p:        p,
+		g:        group.New(k, "bsp", p.P, group.DefaultCosts()),
+		data:     make([][]float64, p.P),
+		writeCnt: make([][]int64, p.P),
+		iter:     make([]int64, p.P),
+		started:  make([]int64, p.P),
+		finished: make([]int64, p.P),
+	}
+	b.bar = b.g.NewBarrier()
+	for i := range b.data {
+		b.data[i] = make([]float64, p.NE)
+		b.writeCnt[i] = make([]int64, p.P)
+		for j := range b.data[i] {
+			b.data[i][j] = float64(i*p.NE + j)
+		}
+	}
+	return b
+}
+
+// Group exposes the underlying thread group.
+func (b *Bench) Group() *group.Group { return b.g }
+
+// Threads returns the spawned benchmark threads.
+func (b *Bench) Threads() []*core.Thread { return b.threads }
+
+// Start spawns the benchmark threads. Run the kernel until Done() to
+// complete the benchmark.
+func (b *Bench) Start() {
+	spec := b.k.M.Spec
+	computeCycles := int64(b.p.NE) * int64(b.p.NC) * spec.LocalFlopCycles
+	writeCycles := int64(b.p.NW) * spec.RemoteWriteCycles
+	if writeCycles < 1 {
+		writeCycles = 1
+	}
+
+	// Shared admission chain for the whole group.
+	var admission core.Step
+	if b.p.Constraints.Type != core.Aperiodic {
+		admission = b.g.ChangeConstraintsSteps(b.p.Constraints,
+			group.AdmitOptions{PhaseCorrection: b.p.PhaseCorrection}, nil)
+	}
+	joined := b.g.JoinSteps(admission)
+
+	for i := 0; i < b.p.P; i++ {
+		rank := i
+		loop := b.loopStep(rank, computeCycles, writeCycles)
+		prog := core.FlowThen(joined, core.FlowProgram(
+			// Align the start: one barrier before the measured loop, then
+			// record the start time.
+			b.bar.Steps(core.DoCall(func(tc *core.ThreadCtx) {
+				b.started[rank] = tc.NowNs
+			}, loop))))
+		b.threads = append(b.threads, b.k.Spawn(
+			fmt.Sprintf("bsp-%d", rank), b.p.FirstCPU+rank, prog))
+	}
+}
+
+// loopStep builds the per-thread iteration loop.
+func (b *Bench) loopStep(rank int, computeCycles, writeCycles int64) core.Step {
+	var loop core.Step
+	body := func(next core.Step) core.Step {
+		steps := core.Chain(
+			// compute_local_element over the local domain.
+			func(n core.Step) core.Step { return core.DoCompute(computeCycles, n) },
+			// write_remote_element_on((rank+1) %% P), ring pattern.
+			func(n core.Step) core.Step { return core.DoCompute(writeCycles, n) },
+			func(n core.Step) core.Step {
+				return core.DoCall(func(tc *core.ThreadCtx) { b.remoteWrites(rank) }, n)
+			},
+			// optional_barrier()
+			func(n core.Step) core.Step {
+				if b.p.UseBarrier {
+					return b.bar.Steps(n)
+				}
+				return n
+			},
+			func(n core.Step) core.Step {
+				return core.DoCall(func(tc *core.ThreadCtx) {
+					b.iter[rank]++
+					b.observeSkew(rank)
+				}, n)
+			},
+			func(core.Step) core.Step { return next },
+		)
+		return steps
+	}
+	done := core.DoCall(func(tc *core.ThreadCtx) {
+		b.finished[rank] = tc.NowNs
+		b.doneN++
+	}, core.Do(core.ChangeConstraints{C: core.AperiodicConstraints(100)},
+		core.Do(core.Exit{}, nil)))
+	loop = func(tc *core.ThreadCtx) (core.Action, core.Step) {
+		if b.iter[rank] >= int64(b.p.N) {
+			return nil, done
+		}
+		return nil, body(loop)
+	}
+	return loop
+}
+
+// remoteWrites performs the NW ring-pattern writes into the neighbour's
+// elements, maintaining the count invariant (and the real data when
+// verification is on).
+func (b *Bench) remoteWrites(rank int) {
+	dst := (rank + 1) % b.p.P
+	b.writeCnt[dst][rank] += int64(b.p.NW)
+	if b.p.VerifyData {
+		for w := 0; w < b.p.NW && w < b.p.NE; w++ {
+			b.data[dst][w] = b.data[rank][w] + 1
+		}
+		for j := 0; j < b.p.NE; j++ {
+			for c := 0; c < b.p.NC; c++ {
+				b.data[rank][j] = b.data[rank][j]*1.0000001 + 0.5
+			}
+		}
+	}
+}
+
+// observeSkew tracks the maximum divergence in iteration counts between
+// ring neighbours — the quantity that must stay small for barrier removal
+// to be safe.
+func (b *Bench) observeSkew(rank int) {
+	nxt := (rank + 1) % b.p.P
+	d := b.iter[rank] - b.iter[nxt]
+	if d < 0 {
+		d = -d
+	}
+	if d > b.maxSkew {
+		b.maxSkew = d
+	}
+}
+
+// Done reports whether every thread finished its N iterations.
+func (b *Bench) Done() bool { return b.doneN == b.p.P }
+
+// Run starts the benchmark and drives the kernel until completion or the
+// event bound is exceeded.
+func (b *Bench) Run(maxEvents uint64) Result {
+	b.Start()
+	b.k.RunUntil(b.Done, maxEvents)
+	return b.Result()
+}
+
+// Result summarizes the run so far.
+func (b *Bench) Result() Result {
+	r := Result{Params: b.p, GroupFailed: b.g.Failed(), MaxSkew: b.maxSkew}
+	var first, last int64
+	for i := 0; i < b.p.P; i++ {
+		if b.started[i] > 0 && (first == 0 || b.started[i] < first) {
+			first = b.started[i]
+		}
+		if b.finished[i] > last {
+			last = b.finished[i]
+		}
+		r.Iterations += b.iter[i]
+	}
+	r.StartNs, r.EndNs = first, last
+	if last > first {
+		r.ExecNs = last - first
+	}
+	for _, t := range b.threads {
+		r.Misses += t.Misses
+		r.Arrivals += t.Arrivals
+		r.SupplyCycles += t.SupplyCycles
+	}
+	// Verify the ring write invariant: after a complete run, each thread
+	// received exactly N*NW writes from its predecessor.
+	if b.Done() {
+		for dst := 0; dst < b.p.P; dst++ {
+			src := (dst - 1 + b.p.P) % b.p.P
+			if b.writeCnt[dst][src] != int64(b.p.N)*int64(b.p.NW) {
+				r.WriteErrors++
+			}
+			for s := 0; s < b.p.P; s++ {
+				if s != src && b.writeCnt[dst][s] != 0 {
+					r.WriteErrors++
+				}
+			}
+		}
+	}
+	return r
+}

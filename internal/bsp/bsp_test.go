@@ -1,0 +1,126 @@
+package bsp
+
+import (
+	"testing"
+
+	"hrtsched/internal/core"
+	"hrtsched/internal/machine"
+)
+
+func bootPhi(t *testing.T, ncpus int, seed uint64) *core.Kernel {
+	t.Helper()
+	spec := machine.PhiKNL().Scaled(ncpus)
+	m := machine.New(spec, seed)
+	return core.Boot(m, core.DefaultConfig(spec))
+}
+
+func TestBSPAperiodicWithBarrier(t *testing.T) {
+	k := bootPhi(t, 9, 21)
+	p := Params{P: 8, NE: 256, NC: 4, NW: 8, N: 20, FirstCPU: 1, UseBarrier: true,
+		Constraints: core.AperiodicConstraints(50)}
+	res := New(k, p).Run(50_000_000)
+	if res.Iterations != int64(p.P*p.N) {
+		t.Fatalf("iterations = %d, want %d", res.Iterations, p.P*p.N)
+	}
+	if res.WriteErrors != 0 {
+		t.Fatalf("%d ring write invariant violations", res.WriteErrors)
+	}
+	if res.ExecNs <= 0 {
+		t.Fatalf("non-positive execution time %d", res.ExecNs)
+	}
+	if res.MaxSkew > 1 {
+		t.Fatalf("barrier failed to bound skew: %d", res.MaxSkew)
+	}
+}
+
+func TestBSPRealTimeWithBarrier(t *testing.T) {
+	k := bootPhi(t, 9, 22)
+	p := Params{P: 8, NE: 256, NC: 4, NW: 8, N: 20, FirstCPU: 1, UseBarrier: true,
+		Constraints:     core.PeriodicConstraints(0, 100_000, 50_000),
+		PhaseCorrection: true}
+	res := New(k, p).Run(80_000_000)
+	if res.GroupFailed {
+		t.Fatalf("group admission failed")
+	}
+	if res.Iterations != int64(p.P*p.N) {
+		t.Fatalf("iterations = %d, want %d", res.Iterations, p.P*p.N)
+	}
+	if res.WriteErrors != 0 {
+		t.Fatalf("%d ring write invariant violations", res.WriteErrors)
+	}
+}
+
+func TestBSPBarrierRemovalKeepsLockstep(t *testing.T) {
+	k := bootPhi(t, 9, 23)
+	p := Params{P: 8, NE: 256, NC: 4, NW: 8, N: 50, FirstCPU: 1, UseBarrier: false,
+		Constraints:     core.PeriodicConstraints(0, 100_000, 50_000),
+		PhaseCorrection: true}
+	res := New(k, p).Run(200_000_000)
+	if res.GroupFailed {
+		t.Fatalf("group admission failed")
+	}
+	if res.Iterations != int64(p.P*p.N) {
+		t.Fatalf("iterations = %d, want %d", res.Iterations, p.P*p.N)
+	}
+	// The paper's lockstep claim: with hard real-time group scheduling,
+	// threads stay nearly synchronized without barriers.
+	if res.MaxSkew > 2 {
+		t.Fatalf("lockstep violated: skew %d iterations", res.MaxSkew)
+	}
+}
+
+func TestBSPBarrierRemovalIsFaster(t *testing.T) {
+	run := func(useBarrier bool) Result {
+		k := bootPhi(t, 9, 24)
+		p := Params{P: 8, NE: 64, NC: 2, NW: 4, N: 40, FirstCPU: 1, UseBarrier: useBarrier,
+			Constraints:     core.PeriodicConstraints(0, 100_000, 90_000),
+			PhaseCorrection: true}
+		return New(k, p).Run(400_000_000)
+	}
+	with := run(true)
+	without := run(false)
+	if with.ExecNs <= without.ExecNs {
+		t.Fatalf("fine-grain barrier removal not faster: with=%dns without=%dns",
+			with.ExecNs, without.ExecNs)
+	}
+}
+
+func TestBSPThrottlingProportional(t *testing.T) {
+	exec := func(slicePct int64) int64 {
+		k := bootPhi(t, 9, 25)
+		period := int64(200_000)
+		p := Params{P: 8, NE: 1024, NC: 8, NW: 8, N: 20, FirstCPU: 1, UseBarrier: true,
+			Constraints:     core.PeriodicConstraints(0, period, period*slicePct/100),
+			PhaseCorrection: true}
+		res := New(k, p).Run(800_000_000)
+		if res.Iterations != int64(p.P*p.N) {
+			t.Fatalf("slice %d%%: incomplete run (%d iterations)", slicePct, res.Iterations)
+		}
+		return res.ExecNs
+	}
+	t30 := exec(30)
+	t60 := exec(60)
+	ratio := float64(t30) / float64(t60)
+	// Halving utilization should roughly double the execution time.
+	if ratio < 1.6 || ratio > 2.5 {
+		t.Fatalf("throttling not commensurate: t30=%d t60=%d ratio=%.2f", t30, t60, ratio)
+	}
+}
+
+func TestBSPDataVerification(t *testing.T) {
+	k := bootPhi(t, 5, 26)
+	p := Params{P: 4, NE: 32, NC: 2, NW: 4, N: 10, FirstCPU: 1, UseBarrier: true,
+		Constraints: core.AperiodicConstraints(50), VerifyData: true}
+	b := New(k, p)
+	res := b.Run(50_000_000)
+	if res.WriteErrors != 0 {
+		t.Fatalf("write errors: %d", res.WriteErrors)
+	}
+	// Real arithmetic happened: the domain moved away from its initial
+	// values everywhere.
+	for i := range b.data {
+		if b.data[i][p.NE-1] == float64(i*p.NE+p.NE-1) {
+			t.Fatalf("domain %d untouched", i)
+		}
+	}
+}

@@ -1,0 +1,387 @@
+package core
+
+import (
+	"fmt"
+
+	"hrtsched/internal/sim"
+)
+
+// admitMarker is the internal continuation of a ChangeConstraints action:
+// the admission-control computation runs as thread execution (the paper's
+// "admission control runs in the context of the thread requesting
+// admission"), and when the computation completes the verdict is applied.
+type admitMarker struct {
+	c Constraints
+}
+
+func (admitMarker) isAction() {}
+
+// startAction drives the current thread's program until an action that
+// takes time (Compute) or transfers control (block, sleep, exit, yield).
+// Instantaneous actions execute inline at the current instant.
+func (s *LocalScheduler) startAction(t *Thread, now sim.Time) {
+	const maxInline = 1 << 16
+	for spin := 0; ; spin++ {
+		if spin > maxInline {
+			panic(fmt.Sprintf("core: thread %q livelocked on zero-cost actions", t.name))
+		}
+		if t.cur == nil {
+			tc := s.threadCtx(t)
+			t.cur = t.prog.Next(tc)
+			if _, ok := t.cur.(Compute); ok {
+				t.curRemCycles = t.cur.(Compute).Cycles
+			}
+		}
+		switch a := t.cur.(type) {
+		case Compute:
+			if t.curRemCycles <= 0 {
+				t.cur = nil
+				continue
+			}
+			gen := s.gen
+			s.actionEv = s.k.Eng.After(sim.Duration(t.curRemCycles), sim.Soft, func(dn sim.Time) {
+				if gen == s.gen {
+					s.actionEv = nil
+					s.onActionComplete(t, dn)
+				}
+			})
+			return
+		case Call:
+			t.cur = nil
+			a.Fn(s.threadCtx(t))
+			if t.state != Running {
+				// The call blocked/woke/reshaped the world via kernel
+				// helpers; let the scheduler sort it out.
+				s.invoke(ReasonThread, s.k.Eng.Now())
+				return
+			}
+			continue
+		case Yield:
+			t.cur = nil
+			if !t.isRTNow() {
+				s.rrCounter++
+				t.rrSeq = s.rrCounter
+			}
+			s.invoke(ReasonThread, s.k.Eng.Now())
+			return
+		case Block:
+			t.cur = nil
+			t.state = Blocked
+			s.invoke(ReasonThread, s.k.Eng.Now())
+			return
+		case SleepUntil:
+			t.cur = nil
+			t.state = Sleeping
+			s.scheduleWake(t, a.WallNs)
+			s.invoke(ReasonThread, s.k.Eng.Now())
+			return
+		case Exit:
+			s.exitThread(t)
+			s.invoke(ReasonThread, s.k.Eng.Now())
+			return
+		case ChangeConstraints:
+			// Consume the admission-control cost in thread context, then
+			// apply the verdict.
+			t.cur = admitMarker{c: a.C}
+			cost := s.k.AdmitCostCycles
+			if cost < 1 {
+				cost = 1
+			}
+			gen := s.gen
+			s.actionEv = s.k.Eng.After(sim.Duration(cost), sim.Soft, func(dn sim.Time) {
+				if gen == s.gen {
+					s.actionEv = nil
+					s.onActionComplete(t, dn)
+				}
+			})
+			return
+		case admitMarker:
+			// Reached only on resume after preemption mid-admission; the
+			// remaining cost was already consumed.
+			t.cur = nil
+			s.applyAdmission(t, a.c)
+			return
+		default:
+			panic(fmt.Sprintf("core: unknown action %T", t.cur))
+		}
+	}
+}
+
+// onActionComplete fires when the current Compute (or admission
+// computation) finishes on time.
+func (s *LocalScheduler) onActionComplete(t *Thread, now sim.Time) {
+	s.accountCurrent(now)
+	switch a := t.cur.(type) {
+	case Compute:
+		t.cur = nil
+		t.curRemCycles = 0
+		s.startAction(t, now)
+	case admitMarker:
+		t.cur = nil
+		s.applyAdmission(t, a.c)
+	default:
+		panic(fmt.Sprintf("core: completion for non-timed action %T", t.cur))
+	}
+}
+
+// threadCtx builds the program-facing context.
+func (s *LocalScheduler) threadCtx(t *Thread) *ThreadCtx {
+	return &ThreadCtx{
+		K:        s.k,
+		T:        t,
+		CPU:      s.cpu.ID(),
+		NowNs:    s.nowNs(0),
+		Rand:     s.k.threadRands[t.id%len(s.k.threadRands)],
+		AdmitOK:  t.admitOK,
+		AdmitErr: t.admitErr,
+	}
+}
+
+// applyAdmission runs the admission test for t's requested constraints and
+// installs them on success. It always re-enters the scheduler: an admitted
+// RT thread must wait for its first arrival, and a rejected or aperiodic
+// thread resumes under its (possibly restored) old constraints.
+func (s *LocalScheduler) applyAdmission(t *Thread, c Constraints) {
+	nowNs := s.nowNs(0)
+	err := s.Admit(t, c, nowNs)
+	t.admitOK = err == nil
+	t.admitErr = err
+	if err == nil && c.Type != Aperiodic {
+		// Thread leaves the CPU until its first arrival.
+		t.state = PendingArrival
+		s.mustPush(s.pending, t)
+		s.current = nil
+	}
+	s.invoke(ReasonThread, s.k.Eng.Now())
+}
+
+// AdmitCheck runs the admission test for thread t requesting c without
+// applying anything: would these constraints be admitted right now? The
+// thread's own current reservation is treated as released for the test.
+func (s *LocalScheduler) AdmitCheck(t *Thread, c Constraints) error {
+	var limits *Limits
+	if s.cfg.Admit != AdmitNone {
+		limits = &s.cfg.Limits
+	}
+	if err := c.Validate(limits); err != nil {
+		return err
+	}
+	if s.cfg.Admit == AdmitNone {
+		return nil
+	}
+	ownPeriodic, ownSporadic := 0.0, 0.0
+	switch t.cons.Type {
+	case Periodic:
+		ownPeriodic = t.cons.Utilization()
+	case Sporadic:
+		if t.isRTNow() {
+			ownSporadic = t.cons.Utilization()
+		}
+	}
+	switch c.Type {
+	case Aperiodic:
+		return nil
+	case Periodic:
+		if s.cfg.Admit == AdmitSim {
+			if !s.admitBySimulation(t, c) {
+				return fmt.Errorf("%w: hyperperiod simulation found missed deadlines", ErrAdmission)
+			}
+			return nil
+		}
+		u := c.Utilization()
+		if s.periodicUtil-ownPeriodic+u > s.periodicCap()+1e-12 {
+			return fmt.Errorf("%w: periodic util %.3f over cap %.3f",
+				ErrAdmission, s.periodicUtil-ownPeriodic+u, s.periodicCap())
+		}
+		return nil
+	case Sporadic:
+		u := c.Utilization()
+		if s.sporadicUtil-ownSporadic+u > s.cfg.SporadicReservation+1e-12 {
+			return fmt.Errorf("%w: sporadic util %.3f over reservation %.3f",
+				ErrAdmission, s.sporadicUtil-ownSporadic+u, s.cfg.SporadicReservation)
+		}
+		return nil
+	}
+	return ErrBadConstraints
+}
+
+// AdmitCurrent applies constraints to the currently running thread from
+// within a Call action: on success for a real-time class the thread is
+// parked to await its first arrival, and the enclosing action loop will
+// re-enter the scheduler.
+func (s *LocalScheduler) AdmitCurrent(t *Thread, c Constraints) error {
+	if s.current != t || t.state != Running {
+		return ErrThreadNotOnCPU
+	}
+	err := s.Admit(t, c, s.nowNs(0))
+	if err == nil && c.Type != Aperiodic {
+		t.state = PendingArrival
+		s.mustPush(s.pending, t)
+	}
+	return err
+}
+
+// Admit performs local admission control for thread t requesting c, at
+// wall-clock time nowNs, per Section 3.2. On success the thread's schedule
+// is reset with admission time Gamma = nowNs. Aperiodic requests are always
+// admitted.
+func (s *LocalScheduler) Admit(t *Thread, c Constraints, nowNs int64) error {
+	var limits *Limits
+	if s.cfg.Admit != AdmitNone {
+		limits = &s.cfg.Limits
+	}
+	if err := c.Validate(limits); err != nil {
+		return err
+	}
+	// Release the thread's previous reservation.
+	oldUtil := t.cons.Utilization()
+	switch t.cons.Type {
+	case Periodic:
+		s.periodicUtil -= oldUtil
+	case Sporadic:
+		if t.isRTNow() {
+			s.sporadicUtil -= oldUtil
+		}
+	}
+	restore := func() {
+		switch t.cons.Type {
+		case Periodic:
+			s.periodicUtil += oldUtil
+		case Sporadic:
+			if t.isRTNow() {
+				s.sporadicUtil += oldUtil
+			}
+		}
+	}
+
+	switch c.Type {
+	case Aperiodic:
+		t.resetSchedule(c, nowNs, s.clock.NanosToCycles)
+		return nil
+	case Periodic:
+		u := c.Utilization()
+		switch {
+		case s.cfg.Admit == AdmitNone:
+			// accept unconditionally
+		case s.cfg.Admit == AdmitSim:
+			if !s.admitBySimulation(t, c) {
+				restore()
+				return fmt.Errorf("%w: hyperperiod simulation found missed deadlines", ErrAdmission)
+			}
+		default:
+			if !s.periodicFits(u) {
+				restore()
+				return fmt.Errorf("%w: periodic util %.3f over cap (have %.3f, cap %.3f)",
+					ErrAdmission, u, s.periodicUtil, s.periodicCap())
+			}
+		}
+		s.periodicUtil += u
+		t.resetSchedule(c, nowNs, s.clock.NanosToCycles)
+		return nil
+	case Sporadic:
+		u := c.Utilization()
+		if s.cfg.Admit != AdmitNone && s.sporadicUtil+u > s.cfg.SporadicReservation+1e-12 {
+			restore()
+			return fmt.Errorf("%w: sporadic util %.3f over reservation %.3f",
+				ErrAdmission, s.sporadicUtil+u, s.cfg.SporadicReservation)
+		}
+		s.sporadicUtil += u
+		t.resetSchedule(c, nowNs, s.clock.NanosToCycles)
+		return nil
+	}
+	restore()
+	return ErrBadConstraints
+}
+
+// periodicCap returns the utilization available to periodic threads under
+// the active admission policy. The cap is the boot-time utilization limit:
+// the sporadic and aperiodic reservations guide how non-periodic classes
+// are served when present (the scheduler is work-conserving), they are not
+// subtracted from the admission cap — the paper's evaluation admits
+// period/slice combinations up to 90% utilization under the default
+// configuration (Figures 13-16).
+func (s *LocalScheduler) periodicCap() float64 {
+	cap := s.cfg.UtilizationLimit
+	if s.cfg.Admit == AdmitRM {
+		// Liu & Layland: n(2^(1/n)-1) of the available fraction.
+		n := float64(s.countPeriodic() + 1)
+		cap *= n * (pow2inv(n) - 1)
+	}
+	return cap
+}
+
+func (s *LocalScheduler) periodicFits(u float64) bool {
+	return s.periodicUtil+u <= s.periodicCap()+1e-12
+}
+
+func (s *LocalScheduler) countPeriodic() int {
+	n := 0
+	count := func(t *Thread) {
+		if t.cons.Type == Periodic {
+			n++
+		}
+	}
+	s.pending.All(count)
+	s.rtq.All(count)
+	if s.current != nil && s.current.cons.Type == Periodic {
+		n++
+	}
+	return n
+}
+
+// pow2inv computes 2^(1/n) without importing math for a single call site.
+func pow2inv(n float64) float64 {
+	// Newton iteration on f(x) = n*ln(x) - ln(2) is overkill; use the
+	// identity 2^(1/n) = exp(ln2/n) with a short series good to ~1e-9 for
+	// n >= 1 (argument <= ln2).
+	x := 0.6931471805599453 / n
+	term, sum := 1.0, 1.0
+	for k := 1; k <= 12; k++ {
+		term *= x / float64(k)
+		sum += term
+	}
+	return sum
+}
+
+// exitThread finalizes t: releases reservations, detaches it from the CPU,
+// and fires OnExit.
+func (s *LocalScheduler) exitThread(t *Thread) {
+	switch t.cons.Type {
+	case Periodic:
+		s.periodicUtil -= t.cons.Utilization()
+		if s.periodicUtil < 0 {
+			s.periodicUtil = 0
+		}
+	case Sporadic:
+		if t.isRTNow() {
+			s.sporadicUtil -= t.cons.Utilization()
+			if s.sporadicUtil < 0 {
+				s.sporadicUtil = 0
+			}
+		}
+	}
+	t.state = Exited
+	t.cur = nil
+	s.k.liveThreads--
+	if t.stackAddr != 0 {
+		s.k.reapStack(t.stackAddr)
+		t.stackAddr = 0
+	}
+	if t.OnExit != nil {
+		t.OnExit(t)
+	}
+}
+
+// scheduleWake arms a wake event for a sleeping thread at wall-clock ns.
+func (s *LocalScheduler) scheduleWake(t *Thread, wallNs int64) {
+	delta := wallNs - s.nowNs(0)
+	if delta < 0 {
+		delta = 0
+	}
+	cycles := s.clock.NanosToCycles(delta)
+	s.k.Eng.After(sim.Duration(cycles), sim.Hard, func(now sim.Time) {
+		if t.state == Sleeping {
+			s.k.Wake(t)
+		}
+	})
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"hrtsched/internal/machine"
+	"hrtsched/internal/sim"
+)
+
+// EDFMode selects the context-switch eagerness of the local scheduler.
+type EDFMode uint8
+
+const (
+	// EagerEDF never delays switching to a runnable real-time thread.
+	// This is the paper's choice: starting early means ending early even
+	// when SMI "missing time" intrudes (Section 3.6).
+	EagerEDF EDFMode = iota
+	// LazyEDF delays the switch to a newly arrived thread until the last
+	// moment at which its deadline can still be met — the classic
+	// non-work-conserving behaviour the paper argues against. Provided for
+	// the ablation benchmark.
+	LazyEDF
+)
+
+// AdmitPolicy selects the classic single-CPU admission test (Section 3.2).
+type AdmitPolicy uint8
+
+const (
+	// AdmitEDF uses the EDF utilization bound: total RT utilization <= cap.
+	AdmitEDF AdmitPolicy = iota
+	// AdmitRM uses the rate-monotonic Liu & Layland bound n(2^(1/n)-1).
+	AdmitRM
+	// AdmitNone disables admission control; any structurally valid
+	// constraint is accepted. Figures 6-9 use this to study infeasible
+	// constraints.
+	AdmitNone
+	// AdmitSim admits periodic threads by simulating the local scheduler
+	// over one hyperperiod, charging scheduler overhead — the prototype
+	// Section 3.2 describes. It rejects fine-grain sets that pass the
+	// utilization bound but are infeasible on the platform.
+	AdmitSim
+)
+
+// StealPolicy selects the work-stealing victim choice (Section 3.4).
+type StealPolicy uint8
+
+const (
+	// StealPowerOfTwo picks two random victims and steals from the one
+	// with more stealable work (Mitzenmacher), avoiding global
+	// coordination.
+	StealPowerOfTwo StealPolicy = iota
+	// StealLinear scans CPUs in order from the thief. For the ablation.
+	StealLinear
+	// StealOff disables work stealing.
+	StealOff
+)
+
+// Config is the boot-time configuration of every local scheduler. The
+// defaults mirror the paper's evaluation configuration: "99% utilization
+// limit, 10% sporadic reservation, 10% aperiodic reservation", round-robin
+// aperiodic scheduling on a 10 Hz timer.
+type Config struct {
+	// UtilizationLimit leaves headroom for the scheduler's own invocations
+	// and, if need be, interrupts and SMIs. Fraction of 1.0.
+	UtilizationLimit float64
+	// SporadicReservation is the utilization fraction reserved for
+	// spontaneously arriving sporadic threads.
+	SporadicReservation float64
+	// AperiodicReservation is the fraction intended for non-real-time
+	// threads and admission-control processing. Like the sporadic
+	// reservation it guides capacity planning; periodic admission checks
+	// against the utilization limit itself (the scheduler is
+	// work-conserving, so unreserved time flows to whoever is runnable).
+	AperiodicReservation float64
+
+	// AperiodicQuantumNs is the round-robin quantum for aperiodic threads
+	// (the paper's 10 Hz timer => 100 ms).
+	AperiodicQuantumNs int64
+
+	// Mode selects eager or lazy EDF.
+	Mode EDFMode
+	// Admit selects the admission test.
+	Admit AdmitPolicy
+	// Steal selects the work-stealing policy of the idle thread.
+	Steal StealPolicy
+	// StealCheckNs is how often an idle CPU attempts a steal.
+	StealCheckNs int64
+
+	// Limits bounds admissible constraint granularity. Zero values are
+	// filled from the platform's scheduler overhead at boot.
+	Limits Limits
+
+	// MaxThreads is the compile-time bound on threads per local scheduler.
+	MaxThreads int
+
+	// InterruptThread, when true, runs device interrupt work in a
+	// dedicated aperiodic thread on the interrupt-laden CPU rather than
+	// entirely in handler context (the second steering mechanism of
+	// Section 3.5).
+	InterruptThread bool
+
+	// PriorityFiltering programs the APIC processor priority while a hard
+	// real-time thread runs so that only scheduling-related interrupts
+	// reach it (the first steering mechanism of Section 3.5). On by
+	// default; disable only for the ablation study.
+	PriorityFiltering bool
+}
+
+// DefaultConfig returns the paper's default configuration for the given
+// platform spec.
+func DefaultConfig(spec machine.Spec) Config {
+	minPeriod := 2 * spec.CyclesToNanos(sim.Time(2*spec.TotalSchedCycles()))
+	minSlice := spec.CyclesToNanos(sim.Time(spec.ContextSwitchCycles))
+	if minSlice < 1 {
+		minSlice = 1
+	}
+	return Config{
+		UtilizationLimit:     0.99,
+		SporadicReservation:  0.10,
+		AperiodicReservation: 0.10,
+		AperiodicQuantumNs:   100_000_000, // 10 Hz
+		Mode:                 EagerEDF,
+		Admit:                AdmitEDF,
+		Steal:                StealPowerOfTwo,
+		StealCheckNs:         50_000,
+		Limits:               Limits{MinPeriodNs: minPeriod, MinSliceNs: minSlice},
+		MaxThreads:           1024,
+		PriorityFiltering:    true,
+	}
+}
+
+// rtCap returns the utilization left for periodic threads if both
+// reservations were fully consumed — the conservative planning figure.
+func (c *Config) rtCap() float64 {
+	return c.UtilizationLimit - c.SporadicReservation - c.AperiodicReservation
+}
+
+var _ = (&Config{}).rtCap // retained for capacity-planning consumers

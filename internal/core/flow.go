@@ -1,0 +1,80 @@
+package core
+
+// Step is one stage of a continuation-passing program: it returns the
+// action to perform now and the step to run once that action completes.
+// A nil action skips straight to the next step; a nil next step ends the
+// flow. Steps make multi-phase kernel protocols (group admission, barriers)
+// expressible as readable chains instead of hand-rolled state machines.
+type Step func(tc *ThreadCtx) (Action, Step)
+
+// FlowProgram turns a step chain into a Program. When the chain ends the
+// thread exits.
+func FlowProgram(start Step) Program {
+	return FlowThen(start, nil)
+}
+
+// FlowThen runs the step chain and then hands control to cont (which may
+// be another long-running Program). A nil cont exits the thread at the end
+// of the chain.
+func FlowThen(start Step, cont Program) Program {
+	cur := start
+	return ProgramFunc(func(tc *ThreadCtx) Action {
+		for cur != nil {
+			a, next := cur(tc)
+			cur = next
+			if a != nil {
+				return a
+			}
+		}
+		if cont != nil {
+			return cont.Next(tc)
+		}
+		return Exit{}
+	})
+}
+
+// Do returns a step performing a single action.
+func Do(a Action, next Step) Step {
+	return func(tc *ThreadCtx) (Action, Step) { return a, next }
+}
+
+// DoCall returns a step that runs fn instantaneously.
+func DoCall(fn func(tc *ThreadCtx), next Step) Step {
+	return Do(Call{Fn: fn}, next)
+}
+
+// DoCompute returns a step that consumes cycles.
+func DoCompute(cycles int64, next Step) Step {
+	return Do(Compute{Cycles: cycles}, next)
+}
+
+// DoComputeFn returns a step that consumes a cycle count computed at
+// execution time (for costs that depend on earlier steps' outcomes).
+func DoComputeFn(f func(tc *ThreadCtx) int64, next Step) Step {
+	return func(tc *ThreadCtx) (Action, Step) {
+		return Compute{Cycles: f(tc)}, next
+	}
+}
+
+// If returns a step that branches on cond at execution time.
+func If(cond func(tc *ThreadCtx) bool, then, els Step) Step {
+	return func(tc *ThreadCtx) (Action, Step) {
+		if cond(tc) {
+			return nil, then
+		}
+		return nil, els
+	}
+}
+
+// Chain concatenates flows: each element is a function given the rest of
+// the chain as its continuation. It reads top-to-bottom.
+func Chain(parts ...func(next Step) Step) Step {
+	var build func(i int) Step
+	build = func(i int) Step {
+		if i >= len(parts) {
+			return nil
+		}
+		return parts[i](build(i + 1))
+	}
+	return build(0)
+}

@@ -1,0 +1,148 @@
+package core
+
+import "testing"
+
+func TestSeqProgram(t *testing.T) {
+	k := testKernel(t, 1, 81, nil)
+	order := []string{}
+	th := k.Spawn("seq", 0, Seq(
+		Call{Fn: func(*ThreadCtx) { order = append(order, "a") }},
+		Compute{Cycles: 1000},
+		Call{Fn: func(*ThreadCtx) { order = append(order, "b") }},
+	))
+	k.RunNs(5_000_000)
+	if th.State() != Exited {
+		t.Fatalf("seq did not exit: %v", th.State())
+	}
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestLoopProgram(t *testing.T) {
+	k := testKernel(t, 1, 82, nil)
+	iters := 0
+	th := k.Spawn("loop", 0, Loop(func(i int, tc *ThreadCtx) Action {
+		if i >= 5 {
+			return nil
+		}
+		iters++
+		return Compute{Cycles: 1000}
+	}))
+	k.RunNs(5_000_000)
+	if th.State() != Exited || iters != 5 {
+		t.Fatalf("loop iters=%d state=%v", iters, th.State())
+	}
+}
+
+func TestFlowChainOrderAndSharing(t *testing.T) {
+	k := testKernel(t, 2, 83, nil)
+	var events []string
+	record := func(tag string) func(*ThreadCtx) {
+		return func(tc *ThreadCtx) {
+			events = append(events, tag+tc.T.Name())
+		}
+	}
+	chain := Chain(
+		func(n Step) Step { return DoCall(record("x"), n) },
+		func(n Step) Step { return DoCompute(1000, n) },
+		func(n Step) Step { return DoCall(record("y"), n) },
+	)
+	// The same chain is shared by two threads; each gets its own cursor.
+	a := k.Spawn("A", 0, FlowProgram(chain))
+	b := k.Spawn("B", 1, FlowProgram(chain))
+	k.RunNs(5_000_000)
+	if a.State() != Exited || b.State() != Exited {
+		t.Fatalf("flows did not complete")
+	}
+	var xa, ya, xb, yb bool
+	for _, e := range events {
+		switch e {
+		case "xA":
+			xa = true
+		case "yA":
+			if !xa {
+				t.Fatalf("y before x on A: %v", events)
+			}
+			ya = true
+		case "xB":
+			xb = true
+		case "yB":
+			if !xb {
+				t.Fatalf("y before x on B: %v", events)
+			}
+			yb = true
+		}
+	}
+	if !(xa && ya && xb && yb) {
+		t.Fatalf("missing events: %v", events)
+	}
+}
+
+func TestFlowIf(t *testing.T) {
+	k := testKernel(t, 1, 84, nil)
+	var path string
+	cond := false
+	step := If(func(tc *ThreadCtx) bool { return cond },
+		DoCall(func(*ThreadCtx) { path = "then" }, nil),
+		DoCall(func(*ThreadCtx) { path = "else" }, nil))
+	k.Spawn("f", 0, FlowProgram(step))
+	k.RunNs(2_000_000)
+	if path != "else" {
+		t.Fatalf("path = %q", path)
+	}
+	cond = true
+	path = ""
+	k.Spawn("g", 0, FlowProgram(step))
+	k.RunNs(2_000_000)
+	if path != "then" {
+		t.Fatalf("path = %q", path)
+	}
+}
+
+func TestFlowThenContinuation(t *testing.T) {
+	k := testKernel(t, 1, 85, nil)
+	flowDone := false
+	bodyCalls := 0
+	prog := FlowThen(
+		DoCall(func(*ThreadCtx) { flowDone = true }, nil),
+		ProgramFunc(func(tc *ThreadCtx) Action {
+			if !flowDone {
+				t.Fatalf("continuation ran before flow completed")
+			}
+			bodyCalls++
+			if bodyCalls > 3 {
+				return Exit{}
+			}
+			return Compute{Cycles: 1000}
+		}))
+	th := k.Spawn("ft", 0, prog)
+	k.RunNs(5_000_000)
+	if th.State() != Exited || bodyCalls != 4 {
+		t.Fatalf("continuation calls = %d", bodyCalls)
+	}
+}
+
+func TestDoComputeFnDynamicCost(t *testing.T) {
+	k := testKernel(t, 1, 86, nil)
+	cost := int64(250_000)
+	th := k.Spawn("dc", 0, FlowProgram(
+		DoComputeFn(func(tc *ThreadCtx) int64 { return cost }, nil)))
+	k.RunNs(5_000_000)
+	if th.SupplyCycles < cost {
+		t.Fatalf("dynamic compute under-executed: %d", th.SupplyCycles)
+	}
+}
+
+func TestZeroCycleComputeDoesNotLivelock(t *testing.T) {
+	k := testKernel(t, 1, 87, nil)
+	th := k.Spawn("z", 0, Seq(
+		Compute{Cycles: 0},
+		Compute{Cycles: -5},
+		Compute{Cycles: 100},
+	))
+	k.RunNs(5_000_000)
+	if th.State() != Exited {
+		t.Fatalf("zero-cycle compute stalled the thread: %v", th.State())
+	}
+}

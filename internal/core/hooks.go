@@ -1,0 +1,20 @@
+package core
+
+// Hooks are optional instrumentation callbacks fired by the local
+// schedulers. They run synchronously inside the simulation and must not
+// mutate scheduler state; the trace package is the canonical consumer.
+type Hooks struct {
+	// SwitchIn fires when a thread is dispatched on a CPU.
+	SwitchIn func(cpu int, t *Thread, nowNs int64)
+	// SwitchOut fires when a thread stops being the current thread of a
+	// CPU (preempted, blocked, slept, exited, or slice-complete).
+	SwitchOut func(cpu int, t *Thread, nowNs int64)
+	// Arrival fires when a real-time thread's arrival is pumped into the
+	// run queue.
+	Arrival func(cpu int, t *Thread, nowNs int64)
+	// Miss fires when a deadline miss's magnitude becomes known (the
+	// leftover completes or is abandoned).
+	Miss func(cpu int, t *Thread, nowNs int64, missNs int64)
+	// DeviceIRQ fires when an external device interrupt is handled.
+	DeviceIRQ func(cpu int, vector uint8, nowNs int64)
+}

@@ -1,0 +1,62 @@
+package core
+
+// Thread pool maintenance — the paper's "thread reaping/reanimation"
+// (Section 3.4): exited threads' TCB+stack allocations are reaped into a
+// bounded pool and reanimated for subsequent spawns, skipping the memory
+// substrate entirely on the hot path. This is one of the streamlined
+// primitives that make Nautilus thread management "orders of magnitude
+// faster" than user-level threading (Section 2), and one of the few
+// operations that may briefly take another local scheduler's lock.
+
+// poolCapacity bounds the reap pool (a compile-time constant in the real
+// kernel).
+const poolCapacity = 256
+
+// PoolStats reports thread-pool behaviour.
+type PoolStats struct {
+	Reaped     int64 // exits whose stack went to the pool
+	Reanimated int64 // spawns served from the pool
+	Released   int64 // exits that overflowed the pool back to the allocator
+}
+
+// reapStack recycles an exiting thread's stack, or frees it if the pool is
+// full.
+func (k *Kernel) reapStack(addr uint64) {
+	if addr == 0 {
+		return
+	}
+	if len(k.stackPool) < poolCapacity {
+		k.stackPool = append(k.stackPool, addr)
+		k.poolStats.Reaped++
+		return
+	}
+	_ = k.Mem.Free(addr)
+	k.poolStats.Released++
+}
+
+// reanimateStack serves a spawn from the pool when possible; ok is false
+// when the pool is empty and the caller must hit the allocator.
+func (k *Kernel) reanimateStack() (addr uint64, ok bool) {
+	n := len(k.stackPool)
+	if n == 0 {
+		return 0, false
+	}
+	addr = k.stackPool[n-1]
+	k.stackPool = k.stackPool[:n-1]
+	k.poolStats.Reanimated++
+	return addr, true
+}
+
+// PoolStats returns a copy of the thread pool counters.
+func (k *Kernel) PoolStats() PoolStats { return k.poolStats }
+
+// DrainPool releases every pooled stack back to the memory substrate
+// (e.g. under memory pressure). It returns the number released.
+func (k *Kernel) DrainPool() int {
+	n := len(k.stackPool)
+	for _, addr := range k.stackPool {
+		_ = k.Mem.Free(addr)
+	}
+	k.stackPool = k.stackPool[:0]
+	return n
+}

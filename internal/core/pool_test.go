@@ -1,0 +1,76 @@
+package core
+
+import "testing"
+
+func TestThreadPoolReanimation(t *testing.T) {
+	k := testKernel(t, 1, 111, nil)
+	baseline := k.Mem.Zone(0).Allocs
+
+	// Churn: spawn and exit many short-lived threads sequentially.
+	const churn = 50
+	done := 0
+	var next func()
+	next = func() {
+		if done >= churn {
+			return
+		}
+		th := k.Spawn("churn", 0, Seq(Compute{Cycles: 10_000}))
+		th.OnExit = func(*Thread) {
+			done++
+			next()
+		}
+	}
+	next()
+	k.RunUntil(func() bool { return done == churn }, 1<<24)
+
+	ps := k.PoolStats()
+	if ps.Reaped < churn-1 {
+		t.Fatalf("reaped %d of %d exits", ps.Reaped, churn)
+	}
+	if ps.Reanimated < churn-2 {
+		t.Fatalf("reanimated only %d spawns", ps.Reanimated)
+	}
+	// Only the first spawn should have hit the allocator.
+	newAllocs := k.Mem.Zone(0).Allocs - baseline
+	if newAllocs > 2 {
+		t.Fatalf("allocator hit %d times despite pool", newAllocs)
+	}
+}
+
+func TestThreadPoolDrain(t *testing.T) {
+	k := testKernel(t, 1, 112, nil)
+	done := 0
+	for i := 0; i < 5; i++ {
+		th := k.Spawn("d", 0, Seq(Compute{Cycles: 1000}))
+		th.OnExit = func(*Thread) { done++ }
+	}
+	k.RunUntil(func() bool { return done == 5 }, 1<<24)
+	before := k.Mem.Zone(0).BytesAllocated
+	n := k.DrainPool()
+	if n == 0 {
+		t.Fatalf("pool was empty after churn")
+	}
+	if k.Mem.Zone(0).BytesAllocated >= before {
+		t.Fatalf("drain released nothing")
+	}
+	if k.PoolStats().Reaped == 0 {
+		t.Fatalf("no reaps recorded")
+	}
+}
+
+func TestNoStackLeakAcrossLifecycles(t *testing.T) {
+	k := testKernel(t, 2, 113, nil)
+	done := 0
+	const n = 30
+	for i := 0; i < n; i++ {
+		th := k.Spawn("leakcheck", i%2, Seq(Compute{Cycles: 5_000}))
+		th.OnExit = func(*Thread) { done++ }
+	}
+	k.RunUntil(func() bool { return done == n }, 1<<24)
+	k.DrainPool()
+	// Only boot-time helpers may still hold memory; transient threads must
+	// not leak. Allow the two task-less CPUs' zero helpers: nothing else.
+	if live := k.Mem.Zone(0).BytesAllocated; live != 0 {
+		t.Fatalf("leaked %d bytes after all threads exited", live)
+	}
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func mkThread(id int, arrival, deadline int64, prio uint32, seq uint64) *Thread {
+	return &Thread{
+		id:         id,
+		arrivalNs:  arrival,
+		deadlineNs: deadline,
+		cons:       Constraints{Type: Aperiodic, Priority: prio},
+		rrSeq:      seq,
+		qIdx:       -1,
+	}
+}
+
+func TestHeapPushPopOrder(t *testing.T) {
+	h := newThreadHeap(16, byDeadline)
+	deadlines := []int64{50, 10, 30, 20, 40}
+	for i, d := range deadlines {
+		if err := h.Push(mkThread(i, 0, d, 0, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []int64
+	for h.Len() > 0 {
+		got = append(got, h.Pop().deadlineNs)
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("pop order: %v", got)
+	}
+}
+
+func TestHeapCapacityBound(t *testing.T) {
+	h := newThreadHeap(2, byDeadline)
+	_ = h.Push(mkThread(0, 0, 1, 0, 0))
+	_ = h.Push(mkThread(1, 0, 2, 0, 0))
+	if err := h.Push(mkThread(2, 0, 3, 0, 0)); err != ErrTooManyThreads {
+		t.Fatalf("capacity not enforced: %v", err)
+	}
+}
+
+func TestHeapRemoveArbitrary(t *testing.T) {
+	h := newThreadHeap(16, byDeadline)
+	ths := make([]*Thread, 8)
+	for i := range ths {
+		ths[i] = mkThread(i, 0, int64(8-i), 0, 0)
+		_ = h.Push(ths[i])
+	}
+	h.Remove(ths[3])
+	h.Remove(ths[7])
+	if h.Contains(ths[3]) || h.Contains(ths[7]) {
+		t.Fatalf("removed threads still present")
+	}
+	var got []int64
+	for h.Len() > 0 {
+		got = append(got, h.Pop().deadlineNs)
+	}
+	want := []int64{2, 3, 4, 6, 7, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("after removal: %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHeapRemoveAbsentPanics(t *testing.T) {
+	h := newThreadHeap(4, byDeadline)
+	th := mkThread(0, 0, 1, 0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("no panic removing absent thread")
+		}
+	}()
+	h.Remove(th)
+}
+
+func TestHeapFixAfterKeyChange(t *testing.T) {
+	h := newThreadHeap(8, byDeadline)
+	ths := make([]*Thread, 4)
+	for i := range ths {
+		ths[i] = mkThread(i, 0, int64(i+1)*10, 0, 0)
+		_ = h.Push(ths[i])
+	}
+	ths[3].deadlineNs = 1 // was 40, now the minimum
+	h.Fix(ths[3])
+	if h.Peek() != ths[3] {
+		t.Fatalf("Fix did not restore heap order")
+	}
+}
+
+func TestAperiodicOrdering(t *testing.T) {
+	h := newThreadHeap(8, byPriorityRR)
+	hi := mkThread(0, 0, 0, 10, 5)
+	lo := mkThread(1, 0, 0, 20, 1)
+	sameEarly := mkThread(2, 0, 0, 10, 2)
+	_ = h.Push(hi)
+	_ = h.Push(lo)
+	_ = h.Push(sameEarly)
+	if h.Pop() != sameEarly { // same priority as hi, earlier rrSeq
+		t.Fatalf("round-robin within priority broken")
+	}
+	if h.Pop() != hi {
+		t.Fatalf("priority ordering broken")
+	}
+	if h.Pop() != lo {
+		t.Fatalf("lower priority should come last")
+	}
+}
+
+// Property: for any sequence of pushes and removes, the heap pops in
+// nondecreasing key order and never loses or duplicates a thread.
+func TestPropertyHeapIsPriorityQueue(t *testing.T) {
+	f := func(keys []uint16, removeMask []bool) bool {
+		if len(keys) > 64 {
+			keys = keys[:64]
+		}
+		h := newThreadHeap(64, byDeadline)
+		ths := make([]*Thread, len(keys))
+		for i, k := range keys {
+			ths[i] = mkThread(i, 0, int64(k), 0, 0)
+			if h.Push(ths[i]) != nil {
+				return false
+			}
+		}
+		removed := map[int]bool{}
+		for i, th := range ths {
+			if i < len(removeMask) && removeMask[i] {
+				h.Remove(th)
+				removed[i] = true
+			}
+		}
+		var got []int64
+		for h.Len() > 0 {
+			got = append(got, h.Pop().deadlineNs)
+		}
+		var want []int64
+		for i, k := range keys {
+			if !removed[i] {
+				want = append(want, int64(k))
+			}
+		}
+		sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: heap invariant (parent <= child) holds after any mixed
+// operation sequence.
+func TestPropertyHeapInvariant(t *testing.T) {
+	f := func(ops []int16) bool {
+		h := newThreadHeap(128, byArrival)
+		id := 0
+		var live []*Thread
+		for _, op := range ops {
+			if op >= 0 || len(live) == 0 {
+				th := mkThread(id, int64(op), 0, 0, 0)
+				id++
+				if h.Push(th) != nil {
+					return true // capacity reached; fine
+				}
+				live = append(live, th)
+			} else {
+				k := int(uint16(op)) % len(live)
+				h.Remove(live[k])
+				live = append(live[:k], live[k+1:]...)
+			}
+			for i := 1; i < h.Len(); i++ {
+				parent := (i - 1) / 2
+				if h.less(h.items[i], h.items[parent]) {
+					return false
+				}
+				if h.items[i].qIdx != i {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

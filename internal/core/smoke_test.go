@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+
+	"hrtsched/internal/machine"
+)
+
+// testKernel boots a small Phi-like machine for unit tests.
+func testKernel(t *testing.T, ncpus int, seed uint64, mutate func(*Config)) *Kernel {
+	t.Helper()
+	spec := machine.PhiKNL().Scaled(ncpus)
+	m := machine.New(spec, seed)
+	cfg := DefaultConfig(spec)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return Boot(m, cfg)
+}
+
+// spin returns a program that computes forever in fixed-size chunks.
+func spin(chunk int64) Program {
+	return ProgramFunc(func(tc *ThreadCtx) Action {
+		return Compute{Cycles: chunk}
+	})
+}
+
+func TestAperiodicThreadRuns(t *testing.T) {
+	k := testKernel(t, 2, 1, nil)
+	th := k.Spawn("worker", 1, spin(10_000))
+	k.RunNs(5_000_000) // 5 ms
+	if th.SupplyCycles == 0 {
+		t.Fatalf("aperiodic thread never executed")
+	}
+	if th.State() != Running && th.State() != RunnableAper {
+		t.Fatalf("unexpected state %v", th.State())
+	}
+}
+
+func TestThreadExit(t *testing.T) {
+	k := testKernel(t, 1, 2, nil)
+	exited := false
+	th := k.Spawn("once", 0, Seq(Compute{Cycles: 50_000}))
+	th.OnExit = func(*Thread) { exited = true }
+	k.RunNs(10_000_000)
+	if !exited || th.State() != Exited {
+		t.Fatalf("thread did not exit: state=%v exited=%v", th.State(), exited)
+	}
+	if th.SupplyCycles < 50_000 {
+		t.Fatalf("thread under-executed: %d cycles", th.SupplyCycles)
+	}
+}
+
+func TestPeriodicAdmissionAndZeroMisses(t *testing.T) {
+	k := testKernel(t, 1, 3, nil)
+	// 100 us period, 50 us slice — comfortably feasible on the Phi.
+	cons := PeriodicConstraints(0, 100_000, 50_000)
+	var admitted bool
+	th := k.Spawn("rt", 0, ProgramFunc(func(tc *ThreadCtx) Action {
+		if !admitted {
+			admitted = true
+			return ChangeConstraints{C: cons}
+		}
+		if !tc.AdmitOK {
+			t.Fatalf("admission rejected: %v", tc.AdmitErr)
+		}
+		return Compute{Cycles: 20_000}
+	}))
+	k.RunNs(50_000_000) // 50 ms => ~500 periods
+	if th.Arrivals < 400 {
+		t.Fatalf("too few arrivals: %d", th.Arrivals)
+	}
+	if th.Misses != 0 {
+		t.Fatalf("feasible periodic thread missed %d deadlines (arrivals %d)",
+			th.Misses, th.Arrivals)
+	}
+	// The thread should have received roughly slice/period = 50% of the CPU.
+	elapsed := k.NowNs()
+	gotNs := k.Clocks[0].CyclesToNanos(th.SupplyCycles)
+	frac := float64(gotNs) / float64(elapsed)
+	if frac < 0.40 || frac > 0.60 {
+		t.Fatalf("supply fraction %.3f outside [0.40,0.60]", frac)
+	}
+}
+
+func TestInfeasibleConstraintsRejected(t *testing.T) {
+	k := testKernel(t, 1, 4, nil)
+	var verdictSeen bool
+	k.Spawn("greedy", 0, ProgramFunc(func(tc *ThreadCtx) Action {
+		if !verdictSeen {
+			verdictSeen = true
+			// 99.5% utilization exceeds the 99% utilization limit.
+			return ChangeConstraints{C: PeriodicConstraints(0, 100_000, 99_500)}
+		}
+		if tc.AdmitOK {
+			t.Fatalf("infeasible constraints admitted")
+		}
+		return Exit{}
+	}))
+	k.RunNs(10_000_000)
+	if !verdictSeen {
+		t.Fatalf("program never ran")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (int64, int64, uint64) {
+		k := testKernel(t, 4, 42, nil)
+		var admitted [4]bool
+		ths := make([]*Thread, 4)
+		for i := 0; i < 4; i++ {
+			i := i
+			ths[i] = k.Spawn("rt", i, ProgramFunc(func(tc *ThreadCtx) Action {
+				if !admitted[i] {
+					admitted[i] = true
+					return ChangeConstraints{C: PeriodicConstraints(0, 50_000, 20_000)}
+				}
+				return Compute{Cycles: 5_000}
+			}))
+		}
+		k.RunNs(20_000_000)
+		var supply, arrivals int64
+		for _, th := range ths {
+			supply += th.SupplyCycles
+			arrivals += th.Arrivals
+		}
+		return supply, arrivals, k.Eng.Steps()
+	}
+	s1, a1, e1 := run()
+	s2, a2, e2 := run()
+	if s1 != s2 || a1 != a2 || e1 != e2 {
+		t.Fatalf("non-deterministic: (%d,%d,%d) vs (%d,%d,%d)", s1, a1, e1, s2, a2, e2)
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import "hrtsched/internal/sim"
+
+// Work stealing (Section 3.4): the idle thread on each CPU uses
+// power-of-two-random-choices victim selection to avoid global
+// coordination, and only aperiodic threads may be stolen or otherwise
+// moved between local schedulers — which is what keeps parallel/distributed
+// admission control unnecessary and group scheduling simple.
+
+// armSteal schedules the next steal attempt while the CPU is idle.
+func (s *LocalScheduler) armSteal() {
+	if s.cfg.Steal == StealOff || s.k.NumCPUs() < 2 {
+		return
+	}
+	gen := s.gen
+	d := sim.Duration(s.clock.NanosToCycles(s.cfg.StealCheckNs))
+	if d < 1 {
+		d = 1
+	}
+	s.stealEv = s.k.Eng.After(d, sim.Soft, func(now sim.Time) {
+		if gen != s.gen || s.current != nil {
+			return
+		}
+		s.stealEv = nil
+		if s.trySteal() {
+			s.invoke(ReasonThread, now)
+			return
+		}
+		s.armSteal()
+	})
+}
+
+func (s *LocalScheduler) cancelSteal() {
+	if s.stealEv != nil {
+		s.stealEv.Cancel()
+		s.stealEv = nil
+	}
+}
+
+// trySteal attempts one victim selection and theft. It returns true if a
+// thread was stolen onto this CPU.
+func (s *LocalScheduler) trySteal() bool {
+	s.Stats.StealAttempts++
+	victim := s.pickVictim()
+	if victim == nil {
+		return false
+	}
+	// Lock the victim's local scheduler only after ascertaining it has
+	// available work (the paper's locking discipline).
+	t := victim.stealableThread()
+	if t == nil {
+		return false
+	}
+	victim.aperq.Remove(t)
+	t.cpu = s.cpu.ID()
+	t.state = RunnableAper
+	s.rrCounter++
+	t.rrSeq = s.rrCounter
+	s.mustPush(s.aperq, t)
+	s.Stats.Steals++
+	return true
+}
+
+// pickVictim chooses a victim scheduler under the configured policy.
+func (s *LocalScheduler) pickVictim() *LocalScheduler {
+	n := s.k.NumCPUs()
+	me := s.cpu.ID()
+	switch s.cfg.Steal {
+	case StealPowerOfTwo:
+		a := s.rng.Intn(n)
+		b := s.rng.Intn(n)
+		if a == me {
+			a = (a + 1) % n
+		}
+		if b == me {
+			b = (b + 1) % n
+		}
+		va, vb := s.k.Locals[a], s.k.Locals[b]
+		if va.stealableCount() >= vb.stealableCount() {
+			if va.stealableCount() > 0 {
+				return va
+			}
+			return nil
+		}
+		if vb.stealableCount() > 0 {
+			return vb
+		}
+		return nil
+	case StealLinear:
+		for i := 1; i < n; i++ {
+			v := s.k.Locals[(me+i)%n]
+			if v.stealableCount() > 0 {
+				return v
+			}
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+// stealableCount counts aperiodic queued threads marked stealable.
+func (s *LocalScheduler) stealableCount() int {
+	n := 0
+	s.aperq.All(func(t *Thread) {
+		if t.Stealable && t.state == RunnableAper {
+			n++
+		}
+	})
+	return n
+}
+
+// stealableThread returns one stealable thread from the aperiodic queue,
+// preferring the least important (back of the round robin), or nil.
+func (s *LocalScheduler) stealableThread() *Thread {
+	var best *Thread
+	s.aperq.All(func(t *Thread) {
+		if !t.Stealable || t.state != RunnableAper {
+			return
+		}
+		if best == nil || byPriorityRR(best, t) {
+			best = t
+		}
+	})
+	return best
+}

@@ -1,0 +1,122 @@
+package core
+
+import "testing"
+
+func TestStealSpreadsImbalance(t *testing.T) {
+	k := testKernel(t, 4, 71, nil)
+	done := 0
+	const jobs = 8
+	for i := 0; i < jobs; i++ {
+		th := k.SpawnStealable("job", 0, Seq(Compute{Cycles: 2_000_000}))
+		th.OnExit = func(*Thread) { done++ }
+	}
+	k.RunUntil(func() bool { return done == jobs }, 1<<24)
+	var steals int64
+	executedElsewhere := false
+	for cpu, ls := range k.Locals {
+		steals += ls.Stats.Steals
+		if cpu != 0 && ls.Stats.Switches > 1 {
+			executedElsewhere = true
+		}
+	}
+	if steals == 0 || !executedElsewhere {
+		t.Fatalf("no stealing happened (steals=%d)", steals)
+	}
+	// Stolen threads migrated: some job must have finished off CPU 0.
+	migrated := false
+	for _, th := range k.Threads() {
+		if th.Name() == "job" && th.CPU() != 0 {
+			migrated = true
+		}
+	}
+	if !migrated {
+		t.Fatalf("no thread migrated")
+	}
+}
+
+func TestNonStealableStaysPut(t *testing.T) {
+	k := testKernel(t, 4, 72, nil)
+	done := 0
+	for i := 0; i < 6; i++ {
+		th := k.Spawn("pinned", 0, Seq(Compute{Cycles: 1_000_000}))
+		th.OnExit = func(*Thread) { done++ }
+	}
+	k.RunUntil(func() bool { return done == 6 }, 1<<24)
+	for _, th := range k.Threads() {
+		if th.Name() == "pinned" && th.CPU() != 0 {
+			t.Fatalf("non-stealable thread migrated to CPU %d", th.CPU())
+		}
+	}
+	var steals int64
+	for _, ls := range k.Locals {
+		steals += ls.Stats.Steals
+	}
+	if steals != 0 {
+		t.Fatalf("steals of non-stealable threads: %d", steals)
+	}
+}
+
+func TestRTThreadsNeverStolen(t *testing.T) {
+	// Only aperiodic threads can be moved between local schedulers
+	// (Section 3.4) — this is what keeps distributed admission unnecessary.
+	k := testKernel(t, 2, 73, nil)
+	th := k.Spawn("rt", 0, mkPeriodic(PeriodicConstraints(0, 100_000, 30_000)))
+	k.RunNs(50_000_000)
+	if th.CPU() != 0 {
+		t.Fatalf("RT thread migrated")
+	}
+	if th.Misses != 0 {
+		t.Fatalf("misses: %d", th.Misses)
+	}
+}
+
+func TestStealOffPolicy(t *testing.T) {
+	k := testKernel(t, 4, 74, func(c *Config) { c.Steal = StealOff })
+	done := 0
+	for i := 0; i < 4; i++ {
+		th := k.SpawnStealable("job", 0, Seq(Compute{Cycles: 500_000}))
+		th.OnExit = func(*Thread) { done++ }
+	}
+	k.RunUntil(func() bool { return done == 4 }, 1<<24)
+	for _, ls := range k.Locals {
+		if ls.Stats.StealAttempts != 0 {
+			t.Fatalf("steal attempts with stealing off")
+		}
+	}
+}
+
+func TestLinearStealPolicy(t *testing.T) {
+	k := testKernel(t, 4, 75, func(c *Config) { c.Steal = StealLinear })
+	done := 0
+	const jobs = 8
+	for i := 0; i < jobs; i++ {
+		th := k.SpawnStealable("job", 0, Seq(Compute{Cycles: 2_000_000}))
+		th.OnExit = func(*Thread) { done++ }
+	}
+	k.RunUntil(func() bool { return done == jobs }, 1<<24)
+	var steals int64
+	for _, ls := range k.Locals {
+		steals += ls.Stats.Steals
+	}
+	if steals == 0 {
+		t.Fatalf("linear policy never stole")
+	}
+}
+
+func TestStealFasterThanNoSteal(t *testing.T) {
+	run := func(p StealPolicy) int64 {
+		k := testKernel(t, 4, 76, func(c *Config) { c.Steal = p })
+		done := 0
+		for i := 0; i < 12; i++ {
+			th := k.SpawnStealable("job", 0, Seq(Compute{Cycles: 1_000_000}))
+			th.OnExit = func(*Thread) { done++ }
+		}
+		k.RunUntil(func() bool { return done == 12 }, 1<<24)
+		return k.NowNs()
+	}
+	with := run(StealPowerOfTwo)
+	without := run(StealOff)
+	if without < 2*with {
+		t.Fatalf("stealing gave no speedup: with=%dns without=%dns", with, without)
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+// Task is the paper's finer-granularity work unit (Section 3.1): a queued
+// callback cheaper than a thread, similar to a softIRQ or DPC but with one
+// crucial difference — a size-tagged task may be executed directly by the
+// scheduler only when doing so cannot disturb any periodic or sporadic
+// thread, and untagged tasks are relegated to a helper thread. Real-time
+// threads are therefore never delayed by tasks.
+type Task struct {
+	// Name labels the task for debugging.
+	Name string
+	// SizeCycles is the declared size tag; 0 means unsized.
+	SizeCycles int64
+	// ActualCycles is the true execution cost (simulated consumption).
+	ActualCycles int64
+	// Fn runs when the task executes. It may be nil.
+	Fn func(k *Kernel, cpu int)
+
+	done bool
+}
+
+// Done reports whether the task has executed.
+func (t *Task) Done() bool { return t.done }
+
+// PostTask queues task on the given CPU. Size-tagged tasks go to the local
+// scheduler's inline queue; unsized tasks go to the helper thread's queue
+// (spawning the helper on first use). A kick ensures timely processing.
+func (k *Kernel) PostTask(cpu int, task *Task) {
+	s := k.Locals[cpu]
+	if task.SizeCycles > 0 {
+		s.sizedTasks = append(s.sizedTasks, task)
+	} else {
+		s.unsizedTasks = append(s.unsizedTasks, task)
+		s.ensureTaskThread()
+		if s.taskThread.state == Blocked {
+			k.Wake(s.taskThread)
+			return
+		}
+	}
+	k.Kick(cpu)
+}
+
+// drainSizedTasks executes size-tagged tasks in scheduler context while no
+// real-time thread is runnable and the next task still fits before the next
+// real-time arrival. It returns the cycles consumed inline.
+func (s *LocalScheduler) drainSizedTasks(nowNs int64) int64 {
+	if len(s.sizedTasks) == 0 || s.rtq.Len() > 0 {
+		return 0
+	}
+	if cur := s.current; cur != nil && cur.isRTNow() {
+		return 0
+	}
+	budgetNs := int64(1 << 62)
+	if p := s.pending.Peek(); p != nil {
+		budgetNs = p.arrivalNs - nowNs
+	}
+	var spent int64
+	for len(s.sizedTasks) > 0 {
+		task := s.sizedTasks[0]
+		need := s.clock.CyclesToNanos(task.SizeCycles)
+		if need > budgetNs {
+			break
+		}
+		s.sizedTasks = s.sizedTasks[1:]
+		cost := task.ActualCycles
+		if cost <= 0 {
+			cost = task.SizeCycles
+		}
+		spent += cost
+		budgetNs -= s.clock.CyclesToNanos(cost)
+		if task.Fn != nil {
+			task.Fn(s.k, s.cpu.ID())
+		}
+		task.done = true
+		s.Stats.TasksInline++
+	}
+	return spent
+}
+
+// ensureTaskThread lazily spawns the per-CPU helper thread that processes
+// unsized tasks as an ordinary aperiodic thread.
+func (s *LocalScheduler) ensureTaskThread() {
+	if s.taskThread != nil {
+		return
+	}
+	cpu := s.cpu.ID()
+	var inFlight *Task
+	s.taskThread = s.k.spawnInternal("task-exec", cpu, ProgramFunc(func(tc *ThreadCtx) Action {
+		if inFlight != nil {
+			// The Compute for this task just finished; run its callback.
+			if inFlight.Fn != nil {
+				inFlight.Fn(tc.K, cpu)
+			}
+			inFlight.done = true
+			inFlight = nil
+		}
+		ls := tc.K.Locals[cpu]
+		if len(ls.unsizedTasks) == 0 {
+			return Block{}
+		}
+		inFlight = ls.unsizedTasks[0]
+		ls.unsizedTasks = ls.unsizedTasks[1:]
+		cost := inFlight.ActualCycles
+		if cost <= 0 {
+			cost = 1
+		}
+		return Compute{Cycles: cost}
+	}), false)
+}
+
+// TaskBacklog returns the (sized, unsized) task queue lengths on a CPU.
+func (k *Kernel) TaskBacklog(cpu int) (int, int) {
+	s := k.Locals[cpu]
+	return len(s.sizedTasks), len(s.unsizedTasks)
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestSizedTasksRunInline(t *testing.T) {
+	k := testKernel(t, 1, 61, nil)
+	ran := 0
+	for i := 0; i < 5; i++ {
+		k.PostTask(0, &Task{Name: "sized", SizeCycles: 30_000, ActualCycles: 25_000,
+			Fn: func(*Kernel, int) { ran++ }})
+	}
+	k.RunNs(10_000_000)
+	if ran != 5 {
+		t.Fatalf("sized tasks ran: %d/5", ran)
+	}
+	if k.Locals[0].Stats.TasksInline != 5 {
+		t.Fatalf("inline counter = %d", k.Locals[0].Stats.TasksInline)
+	}
+	// No helper thread needed for sized tasks.
+	for _, th := range k.Threads() {
+		if th.Name() == "task-exec" {
+			t.Fatalf("sized tasks spawned a helper thread")
+		}
+	}
+}
+
+func TestUnsizedTasksUseHelperThread(t *testing.T) {
+	k := testKernel(t, 1, 62, nil)
+	ran := 0
+	tasks := make([]*Task, 4)
+	for i := range tasks {
+		tasks[i] = &Task{Name: "unsized", ActualCycles: 40_000,
+			Fn: func(*Kernel, int) { ran++ }}
+		k.PostTask(0, tasks[i])
+	}
+	k.RunNs(10_000_000)
+	if ran != 4 {
+		t.Fatalf("unsized tasks ran: %d/4", ran)
+	}
+	for _, task := range tasks {
+		if !task.Done() {
+			t.Fatalf("task not marked done")
+		}
+	}
+	found := false
+	for _, th := range k.Threads() {
+		if th.Name() == "task-exec" {
+			found = true
+			if th.IsRT() {
+				t.Fatalf("helper thread must be aperiodic")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("helper thread missing")
+	}
+}
+
+func TestTasksNeverDelayRTThread(t *testing.T) {
+	// The defining property of the task mechanism (Section 3.1): periodic
+	// and sporadic threads are not even delayed by tasks.
+	k := testKernel(t, 1, 63, nil)
+	th := k.Spawn("rt", 0, mkPeriodic(PeriodicConstraints(0, 100_000, 70_000)))
+	k.RunNs(2_000_000)
+	ran := 0
+	// Flood with sized tasks that only fit in the 30% idle gap.
+	for i := 0; i < 200; i++ {
+		k.PostTask(0, &Task{Name: "flood", SizeCycles: 20_000, ActualCycles: 20_000,
+			Fn: func(*Kernel, int) { ran++ }})
+	}
+	k.RunNs(50_000_000)
+	if th.Misses != 0 {
+		t.Fatalf("RT thread missed %d deadlines due to tasks", th.Misses)
+	}
+	if ran < 150 {
+		t.Fatalf("tasks starved: %d/200", ran)
+	}
+}
+
+func TestSizedTaskDefersWhenRTImminent(t *testing.T) {
+	// A sized task that does not fit before the next RT arrival must not
+	// run inline at that moment.
+	k := testKernel(t, 1, 64, nil)
+	th := k.Spawn("rt", 0, mkPeriodic(PeriodicConstraints(0, 100_000, 75_000)))
+	k.RunNs(2_000_000)
+	if !th.IsRT() {
+		t.Fatalf("thread not admitted")
+	}
+	ran := 0
+	// 25%% idle per period = ~25us; this task needs ~38us: it can only run
+	// once the RT thread is gone.
+	k.PostTask(0, &Task{Name: "big", SizeCycles: 50_000, ActualCycles: 50_000,
+		Fn: func(*Kernel, int) { ran++ }})
+	k.RunNs(5_000_000)
+	if ran != 0 {
+		t.Fatalf("oversized task ran despite imminent RT arrivals")
+	}
+	if th.Misses != 0 {
+		t.Fatalf("RT thread missed")
+	}
+}
+
+func TestTaskBacklogReporting(t *testing.T) {
+	k := testKernel(t, 1, 65, nil)
+	// Post before running: backlog visible.
+	k.PostTask(0, &Task{Name: "s", SizeCycles: 1000})
+	k.PostTask(0, &Task{Name: "u", ActualCycles: 1000})
+	sized, unsized := k.TaskBacklog(0)
+	if sized != 1 || unsized != 1 {
+		t.Fatalf("backlog = (%d,%d), want (1,1)", sized, unsized)
+	}
+	k.RunNs(5_000_000)
+	sized, unsized = k.TaskBacklog(0)
+	if sized != 0 || unsized != 0 {
+		t.Fatalf("backlog not drained: (%d,%d)", sized, unsized)
+	}
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMidPeriodWakeDoesNotFabricateMisses is the regression test for the
+// blocked-thread wake semantics: a periodic thread that blocks and wakes
+// late in its period must not be charged a miss for slice it waived while
+// blocked.
+func TestMidPeriodWakeDoesNotFabricateMisses(t *testing.T) {
+	k := testKernel(t, 1, 251, nil)
+	// 200us period, 60us slice; the thread blocks for ~170us every period,
+	// waking with only ~30us left — less than its slice.
+	admitted := false
+	phase := 0
+	th := k.Spawn("blocky", 0, ProgramFunc(func(tc *ThreadCtx) Action {
+		if !admitted {
+			admitted = true
+			return ChangeConstraints{C: PeriodicConstraints(0, 200_000, 60_000)}
+		}
+		phase++
+		if phase%2 == 1 {
+			return Compute{Cycles: 13_000} // 10us of work
+		}
+		// Sleep deep into the period.
+		return SleepUntil{WallNs: tc.NowNs + 170_000}
+	}))
+	k.RunNs(50_000_000)
+	if !th.IsRT() {
+		t.Fatalf("not admitted")
+	}
+	if th.Misses != 0 {
+		t.Fatalf("fabricated %d misses for a voluntarily blocking thread", th.Misses)
+	}
+	if th.Arrivals < 100 {
+		t.Fatalf("arrivals = %d", th.Arrivals)
+	}
+}
+
+func TestWakeVeryNearDeadlineDefersToNextPeriod(t *testing.T) {
+	k := testKernel(t, 1, 252, nil)
+	admitted := false
+	phase := 0
+	th := k.Spawn("edge", 0, ProgramFunc(func(tc *ThreadCtx) Action {
+		if !admitted {
+			admitted = true
+			return ChangeConstraints{C: PeriodicConstraints(0, 200_000, 60_000)}
+		}
+		phase++
+		if phase%2 == 1 {
+			return Compute{Cycles: 1_000}
+		}
+		// Wake within the last few microseconds of the period: the wake
+		// path must defer the thread to its next arrival rather than
+		// committing to an impossible sliver.
+		next := (tc.NowNs/200_000 + 1) * 200_000
+		return SleepUntil{WallNs: next - 2_000}
+	}))
+	k.RunNs(40_000_000)
+	if th.Misses != 0 {
+		t.Fatalf("boundary wakes produced %d misses", th.Misses)
+	}
+	if th.SupplyCycles == 0 {
+		t.Fatalf("thread starved")
+	}
+}
+
+func TestConstraintAndStateStrings(t *testing.T) {
+	for _, c := range []struct {
+		got, want string
+	}{
+		{Aperiodic.String(), "aperiodic"},
+		{Periodic.String(), "periodic"},
+		{Sporadic.String(), "sporadic"},
+		{ConstraintType(9).String(), "ConstraintType(9)"},
+		{Embryo.String(), "embryo"},
+		{Running.String(), "running"},
+		{Exited.String(), "exited"},
+		{ThreadState(99).String(), "ThreadState(99)"},
+	} {
+		if c.got != c.want {
+			t.Fatalf("String() = %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestValidateTable(t *testing.T) {
+	limits := &Limits{MinPeriodNs: 10_000, MinSliceNs: 1_000}
+	cases := []struct {
+		c    Constraints
+		ok   bool
+		frag string
+	}{
+		{AperiodicConstraints(5), true, ""},
+		{PeriodicConstraints(0, 100_000, 50_000), true, ""},
+		{PeriodicConstraints(-1, 100_000, 50_000), false, "periodic"},
+		{PeriodicConstraints(0, 0, 0), false, "periodic"},
+		{PeriodicConstraints(0, 100_000, 200_000), false, "periodic"},
+		{PeriodicConstraints(0, 5_000, 2_000), false, "minimum"},
+		{PeriodicConstraints(0, 100_000, 500), false, "minimum"},
+		{SporadicConstraints(0, 10_000, 100_000, 5), true, ""},
+		{SporadicConstraints(0, 0, 100_000, 5), false, "sporadic"},
+		{SporadicConstraints(0, 200_000, 100_000, 5), false, "sporadic"},
+		{SporadicConstraints(0, 500, 100_000, 5), false, "minimum"},
+		{Constraints{Type: ConstraintType(7)}, false, "unknown"},
+	}
+	for i, tc := range cases {
+		err := tc.c.Validate(limits)
+		if tc.ok && err != nil {
+			t.Fatalf("case %d: unexpected error %v", i, err)
+		}
+		if !tc.ok {
+			if err == nil {
+				t.Fatalf("case %d: invalid constraints accepted", i)
+			}
+			if !strings.Contains(err.Error(), tc.frag) {
+				t.Fatalf("case %d: error %q missing %q", i, err, tc.frag)
+			}
+		}
+	}
+	// Utilization sanity.
+	if u := PeriodicConstraints(0, 100, 50).Utilization(); u != 0.5 {
+		t.Fatalf("periodic utilization %v", u)
+	}
+	if u := SporadicConstraints(0, 10, 100, 1).Utilization(); u != 0.1 {
+		t.Fatalf("sporadic utilization %v", u)
+	}
+	if u := AperiodicConstraints(1).Utilization(); u != 0 {
+		t.Fatalf("aperiodic utilization %v", u)
+	}
+}
+
+func TestRunUntilNsAndNowNs(t *testing.T) {
+	k := testKernel(t, 1, 253, nil)
+	k.Spawn("bg", 0, spin(10_000))
+	k.RunUntilNs(5_000_000)
+	now := k.NowNs()
+	if now < 4_900_000 || now > 5_100_000 {
+		t.Fatalf("NowNs = %d after RunUntilNs(5ms)", now)
+	}
+}
+
+func TestScopeHookPins(t *testing.T) {
+	k := testKernel(t, 1, 254, nil)
+	th := k.Spawn("rt", 0, mkPeriodic(PeriodicConstraints(0, 100_000, 50_000)))
+	k.SetScope(&ScopeHook{CPU: 0, Thread: th})
+	k.RunNs(5_000_000)
+	g := k.M.GPIO
+	if len(g.PinEdges(0)) < 40 {
+		t.Fatalf("thread pin edges: %d", len(g.PinEdges(0)))
+	}
+	if len(g.PinEdges(1)) < 80 {
+		t.Fatalf("scheduler pin edges: %d", len(g.PinEdges(1)))
+	}
+	if len(g.PinEdges(2)) < 80 {
+		t.Fatalf("interrupt pin edges: %d", len(g.PinEdges(2)))
+	}
+	// Clearing the hook stops recording.
+	k.SetScope(nil)
+	n := len(g.Edges())
+	k.RunNs(2_000_000)
+	if len(g.Edges()) != n {
+		t.Fatalf("edges recorded after hook cleared")
+	}
+}

@@ -1,0 +1,325 @@
+// Package cyclic implements the paper's stated future-work direction:
+// "compiling parallel programs directly into cyclic executives, providing
+// real-time behavior by static construction" (Section 8).
+//
+// A cyclic executive replaces the online EDF scheduler with a schedule
+// table computed offline: the task set's hyperperiod is divided into
+// dispatch entries, each granting one task a contiguous interval. At run
+// time a single executive thread walks the table, driven purely by
+// wall-clock time — no admission control, no run queues, and only one
+// scheduler interaction per entry.
+package cyclic
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"hrtsched/internal/core"
+)
+
+// Task is one periodic task to compile into the table.
+type Task struct {
+	Name     string
+	PeriodNs int64
+	SliceNs  int64
+	// Work, if non-nil, is called once per dispatch with the entry's
+	// duration; it is executed as simulated compute by the executive.
+	Work func(ns int64)
+}
+
+// Entry is one dispatch of the static table: task Task runs during
+// [StartNs, EndNs) of every hyperperiod.
+type Entry struct {
+	Task    int // index into the task set; -1 = idle
+	StartNs int64
+	EndNs   int64
+}
+
+// Table is a compiled cyclic executive schedule.
+type Table struct {
+	Tasks         []Task
+	HyperperiodNs int64
+	Entries       []Entry
+	UtilPct       float64
+}
+
+// Errors from table construction.
+var (
+	ErrEmptyTaskSet   = errors.New("cyclic: empty task set")
+	ErrBadTask        = errors.New("cyclic: malformed task")
+	ErrNotSchedulable = errors.New("cyclic: task set not schedulable")
+)
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int64) int64 { return a / gcd(a, b) * b }
+
+// Build compiles a task set into a static schedule by simulating EDF
+// offline over one hyperperiod. utilizationLimit (e.g. 0.99) reserves
+// headroom for the executive's own dispatch costs. The resulting table is
+// validated: every job of every task receives its full slice before its
+// deadline, or Build fails with ErrNotSchedulable.
+func Build(tasks []Task, utilizationLimit float64) (*Table, error) {
+	if len(tasks) == 0 {
+		return nil, ErrEmptyTaskSet
+	}
+	hyper := int64(1)
+	var util float64
+	for i, t := range tasks {
+		if t.PeriodNs <= 0 || t.SliceNs <= 0 || t.SliceNs > t.PeriodNs {
+			return nil, fmt.Errorf("%w: task %d (%q) period=%d slice=%d",
+				ErrBadTask, i, t.Name, t.PeriodNs, t.SliceNs)
+		}
+		hyper = lcm(hyper, t.PeriodNs)
+		util += float64(t.SliceNs) / float64(t.PeriodNs)
+	}
+	if util > utilizationLimit {
+		return nil, fmt.Errorf("%w: utilization %.3f over limit %.3f",
+			ErrNotSchedulable, util, utilizationLimit)
+	}
+
+	// Offline EDF simulation at event granularity: job releases and
+	// completions are the only decision points.
+	type job struct {
+		task       int
+		deadlineNs int64
+		remNs      int64
+	}
+	var entries []Entry
+	var ready []job
+	now := int64(0)
+
+	nextRelease := func(after int64) int64 {
+		next := int64(-1)
+		for _, t := range tasks {
+			// First release at or after `after` (releases at k*period).
+			k := (after + t.PeriodNs) / t.PeriodNs
+			r := k * t.PeriodNs
+			if r == after {
+				r += t.PeriodNs
+			}
+			if next == -1 || r < next {
+				next = r
+			}
+		}
+		return next
+	}
+	release := func(at int64) {
+		for i, t := range tasks {
+			if at%t.PeriodNs == 0 {
+				ready = append(ready, job{task: i, deadlineNs: at + t.PeriodNs, remNs: t.SliceNs})
+			}
+		}
+	}
+
+	release(0)
+	for now < hyper {
+		if len(ready) == 0 {
+			nr := nextRelease(now)
+			if nr > hyper {
+				nr = hyper
+			}
+			entries = append(entries, Entry{Task: -1, StartNs: now, EndNs: nr})
+			now = nr
+			if now < hyper {
+				release(now)
+			}
+			continue
+		}
+		// Earliest deadline first; ties by task index for determinism.
+		sort.SliceStable(ready, func(a, b int) bool {
+			if ready[a].deadlineNs != ready[b].deadlineNs {
+				return ready[a].deadlineNs < ready[b].deadlineNs
+			}
+			return ready[a].task < ready[b].task
+		})
+		j := &ready[0]
+		runUntil := now + j.remNs
+		if nr := nextRelease(now); nr < runUntil {
+			runUntil = nr
+		}
+		if runUntil > hyper {
+			runUntil = hyper
+		}
+		if j.deadlineNs < runUntil {
+			return nil, fmt.Errorf("%w: task %d (%q) cannot meet deadline %d",
+				ErrNotSchedulable, j.task, tasks[j.task].Name, j.deadlineNs)
+		}
+		entries = append(entries, Entry{Task: j.task, StartNs: now, EndNs: runUntil})
+		j.remNs -= runUntil - now
+		if j.remNs == 0 {
+			ready = ready[1:]
+		}
+		now = runUntil
+		if now < hyper {
+			release(now) // no-op unless now is a period multiple
+		}
+	}
+	// Any job still owed time at the end of the hyperperiod missed.
+	for _, j := range ready {
+		if j.remNs > 0 {
+			return nil, fmt.Errorf("%w: task %d (%q) under-served at hyperperiod end",
+				ErrNotSchedulable, j.task, tasks[j.task].Name)
+		}
+	}
+	tbl := &Table{Tasks: tasks, HyperperiodNs: hyper, Entries: coalesce(entries), UtilPct: util * 100}
+	if err := tbl.Validate(); err != nil {
+		return nil, err
+	}
+	return tbl, nil
+}
+
+// coalesce merges adjacent entries of the same task.
+func coalesce(in []Entry) []Entry {
+	var out []Entry
+	for _, e := range in {
+		if n := len(out); n > 0 && out[n-1].Task == e.Task && out[n-1].EndNs == e.StartNs {
+			out[n-1].EndNs = e.EndNs
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Validate checks the table's structural invariants: entries tile the
+// hyperperiod exactly, and every task receives slice*(hyper/period) total
+// time with each job fully served before its deadline.
+func (t *Table) Validate() error {
+	expect := int64(0)
+	for _, e := range t.Entries {
+		if e.StartNs != expect {
+			return fmt.Errorf("cyclic: gap or overlap at %d (entry starts %d)", expect, e.StartNs)
+		}
+		if e.EndNs <= e.StartNs {
+			return fmt.Errorf("cyclic: empty entry at %d", e.StartNs)
+		}
+		expect = e.EndNs
+	}
+	if expect != t.HyperperiodNs {
+		return fmt.Errorf("cyclic: table covers %d of %d", expect, t.HyperperiodNs)
+	}
+	// Per-job service check.
+	for ti, task := range t.Tasks {
+		jobs := t.HyperperiodNs / task.PeriodNs
+		for j := int64(0); j < jobs; j++ {
+			rel, dl := j*task.PeriodNs, (j+1)*task.PeriodNs
+			var got int64
+			for _, e := range t.Entries {
+				if e.Task != ti {
+					continue
+				}
+				lo, hi := e.StartNs, e.EndNs
+				if lo < rel {
+					lo = rel
+				}
+				if hi > dl {
+					hi = dl
+				}
+				if hi > lo {
+					got += hi - lo
+				}
+			}
+			if got < task.SliceNs {
+				return fmt.Errorf("cyclic: task %d job %d served %d of %d ns",
+					ti, j, got, task.SliceNs)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	s := fmt.Sprintf("hyperperiod %d ns, %.1f%% utilization, %d entries\n",
+		t.HyperperiodNs, t.UtilPct, len(t.Entries))
+	for _, e := range t.Entries {
+		name := "(idle)"
+		if e.Task >= 0 {
+			name = t.Tasks[e.Task].Name
+		}
+		s += fmt.Sprintf("  [%9d, %9d) %s\n", e.StartNs, e.EndNs, name)
+	}
+	return s
+}
+
+// Executive runs a compiled table on one CPU of a kernel. Dispatches are
+// driven purely by wall-clock sleep — real-time behavior by static
+// construction, with no admission control or run-queue work per dispatch.
+type Executive struct {
+	k     *core.Kernel
+	cpu   int
+	table *Table
+
+	// DispatchJitterNs records |actual - planned| for every dispatch.
+	Dispatches    int64
+	WorstJitterNs int64
+	ServedNs      []int64 // per task
+	thread        *core.Thread
+	cycles        int64 // hyperperiods completed
+}
+
+// NewExecutive prepares an executive for the table on the given CPU. The
+// CPU should otherwise be idle (the whole point of static construction).
+func NewExecutive(k *core.Kernel, cpu int, table *Table) *Executive {
+	return &Executive{k: k, cpu: cpu, table: table, ServedNs: make([]int64, len(table.Tasks))}
+}
+
+// Thread returns the executive's thread after Start.
+func (e *Executive) Thread() *core.Thread { return e.thread }
+
+// Cycles returns completed hyperperiods.
+func (e *Executive) Cycles() int64 { return e.cycles }
+
+// Start spawns the executive thread. It runs hyperperiods forever (or
+// until the simulation stops).
+func (e *Executive) Start() {
+	freq := e.k.M.Spec.FreqHz
+	var baseNs int64 = -1
+	idx := 0
+	e.thread = e.k.Spawn("cyclic-exec", e.cpu, core.ProgramFunc(func(tc *core.ThreadCtx) core.Action {
+		if baseNs < 0 {
+			// Align the table origin to the next hyperperiod boundary.
+			h := e.table.HyperperiodNs
+			baseNs = (tc.NowNs/h + 1) * h
+			return core.SleepUntil{WallNs: baseNs}
+		}
+		for {
+			if idx == len(e.table.Entries) {
+				idx = 0
+				e.cycles++
+				baseNs += e.table.HyperperiodNs
+			}
+			ent := e.table.Entries[idx]
+			planned := baseNs + ent.StartNs
+			if tc.NowNs < planned {
+				return core.SleepUntil{WallNs: planned}
+			}
+			idx++
+			if ent.Task < 0 {
+				continue // idle window; loop to the sleep for the next entry
+			}
+			j := tc.NowNs - planned
+			if j > e.WorstJitterNs {
+				e.WorstJitterNs = j
+			}
+			e.Dispatches++
+			dur := ent.EndNs - ent.StartNs
+			e.ServedNs[ent.Task] += dur
+			if w := e.table.Tasks[ent.Task].Work; w != nil {
+				w(dur)
+			}
+			cycles := dur * freq / 1_000_000_000
+			if cycles < 1 {
+				cycles = 1
+			}
+			return core.Compute{Cycles: cycles}
+		}
+	}))
+}

@@ -1,0 +1,189 @@
+package cyclic
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"hrtsched/internal/core"
+	"hrtsched/internal/machine"
+)
+
+func TestBuildSimpleHarmonic(t *testing.T) {
+	tbl, err := Build([]Task{
+		{Name: "a", PeriodNs: 100_000, SliceNs: 30_000},
+		{Name: "b", PeriodNs: 200_000, SliceNs: 60_000},
+	}, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.HyperperiodNs != 200_000 {
+		t.Fatalf("hyperperiod = %d", tbl.HyperperiodNs)
+	}
+	if err := tbl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 30%+30% utilization.
+	if tbl.UtilPct < 59 || tbl.UtilPct > 61 {
+		t.Fatalf("util = %f", tbl.UtilPct)
+	}
+}
+
+func TestBuildNonHarmonic(t *testing.T) {
+	tbl, err := Build([]Task{
+		{Name: "a", PeriodNs: 300_000, SliceNs: 100_000},
+		{Name: "b", PeriodNs: 400_000, SliceNs: 120_000},
+		{Name: "c", PeriodNs: 600_000, SliceNs: 90_000},
+	}, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.HyperperiodNs != 1_200_000 {
+		t.Fatalf("hyperperiod = %d", tbl.HyperperiodNs)
+	}
+	if err := tbl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildRejectsOverload(t *testing.T) {
+	_, err := Build([]Task{
+		{Name: "a", PeriodNs: 100_000, SliceNs: 60_000},
+		{Name: "b", PeriodNs: 100_000, SliceNs: 50_000},
+	}, 0.99)
+	if !errors.Is(err, ErrNotSchedulable) {
+		t.Fatalf("overload accepted: %v", err)
+	}
+}
+
+func TestBuildRejectsMalformed(t *testing.T) {
+	for _, tasks := range [][]Task{
+		nil,
+		{{Name: "x", PeriodNs: 0, SliceNs: 1}},
+		{{Name: "x", PeriodNs: 100, SliceNs: 200}},
+		{{Name: "x", PeriodNs: 100, SliceNs: -1}},
+	} {
+		if _, err := Build(tasks, 0.99); err == nil {
+			t.Fatalf("malformed set accepted: %+v", tasks)
+		}
+	}
+}
+
+// Property: any task set under the utilization limit with harmonic-ish
+// periods builds into a valid table (EDF is optimal on one CPU, so every
+// feasible set must compile).
+func TestPropertyFeasibleSetsCompile(t *testing.T) {
+	periods := []int64{50_000, 100_000, 200_000, 400_000}
+	f := func(nRaw uint8, slices []uint8) bool {
+		n := int(nRaw%4) + 1
+		if len(slices) < n {
+			return true
+		}
+		var tasks []Task
+		util := 0.0
+		for i := 0; i < n; i++ {
+			p := periods[i%len(periods)]
+			frac := float64(slices[i]%30+1) / 100 / float64(n) // keep total under ~30%
+			s := int64(float64(p) * frac)
+			if s < 1 {
+				s = 1
+			}
+			tasks = append(tasks, Task{Name: "t", PeriodNs: p, SliceNs: s})
+			util += float64(s) / float64(p)
+		}
+		if util > 0.95 {
+			return true
+		}
+		tbl, err := Build(tasks, 0.99)
+		if err != nil {
+			return false
+		}
+		return tbl.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecutiveRunsTable(t *testing.T) {
+	spec := machine.PhiKNL().Scaled(2)
+	m := machine.New(spec, 101)
+	k := core.Boot(m, core.DefaultConfig(spec))
+
+	var aWork, bWork int64
+	tbl, err := Build([]Task{
+		{Name: "a", PeriodNs: 100_000, SliceNs: 30_000, Work: func(ns int64) { aWork += ns }},
+		{Name: "b", PeriodNs: 200_000, SliceNs: 80_000, Work: func(ns int64) { bWork += ns }},
+	}, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExecutive(k, 1, tbl)
+	ex.Start()
+	k.RunNs(50_000_000) // 50 ms => ~250 hyperperiods
+
+	if ex.Cycles() < 200 {
+		t.Fatalf("hyperperiods completed: %d", ex.Cycles())
+	}
+	// Service proportions: a gets 30us per 100us, b gets 80us per 200us.
+	if aWork == 0 || bWork == 0 {
+		t.Fatalf("tasks did not run: a=%d b=%d", aWork, bWork)
+	}
+	ratio := float64(ex.ServedNs[0]) / float64(ex.ServedNs[1])
+	want := (30_000.0 * 2) / 80_000.0 // per hyperperiod: 60us vs 80us
+	if ratio < want*0.95 || ratio > want*1.05 {
+		t.Fatalf("service ratio %.3f, want %.3f", ratio, want)
+	}
+	// Static construction: dispatch jitter bounded by the scheduler's
+	// wake-up path, far below the finest entry.
+	if ex.WorstJitterNs > 20_000 {
+		t.Fatalf("dispatch jitter %d ns too large", ex.WorstJitterNs)
+	}
+	if ex.Dispatches < 500 {
+		t.Fatalf("dispatches = %d", ex.Dispatches)
+	}
+}
+
+func TestExecutiveFewerInvocationsThanEDF(t *testing.T) {
+	// The motivation for static construction: the cyclic executive needs
+	// fewer scheduler interactions than online EDF for the same task set.
+	tasks := []Task{
+		{Name: "a", PeriodNs: 100_000, SliceNs: 30_000},
+		{Name: "b", PeriodNs: 200_000, SliceNs: 60_000},
+	}
+
+	// Online EDF version.
+	spec := machine.PhiKNL().Scaled(2)
+	mEDF := machine.New(spec, 102)
+	kEDF := core.Boot(mEDF, core.DefaultConfig(spec))
+	for _, task := range tasks {
+		cons := core.PeriodicConstraints(0, task.PeriodNs, task.SliceNs)
+		admitted := false
+		kEDF.Spawn(task.Name, 1, core.ProgramFunc(func(tc *core.ThreadCtx) core.Action {
+			if !admitted {
+				admitted = true
+				return core.ChangeConstraints{C: cons}
+			}
+			return core.Compute{Cycles: 10_000}
+		}))
+	}
+	kEDF.RunNs(50_000_000)
+	edfInv := kEDF.Locals[1].Stats.Invocations
+
+	// Cyclic version.
+	mCyc := machine.New(spec, 103)
+	kCyc := core.Boot(mCyc, core.DefaultConfig(spec))
+	tbl, err := Build(tasks, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExecutive(kCyc, 1, tbl)
+	ex.Start()
+	kCyc.RunNs(50_000_000)
+	cycInv := kCyc.Locals[1].Stats.Invocations
+
+	if cycInv >= edfInv {
+		t.Fatalf("cyclic executive (%d invocations) not cheaper than EDF (%d)",
+			cycInv, edfInv)
+	}
+}

@@ -1,0 +1,380 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func quick() Options { return Options{Scale: Quick, Seed: 0xabc, Workers: 4} }
+
+func TestFig3Shape(t *testing.T) {
+	fig := Fig3(quick())
+	if len(fig.Series) != 1 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	var total float64
+	for _, p := range fig.Series[0].Points {
+		total += p.Y
+	}
+	if total != 255 {
+		t.Fatalf("histogram covers %v CPUs, want 255", total)
+	}
+	// The paper's claim: all CPUs within ~1000 cycles. Allow a little slack.
+	for _, p := range fig.Series[0].Points {
+		if p.X > 1200 && p.Y > 0 {
+			t.Fatalf("CPU with residual beyond 1200 cycles: bucket %v count %v", p.X, p.Y)
+		}
+	}
+}
+
+func TestFig4ThreadSharpSchedulerFuzzy(t *testing.T) {
+	fig := Fig4(quick())
+	// Sharp vs fuzzy is relative to each trace's own scale, as on the
+	// scope: the thread's period jitter is a fraction of a percent of its
+	// period, while the interrupt handler's width jitters by several
+	// percent of its width.
+	threadPeriodCoV := fig.Series[0].Points[0].Err / fig.Series[0].Points[0].Y
+	irqWidthCoV := fig.Series[2].Points[1].Err / fig.Series[2].Points[1].Y
+	if threadPeriodCoV > 0.02 {
+		t.Fatalf("test thread trace not sharp: period CoV %.4f", threadPeriodCoV)
+	}
+	if irqWidthCoV < 0.03 {
+		t.Fatalf("interrupt trace not fuzzy: width CoV %.4f", irqWidthCoV)
+	}
+	if irqWidthCoV <= 3*threadPeriodCoV {
+		t.Fatalf("interrupt trace (CoV %.4f) not clearly fuzzier than thread (CoV %.4f)",
+			irqWidthCoV, threadPeriodCoV)
+	}
+	// Duty cycle slightly above 50%.
+	duty := fig.Series[0].Points[2].Y
+	if duty < 49 || duty > 60 {
+		t.Fatalf("thread duty %.1f%% outside [49,60]", duty)
+	}
+}
+
+func TestFig5OverheadBreakdown(t *testing.T) {
+	fig := Fig5(quick())
+	if len(fig.Series) != 2 {
+		t.Fatalf("want phi and r415 series")
+	}
+	sum := func(si int) float64 {
+		var s float64
+		for _, p := range fig.Series[si].Points {
+			s += p.Y
+		}
+		return s
+	}
+	phi, r415 := sum(0), sum(1)
+	if phi < 5000 || phi > 7000 {
+		t.Fatalf("phi total overhead %.0f outside [5000,7000] cycles", phi)
+	}
+	if r415 >= phi {
+		t.Fatalf("r415 overhead (%.0f) should be below phi (%.0f)", r415, phi)
+	}
+	// Resched is the largest component on both platforms.
+	for si := 0; si < 2; si++ {
+		pts := fig.Series[si].Points
+		for i, p := range pts {
+			if i != 2 && p.Y >= pts[2].Y {
+				t.Fatalf("series %d: category %d (%.0f) >= resched (%.0f)", si, i, p.Y, pts[2].Y)
+			}
+		}
+	}
+}
+
+func TestFig6FeasibilityEdge(t *testing.T) {
+	fig := Fig6(quick())
+	bySeries := map[string][]float64{}
+	for _, s := range fig.Series {
+		for _, p := range s.Points {
+			bySeries[s.Label] = append(bySeries[s.Label], p.Y)
+		}
+	}
+	// 1000us and 100us must be fully feasible; 10us must miss at high slice.
+	for _, label := range []string{"1000 us", "100 us"} {
+		for _, rate := range bySeries[label] {
+			if rate != 0 {
+				t.Fatalf("%s period shows misses: %v", label, bySeries[label])
+			}
+		}
+	}
+	tens := bySeries["10 us"]
+	if tens[len(tens)-1] < 50 {
+		t.Fatalf("10us at 90%% slice should miss heavily, got %.1f%%", tens[len(tens)-1])
+	}
+}
+
+func TestFig7R415FinerEdge(t *testing.T) {
+	fig := Fig7(quick())
+	var fourUs []float64
+	for _, s := range fig.Series {
+		if s.Label == "4 us" {
+			for _, p := range s.Points {
+				fourUs = append(fourUs, p.Y)
+			}
+		}
+	}
+	if len(fourUs) == 0 {
+		t.Fatalf("no 4us series")
+	}
+	// 4us must be feasible at SOME low slice on the R415 (edge ~4us).
+	if fourUs[0] != 0 {
+		t.Fatalf("4us at lowest slice should be feasible on R415, got %.1f%%", fourUs[0])
+	}
+}
+
+func TestFig8MissTimesSmall(t *testing.T) {
+	fig := Fig8(quick())
+	for _, s := range fig.Series {
+		for _, p := range s.Points {
+			if p.Y > 40 { // microseconds
+				t.Fatalf("miss time %v us too large for %s", p.Y, s.Label)
+			}
+		}
+	}
+}
+
+func TestFig10LinearGrowth(t *testing.T) {
+	fig := Fig10(quick())
+	find := func(label string) []float64 {
+		for _, s := range fig.Series {
+			if s.Label == label {
+				ys := make([]float64, len(s.Points))
+				for i, p := range s.Points {
+					ys[i] = p.Y
+				}
+				return ys
+			}
+		}
+		t.Fatalf("missing series %q", label)
+		return nil
+	}
+	for _, label := range []string{"group join (avg)", "group change constraints (avg)"} {
+		ys := find(label)
+		if ys[len(ys)-1] <= ys[0] {
+			t.Fatalf("%s not growing: %v", label, ys)
+		}
+	}
+	local := find("local change constraints")
+	for _, v := range local {
+		if v != local[0] {
+			t.Fatalf("local change constraints not flat: %v", local)
+		}
+	}
+	// Group admission must cost more than local admission at every size.
+	gcc := find("group change constraints (avg)")
+	for i := range gcc {
+		if gcc[i] <= local[i] {
+			t.Fatalf("group admission (%.0f) not above local floor (%.0f)", gcc[i], local[i])
+		}
+	}
+}
+
+func TestFig11SpreadBounded(t *testing.T) {
+	fig := Fig11(quick())
+	for _, p := range fig.Series[0].Points {
+		if p.Y > 40_000 {
+			t.Fatalf("8-thread group spread %v cycles is implausibly large", p.Y)
+		}
+		if p.Y < 0 {
+			t.Fatalf("negative spread")
+		}
+	}
+}
+
+func TestFig12BiasGrowsWithSize(t *testing.T) {
+	fig := Fig12(quick())
+	means := make([]float64, len(fig.Series))
+	for i, s := range fig.Series {
+		var sum float64
+		for _, p := range s.Points {
+			sum += p.Y
+		}
+		means[i] = sum / float64(len(s.Points))
+	}
+	for i := 1; i < len(means); i++ {
+		if means[i] <= means[i-1] {
+			t.Fatalf("spread bias not growing with group size: %v", means)
+		}
+	}
+}
+
+func TestFig13Commensurate(t *testing.T) {
+	fig := Fig13(quick())
+	pts := fig.Series[0].Points
+	// Execution time should decrease with utilization: compare low vs high.
+	var lo, hi []float64
+	for _, p := range pts {
+		if p.X <= 0.31 {
+			lo = append(lo, p.Y)
+		}
+		if p.X >= 0.69 {
+			hi = append(hi, p.Y)
+		}
+	}
+	if len(lo) == 0 || len(hi) == 0 {
+		t.Fatalf("sweep missing low/high utilization points")
+	}
+	avg := func(v []float64) float64 {
+		var s float64
+		for _, x := range v {
+			s += x
+		}
+		return s / float64(len(v))
+	}
+	if avg(lo) < 1.8*avg(hi) {
+		t.Fatalf("throttling not commensurate: lo=%.4f hi=%.4f", avg(lo), avg(hi))
+	}
+}
+
+func TestFig16BarrierRemovalWins(t *testing.T) {
+	fig := Fig16(quick())
+	above, total := 0, 0
+	for _, p := range fig.Series[0].Points {
+		total++
+		if p.Y > p.X {
+			above++
+		}
+	}
+	if above*10 < total*8 {
+		t.Fatalf("only %d/%d fine-grain combos benefit from barrier removal", above, total)
+	}
+	joined := strings.Join(fig.Notes, "\n")
+	if !strings.Contains(joined, "lockstep holds") {
+		t.Fatalf("missing lockstep note: %s", joined)
+	}
+}
+
+func TestRegistryRunsAll(t *testing.T) {
+	for _, id := range IDs() {
+		if _, ok := Registry[id]; !ok {
+			t.Fatalf("id %q not in registry", id)
+		}
+	}
+	if _, err := Run("nope", quick()); err == nil {
+		t.Fatalf("unknown id accepted")
+	}
+}
+
+func TestExtCyclicFewerInvocations(t *testing.T) {
+	fig := ExtCyclic(quick())
+	pts := fig.Series[0].Points
+	if pts[1].Y >= pts[0].Y {
+		t.Fatalf("cyclic executive (%v/ms) not cheaper than EDF (%v/ms)", pts[1].Y, pts[0].Y)
+	}
+}
+
+func TestExtOMPTimedBeatsGangBarrier(t *testing.T) {
+	fig := ExtOMP(quick())
+	gangBar := fig.Series[1].Points
+	gangTimed := fig.Series[2].Points
+	// At the finest grain, removing barriers must speed up the gang.
+	if gangTimed[0].Y >= gangBar[0].Y {
+		t.Fatalf("timed (%v ms) not faster than gang+barrier (%v ms) at finest grain",
+			gangTimed[0].Y, gangBar[0].Y)
+	}
+	for i := range gangTimed {
+		if gangTimed[i].Y <= 0 || gangBar[i].Y <= 0 {
+			t.Fatalf("a configuration stalled")
+		}
+	}
+}
+
+func TestAblationEagerShape(t *testing.T) {
+	fig := AblationEagerVsLazy(quick())
+	eager := fig.Series[0].Points
+	lazy := fig.Series[1].Points
+	// No SMIs: both perfect.
+	if eager[0].Y != 0 || lazy[0].Y != 0 {
+		t.Fatalf("misses without SMIs: eager=%v lazy=%v", eager[0].Y, lazy[0].Y)
+	}
+	// At the highest SMI rate lazy must miss clearly more.
+	le, ll := eager[len(eager)-1].Y, lazy[len(lazy)-1].Y
+	if ll < 2 {
+		t.Fatalf("lazy EDF barely misses (%v%%) at the highest SMI rate", ll)
+	}
+	if ll < 3*le+1 {
+		t.Fatalf("eager advantage not visible: eager=%v lazy=%v", le, ll)
+	}
+}
+
+func TestAblationPhaseShape(t *testing.T) {
+	fig := AblationPhaseCorrection(quick())
+	raw := fig.Series[0].Points
+	cor := fig.Series[1].Points
+	// Uncorrected bias grows with group size.
+	if raw[len(raw)-1].Y <= raw[0].Y {
+		t.Fatalf("uncorrected bias not growing: %v", raw)
+	}
+	// Corrected spread grows much more slowly than uncorrected.
+	growRaw := raw[len(raw)-1].Y - raw[0].Y
+	growCor := cor[len(cor)-1].Y - cor[0].Y
+	if growCor > growRaw/2 {
+		t.Fatalf("phase correction not flattening growth: raw +%v, corrected +%v", growRaw, growCor)
+	}
+}
+
+func TestAblationSteeringShape(t *testing.T) {
+	fig := AblationInterruptSteering(quick())
+	unfiltered := fig.Series[0].Points
+	filtered := fig.Series[1].Points
+	free := fig.Series[2].Points
+	last := len(unfiltered) - 1
+	if unfiltered[last].Y < 20 {
+		t.Fatalf("unfiltered RT thread should miss heavily: %v%%", unfiltered[last].Y)
+	}
+	if filtered[last].Y != 0 || free[last].Y != 0 {
+		t.Fatalf("steering mechanisms leaked misses: filtered=%v free=%v",
+			filtered[last].Y, free[last].Y)
+	}
+}
+
+func TestAblationStealShape(t *testing.T) {
+	fig := AblationStealPolicy(quick())
+	pts := fig.Series[0].Points
+	p2c, off := pts[0].Y, pts[2].Y
+	if off < 2*p2c {
+		t.Fatalf("stealing shows no makespan benefit: p2c=%v off=%v", p2c, off)
+	}
+}
+
+func TestAblationAdmitSimShape(t *testing.T) {
+	fig := AblationAdmitSim(quick())
+	bound := fig.Series[0].Points
+	sim := fig.Series[1].Points
+	boundMissing, simMissing, simAdmitted := 0, 0, 0
+	for i := range bound {
+		if bound[i].Y > 0 {
+			boundMissing++
+		}
+		if sim[i].Y > 0 {
+			simMissing++
+		}
+		if sim[i].Y >= 0 {
+			simAdmitted++
+		}
+	}
+	if boundMissing == 0 {
+		t.Fatalf("the classic bound's optimism did not manifest")
+	}
+	if simMissing != 0 {
+		t.Fatalf("the simulation admitted %d missing configurations", simMissing)
+	}
+	if simAdmitted == 0 {
+		t.Fatalf("the simulation rejected everything — vacuous safety")
+	}
+}
+
+func TestExtIsolationHolds(t *testing.T) {
+	fig := ExtIsolation(quick())
+	joined := strings.Join(fig.Notes, "\n")
+	if !strings.Contains(joined, "ISOLATION HOLDS") {
+		t.Fatalf("isolation violated:\n%s", joined)
+	}
+	// Every tenant made progress.
+	for _, p := range fig.Series[0].Points {
+		if p.Y <= 0 {
+			t.Fatalf("tenant %v made no progress", p.X)
+		}
+	}
+}

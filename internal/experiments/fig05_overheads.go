@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"hrtsched/internal/core"
+	"hrtsched/internal/stats"
+)
+
+// Fig5 reproduces Figure 5: the breakdown of local scheduler overhead into
+// IRQ, Other, Resched and Switch, in cycles, on the Phi (a) and the R415
+// (b). About half the ~6,000-cycle Phi overhead is the scheduling pass.
+func Fig5(o Options) *stats.Figure {
+	runNs := int64(100_000_000)
+	if o.Scale == Quick {
+		runNs = 20_000_000
+	}
+	fig := stats.NewFigure("fig5",
+		"Breakdown of local scheduler overheads",
+		"category (0=IRQ 1=Other 2=Resched 3=Switch)", "overhead in cycle count")
+
+	measure := func(k *core.Kernel, label string) {
+		k.Spawn("rt", 0, periodicSpin(core.PeriodicConstraints(0, 100_000, 50_000), 20_000))
+		k.RunNs(runNs)
+		st := &k.Locals[0].Stats
+		s := fig.AddSeries(label)
+		s.AddErr(0, st.IRQCycles.Mean(), st.IRQCycles.Std())
+		s.AddErr(1, st.OtherCycles.Mean(), st.OtherCycles.Std())
+		s.AddErr(2, st.ReschedCycles.Mean(), st.ReschedCycles.Std())
+		s.AddErr(3, st.SwitchCycles.Mean(), st.SwitchCycles.Std())
+		total := st.IRQCycles.Mean() + st.OtherCycles.Mean() +
+			st.ReschedCycles.Mean() + st.SwitchCycles.Mean()
+		fig.Note("%s: total software overhead %.0f cycles over %d invocations (paper Phi: ~6000)",
+			label, total, st.Invocations)
+	}
+
+	measure(bootPhi(1, o.Seed, nil), "phi")
+	measure(bootR415(o.Seed+1, nil), "r415")
+	return fig
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hrtsched/internal/stats"
+)
+
+// missSweep is the shared driver for Figures 6-9: a grid of (period, slice%)
+// combinations run with admission control disabled so infeasible
+// constraints are observable, one periodic thread per single-CPU kernel.
+type missSweep struct {
+	phi       bool
+	periodsUs []int64
+	slicePcts []int64
+	runNs     int64
+	results   []missResult
+}
+
+func newMissSweep(phi bool, o Options) *missSweep {
+	s := &missSweep{phi: phi}
+	if phi {
+		s.periodsUs = []int64{10, 20, 30, 40, 50, 100, 1000}
+	} else {
+		s.periodsUs = []int64{4, 10, 20, 30, 40, 50, 100, 1000}
+	}
+	switch o.Scale {
+	case Full:
+		for p := int64(10); p <= 90; p += 5 {
+			s.slicePcts = append(s.slicePcts, p)
+		}
+		s.runNs = 120_000_000
+	default:
+		s.slicePcts = []int64{10, 30, 50, 70, 90}
+		s.runNs = 30_000_000
+	}
+	return s
+}
+
+func (s *missSweep) run(o Options) {
+	n := len(s.periodsUs) * len(s.slicePcts)
+	s.results = make([]missResult, n)
+	parallelMap(n, o.workers(), func(i int) {
+		pi, si := i/len(s.slicePcts), i%len(s.slicePcts)
+		periodNs := s.periodsUs[pi] * 1000
+		sliceNs := periodNs * s.slicePcts[si] / 100
+		s.results[i] = missRun(s.phi, o.comboSeed(i), periodNs, sliceNs, s.runNs)
+	})
+}
+
+func (s *missSweep) at(pi, si int) missResult {
+	return s.results[pi*len(s.slicePcts)+si]
+}
+
+// Fig6 reproduces Figure 6: deadline miss rate on the Phi as a function of
+// period and slice, with admission control off. Expected shape: a sharp
+// feasibility edge — zero misses once period and slice are feasible given
+// the ~6,000-cycle scheduler overhead, with the edge at a period of about
+// 10 us.
+func Fig6(o Options) *stats.Figure {
+	return missRateFigure("fig6", true, o)
+}
+
+// Fig7 reproduces Figure 7: the same on the faster-per-core R415, where
+// the edge of feasibility drops to about 4 us.
+func Fig7(o Options) *stats.Figure {
+	return missRateFigure("fig7", false, o)
+}
+
+func missRateFigure(id string, phi bool, o Options) *stats.Figure {
+	name := "Phi"
+	if !phi {
+		name = "R415"
+	}
+	s := newMissSweep(phi, o)
+	s.run(o)
+	fig := stats.NewFigure(id,
+		fmt.Sprintf("Local scheduler deadline miss rate on %s vs period and slice", name),
+		"slice (% of period)", "miss rate (%)")
+	for pi, pUs := range s.periodsUs {
+		ser := fig.AddSeries(fmt.Sprintf("%d us", pUs))
+		for si, pct := range s.slicePcts {
+			r := s.at(pi, si)
+			rate := 0.0
+			if r.Arrivals > 0 {
+				rate = 100 * float64(r.Misses) / float64(r.Arrivals)
+			}
+			ser.Add(float64(pct), rate)
+		}
+	}
+	edge := feasibilityEdgeUs(s)
+	fig.Note("edge of feasibility: smallest period with a zero-miss slice is %d us (paper: ~%s)",
+		edge, map[bool]string{true: "10 us", false: "4 us"}[phi])
+	return fig
+}
+
+// feasibilityEdgeUs finds the smallest period that achieved zero misses at
+// any plotted slice.
+func feasibilityEdgeUs(s *missSweep) int64 {
+	best := int64(0)
+	for pi, pUs := range s.periodsUs {
+		ok := false
+		for si := range s.slicePcts {
+			r := s.at(pi, si)
+			if r.Arrivals > 0 && r.Misses == 0 {
+				ok = true
+				break
+			}
+		}
+		if ok && (best == 0 || pUs < best) {
+			best = pUs
+		}
+	}
+	return best
+}
+
+// Fig8 reproduces Figure 8: average and standard deviation of miss times
+// on the Phi. For feasible constraints the miss time is zero; for
+// infeasible ones the deadlines are missed by only small amounts (a few
+// microseconds).
+func Fig8(o Options) *stats.Figure {
+	return missTimeFigure("fig8", true, o)
+}
+
+// Fig9 reproduces Figure 9: miss times on the R415.
+func Fig9(o Options) *stats.Figure {
+	return missTimeFigure("fig9", false, o)
+}
+
+func missTimeFigure(id string, phi bool, o Options) *stats.Figure {
+	name := "Phi"
+	if !phi {
+		name = "R415"
+	}
+	s := newMissSweep(phi, o)
+	s.run(o)
+	fig := stats.NewFigure(id,
+		fmt.Sprintf("Average and std of miss times for schedules on %s", name),
+		"slice (% of period)", "miss time (us)")
+	var worst float64
+	for pi, pUs := range s.periodsUs {
+		ser := fig.AddSeries(fmt.Sprintf("%d us", pUs))
+		for si, pct := range s.slicePcts {
+			r := s.at(pi, si)
+			ser.AddErr(float64(pct), r.MissNsMean/1000, r.MissNsStd/1000)
+			if r.MissNsMean/1000 > worst {
+				worst = r.MissNsMean / 1000
+			}
+		}
+	}
+	fig.Note("largest mean miss time %.1f us: infeasible constraints miss by small amounts only", worst)
+	return fig
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hrtsched/internal/core"
+	"hrtsched/internal/group"
+	"hrtsched/internal/stats"
+)
+
+// groupAdmitRun runs one group admission of n threads on a full-size Phi
+// and returns the group's per-step metrics.
+func groupAdmitRun(n int, seed uint64, correct bool, cons core.Constraints) (*group.Group, *core.Kernel, []*core.Thread) {
+	ncpus := n + 1 // CPU 0 stays the interrupt-laden partition
+	k := bootPhi(ncpus, seed, nil)
+	g := group.New(k, "bench", n, group.DefaultCosts())
+	flow := g.JoinSteps(g.ChangeConstraintsSteps(cons,
+		group.AdmitOptions{PhaseCorrection: correct}, nil))
+	body := spinProgram(20_000)
+	ths := make([]*core.Thread, n)
+	for i := 0; i < n; i++ {
+		ths[i] = k.Spawn(fmt.Sprintf("g%d", i), 1+i, core.FlowThen(flow, body))
+	}
+	k.RunUntil(func() bool {
+		s := g.Metrics["barrier"]
+		return s != nil && s.N() == int64(n)
+	}, 1<<26)
+	return g, k, ths
+}
+
+// Fig10 reproduces Figure 10: absolute group admission control costs on
+// the Phi as a function of group size — (a) group join, (b) leader
+// election, (c) distributed admission control vs the flat local admission,
+// (d) final barrier / phase correction. All grow linearly with the group
+// (simple coordination schemes); the total at 255 threads is on the order
+// of 10^6-10^7 cycles, dominated by admission and the final barrier.
+func Fig10(o Options) *stats.Figure {
+	sizes := []int{2, 4, 8, 16, 32, 64, 128, 192, 255}
+	if o.Scale == Quick {
+		sizes = []int{2, 4, 8, 16, 32}
+	}
+	cons := core.PeriodicConstraints(0, 1_000_000, 200_000)
+
+	type row struct {
+		metrics map[string]*stats.Summary
+	}
+	rows := make([]row, len(sizes))
+	parallelMap(len(sizes), o.workers(), func(i int) {
+		g, _, _ := groupAdmitRun(sizes[i], o.comboSeed(i), false, cons)
+		rows[i] = row{metrics: g.Metrics}
+	})
+
+	fig := stats.NewFigure("fig10",
+		"Absolute group admission control costs on Phi vs number of threads",
+		"number of threads", "overhead in cycle count")
+	steps := []struct{ key, label string }{
+		{"join", "group join"},
+		{"election", "leader election"},
+		{"changecons", "group change constraints"},
+		{"barrier", "barrier/phase correction"},
+	}
+	for _, st := range steps {
+		avg := fig.AddSeries(st.label + " (avg)")
+		min := fig.AddSeries(st.label + " (min)")
+		max := fig.AddSeries(st.label + " (max)")
+		for i, n := range sizes {
+			m := rows[i].metrics[st.key]
+			if m == nil {
+				continue
+			}
+			avg.Add(float64(n), m.Mean())
+			min.Add(float64(n), m.Min())
+			max.Add(float64(n), m.Max())
+		}
+	}
+	// The hard floor: local change constraints is constant in group size.
+	local := fig.AddSeries("local change constraints")
+	admitCost := float64(bootCostProbe())
+	for _, n := range sizes {
+		local.Add(float64(n), admitCost)
+	}
+	if m := rows[len(rows)-1].metrics["changecons"]; m != nil {
+		bar := rows[len(rows)-1].metrics["barrier"]
+		total := m.Mean()
+		if bar != nil {
+			total += bar.Mean()
+		}
+		fig.Note("at %d threads: admission+barrier ~ %.2g cycles (paper @255: ~8e6 cycles / 6.2 ms)",
+			sizes[len(sizes)-1], total)
+	}
+	fig.Note("per-step cost grows linearly with group size (simple coordination schemes)")
+	return fig
+}
+
+// bootCostProbe returns the platform's local admission cost in cycles.
+func bootCostProbe() int64 {
+	k := bootPhi(1, 1, nil)
+	return k.AdmitCostCycles
+}

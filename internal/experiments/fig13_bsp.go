@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hrtsched/internal/bsp"
+	"hrtsched/internal/core"
+	"hrtsched/internal/stats"
+)
+
+// bspSweep is the shared driver for Figures 13-16: the BSP microbenchmark
+// on the Phi under a grid of (period, slice) combinations.
+type bspSweep struct {
+	p          int // threads (paper: 255, one per interrupt-free CPU)
+	iterations int
+	coarse     bool
+	periodsUs  []int64
+	slicePcts  []int64
+}
+
+func newBSPSweep(coarse bool, o Options) *bspSweep {
+	s := &bspSweep{coarse: coarse}
+	switch o.Scale {
+	case Full:
+		s.p = 255
+		s.iterations = 40
+		s.periodsUs = []int64{100, 200, 400, 600, 800, 1000, 1500, 2000, 3000, 4000}
+		s.slicePcts = []int64{10, 20, 30, 40, 50, 60, 70, 80, 90}
+	default:
+		s.p = 16
+		s.iterations = 10
+		s.periodsUs = []int64{200, 500, 1000}
+		s.slicePcts = []int64{10, 30, 50, 70, 90}
+	}
+	return s
+}
+
+func (s *bspSweep) params(useBarrier bool, cons core.Constraints) bsp.Params {
+	var p bsp.Params
+	if s.coarse {
+		p = bsp.CoarseGrain(s.p, s.iterations)
+	} else {
+		p = bsp.FineGrain(s.p, s.iterations)
+	}
+	p.UseBarrier = useBarrier
+	p.Constraints = cons
+	p.PhaseCorrection = true
+	return p
+}
+
+// runOne executes the benchmark on a fresh kernel.
+func (s *bspSweep) runOne(seed uint64, useBarrier bool, cons core.Constraints) bsp.Result {
+	k := bootPhi(s.p+1, seed, nil)
+	return bsp.New(k, s.params(useBarrier, cons)).Run(1 << 30)
+}
+
+// Fig13 reproduces Figure 13: resource control with commensurate
+// performance at the coarsest granularity. Every (period, slice)
+// combination is plotted as (utilization, execution time): regardless of
+// the period chosen, benchmark execution rate tracks the time resources
+// given — T ~ work/utilization.
+func Fig13(o Options) *stats.Figure {
+	return throttleFigure("fig13", true, o)
+}
+
+// Fig14 reproduces Figure 14: the same at the finest granularity, where
+// more variation appears across combinations with equal utilization
+// because task execution time approaches the timing constraints.
+func Fig14(o Options) *stats.Figure {
+	return throttleFigure("fig14", false, o)
+}
+
+func throttleFigure(id string, coarse bool, o Options) *stats.Figure {
+	s := newBSPSweep(coarse, o)
+	gran := "coarsest"
+	if !coarse {
+		gran = "finest"
+	}
+	fig := stats.NewFigure(id,
+		fmt.Sprintf("Resource control with commensurate performance, %s granularity, %d CPUs",
+			gran, s.p),
+		"utilization (slice/period)", "execution time (s)")
+
+	type combo struct{ periodNs, sliceNs int64 }
+	var combos []combo
+	for _, pUs := range s.periodsUs {
+		for _, pct := range s.slicePcts {
+			pNs := pUs * 1000
+			combos = append(combos, combo{pNs, pNs * pct / 100})
+		}
+	}
+	times := make([]bsp.Result, len(combos))
+	parallelMap(len(combos), o.workers(), func(i int) {
+		cons := core.PeriodicConstraints(0, combos[i].periodNs, combos[i].sliceNs)
+		times[i] = s.runOne(o.comboSeed(i), true, cons)
+	})
+
+	ser := fig.AddSeries("period x slice combinations")
+	for i, c := range combos {
+		u := float64(c.sliceNs) / float64(c.periodNs)
+		ser.Add(u, float64(times[i].ExecNs)/1e9)
+	}
+	// The aperiodic (100% utilization) reference point.
+	aper := s.runOne(o.comboSeed(len(combos)), true, core.AperiodicConstraints(50))
+	ser.Add(1.0, float64(aper.ExecNs)/1e9)
+
+	// Commensurability check: T(u) * u should be roughly flat.
+	var norm stats.Summary
+	for i, c := range combos {
+		u := float64(c.sliceNs) / float64(c.periodNs)
+		norm.Add(float64(times[i].ExecNs) / 1e9 * u)
+	}
+	fig.Note("T(u)*u: mean %.4fs, std %.4fs — execution rate tracks allocated time (flat = commensurate)",
+		norm.Mean(), norm.Std())
+	fig.Note("aperiodic 100%% utilization reference: %.4fs", float64(aper.ExecNs)/1e9)
+	var incomplete int
+	for _, r := range times {
+		if r.Iterations != int64(s.p*s.iterations) {
+			incomplete++
+		}
+	}
+	if incomplete > 0 {
+		fig.Note("WARNING: %d combinations did not complete", incomplete)
+	}
+	return fig
+}

@@ -1,0 +1,156 @@
+package group
+
+import (
+	"fmt"
+
+	"hrtsched/internal/core"
+	"hrtsched/internal/sim"
+)
+
+// AdmitOptions tunes group admission control.
+type AdmitOptions struct {
+	// PhaseCorrection applies the Section 4.4 correction: the i-th thread
+	// released from the final barrier gets phase phi + (n-i)*delta so every
+	// member's schedule aligns to the last release, cancelling the barrier
+	// departure stagger. Figures 11 and 12 run with this disabled to expose
+	// the uncorrected bias.
+	PhaseCorrection bool
+}
+
+// ChangeConstraintsSteps implements Algorithm 1: the group-wide equivalent
+// of nk_sched_thread_change_constraints. Every member of the group runs
+// this flow; it either succeeds for all members (each ends up admitted with
+// identical constraints and a corrected phase) or fails for all (each is
+// readmitted under default aperiodic constraints).
+//
+// After the flow completes, AdmitError(t) reports the thread's verdict and
+// Failed() the group outcome.
+//
+// Build the step chain ONCE per admission round and share it across all
+// member programs (wrap it per-thread with core.FlowThen): the chain holds
+// the round's shared barrier, and all per-thread state lives in the thread
+// context. A chain built per member would give each member a private
+// barrier that never fills.
+func (g *Group) ChangeConstraintsSteps(cons core.Constraints, opts AdmitOptions, next core.Step) core.Step {
+	bar := g.NewBarrier()
+	round := g.barSeq
+	verdictPhase := fmt.Sprintf("verdict-%d", round)
+
+	leader := func(tc *core.ThreadCtx) bool { return g.IsLeader(tc.T) }
+
+	return core.Chain(
+		// Leader election.
+		func(n core.Step) core.Step { return g.ElectSteps(n) },
+		func(n core.Step) core.Step { return core.DoCall(g.markStart("changecons"), n) },
+
+		// Leader: lock the group and attach the constraints.
+		func(n core.Step) core.Step {
+			return core.If(leader,
+				core.DoCompute(g.c.ApplyCycles, core.DoCall(func(tc *core.ThreadCtx) {
+					g.locked = true
+					g.attached = cons
+					g.hasAttached = true
+					g.admitFailed.Store(false)
+				}, n)),
+				n)
+		},
+
+		// Group barrier: everyone sees the attached constraints.
+		func(n core.Step) core.Step { return bar.Steps(n) },
+
+		// Local admission control, run in the context of each thread on its
+		// own CPU — simultaneously across the group (Section 3.2).
+		func(n core.Step) core.Step {
+			return core.DoCompute(g.k.AdmitCostCycles, core.DoCall(func(tc *core.ThreadCtx) {
+				ms := g.state(tc.T)
+				ms.admitErr = g.k.Locals[tc.CPU].AdmitCheck(tc.T, g.attached)
+			}, n))
+		},
+
+		// Group reduction over errors: a serialized merge under the group
+		// lock (the linear growth of Figure 10(c)).
+		func(n core.Step) core.Step {
+			return core.DoCall(func(tc *core.ThreadCtx) {
+				g.state(tc.T).ticket = g.takeTicket(verdictPhase)
+			}, n)
+		},
+		func(n core.Step) core.Step {
+			return core.DoComputeFn(func(tc *core.ThreadCtx) int64 {
+				return 1 + g.state(tc.T).ticket*g.c.VerdictPerTicket
+			}, n)
+		},
+		func(n core.Step) core.Step {
+			return core.DoCall(func(tc *core.ThreadCtx) {
+				if g.state(tc.T).admitErr != nil {
+					g.admitFailed.Store(true)
+				}
+			}, n)
+		},
+		func(n core.Step) core.Step { return bar.Steps(n) },
+		func(n core.Step) core.Step { return core.DoCall(g.markEnd("changecons"), n) },
+
+		// Final barrier: departure order determines the phase correction.
+		func(n core.Step) core.Step { return core.DoCall(g.markStart("barrier"), n) },
+		func(n core.Step) core.Step { return bar.Steps(n) },
+		func(n core.Step) core.Step { return core.DoCall(g.markEnd("barrier"), n) },
+
+		// Outcome.
+		func(n core.Step) core.Step {
+			return core.If(func(tc *core.ThreadCtx) bool { return g.admitFailed.Load() },
+				g.failTail(bar, n),
+				g.successTail(cons, opts, n))
+		},
+		func(core.Step) core.Step { return next },
+	)
+}
+
+// failTail readmits every member under default aperiodic constraints (which
+// cannot fail), barriers, and has the leader unlock the group.
+func (g *Group) failTail(bar *Barrier, next core.Step) core.Step {
+	return core.Chain(
+		func(n core.Step) core.Step {
+			return core.DoCompute(g.c.ApplyCycles, core.DoCall(func(tc *core.ThreadCtx) {
+				fallback := core.AperiodicConstraints(tc.T.Constraints().Priority)
+				_ = g.k.Locals[tc.CPU].AdmitCurrent(tc.T, fallback)
+			}, n))
+		},
+		func(n core.Step) core.Step { return bar.Steps(n) },
+		func(n core.Step) core.Step {
+			return core.If(func(tc *core.ThreadCtx) bool { return g.IsLeader(tc.T) },
+				core.DoCall(func(*core.ThreadCtx) { g.locked = false }, n),
+				n)
+		},
+		func(core.Step) core.Step { return next },
+	)
+}
+
+// successTail applies the (optionally phase-corrected) constraints and
+// unlocks.
+func (g *Group) successTail(cons core.Constraints, opts AdmitOptions, next core.Step) core.Step {
+	return core.Chain(
+		func(n core.Step) core.Step {
+			return core.If(func(tc *core.ThreadCtx) bool { return g.IsLeader(tc.T) },
+				core.DoCall(func(*core.ThreadCtx) { g.locked = false }, n),
+				n)
+		},
+		func(n core.Step) core.Step {
+			return core.DoCompute(g.c.ApplyCycles, core.DoCall(func(tc *core.ThreadCtx) {
+				ms := g.state(tc.T)
+				final := cons
+				if opts.PhaseCorrection {
+					n := g.expect
+					i := ms.releaseOrder // 0-based: 0 departed first
+					corr := int64(n-1-i) * g.deltaEstCycles
+					if corr > 0 {
+						final.PhaseNs += g.k.M.Spec.CyclesToNanos(sim.Time(corr))
+					}
+				}
+				ms.admitErr = g.k.Locals[tc.CPU].AdmitCurrent(tc.T, final)
+			}, n))
+		},
+		func(core.Step) core.Step { return next },
+	)
+}
+
+// Failed reports whether the most recent group admission failed.
+func (g *Group) Failed() bool { return g.admitFailed.Load() }

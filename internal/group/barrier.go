@@ -1,0 +1,165 @@
+package group
+
+import (
+	"hrtsched/internal/core"
+	"hrtsched/internal/sim"
+)
+
+// Barrier is a reusable sense-reversing group barrier. Arrival costs grow
+// linearly with group size (the simple centralized scheme the paper uses),
+// and threads are not released at identical times: the releasing thread
+// wakes the waiters one by one, so the i-th released thread departs about
+// i*delta cycles after the first — the measured stagger that phase
+// correction compensates (Section 4.4).
+type Barrier struct {
+	g       *Group
+	n       int
+	arrived int
+	gen     uint64
+
+	waiters []*core.Thread
+
+	// Departure bookkeeping of the most recent generation.
+	departSeen    int
+	firstDepartNs int64
+	lastDepartNs  int64
+	departNs      []int64 // indexed by release order
+	releases      int64
+}
+
+// NewBarrier creates a barrier for the group's expected size.
+func (g *Group) NewBarrier() *Barrier {
+	g.barSeq++
+	return &Barrier{g: g, n: g.expect}
+}
+
+// Generation returns how many times the barrier has completed.
+func (b *Barrier) Generation() uint64 { return b.gen }
+
+// Steps returns the flow for one barrier episode: arrival cost, then block
+// until released. Every participant — including the last arriver, which
+// performs the release loop before parking itself at the front of it —
+// departs through the same wake path (kick IPI plus a scheduler
+// invocation), so departures are staggered purely by the serial release
+// delay. After the step completes, the thread's memberState holds its
+// release order and departure time.
+func (b *Barrier) Steps(next core.Step) core.Step {
+	arriveCost := b.g.c.BarrierArriveBase + int64(b.n)*b.g.c.BarrierArrivePer
+	return core.DoCompute(arriveCost,
+		core.DoCall(b.arrive,
+			core.Do(core.Block{},
+				core.DoCall(b.noteDeparture, next))))
+}
+
+// arrive registers the thread; the last arriver performs the release.
+func (b *Barrier) arrive(tc *core.ThreadCtx) {
+	g := b.g
+	ms := g.state(tc.T)
+	ms.lastBarrier = b
+	ms.waiting = true
+	b.arrived++
+	if b.arrived < b.n {
+		b.waiters = append(b.waiters, tc.T)
+		return
+	}
+	// Last arriver: release everyone, itself included (order 0, departing
+	// first), with each successive departure staggered by the platform's
+	// serial release delay (with jitter).
+	b.arrived = 0
+	b.gen++
+	all := append([]*core.Thread{tc.T}, b.waiters...)
+	b.waiters = nil
+	b.departSeen = 0
+	b.firstDepartNs = 0
+	b.lastDepartNs = 0
+	if cap(b.departNs) < b.n {
+		b.departNs = make([]int64, b.n)
+	}
+	b.departNs = b.departNs[:b.n]
+	for i := range b.departNs {
+		b.departNs[i] = 0
+	}
+
+	delta := g.k.M.Spec.ReleaseStaggerCycles
+	var offset int64
+	for i, w := range all {
+		wms := g.state(w)
+		wms.releaseOrder = i
+		wms.waiting = false
+		w := w
+		d := offset
+		if d < 1 {
+			d = 1
+		}
+		g.k.Eng.After(sim.Duration(d), sim.Soft, func(sim.Time) {
+			g.k.Wake(w)
+		})
+		step := delta
+		if delta > 4 {
+			step += g.rng.Range(-delta/4, delta/4)
+		}
+		offset += step
+	}
+	b.releases++
+}
+
+// noteDeparture records the thread's actual post-release departure time;
+// the spread of these measured departures is what refines the group's
+// stagger estimate delta for phase correction (Section 4.4: "the measured
+// per-thread delay in departing the barrier").
+func (b *Barrier) noteDeparture(tc *core.ThreadCtx) {
+	g := b.g
+	ms := g.state(tc.T)
+	ms.releaseNs = tc.NowNs
+	if b.departSeen == 0 || tc.NowNs < b.firstDepartNs {
+		b.firstDepartNs = tc.NowNs
+	}
+	if tc.NowNs > b.lastDepartNs {
+		b.lastDepartNs = tc.NowNs
+	}
+	if ms.releaseOrder < len(b.departNs) {
+		b.departNs[ms.releaseOrder] = tc.NowNs
+	}
+	b.departSeen++
+	if b.departSeen == b.n && b.n > 1 {
+		// Least-squares slope of departure time against release order: a
+		// far lower-variance delta estimate than (last-first)/(n-1), whose
+		// endpoint jitter systematically overshoots and makes the phase
+		// correction overcorrect.
+		var sx, sy, sxx, sxy float64
+		n := 0
+		for i, t := range b.departNs {
+			if t == 0 {
+				continue
+			}
+			x := float64(i)
+			y := float64(t)
+			sx += x
+			sy += y
+			sxx += x * x
+			sxy += x * y
+			n++
+		}
+		if n >= 2 {
+			den := float64(n)*sxx - sx*sx
+			if den > 0 {
+				slopeNs := (float64(n)*sxy - sx*sy) / den
+				est := int64(sim.NanosToCycles(int64(slopeNs), g.k.M.Spec.FreqHz))
+				if est < 1 {
+					est = 1
+				}
+				g.deltaEstCycles = est
+			}
+		}
+	}
+}
+
+// ReleaseOrder returns the thread's departure rank in the most recent
+// barrier episode it participated in (0 = first out).
+func (g *Group) ReleaseOrder(t *core.Thread) int {
+	return g.state(t).releaseOrder
+}
+
+// SpreadNs returns the first-to-last measured departure spread of the
+// barrier's most recent fully departed episode in nanoseconds.
+func (b *Barrier) SpreadNs() int64 { return b.lastDepartNs - b.firstDepartNs }

@@ -1,0 +1,122 @@
+package group
+
+import (
+	"hrtsched/internal/core"
+)
+
+// The group programming interface of Section 4.2 includes, besides join and
+// leave, "distributed election, barrier, reduction, and broadcast, all
+// scoped to the group". Election and barrier live in group.go/barrier.go;
+// this file provides the generic reduction and broadcast collectives that
+// group admission control's error reduction is a special case of.
+
+// ReduceOp combines two contribution values.
+type ReduceOp func(a, b any) any
+
+// Reduction is a reusable all-reduce scoped to the group: every member
+// contributes a value, the values are combined with a serialized merge
+// under the group lock (linear cost, like all of the paper's simple
+// coordination schemes), and after the closing barrier every member
+// observes the combined result.
+type Reduction struct {
+	g   *Group
+	op  ReduceOp
+	bar *Barrier
+
+	round       int
+	pending     int
+	contributed int
+	acc         any
+	result      any
+	hasAcc      bool
+}
+
+// NewReduction creates a reduction over the group using op.
+func (g *Group) NewReduction(op ReduceOp) *Reduction {
+	return &Reduction{g: g, op: op, bar: g.NewBarrier()}
+}
+
+// Result returns the combined value of the most recently completed round.
+func (r *Reduction) Result() any { return r.result }
+
+// Steps returns the flow for one reduction round. contribute is called in
+// thread context to produce the member's value; after the flow completes,
+// Result() holds the combined value and every member has passed the
+// closing barrier.
+func (r *Reduction) Steps(contribute func(tc *core.ThreadCtx) any, next core.Step) core.Step {
+	return core.Chain(
+		// Take a merge ticket: merges serialize under the group lock.
+		func(n core.Step) core.Step {
+			return core.DoCall(func(tc *core.ThreadCtx) {
+				ms := r.g.state(tc.T)
+				ms.ticket = int64(r.pending)
+				r.pending++
+			}, n)
+		},
+		func(n core.Step) core.Step {
+			return core.DoComputeFn(func(tc *core.ThreadCtx) int64 {
+				return 1 + r.g.state(tc.T).ticket*r.g.c.VerdictPerTicket
+			}, n)
+		},
+		func(n core.Step) core.Step {
+			return core.DoCall(func(tc *core.ThreadCtx) {
+				v := contribute(tc)
+				if !r.hasAcc {
+					r.acc = v
+					r.hasAcc = true
+				} else {
+					r.acc = r.op(r.acc, v)
+				}
+				r.contributed++
+				// The final contributor publishes and resets — before the
+				// closing barrier, so a fast member's next-round
+				// contribution can never race with publication.
+				if r.contributed == r.g.expect {
+					r.result = r.acc
+					r.hasAcc = false
+					r.contributed = 0
+					r.pending = 0
+					r.round++
+				}
+			}, n)
+		},
+		func(n core.Step) core.Step { return r.bar.Steps(n) },
+		func(core.Step) core.Step { return next },
+	)
+}
+
+// Broadcast is a one-to-all value distribution scoped to the group: one
+// designated member (usually the leader) publishes a value; after the
+// closing barrier every member can read it.
+type Broadcast struct {
+	g     *Group
+	bar   *Barrier
+	value any
+	set   bool
+}
+
+// NewBroadcast creates a broadcast channel scoped to the group.
+func (g *Group) NewBroadcast() *Broadcast {
+	return &Broadcast{g: g, bar: g.NewBarrier()}
+}
+
+// Value returns the most recently broadcast value.
+func (b *Broadcast) Value() any { return b.value }
+
+// Steps returns the flow for one broadcast round: members for whom isRoot
+// returns true publish produce(tc); everyone then barriers, after which
+// Value() is visible to all.
+func (b *Broadcast) Steps(isRoot func(tc *core.ThreadCtx) bool, produce func(tc *core.ThreadCtx) any, next core.Step) core.Step {
+	return core.Chain(
+		func(n core.Step) core.Step {
+			return core.If(isRoot,
+				core.DoCompute(b.g.c.ApplyCycles, core.DoCall(func(tc *core.ThreadCtx) {
+					b.value = produce(tc)
+					b.set = true
+				}, n)),
+				n)
+		},
+		func(n core.Step) core.Step { return b.bar.Steps(n) },
+		func(core.Step) core.Step { return next },
+	)
+}

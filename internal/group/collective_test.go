@@ -1,0 +1,122 @@
+package group
+
+import (
+	"testing"
+
+	"hrtsched/internal/core"
+)
+
+func TestReductionSumsAllContributions(t *testing.T) {
+	const n = 8
+	k := bootKernel(t, n, 91, nil)
+	g := New(k, "red", n, DefaultCosts())
+	red := g.NewReduction(func(a, b any) any { return a.(int) + b.(int) })
+	var results [n]int
+	done := 0
+	flow := g.JoinSteps(red.Steps(
+		func(tc *core.ThreadCtx) any { return tc.CPU + 1 }, // ranks 1..n
+		core.DoCall(func(tc *core.ThreadCtx) {
+			results[tc.CPU] = red.Result().(int)
+			done++
+		}, nil)))
+	for i := 0; i < n; i++ {
+		k.Spawn("r", i, core.FlowProgram(flow))
+	}
+	k.RunUntil(func() bool { return done == n }, 1<<24)
+	want := n * (n + 1) / 2
+	for i, r := range results {
+		if r != want {
+			t.Fatalf("member %d saw %d, want %d", i, r, want)
+		}
+	}
+}
+
+func TestReductionMultipleRounds(t *testing.T) {
+	const n = 4
+	k := bootKernel(t, n, 92, nil)
+	g := New(k, "red2", n, DefaultCosts())
+	red := g.NewReduction(func(a, b any) any {
+		if a.(int) > b.(int) {
+			return a
+		}
+		return b
+	})
+	var round1, round2 [n]int
+	done := 0
+	flow := g.JoinSteps(
+		red.Steps(func(tc *core.ThreadCtx) any { return tc.CPU },
+			core.DoCall(func(tc *core.ThreadCtx) { round1[tc.CPU] = red.Result().(int) },
+				red.Steps(func(tc *core.ThreadCtx) any { return 100 - tc.CPU },
+					core.DoCall(func(tc *core.ThreadCtx) {
+						round2[tc.CPU] = red.Result().(int)
+						done++
+					}, nil)))))
+	for i := 0; i < n; i++ {
+		k.Spawn("r", i, core.FlowProgram(flow))
+	}
+	k.RunUntil(func() bool { return done == n }, 1<<24)
+	for i := 0; i < n; i++ {
+		if round1[i] != n-1 {
+			t.Fatalf("round1[%d] = %d, want %d", i, round1[i], n-1)
+		}
+		if round2[i] != 100 {
+			t.Fatalf("round2[%d] = %d, want 100", i, round2[i])
+		}
+	}
+}
+
+func TestBroadcastFromLeader(t *testing.T) {
+	const n = 6
+	k := bootKernel(t, n, 93, nil)
+	g := New(k, "bc", n, DefaultCosts())
+	bc := g.NewBroadcast()
+	var got [n]string
+	done := 0
+	flow := g.JoinSteps(g.ElectSteps(bc.Steps(
+		func(tc *core.ThreadCtx) bool { return g.IsLeader(tc.T) },
+		func(tc *core.ThreadCtx) any { return "constraints-v1" },
+		core.DoCall(func(tc *core.ThreadCtx) {
+			got[tc.CPU] = bc.Value().(string)
+			done++
+		}, nil))))
+	for i := 0; i < n; i++ {
+		k.Spawn("b", i, core.FlowProgram(flow))
+	}
+	k.RunUntil(func() bool { return done == n }, 1<<24)
+	for i, v := range got {
+		if v != "constraints-v1" {
+			t.Fatalf("member %d saw %q", i, v)
+		}
+	}
+}
+
+func TestReductionCostGrowsWithRank(t *testing.T) {
+	// The serialized merge makes later-ticketed members spend more cycles,
+	// mirroring the linear growth of the paper's reduction costs.
+	const n = 6
+	k := bootKernel(t, n, 94, nil)
+	g := New(k, "cost", n, DefaultCosts())
+	red := g.NewReduction(func(a, b any) any { return a.(int) + b.(int) })
+	done := 0
+	flow := g.JoinSteps(red.Steps(
+		func(tc *core.ThreadCtx) any { return 1 },
+		core.DoCall(func(tc *core.ThreadCtx) { done++ }, nil)))
+	ths := make([]*core.Thread, n)
+	for i := 0; i < n; i++ {
+		ths[i] = k.Spawn("c", i, core.FlowProgram(flow))
+	}
+	k.RunUntil(func() bool { return done == n }, 1<<24)
+	var min, max int64
+	for i, th := range ths {
+		s := th.SupplyCycles
+		if i == 0 || s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	if max-min < int64(n-2)*DefaultCosts().VerdictPerTicket {
+		t.Fatalf("merge serialization not visible: min=%d max=%d", min, max)
+	}
+}

@@ -1,0 +1,274 @@
+// Package group implements the thread-group programming interface of
+// Section 4: named groups with join/leave, leader election, group barriers
+// with measured release stagger, reductions, group admission control
+// (Algorithm 1), and the phase correction of Section 4.4 that makes
+// communication-free gang scheduling possible.
+package group
+
+import (
+	"sync/atomic"
+
+	"hrtsched/internal/core"
+	"hrtsched/internal/sim"
+	"hrtsched/internal/stats"
+)
+
+// Costs models the serialized and per-member work inside group operations.
+// The defaults are calibrated to the per-step breakdown of Figure 10.
+type Costs struct {
+	JoinBase      int64 // fixed cost of a group join
+	JoinPerTicket int64 // serialized (lock-contended) cost per earlier joiner
+
+	ElectBase      int64 // fixed cost of leader election
+	ElectPerMember int64 // per-member cost of the election scan
+
+	VerdictPerTicket int64 // serialized merge of admission verdicts
+	ApplyCycles      int64 // installing checked constraints
+
+	BarrierArriveBase int64 // fixed barrier arrival cost
+	BarrierArrivePer  int64 // per-member barrier arrival cost
+}
+
+// DefaultCosts returns the Figure 10 calibration.
+func DefaultCosts() Costs {
+	return Costs{
+		JoinBase:          2_000,
+		JoinPerTicket:     1_150,
+		ElectBase:         2_000,
+		ElectPerMember:    190,
+		VerdictPerTicket:  20_000,
+		ApplyCycles:       2_500,
+		BarrierArriveBase: 0, // filled from machine spec at group creation
+		BarrierArrivePer:  0,
+	}
+}
+
+// Group is a named thread group.
+type Group struct {
+	k    *core.Kernel
+	name string
+	c    Costs
+	rng  *sim.Rand
+
+	members []*core.Thread
+	leader  *core.Thread
+	locked  bool
+
+	attached    core.Constraints
+	hasAttached bool
+	admitFailed atomic.Bool
+
+	expect  int // declared size, for barrier counts before all join
+	tickets map[string]*int64
+
+	deltaEstCycles int64 // measured per-thread barrier release stagger
+
+	// Metrics records per-thread wall-clock duration (cycles) of each
+	// group admission step, keyed "join", "election", "changecons",
+	// "barrier" — the four panels of Figure 10.
+	Metrics map[string]*stats.Summary
+
+	barSeq int
+}
+
+// New creates a group expecting size members. The expected size drives the
+// barrier participant count so members can proceed as soon as all expected
+// threads have joined.
+func New(k *core.Kernel, name string, size int, costs Costs) *Group {
+	if size < 1 {
+		panic("group: size must be positive")
+	}
+	spec := k.M.Spec
+	if costs.BarrierArriveBase == 0 {
+		costs.BarrierArriveBase = spec.BarrierBaseCycles
+	}
+	if costs.BarrierArrivePer == 0 {
+		costs.BarrierArrivePer = spec.BarrierPerCPUCycles
+	}
+	g := &Group{
+		k:       k,
+		name:    name,
+		c:       costs,
+		rng:     k.M.Rand(),
+		expect:  size,
+		tickets: map[string]*int64{},
+		Metrics: map[string]*stats.Summary{},
+	}
+	g.deltaEstCycles = spec.ReleaseStaggerCycles // refined by measurement
+	return g
+}
+
+// Name returns the group name.
+func (g *Group) Name() string { return g.name }
+
+// Size returns the expected member count.
+func (g *Group) Size() int { return g.expect }
+
+// Members returns the joined members in join order.
+func (g *Group) Members() []*core.Thread { return g.members }
+
+// Leader returns the elected leader, or nil before election.
+func (g *Group) Leader() *core.Thread { return g.leader }
+
+// Locked reports whether the group lock is held.
+func (g *Group) Locked() bool { return g.locked }
+
+// DeltaEstimateCycles returns the measured per-thread barrier release
+// stagger used by phase correction.
+func (g *Group) DeltaEstimateCycles() int64 { return g.deltaEstCycles }
+
+// AttachedConstraints returns the constraints the leader attached.
+func (g *Group) AttachedConstraints() (core.Constraints, bool) {
+	return g.attached, g.hasAttached
+}
+
+// memberState is the per-thread group bookkeeping, stored in the thread's
+// group slot.
+type memberState struct {
+	g            *Group
+	joined       bool
+	isLeader     bool
+	ticket       int64
+	waiting      bool
+	releaseOrder int
+	releaseNs    int64
+	admitErr     error
+	stepStartNs  map[string]int64
+	lastBarrier  *Barrier
+}
+
+func (g *Group) state(t *core.Thread) *memberState {
+	if ms, ok := t.GroupData().(*memberState); ok && ms.g == g {
+		return ms
+	}
+	ms := &memberState{g: g, stepStartNs: map[string]int64{}}
+	t.SetGroupData(ms)
+	return ms
+}
+
+// AdmitError returns the thread's local admission verdict from the most
+// recent group admission, or nil.
+func (g *Group) AdmitError(t *core.Thread) error {
+	return g.state(t).admitErr
+}
+
+// takeTicket returns the caller's rank in a serialized (lock-contended)
+// phase of the given name, starting from zero.
+func (g *Group) takeTicket(phase string) int64 {
+	p := g.tickets[phase]
+	if p == nil {
+		var v int64
+		p = &v
+		g.tickets[phase] = p
+	}
+	v := *p
+	*p++
+	return v
+}
+
+func (g *Group) metric(name string) *stats.Summary {
+	s := g.Metrics[name]
+	if s == nil {
+		s = &stats.Summary{}
+		g.Metrics[name] = s
+	}
+	return s
+}
+
+// markStart/markEnd bracket a measured step for Figure 10: per-thread
+// wall-clock duration in cycles.
+func (g *Group) markStart(name string) func(tc *core.ThreadCtx) {
+	return func(tc *core.ThreadCtx) {
+		g.state(tc.T).stepStartNs[name] = tc.NowNs
+	}
+}
+
+func (g *Group) markEnd(name string) func(tc *core.ThreadCtx) {
+	return func(tc *core.ThreadCtx) {
+		ms := g.state(tc.T)
+		start, ok := ms.stepStartNs[name]
+		if !ok {
+			return
+		}
+		durNs := tc.NowNs - start
+		cycles := sim.NanosToCycles(durNs, g.k.M.Spec.FreqHz)
+		g.metric(name).Add(float64(cycles))
+	}
+}
+
+// JoinSteps returns the flow for joining the group: a serialized update of
+// the member list under the group lock (the linear growth of Figure 10(a)).
+func (g *Group) JoinSteps(next core.Step) core.Step {
+	return core.Chain(
+		func(n core.Step) core.Step {
+			return core.DoCall(g.markStart("join"), n)
+		},
+		func(n core.Step) core.Step {
+			return core.DoCall(func(tc *core.ThreadCtx) {
+				g.state(tc.T).ticket = g.takeTicket("join")
+			}, n)
+		},
+		func(n core.Step) core.Step {
+			return core.DoComputeFn(func(tc *core.ThreadCtx) int64 {
+				return g.c.JoinBase + g.state(tc.T).ticket*g.c.JoinPerTicket
+			}, n)
+		},
+		func(n core.Step) core.Step {
+			return core.DoCall(func(tc *core.ThreadCtx) {
+				ms := g.state(tc.T)
+				if !ms.joined {
+					ms.joined = true
+					g.members = append(g.members, tc.T)
+				}
+			}, n)
+		},
+		func(n core.Step) core.Step {
+			return core.DoCall(g.markEnd("join"), n)
+		},
+		func(core.Step) core.Step { return next },
+	)
+}
+
+// LeaveSteps removes the thread from the group.
+func (g *Group) LeaveSteps(next core.Step) core.Step {
+	return core.DoCompute(g.c.JoinBase, core.DoCall(func(tc *core.ThreadCtx) {
+		ms := g.state(tc.T)
+		if !ms.joined {
+			return
+		}
+		ms.joined = false
+		for i, m := range g.members {
+			if m == tc.T {
+				g.members = append(g.members[:i], g.members[i+1:]...)
+				break
+			}
+		}
+		if g.leader == tc.T {
+			g.leader = nil
+		}
+	}, func(tc *core.ThreadCtx) (core.Action, core.Step) { return nil, next }))
+}
+
+// ElectSteps performs distributed leader election: every member scans the
+// membership; the first to complete the scan claims leadership.
+func (g *Group) ElectSteps(next core.Step) core.Step {
+	return core.Chain(
+		func(n core.Step) core.Step { return core.DoCall(g.markStart("election"), n) },
+		func(n core.Step) core.Step {
+			return core.DoCompute(g.c.ElectBase+int64(g.expect)*g.c.ElectPerMember, n)
+		},
+		func(n core.Step) core.Step {
+			return core.DoCall(func(tc *core.ThreadCtx) {
+				if g.leader == nil {
+					g.leader = tc.T
+					g.state(tc.T).isLeader = true
+				}
+			}, n)
+		},
+		func(n core.Step) core.Step { return core.DoCall(g.markEnd("election"), n) },
+		func(core.Step) core.Step { return next },
+	)
+}
+
+// IsLeader reports whether t won the most recent election.
+func (g *Group) IsLeader(t *core.Thread) bool { return g.leader == t }

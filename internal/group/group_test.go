@@ -1,0 +1,206 @@
+package group
+
+import (
+	"testing"
+
+	"hrtsched/internal/core"
+	"hrtsched/internal/machine"
+)
+
+func bootKernel(t *testing.T, ncpus int, seed uint64, mutate func(*core.Config)) *core.Kernel {
+	t.Helper()
+	spec := machine.PhiKNL().Scaled(ncpus)
+	m := machine.New(spec, seed)
+	cfg := core.DefaultConfig(spec)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return core.Boot(m, cfg)
+}
+
+// spawnGroupMembers spawns n threads (one per CPU starting at cpu0) that
+// join g, run group admission for cons, and then run body forever.
+func spawnGroupMembers(k *core.Kernel, g *Group, cons core.Constraints, opts AdmitOptions, body core.Program) []*core.Thread {
+	// One shared step chain (and thus one shared barrier) for the round;
+	// each thread gets its own program cursor over it.
+	flow := g.JoinSteps(g.ChangeConstraintsSteps(cons, opts, nil))
+	ths := make([]*core.Thread, g.Size())
+	for i := 0; i < g.Size(); i++ {
+		ths[i] = k.Spawn("member", i, core.FlowThen(flow, body))
+	}
+	return ths
+}
+
+func TestGroupAdmissionSucceeds(t *testing.T) {
+	const n = 8
+	k := bootKernel(t, n, 11, nil)
+	g := New(k, "bsp", n, DefaultCosts())
+	cons := core.PeriodicConstraints(0, 100_000, 50_000)
+	body := core.ProgramFunc(func(tc *core.ThreadCtx) core.Action {
+		return core.Compute{Cycles: 10_000}
+	})
+	ths := spawnGroupMembers(k, g, cons, AdmitOptions{PhaseCorrection: true}, body)
+	k.RunNs(100_000_000) // 100 ms
+
+	if g.Failed() {
+		t.Fatalf("group admission failed")
+	}
+	if len(g.Members()) != n {
+		t.Fatalf("members = %d, want %d", len(g.Members()), n)
+	}
+	if g.Leader() == nil {
+		t.Fatalf("no leader elected")
+	}
+	for i, th := range ths {
+		if err := g.AdmitError(th); err != nil {
+			t.Fatalf("member %d admit error: %v", i, err)
+		}
+		if th.Constraints().Type != core.Periodic {
+			t.Fatalf("member %d not periodic: %v", i, th.Constraints().Type)
+		}
+		if th.Arrivals < 100 {
+			t.Fatalf("member %d only %d arrivals", i, th.Arrivals)
+		}
+		if th.Misses > th.Arrivals/50 {
+			t.Fatalf("member %d missed %d of %d", i, th.Misses, th.Arrivals)
+		}
+	}
+}
+
+func TestGroupAdmissionFailsForAll(t *testing.T) {
+	const n = 4
+	k := bootKernel(t, n, 12, nil)
+	g := New(k, "greedy", n, DefaultCosts())
+	// 99.5% > the 99% utilization limit: local admission must reject, so
+	// the whole group must fail and fall back to aperiodic constraints.
+	cons := core.PeriodicConstraints(0, 100_000, 99_500)
+	body := core.ProgramFunc(func(tc *core.ThreadCtx) core.Action {
+		return core.Compute{Cycles: 10_000}
+	})
+	ths := spawnGroupMembers(k, g, cons, AdmitOptions{}, body)
+	k.RunNs(100_000_000)
+
+	if !g.Failed() {
+		t.Fatalf("infeasible group admission succeeded")
+	}
+	if g.Locked() {
+		t.Fatalf("group left locked after failure")
+	}
+	for i, th := range ths {
+		if th.Constraints().Type != core.Aperiodic {
+			t.Fatalf("member %d not reverted to aperiodic: %v", i, th.Constraints().Type)
+		}
+		if th.SupplyCycles == 0 {
+			t.Fatalf("member %d starved after fallback", i)
+		}
+	}
+}
+
+func TestBarrierReleaseOrdersDistinct(t *testing.T) {
+	const n = 6
+	k := bootKernel(t, n, 13, nil)
+	g := New(k, "bar", n, DefaultCosts())
+	bar := g.NewBarrier()
+	done := 0
+	for i := 0; i < n; i++ {
+		flow := g.JoinSteps(bar.Steps(core.DoCall(func(tc *core.ThreadCtx) { done++ }, nil)))
+		k.Spawn("b", i, core.FlowProgram(flow))
+	}
+	k.RunNs(50_000_000)
+	if done != n {
+		t.Fatalf("only %d of %d threads passed the barrier", done, n)
+	}
+	seen := map[int]bool{}
+	for _, th := range k.Threads() {
+		o := g.ReleaseOrder(th)
+		if seen[o] {
+			t.Fatalf("duplicate release order %d", o)
+		}
+		seen[o] = true
+	}
+	for i := 0; i < n; i++ {
+		if !seen[i] {
+			t.Fatalf("missing release order %d", i)
+		}
+	}
+	if bar.SpreadNs() <= 0 {
+		t.Fatalf("barrier release spread not positive: %d", bar.SpreadNs())
+	}
+}
+
+func TestGroupMetricsRecorded(t *testing.T) {
+	const n = 8
+	k := bootKernel(t, n, 14, nil)
+	g := New(k, "m", n, DefaultCosts())
+	cons := core.PeriodicConstraints(0, 200_000, 50_000)
+	spawnGroupMembers(k, g, cons, AdmitOptions{}, core.ProgramFunc(func(tc *core.ThreadCtx) core.Action {
+		return core.Compute{Cycles: 10_000}
+	}))
+	k.RunNs(100_000_000)
+	for _, step := range []string{"join", "election", "changecons", "barrier"} {
+		s := g.Metrics[step]
+		if s == nil || s.N() != n {
+			t.Fatalf("step %q: expected %d samples, got %v", step, n, s)
+		}
+		if s.Mean() <= 0 {
+			t.Fatalf("step %q: non-positive mean %f", step, s.Mean())
+		}
+	}
+}
+
+func TestLeaveGroup(t *testing.T) {
+	const n = 3
+	k := bootKernel(t, n, 15, nil)
+	g := New(k, "rotating", n, DefaultCosts())
+	left := 0
+	for i := 0; i < n; i++ {
+		flow := g.JoinSteps(g.LeaveSteps(core.DoCall(func(tc *core.ThreadCtx) { left++ }, nil)))
+		k.Spawn("member", i, core.FlowProgram(flow))
+	}
+	k.RunUntil(func() bool { return left == n }, 1<<24)
+	if len(g.Members()) != 0 {
+		t.Fatalf("%d members remain after everyone left", len(g.Members()))
+	}
+	if g.Leader() != nil {
+		t.Fatalf("leader survived departure")
+	}
+}
+
+func TestGroupReadmissionSecondRound(t *testing.T) {
+	// A group changes its constraints twice: the second round must release
+	// the first round's reservations and succeed.
+	const n = 4
+	k := bootKernel(t, n, 16, nil)
+	g := New(k, "twice", n, DefaultCosts())
+	cons1 := core.PeriodicConstraints(0, 100_000, 60_000)
+	cons2 := core.PeriodicConstraints(0, 200_000, 120_000)
+	round2 := g.ChangeConstraintsSteps(cons2, AdmitOptions{PhaseCorrection: true}, nil)
+	round1 := g.ChangeConstraintsSteps(cons1, AdmitOptions{PhaseCorrection: true},
+		// Spin a few periods under cons1, then re-admit.
+		core.DoCompute(500_000, round2))
+	flow := g.JoinSteps(round1)
+	ths := make([]*core.Thread, n)
+	for i := 0; i < n; i++ {
+		ths[i] = k.Spawn("m", i, core.FlowThen(flow, core.ProgramFunc(
+			func(tc *core.ThreadCtx) core.Action { return core.Compute{Cycles: 10_000} })))
+	}
+	k.RunNs(150_000_000)
+	if g.Failed() {
+		t.Fatalf("second-round admission failed")
+	}
+	for i, th := range ths {
+		c := th.Constraints()
+		if c.Type != core.Periodic || c.PeriodNs != 200_000 {
+			t.Fatalf("member %d not on round-2 constraints: %+v", i, c)
+		}
+		if th.Misses > th.Arrivals/50 {
+			t.Fatalf("member %d missing after re-admission: %d/%d", i, th.Misses, th.Arrivals)
+		}
+	}
+	// 60% utilization charged once, not twice.
+	for i := 0; i < n; i++ {
+		if u := k.Locals[i].PeriodicUtilization(); u < 0.59 || u > 0.61 {
+			t.Fatalf("CPU %d utilization %f after re-admission, want 0.60", i, u)
+		}
+	}
+}

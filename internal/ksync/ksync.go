@@ -1,0 +1,183 @@
+// Package ksync provides the streamlined kernel synchronization primitives
+// of Section 2 — wait queues (event signaling), mutexes and semaphores —
+// built directly on the scheduler's block/wake machinery. Their hot paths
+// have deterministic bounded length, in keeping with the platform's
+// predictability requirements.
+//
+// All primitives are expressed as flow steps (core.Step): a thread acquires
+// or waits as one stage of its program, and signalling may come from any
+// simulation context.
+package ksync
+
+import (
+	"hrtsched/internal/core"
+)
+
+// WaitQueue is an event-signaling primitive: threads wait until a
+// condition holds; signallers wake one or all waiters. Spurious wakeups
+// are absorbed by re-checking the condition.
+type WaitQueue struct {
+	k       *core.Kernel
+	waiters []*core.Thread
+
+	Signals int64
+	Waits   int64
+}
+
+// NewWaitQueue creates a wait queue on the kernel.
+func NewWaitQueue(k *core.Kernel) *WaitQueue {
+	return &WaitQueue{k: k}
+}
+
+// Waiters returns the number of blocked threads.
+func (w *WaitQueue) Waiters() int { return len(w.waiters) }
+
+// WaitSteps returns a flow stage that blocks the thread until cond holds.
+// cond is evaluated in thread context before waiting and again after every
+// wakeup.
+func (w *WaitQueue) WaitSteps(cond func(tc *core.ThreadCtx) bool, next core.Step) core.Step {
+	var loop core.Step
+	loop = func(tc *core.ThreadCtx) (core.Action, core.Step) {
+		if cond(tc) {
+			return nil, next
+		}
+		w.Waits++
+		w.waiters = append(w.waiters, tc.T)
+		return core.Block{}, loop
+	}
+	return loop
+}
+
+// Signal wakes up to n waiters (all of them if n <= 0).
+func (w *WaitQueue) Signal(n int) {
+	w.Signals++
+	if n <= 0 || n > len(w.waiters) {
+		n = len(w.waiters)
+	}
+	woken := w.waiters[:n]
+	w.waiters = append([]*core.Thread(nil), w.waiters[n:]...)
+	for _, t := range woken {
+		w.k.Wake(t)
+	}
+}
+
+// SignalAll wakes every waiter.
+func (w *WaitQueue) SignalAll() { w.Signal(0) }
+
+// Mutex is a blocking kernel mutex with FIFO handoff.
+type Mutex struct {
+	k      *core.Kernel
+	owner  *core.Thread
+	queue  []*core.Thread
+	Aquire int64
+	Waited int64
+}
+
+// NewMutex creates a mutex.
+func NewMutex(k *core.Kernel) *Mutex { return &Mutex{k: k} }
+
+// Owner returns the holding thread, or nil.
+func (m *Mutex) Owner() *core.Thread { return m.owner }
+
+// LockSteps returns a flow stage acquiring the mutex.
+func (m *Mutex) LockSteps(next core.Step) core.Step {
+	var attempt core.Step
+	attempt = func(tc *core.ThreadCtx) (core.Action, core.Step) {
+		if m.owner == nil {
+			m.owner = tc.T
+			m.Aquire++
+			return nil, next
+		}
+		if m.owner == tc.T {
+			panic("ksync: recursive lock")
+		}
+		// FIFO handoff: on unlock, ownership transfers to the queue head,
+		// so a woken thread finds itself already the owner.
+		m.Waited++
+		m.queue = append(m.queue, tc.T)
+		return core.Block{}, func(tc2 *core.ThreadCtx) (core.Action, core.Step) {
+			if m.owner != tc2.T {
+				// Spurious wake; retry.
+				return nil, attempt
+			}
+			m.Aquire++
+			return nil, next
+		}
+	}
+	return attempt
+}
+
+// UnlockSteps returns a flow stage releasing the mutex. It panics if the
+// caller does not hold it.
+func (m *Mutex) UnlockSteps(next core.Step) core.Step {
+	return core.DoCall(func(tc *core.ThreadCtx) {
+		m.unlock(tc.T)
+	}, func(tc *core.ThreadCtx) (core.Action, core.Step) { return nil, next })
+}
+
+func (m *Mutex) unlock(t *core.Thread) {
+	if m.owner != t {
+		panic("ksync: unlock by non-owner")
+	}
+	if len(m.queue) == 0 {
+		m.owner = nil
+		return
+	}
+	next := m.queue[0]
+	m.queue = append([]*core.Thread(nil), m.queue[1:]...)
+	m.owner = next
+	m.k.Wake(next)
+}
+
+// WithLockSteps brackets body steps with lock/unlock.
+func (m *Mutex) WithLockSteps(body func(next core.Step) core.Step, next core.Step) core.Step {
+	return m.LockSteps(body(m.UnlockSteps(next)))
+}
+
+// Semaphore is a counting semaphore with blocking acquire.
+type Semaphore struct {
+	k     *core.Kernel
+	count int64
+	queue []*core.Thread
+}
+
+// NewSemaphore creates a semaphore with the given initial count.
+func NewSemaphore(k *core.Kernel, initial int64) *Semaphore {
+	return &Semaphore{k: k, count: initial}
+}
+
+// Count returns the available permits (may be negative while threads are
+// queued).
+func (s *Semaphore) Count() int64 { return s.count }
+
+// AcquireSteps returns a flow stage taking one permit, blocking if none is
+// available.
+func (s *Semaphore) AcquireSteps(next core.Step) core.Step {
+	return func(tc *core.ThreadCtx) (core.Action, core.Step) {
+		s.count--
+		if s.count >= 0 {
+			return nil, next
+		}
+		s.queue = append(s.queue, tc.T)
+		return core.Block{}, func(tc2 *core.ThreadCtx) (core.Action, core.Step) {
+			return nil, next // handoff: the release granted our permit
+		}
+	}
+}
+
+// Release returns one permit, waking a queued thread if any. Callable from
+// any simulation context.
+func (s *Semaphore) Release() {
+	s.count++
+	if len(s.queue) > 0 {
+		t := s.queue[0]
+		s.queue = append([]*core.Thread(nil), s.queue[1:]...)
+		s.k.Wake(t)
+	}
+}
+
+// ReleaseSteps is Release as a flow stage.
+func (s *Semaphore) ReleaseSteps(next core.Step) core.Step {
+	return core.DoCall(func(*core.ThreadCtx) { s.Release() },
+		func(tc *core.ThreadCtx) (core.Action, core.Step) { return nil, next })
+}

@@ -1,0 +1,167 @@
+package ksync
+
+import (
+	"testing"
+
+	"hrtsched/internal/core"
+	"hrtsched/internal/machine"
+)
+
+func boot(t *testing.T, ncpus int, seed uint64) *core.Kernel {
+	t.Helper()
+	spec := machine.PhiKNL().Scaled(ncpus)
+	m := machine.New(spec, seed)
+	return core.Boot(m, core.DefaultConfig(spec))
+}
+
+func TestWaitQueueSignalOne(t *testing.T) {
+	k := boot(t, 2, 131)
+	wq := NewWaitQueue(k)
+	ready := false
+	woke := 0
+	flow := wq.WaitSteps(func(tc *core.ThreadCtx) bool { return ready },
+		core.DoCall(func(*core.ThreadCtx) { woke++ }, nil))
+	k.Spawn("w1", 0, core.FlowProgram(flow))
+	k.Spawn("w2", 1, core.FlowProgram(flow))
+	k.RunNs(5_000_000)
+	if wq.Waiters() != 2 || woke != 0 {
+		t.Fatalf("waiters=%d woke=%d", wq.Waiters(), woke)
+	}
+	// Signal without satisfying the condition: spurious wake, re-block.
+	wq.Signal(1)
+	k.RunNs(5_000_000)
+	if woke != 0 || wq.Waiters() != 2 {
+		t.Fatalf("spurious wake passed the condition: woke=%d waiters=%d", woke, wq.Waiters())
+	}
+	ready = true
+	wq.SignalAll()
+	k.RunNs(5_000_000)
+	if woke != 2 {
+		t.Fatalf("woke=%d after broadcast", woke)
+	}
+}
+
+func TestWaitQueueConditionShortCircuit(t *testing.T) {
+	k := boot(t, 1, 132)
+	wq := NewWaitQueue(k)
+	done := false
+	flow := wq.WaitSteps(func(*core.ThreadCtx) bool { return true },
+		core.DoCall(func(*core.ThreadCtx) { done = true }, nil))
+	k.Spawn("nc", 0, core.FlowProgram(flow))
+	k.RunNs(2_000_000)
+	if !done || wq.Waits != 0 {
+		t.Fatalf("true condition still waited (waits=%d)", wq.Waits)
+	}
+}
+
+func TestMutexMutualExclusion(t *testing.T) {
+	k := boot(t, 4, 133)
+	mu := NewMutex(k)
+	inside, maxInside, entries := 0, 0, 0
+	body := func(next core.Step) core.Step {
+		return core.DoCall(func(*core.ThreadCtx) {
+			inside++
+			entries++
+			if inside > maxInside {
+				maxInside = inside
+			}
+		}, core.DoCompute(200_000, core.DoCall(func(*core.ThreadCtx) { inside-- }, next)))
+	}
+	for i := 0; i < 4; i++ {
+		k.Spawn("m", i, core.FlowProgram(mu.WithLockSteps(body, nil)))
+	}
+	k.RunNs(50_000_000)
+	if entries != 4 {
+		t.Fatalf("entries = %d", entries)
+	}
+	if maxInside != 1 {
+		t.Fatalf("mutual exclusion violated: %d threads inside", maxInside)
+	}
+	if mu.Owner() != nil {
+		t.Fatalf("mutex still held")
+	}
+	if mu.Waited == 0 {
+		t.Fatalf("no contention observed — test is vacuous")
+	}
+}
+
+func TestMutexFIFOHandoff(t *testing.T) {
+	k := boot(t, 1, 134)
+	mu := NewMutex(k)
+	var order []string
+	body := func(next core.Step) core.Step {
+		return core.DoCall(func(tc *core.ThreadCtx) {
+			order = append(order, tc.T.Name())
+		}, core.DoCompute(100_000, next))
+	}
+	// All on one CPU: spawn order = queue order.
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		k.Spawn(name, 0, core.FlowProgram(mu.WithLockSteps(body, nil)))
+	}
+	k.RunNs(50_000_000)
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("handoff order: %v", order)
+	}
+}
+
+func TestSemaphoreLimitsConcurrency(t *testing.T) {
+	k := boot(t, 6, 135)
+	sem := NewSemaphore(k, 2)
+	inside, maxInside, total := 0, 0, 0
+	for i := 0; i < 6; i++ {
+		flow := sem.AcquireSteps(core.Chain(
+			func(n core.Step) core.Step {
+				return core.DoCall(func(*core.ThreadCtx) {
+					inside++
+					if inside > maxInside {
+						maxInside = inside
+					}
+				}, n)
+			},
+			func(n core.Step) core.Step { return core.DoCompute(300_000, n) },
+			func(n core.Step) core.Step {
+				return core.DoCall(func(*core.ThreadCtx) { inside--; total++ }, n)
+			},
+			func(n core.Step) core.Step { return sem.ReleaseSteps(n) },
+		))
+		k.Spawn("s", i, core.FlowProgram(flow))
+	}
+	k.RunNs(100_000_000)
+	if total != 6 {
+		t.Fatalf("completed %d of 6", total)
+	}
+	if maxInside > 2 {
+		t.Fatalf("semaphore admitted %d concurrent holders", maxInside)
+	}
+	if maxInside < 2 {
+		t.Fatalf("semaphore never reached its limit (%d)", maxInside)
+	}
+	if sem.Count() != 2 {
+		t.Fatalf("count = %d after all released", sem.Count())
+	}
+}
+
+func TestSignalLatencyBounded(t *testing.T) {
+	// Event signaling cost: signal -> wake -> dispatch is one kick IPI plus
+	// one scheduler invocation — microseconds, not milliseconds.
+	k := boot(t, 2, 136)
+	wq := NewWaitQueue(k)
+	ready := false
+	var wokeNs int64
+	flow := wq.WaitSteps(func(*core.ThreadCtx) bool { return ready },
+		core.DoCall(func(tc *core.ThreadCtx) { wokeNs = tc.NowNs }, nil))
+	k.Spawn("sleeper", 1, core.FlowProgram(flow))
+	k.RunNs(5_000_000)
+	ready = true
+	signalNs := k.NowNs()
+	wq.SignalAll()
+	k.RunNs(5_000_000)
+	if wokeNs == 0 {
+		t.Fatalf("never woke")
+	}
+	latency := wokeNs - signalNs
+	if latency <= 0 || latency > 20_000 {
+		t.Fatalf("signal latency %d ns outside (0, 20us]", latency)
+	}
+}

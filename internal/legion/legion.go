@@ -1,0 +1,263 @@
+// Package legion is a miniature Legion-like task-based run-time — the
+// first of the run-times the paper lists as ported to the HRT environment
+// (Section 2). Programs submit tasks with declared region requirements;
+// the run-time extracts the implicit dependence graph (tasks conflict when
+// they touch the same logical region and at least one writes), and a pool
+// of worker threads executes ready tasks greedily.
+//
+// Unlike the BSP/OpenMP tenants, this is a dependence-driven workload: no
+// global phases, no barriers — parallelism is whatever the region usage
+// permits. The workers are ordinary kernel threads and can be given
+// hard real-time constraints like any other.
+package legion
+
+import (
+	"fmt"
+	"sort"
+
+	"hrtsched/internal/core"
+	"hrtsched/internal/ksync"
+)
+
+// AccessMode declares how a task uses a region.
+type AccessMode uint8
+
+const (
+	// ReadOnly accesses may share the region with other readers.
+	ReadOnly AccessMode = iota
+	// ReadWrite accesses conflict with every other access.
+	ReadWrite
+)
+
+// Region is a logical region: a named block of data tasks operate on.
+type Region struct {
+	Name string
+	Data []float64
+
+	// Dependence bookkeeping: the last writer task id and the reader task
+	// ids since that write.
+	lastWriter   int
+	readersSince []int
+}
+
+// Req is one region requirement of a task.
+type Req struct {
+	Region *Region
+	Mode   AccessMode
+}
+
+// Task is a unit of work with declared region requirements.
+type Task struct {
+	Name string
+	// CostCycles is the task's execution cost.
+	CostCycles int64
+	// Reqs declares the regions the task touches.
+	Reqs []Req
+	// Fn runs when the task executes; regions are safe to touch per the
+	// declared modes.
+	Fn func()
+
+	id         int
+	waitingOn  int   // unfinished predecessors
+	dependents []int // tasks waiting on this one
+	state      taskState
+}
+
+type taskState uint8
+
+const (
+	taskPending taskState = iota
+	taskReady
+	taskRunning
+	taskDone
+)
+
+// Runtime is a Legion-like task scheduler over a pool of kernel threads.
+type Runtime struct {
+	k   *core.Kernel
+	cfg Config
+	wq  *ksync.WaitQueue
+
+	tasks   []*Task
+	ready   []int
+	done    int
+	regions []*Region
+
+	// Executed records completion order for tests.
+	Executed []string
+	// MaxConcurrent tracks the peak number of simultaneously running tasks.
+	MaxConcurrent int
+	running       int
+}
+
+// Config configures the runtime's worker pool.
+type Config struct {
+	Workers  int
+	FirstCPU int
+	// Constraints, when periodic, is applied to every worker individually
+	// (task workers are independent; they need no gang admission).
+	Constraints core.Constraints
+}
+
+// New creates a runtime and spawns its workers.
+func New(k *core.Kernel, cfg Config) *Runtime {
+	if cfg.Workers < 1 {
+		panic("legion: need at least one worker")
+	}
+	rt := &Runtime{k: k, cfg: cfg, wq: ksync.NewWaitQueue(k)}
+	for w := 0; w < cfg.Workers; w++ {
+		prog := rt.workerProgram()
+		if cfg.Constraints.Type == core.Periodic {
+			cons := cfg.Constraints
+			inner := prog
+			admitted := false
+			prog = core.ProgramFunc(func(tc *core.ThreadCtx) core.Action {
+				if !admitted {
+					admitted = true
+					return core.ChangeConstraints{C: cons}
+				}
+				return inner.Next(tc)
+			})
+		}
+		k.Spawn(fmt.Sprintf("legion-%d", w), cfg.FirstCPU+w, prog)
+	}
+	return rt
+}
+
+// NewRegion creates a logical region of n elements.
+func (rt *Runtime) NewRegion(name string, n int) *Region {
+	r := &Region{Name: name, Data: make([]float64, n), lastWriter: -1}
+	rt.regions = append(rt.regions, r)
+	return r
+}
+
+// Submit adds a task. Dependences are derived from region requirements in
+// program order: a writer depends on the region's previous writer and all
+// readers since; a reader depends on the previous writer only. Returns the
+// task id.
+func (rt *Runtime) Submit(t Task) int {
+	task := &t
+	task.id = len(rt.tasks)
+	rt.tasks = append(rt.tasks, task)
+
+	deps := map[int]bool{}
+	for _, req := range t.Reqs {
+		r := req.Region
+		if req.Mode == ReadWrite {
+			if r.lastWriter >= 0 {
+				deps[r.lastWriter] = true
+			}
+			for _, rd := range r.readersSince {
+				deps[rd] = true
+			}
+			r.lastWriter = task.id
+			r.readersSince = nil
+		} else {
+			if r.lastWriter >= 0 {
+				deps[r.lastWriter] = true
+			}
+			r.readersSince = append(r.readersSince, task.id)
+		}
+	}
+	delete(deps, task.id)
+	// Deterministic dependence order: map iteration order must not leak
+	// into the schedule.
+	ids := make([]int, 0, len(deps))
+	for d := range deps {
+		ids = append(ids, d)
+	}
+	sort.Ints(ids)
+	for _, d := range ids {
+		dep := rt.tasks[d]
+		if dep.state != taskDone {
+			dep.dependents = append(dep.dependents, task.id)
+			task.waitingOn++
+		}
+	}
+	if task.waitingOn == 0 {
+		task.state = taskReady
+		rt.ready = append(rt.ready, task.id)
+	}
+	rt.wq.SignalAll()
+	return task.id
+}
+
+// workerProgram builds the pull-execute loop of one worker.
+func (rt *Runtime) workerProgram() core.Program {
+	var current *Task
+	flow := core.FlowProgram(rt.loopStep(&current))
+	return flow
+}
+
+func (rt *Runtime) loopStep(current **Task) core.Step {
+	var loop core.Step
+	loop = func(tc *core.ThreadCtx) (core.Action, core.Step) {
+		wait := rt.wq.WaitSteps(func(*core.ThreadCtx) bool {
+			return len(rt.ready) > 0
+		}, core.Chain(
+			func(n core.Step) core.Step {
+				return core.DoCall(func(*core.ThreadCtx) {
+					// Pop in submission order for determinism.
+					id := rt.ready[0]
+					rt.ready = rt.ready[1:]
+					*current = rt.tasks[id]
+					(*current).state = taskRunning
+					rt.running++
+					if rt.running > rt.MaxConcurrent {
+						rt.MaxConcurrent = rt.running
+					}
+				}, n)
+			},
+			func(n core.Step) core.Step {
+				return core.DoComputeFn(func(*core.ThreadCtx) int64 {
+					c := (*current).CostCycles
+					if c < 1 {
+						c = 1
+					}
+					return c
+				}, n)
+			},
+			func(n core.Step) core.Step {
+				return core.DoCall(func(*core.ThreadCtx) {
+					rt.complete(*current)
+					*current = nil
+				}, n)
+			},
+			func(core.Step) core.Step { return loop },
+		))
+		return nil, wait
+	}
+	return loop
+}
+
+// complete finishes a task: run its body, release dependents.
+func (rt *Runtime) complete(t *Task) {
+	if t.Fn != nil {
+		t.Fn()
+	}
+	t.state = taskDone
+	rt.running--
+	rt.done++
+	rt.Executed = append(rt.Executed, t.Name)
+	newlyReady := false
+	for _, d := range t.dependents {
+		dep := rt.tasks[d]
+		dep.waitingOn--
+		if dep.waitingOn == 0 && dep.state == taskPending {
+			dep.state = taskReady
+			rt.ready = append(rt.ready, d)
+			newlyReady = true
+		}
+	}
+	if newlyReady {
+		rt.wq.SignalAll()
+	}
+}
+
+// Done reports completed task count.
+func (rt *Runtime) Done() int { return rt.done }
+
+// Wait drives the kernel until n tasks have completed.
+func (rt *Runtime) Wait(n int, maxEvents uint64) bool {
+	return rt.k.RunUntil(func() bool { return rt.done >= n }, maxEvents)
+}

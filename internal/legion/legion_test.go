@@ -1,0 +1,205 @@
+package legion
+
+import (
+	"testing"
+
+	"hrtsched/internal/core"
+	"hrtsched/internal/machine"
+)
+
+func boot(t *testing.T, ncpus int, seed uint64) *core.Kernel {
+	t.Helper()
+	spec := machine.PhiKNL().Scaled(ncpus)
+	m := machine.New(spec, seed)
+	return core.Boot(m, core.DefaultConfig(spec))
+}
+
+func TestWriteReadOrdering(t *testing.T) {
+	k := boot(t, 3, 211)
+	rt := New(k, Config{Workers: 2, FirstCPU: 1})
+	grid := rt.NewRegion("grid", 4)
+	rt.Submit(Task{Name: "init", CostCycles: 50_000,
+		Reqs: []Req{{grid, ReadWrite}},
+		Fn:   func() { grid.Data[0] = 42 }})
+	var observed float64
+	rt.Submit(Task{Name: "read", CostCycles: 10_000,
+		Reqs: []Req{{grid, ReadOnly}},
+		Fn:   func() { observed = grid.Data[0] }})
+	if !rt.Wait(2, 1<<24) {
+		t.Fatalf("tasks did not complete")
+	}
+	if observed != 42 {
+		t.Fatalf("reader ran before writer: observed %v", observed)
+	}
+	if rt.Executed[0] != "init" || rt.Executed[1] != "read" {
+		t.Fatalf("order: %v", rt.Executed)
+	}
+}
+
+func TestReadersRunConcurrently(t *testing.T) {
+	k := boot(t, 5, 212)
+	rt := New(k, Config{Workers: 4, FirstCPU: 1})
+	r := rt.NewRegion("shared", 1)
+	rt.Submit(Task{Name: "w", CostCycles: 10_000, Reqs: []Req{{r, ReadWrite}}})
+	for i := 0; i < 4; i++ {
+		rt.Submit(Task{Name: "r", CostCycles: 500_000, Reqs: []Req{{r, ReadOnly}}})
+	}
+	if !rt.Wait(5, 1<<24) {
+		t.Fatalf("stalled")
+	}
+	if rt.MaxConcurrent < 3 {
+		t.Fatalf("readers did not overlap: max concurrent %d", rt.MaxConcurrent)
+	}
+}
+
+func TestWritersSerialize(t *testing.T) {
+	k := boot(t, 5, 213)
+	rt := New(k, Config{Workers: 4, FirstCPU: 1})
+	r := rt.NewRegion("acc", 1)
+	const n = 6
+	for i := 0; i < n; i++ {
+		rt.Submit(Task{Name: "w", CostCycles: 100_000,
+			Reqs: []Req{{r, ReadWrite}},
+			Fn:   func() { r.Data[0]++ }})
+	}
+	if !rt.Wait(n, 1<<24) {
+		t.Fatalf("stalled")
+	}
+	if rt.MaxConcurrent != 1 {
+		t.Fatalf("conflicting writers overlapped: %d", rt.MaxConcurrent)
+	}
+	if r.Data[0] != n {
+		t.Fatalf("accumulator = %v", r.Data[0])
+	}
+}
+
+func TestDiamondDependence(t *testing.T) {
+	k := boot(t, 5, 214)
+	rt := New(k, Config{Workers: 4, FirstCPU: 1})
+	a := rt.NewRegion("a", 1)
+	b := rt.NewRegion("b", 1)
+	c := rt.NewRegion("c", 1)
+	// top writes a; left reads a writes b; right reads a writes c;
+	// bottom reads b and c.
+	rt.Submit(Task{Name: "top", CostCycles: 50_000, Reqs: []Req{{a, ReadWrite}},
+		Fn: func() { a.Data[0] = 1 }})
+	rt.Submit(Task{Name: "left", CostCycles: 400_000,
+		Reqs: []Req{{a, ReadOnly}, {b, ReadWrite}},
+		Fn:   func() { b.Data[0] = a.Data[0] + 1 }})
+	rt.Submit(Task{Name: "right", CostCycles: 400_000,
+		Reqs: []Req{{a, ReadOnly}, {c, ReadWrite}},
+		Fn:   func() { c.Data[0] = a.Data[0] + 2 }})
+	var sum float64
+	rt.Submit(Task{Name: "bottom", CostCycles: 50_000,
+		Reqs: []Req{{b, ReadOnly}, {c, ReadOnly}},
+		Fn:   func() { sum = b.Data[0] + c.Data[0] }})
+	if !rt.Wait(4, 1<<24) {
+		t.Fatalf("stalled")
+	}
+	if sum != 5 {
+		t.Fatalf("diamond result %v, want 5", sum)
+	}
+	if rt.Executed[0] != "top" || rt.Executed[3] != "bottom" {
+		t.Fatalf("order: %v", rt.Executed)
+	}
+	// left and right must have overlapped.
+	if rt.MaxConcurrent < 2 {
+		t.Fatalf("independent branches did not overlap")
+	}
+}
+
+func TestIndependentTasksSpeedup(t *testing.T) {
+	makespan := func(workers int, seed uint64) int64 {
+		k := boot(t, workers+1, seed)
+		rt := New(k, Config{Workers: workers, FirstCPU: 1})
+		for i := 0; i < 8; i++ {
+			r := rt.NewRegion("r", 1)
+			rt.Submit(Task{Name: "t", CostCycles: 1_000_000, Reqs: []Req{{r, ReadWrite}}})
+		}
+		start := k.NowNs()
+		if !rt.Wait(8, 1<<26) {
+			t.Fatalf("stalled")
+		}
+		return k.NowNs() - start
+	}
+	one := makespan(1, 215)
+	four := makespan(4, 216)
+	if four*3 > one {
+		t.Fatalf("no parallel speedup: 1w=%dns 4w=%dns", one, four)
+	}
+}
+
+func TestLateSubmissionAfterCompletion(t *testing.T) {
+	// A task submitted after its predecessor already finished must not
+	// wait on it.
+	k := boot(t, 2, 217)
+	rt := New(k, Config{Workers: 1, FirstCPU: 1})
+	r := rt.NewRegion("r", 1)
+	rt.Submit(Task{Name: "w1", CostCycles: 10_000, Reqs: []Req{{r, ReadWrite}},
+		Fn: func() { r.Data[0] = 7 }})
+	if !rt.Wait(1, 1<<24) {
+		t.Fatalf("stalled")
+	}
+	var got float64
+	rt.Submit(Task{Name: "r1", CostCycles: 10_000, Reqs: []Req{{r, ReadOnly}},
+		Fn: func() { got = r.Data[0] }})
+	if !rt.Wait(2, 1<<24) {
+		t.Fatalf("late submission stalled")
+	}
+	if got != 7 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestLegionUnderRTConstraints(t *testing.T) {
+	// Workers individually admitted as periodic threads: the task graph
+	// still completes correctly, just throttled.
+	k := boot(t, 3, 218)
+	rt := New(k, Config{Workers: 2, FirstCPU: 1,
+		Constraints: core.PeriodicConstraints(0, 100_000, 50_000)})
+	r := rt.NewRegion("r", 1)
+	const n = 5
+	for i := 0; i < n; i++ {
+		rt.Submit(Task{Name: "w", CostCycles: 200_000,
+			Reqs: []Req{{r, ReadWrite}},
+			Fn:   func() { r.Data[0]++ }})
+	}
+	if !rt.Wait(n, 1<<26) {
+		t.Fatalf("stalled under RT constraints")
+	}
+	if r.Data[0] != n {
+		t.Fatalf("result %v", r.Data[0])
+	}
+	for _, th := range k.Threads() {
+		if th.IsRT() && th.Misses > 0 {
+			t.Fatalf("RT worker missed %d deadlines", th.Misses)
+		}
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	run := func() []string {
+		k := boot(t, 4, 219)
+		rt := New(k, Config{Workers: 3, FirstCPU: 1})
+		a := rt.NewRegion("a", 1)
+		b := rt.NewRegion("b", 1)
+		rt.Submit(Task{Name: "w-a", CostCycles: 80_000, Reqs: []Req{{a, ReadWrite}}})
+		rt.Submit(Task{Name: "w-b", CostCycles: 90_000, Reqs: []Req{{b, ReadWrite}}})
+		rt.Submit(Task{Name: "r-ab1", CostCycles: 70_000, Reqs: []Req{{a, ReadOnly}, {b, ReadOnly}}})
+		rt.Submit(Task{Name: "r-ab2", CostCycles: 60_000, Reqs: []Req{{a, ReadOnly}, {b, ReadOnly}}})
+		rt.Submit(Task{Name: "w-ab", CostCycles: 50_000, Reqs: []Req{{a, ReadWrite}, {b, ReadWrite}}})
+		if !rt.Wait(5, 1<<24) {
+			t.Fatalf("stalled")
+		}
+		return rt.Executed
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		again := run()
+		for j := range first {
+			if first[j] != again[j] {
+				t.Fatalf("schedule not deterministic: %v vs %v", first, again)
+			}
+		}
+	}
+}

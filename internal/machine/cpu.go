@@ -1,0 +1,207 @@
+package machine
+
+import "hrtsched/internal/sim"
+
+// Vector identifies an interrupt. As on x64, the high nibble is the
+// priority class: the APIC delivers a vector only when its class exceeds
+// the CPU's task priority, otherwise the interrupt is held pending.
+type Vector uint8
+
+const (
+	// VecTimer is the APIC one-shot timer interrupt that drives the local
+	// scheduler. Scheduling interrupts occupy the highest priority class.
+	VecTimer Vector = 0xF0
+	// VecKick is the cross-CPU scheduling IPI ("kick", Section 3.4).
+	VecKick Vector = 0xF1
+	// VecDeviceBase is the first vector used for external device interrupts.
+	VecDeviceBase Vector = 0x40
+)
+
+// Class returns the priority class (high nibble) of the vector.
+func (v Vector) Class() uint8 { return uint8(v) >> 4 }
+
+// SchedPriority is the task priority that admits only scheduling-class
+// interrupts; it is what the scheduler programs while a hard real-time
+// thread runs (Section 3.5).
+const SchedPriority uint8 = 0xE
+
+// InterruptSink receives delivered interrupts. The kernel's local scheduler
+// registers itself as the sink of its CPU.
+type InterruptSink interface {
+	HandleInterrupt(cpu *CPU, vec Vector, now sim.Time)
+}
+
+// CPU is one hardware thread: a cycle counter, an APIC with a one-shot
+// timer and a task-priority register, and a boot time.
+type CPU struct {
+	id     int
+	mach   *Machine
+	bootAt sim.Time
+
+	tscOffset int64 // TSC reading = wall clock + tscOffset
+
+	timerEvent *sim.Event
+	tpr        uint8
+	pending    []Vector // held-pending interrupts, delivery order
+	sink       InterruptSink
+}
+
+func newCPU(m *Machine, id int, bootAt sim.Time, tscOffset int64) *CPU {
+	return &CPU{id: id, mach: m, bootAt: bootAt, tscOffset: tscOffset}
+}
+
+// ID returns the hardware thread index.
+func (c *CPU) ID() int { return c.id }
+
+// Machine returns the owning machine.
+func (c *CPU) Machine() *Machine { return c.mach }
+
+// BootAt returns the time this CPU begins executing kernel boot code.
+func (c *CPU) BootAt() sim.Time { return c.bootAt }
+
+// ReadTSC returns the CPU's cycle counter, which runs at the constant
+// nominal frequency and is never stopped (constant TSC; it keeps counting
+// through SMIs, which is exactly what makes SMIs appear as missing time).
+func (c *CPU) ReadTSC() int64 {
+	return int64(c.mach.Eng.Now()) + c.tscOffset
+}
+
+// WriteTSC sets the cycle counter to v, as the calibration code does on
+// machines that support it. It panics if the platform's TSC is read-only.
+func (c *CPU) WriteTSC(v int64) {
+	if !c.mach.Spec.TSCWritable {
+		panic("machine: TSC is not writable on " + c.mach.Spec.Name)
+	}
+	c.tscOffset = v - int64(c.mach.Eng.Now())
+}
+
+// TSCOffset exposes the true offset for test assertions; kernel code must
+// not use it (it can only estimate it, which is the whole point of
+// Section 3.4).
+func (c *CPU) TSCOffset() int64 { return c.tscOffset }
+
+// SetSink registers the software interrupt handler for this CPU.
+func (c *CPU) SetSink(s InterruptSink) { c.sink = s }
+
+// SetPriority programs the task-priority register. Lowering the priority
+// immediately delivers any held-pending interrupts that are now admissible.
+func (c *CPU) SetPriority(p uint8) {
+	c.tpr = p
+	c.drainPending()
+}
+
+// Priority returns the current task priority.
+func (c *CPU) Priority() uint8 { return c.tpr }
+
+func (c *CPU) drainPending() {
+	if c.sink == nil {
+		return
+	}
+	i := 0
+	for i < len(c.pending) {
+		v := c.pending[i]
+		if v.Class() > c.tpr {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			c.sink.HandleInterrupt(c, v, c.mach.Eng.Now())
+			// Restart the scan: the handler may have changed the TPR.
+			i = 0
+			continue
+		}
+		i++
+	}
+}
+
+// RaiseInterrupt presents vector v to the CPU at the current time. If the
+// task priority admits it and a sink is registered, it is delivered
+// immediately; otherwise it is held pending (one instance per vector, as
+// in the APIC's IRR).
+func (c *CPU) RaiseInterrupt(v Vector) {
+	if c.sink != nil && v.Class() > c.tpr {
+		c.sink.HandleInterrupt(c, v, c.mach.Eng.Now())
+		return
+	}
+	for _, p := range c.pending {
+		if p == v {
+			return
+		}
+	}
+	c.pending = append(c.pending, v)
+}
+
+// PendingCount reports how many vectors are held pending.
+func (c *CPU) PendingCount() int { return len(c.pending) }
+
+// SetOneShotTicks programs the APIC one-shot timer to fire after the given
+// number of APIC ticks. A previously programmed timer is replaced, and any
+// undelivered fire from the previous programming is retired: the scheduler
+// invocation that is re-arming has already performed the work that stale
+// fire announced, so delivering it afterwards would only produce a
+// zero-progress spurious invocation (and, for countdowns shorter than the
+// scheduler pass, a livelock).
+func (c *CPU) SetOneShotTicks(ticks int64) {
+	if ticks < 1 {
+		ticks = 1
+	}
+	c.CancelTimer()
+	c.retirePending(VecTimer)
+	d := sim.Duration(ticks * c.mach.Spec.APICTickCycles)
+	c.timerEvent = c.mach.Eng.After(d, sim.Hard, func(now sim.Time) {
+		c.timerEvent = nil
+		c.RaiseInterrupt(VecTimer)
+	})
+}
+
+// SetOneShotNanos programs the one-shot timer for approximately ns
+// nanoseconds from now, applying the conservative resolution conversion of
+// Section 3.3: the tick count is rounded down so a resolution mismatch
+// produces an earlier invocation, never a later one. In TSC-deadline mode
+// the conversion is exact to the cycle.
+func (c *CPU) SetOneShotNanos(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	cycles := int64(sim.NanosToCycles(ns, c.mach.Spec.FreqHz))
+	if c.mach.Spec.TSCDeadline {
+		c.CancelTimer()
+		c.retirePending(VecTimer)
+		if cycles < 1 {
+			cycles = 1
+		}
+		c.timerEvent = c.mach.Eng.After(sim.Duration(cycles), sim.Hard, func(now sim.Time) {
+			c.timerEvent = nil
+			c.RaiseInterrupt(VecTimer)
+		})
+		return
+	}
+	c.SetOneShotTicks(cycles / c.mach.Spec.APICTickCycles)
+}
+
+// retirePending removes an undelivered instance of vector v from the IRR.
+func (c *CPU) retirePending(v Vector) {
+	for i, p := range c.pending {
+		if p == v {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// CancelTimer disarms a pending one-shot timer, if any.
+func (c *CPU) CancelTimer() {
+	if c.timerEvent != nil {
+		c.timerEvent.Cancel()
+		c.timerEvent = nil
+	}
+}
+
+// TimerArmed reports whether a one-shot timer is pending.
+func (c *CPU) TimerArmed() bool { return c.timerEvent != nil }
+
+// SendIPI sends an interprocessor interrupt to dst, arriving after the
+// platform's IPI flight latency.
+func (c *CPU) SendIPI(dst *CPU, v Vector) {
+	lat := sim.Duration(c.mach.Spec.IPILatencyCycles)
+	c.mach.Eng.After(lat, sim.Hard, func(now sim.Time) {
+		dst.RaiseInterrupt(v)
+	})
+}

@@ -1,0 +1,92 @@
+package machine
+
+import (
+	"fmt"
+
+	"hrtsched/internal/sim"
+)
+
+// Machine is one simulated shared-memory node: an event engine, a set of
+// CPUs (hardware threads), an SMI controller, an external interrupt
+// controller and a GPIO port for external timing verification.
+type Machine struct {
+	Spec Spec
+	Eng  *sim.Engine
+	CPUs []*CPU
+	SMI  *SMIController
+	IRQ  *IRQController
+	GPIO *GPIO
+
+	rng *sim.Rand
+}
+
+// New builds a machine from a spec with all randomness derived from seed.
+// CPUs receive staggered boot times and raw (uncalibrated) TSC offsets;
+// the timesync package is responsible for bringing the counters into
+// agreement, as the kernel does at boot (Section 3.4).
+func New(spec Spec, seed uint64) *Machine {
+	if spec.NumCPUs < 1 {
+		panic("machine: spec with no CPUs")
+	}
+	m := &Machine{
+		Spec: spec,
+		Eng:  sim.NewEngine(),
+		rng:  sim.NewRand(seed),
+	}
+	bootRng := m.rng.Split()
+	tscRng := m.rng.Split()
+	m.CPUs = make([]*CPU, spec.NumCPUs)
+	for i := range m.CPUs {
+		boot := sim.Time(0)
+		offset := int64(0)
+		if i > 0 {
+			if spec.BootStaggerCycles > 0 {
+				boot = sim.Time(int64(i)*spec.BootStaggerCycles/int64(spec.NumCPUs) +
+					bootRng.Int63n(spec.BootStaggerCycles/4+1))
+			}
+			if spec.BootTSCSpreadCycles > 0 {
+				offset = tscRng.Int63n(spec.BootTSCSpreadCycles)
+			}
+		}
+		m.CPUs[i] = newCPU(m, i, boot, offset)
+	}
+	m.SMI = newSMIController(m, m.rng.Split())
+	m.IRQ = newIRQController(m, m.rng.Split())
+	m.GPIO = newGPIO(m)
+	return m
+}
+
+// Now returns the current simulated wall-clock time in reference cycles.
+func (m *Machine) Now() sim.Time { return m.Eng.Now() }
+
+// CPU returns hardware thread i.
+func (m *Machine) CPU(i int) *CPU {
+	if i < 0 || i >= len(m.CPUs) {
+		panic(fmt.Sprintf("machine: no CPU %d on %s", i, m.Spec.Name))
+	}
+	return m.CPUs[i]
+}
+
+// NumCPUs returns the hardware thread count.
+func (m *Machine) NumCPUs() int { return len(m.CPUs) }
+
+// Rand derives a fresh deterministic random stream from the machine's root
+// seed, for use by software components built on top of the machine.
+func (m *Machine) Rand() *sim.Rand { return m.rng.Split() }
+
+// OverheadJitter perturbs a nominal cost by the spec's run-to-run jitter
+// percentage, using the supplied stream. The result is never negative.
+func (m *Machine) OverheadJitter(rng *sim.Rand, nominal int64) int64 {
+	if m.Spec.OverheadJitterPct <= 0 || nominal <= 0 {
+		return nominal
+	}
+	span := nominal * m.Spec.OverheadJitterPct / 100
+	if span <= 0 {
+		return nominal
+	}
+	v := nominal + rng.Range(-span, span)
+	if v < 0 {
+		v = 0
+	}
+	return v
+}

@@ -1,0 +1,93 @@
+package machine
+
+import "hrtsched/internal/sim"
+
+// SMIController injects system management interrupts: global stop-the-world
+// events during which no software runs on any CPU while every cycle counter
+// keeps advancing — "missing time" (Section 3.6). The firmware's SMI
+// schedule is invisible to the kernel; only its effects are observable.
+type SMIController struct {
+	mach    *Machine
+	rng     *sim.Rand
+	enabled bool
+	count   int64
+	total   sim.Duration
+	// Observers for experiments that need ground truth (never used by the
+	// scheduler itself).
+	onSMI []func(at sim.Time, d sim.Duration)
+}
+
+func newSMIController(m *Machine, rng *sim.Rand) *SMIController {
+	s := &SMIController{mach: m, rng: rng}
+	if m.Spec.MeanSMIGapCycles > 0 {
+		s.Enable()
+	}
+	return s
+}
+
+// Enable starts SMI injection using the spec's gap and duration model:
+// exponentially distributed gaps with the configured mean, uniform jitter
+// on the duration. Calling Enable twice is a no-op.
+func (s *SMIController) Enable() {
+	if s.enabled {
+		return
+	}
+	if s.mach.Spec.MeanSMIGapCycles <= 0 {
+		s.mach.Spec.MeanSMIGapCycles = 40_000_000 // ~30 ms at 1.3 GHz
+	}
+	s.enabled = true
+	s.scheduleNext()
+}
+
+// Enabled reports whether SMIs are being injected.
+func (s *SMIController) Enabled() bool { return s.enabled }
+
+// Count returns the number of SMIs that have fired.
+func (s *SMIController) Count() int64 { return s.count }
+
+// TotalMissingTime returns the cumulative duration stolen by SMIs.
+func (s *SMIController) TotalMissingTime() sim.Duration { return s.total }
+
+// Observe registers a ground-truth callback invoked at each SMI.
+func (s *SMIController) Observe(fn func(at sim.Time, d sim.Duration)) {
+	s.onSMI = append(s.onSMI, fn)
+}
+
+// InjectAt forces a single SMI of duration d at absolute time at,
+// regardless of whether periodic injection is enabled. Used by failure-
+// injection tests and the eager-vs-lazy ablation.
+func (s *SMIController) InjectAt(at sim.Time, d sim.Duration) {
+	s.mach.Eng.Schedule(at, sim.Hard, func(now sim.Time) {
+		s.fire(now, d)
+	})
+}
+
+func (s *SMIController) fire(now sim.Time, d sim.Duration) {
+	s.count++
+	s.total += d
+	s.mach.Eng.Freeze(d)
+	for _, fn := range s.onSMI {
+		fn(now, d)
+	}
+}
+
+func (s *SMIController) scheduleNext() {
+	gap := sim.Duration(float64(s.mach.Spec.MeanSMIGapCycles) * s.rng.ExpFloat64())
+	if gap < 1 {
+		gap = 1
+	}
+	s.mach.Eng.After(gap, sim.Hard, func(now sim.Time) {
+		if !s.enabled {
+			return
+		}
+		d := s.mach.Spec.SMIDurationCycles
+		if j := s.mach.Spec.SMIDurationJitter; j > 0 {
+			d += s.rng.Range(-j, j)
+		}
+		if d < 0 {
+			d = 0
+		}
+		s.fire(now, sim.Duration(d))
+		s.scheduleNext()
+	})
+}

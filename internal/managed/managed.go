@@ -1,0 +1,171 @@
+// Package managed is a miniature managed-language tenant — standing in for
+// the Racket port the paper lists among the HRT run-times (Section 2). A
+// mutator thread allocates into a nursery; when it fills, the world stops
+// for a collection. The interesting scheduling question is what happens
+// when the tenant time-shares a CPU with hard real-time threads:
+//
+//   - InlineGC runs the collection in the mutator itself, at aperiodic
+//     priority: real-time threads are untouched, but the mutator's pause
+//     stretches with whatever CPU share is left over.
+//   - SporadicGC requests each collection as a sporadic-admitted burst
+//     (phase, size, deadline): the kernel guarantees the collection
+//     completes within its deadline, bounding the pause — the sporadic
+//     class doing exactly what Section 3.1 designed it for.
+package managed
+
+import (
+	"hrtsched/internal/core"
+	"hrtsched/internal/stats"
+)
+
+// GCStrategy selects how collections are scheduled.
+type GCStrategy uint8
+
+const (
+	// InlineGC: the mutator collects in its own (aperiodic) time.
+	InlineGC GCStrategy = iota
+	// SporadicGC: a dedicated collector thread admits a sporadic burst per
+	// collection.
+	SporadicGC
+)
+
+// Config sizes the tenant.
+type Config struct {
+	CPU      int
+	Strategy GCStrategy
+
+	// NurseryBytes triggers a collection when exceeded.
+	NurseryBytes int64
+	// AllocBytes and AllocCostCycles describe one mutator operation.
+	AllocBytes      int64
+	AllocCostCycles int64
+	// GCCycles is the cost of one collection.
+	GCCycles int64
+	// GCDeadlineNs bounds a sporadic collection (size derived from
+	// GCCycles). Ignored by InlineGC.
+	GCDeadlineNs int64
+	// GCPriority is the collector's aperiodic afterlife priority.
+	GCPriority uint32
+}
+
+// Tenant is one managed-runtime instance.
+type Tenant struct {
+	k   *core.Kernel
+	cfg Config
+
+	mutator   *core.Thread
+	collector *core.Thread
+
+	heapUsed   int64
+	inGC       bool
+	gcStartNs  int64
+	gcRejected int64
+
+	// Collections counts completed GCs; PauseNs aggregates mutator stalls
+	// (trigger to resume); Ops counts mutator operations.
+	Collections int64
+	PauseNs     stats.Summary
+	WorstPause  int64
+	Ops         int64
+}
+
+// New spawns the tenant on its CPU.
+func New(k *core.Kernel, cfg Config) *Tenant {
+	if cfg.NurseryBytes <= 0 || cfg.AllocBytes <= 0 {
+		panic("managed: nursery and allocation sizes must be positive")
+	}
+	t := &Tenant{k: k, cfg: cfg}
+	if cfg.Strategy == SporadicGC {
+		// The collector carries a high aperiodic priority so its admission
+		// request (which runs in its own context) is not itself stuck
+		// behind a round-robin quantum; the guarantee then comes from the
+		// sporadic admission.
+		t.collector = k.SpawnPriority("managed-gc", cfg.CPU, t.collectorProgram(), 10)
+	}
+	t.mutator = k.Spawn("managed-mutator", cfg.CPU, t.mutatorProgram())
+	return t
+}
+
+// Mutator returns the mutator thread.
+func (t *Tenant) Mutator() *core.Thread { return t.mutator }
+
+// GCRejected counts sporadic admissions that fell back to aperiodic.
+func (t *Tenant) GCRejected() int64 { return t.gcRejected }
+
+// HeapUsed returns the current nursery occupancy.
+func (t *Tenant) HeapUsed() int64 { return t.heapUsed }
+
+// mutatorProgram: allocate until the nursery fills, then stop the world.
+func (t *Tenant) mutatorProgram() core.Program {
+	var mode int // 0 = allocate, 1 = inline-collect, 2 = blocked-for-gc
+	return core.ProgramFunc(func(tc *core.ThreadCtx) core.Action {
+		switch mode {
+		case 1: // inline collection just finished computing
+			mode = 0
+			t.finishGC(tc.NowNs)
+			return core.Compute{Cycles: t.cfg.AllocCostCycles}
+		case 2: // woken after a sporadic collection
+			mode = 0
+			// Pause already recorded by the collector's finish.
+			return core.Compute{Cycles: t.cfg.AllocCostCycles}
+		}
+		// One allocation completed.
+		t.Ops++
+		t.heapUsed += t.cfg.AllocBytes
+		if t.heapUsed < t.cfg.NurseryBytes {
+			return core.Compute{Cycles: t.cfg.AllocCostCycles}
+		}
+		// Nursery full: stop the world.
+		t.inGC = true
+		t.gcStartNs = tc.NowNs
+		if t.cfg.Strategy == InlineGC {
+			mode = 1
+			return core.Compute{Cycles: t.cfg.GCCycles}
+		}
+		mode = 2
+		t.k.Wake(t.collector)
+		return core.Block{}
+	})
+}
+
+// collectorProgram: block until triggered, admit a sporadic burst sized to
+// the collection, collect, resume the mutator.
+func (t *Tenant) collectorProgram() core.Program {
+	gcNs := t.k.Clocks[t.cfg.CPU].CyclesToNanos(t.cfg.GCCycles)
+	var phase int // 0 = idle, 1 = admitted (or fallback), 2 = collected
+	return core.ProgramFunc(func(tc *core.ThreadCtx) core.Action {
+		switch phase {
+		case 0:
+			if !t.inGC {
+				return core.Block{}
+			}
+			phase = 1
+			return core.ChangeConstraints{C: core.SporadicConstraints(
+				0, gcNs, t.cfg.GCDeadlineNs, t.cfg.GCPriority)}
+		case 1:
+			if !tc.AdmitOK {
+				// Reservation exhausted: collect at aperiodic priority.
+				t.gcRejected++
+			}
+			phase = 2
+			return core.Compute{Cycles: t.cfg.GCCycles}
+		default:
+			phase = 0
+			t.finishGC(tc.NowNs)
+			t.k.Wake(t.mutator)
+			return core.Block{}
+		}
+	})
+}
+
+// finishGC resets the nursery and records the pause.
+func (t *Tenant) finishGC(nowNs int64) {
+	t.heapUsed = t.heapUsed / 4 // survivors
+	t.inGC = false
+	t.Collections++
+	pause := nowNs - t.gcStartNs
+	t.PauseNs.Add(float64(pause))
+	if pause > t.WorstPause {
+		t.WorstPause = pause
+	}
+}

@@ -1,0 +1,140 @@
+package managed
+
+import (
+	"testing"
+
+	"hrtsched/internal/core"
+	"hrtsched/internal/machine"
+)
+
+func boot(t *testing.T, seed uint64) *core.Kernel {
+	t.Helper()
+	spec := machine.PhiKNL().Scaled(2)
+	m := machine.New(spec, seed)
+	return core.Boot(m, core.DefaultConfig(spec))
+}
+
+func baseCfg(strategy GCStrategy) Config {
+	return Config{
+		CPU:             1,
+		Strategy:        strategy,
+		NurseryBytes:    64 << 10,
+		AllocBytes:      1 << 10,
+		AllocCostCycles: 5_000,
+		GCCycles:        650_000, // 500us of collection
+		GCDeadlineNs:    3_000_000,
+		GCPriority:      60,
+	}
+}
+
+func TestCollectionsHappenAndHeapResets(t *testing.T) {
+	k := boot(t, 221)
+	ten := New(k, baseCfg(InlineGC))
+	k.RunNs(60_000_000)
+	if ten.Collections < 10 {
+		t.Fatalf("collections = %d", ten.Collections)
+	}
+	if ten.HeapUsed() > ten.cfg.NurseryBytes {
+		t.Fatalf("heap overflow: %d", ten.HeapUsed())
+	}
+	if ten.Ops < 1000 {
+		t.Fatalf("mutator starved: %d ops", ten.Ops)
+	}
+}
+
+func TestInlinePauseMatchesGCCostWhenAlone(t *testing.T) {
+	k := boot(t, 222)
+	ten := New(k, baseCfg(InlineGC))
+	k.RunNs(60_000_000)
+	gcNs := k.Clocks[1].CyclesToNanos(ten.cfg.GCCycles)
+	mean := ten.PauseNs.Mean()
+	if mean < float64(gcNs) || mean > float64(gcNs)*1.2 {
+		t.Fatalf("alone-in-the-world inline pause %.0fns, want ~%dns", mean, gcNs)
+	}
+}
+
+func TestSporadicGCBoundsPausesUnderAperiodicLoad(t *testing.T) {
+	// The point of the sporadic class: sharing the CPU with an equal-
+	// priority aperiodic compute thread (round-robin, 100 ms quanta), an
+	// inline collection that triggers near the mutator's quantum boundary
+	// stalls for the competitor's entire quantum — ~100 ms. A sporadic-
+	// admitted collection preempts the competitor by EDF and is guaranteed
+	// to complete within its deadline.
+	cfg := baseCfg(SporadicGC)
+	cfg.GCCycles = 260_000       // 200 us of collection...
+	cfg.GCDeadlineNs = 2_500_000 // ...guaranteed within 2.5 ms: 8% sporadic util
+	pause := func(strategy GCStrategy, seed uint64) (worst int64, rejected int64, collections int64) {
+		k := boot(t, seed)
+		k.Spawn("competitor", 1, core.ProgramFunc(func(tc *core.ThreadCtx) core.Action {
+			return core.Compute{Cycles: 50_000}
+		}))
+		c := cfg
+		c.Strategy = strategy
+		ten := New(k, c)
+		k.RunNs(600_000_000) // 600 ms: several quantum rotations
+		return ten.WorstPause, ten.GCRejected(), ten.Collections
+	}
+	inlineWorst, _, coll1 := pause(InlineGC, 223)
+	sporadicWorst, rejected, coll2 := pause(SporadicGC, 224)
+
+	// In sporadic mode the woken mutator re-queues behind the competitor's
+	// full quantum after each collection, so collections are rarer — the
+	// honest round-robin consequence.
+	if coll1 < 5 || coll2 < 3 {
+		t.Fatalf("too few collections: inline=%d sporadic=%d", coll1, coll2)
+	}
+	if rejected != 0 {
+		t.Fatalf("sporadic admissions rejected: %d", rejected)
+	}
+	// Inline collection stalls across the competitor's quantum at least
+	// once; sporadic never exceeds its deadline (plus wake overhead).
+	if inlineWorst < 50_000_000 {
+		t.Fatalf("inline worst pause %dns — quantum stall never observed", inlineWorst)
+	}
+	if sporadicWorst > cfg.GCDeadlineNs+1_000_000 {
+		t.Fatalf("sporadic worst pause %dns exceeds the %dns deadline bound",
+			sporadicWorst, cfg.GCDeadlineNs)
+	}
+}
+
+func TestGCNeverDisturbsRTThread(t *testing.T) {
+	// Whatever the GC strategy, a periodic hard real-time thread sharing
+	// the CPU keeps every deadline.
+	for _, strategy := range []GCStrategy{InlineGC, SporadicGC} {
+		k := boot(t, 226+uint64(strategy))
+		admitted := false
+		hog := k.Spawn("rt", 1, core.ProgramFunc(func(tc *core.ThreadCtx) core.Action {
+			if !admitted {
+				admitted = true
+				return core.ChangeConstraints{C: core.PeriodicConstraints(0, 100_000, 60_000)}
+			}
+			return core.Compute{Cycles: 20_000}
+		}))
+		ten := New(k, baseCfg(strategy))
+		k.RunNs(120_000_000)
+		if hog.Misses != 0 {
+			t.Fatalf("strategy %d: GC disturbed the RT thread (%d misses)", strategy, hog.Misses)
+		}
+		if ten.Collections < 5 {
+			t.Fatalf("strategy %d: collections = %d", strategy, ten.Collections)
+		}
+	}
+}
+
+func TestSporadicFallbackWhenReservationExhausted(t *testing.T) {
+	// A collection too large for the 10% sporadic reservation falls back
+	// to aperiodic collection instead of wedging.
+	k := boot(t, 225)
+	cfg := baseCfg(SporadicGC)
+	cfg.GCCycles = 1_300_000     // 1ms of work...
+	cfg.GCDeadlineNs = 2_000_000 // ...in 2ms: 50% >> 10% reservation
+	ten := New(k, cfg)
+	k.RunNs(100_000_000)
+	if ten.Collections < 3 {
+		t.Fatalf("collections = %d", ten.Collections)
+	}
+	if ten.GCRejected() != ten.Collections {
+		t.Fatalf("expected every admission to fall back: %d of %d",
+			ten.GCRejected(), ten.Collections)
+	}
+}

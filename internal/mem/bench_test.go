@@ -1,0 +1,49 @@
+package mem
+
+import (
+	"testing"
+
+	"hrtsched/internal/sim"
+)
+
+// BenchmarkAllocFree measures the buddy allocator's steady-state alloc/free
+// pair — the path every thread spawn/exit takes.
+func BenchmarkAllocFree(b *testing.B) {
+	z, err := NewZone("bench", 0, 1<<30, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := z.Alloc(32 << 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := z.Free(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllocChurn measures mixed-size churn with a standing population.
+func BenchmarkAllocChurn(b *testing.B) {
+	z, err := NewZone("bench", 0, 1<<30, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := sim.NewRand(3)
+	live := make([]uint64, 0, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(live) < 512 || rng.Float64() < 0.5 {
+			if a, err := z.Alloc(uint64(rng.Range(1, 64<<10))); err == nil {
+				live = append(live, a)
+				continue
+			}
+		}
+		k := rng.Intn(len(live))
+		_ = z.Free(live[k])
+		live[k] = live[len(live)-1]
+		live = live[:len(live)-1]
+	}
+}

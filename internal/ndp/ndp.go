@@ -1,0 +1,175 @@
+// Package ndp is a miniature NESL-like nested data-parallel run-time —
+// the second run-time integration the paper names in Section 8. Nested
+// (segmented) vectors are flattened so that parallelism is over elements,
+// not segments: wildly irregular segment sizes cannot imbalance the team,
+// which is the property that made NESL a natural HRT tenant.
+//
+// Operations compile to statically-scheduled parallel-for regions on an
+// omp.Team, so they inherit whatever scheduling regime the team runs
+// under: plain, gang-scheduled, or gang-scheduled with barriers removed.
+package ndp
+
+import (
+	"fmt"
+
+	"hrtsched/internal/omp"
+)
+
+// SegVector is a flattened nested vector: Data holds every element of
+// every segment contiguously; Lens holds the segment lengths.
+type SegVector struct {
+	Data []float64
+	Lens []int
+}
+
+// NewSegVector builds a segmented vector from nested slices.
+func NewSegVector(segments [][]float64) *SegVector {
+	v := &SegVector{}
+	for _, s := range segments {
+		v.Lens = append(v.Lens, len(s))
+		v.Data = append(v.Data, s...)
+	}
+	return v
+}
+
+// Total returns the flattened element count.
+func (v *SegVector) Total() int { return len(v.Data) }
+
+// Segments returns the number of segments.
+func (v *SegVector) Segments() int { return len(v.Lens) }
+
+// segStarts returns the exclusive prefix sum of the segment lengths.
+func (v *SegVector) segStarts() []int {
+	starts := make([]int, len(v.Lens)+1)
+	for i, l := range v.Lens {
+		starts[i+1] = starts[i] + l
+	}
+	return starts
+}
+
+// Validate checks that the descriptor matches the data.
+func (v *SegVector) Validate() error {
+	n := 0
+	for i, l := range v.Lens {
+		if l < 0 {
+			return fmt.Errorf("ndp: segment %d has negative length", i)
+		}
+		n += l
+	}
+	if n != len(v.Data) {
+		return fmt.Errorf("ndp: descriptor covers %d of %d elements", n, len(v.Data))
+	}
+	return nil
+}
+
+// costPerElem is the modelled cycles per element for the element-wise
+// kernels below.
+const costPerElem = 12
+
+// Map applies f to every element in parallel (flat, perfectly balanced).
+func Map(team *omp.Team, v *SegVector, f func(x float64) float64, maxEvents uint64) error {
+	target := team.Completed() + 1
+	team.Submit(omp.Region{
+		Name: "ndp-map", Iterations: v.Total(), CostPerIter: costPerElem,
+		Body: func(i int) { v.Data[i] = f(v.Data[i]) },
+	})
+	if !team.Wait(target, maxEvents) {
+		return fmt.Errorf("ndp: map stalled")
+	}
+	return nil
+}
+
+// Scan computes the in-place exclusive prefix sum of the flat data using
+// the classic two-pass parallel algorithm: per-chunk partial sums, a small
+// serial scan of the partials, then a per-chunk fix-up pass.
+func Scan(team *omp.Team, v *SegVector, maxEvents uint64) error {
+	n := v.Total()
+	if n == 0 {
+		return nil
+	}
+	workers := team.Workers()
+	partial := make([]float64, workers)
+	// Per-chunk state must align exactly with the team's static partition:
+	// each worker executes its whole chunk atomically and in index order.
+	chunkOf := func(i int) int { return team.ChunkOf(i, n) }
+	// Pass 1: local sums.
+	t1 := team.Completed() + 1
+	team.Submit(omp.Region{
+		Name: "ndp-scan-1", Iterations: n, CostPerIter: costPerElem,
+		Body: func(i int) { partial[chunkOf(i)] += v.Data[i] },
+	})
+	if !team.Wait(t1, maxEvents) {
+		return fmt.Errorf("ndp: scan pass 1 stalled")
+	}
+	// Serial exclusive scan of the (few) partials.
+	acc := 0.0
+	for c := range partial {
+		partial[c], acc = acc, acc+partial[c]
+	}
+	// Pass 2: local exclusive prefix with chunk offset. Each chunk walks
+	// its own elements in order; the region body is invoked in index order
+	// within a chunk, so a running accumulator per chunk is sound.
+	running := make([]float64, workers)
+	copy(running, partial)
+	t2 := team.Completed() + 1
+	team.Submit(omp.Region{
+		Name: "ndp-scan-2", Iterations: n, CostPerIter: costPerElem,
+		Body: func(i int) {
+			c := chunkOf(i)
+			old := v.Data[i]
+			v.Data[i] = running[c]
+			running[c] += old
+		},
+	})
+	if !team.Wait(t2, maxEvents) {
+		return fmt.Errorf("ndp: scan pass 2 stalled")
+	}
+	return nil
+}
+
+// SegReduce sums each segment, returning one value per segment. The
+// element-parallel pass accumulates into per-worker partial tables indexed
+// by segment, then a small serial pass combines them — segment skew never
+// imbalances the parallel pass.
+func SegReduce(team *omp.Team, v *SegVector, maxEvents uint64) ([]float64, error) {
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	workers := team.Workers()
+	n := v.Total()
+	segs := v.Segments()
+	out := make([]float64, segs)
+	if n == 0 {
+		return out, nil
+	}
+	starts := v.segStarts()
+	// segOf[i] = owning segment, precomputed (what a real flattening
+	// compiler carries as the segment-descriptor expansion).
+	segOf := make([]int, n)
+	s := 0
+	for i := 0; i < n; i++ {
+		for starts[s+1] <= i {
+			s++
+		}
+		segOf[i] = s
+	}
+	chunkOf := func(i int) int { return team.ChunkOf(i, n) }
+	partials := make([][]float64, workers)
+	for w := range partials {
+		partials[w] = make([]float64, segs)
+	}
+	target := team.Completed() + 1
+	team.Submit(omp.Region{
+		Name: "ndp-segreduce", Iterations: n, CostPerIter: costPerElem + 4,
+		Body: func(i int) { partials[chunkOf(i)][segOf[i]] += v.Data[i] },
+	})
+	if !team.Wait(target, maxEvents) {
+		return nil, fmt.Errorf("ndp: segreduce stalled")
+	}
+	for w := range partials {
+		for sIdx, p := range partials[w] {
+			out[sIdx] += p
+		}
+	}
+	return out, nil
+}

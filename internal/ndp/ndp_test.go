@@ -1,0 +1,189 @@
+package ndp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hrtsched/internal/core"
+	"hrtsched/internal/machine"
+	"hrtsched/internal/omp"
+	"hrtsched/internal/sim"
+)
+
+func team(t *testing.T, workers int, seed uint64, cons core.Constraints, sync omp.SyncMode) (*core.Kernel, *omp.Team) {
+	t.Helper()
+	spec := machine.PhiKNL().Scaled(workers + 1)
+	m := machine.New(spec, seed)
+	k := core.Boot(m, core.DefaultConfig(spec))
+	tm := omp.NewTeam(k, omp.Config{Workers: workers, FirstCPU: 1, Constraints: cons, Sync: sync})
+	return k, tm
+}
+
+func TestSegVectorConstruction(t *testing.T) {
+	v := NewSegVector([][]float64{{1, 2}, {}, {3, 4, 5}})
+	if v.Total() != 5 || v.Segments() != 3 {
+		t.Fatalf("shape: %d elems, %d segs", v.Total(), v.Segments())
+	}
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &SegVector{Data: []float64{1}, Lens: []int{2}}
+	if bad.Validate() == nil {
+		t.Fatalf("invalid descriptor accepted")
+	}
+	neg := &SegVector{Data: nil, Lens: []int{-1}}
+	if neg.Validate() == nil {
+		t.Fatalf("negative length accepted")
+	}
+}
+
+func TestMap(t *testing.T) {
+	_, tm := team(t, 4, 151, core.AperiodicConstraints(50), omp.SyncBarrier)
+	v := NewSegVector([][]float64{{1, 2, 3}, {4, 5}})
+	if err := Map(tm, v, func(x float64) float64 { return x * x }, 1<<24); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 4, 9, 16, 25}
+	for i, x := range v.Data {
+		if x != want[i] {
+			t.Fatalf("data[%d] = %v", i, x)
+		}
+	}
+}
+
+func TestScanMatchesSequential(t *testing.T) {
+	_, tm := team(t, 4, 152, core.AperiodicConstraints(50), omp.SyncBarrier)
+	const n = 101
+	nested := [][]float64{make([]float64, n)}
+	for i := range nested[0] {
+		nested[0][i] = float64(i%7) + 0.5
+	}
+	v := NewSegVector(nested)
+	ref := make([]float64, n)
+	acc := 0.0
+	for i, x := range v.Data {
+		ref[i] = acc
+		acc += x
+	}
+	if err := Scan(tm, v, 1<<26); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if math.Abs(v.Data[i]-ref[i]) > 1e-9 {
+			t.Fatalf("scan[%d] = %v, want %v", i, v.Data[i], ref[i])
+		}
+	}
+}
+
+func TestSegReduceSkewedSegments(t *testing.T) {
+	// The flattening claim: one huge segment among tiny ones must not
+	// imbalance the team — every worker still touches ~n/W elements.
+	_, tm := team(t, 4, 153, core.AperiodicConstraints(50), omp.SyncBarrier)
+	big := make([]float64, 1000)
+	for i := range big {
+		big[i] = 1
+	}
+	v := NewSegVector([][]float64{{2, 2}, big, {5}, {}})
+	sums, err := SegReduce(tm, v, 1<<26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{4, 1000, 5, 0}
+	for i := range want {
+		if sums[i] != want[i] {
+			t.Fatalf("segment %d sum = %v, want %v", i, sums[i], want[i])
+		}
+	}
+	// Balance: 4 chunks of ~1003/4 each.
+	if tm.ChunksRun != 4 {
+		t.Fatalf("chunks = %d", tm.ChunksRun)
+	}
+}
+
+func TestNDPOnGangScheduledTeam(t *testing.T) {
+	// The whole point: the same NDP program runs under hard real-time gang
+	// scheduling with barriers removed, with identical results.
+	runSum := func(cons core.Constraints, sync omp.SyncMode, seed uint64) float64 {
+		_, tm := team(t, 4, seed, cons, sync)
+		v := NewSegVector([][]float64{{1, 2, 3, 4}, {5, 6}, {7}})
+		if err := Map(tm, v, func(x float64) float64 { return 2 * x }, 1<<26); err != nil {
+			t.Fatal(err)
+		}
+		sums, err := SegReduce(tm, v, 1<<26)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0.0
+		for _, s := range sums {
+			total += s
+		}
+		return total
+	}
+	plain := runSum(core.AperiodicConstraints(50), omp.SyncBarrier, 154)
+	rt := runSum(core.PeriodicConstraints(0, 200_000, 170_000), omp.SyncTimed, 155)
+	if plain != 56 || rt != 56 {
+		t.Fatalf("results differ: plain=%v rt=%v want 56", plain, rt)
+	}
+}
+
+// Property: Scan equals the sequential exclusive prefix sum for arbitrary
+// data and worker counts.
+func TestPropertyScanCorrect(t *testing.T) {
+	f := func(seed uint64, nRaw, wRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		workers := int(wRaw%6) + 1
+		rng := sim.NewRand(seed)
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = float64(rng.Intn(100))
+		}
+		spec := machine.PhiKNL().Scaled(workers + 1)
+		m := machine.New(spec, seed)
+		k := core.Boot(m, core.DefaultConfig(spec))
+		tm := omp.NewTeam(k, omp.Config{Workers: workers, FirstCPU: 1,
+			Constraints: core.AperiodicConstraints(50), Sync: omp.SyncBarrier})
+		v := &SegVector{Data: append([]float64(nil), data...), Lens: []int{n}}
+		if err := Scan(tm, v, 1<<26); err != nil {
+			return false
+		}
+		acc := 0.0
+		for i := range data {
+			if v.Data[i] != acc {
+				return false
+			}
+			acc += data[i]
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ChunkOf and ChunkBounds agree for all (i, n, workers).
+func TestPropertyChunkingConsistent(t *testing.T) {
+	spec := machine.PhiKNL().Scaled(9)
+	m := machine.New(spec, 1)
+	k := core.Boot(m, core.DefaultConfig(spec))
+	f := func(nRaw uint16, wRaw uint8) bool {
+		n := int(nRaw%500) + 1
+		w := int(wRaw%8) + 1
+		tm := omp.NewTeam(k, omp.Config{Workers: w, FirstCPU: 1,
+			Constraints: core.AperiodicConstraints(50), Sync: omp.SyncBarrier})
+		covered := 0
+		for ww := 0; ww < w; ww++ {
+			lo, hi := tm.ChunkBounds(ww, n)
+			covered += hi - lo
+			for i := lo; i < hi; i++ {
+				if tm.ChunkOf(i, n) != ww {
+					return false
+				}
+			}
+		}
+		return covered == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,292 @@
+// Package omp is a miniature OpenMP-like parallel run-time built on the
+// kernel — the integration the paper names as ongoing work in Section 8
+// ("adding real-time and barrier removal support to Nautilus-internal
+// implementations of OpenMP ... run-times"). It provides a persistent
+// worker team executing statically-scheduled parallel-for regions, with
+// three synchronization modes: classic barriers, hard real-time gang
+// scheduling WITH barriers, and hard real-time gang scheduling with the
+// barriers removed (time replaces synchronization).
+package omp
+
+import (
+	"fmt"
+
+	"hrtsched/internal/core"
+	"hrtsched/internal/group"
+	"hrtsched/internal/ksync"
+	"hrtsched/internal/machine"
+)
+
+// SyncMode selects how workers synchronize between regions.
+type SyncMode uint8
+
+const (
+	// SyncBarrier places a team barrier after every region (classic).
+	SyncBarrier SyncMode = iota
+	// SyncTimed omits inter-region barriers, relying on the gang-scheduled
+	// lockstep of hard real-time group admission. Only sound when the team
+	// holds periodic constraints.
+	SyncTimed
+)
+
+// Config configures a team.
+type Config struct {
+	Workers  int
+	FirstCPU int
+	// Constraints, when periodic, gang-schedules the team through group
+	// admission with phase correction.
+	Constraints core.Constraints
+	Sync        SyncMode
+}
+
+// Schedule selects how a region's iterations are distributed.
+type Schedule uint8
+
+const (
+	// Static gives each worker one contiguous chunk, fixed up front — the
+	// right choice for balanced work and the only choice compatible with
+	// barrier-free timed synchronization.
+	Static Schedule = iota
+	// Dynamic has workers repeatedly claim chunks of DynChunk iterations
+	// from a shared counter — classic OpenMP schedule(dynamic) load
+	// balancing for skewed per-iteration costs.
+	Dynamic
+)
+
+// Region is one parallel-for: Iterations units of work, each costing
+// CostPerIter cycles (or CostFn(i) when set, for affinity-dependent or
+// skewed costs), distributed across the team per Schedule. Body, if
+// non-nil, runs for every iteration (real data movement).
+type Region struct {
+	Name        string
+	Iterations  int
+	CostPerIter int64
+	// CostFn, when non-nil, gives iteration i's cost in cycles; it
+	// overrides CostPerIter. Layered run-times (pgas) use it to charge
+	// local vs remote access costs.
+	CostFn func(i int) int64
+	Body   func(i int)
+	// Sched selects static (default) or dynamic distribution.
+	Sched Schedule
+	// DynChunk is the dynamic-claim size (default 1).
+	DynChunk int
+
+	next int // dynamic-claim cursor
+}
+
+// Team is a persistent worker gang.
+type Team struct {
+	k   *core.Kernel
+	cfg Config
+	g   *group.Group
+	bar *group.Barrier
+	wq  *ksync.WaitQueue
+
+	workers []*core.Thread
+
+	regions   []*Region
+	submitted int
+	// workerDone[w] = number of regions worker w has completed.
+	workerDone []int
+	completed  int
+
+	// ChunksRun counts executed chunks, IterationsRun executed iterations.
+	ChunksRun     int64
+	IterationsRun int64
+}
+
+// NewTeam creates and starts a team. If cfg.Constraints is periodic the
+// team passes group admission (with phase correction) before accepting
+// work; SyncTimed requires that.
+func NewTeam(k *core.Kernel, cfg Config) *Team {
+	if cfg.Workers < 1 {
+		panic("omp: team needs at least one worker")
+	}
+	if cfg.Sync == SyncTimed && cfg.Constraints.Type != core.Periodic {
+		panic("omp: timed synchronization requires periodic gang scheduling")
+	}
+	t := &Team{
+		k:          k,
+		cfg:        cfg,
+		g:          group.New(k, "omp", cfg.Workers, group.DefaultCosts()),
+		wq:         ksync.NewWaitQueue(k),
+		workerDone: make([]int, cfg.Workers),
+	}
+	t.bar = t.g.NewBarrier()
+
+	var admission core.Step
+	if cfg.Constraints.Type == core.Periodic {
+		admission = t.g.ChangeConstraintsSteps(cfg.Constraints,
+			group.AdmitOptions{PhaseCorrection: true}, nil)
+	}
+	pre := t.g.JoinSteps(admission)
+	for w := 0; w < cfg.Workers; w++ {
+		w := w
+		prog := core.FlowThen(pre, core.FlowProgram(t.workerLoop(w)))
+		t.workers = append(t.workers,
+			k.Spawn(fmt.Sprintf("omp-%d", w), cfg.FirstCPU+w, prog))
+	}
+	return t
+}
+
+// Group exposes the team's thread group.
+func (t *Team) Group() *group.Group { return t.g }
+
+// Workers returns the team size.
+func (t *Team) Workers() int { return t.cfg.Workers }
+
+// Spec returns the platform spec the team runs on.
+func (t *Team) Spec() machine.Spec { return t.k.M.Spec }
+
+// ChunkBounds returns the static-schedule bounds [lo, hi) that worker w
+// receives for a region of n iterations — exposed so layered run-times
+// (ndp) can align their per-chunk state with the team's partition.
+func (t *Team) ChunkBounds(w, n int) (int, int) {
+	per := n / t.cfg.Workers
+	rem := n % t.cfg.Workers
+	lo := w*per + min(w, rem)
+	hi := lo + per
+	if w < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// ChunkOf returns the worker that owns iteration i of an n-iteration
+// region under the static schedule.
+func (t *Team) ChunkOf(i, n int) int {
+	per := n / t.cfg.Workers
+	rem := n % t.cfg.Workers
+	cut := rem * (per + 1)
+	if i < cut {
+		return i / (per + 1)
+	}
+	if per == 0 {
+		return t.cfg.Workers - 1
+	}
+	return rem + (i-cut)/per
+}
+
+// workerLoop builds worker w's endless region-processing flow.
+func (t *Team) workerLoop(w int) core.Step {
+	var loop core.Step
+	loop = func(tc *core.ThreadCtx) (core.Action, core.Step) {
+		next := t.wq.WaitSteps(func(*core.ThreadCtx) bool {
+			return t.workerDone[w] < t.submitted
+		}, t.runRegion(w, loop))
+		return nil, next
+	}
+	return loop
+}
+
+// runRegion executes worker w's share of its next region: one static
+// chunk, or repeated dynamic claims until the region is exhausted.
+func (t *Team) runRegion(w int, cont core.Step) core.Step {
+	var lo, hi int
+	var region *Region
+	var claim core.Step
+	chunkBody := func(n core.Step) core.Step {
+		return core.Chain(
+			func(n2 core.Step) core.Step {
+				return core.DoComputeFn(func(tc *core.ThreadCtx) int64 {
+					var c int64
+					if region.CostFn != nil {
+						for i := lo; i < hi; i++ {
+							c += region.CostFn(i)
+						}
+					} else {
+						c = int64(hi-lo) * region.CostPerIter
+					}
+					if c < 1 {
+						c = 1
+					}
+					return c
+				}, n2)
+			},
+			func(n2 core.Step) core.Step {
+				return core.DoCall(func(tc *core.ThreadCtx) {
+					if region.Body != nil {
+						for i := lo; i < hi; i++ {
+							region.Body(i)
+						}
+					}
+					t.ChunksRun++
+					t.IterationsRun += int64(hi - lo)
+				}, n2)
+			},
+			func(core.Step) core.Step { return n },
+		)
+	}
+	var afterWork core.Step // filled below
+	// claim grabs the next dynamic chunk, or falls through when drained.
+	claim = func(tc *core.ThreadCtx) (core.Action, core.Step) {
+		if region.next >= region.Iterations {
+			return nil, afterWork
+		}
+		lo = region.next
+		hi = lo + region.DynChunk
+		if region.DynChunk < 1 {
+			hi = lo + 1
+		}
+		if hi > region.Iterations {
+			hi = region.Iterations
+		}
+		region.next = hi
+		return nil, chunkBody(claim)
+	}
+	return core.Chain(
+		func(n core.Step) core.Step {
+			afterWork = n // the post-work steps below
+			return core.DoCall(func(tc *core.ThreadCtx) {
+				region = t.regions[t.workerDone[w]]
+				if region.Sched == Static {
+					lo, hi = t.ChunkBounds(w, region.Iterations)
+				}
+			}, core.If(func(tc *core.ThreadCtx) bool { return region.Sched == Dynamic },
+				claim,
+				chunkBody(n)))
+		},
+		func(n core.Step) core.Step {
+			if t.cfg.Sync == SyncBarrier {
+				return t.bar.Steps(n)
+			}
+			return n
+		},
+		func(n core.Step) core.Step {
+			return core.DoCall(func(tc *core.ThreadCtx) {
+				t.workerDone[w]++
+				if t.allDone(t.workerDone[w]) {
+					t.completed = t.workerDone[w]
+				}
+			}, n)
+		},
+		func(core.Step) core.Step { return cont },
+	)
+}
+
+func (t *Team) allDone(seq int) bool {
+	for _, d := range t.workerDone {
+		if d < seq {
+			return false
+		}
+	}
+	return true
+}
+
+// Submit enqueues a region for the team and wakes idle workers. Regions
+// are stored by pointer: the dynamic-schedule claim cursor must be shared
+// by every worker even as the slice grows.
+func (t *Team) Submit(r Region) {
+	t.regions = append(t.regions, &r)
+	t.submitted++
+	t.wq.SignalAll()
+}
+
+// Completed returns the number of regions finished by every worker.
+func (t *Team) Completed() int { return t.completed }
+
+// Wait drives the kernel until n regions have completed (or the event
+// bound trips).
+func (t *Team) Wait(n int, maxEvents uint64) bool {
+	return t.k.RunUntil(func() bool { return t.completed >= n }, maxEvents)
+}

@@ -1,0 +1,185 @@
+package omp
+
+import (
+	"testing"
+
+	"hrtsched/internal/core"
+	"hrtsched/internal/machine"
+)
+
+func boot(t *testing.T, ncpus int, seed uint64) *core.Kernel {
+	t.Helper()
+	spec := machine.PhiKNL().Scaled(ncpus)
+	m := machine.New(spec, seed)
+	return core.Boot(m, core.DefaultConfig(spec))
+}
+
+func TestParallelForCoversAllIterations(t *testing.T) {
+	k := boot(t, 5, 141)
+	team := NewTeam(k, Config{Workers: 4, FirstCPU: 1,
+		Constraints: core.AperiodicConstraints(50), Sync: SyncBarrier})
+	const n = 103 // not divisible by 4: exercises remainder chunking
+	counts := make([]int, n)
+	team.Submit(Region{Name: "r1", Iterations: n, CostPerIter: 500,
+		Body: func(i int) { counts[i]++ }})
+	if !team.Wait(1, 1<<24) {
+		t.Fatalf("region did not complete")
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("iteration %d executed %d times", i, c)
+		}
+	}
+	if team.IterationsRun != n || team.ChunksRun != 4 {
+		t.Fatalf("iterations=%d chunks=%d", team.IterationsRun, team.ChunksRun)
+	}
+}
+
+func TestMultipleRegionsInOrder(t *testing.T) {
+	k := boot(t, 3, 142)
+	team := NewTeam(k, Config{Workers: 2, FirstCPU: 1,
+		Constraints: core.AperiodicConstraints(50), Sync: SyncBarrier})
+	var sum1, sum2 int
+	team.Submit(Region{Name: "a", Iterations: 10, CostPerIter: 1000,
+		Body: func(i int) { sum1 += i }})
+	team.Submit(Region{Name: "b", Iterations: 10, CostPerIter: 1000,
+		Body: func(i int) { sum2 += sum1 }}) // depends on region a being done
+	if !team.Wait(2, 1<<24) {
+		t.Fatalf("regions did not complete (%d)", team.Completed())
+	}
+	if sum1 != 45 {
+		t.Fatalf("sum1 = %d", sum1)
+	}
+	if sum2 != 450 {
+		t.Fatalf("region ordering violated: sum2 = %d, want 450", sum2)
+	}
+}
+
+func TestGangScheduledTeamThrottled(t *testing.T) {
+	// A 50%-utilization team takes about twice as long as a full-speed one.
+	elapsed := func(cons core.Constraints, seed uint64) int64 {
+		k := boot(t, 5, seed)
+		team := NewTeam(k, Config{Workers: 4, FirstCPU: 1,
+			Constraints: cons, Sync: SyncBarrier})
+		start := k.NowNs()
+		for r := 0; r < 10; r++ {
+			team.Submit(Region{Iterations: 400, CostPerIter: 2000})
+		}
+		if !team.Wait(10, 1<<26) {
+			t.Fatalf("team stalled")
+		}
+		return k.NowNs() - start
+	}
+	full := elapsed(core.AperiodicConstraints(50), 143)
+	half := elapsed(core.PeriodicConstraints(0, 200_000, 100_000), 144)
+	ratio := float64(half) / float64(full)
+	if ratio < 1.5 || ratio > 3.2 {
+		t.Fatalf("50%% gang throttling off: full=%dns half=%dns ratio=%.2f", full, half, ratio)
+	}
+}
+
+func TestTimedSyncMatchesBarrierResults(t *testing.T) {
+	run := func(sync SyncMode, seed uint64) ([]int, int64) {
+		k := boot(t, 5, seed)
+		team := NewTeam(k, Config{Workers: 4, FirstCPU: 1,
+			Constraints: core.PeriodicConstraints(0, 200_000, 180_000), Sync: sync})
+		const n = 64
+		counts := make([]int, n)
+		start := k.NowNs()
+		for r := 0; r < 20; r++ {
+			team.Submit(Region{Iterations: n, CostPerIter: 3000,
+				Body: func(i int) { counts[i]++ }})
+		}
+		if !team.Wait(20, 1<<26) {
+			t.Fatalf("team stalled in mode %d", sync)
+		}
+		return counts, k.NowNs() - start
+	}
+	withBar, tBar := run(SyncBarrier, 145)
+	timed, tTimed := run(SyncTimed, 146)
+	for i := range withBar {
+		if withBar[i] != 20 || timed[i] != 20 {
+			t.Fatalf("iteration coverage: barrier=%d timed=%d", withBar[i], timed[i])
+		}
+	}
+	// Barrier removal pays off for fine-grain regions.
+	if tTimed >= tBar {
+		t.Fatalf("timed sync (%dns) not faster than barrier (%dns)", tTimed, tBar)
+	}
+}
+
+func TestTimedSyncRequiresRT(t *testing.T) {
+	k := boot(t, 3, 147)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("timed sync without gang scheduling accepted")
+		}
+	}()
+	NewTeam(k, Config{Workers: 2, FirstCPU: 1,
+		Constraints: core.AperiodicConstraints(50), Sync: SyncTimed})
+}
+
+func TestDynamicScheduleCoversAllIterations(t *testing.T) {
+	k := boot(t, 5, 148)
+	team := NewTeam(k, Config{Workers: 4, FirstCPU: 1,
+		Constraints: core.AperiodicConstraints(50), Sync: SyncBarrier})
+	const n = 101
+	counts := make([]int, n)
+	team.Submit(Region{Iterations: n, CostPerIter: 2000, Sched: Dynamic, DynChunk: 4,
+		Body: func(i int) { counts[i]++ }})
+	if !team.Wait(1, 1<<26) {
+		t.Fatalf("dynamic region stalled")
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("iteration %d executed %d times", i, c)
+		}
+	}
+	if team.IterationsRun != n {
+		t.Fatalf("iterations = %d", team.IterationsRun)
+	}
+}
+
+func TestDynamicBeatsStaticUnderSkew(t *testing.T) {
+	// Heavily skewed per-iteration cost: static chunking dumps all the
+	// heavy iterations on one worker; dynamic claims rebalance.
+	elapsed := func(sched Schedule, seed uint64) int64 {
+		k := boot(t, 5, seed)
+		team := NewTeam(k, Config{Workers: 4, FirstCPU: 1,
+			Constraints: core.AperiodicConstraints(50), Sync: SyncBarrier})
+		const n = 64
+		cost := func(i int) int64 {
+			if i < n/4 {
+				return 800_000 // the first static chunk is 16x heavier
+			}
+			return 50_000
+		}
+		start := k.NowNs()
+		for r := 0; r < 4; r++ {
+			team.Submit(Region{Iterations: n, CostFn: cost, Sched: sched, DynChunk: 2})
+		}
+		if !team.Wait(4, 1<<27) {
+			t.Fatalf("stalled")
+		}
+		return k.NowNs() - start
+	}
+	static := elapsed(Static, 149)
+	dynamic := elapsed(Dynamic, 150)
+	if dynamic*2 > static {
+		t.Fatalf("dynamic schedule shows no balancing: static=%dns dynamic=%dns",
+			static, dynamic)
+	}
+}
+
+func TestDynamicDefaultChunkIsOne(t *testing.T) {
+	k := boot(t, 3, 151)
+	team := NewTeam(k, Config{Workers: 2, FirstCPU: 1,
+		Constraints: core.AperiodicConstraints(50), Sync: SyncBarrier})
+	team.Submit(Region{Iterations: 10, CostPerIter: 5000, Sched: Dynamic})
+	if !team.Wait(1, 1<<26) {
+		t.Fatalf("stalled")
+	}
+	if team.IterationsRun != 10 {
+		t.Fatalf("iterations = %d", team.IterationsRun)
+	}
+}

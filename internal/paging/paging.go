@@ -1,0 +1,220 @@
+// Package paging models the Nautilus memory-translation substrate the
+// paper's predictability rests on (Section 2): identity-mapped paging
+// using the largest possible page size, with all addresses mapped at boot,
+// no swapping and no page movement. The consequence claimed there — "TLB
+// misses are extremely rare, and, indeed, if the TLB entries can cover the
+// physical address space of the machine, do not occur at all after
+// startup" — is directly observable on this model.
+package paging
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PageSize selects the mapping granularity.
+type PageSize uint8
+
+const (
+	// Page4K is the x64 base page size.
+	Page4K PageSize = iota
+	// Page2M is a large page (one PDE level saved).
+	Page2M
+	// Page1G is the largest x64 page size.
+	Page1G
+)
+
+// Bytes returns the page size in bytes.
+func (p PageSize) Bytes() uint64 {
+	switch p {
+	case Page4K:
+		return 4 << 10
+	case Page2M:
+		return 2 << 20
+	default:
+		return 1 << 30
+	}
+}
+
+// WalkLevels returns the number of page-table levels a miss must walk.
+func (p PageSize) WalkLevels() int {
+	switch p {
+	case Page4K:
+		return 4
+	case Page2M:
+		return 3
+	default:
+		return 2
+	}
+}
+
+// String names the page size.
+func (p PageSize) String() string {
+	switch p {
+	case Page4K:
+		return "4K"
+	case Page2M:
+		return "2M"
+	default:
+		return "1G"
+	}
+}
+
+// ErrUnmapped is returned for addresses beyond the identity map.
+var ErrUnmapped = errors.New("paging: address outside the identity map")
+
+// IdentityMap is the boot-built page table: [0, PhysBytes) mapped 1:1 with
+// a uniform page size. It never changes after construction — no page
+// faults, no swapping, no movement.
+type IdentityMap struct {
+	PhysBytes uint64
+	Size      PageSize
+	pages     uint64
+}
+
+// NewIdentityMap builds the map. physBytes is rounded up to a whole page.
+func NewIdentityMap(physBytes uint64, size PageSize) *IdentityMap {
+	ps := size.Bytes()
+	pages := (physBytes + ps - 1) / ps
+	return &IdentityMap{PhysBytes: pages * ps, Size: size, pages: pages}
+}
+
+// Pages returns the number of mapped pages — the TLB reach requirement.
+func (m *IdentityMap) Pages() uint64 { return m.pages }
+
+// PageOf returns the page number of addr, or an error if unmapped.
+func (m *IdentityMap) PageOf(addr uint64) (uint64, error) {
+	if addr >= m.PhysBytes {
+		return 0, fmt.Errorf("%w: %#x >= %#x", ErrUnmapped, addr, m.PhysBytes)
+	}
+	return addr / m.Size.Bytes(), nil
+}
+
+// TLB is a fully-associative translation cache with LRU replacement —
+// small and simple, like the structure whose coverage the paper reasons
+// about.
+type TLB struct {
+	capacity int
+	// LRU list: index 0 is most recent.
+	order []uint64
+	where map[uint64]int
+
+	Hits, Misses int64
+}
+
+// NewTLB creates a TLB holding capacity entries.
+func NewTLB(capacity int) *TLB {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TLB{capacity: capacity, where: make(map[uint64]int, capacity)}
+}
+
+// Capacity returns the entry count.
+func (t *TLB) Capacity() int { return t.capacity }
+
+// Lookup checks for page; on hit the entry becomes most-recent.
+func (t *TLB) Lookup(page uint64) bool {
+	idx, ok := t.where[page]
+	if !ok {
+		t.Misses++
+		return false
+	}
+	t.Hits++
+	t.touch(idx)
+	return true
+}
+
+// Insert adds page, evicting the least-recently-used entry if full.
+func (t *TLB) Insert(page uint64) {
+	if _, ok := t.where[page]; ok {
+		t.touch(t.where[page])
+		return
+	}
+	if len(t.order) >= t.capacity {
+		victim := t.order[len(t.order)-1]
+		t.order = t.order[:len(t.order)-1]
+		delete(t.where, victim)
+	}
+	t.order = append([]uint64{page}, t.order...)
+	t.reindex()
+}
+
+func (t *TLB) touch(idx int) {
+	if idx == 0 {
+		return
+	}
+	page := t.order[idx]
+	copy(t.order[1:idx+1], t.order[:idx])
+	t.order[0] = page
+	t.reindex()
+}
+
+func (t *TLB) reindex() {
+	for i, p := range t.order {
+		t.where[p] = i
+	}
+}
+
+// MMU combines the identity map and a TLB; Translate returns the cycle
+// cost of one memory access's translation.
+type MMU struct {
+	Map *IdentityMap
+	TLB *TLB
+
+	// WalkCostPerLevel is the cycles per page-table level on a miss.
+	WalkCostPerLevel int64
+
+	WalkCycles int64 // cumulative cycles spent walking
+	Accesses   int64
+}
+
+// NewMMU builds an MMU with the given TLB capacity.
+func NewMMU(physBytes uint64, size PageSize, tlbEntries int, walkCostPerLevel int64) *MMU {
+	return &MMU{
+		Map:              NewIdentityMap(physBytes, size),
+		TLB:              NewTLB(tlbEntries),
+		WalkCostPerLevel: walkCostPerLevel,
+	}
+}
+
+// Translate performs one translation, returning its cycle cost (zero for a
+// TLB hit; a full walk for a miss).
+func (m *MMU) Translate(addr uint64) (int64, error) {
+	m.Accesses++
+	page, err := m.Map.PageOf(addr)
+	if err != nil {
+		return 0, err
+	}
+	if m.TLB.Lookup(page) {
+		return 0, nil
+	}
+	cost := int64(m.Map.Size.WalkLevels()) * m.WalkCostPerLevel
+	m.WalkCycles += cost
+	m.TLB.Insert(page)
+	return cost, nil
+}
+
+// Covered reports whether the TLB can hold the entire identity map — the
+// paper's no-misses-after-startup condition.
+func (m *MMU) Covered() bool {
+	return uint64(m.TLB.Capacity()) >= m.Map.Pages()
+}
+
+// MissRate returns TLB misses per access.
+func (m *MMU) MissRate() float64 {
+	total := m.TLB.Hits + m.TLB.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(m.TLB.Misses) / float64(total)
+}
+
+// Warmup touches every mapped page once (what booting the identity map and
+// first-touch initialization does).
+func (m *MMU) Warmup() {
+	ps := m.Map.Size.Bytes()
+	for a := uint64(0); a < m.Map.PhysBytes; a += ps {
+		_, _ = m.Translate(a)
+	}
+}

@@ -1,0 +1,173 @@
+package paging
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"hrtsched/internal/sim"
+)
+
+func TestPageSizes(t *testing.T) {
+	if Page4K.Bytes() != 4096 || Page2M.Bytes() != 2<<20 || Page1G.Bytes() != 1<<30 {
+		t.Fatalf("page sizes wrong")
+	}
+	if Page4K.WalkLevels() != 4 || Page2M.WalkLevels() != 3 || Page1G.WalkLevels() != 2 {
+		t.Fatalf("walk levels wrong")
+	}
+}
+
+func TestIdentityMapRounding(t *testing.T) {
+	m := NewIdentityMap(100<<30, Page1G)
+	if m.Pages() != 100 {
+		t.Fatalf("pages = %d", m.Pages())
+	}
+	m2 := NewIdentityMap(1<<30+1, Page1G)
+	if m2.Pages() != 2 {
+		t.Fatalf("rounding: pages = %d", m2.Pages())
+	}
+	if _, err := m.PageOf(100 << 30); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("out-of-map address translated")
+	}
+	p, err := m.PageOf(3<<30 + 5)
+	if err != nil || p != 3 {
+		t.Fatalf("PageOf = %d, %v", p, err)
+	}
+}
+
+func TestNoMissesAfterStartupWithCoverage(t *testing.T) {
+	// The paper's exact claim: 1G identity pages + a TLB that covers the
+	// physical address space => zero TLB misses after startup.
+	mmu := NewMMU(112<<30, Page1G, 128, 40) // Phi: 16G MCDRAM + 96G DRAM
+	if !mmu.Covered() {
+		t.Fatalf("TLB should cover %d 1G pages", mmu.Map.Pages())
+	}
+	mmu.Warmup()
+	missesAfterBoot := mmu.TLB.Misses
+	rng := sim.NewRand(9)
+	for i := 0; i < 200_000; i++ {
+		addr := uint64(rng.Int63n(112 << 30))
+		cost, err := mmu.Translate(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost != 0 {
+			t.Fatalf("translation walked after startup (access %d)", i)
+		}
+	}
+	if mmu.TLB.Misses != missesAfterBoot {
+		t.Fatalf("misses after startup: %d", mmu.TLB.Misses-missesAfterBoot)
+	}
+}
+
+func TestSmallPagesMissForever(t *testing.T) {
+	// The counterfactual: 4K pages cannot be covered, so random access
+	// keeps missing — the noise a commodity kernel carries.
+	mmu := NewMMU(4<<30, Page4K, 1536, 40)
+	if mmu.Covered() {
+		t.Fatalf("4K pages should exceed TLB coverage")
+	}
+	rng := sim.NewRand(10)
+	for i := 0; i < 100_000; i++ {
+		addr := uint64(rng.Int63n(4 << 30))
+		if _, err := mmu.Translate(addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mmu.MissRate() < 0.5 {
+		t.Fatalf("4K random-access miss rate %.3f suspiciously low", mmu.MissRate())
+	}
+	if mmu.WalkCycles == 0 {
+		t.Fatalf("no walk cycles recorded")
+	}
+}
+
+func TestWalkCostByPageSize(t *testing.T) {
+	for _, c := range []struct {
+		size PageSize
+		want int64
+	}{{Page4K, 160}, {Page2M, 120}, {Page1G, 80}} {
+		mmu := NewMMU(8<<30, c.size, 4, 40)
+		cost, err := mmu.Translate(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost != c.want {
+			t.Fatalf("%v first-touch walk = %d, want %d", c.size, cost, c.want)
+		}
+	}
+}
+
+func TestTLBLRUEviction(t *testing.T) {
+	tlb := NewTLB(2)
+	tlb.Insert(1)
+	tlb.Insert(2)
+	if !tlb.Lookup(1) { // 1 becomes MRU
+		t.Fatalf("entry 1 missing")
+	}
+	tlb.Insert(3) // evicts 2 (LRU)
+	if tlb.Lookup(2) {
+		t.Fatalf("LRU entry not evicted")
+	}
+	if !tlb.Lookup(1) || !tlb.Lookup(3) {
+		t.Fatalf("wrong entries evicted")
+	}
+}
+
+func TestTLBDuplicateInsert(t *testing.T) {
+	tlb := NewTLB(2)
+	tlb.Insert(7)
+	tlb.Insert(7)
+	tlb.Insert(8)
+	if !tlb.Lookup(7) || !tlb.Lookup(8) {
+		t.Fatalf("duplicate insert corrupted the TLB")
+	}
+}
+
+// Property: a TLB never holds more than its capacity and hits+misses equals
+// lookups, under any access pattern.
+func TestPropertyTLBInvariants(t *testing.T) {
+	f := func(pages []uint8) bool {
+		tlb := NewTLB(8)
+		lookups := int64(0)
+		for _, p := range pages {
+			page := uint64(p % 32)
+			if !tlb.Lookup(page) {
+				tlb.Insert(page)
+			}
+			lookups++
+			if len(tlb.order) > 8 || len(tlb.where) > 8 {
+				return false
+			}
+			if len(tlb.order) != len(tlb.where) {
+				return false
+			}
+		}
+		return tlb.Hits+tlb.Misses == lookups
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: working sets within TLB capacity stop missing after one pass.
+func TestPropertyWorkingSetResidency(t *testing.T) {
+	f := func(seed uint64, wsRaw uint8) bool {
+		ws := int(wsRaw%8) + 1 // 1..8 pages, TLB cap 8
+		mmu := NewMMU(1<<30, Page2M, 8, 40)
+		rng := sim.NewRand(seed)
+		// One pass over the working set.
+		for i := 0; i < ws; i++ {
+			_, _ = mmu.Translate(uint64(i) * Page2M.Bytes())
+		}
+		before := mmu.TLB.Misses
+		for i := 0; i < 1000; i++ {
+			p := rng.Intn(ws)
+			_, _ = mmu.Translate(uint64(p) * Page2M.Bytes())
+		}
+		return mmu.TLB.Misses == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

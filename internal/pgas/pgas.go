@@ -1,0 +1,147 @@
+// Package pgas is a miniature UPC-like partitioned-global-address-space
+// run-time — the third run-time the paper lists as ported to the HRT
+// environment ("ports of Legion, NESL, NDPC, UPC (partial), OpenMP
+// (partial), and Racket have run in HRT form", Section 2). Shared arrays
+// are partitioned across the team's CPUs with explicit affinity; accesses
+// to another CPU's partition cost more (the machine's remote-write
+// latency), and upc_forall-style affinity placement turns remote traffic
+// into local traffic.
+//
+// Operations execute as parallel-for regions on an omp.Team, so PGAS
+// programs inherit the team's scheduling regime — including gang-scheduled
+// hard real-time with barriers removed.
+package pgas
+
+import (
+	"fmt"
+
+	"hrtsched/internal/omp"
+)
+
+// Distribution places array elements onto team workers.
+type Distribution uint8
+
+const (
+	// Blocked gives each worker one contiguous block, aligned with the
+	// team's static parallel-for partition — affinity-placed loops touch
+	// only local elements.
+	Blocked Distribution = iota
+	// Cyclic deals elements round-robin (UPC's default layout for shared
+	// scalars): element i lives with worker i %% W.
+	Cyclic
+)
+
+// Array is a shared array partitioned across the team.
+type Array struct {
+	team *omp.Team
+	dist Distribution
+	data []float64
+
+	// Access accounting (updated when accesses are charged via CostOf
+	// inside team regions).
+	Local  int64
+	Remote int64
+}
+
+// NewArray allocates a shared array of n elements with the distribution.
+func NewArray(team *omp.Team, n int, dist Distribution) *Array {
+	return &Array{team: team, dist: dist, data: make([]float64, n)}
+}
+
+// Len returns the element count.
+func (a *Array) Len() int { return len(a.data) }
+
+// Owner returns the worker whose partition holds element i.
+func (a *Array) Owner(i int) int {
+	switch a.dist {
+	case Cyclic:
+		return i % a.team.Workers()
+	default:
+		return a.team.ChunkOf(i, len(a.data))
+	}
+}
+
+// At reads element i (cost must be charged by the enclosing region).
+func (a *Array) At(i int) float64 { return a.data[i] }
+
+// Set writes element i (cost must be charged by the enclosing region).
+func (a *Array) Set(i int, v float64) { a.data[i] = v }
+
+// Fill initializes every element (host-side setup, not charged).
+func (a *Array) Fill(f func(i int) float64) {
+	for i := range a.data {
+		a.data[i] = f(i)
+	}
+}
+
+// accessCost returns the cycle cost of worker w touching element i, and
+// records the locality.
+func (a *Array) accessCost(w, i int) int64 {
+	spec := a.team.Spec()
+	if a.Owner(i) == w {
+		a.Local++
+		return spec.LocalFlopCycles
+	}
+	a.Remote++
+	return spec.RemoteWriteCycles
+}
+
+// Placement selects where forall iterations execute.
+type Placement uint8
+
+const (
+	// ByAffinity runs iteration i on the worker owning affinity element i
+	// — upc_forall(...; &a[i]). Only meaningful when the affinity array's
+	// distribution matches the team partition (Blocked); for other layouts
+	// the run-time falls back to chunk placement and charges remote costs
+	// honestly.
+	ByAffinity Placement = iota
+	// ByChunk runs iterations in plain static-chunk order regardless of
+	// data placement — upc_forall(...; continue).
+	ByChunk
+)
+
+// ForAll runs body(i) for every i in [0, n) on the team, charging each
+// iteration the access costs of the arrays it declares it touches.
+// Returns after every worker finished the region.
+func ForAll(team *omp.Team, name string, n int, placement Placement,
+	touches []*Array, body func(i int), maxEvents uint64) error {
+	if n < 0 {
+		return fmt.Errorf("pgas: negative iteration count")
+	}
+	costFn := func(i int) int64 {
+		w := team.ChunkOf(i, n)
+		var c int64 = 1
+		for _, arr := range touches {
+			if placement == ByAffinity && arr.dist == Blocked && arr.Len() == n {
+				// Affinity placement on an aligned blocked array: the
+				// iteration executes where the data lives.
+				c += arr.accessCostAtOwner(i)
+				continue
+			}
+			c += arr.accessCost(w, i)
+		}
+		return c
+	}
+	target := team.Completed() + 1
+	team.Submit(omp.Region{Name: name, Iterations: n, CostFn: costFn, Body: body})
+	if !team.Wait(target, maxEvents) {
+		return fmt.Errorf("pgas: forall %q stalled", name)
+	}
+	return nil
+}
+
+// accessCostAtOwner charges a guaranteed-local access.
+func (a *Array) accessCostAtOwner(i int) int64 {
+	a.Local++
+	return a.team.Spec().LocalFlopCycles
+}
+
+// Stats returns (local, remote) access counts across the given arrays.
+func Stats(arrays ...*Array) (local, remote int64) {
+	for _, a := range arrays {
+		local += a.Local
+		remote += a.Remote
+	}
+	return
+}

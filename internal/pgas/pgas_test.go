@@ -1,0 +1,137 @@
+package pgas
+
+import (
+	"testing"
+
+	"hrtsched/internal/core"
+	"hrtsched/internal/machine"
+	"hrtsched/internal/omp"
+)
+
+func team(t *testing.T, workers int, seed uint64, cons core.Constraints, sync omp.SyncMode) (*core.Kernel, *omp.Team) {
+	t.Helper()
+	spec := machine.PhiKNL().Scaled(workers + 1)
+	m := machine.New(spec, seed)
+	k := core.Boot(m, core.DefaultConfig(spec))
+	tm := omp.NewTeam(k, omp.Config{Workers: workers, FirstCPU: 1, Constraints: cons, Sync: sync})
+	return k, tm
+}
+
+func aper() core.Constraints { return core.AperiodicConstraints(50) }
+
+func TestOwnership(t *testing.T) {
+	_, tm := team(t, 4, 201, aper(), omp.SyncBarrier)
+	blocked := NewArray(tm, 100, Blocked)
+	cyclic := NewArray(tm, 100, Cyclic)
+	// Blocked ownership matches the team's chunking exactly.
+	for i := 0; i < 100; i++ {
+		if blocked.Owner(i) != tm.ChunkOf(i, 100) {
+			t.Fatalf("blocked owner mismatch at %d", i)
+		}
+		if cyclic.Owner(i) != i%4 {
+			t.Fatalf("cyclic owner mismatch at %d", i)
+		}
+	}
+}
+
+func TestForAllCorrectness(t *testing.T) {
+	_, tm := team(t, 4, 202, aper(), omp.SyncBarrier)
+	a := NewArray(tm, 97, Blocked)
+	a.Fill(func(i int) float64 { return float64(i) })
+	if err := ForAll(tm, "double", 97, ByAffinity, []*Array{a},
+		func(i int) { a.Set(i, 2*a.At(i)) }, 1<<26); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 97; i++ {
+		if a.At(i) != float64(2*i) {
+			t.Fatalf("a[%d] = %v", i, a.At(i))
+		}
+	}
+}
+
+func TestAffinityEliminatesRemoteTraffic(t *testing.T) {
+	// The UPC claim: affinity-placed loops over a blocked array touch only
+	// local elements; chunk-placed loops over a cyclic array mostly touch
+	// remote ones.
+	_, tm := team(t, 4, 203, aper(), omp.SyncBarrier)
+	const n = 400
+	blocked := NewArray(tm, n, Blocked)
+	if err := ForAll(tm, "local", n, ByAffinity, []*Array{blocked},
+		nil, 1<<26); err != nil {
+		t.Fatal(err)
+	}
+	if blocked.Remote != 0 || blocked.Local != n {
+		t.Fatalf("affinity loop: local=%d remote=%d", blocked.Local, blocked.Remote)
+	}
+
+	cyclic := NewArray(tm, n, Cyclic)
+	if err := ForAll(tm, "striped", n, ByChunk, []*Array{cyclic},
+		nil, 1<<26); err != nil {
+		t.Fatal(err)
+	}
+	// With 4 workers and cyclic layout, ~3/4 of chunk-placed accesses are
+	// remote.
+	if cyclic.Remote < n/2 {
+		t.Fatalf("cyclic chunk loop: local=%d remote=%d", cyclic.Local, cyclic.Remote)
+	}
+	if cyclic.Local+cyclic.Remote != n {
+		t.Fatalf("access accounting leak: %d+%d != %d", cyclic.Local, cyclic.Remote, n)
+	}
+}
+
+func TestRemoteTrafficCostsTime(t *testing.T) {
+	run := func(dist Distribution) int64 {
+		k, tm := team(t, 4, 204, aper(), omp.SyncBarrier)
+		a := NewArray(tm, 2000, dist)
+		start := k.NowNs()
+		for r := 0; r < 5; r++ {
+			if err := ForAll(tm, "touch", 2000, ByChunk, []*Array{a}, nil, 1<<26); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return k.NowNs() - start
+	}
+	local := run(Blocked) // chunk placement over blocked data is all-local
+	remote := run(Cyclic)
+	// Remote access costs RemoteWriteCycles (240) vs LocalFlopCycles (9):
+	// the cyclic run must be much slower.
+	if remote < 3*local {
+		t.Fatalf("remote traffic not penalized: local=%dns remote=%dns", local, remote)
+	}
+}
+
+func TestPGASUnderGangSchedulingTimed(t *testing.T) {
+	// The full stack: UPC-style affinity loops on a gang-scheduled team
+	// with barriers removed, with identical results.
+	cons := core.PeriodicConstraints(0, 200_000, 170_000)
+	_, tm := team(t, 4, 205, cons, omp.SyncTimed)
+	const n = 128
+	a := NewArray(tm, n, Blocked)
+	a.Fill(func(i int) float64 { return 1 })
+	for r := 0; r < 10; r++ {
+		if err := ForAll(tm, "acc", n, ByAffinity, []*Array{a},
+			func(i int) { a.Set(i, a.At(i)+1) }, 1<<27); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if a.At(i) != 11 {
+			t.Fatalf("a[%d] = %v, want 11", i, a.At(i))
+		}
+	}
+	if a.Remote != 0 {
+		t.Fatalf("affinity loop produced %d remote accesses", a.Remote)
+	}
+	for _, th := range tm.Group().Members() {
+		if th.Misses > 0 {
+			t.Fatalf("gang member missed %d deadlines", th.Misses)
+		}
+	}
+}
+
+func TestForAllRejectsNegative(t *testing.T) {
+	_, tm := team(t, 2, 206, aper(), omp.SyncBarrier)
+	if err := ForAll(tm, "bad", -1, ByChunk, nil, nil, 1<<20); err == nil {
+		t.Fatalf("negative n accepted")
+	}
+}

@@ -1,0 +1,123 @@
+package scope
+
+import (
+	"strings"
+	"testing"
+
+	"hrtsched/internal/machine"
+	"hrtsched/internal/sim"
+)
+
+// mkSquareWave writes a square wave on pin 0: period/width in cycles, n
+// pulses, with per-edge jitter supplied by jitterFn.
+func mkSquareWave(m *machine.Machine, pin uint, period, width int64, n int, jitter func(i int) int64) {
+	at := sim.Time(1000)
+	for i := 0; i < n; i++ {
+		j := jitter(i)
+		rise := at + sim.Time(j)
+		fall := rise + sim.Time(width)
+		p := pin
+		m.Eng.Schedule(rise, sim.Hard, func(sim.Time) { m.GPIO.SetPin(p, true) })
+		m.Eng.Schedule(fall, sim.Hard, func(sim.Time) { m.GPIO.SetPin(p, false) })
+		at += sim.Time(period)
+	}
+	m.Eng.RunAll(uint64(4*n + 4))
+}
+
+func TestAnalyzeCleanWave(t *testing.T) {
+	m := machine.New(machine.PhiKNL().Scaled(1), 1)
+	// 130,000-cycle period (100 us), 50% duty.
+	mkSquareWave(m, 0, 130_000, 65_000, 50, func(int) int64 { return 0 })
+	tr := Analyze(m, 0, "clean")
+	if len(tr.Pulses) != 50 {
+		t.Fatalf("pulses = %d", len(tr.Pulses))
+	}
+	if p := tr.Period.Mean(); p < 99_999 || p > 100_001 {
+		t.Fatalf("period mean %f ns, want 100000", p)
+	}
+	if tr.Period.Std() > 1 {
+		t.Fatalf("clean wave has period fuzz %f", tr.Period.Std())
+	}
+	if tr.DutyPct < 49 || tr.DutyPct > 51 {
+		t.Fatalf("duty = %f", tr.DutyPct)
+	}
+	if tr.Sharpness() < 1000 {
+		t.Fatalf("clean wave not sharp: %f", tr.Sharpness())
+	}
+}
+
+func TestAnalyzeJitteryWave(t *testing.T) {
+	m := machine.New(machine.PhiKNL().Scaled(1), 2)
+	rng := sim.NewRand(3)
+	mkSquareWave(m, 0, 130_000, 65_000, 200, func(int) int64 {
+		return rng.Range(-6_000, 6_000)
+	})
+	tr := Analyze(m, 0, "fuzzy")
+	if tr.FuzzNs() < 1_000 {
+		t.Fatalf("jittery wave reported as sharp: fuzz %f ns", tr.FuzzNs())
+	}
+	if tr.Sharpness() > 100 {
+		t.Fatalf("sharpness %f too high for a jittery wave", tr.Sharpness())
+	}
+}
+
+func TestPersistenceRendering(t *testing.T) {
+	m := machine.New(machine.PhiKNL().Scaled(1), 4)
+	mkSquareWave(m, 0, 130_000, 65_000, 40, func(int) int64 { return 0 })
+	tr := Analyze(m, 0, "clean")
+	out := tr.RenderPersistence(80)
+	if !strings.Contains(out, "#") {
+		t.Fatalf("clean wave should render solid '#' columns:\n%s", out)
+	}
+	// A clean 50% wave: roughly half the columns solid.
+	solid := strings.Count(out, "#")
+	if solid < 30 || solid > 50 {
+		t.Fatalf("solid columns = %d of 80", solid)
+	}
+
+	m2 := machine.New(machine.PhiKNL().Scaled(1), 5)
+	rng := sim.NewRand(6)
+	mkSquareWave(m2, 0, 130_000, 65_000, 200, func(int) int64 {
+		return rng.Range(-8_000, 8_000)
+	})
+	fz := Analyze(m2, 0, "fuzzy").RenderPersistence(80)
+	if !strings.Contains(fz, ".") {
+		t.Fatalf("fuzzy wave should render '.' fringe columns:\n%s", fz)
+	}
+}
+
+func TestAnalyzeEmptyPin(t *testing.T) {
+	m := machine.New(machine.PhiKNL().Scaled(1), 7)
+	tr := Analyze(m, 3, "idle")
+	if len(tr.Pulses) != 0 || tr.Sharpness() != 0 {
+		t.Fatalf("idle pin produced pulses")
+	}
+	if tr.RenderPersistence(40) != "(insufficient pulses)\n" {
+		t.Fatalf("empty render wrong")
+	}
+	if !strings.Contains(tr.String(), "idle") {
+		t.Fatalf("String() missing label")
+	}
+}
+
+func TestMultiPinIndependence(t *testing.T) {
+	m := machine.New(machine.PhiKNL().Scaled(1), 8)
+	// Interleave two waves on different pins via direct writes.
+	g := m.GPIO
+	for i := 0; i < 10; i++ {
+		at := sim.Time(1000 + i*10_000)
+		m.Eng.Schedule(at, sim.Hard, func(sim.Time) { g.SetPin(0, true) })
+		m.Eng.Schedule(at+2_000, sim.Hard, func(sim.Time) { g.SetPin(1, true) })
+		m.Eng.Schedule(at+4_000, sim.Hard, func(sim.Time) { g.SetPin(0, false) })
+		m.Eng.Schedule(at+8_500, sim.Hard, func(sim.Time) { g.SetPin(1, false) })
+	}
+	m.Eng.RunAll(100)
+	t0 := Analyze(m, 0, "p0")
+	t1 := Analyze(m, 1, "p1")
+	if len(t0.Pulses) != 10 || len(t1.Pulses) != 10 {
+		t.Fatalf("pulses: %d/%d", len(t0.Pulses), len(t1.Pulses))
+	}
+	if t0.Width.Mean() >= t1.Width.Mean() {
+		t.Fatalf("pin widths confused: %f vs %f", t0.Width.Mean(), t1.Width.Mean())
+	}
+}

@@ -1,0 +1,65 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineThroughput measures raw event-handling rate — the floor
+// under every simulation in this repository.
+func BenchmarkEngineThroughput(b *testing.B) {
+	e := NewEngine()
+	var next func(Time)
+	next = func(Time) { e.After(10, Soft, next) }
+	e.After(10, Soft, next)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkEngineMixedQueue measures handling with a populated queue (heap
+// operations dominate).
+func BenchmarkEngineMixedQueue(b *testing.B) {
+	e := NewEngine()
+	rng := NewRand(1)
+	for i := 0; i < 1024; i++ {
+		d := Duration(rng.Range(1, 1_000_000))
+		var reschedule func(Time)
+		reschedule = func(Time) { e.After(d, Hard, reschedule) }
+		e.After(d, Hard, reschedule)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkFreeze measures the cost of SMI freeze propagation over a
+// loaded queue.
+func BenchmarkFreeze(b *testing.B) {
+	e := NewEngine()
+	for i := 0; i < 4096; i++ {
+		e.Schedule(Time(1_000_000+i), Soft, func(Time) {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Freeze(1)
+	}
+}
+
+// BenchmarkRandUint64 measures the deterministic RNG.
+func BenchmarkRandUint64(b *testing.B) {
+	r := NewRand(7)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}
+
+// BenchmarkMulDiv measures the 128-bit time conversion primitive.
+func BenchmarkMulDiv(b *testing.B) {
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink ^= MulDiv(int64(i)+1, 1e9, 1_300_000_000)
+	}
+	_ = sink
+}

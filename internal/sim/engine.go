@@ -1,0 +1,249 @@
+package sim
+
+import "container/heap"
+
+// EventClass distinguishes hardware from software events. Hardware events
+// (timer expiry, interrupt delivery) occur at fixed wall-clock instants and
+// are unaffected by SMIs except that their handling is deferred until the
+// freeze ends. Software events (completion of a compute burst, end of a
+// scheduler pass) represent CPU execution and therefore slip by the full
+// duration of any overlapping freeze.
+type EventClass uint8
+
+const (
+	// Hard events model hardware that keeps counting during an SMI.
+	Hard EventClass = iota
+	// Soft events model software execution that stops during an SMI.
+	Soft
+)
+
+// Handler is an event callback. It receives the simulated time at which the
+// event is being handled, which for hard events deferred by a freeze may be
+// later than the time the event was scheduled for.
+type Handler func(now Time)
+
+// Event is a scheduled occurrence in the simulation. Events are created via
+// Engine.Schedule* and may be cancelled until they fire.
+type Event struct {
+	at      Time
+	seq     uint64
+	class   EventClass
+	fn      Handler
+	index   int // heap index, -1 once popped or cancelled
+	engine  *Engine
+	cancled bool
+}
+
+// At reports the time the event is currently scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Cancelled reports whether Cancel was called before the event fired.
+func (e *Event) Cancelled() bool { return e.cancled }
+
+// Cancel removes the event from the queue. Cancelling an event that has
+// already fired or been cancelled is a no-op.
+func (e *Event) Cancel() {
+	if e.cancled || e.index < 0 {
+		e.cancled = true
+		return
+	}
+	e.cancled = true
+	heap.Remove(&e.engine.queue, e.index)
+	e.index = -1
+}
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; parallelism in this repository always lives one level up,
+// with many independent Engines running on separate goroutines.
+type Engine struct {
+	queue       eventQueue
+	now         Time
+	seq         uint64
+	frozenUntil Time
+	missingTime Duration // cumulative SMI freeze time observed so far
+	steps       uint64
+}
+
+// NewEngine returns an engine with the clock at time zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Steps returns the number of events handled so far.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// MissingTime returns the cumulative duration of all freezes (SMIs) that
+// have occurred so far.
+func (e *Engine) MissingTime() Duration { return e.missingTime }
+
+// FrozenUntil returns the end of the current freeze interval, or a time in
+// the past if the platform is not frozen.
+func (e *Engine) FrozenUntil() Time { return e.frozenUntil }
+
+// Pending returns the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule enqueues fn to run at time at with the given class. It panics if
+// at precedes the current time.
+func (e *Engine) Schedule(at Time, class EventClass, fn Handler) *Event {
+	if at < e.now {
+		panic("sim: scheduling event in the past")
+	}
+	e.seq++
+	ev := &Event{at: at, seq: e.seq, class: class, fn: fn, engine: e}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After enqueues fn to run d cycles from now.
+func (e *Engine) After(d Duration, class EventClass, fn Handler) *Event {
+	return e.Schedule(e.now+d, class, fn)
+}
+
+// Freeze models an SMI: all software progress stops for d cycles starting
+// now. Every pending soft event slips by d; hard events are untouched but
+// will be handled no earlier than the freeze end. Nested freezes extend the
+// current one.
+func (e *Engine) Freeze(d Duration) {
+	if d <= 0 {
+		return
+	}
+	end := e.now + d
+	if e.frozenUntil > e.now {
+		// Overlapping SMI: extend. The incremental slip is the extension.
+		d = end - e.frozenUntil
+		if d <= 0 {
+			return
+		}
+		end = e.frozenUntil + d
+	}
+	e.frozenUntil = end
+	e.missingTime += d
+	for _, ev := range e.queue {
+		if ev.class == Soft {
+			ev.at += d
+		}
+	}
+	heap.Init(&e.queue)
+}
+
+// peek discards cancelled events from the head of the queue and returns the
+// next live event, or nil if none remain.
+func (e *Engine) peek() *Event {
+	for len(e.queue) > 0 && e.queue[0].cancled {
+		heap.Pop(&e.queue)
+	}
+	if len(e.queue) == 0 {
+		return nil
+	}
+	return e.queue[0]
+}
+
+// Step handles the next event, advancing the clock. It returns false when
+// the queue is empty. Hard events scheduled inside a freeze window are
+// deferred to the freeze end before their handler runs.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancled {
+			continue
+		}
+		at := ev.at
+		if ev.class == Hard && at < e.frozenUntil {
+			// Hardware fired during an SMI; handling waits for the freeze
+			// to end. Requeue at the deferred time so ordering with other
+			// deferred events stays stable.
+			ev.at = e.frozenUntil
+			e.seq++
+			ev.seq = e.seq
+			heap.Push(&e.queue, ev)
+			continue
+		}
+		if at < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = at
+		e.steps++
+		ev.fn(at)
+		return true
+	}
+	return false
+}
+
+// Run handles events until the queue is empty or the clock passes until.
+// Events at exactly until are handled. It returns the number of events
+// handled.
+func (e *Engine) Run(until Time) uint64 {
+	var n uint64
+	for {
+		head := e.peek()
+		if head == nil {
+			break
+		}
+		next := head.at
+		if head.class == Hard && next < e.frozenUntil {
+			next = e.frozenUntil
+		}
+		if next > until {
+			break
+		}
+		if !e.Step() {
+			break
+		}
+		n++
+	}
+	if e.now < until && len(e.queue) == 0 {
+		e.now = until
+	} else if e.now < until {
+		// Next event is beyond until; advance the clock to until so callers
+		// see a consistent stopping time.
+		e.now = until
+	}
+	return n
+}
+
+// RunAll handles events until the queue is empty, with a safety bound on the
+// number of events to keep runaway simulations from spinning forever. It
+// panics if the bound is exceeded.
+func (e *Engine) RunAll(maxEvents uint64) uint64 {
+	var n uint64
+	for e.Step() {
+		n++
+		if n > maxEvents {
+			panic("sim: event bound exceeded; simulation is not terminating")
+		}
+	}
+	return n
+}

@@ -1,0 +1,244 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleAndRunInOrder(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	for _, at := range []Time{50, 10, 30, 20, 40} {
+		at := at
+		e.Schedule(at, Hard, func(now Time) { got = append(got, now) })
+	}
+	e.RunAll(100)
+	want := []Time{10, 20, 30, 40, 50}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 50 {
+		t.Fatalf("clock = %d, want 50", e.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, Soft, func(Time) { got = append(got, i) })
+	}
+	e.RunAll(100)
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(10, Hard, func(Time) { fired = true })
+	ev.Cancel()
+	if !ev.Cancelled() {
+		t.Fatalf("not marked cancelled")
+	}
+	ev.Cancel() // idempotent
+	e.RunAll(10)
+	if fired {
+		t.Fatalf("cancelled event fired")
+	}
+}
+
+func TestCancelFromHandler(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	var victim *Event
+	e.Schedule(5, Hard, func(Time) { victim.Cancel() })
+	victim = e.Schedule(10, Hard, func(Time) { fired = true })
+	e.RunAll(10)
+	if fired {
+		t.Fatalf("event cancelled at t=5 still fired")
+	}
+}
+
+func TestRunStopsAtBoundary(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{10, 20, 30} {
+		e.Schedule(at, Hard, func(now Time) { fired = append(fired, now) })
+	}
+	e.Run(20)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want events at 10 and 20 only", fired)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("clock = %d, want 20", e.Now())
+	}
+	e.Run(100)
+	if len(fired) != 3 {
+		t.Fatalf("remaining event lost")
+	}
+}
+
+func TestScheduleInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, Hard, func(Time) {})
+	e.RunAll(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("no panic scheduling in the past")
+		}
+	}()
+	e.Schedule(5, Hard, func(Time) {})
+}
+
+func TestFreezeShiftsSoftNotHard(t *testing.T) {
+	e := NewEngine()
+	var softAt, hardAt Time
+	e.Schedule(10, Hard, func(Time) { e.Freeze(100) })
+	e.Schedule(50, Soft, func(now Time) { softAt = now })
+	e.Schedule(200, Hard, func(now Time) { hardAt = now })
+	e.RunAll(100)
+	if softAt != 150 {
+		t.Fatalf("soft event at %d, want 150 (shifted by freeze)", softAt)
+	}
+	if hardAt != 200 {
+		t.Fatalf("hard event at %d, want 200 (unshifted)", hardAt)
+	}
+	if e.MissingTime() != 100 {
+		t.Fatalf("missing time = %d, want 100", e.MissingTime())
+	}
+}
+
+func TestFreezeDefersHardHandling(t *testing.T) {
+	e := NewEngine()
+	var hardAt Time
+	e.Schedule(10, Hard, func(Time) { e.Freeze(100) })
+	// This hardware event fires at 50, inside the freeze [10,110); its
+	// handler must run at 110.
+	e.Schedule(50, Hard, func(now Time) { hardAt = now })
+	e.RunAll(100)
+	if hardAt != 110 {
+		t.Fatalf("frozen hard event handled at %d, want 110", hardAt)
+	}
+}
+
+func TestOverlappingFreezesExtend(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, Hard, func(Time) { e.Freeze(100) }) // until 110
+	e.Schedule(20, Hard, func(Time) {})                // deferred to 110
+	var softAt Time
+	e.Schedule(30, Soft, func(now Time) { softAt = now })
+	e.RunAll(100)
+	// Soft event at 30 shifted by 100 => 130.
+	if softAt != 130 {
+		t.Fatalf("soft at %d, want 130", softAt)
+	}
+}
+
+func TestNestedFreezeOnlyAddsExtension(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, Hard, func(Time) {
+		e.Freeze(100) // until 110
+		e.Freeze(50)  // already frozen past 60: no change
+	})
+	e.RunAll(10)
+	if e.MissingTime() != 100 {
+		t.Fatalf("missing = %d, want 100", e.MissingTime())
+	}
+	if e.FrozenUntil() != 110 {
+		t.Fatalf("frozenUntil = %d, want 110", e.FrozenUntil())
+	}
+}
+
+func TestRunAllBound(t *testing.T) {
+	e := NewEngine()
+	var reschedule func(Time)
+	reschedule = func(Time) { e.After(1, Hard, reschedule) }
+	e.After(1, Hard, reschedule)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("runaway simulation not caught")
+		}
+	}()
+	e.RunAll(1000)
+}
+
+// Property: for any batch of events, handling order equals sorted order by
+// (time, insertion), and the clock never goes backwards.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(times []uint16) bool {
+		if len(times) == 0 {
+			return true
+		}
+		e := NewEngine()
+		type rec struct {
+			at  Time
+			seq int
+		}
+		var fired []rec
+		for i, raw := range times {
+			at := Time(raw)
+			i := i
+			e.Schedule(at, Soft, func(now Time) {
+				fired = append(fired, rec{now, i})
+			})
+		}
+		e.RunAll(uint64(len(times)) + 1)
+		if len(fired) != len(times) {
+			return false
+		}
+		want := make([]rec, len(times))
+		for i, raw := range times {
+			want[i] = rec{Time(raw), i}
+		}
+		sort.SliceStable(want, func(a, b int) bool { return want[a].at < want[b].at })
+		for i := range want {
+			if fired[i] != want[i] {
+				return false
+			}
+		}
+		// Clock is monotone.
+		for i := 1; i < len(fired); i++ {
+			if fired[i].at < fired[i-1].at {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total missing time equals the sum of effective freeze
+// durations, and every soft event slips by exactly the missing time that
+// accumulated before it ran.
+func TestPropertyFreezeAccounting(t *testing.T) {
+	f := func(freezes []uint8) bool {
+		e := NewEngine()
+		at := Time(10)
+		var want Duration
+		for _, d := range freezes {
+			d := Duration(d%50) + 1
+			want += d
+			dd := d
+			e.Schedule(at, Hard, func(Time) { e.Freeze(dd) })
+			at += 200 // freezes never overlap
+		}
+		var softAt Time
+		softOrig := at + 100
+		e.Schedule(softOrig, Soft, func(now Time) { softAt = now })
+		e.RunAll(1 << 20)
+		return e.MissingTime() == want && softAt == softOrig+want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	root := NewRand(7)
+	s1 := root.Split()
+	s2 := root.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if s1.Uint64() == s2.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("split streams collided %d times", same)
+	}
+}
+
+func TestSplitOrderInsensitive(t *testing.T) {
+	// The i-th split stream's output depends only on the root seed and i,
+	// not on when the other streams are consumed.
+	r1 := NewRand(99)
+	a1 := r1.Split()
+	b1 := r1.Split()
+	av1, bv1 := a1.Uint64(), b1.Uint64()
+
+	r2 := NewRand(99)
+	a2 := r2.Split()
+	b2 := r2.Split()
+	bv2, av2 := b2.Uint64(), a2.Uint64() // consumed in opposite order
+	if av1 != av2 || bv1 != bv2 {
+		t.Fatalf("split streams depend on consumption order")
+	}
+}
+
+func TestInt63nBounds(t *testing.T) {
+	r := NewRand(3)
+	for _, n := range []int64{1, 2, 3, 7, 1000, 1 << 40} {
+		for i := 0; i < 200; i++ {
+			v := r.Int63n(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Int63n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestInt63nPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("no panic for n=0")
+		}
+	}()
+	NewRand(1).Int63n(0)
+}
+
+func TestRangeInclusive(t *testing.T) {
+	r := NewRand(5)
+	seenLo, seenHi := false, false
+	for i := 0; i < 10000; i++ {
+		v := r.Range(-3, 3)
+		if v < -3 || v > 3 {
+			t.Fatalf("Range out of bounds: %d", v)
+		}
+		if v == -3 {
+			seenLo = true
+		}
+		if v == 3 {
+			seenHi = true
+		}
+	}
+	if !seenLo || !seenHi {
+		t.Fatalf("Range endpoints never hit (lo=%v hi=%v)", seenLo, seenHi)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRand(11)
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %.4f far from 0.5", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRand(13)
+	var sum, sumsq float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	std := math.Sqrt(sumsq/n - mean*mean)
+	if math.Abs(mean) > 0.02 || math.Abs(std-1) > 0.02 {
+		t.Fatalf("NormFloat64 moments off: mean=%.4f std=%.4f", mean, std)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := NewRand(17)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("negative exponential deviate")
+		}
+		sum += v
+	}
+	if math.Abs(sum/n-1) > 0.02 {
+		t.Fatalf("ExpFloat64 mean %.4f far from 1", sum/n)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := NewRand(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Int63n is not visibly biased across small moduli.
+func TestInt63nUniformity(t *testing.T) {
+	r := NewRand(23)
+	const n, buckets = 90000, 9
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		counts[r.Int63n(buckets)]++
+	}
+	want := float64(n) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 4*math.Sqrt(want) {
+			t.Fatalf("bucket %d count %d deviates from %f", b, c, want)
+		}
+	}
+}

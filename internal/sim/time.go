@@ -1,0 +1,83 @@
+// Package sim provides the deterministic discrete-event simulation engine
+// that underlies the reproduced hardware platform and scheduler stack.
+//
+// Simulated time is measured in integer cycles of the modelled machine's
+// nominal clock. Two event classes exist: hard events model hardware that
+// keeps running during SMIs (timers, interrupt delivery), while soft events
+// model software execution, which loses "missing time" when the platform
+// freezes (see the paper's Section 3.6).
+package sim
+
+import "math/bits"
+
+// Time is a point in simulated time, measured in cycles of the machine's
+// reference clock. Time 0 is the instant the first CPU begins booting.
+type Time int64
+
+// Duration is a span of simulated time in cycles.
+type Duration = Time
+
+// Forever is a sentinel time later than any reachable simulation instant.
+const Forever Time = 1<<63 - 1
+
+// MulDiv returns a*b/c computed with a 128-bit intermediate so that
+// cycle<->nanosecond conversions never overflow or lose integer precision.
+// It panics if c == 0 or the quotient overflows int64. Negative values are
+// handled by sign-folding.
+func MulDiv(a, b, c int64) int64 {
+	if c == 0 {
+		panic("sim: MulDiv by zero")
+	}
+	neg := false
+	ua, ub, uc := uint64(a), uint64(b), uint64(c)
+	if a < 0 {
+		ua = uint64(-a)
+		neg = !neg
+	}
+	if b < 0 {
+		ub = uint64(-b)
+		neg = !neg
+	}
+	if c < 0 {
+		uc = uint64(-c)
+		neg = !neg
+	}
+	hi, lo := bits.Mul64(ua, ub)
+	if hi >= uc {
+		panic("sim: MulDiv overflow")
+	}
+	q, _ := bits.Div64(hi, lo, uc)
+	if neg {
+		if q > 1<<63 {
+			panic("sim: MulDiv overflow")
+		}
+		return -int64(q)
+	}
+	if q > 1<<63-1 {
+		panic("sim: MulDiv overflow")
+	}
+	return int64(q)
+}
+
+// CyclesToNanos converts a cycle count at the given clock frequency (Hz)
+// into nanoseconds, rounding toward zero.
+func CyclesToNanos(cycles Time, hz int64) int64 {
+	return MulDiv(int64(cycles), 1e9, hz)
+}
+
+// NanosToCycles converts nanoseconds into cycles at the given clock
+// frequency (Hz), rounding toward zero.
+func NanosToCycles(ns int64, hz int64) Time {
+	return Time(MulDiv(ns, hz, 1e9))
+}
+
+// NanosToCyclesCeil converts nanoseconds into cycles, rounding up. The
+// scheduler uses this when programming timers so that resolution mismatch
+// results in earlier invocation, never later (Section 3.3).
+func NanosToCyclesCeil(ns int64, hz int64) Time {
+	c := MulDiv(ns, hz, 1e9)
+	if MulDiv(c, 1e9, hz) < ns {
+		c++
+	}
+	return Time(c)
+}

@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMulDivExact(t *testing.T) {
+	cases := []struct{ a, b, c, want int64 }{
+		{10, 1e9, 1_300_000_000, 7},
+		{1_300_000_000, 1e9, 1e9, 1_300_000_000},
+		{0, 5, 7, 0},
+		{-10, 3, 2, -15},
+		{10, -3, 2, -15},
+		{10, 3, -2, -15},
+		{-10, -3, 2, 15},
+		{1 << 40, 1 << 20, 1 << 30, 1 << 30},
+	}
+	for _, c := range cases {
+		if got := MulDiv(c.a, c.b, c.c); got != c.want {
+			t.Fatalf("MulDiv(%d,%d,%d) = %d, want %d", c.a, c.b, c.c, got, c.want)
+		}
+	}
+}
+
+func TestMulDivLargeNoOverflow(t *testing.T) {
+	// cycles near 2^52 at 1.3 GHz: a*1e9 would overflow int64 badly.
+	cycles := int64(1) << 52
+	ns := MulDiv(cycles, 1e9, 1_300_000_000)
+	back := MulDiv(ns, 1_300_000_000, 1e9)
+	if diff := cycles - back; diff < 0 || diff > 2 {
+		t.Fatalf("roundtrip drifted by %d cycles", diff)
+	}
+}
+
+func TestMulDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("no panic on divide by zero")
+		}
+	}()
+	MulDiv(1, 1, 0)
+}
+
+func TestMulDivOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("no panic on quotient overflow")
+		}
+	}()
+	MulDiv(1<<62, 1<<62, 1)
+}
+
+func TestNanosToCyclesCeilNeverEarly(t *testing.T) {
+	// The ceil conversion must never produce a cycle count whose ns value
+	// is below the requested ns (timers fire early, never late... the
+	// countdown in cycles must cover the full ns request).
+	f := func(nsRaw uint32, hzSel uint8) bool {
+		ns := int64(nsRaw)
+		hz := []int64{1_300_000_000, 2_200_000_000, 1_000_000_000, 3_500_000_000}[hzSel%4]
+		c := NanosToCyclesCeil(ns, hz)
+		return CyclesToNanos(c, hz) >= ns && CyclesToNanos(c-1, hz) < ns || c == 0 && ns == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cycles -> ns -> cycles truncation loses at most one ns worth of
+// cycles, and conversions are monotone.
+func TestPropertyConversionRoundtrip(t *testing.T) {
+	f := func(cyclesRaw uint32, hzSel uint8) bool {
+		cycles := Time(cyclesRaw)
+		hz := []int64{1_300_000_000, 2_200_000_000, 999_999_937}[hzSel%3]
+		ns := CyclesToNanos(cycles, hz)
+		back := NanosToCycles(ns, hz)
+		if back > cycles {
+			return false
+		}
+		// Lost at most ~one ns of cycles.
+		return int64(cycles-back) <= hz/1_000_000_000+2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConversionMonotone(t *testing.T) {
+	hz := int64(1_300_000_000)
+	prev := int64(-1)
+	for ns := int64(0); ns < 2000; ns += 7 {
+		c := int64(NanosToCycles(ns, hz))
+		if c < prev {
+			t.Fatalf("NanosToCycles not monotone at %d", ns)
+		}
+		prev = c
+	}
+}

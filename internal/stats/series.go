@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Point is one (x, y) sample in a figure series, optionally with an error
+// bar (standard deviation) attached.
+type Point struct {
+	X, Y float64
+	Err  float64
+}
+
+// Series is one labelled curve in a reproduced figure, e.g. the "100 us"
+// miss-rate curve of Figure 6.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.Points = append(s.Points, Point{X: x, Y: y})
+}
+
+// AddErr appends a point with an error bar.
+func (s *Series) AddErr(x, y, err float64) {
+	s.Points = append(s.Points, Point{X: x, Y: y, Err: err})
+}
+
+// SortByX orders the points by increasing x.
+func (s *Series) SortByX() {
+	sort.Slice(s.Points, func(i, j int) bool { return s.Points[i].X < s.Points[j].X })
+}
+
+// Figure is a reproduced table or figure: a caption plus one or more series.
+// Its Format method prints the rows the paper reports.
+type Figure struct {
+	ID      string // e.g. "fig6"
+	Caption string
+	XLabel  string
+	YLabel  string
+	Series  []*Series
+	Notes   []string
+}
+
+// NewFigure creates an empty figure.
+func NewFigure(id, caption, xlabel, ylabel string) *Figure {
+	return &Figure{ID: id, Caption: caption, XLabel: xlabel, YLabel: ylabel}
+}
+
+// AddSeries creates, registers and returns a new series with the label.
+func (f *Figure) AddSeries(label string) *Series {
+	s := &Series{Label: label}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// Note attaches a free-form observation line (e.g. a derived headline
+// number) printed after the data.
+func (f *Figure) Note(format string, args ...any) {
+	f.Notes = append(f.Notes, fmt.Sprintf(format, args...))
+}
+
+// Format renders the figure as aligned text columns: one block per series,
+// one row per point.
+func (f *Figure) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", f.ID, f.Caption)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "-- series %q (%s vs %s)\n", s.Label, f.YLabel, f.XLabel)
+		hasErr := false
+		for _, p := range s.Points {
+			if p.Err != 0 {
+				hasErr = true
+				break
+			}
+		}
+		for _, p := range s.Points {
+			if hasErr {
+				fmt.Fprintf(&b, "%14.6g %14.6g %14.6g\n", p.X, p.Y, p.Err)
+			} else {
+				fmt.Fprintf(&b, "%14.6g %14.6g\n", p.X, p.Y)
+			}
+		}
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Plot renders a crude ASCII scatter of all series on one panel, good
+// enough to eyeball shapes (monotone decay, feasibility cliffs, y=x splits).
+func (f *Figure) Plot(cols, rows int) string {
+	var minX, maxX, minY, maxY float64
+	first := true
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if first {
+				minX, maxX, minY, maxY = p.X, p.X, p.Y, p.Y
+				first = false
+				continue
+			}
+			if p.X < minX {
+				minX = p.X
+			}
+			if p.X > maxX {
+				maxX = p.X
+			}
+			if p.Y < minY {
+				minY = p.Y
+			}
+			if p.Y > maxY {
+				maxY = p.Y
+			}
+		}
+	}
+	if first {
+		return "(empty figure)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, rows)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", cols))
+	}
+	marks := "ox+*#@%&"
+	for si, s := range f.Series {
+		m := marks[si%len(marks)]
+		for _, p := range s.Points {
+			cx := int((p.X - minX) / (maxX - minX) * float64(cols-1))
+			cy := int((p.Y - minY) / (maxY - minY) * float64(rows-1))
+			grid[rows-1-cy][cx] = m
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s [%g..%g] vs %s [%g..%g]\n", f.YLabel, minY, maxY, f.XLabel, minX, maxX)
+	for _, row := range grid {
+		b.WriteByte('|')
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("+" + strings.Repeat("-", cols) + "\n")
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "  %c = %s\n", marks[si%len(marks)], s.Label)
+	}
+	return b.String()
+}

@@ -1,0 +1,198 @@
+// Package stats provides the small set of statistics used by the experiment
+// harnesses: streaming summaries (Welford), fixed-width histograms, and
+// labelled series that print in the same row/series layout as the paper's
+// tables and figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary accumulates count, mean, variance, min and max using Welford's
+// online algorithm. The zero value is ready to use.
+type Summary struct {
+	n          int64
+	mean, m2   float64
+	min, max   float64
+	haveSample bool
+}
+
+// Add folds x into the summary.
+func (s *Summary) Add(x float64) {
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+	if !s.haveSample || x < s.min {
+		s.min = x
+	}
+	if !s.haveSample || x > s.max {
+		s.max = x
+	}
+	s.haveSample = true
+}
+
+// AddN folds x into the summary n times.
+func (s *Summary) AddN(x float64, n int64) {
+	for i := int64(0); i < n; i++ {
+		s.Add(x)
+	}
+}
+
+// Merge folds another summary into this one (Chan et al. parallel variance).
+func (s *Summary) Merge(o Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	d := o.mean - s.mean
+	n := s.n + o.n
+	s.m2 += o.m2 + d*d*float64(s.n)*float64(o.n)/float64(n)
+	s.mean += d * float64(o.n) / float64(n)
+	s.n = n
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+}
+
+// N returns the number of samples.
+func (s *Summary) N() int64 { return s.n }
+
+// Mean returns the sample mean, or 0 with no samples.
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Var returns the unbiased sample variance, or 0 with fewer than 2 samples.
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (s *Summary) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest sample, or 0 with no samples.
+func (s *Summary) Min() float64 {
+	if !s.haveSample {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest sample, or 0 with no samples.
+func (s *Summary) Max() float64 {
+	if !s.haveSample {
+		return 0
+	}
+	return s.max
+}
+
+// String formats the summary compactly.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g std=%.4g min=%.4g max=%.4g",
+		s.n, s.Mean(), s.Std(), s.Min(), s.Max())
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It sorts a copy of xs.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Histogram is a fixed-width histogram over [Lo, Hi) with underflow and
+// overflow buckets.
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []int64
+	Under   int64
+	Over    int64
+	n       int64
+}
+
+// NewHistogram creates a histogram with nbuckets equal-width buckets
+// covering [lo, hi). It panics if hi <= lo or nbuckets < 1.
+func NewHistogram(lo, hi float64, nbuckets int) *Histogram {
+	if hi <= lo || nbuckets < 1 {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int64, nbuckets)}
+}
+
+// Add records x.
+func (h *Histogram) Add(x float64) {
+	h.n++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Buckets)))
+		if i >= len(h.Buckets) { // guard float rounding at the top edge
+			i = len(h.Buckets) - 1
+		}
+		h.Buckets[i]++
+	}
+}
+
+// N returns the total number of recorded samples including out-of-range.
+func (h *Histogram) N() int64 { return h.n }
+
+// BucketLo returns the lower edge of bucket i.
+func (h *Histogram) BucketLo(i int) float64 {
+	return h.Lo + (h.Hi-h.Lo)*float64(i)/float64(len(h.Buckets))
+}
+
+// Render draws the histogram as rows of "lo..hi count bar" text, a
+// plain-terminal stand-in for the paper's figure panels.
+func (h *Histogram) Render(width int) string {
+	var max int64
+	for _, c := range h.Buckets {
+		if c > max {
+			max = c
+		}
+	}
+	var b strings.Builder
+	if h.Under > 0 {
+		fmt.Fprintf(&b, "%12s %8d\n", "<lo", h.Under)
+	}
+	for i, c := range h.Buckets {
+		bar := 0
+		if max > 0 {
+			bar = int(float64(c) / float64(max) * float64(width))
+		}
+		fmt.Fprintf(&b, "%12.4g %8d %s\n", h.BucketLo(i), c, strings.Repeat("#", bar))
+	}
+	if h.Over > 0 {
+		fmt.Fprintf(&b, "%12s %8d\n", ">=hi", h.Over)
+	}
+	return b.String()
+}

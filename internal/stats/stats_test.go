@@ -1,0 +1,222 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.Std() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatalf("zero value not neutral")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Fatalf("n = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("mean = %f", s.Mean())
+	}
+	// Sample std of this classic set is sqrt(32/7).
+	if math.Abs(s.Std()-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Fatalf("std = %f", s.Std())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %f/%f", s.Min(), s.Max())
+	}
+	if !strings.Contains(s.String(), "n=8") {
+		t.Fatalf("String() = %q", s.String())
+	}
+}
+
+func TestSummaryNegativeValues(t *testing.T) {
+	var s Summary
+	s.Add(-5)
+	s.Add(5)
+	if s.Min() != -5 || s.Max() != 5 || s.Mean() != 0 {
+		t.Fatalf("negative handling wrong: %s", s.String())
+	}
+}
+
+func TestSummaryMergeEqualsSequential(t *testing.T) {
+	f := func(a, b []float64) bool {
+		// Keep magnitudes where the d*d intermediate cannot overflow; the
+		// summaries in this repo hold cycle counts and nanoseconds.
+		sane := func(v float64) bool {
+			return !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e100
+		}
+		var whole, left, right Summary
+		for _, v := range a {
+			if !sane(v) {
+				return true
+			}
+			whole.Add(v)
+			left.Add(v)
+		}
+		for _, v := range b {
+			if !sane(v) {
+				return true
+			}
+			whole.Add(v)
+			right.Add(v)
+		}
+		left.Merge(right)
+		if left.N() != whole.N() {
+			return false
+		}
+		if whole.N() == 0 {
+			return true
+		}
+		tol := 1e-6 * (1 + math.Abs(whole.Mean()))
+		return math.Abs(left.Mean()-whole.Mean()) < tol &&
+			math.Abs(left.Var()-whole.Var()) < 1e-6*(1+whole.Var()) &&
+			left.Min() == whole.Min() && left.Max() == whole.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddN(t *testing.T) {
+	var a, b Summary
+	a.AddN(3.5, 5)
+	for i := 0; i < 5; i++ {
+		b.Add(3.5)
+	}
+	if a.N() != b.N() || a.Mean() != b.Mean() || a.Var() != b.Var() {
+		t.Fatalf("AddN mismatch")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Fatalf("q0 = %f", q)
+	}
+	if q := Quantile(xs, 1); q != 5 {
+		t.Fatalf("q1 = %f", q)
+	}
+	if q := Quantile(xs, 0.5); q != 3 {
+		t.Fatalf("median = %f", q)
+	}
+	if q := Quantile(xs, 0.25); q != 2 {
+		t.Fatalf("q25 = %f", q)
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Fatalf("Quantile sorted its input")
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatalf("empty quantile not NaN")
+	}
+	// Clamping.
+	if Quantile(xs, -1) != 1 || Quantile(xs, 2) != 5 {
+		t.Fatalf("quantile clamping failed")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, v := range []float64{-1, 0, 1.9, 2, 5, 9.99, 10, 100} {
+		h.Add(v)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Fatalf("under/over = %d/%d", h.Under, h.Over)
+	}
+	if h.Buckets[0] != 2 { // 0 and 1.9
+		t.Fatalf("bucket0 = %d", h.Buckets[0])
+	}
+	if h.Buckets[1] != 1 || h.Buckets[2] != 1 || h.Buckets[4] != 1 {
+		t.Fatalf("buckets = %v", h.Buckets)
+	}
+	if h.N() != 8 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if h.BucketLo(1) != 2 {
+		t.Fatalf("BucketLo(1) = %f", h.BucketLo(1))
+	}
+	out := h.Render(20)
+	if !strings.Contains(out, "#") || !strings.Contains(out, "<lo") {
+		t.Fatalf("render missing parts:\n%s", out)
+	}
+}
+
+func TestHistogramTopEdgeRounding(t *testing.T) {
+	h := NewHistogram(0, 1, 3)
+	// A value just below the top edge must land in the last bucket even
+	// under float rounding.
+	h.Add(math.Nextafter(1, 0))
+	if h.Buckets[2] != 1 || h.Over != 0 {
+		t.Fatalf("edge value misplaced: %v over=%d", h.Buckets, h.Over)
+	}
+}
+
+func TestHistogramInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("no panic for hi <= lo")
+		}
+	}()
+	NewHistogram(1, 1, 3)
+}
+
+// Property: every added value is counted exactly once.
+func TestPropertyHistogramConservation(t *testing.T) {
+	f := func(vals []float64) bool {
+		h := NewHistogram(-100, 100, 13)
+		n := int64(0)
+		for _, v := range vals {
+			if math.IsNaN(v) {
+				continue
+			}
+			h.Add(v)
+			n++
+		}
+		var sum int64 = h.Under + h.Over
+		for _, c := range h.Buckets {
+			sum += c
+		}
+		return sum == n && h.N() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigureFormatAndPlot(t *testing.T) {
+	fig := NewFigure("figX", "caption", "x", "y")
+	s := fig.AddSeries("a")
+	s.Add(1, 10)
+	s.Add(2, 20)
+	s2 := fig.AddSeries("b")
+	s2.AddErr(1, 5, 0.5)
+	fig.Note("hello %d", 42)
+	out := fig.Format()
+	for _, want := range []string{"figX", "caption", `series "a"`, "hello 42"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format missing %q:\n%s", want, out)
+		}
+	}
+	plot := fig.Plot(40, 10)
+	if !strings.Contains(plot, "o") || !strings.Contains(plot, "x") {
+		t.Fatalf("plot missing series marks:\n%s", plot)
+	}
+	if (&Figure{}).Plot(10, 5) != "(empty figure)\n" {
+		t.Fatalf("empty plot output wrong")
+	}
+}
+
+func TestSeriesSortByX(t *testing.T) {
+	s := &Series{}
+	s.Add(3, 1)
+	s.Add(1, 2)
+	s.Add(2, 3)
+	s.SortByX()
+	if s.Points[0].X != 1 || s.Points[2].X != 3 {
+		t.Fatalf("not sorted: %+v", s.Points)
+	}
+}

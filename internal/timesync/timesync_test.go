@@ -1,0 +1,124 @@
+package timesync
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hrtsched/internal/machine"
+	"hrtsched/internal/sim"
+)
+
+func TestCalibrationTightensPhi(t *testing.T) {
+	spec := machine.PhiKNL()
+	m := machine.New(spec, 3)
+	// Raw offsets are tens of millions of cycles.
+	var rawMax int64
+	for i := 1; i < m.NumCPUs(); i++ {
+		off := m.CPU(i).TSCOffset()
+		if off < 0 {
+			off = -off
+		}
+		if off > rawMax {
+			rawMax = off
+		}
+	}
+	if rawMax < 1_000_000 {
+		t.Fatalf("raw spread suspiciously small: %d", rawMax)
+	}
+	r := Calibrate(m, sim.NewRand(7))
+	if r.MaxResidual() > 1100 {
+		t.Fatalf("post-calibration residual %d > 1100 cycles", r.MaxResidual())
+	}
+	if r.MaxResidual() == 0 {
+		t.Fatalf("zero residual is unrealistically perfect")
+	}
+	// Writable platform: software offsets folded into the counters.
+	for i, off := range r.SoftOffset {
+		if off != 0 {
+			t.Fatalf("CPU %d retains software offset %d on writable-TSC platform", i, off)
+		}
+	}
+	if m.Eng.Now() < r.DoneAt {
+		t.Fatalf("engine not advanced past calibration")
+	}
+}
+
+func TestCalibrationSoftwareCompensationR415(t *testing.T) {
+	spec := machine.R415()
+	m := machine.New(spec, 4)
+	r := Calibrate(m, sim.NewRand(8))
+	if r.MaxResidual() > 800 {
+		t.Fatalf("residual %d too large", r.MaxResidual())
+	}
+	nonzero := false
+	for _, off := range r.SoftOffset[1:] {
+		if off != 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Fatalf("read-only TSC platform must use software compensation")
+	}
+}
+
+func TestClockAgreementAcrossCPUs(t *testing.T) {
+	m := machine.New(machine.PhiKNL().Scaled(16), 5)
+	r := Calibrate(m, sim.NewRand(9))
+	clocks := make([]*Clock, 16)
+	for i := range clocks {
+		clocks[i] = NewClock(m.CPU(i), r)
+	}
+	// Advance and compare wall-clock estimates.
+	m.Eng.Schedule(m.Eng.Now()+1_000_000, sim.Hard, func(sim.Time) {})
+	m.Eng.RunAll(2)
+	ref := clocks[0].NowCycles()
+	for i, c := range clocks {
+		d := c.NowCycles() - ref
+		if d < 0 {
+			d = -d
+		}
+		if d > 1100 {
+			t.Fatalf("CPU %d wall estimate off by %d cycles", i, d)
+		}
+	}
+}
+
+func TestClockConversions(t *testing.T) {
+	m := machine.New(machine.PhiKNL().Scaled(1), 6)
+	c := NewClock(m.CPU(0), nil)
+	if c.NanosToCycles(10_000) != 13_000 {
+		t.Fatalf("10us = %d cycles", c.NanosToCycles(10_000))
+	}
+	if c.CyclesToNanos(13_000) != 10_000 {
+		t.Fatalf("13000 cycles = %d ns", c.CyclesToNanos(13_000))
+	}
+	if c.NowNanos() != 0 {
+		t.Fatalf("t0 NowNanos = %d", c.NowNanos())
+	}
+}
+
+// Property: calibration residuals shrink as measurement error shrinks, and
+// are zero when measurement and write-back are perfect.
+func TestPropertyPerfectMeasurementPerfectSync(t *testing.T) {
+	f := func(seed uint64) bool {
+		spec := machine.PhiKNL().Scaled(32)
+		spec.CalibReadErrCycles = 0
+		spec.CalibWriteErrCycles = 0
+		m := machine.New(spec, seed)
+		r := Calibrate(m, sim.NewRand(seed+1))
+		return r.MaxResidual() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalibrationDeterministic(t *testing.T) {
+	run := func() int64 {
+		m := machine.New(machine.PhiKNL().Scaled(64), 11)
+		return Calibrate(m, sim.NewRand(12)).MaxResidual()
+	}
+	if run() != run() {
+		t.Fatalf("calibration not deterministic")
+	}
+}

@@ -1,0 +1,25 @@
+package trace
+
+import "hrtsched/internal/core"
+
+// Attach wires a recorder into a kernel's instrumentation hooks. It
+// overwrites any previously installed hooks.
+func Attach(k *core.Kernel, r *Recorder) {
+	k.Hooks = core.Hooks{
+		SwitchIn: func(cpu int, t *core.Thread, nowNs int64) {
+			r.Add(Event{AtNs: nowNs, CPU: cpu, Kind: SwitchIn, Thread: t.Name()})
+		},
+		SwitchOut: func(cpu int, t *core.Thread, nowNs int64) {
+			r.Add(Event{AtNs: nowNs, CPU: cpu, Kind: SwitchOut, Thread: t.Name()})
+		},
+		Arrival: func(cpu int, t *core.Thread, nowNs int64) {
+			r.Add(Event{AtNs: nowNs, CPU: cpu, Kind: Arrival, Thread: t.Name()})
+		},
+		Miss: func(cpu int, t *core.Thread, nowNs int64, missNs int64) {
+			r.Add(Event{AtNs: nowNs, CPU: cpu, Kind: Miss, Thread: t.Name()})
+		},
+		DeviceIRQ: func(cpu int, vector uint8, nowNs int64) {
+			r.Add(Event{AtNs: nowNs, CPU: cpu, Kind: IRQ})
+		},
+	}
+}

@@ -1,0 +1,230 @@
+// Package trace records structured execution timelines from a running
+// kernel: context switches, real-time arrivals and misses, scheduler
+// invocations, and custom marks. Timelines are queryable in-process and
+// exportable as Chrome trace-event JSON (chrome://tracing, Perfetto).
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Kind classifies a trace event.
+type Kind uint8
+
+const (
+	// SwitchIn marks a thread being dispatched on a CPU.
+	SwitchIn Kind = iota
+	// SwitchOut marks a thread leaving a CPU.
+	SwitchOut
+	// Arrival marks a real-time arrival.
+	Arrival
+	// Miss marks a deadline miss.
+	Miss
+	// IRQ marks an interrupt delivery.
+	IRQ
+	// Mark is a user-defined instant.
+	Mark
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case SwitchIn:
+		return "switch-in"
+	case SwitchOut:
+		return "switch-out"
+	case Arrival:
+		return "arrival"
+	case Miss:
+		return "miss"
+	case IRQ:
+		return "irq"
+	case Mark:
+		return "mark"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	AtNs   int64
+	CPU    int
+	Kind   Kind
+	Thread string
+	Label  string
+}
+
+// Recorder accumulates events up to a capacity bound (oldest kept).
+type Recorder struct {
+	events []Event
+	limit  int
+	drops  int64
+}
+
+// NewRecorder creates a recorder holding up to limit events.
+func NewRecorder(limit int) *Recorder {
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	return &Recorder{limit: limit}
+}
+
+// Add records an event.
+func (r *Recorder) Add(e Event) {
+	if len(r.events) >= r.limit {
+		r.drops++
+		return
+	}
+	r.events = append(r.events, e)
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Dropped returns the number of events discarded at capacity.
+func (r *Recorder) Dropped() int64 { return r.drops }
+
+// Events returns the recorded events in insertion order.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Filter returns events matching all non-zero criteria: kind (use 255 for
+// any), cpu (-1 for any), thread ("" for any), window [fromNs, toNs)
+// (to = 0 means unbounded).
+func (r *Recorder) Filter(kind Kind, cpu int, thread string, fromNs, toNs int64) []Event {
+	var out []Event
+	for _, e := range r.events {
+		if kind != 255 && e.Kind != kind {
+			continue
+		}
+		if cpu >= 0 && e.CPU != cpu {
+			continue
+		}
+		if thread != "" && e.Thread != thread {
+			continue
+		}
+		if e.AtNs < fromNs {
+			continue
+		}
+		if toNs > 0 && e.AtNs >= toNs {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Spans reconstructs per-CPU execution intervals from switch events: for
+// each CPU, the list of (thread, start, end) slices.
+type Span struct {
+	CPU     int
+	Thread  string
+	StartNs int64
+	EndNs   int64
+}
+
+// Spans returns execution intervals per CPU, derived from SwitchIn and
+// SwitchOut pairs. Unterminated intervals are closed at endNs.
+func (r *Recorder) Spans(endNs int64) []Span {
+	type open struct {
+		thread  string
+		startNs int64
+	}
+	current := map[int]*open{}
+	var spans []Span
+	for _, e := range r.events {
+		switch e.Kind {
+		case SwitchIn:
+			if o := current[e.CPU]; o != nil {
+				spans = append(spans, Span{e.CPU, o.thread, o.startNs, e.AtNs})
+			}
+			current[e.CPU] = &open{e.Thread, e.AtNs}
+		case SwitchOut:
+			if o := current[e.CPU]; o != nil && o.thread == e.Thread {
+				spans = append(spans, Span{e.CPU, o.thread, o.startNs, e.AtNs})
+				delete(current, e.CPU)
+			}
+		}
+	}
+	var cpus []int
+	for cpu := range current {
+		cpus = append(cpus, cpu)
+	}
+	sort.Ints(cpus)
+	for _, cpu := range cpus {
+		o := current[cpu]
+		spans = append(spans, Span{cpu, o.thread, o.startNs, endNs})
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].StartNs != spans[j].StartNs {
+			return spans[i].StartNs < spans[j].StartNs
+		}
+		return spans[i].CPU < spans[j].CPU
+	})
+	return spans
+}
+
+// Utilization returns, per thread name, the fraction of [fromNs, toNs)
+// spent executing, aggregated over all CPUs.
+func (r *Recorder) Utilization(fromNs, toNs int64) map[string]float64 {
+	if toNs <= fromNs {
+		return nil
+	}
+	busy := map[string]int64{}
+	for _, s := range r.Spans(toNs) {
+		lo, hi := s.StartNs, s.EndNs
+		if lo < fromNs {
+			lo = fromNs
+		}
+		if hi > toNs {
+			hi = toNs
+		}
+		if hi > lo {
+			busy[s.Thread] += hi - lo
+		}
+	}
+	out := map[string]float64{}
+	for th, ns := range busy {
+		out[th] = float64(ns) / float64(toNs-fromNs)
+	}
+	return out
+}
+
+// chromeEvent is the Chrome trace-event JSON schema (subset).
+type chromeEvent struct {
+	Name string `json:"name"`
+	Cat  string `json:"cat"`
+	Ph   string `json:"ph"`
+	TS   int64  `json:"ts"` // microseconds
+	Dur  int64  `json:"dur,omitempty"`
+	PID  int    `json:"pid"`
+	TID  int    `json:"tid"`
+}
+
+// WriteChromeTrace exports the timeline in Chrome trace-event format:
+// complete ("X") events for execution spans and instant ("i") events for
+// arrivals, misses, and IRQs.
+func (r *Recorder) WriteChromeTrace(w io.Writer, endNs int64) error {
+	var out []chromeEvent
+	for _, s := range r.Spans(endNs) {
+		out = append(out, chromeEvent{
+			Name: s.Thread, Cat: "exec", Ph: "X",
+			TS: s.StartNs / 1000, Dur: (s.EndNs - s.StartNs) / 1000,
+			PID: 1, TID: s.CPU,
+		})
+	}
+	for _, e := range r.events {
+		switch e.Kind {
+		case Arrival, Miss, IRQ, Mark:
+			out = append(out, chromeEvent{
+				Name: e.Kind.String() + ":" + e.Thread + e.Label, Cat: e.Kind.String(),
+				Ph: "i", TS: e.AtNs / 1000, PID: 1, TID: e.CPU,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"hrtsched/internal/core"
+	"hrtsched/internal/machine"
+)
+
+func bootTraced(t *testing.T, ncpus int, seed uint64) (*core.Kernel, *Recorder) {
+	t.Helper()
+	spec := machine.PhiKNL().Scaled(ncpus)
+	m := machine.New(spec, seed)
+	k := core.Boot(m, core.DefaultConfig(spec))
+	r := NewRecorder(1 << 18)
+	Attach(k, r)
+	return k, r
+}
+
+func periodicProg(c core.Constraints) core.Program {
+	admitted := false
+	return core.ProgramFunc(func(tc *core.ThreadCtx) core.Action {
+		if !admitted {
+			admitted = true
+			return core.ChangeConstraints{C: c}
+		}
+		return core.Compute{Cycles: 20_000}
+	})
+}
+
+func TestRecorderCapturesLifecycle(t *testing.T) {
+	k, r := bootTraced(t, 1, 121)
+	k.Spawn("rt", 0, periodicProg(core.PeriodicConstraints(0, 100_000, 50_000)))
+	k.RunNs(10_000_000)
+
+	arrivals := r.Filter(Arrival, 0, "rt", 0, 0)
+	if len(arrivals) < 90 {
+		t.Fatalf("arrivals recorded: %d", len(arrivals))
+	}
+	ins := r.Filter(SwitchIn, 0, "rt", 0, 0)
+	outs := r.Filter(SwitchOut, 0, "rt", 0, 0)
+	if len(ins) < 90 || len(outs) < 89 {
+		t.Fatalf("switch events: in=%d out=%d", len(ins), len(outs))
+	}
+	if len(r.Filter(Miss, -1, "", 0, 0)) != 0 {
+		t.Fatalf("spurious misses recorded")
+	}
+}
+
+func TestRecorderMisses(t *testing.T) {
+	spec := machine.PhiKNL().Scaled(1)
+	m := machine.New(spec, 122)
+	cfg := core.DefaultConfig(spec)
+	cfg.Admit = core.AdmitNone
+	k := core.Boot(m, cfg)
+	r := NewRecorder(1 << 18)
+	Attach(k, r)
+	// Infeasible: 10us period at 80% slice.
+	k.Spawn("rt", 0, periodicProg(core.PeriodicConstraints(0, 10_000, 8_000)))
+	k.RunNs(10_000_000)
+	if len(r.Filter(Miss, 0, "rt", 0, 0)) < 100 {
+		t.Fatalf("misses recorded: %d", len(r.Filter(Miss, 0, "rt", 0, 0)))
+	}
+}
+
+func TestSpansAndUtilization(t *testing.T) {
+	k, r := bootTraced(t, 1, 123)
+	k.Spawn("rt", 0, periodicProg(core.PeriodicConstraints(0, 100_000, 50_000)))
+	runNs := int64(20_000_000)
+	k.RunNs(runNs)
+	spans := r.Spans(runNs)
+	if len(spans) < 100 {
+		t.Fatalf("spans: %d", len(spans))
+	}
+	for _, s := range spans {
+		if s.EndNs < s.StartNs {
+			t.Fatalf("negative span: %+v", s)
+		}
+	}
+	util := r.Utilization(2_000_000, runNs)
+	u := util["rt"]
+	if u < 0.45 || u > 0.60 {
+		t.Fatalf("traced utilization %.3f, want ~0.5", u)
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	k, r := bootTraced(t, 1, 124)
+	k.Spawn("rt", 0, periodicProg(core.PeriodicConstraints(0, 100_000, 50_000)))
+	k.RunNs(5_000_000)
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf, 5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	var execs, instants int
+	for _, e := range parsed {
+		switch e["ph"] {
+		case "X":
+			execs++
+		case "i":
+			instants++
+		}
+	}
+	if execs < 20 || instants < 20 {
+		t.Fatalf("export shape: %d exec, %d instant", execs, instants)
+	}
+}
+
+func TestRecorderCapacity(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 0; i < 10; i++ {
+		r.Add(Event{AtNs: int64(i)})
+	}
+	if r.Len() != 3 || r.Dropped() != 7 {
+		t.Fatalf("capacity handling: len=%d dropped=%d", r.Len(), r.Dropped())
+	}
+}
+
+func TestFilterWindow(t *testing.T) {
+	r := NewRecorder(100)
+	for i := int64(0); i < 10; i++ {
+		r.Add(Event{AtNs: i * 100, CPU: int(i % 2), Kind: Mark, Thread: "x"})
+	}
+	got := r.Filter(Mark, 0, "x", 200, 700)
+	if len(got) != 3 { // 200, 400, 600
+		t.Fatalf("window filter: %d events", len(got))
+	}
+	if len(r.Filter(255, -1, "", 0, 0)) != 10 {
+		t.Fatalf("wildcard filter broken")
+	}
+}
