@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: ci build vet test race chaos bench
+
+# ci is the tier-1 gate: every change must pass vet, build and the race-
+# enabled test suite before it lands (see README "Testing").
+ci: vet build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# chaos smoke-runs every fault-injection scenario at a fixed seed and fails
+# on any invariant violation.
+chaos:
+	@for s in smi-storm irq-storm drift overload-shed; do \
+		echo "== chaos $$s =="; \
+		$(GO) run ./cmd/chaos -scenario $$s -seed 7 || exit 1; \
+	done
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -152,9 +152,16 @@ type GroupCosts = group.Costs
 // GroupAdmitOptions tunes group admission (phase correction on/off).
 type GroupAdmitOptions = group.AdmitOptions
 
-// NewGroup creates a thread group expecting size members.
-func NewGroup(k *Kernel, name string, size int, costs GroupCosts) *Group {
+// NewGroup creates a thread group expecting size members. It returns an
+// error for a non-positive size.
+func NewGroup(k *Kernel, name string, size int, costs GroupCosts) (*Group, error) {
 	return group.New(k, name, size, costs)
+}
+
+// MustNewGroup is NewGroup for statically-sized call sites; it panics on
+// error.
+func MustNewGroup(k *Kernel, name string, size int, costs GroupCosts) *Group {
+	return group.MustNew(k, name, size, costs)
 }
 
 // DefaultGroupCosts returns the Figure 10 calibration.
@@ -235,8 +242,13 @@ const (
 	OMPSyncTimed   = omp.SyncTimed
 )
 
-// NewOMPTeam creates and starts a worker team.
-func NewOMPTeam(k *Kernel, cfg OMPConfig) *OMPTeam { return omp.NewTeam(k, cfg) }
+// NewOMPTeam creates and starts a worker team. It returns an error for a
+// non-positive worker count or timed sync without periodic constraints.
+func NewOMPTeam(k *Kernel, cfg OMPConfig) (*OMPTeam, error) { return omp.NewTeam(k, cfg) }
+
+// MustNewOMPTeam is NewOMPTeam for statically-correct call sites; it panics
+// on error.
+func MustNewOMPTeam(k *Kernel, cfg OMPConfig) *OMPTeam { return omp.MustNewTeam(k, cfg) }
 
 // LegionRuntime is the Legion-like task-based run-time: tasks with region
 // requirements, implicit dependence extraction, greedy worker-pool
@@ -258,8 +270,13 @@ const (
 	LegionReadWrite = legion.ReadWrite
 )
 
-// NewLegion creates a Legion-like runtime with a worker pool.
-func NewLegion(k *Kernel, cfg legion.Config) *LegionRuntime { return legion.New(k, cfg) }
+// NewLegion creates a Legion-like runtime with a worker pool. It returns an
+// error for a non-positive worker count.
+func NewLegion(k *Kernel, cfg legion.Config) (*LegionRuntime, error) { return legion.New(k, cfg) }
+
+// MustNewLegion is NewLegion for statically-correct call sites; it panics
+// on error.
+func MustNewLegion(k *Kernel, cfg legion.Config) *LegionRuntime { return legion.MustNew(k, cfg) }
 
 // PGASArray is a shared array partitioned across a team (UPC-like).
 type PGASArray = pgas.Array

@@ -1,0 +1,37 @@
+package hrtsched_test
+
+import (
+	"testing"
+
+	hrtsched "hrtsched"
+	"hrtsched/internal/legion"
+)
+
+// TestConstructorArgumentErrors checks that invalid arguments to the public
+// run-time constructors surface as errors, not panics.
+func TestConstructorArgumentErrors(t *testing.T) {
+	spec := hrtsched.PhiKNL()
+	spec.NumCPUs = 4
+	m := hrtsched.NewMachine(spec, 1)
+	k := hrtsched.Boot(m, hrtsched.DefaultConfig(spec))
+
+	if _, err := hrtsched.NewGroup(k, "bad", 0, hrtsched.DefaultGroupCosts()); err == nil {
+		t.Error("NewGroup with size 0 returned no error")
+	}
+	if _, err := hrtsched.NewOMPTeam(k, hrtsched.OMPConfig{Workers: 0}); err == nil {
+		t.Error("NewOMPTeam with 0 workers returned no error")
+	}
+	if _, err := hrtsched.NewOMPTeam(k, hrtsched.OMPConfig{
+		Workers: 2, FirstCPU: 1, Sync: hrtsched.OMPSyncTimed,
+	}); err == nil {
+		t.Error("NewOMPTeam with timed sync but no periodic constraints returned no error")
+	}
+	if _, err := hrtsched.NewLegion(k, legion.Config{Workers: 0}); err == nil {
+		t.Error("NewLegion with 0 workers returned no error")
+	}
+
+	// Valid arguments still construct.
+	if _, err := hrtsched.NewGroup(k, "ok", 2, hrtsched.DefaultGroupCosts()); err != nil {
+		t.Errorf("NewGroup with valid size errored: %v", err)
+	}
+}

@@ -45,11 +45,20 @@ func main() {
 		opts.Scale = experiments.Full
 	}
 
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "hrtbench: -workers must be non-negative (got %d)\n", *workers)
+		os.Exit(2)
+	}
+
 	var ids []string
 	switch {
 	case *all:
 		ids = experiments.IDs()
 	case *fig != 0:
+		if *fig < 3 || *fig > 16 {
+			fmt.Fprintf(os.Stderr, "hrtbench: -fig must be in 3..16 (got %d); see -list\n", *fig)
+			os.Exit(2)
+		}
 		ids = []string{fmt.Sprintf("fig%d", *fig)}
 	case *exp != "":
 		ids = []string{*exp}

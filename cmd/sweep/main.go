@@ -37,6 +37,30 @@ func main() {
 	)
 	flag.Parse()
 
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "sweep: "+format+"\n", args...)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *p <= 0 {
+		fail("-p must be positive (got %d)", *p)
+	}
+	if *n <= 0 {
+		fail("-n must be positive (got %d)", *n)
+	}
+	if *ne <= 0 || *nc <= 0 || *nw < 0 {
+		fail("-ne and -nc must be positive, -nw non-negative (got ne=%d nc=%d nw=%d)", *ne, *nc, *nw)
+	}
+	if *periodUs <= 0 {
+		fail("-period must be positive microseconds (got %d)", *periodUs)
+	}
+	if *slicePct <= 0 || *slicePct > 100 {
+		fail("-slicepct must be in (0,100] (got %d)", *slicePct)
+	}
+	if *fine && *coarse {
+		fail("-fine and -coarse are mutually exclusive")
+	}
+
 	params := bsp.Params{P: *p, NE: *ne, NC: *nc, NW: *nw, N: *n,
 		FirstCPU: 1, UseBarrier: true, PhaseCorrection: true}
 	if *fine {

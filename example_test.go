@@ -39,7 +39,10 @@ func ExampleNewGroup() {
 	k := hrtsched.Boot(m, hrtsched.DefaultConfig(spec))
 
 	const n = 4
-	g := hrtsched.NewGroup(k, "workers", n, hrtsched.DefaultGroupCosts())
+	g, err := hrtsched.NewGroup(k, "workers", n, hrtsched.DefaultGroupCosts())
+	if err != nil {
+		panic(err)
+	}
 	cons := hrtsched.PeriodicConstraints(0, 100_000, 50_000)
 	flow := g.JoinSteps(g.ChangeConstraintsSteps(cons,
 		hrtsched.GroupAdmitOptions{PhaseCorrection: true}, nil))

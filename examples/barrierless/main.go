@@ -22,7 +22,7 @@ func main() {
 	k := core.Boot(m, core.DefaultConfig(spec))
 
 	cons := core.PeriodicConstraints(0, 100_000, 50_000)
-	g := group.New(k, "lockstep", n, group.DefaultCosts())
+	g := group.MustNew(k, "lockstep", n, group.DefaultCosts())
 	flow := g.JoinSteps(g.ChangeConstraintsSteps(cons,
 		group.AdmitOptions{PhaseCorrection: true}, nil))
 

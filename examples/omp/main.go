@@ -17,7 +17,7 @@ func run(label string, cons core.Constraints, sync omp.SyncMode) {
 	spec := machine.PhiKNL().Scaled(17)
 	m := machine.New(spec, 555)
 	k := core.Boot(m, core.DefaultConfig(spec))
-	team := omp.NewTeam(k, omp.Config{
+	team := omp.MustNewTeam(k, omp.Config{
 		Workers: 16, FirstCPU: 1, Constraints: cons, Sync: sync,
 	})
 

@@ -19,7 +19,7 @@ func run(label string, dist pgas.Distribution, place pgas.Placement,
 	spec := machine.PhiKNL().Scaled(9)
 	m := machine.New(spec, 99)
 	k := core.Boot(m, core.DefaultConfig(spec))
-	team := omp.NewTeam(k, omp.Config{Workers: 8, FirstCPU: 1,
+	team := omp.MustNewTeam(k, omp.Config{Workers: 8, FirstCPU: 1,
 		Constraints: cons, Sync: sync})
 
 	const n = 1024

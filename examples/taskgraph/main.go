@@ -17,7 +17,7 @@ func run(label string, cons core.Constraints) {
 	spec := machine.PhiKNL().Scaled(5)
 	m := machine.New(spec, 1234)
 	k := core.Boot(m, core.DefaultConfig(spec))
-	rt := legion.New(k, legion.Config{Workers: 4, FirstCPU: 1, Constraints: cons})
+	rt := legion.MustNew(k, legion.Config{Workers: 4, FirstCPU: 1, Constraints: cons})
 
 	state := rt.NewRegion("state", 64)
 	parts := make([]*legion.Region, 4)

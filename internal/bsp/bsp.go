@@ -93,7 +93,7 @@ func New(k *core.Kernel, p Params) *Bench {
 	b := &Bench{
 		k:        k,
 		p:        p,
-		g:        group.New(k, "bsp", p.P, group.DefaultCosts()),
+		g:        group.MustNew(k, "bsp", p.P, group.DefaultCosts()),
 		data:     make([][]float64, p.P),
 		writeCnt: make([][]int64, p.P),
 		iter:     make([]int64, p.P),

@@ -184,25 +184,63 @@ func (s *LocalScheduler) AdmitCheck(t *Thread, c Constraints) error {
 	case Periodic:
 		if s.cfg.Admit == AdmitSim {
 			if !s.admitBySimulation(t, c) {
-				return fmt.Errorf("%w: hyperperiod simulation found missed deadlines", ErrAdmission)
+				return s.rejectAdmission("hyperperiod-miss",
+					"hyperperiod simulation found missed deadlines")
 			}
 			return nil
 		}
 		u := c.Utilization()
 		if s.periodicUtil-ownPeriodic+u > s.periodicCap()+1e-12 {
-			return fmt.Errorf("%w: periodic util %.3f over cap %.3f",
-				ErrAdmission, s.periodicUtil-ownPeriodic+u, s.periodicCap())
+			return s.rejectAdmission("util-cap",
+				fmt.Sprintf("periodic util %.3f over cap %.3f",
+					s.periodicUtil-ownPeriodic+u, s.periodicCap()))
 		}
 		return nil
 	case Sporadic:
 		u := c.Utilization()
 		if s.sporadicUtil-ownSporadic+u > s.cfg.SporadicReservation+1e-12 {
-			return fmt.Errorf("%w: sporadic util %.3f over reservation %.3f",
-				ErrAdmission, s.sporadicUtil-ownSporadic+u, s.cfg.SporadicReservation)
+			return s.rejectAdmission("sporadic-reservation",
+				fmt.Sprintf("sporadic util %.3f over reservation %.3f",
+					s.sporadicUtil-ownSporadic+u, s.cfg.SporadicReservation))
 		}
 		return nil
 	}
 	return ErrBadConstraints
+}
+
+// rejectAdmission builds the structured admission rejection, attaching the
+// retry-after hint.
+func (s *LocalScheduler) rejectAdmission(reason, detail string) error {
+	return &AdmissionError{
+		Reason:       reason,
+		Detail:       detail,
+		RetryAfterNs: s.retryAfterHintNs(s.nowNs(0)),
+	}
+}
+
+// retryAfterHintNs estimates when capacity might free: the earliest
+// deadline among the currently reserved real-time threads is the soonest
+// instant an existing reservation can end (a sporadic burst completes, a
+// periodic thread reaches a reshape boundary). Purely advisory — a backoff
+// hint for rejected callers, never a guarantee.
+func (s *LocalScheduler) retryAfterHintNs(nowNs int64) int64 {
+	var best int64
+	consider := func(t *Thread) {
+		if t.cons.Type == Periodic || (t.cons.Type == Sporadic && t.isRTNow()) {
+			if d := t.deadlineNs - nowNs; d > 0 && (best == 0 || d < best) {
+				best = d
+			}
+		}
+	}
+	s.pending.All(consider)
+	s.rtq.All(consider)
+	if c := s.current; c != nil {
+		consider(c)
+	}
+	if best == 0 {
+		best = s.cfg.AperiodicQuantumNs
+	}
+	return best
 }
 
 // AdmitCurrent applies constraints to the currently running thread from
@@ -266,13 +304,15 @@ func (s *LocalScheduler) Admit(t *Thread, c Constraints, nowNs int64) error {
 		case s.cfg.Admit == AdmitSim:
 			if !s.admitBySimulation(t, c) {
 				restore()
-				return fmt.Errorf("%w: hyperperiod simulation found missed deadlines", ErrAdmission)
+				return s.rejectAdmission("hyperperiod-miss",
+					"hyperperiod simulation found missed deadlines")
 			}
 		default:
 			if !s.periodicFits(u) {
 				restore()
-				return fmt.Errorf("%w: periodic util %.3f over cap (have %.3f, cap %.3f)",
-					ErrAdmission, u, s.periodicUtil, s.periodicCap())
+				return s.rejectAdmission("util-cap",
+					fmt.Sprintf("periodic util %.3f over cap (have %.3f, cap %.3f)",
+						u, s.periodicUtil, s.periodicCap()))
 			}
 		}
 		s.periodicUtil += u
@@ -282,8 +322,9 @@ func (s *LocalScheduler) Admit(t *Thread, c Constraints, nowNs int64) error {
 		u := c.Utilization()
 		if s.cfg.Admit != AdmitNone && s.sporadicUtil+u > s.cfg.SporadicReservation+1e-12 {
 			restore()
-			return fmt.Errorf("%w: sporadic util %.3f over reservation %.3f",
-				ErrAdmission, s.sporadicUtil+u, s.cfg.SporadicReservation)
+			return s.rejectAdmission("sporadic-reservation",
+				fmt.Sprintf("sporadic util %.3f over reservation %.3f",
+					s.sporadicUtil+u, s.cfg.SporadicReservation))
 		}
 		s.sporadicUtil += u
 		t.resetSchedule(c, nowNs, s.clock.NanosToCycles)

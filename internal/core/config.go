@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"hrtsched/internal/machine"
 	"hrtsched/internal/sim"
 )
@@ -102,6 +104,109 @@ type Config struct {
 	// reach it (the first steering mechanism of Section 3.5). On by
 	// default; disable only for the ablation study.
 	PriorityFiltering bool
+
+	// Degrade configures the graceful-degradation layer: what to do with
+	// periodic threads that keep missing deadlines after faults push the
+	// admitted set over the edge. Zero value: degradation off.
+	Degrade DegradeConfig
+
+	// WatchdogNs, when positive, runs a cross-CPU timer watchdog: a CPU
+	// whose scheduler has not run for this long while it still has work is
+	// sent a kick IPI. A tickless scheduler that loses a one-shot firing
+	// otherwise goes silent forever — the running thread keeps the CPU and
+	// priority filtering holds every device interrupt pending. Kicks are
+	// scheduling-class, so they get through. Zero: no watchdog.
+	WatchdogNs int64
+}
+
+// DegradePolicy selects the graceful-degradation response applied to a
+// periodic thread whose miss streak crosses the configured threshold.
+type DegradePolicy uint8
+
+const (
+	// DegradeOff disables the degradation layer.
+	DegradeOff DegradePolicy = iota
+	// DegradeDemote downgrades the thread to the aperiodic class. It keeps
+	// running best-effort; the utilization it reserved is released so the
+	// surviving real-time threads can meet their deadlines again.
+	DegradeDemote
+	// DegradeShrink shrinks the thread's slice proportionally, keeping it
+	// periodic with a lighter reservation. Once the slice would fall below
+	// the floor the thread is demoted instead.
+	DegradeShrink
+	// DegradeEvict parks the thread (Blocked) and notifies via the Degrade
+	// hook; it runs again only if the re-admission supervisor restores it
+	// or someone wakes it explicitly.
+	DegradeEvict
+)
+
+// String names the policy.
+func (p DegradePolicy) String() string {
+	switch p {
+	case DegradeOff:
+		return "off"
+	case DegradeDemote:
+		return "demote"
+	case DegradeShrink:
+		return "shrink"
+	case DegradeEvict:
+		return "evict"
+	default:
+		return fmt.Sprintf("DegradePolicy(%d)", uint8(p))
+	}
+}
+
+// DegradeConfig tunes the degradation layer.
+type DegradeConfig struct {
+	// Policy selects the shed response; DegradeOff disables the layer.
+	Policy DegradePolicy
+	// MissStreak is the consecutive-miss threshold that triggers a shed.
+	// Values below 1 are treated as the default of 3.
+	MissStreak int
+	// ShrinkPct is the percentage of the current slice kept by each
+	// DegradeShrink step; outside (0,100) it defaults to 50.
+	ShrinkPct int64
+	// MinSliceNs is the floor below which DegradeShrink demotes instead.
+	// Zero uses the platform's Limits.MinSliceNs.
+	MinSliceNs int64
+	// Readmit enables the re-admission supervisor: shed threads are retried
+	// with their original constraints under exponential backoff.
+	Readmit bool
+	// ReadmitAfterNs is the base backoff before the first re-admission
+	// attempt; attempt k waits ReadmitAfterNs << k. Zero defaults to four
+	// periods of the shed thread's original constraints.
+	ReadmitAfterNs int64
+	// ReadmitMaxAttempts bounds the supervisor's retries per shed thread.
+	// Values below 1 default to 8.
+	ReadmitMaxAttempts int
+}
+
+// armed reports whether the degradation layer participates in scheduler
+// passes.
+func (d DegradeConfig) armed() bool { return d.Policy != DegradeOff }
+
+// streak returns the effective miss-streak threshold.
+func (d DegradeConfig) streak() int {
+	if d.MissStreak < 1 {
+		return 3
+	}
+	return d.MissStreak
+}
+
+// shrinkPct returns the effective per-step slice retention percentage.
+func (d DegradeConfig) shrinkPct() int64 {
+	if d.ShrinkPct <= 0 || d.ShrinkPct >= 100 {
+		return 50
+	}
+	return d.ShrinkPct
+}
+
+// maxAttempts returns the effective re-admission retry bound.
+func (d DegradeConfig) maxAttempts() int {
+	if d.ReadmitMaxAttempts < 1 {
+		return 8
+	}
+	return d.ReadmitMaxAttempts
 }
 
 // DefaultConfig returns the paper's default configuration for the given

@@ -110,6 +110,35 @@ var (
 	ErrSchedulerClosed = errors.New("core: scheduler is shut down")
 )
 
+// AdmissionError is the structured rejection produced by admission control:
+// a stable machine-readable reason, human-readable detail, and a hint for
+// when the same request might plausibly succeed. It unwraps to
+// ErrAdmission, so errors.Is(err, ErrAdmission) keeps working.
+type AdmissionError struct {
+	// Reason is a stable tag: "util-cap", "sporadic-reservation", or
+	// "hyperperiod-miss".
+	Reason string
+	Detail string
+	// RetryAfterNs estimates when capacity might free (the earliest
+	// deadline of an existing reservation); 0 means no basis for a hint.
+	RetryAfterNs int64
+}
+
+// Error renders the rejection with its reason and retry hint.
+func (e *AdmissionError) Error() string {
+	msg := ErrAdmission.Error() + ": " + e.Reason
+	if e.Detail != "" {
+		msg += ": " + e.Detail
+	}
+	if e.RetryAfterNs > 0 {
+		msg += fmt.Sprintf(" (retry after %dns)", e.RetryAfterNs)
+	}
+	return msg
+}
+
+// Unwrap ties the structured error to the ErrAdmission sentinel.
+func (e *AdmissionError) Unwrap() error { return ErrAdmission }
+
 // Validate checks structural sanity and, when limits is non-nil, the
 // platform granularity bounds of Section 3.3 ("bounds are also placed on
 // the granularity and minimum size of the timing constraints").

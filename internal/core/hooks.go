@@ -17,4 +17,14 @@ type Hooks struct {
 	Miss func(cpu int, t *Thread, nowNs int64, missNs int64)
 	// DeviceIRQ fires when an external device interrupt is handled.
 	DeviceIRQ func(cpu int, vector uint8, nowNs int64)
+	// Pass fires at the end of every scheduler pass, after the next thread
+	// has been chosen but before the dispatch completes. The InvariantChecker
+	// is the canonical consumer.
+	Pass func(cpu int, s *LocalScheduler, nowNs int64)
+	// Degrade fires when the graceful-degradation layer sheds a thread
+	// (demotes, shrinks, or evicts it).
+	Degrade func(cpu int, t *Thread, ev DegradeEvent)
+	// Readmit fires when the re-admission supervisor restores a previously
+	// shed thread to its original constraints.
+	Readmit func(cpu int, t *Thread, nowNs int64)
 }

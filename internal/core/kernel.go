@@ -38,7 +38,15 @@ type Kernel struct {
 	// trace package. All run synchronously in simulation context.
 	Hooks Hooks
 
+	// GroupResolver, if set, maps a thread to its group cohort so the
+	// degradation layer sheds (and re-admits) whole groups atomically,
+	// never partially — the revocation mirror of Algorithm 1's
+	// all-or-nothing admission. group.EnableAtomicShed installs it.
+	GroupResolver func(t *Thread) []*Thread
+
 	scopeHook *ScopeHook
+
+	degradeStats DegradeStats
 
 	threads     []*Thread
 	liveThreads int
@@ -96,8 +104,41 @@ func Boot(m *machine.Machine, cfg Config) *Kernel {
 			s.invoke(ReasonBoot, now)
 		})
 	}
+	if cfg.WatchdogNs > 0 {
+		k.startWatchdog()
+	}
 	k.booted = true
 	return k
+}
+
+// startWatchdog arms the cross-CPU timer watchdog: every WatchdogNs it
+// kicks any CPU whose scheduler has been silent that long while holding
+// work. This is the recovery path for a lost one-shot timer firing — the
+// only interrupt a priority-filtered real-time CPU still accepts is a
+// scheduling-class IPI from a peer.
+func (k *Kernel) startWatchdog() {
+	period := k.Cfg.WatchdogNs
+	cycles := k.Clocks[0].NanosToCycles(period)
+	if cycles < 1 {
+		cycles = 1
+	}
+	var tick func(now sim.Time)
+	tick = func(now sim.Time) {
+		for i, s := range k.Locals {
+			nowNs := s.nowNs(0)
+			if nowNs-s.lastPassNs < period {
+				continue
+			}
+			np, nrt, nap := s.Queues()
+			if s.current == nil && np+nrt+nap == 0 {
+				continue // truly idle: silence is fine
+			}
+			s.Stats.WatchdogKicks++
+			k.Kick(i)
+		}
+		k.Eng.After(sim.Duration(cycles), sim.Hard, tick)
+	}
+	k.Eng.After(sim.Duration(cycles), sim.Hard, tick)
 }
 
 // NumCPUs returns the machine's hardware thread count.
@@ -331,6 +372,9 @@ func (s *LocalScheduler) interruptHandlerWindow(now sim.Time, cost int64) {
 		if gen != s.gen || s.current != t || t.state != Running {
 			return
 		}
+		// The window ran to completion unpreempted; attribute it. A window
+		// cut short by a new pass is left to the idle residual instead.
+		s.irqWindowCycles += cost
 		s.runStartWall = dn
 		s.missingAtStart = s.k.Eng.MissingTime()
 		s.startAction(t, dn)

@@ -43,6 +43,23 @@ type SchedStats struct {
 	Steals        int64
 	TasksInline   int64
 	IdleEntered   int64
+
+	// WatchdogKicks counts recoveries by the timer watchdog: passes this
+	// CPU only made because the watchdog noticed its timer went silent.
+	WatchdogKicks int64
+
+	Miss MissStats
+}
+
+// MissStats breaks down miss-magnitude recording on one CPU. A negative raw
+// magnitude means a miss record was produced for a deadline that had not
+// actually passed — an accounting bug upstream. Such records are still
+// clamped to zero for the summary, but they are counted here so they cannot
+// hide.
+type MissStats struct {
+	Recorded        int64 // miss magnitudes recorded (after clamping)
+	ClampedNegative int64 // records whose raw magnitude was negative
+	WorstRawNegNs   int64 // most negative raw magnitude observed
 }
 
 // LocalScheduler is the per-CPU eager EDF engine of Figure 2. It is driven
@@ -78,7 +95,69 @@ type LocalScheduler struct {
 
 	sliceSlackCycles int64
 
+	// Cycle-conservation ledger (see Ledger). Attribution is conservative:
+	// work cut short by a new pass is left to the idle residual rather than
+	// risk double counting, so idle can only be over-, never under-stated.
+	acctStarted     bool
+	acctStartWall   sim.Time
+	acctMissing0    sim.Duration
+	busyCycles      int64
+	overheadCycles  int64
+	irqWindowCycles int64
+	inlineCycles    int64
+
+	// lastPassNs is when the scheduler last ran, fed to the timer watchdog:
+	// a tickless scheduler that loses its one-shot firing goes silent until
+	// some other interrupt arrives, and with priority filtering only a
+	// scheduling-class interrupt can get through.
+	lastPassNs int64
+
 	Stats SchedStats
+}
+
+// Ledger is the per-CPU cycle-conservation ledger since the scheduler's
+// first invocation: every wall cycle is thread execution, scheduler
+// overhead, an interrupt-handler window, an inline task, SMI missing time,
+// or idle. Idle is computed as the residual, so the conservation invariant
+// "compute + overhead + irq + inline + missing + idle == wall" holds by
+// construction and the checkable claim is that the residual is never
+// negative (nothing was counted twice).
+type Ledger struct {
+	WallCycles      int64
+	MissingCycles   int64 // SMI freeze time already elapsed in the window
+	BusyCycles      int64 // thread execution credited by accountCurrent
+	OverheadCycles  int64 // completed scheduler invocations (IRQ+pass+switch)
+	IRQWindowCycles int64 // device-interrupt handler windows run to completion
+	InlineCycles    int64 // size-tagged tasks run in scheduler context
+	IdleCycles      int64 // residual: wall - missing - everything attributed
+}
+
+// Ledger returns the CPU's conservation ledger. A freeze in progress books
+// its missing time up front, so the not-yet-elapsed part is deducted to keep
+// the ledger consistent mid-SMI.
+func (s *LocalScheduler) Ledger() Ledger {
+	if !s.acctStarted {
+		return Ledger{}
+	}
+	eng := s.k.Eng
+	wall := int64(eng.Now() - s.acctStartWall)
+	miss := int64(eng.MissingTime() - s.acctMissing0)
+	if fu := eng.FrozenUntil(); fu > eng.Now() {
+		miss -= int64(fu - eng.Now())
+	}
+	if miss < 0 {
+		miss = 0
+	}
+	l := Ledger{
+		WallCycles:      wall,
+		MissingCycles:   miss,
+		BusyCycles:      s.busyCycles,
+		OverheadCycles:  s.overheadCycles,
+		IRQWindowCycles: s.irqWindowCycles,
+		InlineCycles:    s.inlineCycles,
+	}
+	l.IdleCycles = wall - miss - l.BusyCycles - l.OverheadCycles - l.IRQWindowCycles - l.InlineCycles
+	return l
 }
 
 func newLocalScheduler(k *Kernel, cpu *machine.CPU, clock *timesync.Clock, cfg *Config, rng *sim.Rand) *LocalScheduler {
@@ -145,6 +224,11 @@ func (s *LocalScheduler) invoke(reason InvokeReason, now sim.Time) {
 	s.cancelAction()
 	s.cancelSteal()
 	s.Stats.Invocations++
+	if !s.acctStarted {
+		s.acctStarted = true
+		s.acctStartWall = now
+		s.acctMissing0 = s.k.Eng.MissingTime()
+	}
 
 	spec := &s.k.M.Spec
 	var irq int64
@@ -164,9 +248,13 @@ func (s *LocalScheduler) invoke(reason InvokeReason, now sim.Time) {
 
 	// The pass observes the wall clock after entry costs have elapsed.
 	decisionNs := s.nowNs(irq + other)
+	s.lastPassNs = decisionNs
 
 	s.pump(decisionNs)
 	s.updateCurrent(decisionNs)
+	if s.cfg.Degrade.armed() {
+		s.applyDegrade(decisionNs)
+	}
 
 	// Inline execution of size-tagged tasks: they run in scheduler context
 	// when no real-time thread needs the CPU and they fit before the next
@@ -197,9 +285,17 @@ func (s *LocalScheduler) invoke(reason InvokeReason, now sim.Time) {
 	if total < 1 {
 		total = 1
 	}
+	if s.k.Hooks.Pass != nil {
+		s.k.Hooks.Pass(s.cpu.ID(), s, decisionNs)
+	}
+
 	gen := s.gen
 	s.k.Eng.After(sim.Duration(total), sim.Soft, func(dn sim.Time) {
 		if gen == s.gen {
+			// The invocation ran to completion: attribute its cost. A pass
+			// superseded by a newer one leaves its cost to the idle residual.
+			s.overheadCycles += irq + other + resched + swc
+			s.inlineCycles += inline
 			s.dispatch(dn)
 		}
 	})
@@ -219,6 +315,7 @@ func (s *LocalScheduler) accountCurrent(now sim.Time) {
 	if elapsed == 0 {
 		return
 	}
+	s.busyCycles += elapsed
 	t.SupplyCycles += elapsed
 	if c, ok := t.cur.(Compute); ok {
 		_ = c
@@ -235,8 +332,16 @@ func (s *LocalScheduler) accountCurrent(now sim.Time) {
 func (s *LocalScheduler) recordMissTime(t *Thread) func(int64) {
 	return func(missNs int64) {
 		if missNs < 0 {
+			// A negative magnitude means the record concerns a deadline that
+			// has not passed — an accounting bug. Keep the historical clamp
+			// for the summary, but count the event so it cannot hide.
+			s.Stats.Miss.ClampedNegative++
+			if missNs < s.Stats.Miss.WorstRawNegNs {
+				s.Stats.Miss.WorstRawNegNs = missNs
+			}
 			missNs = 0
 		}
+		s.Stats.Miss.Recorded++
 		t.MissTimeNs.Add(float64(missNs))
 		if s.k.Hooks.Miss != nil {
 			s.k.Hooks.Miss(s.cpu.ID(), t, s.nowNs(0), missNs)
@@ -309,6 +414,7 @@ func (s *LocalScheduler) updateCurrent(nowNs int64) {
 		if t.debtCycles == 0 && t.sliceRemCycles <= s.sliceSlackCycles {
 			// Slice complete (within timer slack): wait for next arrival.
 			t.supply(t.sliceRemCycles, nowNs, s.recordMissTime(t))
+			t.missStreak = 0
 			t.arrivalNs = t.deadlineNs
 			t.deadlineNs += t.cons.PeriodNs
 			t.sliceRemCycles = s.clock.NanosToCycles(t.cons.SliceNs)

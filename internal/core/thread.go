@@ -93,6 +93,13 @@ type Thread struct {
 	Switches     int64
 	Preemptions  int64
 
+	// Graceful-degradation state: consecutive missed deadlines since the
+	// last cleanly met one, and the record of the last shed applied.
+	missStreak  int
+	lastDegrade DegradeEvent
+	degraded    bool
+	shedCount   int // lifetime sheds; drives cross-flap readmit backoff
+
 	// Stealable marks aperiodic threads eligible for work stealing.
 	Stealable bool
 
@@ -159,6 +166,14 @@ func (t *Thread) AdmitNs() int64 { return t.admitNs }
 // SliceRemainingCycles returns the execution still owed this arrival.
 func (t *Thread) SliceRemainingCycles() int64 { return t.sliceRemCycles }
 
+// MissStreak returns the number of consecutive deadlines missed since the
+// last cleanly completed slice.
+func (t *Thread) MissStreak() int { return t.missStreak }
+
+// Degraded reports whether the degradation layer has shed this thread, and
+// if so returns the most recent shed event.
+func (t *Thread) Degraded() (DegradeEvent, bool) { return t.lastDegrade, t.degraded }
+
 // MissRate returns Misses/Arrivals, or 0 before the first arrival.
 func (t *Thread) MissRate() float64 {
 	if t.Arrivals == 0 {
@@ -175,6 +190,7 @@ func (t *Thread) resetSchedule(cons Constraints, gammaNs int64, nsToCycles func(
 	t.periodIndex = 0
 	t.debtCycles = 0
 	t.missDeadlineNs = 0
+	t.missStreak = 0
 	switch cons.Type {
 	case Periodic:
 		t.arrivalNs = gammaNs + cons.PhaseNs
@@ -205,6 +221,7 @@ func (t *Thread) advancePeriod(nowNs int64, nsToCycles func(int64) int64, record
 		if t.debtCycles > 0 {
 			record(nowNs - t.missDeadlineNs)
 			t.Misses++
+			t.missStreak++
 			t.debtCycles = 0
 			missed++
 		} else if t.sliceRemCycles > 0 && t.Arrivals > 0 {
@@ -212,6 +229,7 @@ func (t *Thread) advancePeriod(nowNs int64, nsToCycles func(int64) int64, record
 			// leftover becomes debt; its completion time determines the
 			// miss time (Figures 8 and 9).
 			t.Misses++
+			t.missStreak++
 			t.debtCycles = t.sliceRemCycles
 			t.missDeadlineNs = t.deadlineNs
 			missed++

@@ -188,6 +188,11 @@ var Registry = map[string]func(Options) *stats.Figure{
 	"ablation-steering": AblationInterruptSteering,
 	"ablation-admitsim": AblationAdmitSim,
 	"ablation-steal":    AblationStealPolicy,
+
+	"fault-smi-storm":     FaultSMIStorm,
+	"fault-irq-storm":     FaultIRQStorm,
+	"fault-drift":         FaultDrift,
+	"fault-overload-shed": FaultOverloadShed,
 }
 
 // Run dispatches an experiment by id.
@@ -207,6 +212,8 @@ func IDs() []string {
 		"ablation-eager", "ablation-phase", "ablation-rm",
 		"ablation-steering", "ablation-steal", "ablation-admitsim",
 		"ext-cyclic", "ext-omp", "ext-isolation",
+		"fault-smi-storm", "fault-irq-storm", "fault-drift",
+		"fault-overload-shed",
 	}
 	return ids
 }

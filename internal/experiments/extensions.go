@@ -85,7 +85,7 @@ func ExtOMP(o Options) *stats.Figure {
 		spec := machine.PhiKNL().Scaled(workers + 1)
 		m := machine.New(spec, seed)
 		k := core.Boot(m, core.DefaultConfig(spec))
-		team := omp.NewTeam(k, omp.Config{Workers: workers, FirstCPU: 1,
+		team := omp.MustNewTeam(k, omp.Config{Workers: workers, FirstCPU: 1,
 			Constraints: cons, Sync: sync})
 		iters := workers * 8
 		costPer := grain / 8

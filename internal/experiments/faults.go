@@ -1,0 +1,136 @@
+package experiments
+
+// Fault-injection experiments: the chaos scenarios of internal/fault run
+// as registered harnesses, reporting miss-rate degradation and recovery
+// curves. These are the robustness counterparts of the paper's evaluation
+// figures: instead of measuring the scheduler on a healthy machine, they
+// measure how far it bends — and how fast it recovers — on a hostile one.
+
+import (
+	"hrtsched/internal/fault"
+	"hrtsched/internal/stats"
+)
+
+// missCurve adds a scenario's per-bucket miss counts to a series.
+func missCurve(s *stats.Series, r *fault.Result) {
+	for i, n := range r.MissCurve {
+		s.Add(float64(int64(i)*r.BucketNs)/1e6, float64(n))
+	}
+}
+
+// totalMissRate sums misses/arrivals over the watched threads.
+func totalMissRate(r *fault.Result) float64 {
+	var misses, arrivals int64
+	for _, t := range r.Watched {
+		misses += t.Misses
+		arrivals += t.Arrivals
+	}
+	if arrivals == 0 {
+		return 0
+	}
+	return 100 * float64(misses) / float64(arrivals)
+}
+
+// FaultSMIStorm runs the smi-storm scenario under eager and lazy EDF and
+// reports the miss-per-bucket degradation curves. The acceptance claim of
+// Section 3.6 must survive faults too: eager EDF's miss rate stays at or
+// below lazy EDF's under the same storm.
+func FaultSMIStorm(o Options) *stats.Figure {
+	fig := stats.NewFigure("fault-smi-storm",
+		"Miss degradation under Markov-modulated SMI storms (eager vs lazy EDF)",
+		"time (ms)", "misses per bucket")
+	eager, err := fault.Run(fault.Options{Scenario: "smi-storm", Seed: o.Seed})
+	if err != nil {
+		panic(err)
+	}
+	lazy, err := fault.Run(fault.Options{Scenario: "smi-storm", Seed: o.Seed, Lazy: true})
+	if err != nil {
+		panic(err)
+	}
+	missCurve(fig.AddSeries("eager EDF"), eager)
+	missCurve(fig.AddSeries("lazy EDF"), lazy)
+	fig.Note("total miss rate: eager %.2f%% vs lazy %.2f%%; invariant passes eager=%d violations=%d",
+		totalMissRate(eager), totalMissRate(lazy),
+		eager.Checker.Passes(), len(eager.Checker.Violations()))
+	return fig
+}
+
+// FaultIRQStorm runs the irq-storm scenario (priority filtering off, the
+// control thread on the interrupt-free CPU) and reports per-thread curves.
+func FaultIRQStorm(o Options) *stats.Figure {
+	fig := stats.NewFigure("fault-irq-storm",
+		"Device-IRQ storms on the laden CPU, priority filtering off",
+		"time (ms)", "misses per bucket")
+	eager, err := fault.Run(fault.Options{Scenario: "irq-storm", Seed: o.Seed})
+	if err != nil {
+		panic(err)
+	}
+	lazy, err := fault.Run(fault.Options{Scenario: "irq-storm", Seed: o.Seed, Lazy: true})
+	if err != nil {
+		panic(err)
+	}
+	missCurve(fig.AddSeries("eager EDF"), eager)
+	missCurve(fig.AddSeries("lazy EDF"), lazy)
+	ev, lv := eager.Watched[0], lazy.Watched[0]
+	fig.Note("laden-CPU victim: eager %d/%d vs lazy %d/%d misses; interrupt-free control: %d and %d",
+		ev.Misses, ev.Arrivals, lv.Misses, lv.Arrivals,
+		eager.Watched[1].Misses, lazy.Watched[1].Misses)
+	return fig
+}
+
+// FaultDrift runs the timer-drift scenario: miscalibrated, delayed and lost
+// one-shot firings, with the cross-CPU watchdog as the recovery path.
+func FaultDrift(o Options) *stats.Figure {
+	fig := stats.NewFigure("fault-drift",
+		"APIC timer drift, delay and loss (watchdog recovery enabled)",
+		"time (ms)", "misses per bucket")
+	r, err := fault.Run(fault.Options{Scenario: "drift", Seed: o.Seed})
+	if err != nil {
+		panic(err)
+	}
+	missCurve(fig.AddSeries("misses"), r)
+	var kicks, lost int64
+	for i, s := range r.Kernel.Locals {
+		kicks += s.Stats.WatchdogKicks
+		lost += r.Kernel.M.CPU(i).LostTimerFires()
+	}
+	fig.Note("miss rate %.2f%%; %d one-shot firings lost, %d watchdog recoveries",
+		totalMissRate(r), lost, kicks)
+	return fig
+}
+
+// FaultOverloadShed runs the overload-shed scenario: a persistent SMI drain
+// overloads an admitted 90% set, the degradation layer sheds until the
+// survivors fit, and the re-admission supervisor probes recovery. The curve
+// shows degradation and recovery; the note quantifies both.
+func FaultOverloadShed(o Options) *stats.Figure {
+	fig := stats.NewFigure("fault-overload-shed",
+		"Overload shedding and re-admission under a persistent SMI drain",
+		"time (ms)", "misses per bucket")
+	r, err := fault.Run(fault.Options{Scenario: "overload-shed", Seed: o.Seed})
+	if err != nil {
+		panic(err)
+	}
+	missCurve(fig.AddSeries("misses"), r)
+	d := r.Kernel.Degradation()
+	lastStable := r.LastShedNs
+	for _, ns := range r.ReadmitNs {
+		if ns > lastStable {
+			lastStable = ns
+		}
+	}
+	var lastSurvivorMiss int64
+	survivors := 0
+	for _, t := range r.Watched {
+		if _, shed := t.Degraded(); !shed {
+			survivors++
+			if m := r.LastMissNs[t.ID()]; m > lastSurvivorMiss {
+				lastSurvivorMiss = m
+			}
+		}
+	}
+	fig.Note("sheds=%d readmitted=%d gave_up=%d; %d survivors, last shed/readmit at %dms, last survivor miss at %dms",
+		d.Sheds, d.Readmitted, d.ReadmitGaveUp, survivors,
+		lastStable/1e6, lastSurvivorMiss/1e6)
+	return fig
+}

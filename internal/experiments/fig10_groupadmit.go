@@ -13,7 +13,7 @@ import (
 func groupAdmitRun(n int, seed uint64, correct bool, cons core.Constraints) (*group.Group, *core.Kernel, []*core.Thread) {
 	ncpus := n + 1 // CPU 0 stays the interrupt-laden partition
 	k := bootPhi(ncpus, seed, nil)
-	g := group.New(k, "bench", n, group.DefaultCosts())
+	g := group.MustNew(k, "bench", n, group.DefaultCosts())
 	flow := g.JoinSteps(g.ChangeConstraintsSteps(cons,
 		group.AdmitOptions{PhaseCorrection: correct}, nil))
 	body := spinProgram(20_000)

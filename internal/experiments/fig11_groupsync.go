@@ -16,7 +16,7 @@ import (
 func groupSyncRun(n int, seed uint64, correct bool, invocations int) []float64 {
 	k := bootPhi(n+1, seed, nil)
 	cons := core.PeriodicConstraints(0, 100_000, 50_000)
-	g := group.New(k, "sync", n, group.DefaultCosts())
+	g := group.MustNew(k, "sync", n, group.DefaultCosts())
 	flow := g.JoinSteps(g.ChangeConstraintsSteps(cons,
 		group.AdmitOptions{PhaseCorrection: correct}, nil))
 	members := make(map[*core.Thread]int, n)

@@ -41,7 +41,7 @@ func ExtIsolation(o Options) *stats.Figure {
 	bench.Start()
 
 	// Tenant 2: an OpenMP-like team at 30% utilization on the other half.
-	team := omp.NewTeam(k, omp.Config{
+	team := omp.MustNewTeam(k, omp.Config{
 		Workers: ncpus - 1 - half, FirstCPU: 1 + half,
 		Constraints: core.PeriodicConstraints(0, 200_000, 60_000),
 		Sync:        omp.SyncBarrier,
@@ -55,7 +55,7 @@ func ExtIsolation(o Options) *stats.Figure {
 
 	// Tenant 3: a Legion-like task pool in the leftover aperiodic time of
 	// the BSP half.
-	rt := legion.New(k, legion.Config{Workers: 4, FirstCPU: 1})
+	rt := legion.MustNew(k, legion.Config{Workers: 4, FirstCPU: 1})
 	reg := rt.NewRegion("state", 16)
 	const legionTasks = 40
 	for i := 0; i < legionTasks; i++ {
@@ -65,7 +65,7 @@ func ExtIsolation(o Options) *stats.Figure {
 	}
 
 	// Tenant 4: a managed tenant with sporadic GC on the OMP half.
-	ten := managed.New(k, managed.Config{
+	ten := managed.MustNew(k, managed.Config{
 		CPU: 1 + half, Strategy: managed.SporadicGC,
 		NurseryBytes: 64 << 10, AllocBytes: 1 << 10, AllocCostCycles: 4_000,
 		GCCycles: 130_000, GCDeadlineNs: 2_000_000, GCPriority: 60,

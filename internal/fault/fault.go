@@ -1,0 +1,316 @@
+// Package fault is a library of composable, seed-deterministic fault
+// injectors driven by the simulation engine. Each injector models one
+// hostile phenomenon the scheduler must survive — bursty SMI storms, timer
+// miscalibration, lost firings, device-interrupt storms, cycle-counter
+// re-skew, allocator pressure — and derives all of its randomness from a
+// splittable stream, so equal seeds produce bit-identical fault schedules.
+// Scenarios (scenario.go) compose injectors with workloads into named,
+// replayable chaos runs.
+package fault
+
+import (
+	"hrtsched/internal/core"
+	"hrtsched/internal/machine"
+	"hrtsched/internal/sim"
+)
+
+// Env is the injection target: the machine whose hardware is perturbed, the
+// kernel running on it, and the randomness stream all injector decisions
+// must derive from.
+type Env struct {
+	M   *machine.Machine
+	K   *core.Kernel
+	Rng *sim.Rand
+}
+
+// Injector is one composable fault process. Start arms it; it then drives
+// itself from engine events until the simulation ends.
+type Injector interface {
+	Name() string
+	Start(env *Env)
+}
+
+// expAfter returns an exponentially distributed delay with the given mean,
+// floored at one cycle.
+func expAfter(rng *sim.Rand, mean float64) sim.Duration {
+	d := sim.Duration(mean * rng.ExpFloat64())
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// SMIStorm injects system management interrupts from a Markov-modulated
+// arrival process: the firmware alternates between a calm state and a storm
+// state with exponentially distributed dwell times, and within each state
+// SMIs arrive with that state's exponential inter-arrival gap. This models
+// the bursty reality (a thermal event triggering a flurry of SMM entries)
+// that a plain Poisson model smooths away.
+type SMIStorm struct {
+	MeanCalmCycles  float64 // mean dwell in the calm state
+	MeanStormCycles float64 // mean dwell in the storm state
+	CalmGapCycles   float64 // mean SMI inter-arrival while calm; 0 = none
+	StormGapCycles  float64 // mean SMI inter-arrival while storming
+	DurationCycles  int64   // SMI duration
+	DurationJitter  int64   // uniform +/- jitter on the duration
+}
+
+// Name implements Injector.
+func (f *SMIStorm) Name() string { return "smi-storm" }
+
+// Start implements Injector.
+func (f *SMIStorm) Start(env *Env) {
+	rng := env.Rng.Split()
+	eng := env.M.Eng
+	storm := false
+	epoch := 0
+
+	var arm func(e int)
+	arm = func(e int) {
+		gap := f.CalmGapCycles
+		if storm {
+			gap = f.StormGapCycles
+		}
+		if gap <= 0 {
+			return // no arrivals in this state; the next flip re-arms
+		}
+		eng.After(expAfter(rng, gap), sim.Hard, func(now sim.Time) {
+			if e != epoch {
+				return // the state flipped; a fresh arrival chain owns it
+			}
+			d := f.DurationCycles
+			if j := f.DurationJitter; j > 0 {
+				d += rng.Range(-j, j)
+			}
+			if d > 0 {
+				env.M.SMI.InjectNow(sim.Duration(d))
+			}
+			arm(e)
+		})
+	}
+	var flip func()
+	flip = func() {
+		mean := f.MeanCalmCycles
+		if storm {
+			mean = f.MeanStormCycles
+		}
+		eng.After(expAfter(rng, mean), sim.Hard, func(now sim.Time) {
+			storm = !storm
+			epoch++
+			arm(epoch)
+			flip()
+		})
+	}
+	arm(epoch)
+	flip()
+}
+
+// TimerDrift miscalibrates the APIC one-shot timer beyond the conservative
+// rounding the scheduler plans for: each programmed countdown is scaled by
+// a uniform factor in [1-EarlyFrac, 1+LateFrac], occasionally delayed by a
+// fixed extra latency, and occasionally lost outright (the firing never
+// delivers — the worst case for a timer-driven scheduler).
+type TimerDrift struct {
+	CPUs        []int   // nil = every CPU
+	EarlyFrac   float64 // max fractional early firing (0.1 = up to 10% early)
+	LateFrac    float64 // max fractional late firing
+	LoseProb    float64 // probability a firing is swallowed
+	DelayProb   float64 // probability of an added fixed delay
+	DelayCycles int64   // the added delay
+}
+
+// Name implements Injector.
+func (f *TimerDrift) Name() string { return "timer-drift" }
+
+// Start implements Injector.
+func (f *TimerDrift) Start(env *Env) {
+	cpus := f.CPUs
+	if cpus == nil {
+		for i := 0; i < env.M.NumCPUs(); i++ {
+			cpus = append(cpus, i)
+		}
+	}
+	for _, id := range cpus {
+		rng := env.Rng.Split()
+		env.M.CPU(id).SetTimerFault(func(d int64) (int64, bool) {
+			if f.LoseProb > 0 && rng.Float64() < f.LoseProb {
+				return 0, false
+			}
+			if f.EarlyFrac > 0 || f.LateFrac > 0 {
+				scale := 1 - f.EarlyFrac + (f.EarlyFrac+f.LateFrac)*rng.Float64()
+				d = int64(float64(d) * scale)
+			}
+			if f.DelayProb > 0 && rng.Float64() < f.DelayProb {
+				d += f.DelayCycles
+			}
+			if d < 1 {
+				d = 1
+			}
+			return d, true
+		})
+	}
+}
+
+// IRQStorm registers a device source and fires Markov-modulated interrupt
+// bursts at the CPUs it is steered to — the "interrupt-laden partition
+// under attack" case of Section 3.5.
+type IRQStorm struct {
+	Targets         []int // CPUs to steer bursts at, round-robin; nil = laden default
+	HandlerCycles   int64 // advertised bounded handler cost
+	MeanCalmCycles  float64
+	MeanBurstCycles float64
+	BurstGapCycles  float64 // inter-interrupt gap within a burst
+
+	dev *machine.DeviceSource
+}
+
+// Name implements Injector.
+func (f *IRQStorm) Name() string { return "irq-storm" }
+
+// Device returns the registered source (valid after Start), for tests that
+// need ground truth on delivered interrupt counts.
+func (f *IRQStorm) Device() *machine.DeviceSource { return f.dev }
+
+// Start implements Injector.
+func (f *IRQStorm) Start(env *Env) {
+	rng := env.Rng.Split()
+	eng := env.M.Eng
+	handler := f.HandlerCycles
+	if handler <= 0 {
+		handler = 2000
+	}
+	f.dev = env.M.IRQ.AddDevice("storm-nic", 0, handler) // manual-fire only
+	target := 0
+	bursting := false
+	epoch := 0
+
+	raise := func() {
+		if len(f.Targets) > 0 {
+			env.M.IRQ.Steer(f.dev, f.Targets[target%len(f.Targets)])
+			target++
+		}
+		f.dev.Raise()
+	}
+	var arm func(e int)
+	arm = func(e int) {
+		if !bursting {
+			return
+		}
+		gap := f.BurstGapCycles
+		if gap <= 0 {
+			gap = 50_000
+		}
+		eng.After(expAfter(rng, gap), sim.Hard, func(now sim.Time) {
+			if e != epoch {
+				return
+			}
+			raise()
+			arm(e)
+		})
+	}
+	var flip func()
+	flip = func() {
+		mean := f.MeanCalmCycles
+		if bursting {
+			mean = f.MeanBurstCycles
+		}
+		eng.After(expAfter(rng, mean), sim.Hard, func(now sim.Time) {
+			bursting = !bursting
+			epoch++
+			arm(epoch)
+			flip()
+		})
+	}
+	flip()
+}
+
+// TSCReskew models a calibration regression at runtime: firmware or a deep
+// sleep state rewrites a core's cycle counter after boot-time calibration
+// already ran, skewing it against the software offset. Positive skews make
+// a CPU's clock jump ahead; negative skews make it run visibly backwards —
+// which the InvariantChecker's tsc-monotone check is designed to catch.
+type TSCReskew struct {
+	CPUs          []int   // candidate CPUs; nil = all but CPU 0
+	MeanGapCycles float64 // mean time between re-skew events
+	MaxSkewCycles int64   // skew magnitude drawn uniformly from [-max, max]
+	PositiveOnly  bool    // restrict to forward skews (no monotonicity break)
+}
+
+// Name implements Injector.
+func (f *TSCReskew) Name() string { return "tsc-reskew" }
+
+// Start implements Injector.
+func (f *TSCReskew) Start(env *Env) {
+	rng := env.Rng.Split()
+	eng := env.M.Eng
+	cpus := f.CPUs
+	if cpus == nil {
+		for i := 1; i < env.M.NumCPUs(); i++ {
+			cpus = append(cpus, i)
+		}
+	}
+	if len(cpus) == 0 || f.MaxSkewCycles <= 0 {
+		return
+	}
+	var tick func()
+	tick = func() {
+		eng.After(expAfter(rng, f.MeanGapCycles), sim.Hard, func(now sim.Time) {
+			id := cpus[rng.Intn(len(cpus))]
+			var delta int64
+			if f.PositiveOnly {
+				delta = rng.Range(1, f.MaxSkewCycles)
+			} else {
+				delta = rng.Range(-f.MaxSkewCycles, f.MaxSkewCycles)
+			}
+			env.M.CPU(id).SkewTSC(delta)
+			tick()
+		})
+	}
+	tick()
+}
+
+// StackPressure churns the thread stack pool: bursts of short-lived thread
+// spawns exercise reap/reanimate under load, and periodic pool drains force
+// the allocator slow path — the robustness case for the Section 3.4 pool.
+type StackPressure struct {
+	MeanGapCycles float64 // mean gap between churn bursts
+	Burst         int     // threads spawned per burst
+	LifeCycles    int64   // compute each churn thread performs before exit
+	DrainEvery    int     // drain the pool every N bursts; 0 = never
+}
+
+// Name implements Injector.
+func (f *StackPressure) Name() string { return "stack-pressure" }
+
+// Start implements Injector.
+func (f *StackPressure) Start(env *Env) {
+	rng := env.Rng.Split()
+	eng := env.M.Eng
+	burst := f.Burst
+	if burst < 1 {
+		burst = 4
+	}
+	life := f.LifeCycles
+	if life < 1 {
+		life = 10_000
+	}
+	n := 0
+	var tick func()
+	tick = func() {
+		eng.After(expAfter(rng, f.MeanGapCycles), sim.Hard, func(now sim.Time) {
+			n++
+			for i := 0; i < burst; i++ {
+				cpu := rng.Intn(env.M.NumCPUs())
+				env.K.Spawn("churn", cpu, core.Seq(
+					core.Compute{Cycles: life},
+					core.Exit{},
+				))
+			}
+			if f.DrainEvery > 0 && n%f.DrainEvery == 0 {
+				env.K.DrainPool()
+			}
+			tick()
+		})
+	}
+	tick()
+}

@@ -1,0 +1,227 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"hrtsched/internal/core"
+	"hrtsched/internal/machine"
+)
+
+// TestScenarioReplayByteIdentical is the determinism contract: the same
+// seed and scenario produce byte-for-byte identical reports, both for a
+// full run and when truncated at an event count — the repro-line workflow.
+func TestScenarioReplayByteIdentical(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			a, err := Run(Options{Scenario: name, Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Run(Options{Scenario: name, Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Report != b.Report {
+				t.Fatalf("full-run reports differ:\n--- first ---\n%s\n--- second ---\n%s", a.Report, b.Report)
+			}
+			// Replay truncated mid-run, as a violation repro line would.
+			until := a.Kernel.Eng.Steps() / 2
+			c, err := Run(Options{Scenario: name, Seed: 7, UntilEvent: until})
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := Run(Options{Scenario: name, Seed: 7, UntilEvent: until})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.Report != d.Report {
+				t.Fatalf("truncated replays differ at event %d:\n--- first ---\n%s\n--- second ---\n%s",
+					until, c.Report, d.Report)
+			}
+			if c.Kernel.Eng.Steps() != until {
+				t.Fatalf("truncated run stopped at event %d, want %d", c.Kernel.Eng.Steps(), until)
+			}
+		})
+	}
+}
+
+// TestEagerNoWorseThanLazySMIStorm regression-checks the Section 3.6 claim
+// under bursty faults: eager EDF's miss count must not exceed lazy EDF's
+// under the identical storm.
+func TestEagerNoWorseThanLazySMIStorm(t *testing.T) {
+	for _, seed := range []uint64{7, 42, 1001} {
+		eager, err := Run(Options{Scenario: "smi-storm", Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lazy, err := Run(Options{Scenario: "smi-storm", Seed: seed, Lazy: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eager.TotalMisses > lazy.TotalMisses {
+			t.Errorf("seed %d: eager EDF missed %d > lazy EDF %d under the same storm",
+				seed, eager.TotalMisses, lazy.TotalMisses)
+		}
+		if lazy.TotalMisses == 0 {
+			t.Errorf("seed %d: storm too weak — lazy EDF recorded no misses", seed)
+		}
+		if !eager.Checker.Ok() {
+			t.Errorf("seed %d: invariants violated:\n%s", seed, eager.Checker.Report())
+		}
+	}
+}
+
+// TestOverloadShedRecovery checks the degradation layer end to end: the
+// persistent drain forces sheds, the supervisor re-admits (and eventually
+// gives up on the flapping thread), and every thread still holding its
+// real-time constraints returns to zero misses once shedding settles.
+func TestOverloadShedRecovery(t *testing.T) {
+	r, err := Run(Options{Scenario: "overload-shed", Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := r.Kernel.Degradation()
+	if d.Sheds == 0 {
+		t.Fatal("no sheds under persistent overload")
+	}
+	if d.Readmitted == 0 {
+		t.Fatal("supervisor never re-admitted anything")
+	}
+	if d.ReadmitGaveUp == 0 {
+		t.Fatal("flapping thread never exhausted its re-admission attempts")
+	}
+	if !r.Checker.Ok() {
+		t.Fatalf("invariants violated:\n%s", r.Checker.Report())
+	}
+
+	lastStable := r.LastShedNs
+	for _, ns := range r.ReadmitNs {
+		if ns > lastStable {
+			lastStable = ns
+		}
+	}
+	const marginNs = 5_000_000 // five periods for in-flight debt to clear
+	endNs := Scenarios["overload-shed"].DurationNs
+	if endNs-lastStable < 100_000_000 {
+		t.Fatalf("run too short to judge recovery: stable at %dns of %dns", lastStable, endNs)
+	}
+	survivors := 0
+	for _, th := range r.Watched {
+		if _, shed := th.Degraded(); shed {
+			continue
+		}
+		survivors++
+		if th.Constraints().Type != core.Periodic {
+			t.Errorf("survivor %s is not periodic", th.Name())
+		}
+		if m := r.LastMissNs[th.ID()]; m > lastStable+marginNs {
+			t.Errorf("survivor %s missed at %dns, after shedding settled at %dns",
+				th.Name(), m, lastStable)
+		}
+	}
+	if survivors == 0 {
+		t.Fatal("everything was shed; no survivors to judge recovery on")
+	}
+}
+
+// testEnv boots a small machine+kernel pair for direct injector tests.
+func testEnv(t *testing.T, ncpus int, seed uint64) (*Env, *core.InvariantChecker) {
+	t.Helper()
+	spec := machine.PhiKNL().Scaled(ncpus)
+	m := machine.New(spec, seed)
+	cfg := core.DefaultConfig(spec)
+	k := core.Boot(m, cfg)
+	chk := core.AttachInvariants(k, seed, "test")
+	return &Env{M: m, K: k, Rng: m.Rand()}, chk
+}
+
+// TestTSCReskewCaughtByInvariants: a backwards re-skew must surface as a
+// tsc-monotone violation carrying a well-formed repro line.
+func TestTSCReskewCaughtByInvariants(t *testing.T) {
+	env, chk := testEnv(t, 2, 99)
+	for cpu := 0; cpu < 2; cpu++ {
+		env.K.Spawn("rt", cpu,
+			periodicSpin(core.PeriodicConstraints(0, 1_000_000, 300_000), 20_000))
+	}
+	spec := env.M.Spec
+	(&TSCReskew{
+		CPUs:          []int{1},
+		MeanGapCycles: nsToCycles(spec, 10_000_000),
+		MaxSkewCycles: int64(nsToCycles(spec, 500_000)),
+	}).Start(env)
+	env.K.RunUntilNs(200_000_000)
+
+	found := false
+	for _, v := range chk.Violations() {
+		if v.Check == "tsc-monotone" {
+			found = true
+			line := chk.ReproLine(v)
+			if !strings.Contains(line, "cmd/chaos -seed 99 -scenario test -until-event") {
+				t.Fatalf("malformed repro line: %q", line)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("backwards TSC re-skew not caught; violations: %v", chk.Violations())
+	}
+}
+
+// TestStackPressureChurn: allocator churn spawns, runs and reaps threads
+// without upsetting scheduler invariants, and pool drains do not leak.
+func TestStackPressureChurn(t *testing.T) {
+	env, chk := testEnv(t, 2, 5)
+	env.K.Spawn("rt", 0,
+		periodicSpin(core.PeriodicConstraints(0, 1_000_000, 300_000), 20_000))
+	(&StackPressure{
+		MeanGapCycles: nsToCycles(env.M.Spec, 2_000_000),
+		Burst:         6,
+		LifeCycles:    int64(nsToCycles(env.M.Spec, 50_000)),
+		DrainEvery:    4,
+	}).Start(env)
+	env.K.RunUntilNs(200_000_000)
+
+	total := len(env.K.Threads())
+	if total < 50 {
+		t.Fatalf("churn too weak: only %d threads ever spawned", total)
+	}
+	if live := env.K.LiveThreads(); live > 20 {
+		t.Fatalf("%d churn threads still live; reaping is broken", live)
+	}
+	if !chk.Ok() {
+		t.Fatalf("invariants violated under churn:\n%s", chk.Report())
+	}
+}
+
+// TestLostTimerWatchdogRecovery: with timer loss and no watchdog a CPU can
+// go silent for the rest of the run; the watchdog bounds the damage. The
+// scenario keeps the machinery honest: losses must actually occur and
+// watchdog kicks must actually fire.
+func TestLostTimerWatchdogRecovery(t *testing.T) {
+	r, err := Run(Options{Scenario: "drift", Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lost, kicks int64
+	for i, s := range r.Kernel.Locals {
+		lost += r.Kernel.M.CPU(i).LostTimerFires()
+		kicks += s.Stats.WatchdogKicks
+	}
+	if lost == 0 {
+		t.Fatal("drift scenario lost no timer firings")
+	}
+	if kicks == 0 {
+		t.Fatal("watchdog never kicked despite lost firings")
+	}
+	for _, th := range r.Watched {
+		// Periods are 1ms over 400ms: a silent CPU would strand arrivals
+		// far below the schedule; the watchdog must keep them rolling.
+		if th.Arrivals < 350 {
+			t.Errorf("thread %s only reached %d arrivals; CPU went silent", th.Name(), th.Arrivals)
+		}
+	}
+	if !r.Checker.Ok() {
+		t.Fatalf("invariants violated:\n%s", r.Checker.Report())
+	}
+}

@@ -1,0 +1,371 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hrtsched/internal/core"
+	"hrtsched/internal/machine"
+	"hrtsched/internal/sim"
+)
+
+// Scenario composes a workload with a set of fault injectors into a named,
+// seed-deterministic chaos run. Everything a scenario does derives from the
+// run seed, so a scenario replays bit-identically: same seed, same fault
+// schedule, same misses, same violations, same report bytes.
+type Scenario struct {
+	Name string
+	Desc string
+	CPUs int
+	// DurationNs is the simulated run length.
+	DurationNs int64
+	// BucketNs is the miss-curve bucket width; 0 derives ~50 buckets.
+	BucketNs int64
+	// Configure mutates the boot config (degradation policy, admission).
+	Configure func(cfg *core.Config)
+	// Workload spawns the threads under test and returns the ones whose
+	// miss behaviour the report tracks.
+	Workload func(k *core.Kernel) []*core.Thread
+	// Injectors builds the fault processes, sized against the platform spec.
+	Injectors func(spec machine.Spec) []Injector
+}
+
+// Options selects and parameterizes a run.
+type Options struct {
+	Scenario string
+	Seed     uint64
+	// UntilEvent, when nonzero, stops the run once the engine has handled
+	// this many events — the replay knob printed in repro lines.
+	UntilEvent uint64
+	// Lazy switches the scheduler to lazy EDF, for ablation comparisons.
+	Lazy bool
+}
+
+// Result carries everything a run observed. Report is the deterministic
+// text rendering; equal seeds produce byte-identical reports.
+type Result struct {
+	Scenario string
+	Seed     uint64
+	Kernel   *core.Kernel
+	Checker  *core.InvariantChecker
+	Watched  []*core.Thread
+
+	// MissCurve counts deadline misses per BucketNs-wide wall-clock bucket:
+	// the miss-rate degradation (and recovery) curve.
+	MissCurve []int64
+	BucketNs  int64
+
+	// Degradation trace.
+	Sheds       []core.DegradeEvent
+	LastShedNs  int64
+	ReadmitNs   []int64
+	LastMissNs  map[int]int64 // thread id -> wall ns of its last miss
+	TotalMisses int64
+
+	Report string
+}
+
+// nsToCycles converts against the platform frequency.
+func nsToCycles(spec machine.Spec, ns int64) float64 {
+	return float64(sim.NanosToCycles(ns, spec.FreqHz))
+}
+
+// periodicSpin admits the thread with cons and then spins in chunks.
+func periodicSpin(cons core.Constraints, chunk int64) core.Program {
+	admitted := false
+	return core.ProgramFunc(func(tc *core.ThreadCtx) core.Action {
+		if !admitted {
+			admitted = true
+			return core.ChangeConstraints{C: cons}
+		}
+		return core.Compute{Cycles: chunk}
+	})
+}
+
+// Scenarios is the registry of named chaos scenarios.
+var Scenarios = map[string]*Scenario{
+	"smi-storm": {
+		Name:       "smi-storm",
+		Desc:       "Markov-modulated SMI bursts against a 60%-utilized periodic set",
+		CPUs:       2,
+		DurationNs: 400_000_000,
+		Workload: func(k *core.Kernel) []*core.Thread {
+			var watched []*core.Thread
+			for cpu := 0; cpu < k.NumCPUs(); cpu++ {
+				t := k.Spawn(fmt.Sprintf("rt%d", cpu), cpu,
+					periodicSpin(core.PeriodicConstraints(0, 1_000_000, 600_000), 20_000))
+				watched = append(watched, t)
+			}
+			return watched
+		},
+		Injectors: func(spec machine.Spec) []Injector {
+			return []Injector{
+				&SMIStorm{
+					MeanCalmCycles:  nsToCycles(spec, 40_000_000),
+					MeanStormCycles: nsToCycles(spec, 10_000_000),
+					CalmGapCycles:   0,
+					StormGapCycles:  nsToCycles(spec, 800_000),
+					DurationCycles:  int64(nsToCycles(spec, 150_000)),
+					DurationJitter:  int64(nsToCycles(spec, 30_000)),
+				},
+				// Allocator churn rides along: short-lived spawns and pool
+				// drains must not disturb the periodic set.
+				&StackPressure{
+					MeanGapCycles: nsToCycles(spec, 5_000_000),
+					Burst:         4,
+					LifeCycles:    int64(nsToCycles(spec, 30_000)),
+					DrainEvery:    8,
+				},
+			}
+		},
+	},
+	"irq-storm": {
+		Name:       "irq-storm",
+		Desc:       "device-interrupt bursts against the laden partition, priority filtering off",
+		CPUs:       2,
+		DurationNs: 400_000_000,
+		Configure: func(cfg *core.Config) {
+			// With filtering on, the APIC holds device vectors while the RT
+			// thread runs and the victim shrugs the storm off — that is the
+			// paper's protection working. The robustness gap this scenario
+			// probes is the unfiltered case, with the interrupt-free CPU as
+			// the control.
+			cfg.PriorityFiltering = false
+		},
+		Workload: func(k *core.Kernel) []*core.Thread {
+			// CPU 0 is interrupt-laden and carries a periodic victim; CPU 1
+			// is interrupt-free and carries the control thread.
+			victim := k.Spawn("rt-laden", 0,
+				periodicSpin(core.PeriodicConstraints(0, 1_000_000, 500_000), 20_000))
+			control := k.Spawn("rt-free", 1,
+				periodicSpin(core.PeriodicConstraints(0, 1_000_000, 500_000), 20_000))
+			return []*core.Thread{victim, control}
+		},
+		Injectors: func(spec machine.Spec) []Injector {
+			return []Injector{&IRQStorm{
+				Targets:         []int{0},
+				HandlerCycles:   int64(nsToCycles(spec, 40_000)),
+				MeanCalmCycles:  nsToCycles(spec, 25_000_000),
+				MeanBurstCycles: nsToCycles(spec, 8_000_000),
+				BurstGapCycles:  nsToCycles(spec, 80_000),
+			}}
+		},
+	},
+	"drift": {
+		Name:       "drift",
+		Desc:       "APIC timer miscalibration with delayed and lost one-shot firings",
+		CPUs:       2,
+		DurationNs: 400_000_000,
+		Configure: func(cfg *core.Config) {
+			// Without a watchdog a single lost firing bricks scheduling on
+			// that CPU for the rest of the run: the running thread keeps the
+			// CPU and priority filtering holds everything else pending.
+			cfg.WatchdogNs = 10_000_000
+		},
+		Workload: func(k *core.Kernel) []*core.Thread {
+			var watched []*core.Thread
+			for cpu := 0; cpu < k.NumCPUs(); cpu++ {
+				t := k.Spawn(fmt.Sprintf("rt%d", cpu), cpu,
+					periodicSpin(core.PeriodicConstraints(0, 1_000_000, 500_000), 20_000))
+				watched = append(watched, t)
+			}
+			return watched
+		},
+		Injectors: func(spec machine.Spec) []Injector {
+			return []Injector{
+				&TimerDrift{
+					EarlyFrac:   0.05,
+					LateFrac:    0.20,
+					LoseProb:    0.01,
+					DelayProb:   0.10,
+					DelayCycles: int64(nsToCycles(spec, 200_000)),
+				},
+				// Forward-only TSC re-skew: a runtime calibration regression
+				// that jumps a core's clock ahead without breaking the
+				// monotonicity invariant.
+				&TSCReskew{
+					MeanGapCycles: nsToCycles(spec, 50_000_000),
+					MaxSkewCycles: int64(nsToCycles(spec, 100_000)),
+					PositiveOnly:  true,
+				},
+			}
+		},
+	},
+	"overload-shed": {
+		Name:       "overload-shed",
+		Desc:       "persistent SMI drain overloads a 90% set; degradation sheds until survivors fit",
+		CPUs:       1,
+		DurationNs: 400_000_000,
+		Configure: func(cfg *core.Config) {
+			cfg.Degrade = core.DegradeConfig{
+				Policy:             core.DegradeDemote,
+				MissStreak:         3,
+				Readmit:            true,
+				ReadmitAfterNs:     50_000_000,
+				ReadmitMaxAttempts: 1,
+			}
+		},
+		Workload: func(k *core.Kernel) []*core.Thread {
+			var watched []*core.Thread
+			for i := 0; i < 3; i++ {
+				t := k.Spawn(fmt.Sprintf("rt%d", i), 0,
+					periodicSpin(core.PeriodicConstraints(int64(i)*200_000, 1_000_000, 300_000), 20_000))
+				watched = append(watched, t)
+			}
+			return watched
+		},
+		Injectors: func(spec machine.Spec) []Injector {
+			return []Injector{&SMIStorm{
+				// Near-permanent storm: ~15% of every period disappears.
+				MeanCalmCycles:  nsToCycles(spec, 100_000),
+				MeanStormCycles: nsToCycles(spec, 100_000_000),
+				CalmGapCycles:   0,
+				StormGapCycles:  nsToCycles(spec, 1_000_000),
+				DurationCycles:  int64(nsToCycles(spec, 150_000)),
+			}}
+		},
+	},
+}
+
+// Names returns the registered scenario names in stable order.
+func Names() []string {
+	names := make([]string, 0, len(Scenarios))
+	for n := range Scenarios {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run executes a scenario to completion (or UntilEvent) and renders the
+// deterministic report.
+func Run(opts Options) (*Result, error) {
+	sc := Scenarios[opts.Scenario]
+	if sc == nil {
+		return nil, fmt.Errorf("fault: unknown scenario %q (have %s)",
+			opts.Scenario, strings.Join(Names(), ", "))
+	}
+	spec := machine.PhiKNL()
+	if sc.CPUs > 0 {
+		spec = spec.Scaled(sc.CPUs)
+	}
+	m := machine.New(spec, opts.Seed)
+	cfg := core.DefaultConfig(spec)
+	if sc.Configure != nil {
+		sc.Configure(&cfg)
+	}
+	if opts.Lazy {
+		cfg.Mode = core.LazyEDF
+	}
+	k := core.Boot(m, cfg)
+	chk := core.AttachInvariants(k, opts.Seed, sc.Name)
+
+	bucket := sc.BucketNs
+	if bucket <= 0 {
+		bucket = sc.DurationNs / 50
+	}
+	res := &Result{
+		Scenario:   sc.Name,
+		Seed:       opts.Seed,
+		Kernel:     k,
+		Checker:    chk,
+		BucketNs:   bucket,
+		MissCurve:  make([]int64, sc.DurationNs/bucket+1),
+		LastMissNs: map[int]int64{},
+	}
+	prevMiss := k.Hooks.Miss
+	k.Hooks.Miss = func(cpu int, t *core.Thread, nowNs, missNs int64) {
+		if prevMiss != nil {
+			prevMiss(cpu, t, nowNs, missNs)
+		}
+		res.TotalMisses++
+		res.LastMissNs[t.ID()] = nowNs
+		if i := nowNs / bucket; i >= 0 && i < int64(len(res.MissCurve)) {
+			res.MissCurve[i]++
+		}
+	}
+	prevDeg := k.Hooks.Degrade
+	k.Hooks.Degrade = func(cpu int, t *core.Thread, ev core.DegradeEvent) {
+		if prevDeg != nil {
+			prevDeg(cpu, t, ev)
+		}
+		res.Sheds = append(res.Sheds, ev)
+		if ev.NowNs > res.LastShedNs {
+			res.LastShedNs = ev.NowNs
+		}
+	}
+	prevRe := k.Hooks.Readmit
+	k.Hooks.Readmit = func(cpu int, t *core.Thread, nowNs int64) {
+		if prevRe != nil {
+			prevRe(cpu, t, nowNs)
+		}
+		res.ReadmitNs = append(res.ReadmitNs, nowNs)
+	}
+
+	res.Watched = sc.Workload(k)
+	env := &Env{M: m, K: k, Rng: m.Rand()}
+	for _, inj := range sc.Injectors(spec) {
+		inj.Start(env)
+	}
+
+	if opts.UntilEvent > 0 {
+		for m.Eng.Steps() < opts.UntilEvent && m.Eng.Step() {
+		}
+	} else {
+		k.RunUntilNs(sc.DurationNs)
+	}
+
+	res.Report = res.render(opts)
+	return res, nil
+}
+
+// render builds the deterministic text report: every number derives from
+// simulation state, iteration orders are fixed, floats use fixed precision.
+func (r *Result) render(opts Options) string {
+	var b strings.Builder
+	k := r.Kernel
+	fmt.Fprintf(&b, "chaos scenario=%s seed=%d cpus=%d events=%d now_ns=%d lazy=%v\n",
+		r.Scenario, r.Seed, k.NumCPUs(), k.Eng.Steps(), k.Clocks[0].NowNanos(), opts.Lazy)
+
+	fmt.Fprintf(&b, "threads:\n")
+	for _, t := range r.Watched {
+		state := "rt"
+		if ev, ok := t.Degraded(); ok {
+			state = "shed:" + ev.Policy.String()
+		}
+		fmt.Fprintf(&b, "  %s id=%d cpu=%d cons=%s arrivals=%d misses=%d missrate=%.4f last_miss_ns=%d state=%s\n",
+			t.Name(), t.ID(), t.CPU(), t.Constraints().Type, t.Arrivals, t.Misses,
+			t.MissRate(), r.LastMissNs[t.ID()], state)
+	}
+
+	fmt.Fprintf(&b, "miss curve (bucket_ms count):\n")
+	for i, n := range r.MissCurve {
+		if n > 0 {
+			fmt.Fprintf(&b, "  %d %d\n", int64(i)*r.BucketNs/1_000_000, n)
+		}
+	}
+
+	d := k.Degradation()
+	fmt.Fprintf(&b, "degradation: sheds=%d cohorts=%d demoted=%d shrunk=%d evicted=%d readmit_attempts=%d readmitted=%d gave_up=%d last_shed_ns=%d\n",
+		d.Sheds, d.Cohorts, d.Demoted, d.Shrunk, d.Evicted,
+		d.ReadmitAttempts, d.Readmitted, d.ReadmitGaveUp, r.LastShedNs)
+
+	fmt.Fprintf(&b, "per-cpu:\n")
+	for i, s := range k.Locals {
+		led := s.Ledger()
+		fmt.Fprintf(&b, "  cpu%d invocations=%d switches=%d wdkicks=%d lost_timers=%d miss_recorded=%d miss_clamped=%d busy=%d overhead=%d irqwin=%d inline=%d missing=%d idle=%d\n",
+			i, s.Stats.Invocations, s.Stats.Switches,
+			s.Stats.WatchdogKicks, k.M.CPU(i).LostTimerFires(),
+			s.Stats.Miss.Recorded, s.Stats.Miss.ClampedNegative,
+			led.BusyCycles, led.OverheadCycles, led.IRQWindowCycles,
+			led.InlineCycles, led.MissingCycles, led.IdleCycles)
+	}
+
+	fmt.Fprintf(&b, "invariants: passes=%d violations=%d\n",
+		r.Checker.Passes(), len(r.Checker.Violations()))
+	if rep := r.Checker.Report(); rep != "" {
+		b.WriteString(rep)
+	}
+	return b.String()
+}

@@ -9,7 +9,7 @@ import (
 func TestReductionSumsAllContributions(t *testing.T) {
 	const n = 8
 	k := bootKernel(t, n, 91, nil)
-	g := New(k, "red", n, DefaultCosts())
+	g := MustNew(k, "red", n, DefaultCosts())
 	red := g.NewReduction(func(a, b any) any { return a.(int) + b.(int) })
 	var results [n]int
 	done := 0
@@ -34,7 +34,7 @@ func TestReductionSumsAllContributions(t *testing.T) {
 func TestReductionMultipleRounds(t *testing.T) {
 	const n = 4
 	k := bootKernel(t, n, 92, nil)
-	g := New(k, "red2", n, DefaultCosts())
+	g := MustNew(k, "red2", n, DefaultCosts())
 	red := g.NewReduction(func(a, b any) any {
 		if a.(int) > b.(int) {
 			return a
@@ -68,7 +68,7 @@ func TestReductionMultipleRounds(t *testing.T) {
 func TestBroadcastFromLeader(t *testing.T) {
 	const n = 6
 	k := bootKernel(t, n, 93, nil)
-	g := New(k, "bc", n, DefaultCosts())
+	g := MustNew(k, "bc", n, DefaultCosts())
 	bc := g.NewBroadcast()
 	var got [n]string
 	done := 0
@@ -95,7 +95,7 @@ func TestReductionCostGrowsWithRank(t *testing.T) {
 	// mirroring the linear growth of the paper's reduction costs.
 	const n = 6
 	k := bootKernel(t, n, 94, nil)
-	g := New(k, "cost", n, DefaultCosts())
+	g := MustNew(k, "cost", n, DefaultCosts())
 	red := g.NewReduction(func(a, b any) any { return a.(int) + b.(int) })
 	done := 0
 	flow := g.JoinSteps(red.Steps(

@@ -6,6 +6,7 @@
 package group
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"hrtsched/internal/core"
@@ -73,10 +74,10 @@ type Group struct {
 
 // New creates a group expecting size members. The expected size drives the
 // barrier participant count so members can proceed as soon as all expected
-// threads have joined.
-func New(k *core.Kernel, name string, size int, costs Costs) *Group {
+// threads have joined. It returns an error for a non-positive size.
+func New(k *core.Kernel, name string, size int, costs Costs) (*Group, error) {
 	if size < 1 {
-		panic("group: size must be positive")
+		return nil, fmt.Errorf("group: size must be positive (got %d)", size)
 	}
 	spec := k.M.Spec
 	if costs.BarrierArriveBase == 0 {
@@ -95,6 +96,15 @@ func New(k *core.Kernel, name string, size int, costs Costs) *Group {
 		Metrics: map[string]*stats.Summary{},
 	}
 	g.deltaEstCycles = spec.ReleaseStaggerCycles // refined by measurement
+	return g, nil
+}
+
+// MustNew is New for statically-sized call sites; it panics on error.
+func MustNew(k *core.Kernel, name string, size int, costs Costs) *Group {
+	g, err := New(k, name, size, costs)
+	if err != nil {
+		panic(err)
+	}
 	return g
 }
 

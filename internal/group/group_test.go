@@ -34,7 +34,7 @@ func spawnGroupMembers(k *core.Kernel, g *Group, cons core.Constraints, opts Adm
 func TestGroupAdmissionSucceeds(t *testing.T) {
 	const n = 8
 	k := bootKernel(t, n, 11, nil)
-	g := New(k, "bsp", n, DefaultCosts())
+	g := MustNew(k, "bsp", n, DefaultCosts())
 	cons := core.PeriodicConstraints(0, 100_000, 50_000)
 	body := core.ProgramFunc(func(tc *core.ThreadCtx) core.Action {
 		return core.Compute{Cycles: 10_000}
@@ -70,7 +70,7 @@ func TestGroupAdmissionSucceeds(t *testing.T) {
 func TestGroupAdmissionFailsForAll(t *testing.T) {
 	const n = 4
 	k := bootKernel(t, n, 12, nil)
-	g := New(k, "greedy", n, DefaultCosts())
+	g := MustNew(k, "greedy", n, DefaultCosts())
 	// 99.5% > the 99% utilization limit: local admission must reject, so
 	// the whole group must fail and fall back to aperiodic constraints.
 	cons := core.PeriodicConstraints(0, 100_000, 99_500)
@@ -99,7 +99,7 @@ func TestGroupAdmissionFailsForAll(t *testing.T) {
 func TestBarrierReleaseOrdersDistinct(t *testing.T) {
 	const n = 6
 	k := bootKernel(t, n, 13, nil)
-	g := New(k, "bar", n, DefaultCosts())
+	g := MustNew(k, "bar", n, DefaultCosts())
 	bar := g.NewBarrier()
 	done := 0
 	for i := 0; i < n; i++ {
@@ -131,7 +131,7 @@ func TestBarrierReleaseOrdersDistinct(t *testing.T) {
 func TestGroupMetricsRecorded(t *testing.T) {
 	const n = 8
 	k := bootKernel(t, n, 14, nil)
-	g := New(k, "m", n, DefaultCosts())
+	g := MustNew(k, "m", n, DefaultCosts())
 	cons := core.PeriodicConstraints(0, 200_000, 50_000)
 	spawnGroupMembers(k, g, cons, AdmitOptions{}, core.ProgramFunc(func(tc *core.ThreadCtx) core.Action {
 		return core.Compute{Cycles: 10_000}
@@ -151,7 +151,7 @@ func TestGroupMetricsRecorded(t *testing.T) {
 func TestLeaveGroup(t *testing.T) {
 	const n = 3
 	k := bootKernel(t, n, 15, nil)
-	g := New(k, "rotating", n, DefaultCosts())
+	g := MustNew(k, "rotating", n, DefaultCosts())
 	left := 0
 	for i := 0; i < n; i++ {
 		flow := g.JoinSteps(g.LeaveSteps(core.DoCall(func(tc *core.ThreadCtx) { left++ }, nil)))
@@ -171,7 +171,7 @@ func TestGroupReadmissionSecondRound(t *testing.T) {
 	// the first round's reservations and succeed.
 	const n = 4
 	k := bootKernel(t, n, 16, nil)
-	g := New(k, "twice", n, DefaultCosts())
+	g := MustNew(k, "twice", n, DefaultCosts())
 	cons1 := core.PeriodicConstraints(0, 100_000, 60_000)
 	cons2 := core.PeriodicConstraints(0, 200_000, 120_000)
 	round2 := g.ChangeConstraintsSteps(cons2, AdmitOptions{PhaseCorrection: true}, nil)

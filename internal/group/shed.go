@@ -1,0 +1,24 @@
+package group
+
+import "hrtsched/internal/core"
+
+// EnableAtomicShed wires the kernel's graceful-degradation layer to group
+// membership: when any member of a group crosses the miss-streak threshold,
+// the whole group is shed — and later re-admitted — atomically, never
+// partially. This is the revocation mirror of Algorithm 1: a gang that
+// cannot run as a gang is worthless half-degraded, so membership defines
+// the degradation cohort.
+func EnableAtomicShed(k *core.Kernel) {
+	k.GroupResolver = func(t *core.Thread) []*core.Thread {
+		ms, ok := t.GroupData().(*memberState)
+		if !ok || !ms.joined {
+			return nil
+		}
+		// Copy: the degradation layer mutates scheduler state while it
+		// walks the cohort, and membership must not shift under it.
+		members := ms.g.members
+		out := make([]*core.Thread, len(members))
+		copy(out, members)
+		return out
+	}
+}

@@ -1,0 +1,222 @@
+package group
+
+// Fault-interaction tests: SMI missing time striking group workloads at
+// their most delicate moments (mid-barrier, with phase-corrected periodic
+// schedules) must corrupt neither per-thread execution accounting nor
+// deadline roll-forward, and the degradation layer must treat a group as
+// one atomic cohort.
+
+import (
+	"testing"
+
+	"hrtsched/internal/core"
+	"hrtsched/internal/fault"
+	"hrtsched/internal/machine"
+	"hrtsched/internal/sim"
+)
+
+// admitOnceSpin requests cons once and then spins in chunks.
+func admitOnceSpin(cons core.Constraints, chunk int64) core.Program {
+	admitted := false
+	return core.ProgramFunc(func(tc *core.ThreadCtx) core.Action {
+		if !admitted {
+			admitted = true
+			return core.ChangeConstraints{C: cons}
+		}
+		return core.Compute{Cycles: chunk}
+	})
+}
+
+// spinBody computes forever in chunks.
+func spinBody(chunk int64) core.Program {
+	return core.ProgramFunc(func(tc *core.ThreadCtx) core.Action {
+		return core.Compute{Cycles: chunk}
+	})
+}
+
+// TestSMIDuringBarrierAccounting drives a phase-corrected periodic group
+// through compute+barrier rounds while a Markov-modulated SMI storm steals
+// time, including mid-barrier. Missing time must not inflate any member's
+// execution accounting, must not fabricate negative miss magnitudes, and
+// deadline roll-forward must keep every member on schedule.
+func TestSMIDuringBarrierAccounting(t *testing.T) {
+	const n = 4
+	const seed = 21
+	spec := machine.PhiKNL().Scaled(n)
+	m := machine.New(spec, seed)
+	cfg := core.DefaultConfig(spec)
+	k := core.Boot(m, cfg)
+	chk := core.AttachInvariants(k, seed, "group-smi")
+
+	g := MustNew(k, "bsp", n, DefaultCosts())
+	bar := g.NewBarrier()
+	cons := core.PeriodicConstraints(0, 1_000_000, 450_000)
+	flow := g.JoinSteps(g.ChangeConstraintsSteps(cons,
+		AdmitOptions{PhaseCorrection: true}, nil))
+
+	computeCycles := int64(sim.NanosToCycles(200_000, spec.FreqHz))
+	rounds := make([]int64, n)
+	ths := make([]*core.Thread, n)
+	for i := 0; i < n; i++ {
+		rank := i
+		var loop core.Step
+		loop = core.DoCompute(computeCycles,
+			bar.Steps(core.DoCall(func(tc *core.ThreadCtx) { rounds[rank]++ },
+				func(tc *core.ThreadCtx) (core.Action, core.Step) { return nil, loop })))
+		ths[i] = k.Spawn("member", i, core.FlowThen(flow, core.FlowProgram(loop)))
+	}
+
+	env := &fault.Env{M: m, K: k, Rng: m.Rand()}
+	(&fault.SMIStorm{
+		MeanCalmCycles:  float64(sim.NanosToCycles(20_000_000, spec.FreqHz)),
+		MeanStormCycles: float64(sim.NanosToCycles(10_000_000, spec.FreqHz)),
+		StormGapCycles:  float64(sim.NanosToCycles(600_000, spec.FreqHz)),
+		DurationCycles:  int64(sim.NanosToCycles(150_000, spec.FreqHz)),
+	}).Start(env)
+
+	const runNs = 400_000_000
+	k.RunNs(runNs)
+
+	if g.Failed() {
+		t.Fatal("group admission failed")
+	}
+	sliceCycles := int64(sim.NanosToCycles(cons.SliceNs, spec.FreqHz))
+	var minRounds, maxRounds int64
+	for i, th := range ths {
+		if th.Constraints().Type != core.Periodic {
+			t.Fatalf("member %d lost its periodic constraints", i)
+		}
+		// Execution accounting: a periodic thread can never be credited
+		// more than one slice per arrival. SMI freezes happening inside a
+		// barrier (or anywhere else) must not be booked as execution.
+		if cap := (th.Arrivals + 1) * sliceCycles; th.SupplyCycles > cap {
+			t.Errorf("member %d credited %d cycles over %d arrivals (cap %d): missing time booked as execution",
+				i, th.SupplyCycles, th.Arrivals, cap)
+		}
+		// Deadline roll-forward: the schedule must end in the future and
+		// the thread must have kept arriving through the storm. Barrier
+		// blocking plus Wake's silent roll means arrivals can be far below
+		// wall/period, but progress must not stall.
+		if th.DeadlineNs() <= k.NowNs()-cons.PeriodNs {
+			t.Errorf("member %d deadline %d stuck behind now %d", i, th.DeadlineNs(), k.NowNs())
+		}
+		if th.Arrivals < 50 {
+			t.Errorf("member %d made only %d arrivals in %dms", i, th.Arrivals, int64(runNs)/1_000_000)
+		}
+		if i == 0 || rounds[i] < minRounds {
+			minRounds = rounds[i]
+		}
+		if i == 0 || rounds[i] > maxRounds {
+			maxRounds = rounds[i]
+		}
+	}
+	// Barrier lockstep: no member can be more than one round ahead.
+	if maxRounds-minRounds > 1 {
+		t.Errorf("rounds out of lockstep: min %d max %d", minRounds, maxRounds)
+	}
+	if minRounds < 20 {
+		t.Errorf("group made only %d rounds under the storm", minRounds)
+	}
+	for i, s := range k.Locals {
+		if s.Stats.Miss.ClampedNegative != 0 {
+			t.Errorf("cpu%d recorded %d negative miss magnitudes (worst %dns): accounting corrupted",
+				i, s.Stats.Miss.ClampedNegative, s.Stats.Miss.WorstRawNegNs)
+		}
+	}
+	if !chk.Ok() {
+		t.Fatalf("invariants violated:\n%s", chk.Report())
+	}
+}
+
+// TestAtomicGroupShed admits a gang whose reservation leaves no slack for
+// the persistent SMI drain, and checks the degradation layer sheds the
+// whole group in one atomic step: every member demoted in the same
+// scheduler pass, none left behind as a stranded real-time gang fragment.
+func TestAtomicGroupShed(t *testing.T) {
+	const n = 3
+	const seed = 31
+	spec := machine.PhiKNL().Scaled(n + 1)
+	m := machine.New(spec, seed)
+	cfg := core.DefaultConfig(spec)
+	cfg.Degrade = core.DegradeConfig{Policy: core.DegradeDemote, MissStreak: 3}
+	k := core.Boot(m, cfg)
+	chk := core.AttachInvariants(k, seed, "group-shed")
+	EnableAtomicShed(k)
+
+	type shedRec struct {
+		thread *core.Thread
+		ev     core.DegradeEvent
+	}
+	var sheds []shedRec
+	k.Hooks.Degrade = func(cpu int, th *core.Thread, ev core.DegradeEvent) {
+		sheds = append(sheds, shedRec{th, ev})
+	}
+
+	g := MustNew(k, "gang", n, DefaultCosts())
+	// 92% per CPU: admissible on a healthy machine, unservable once the
+	// drain steals its share.
+	cons := core.PeriodicConstraints(0, 1_000_000, 920_000)
+	flow := g.JoinSteps(g.ChangeConstraintsSteps(cons,
+		AdmitOptions{PhaseCorrection: true}, nil))
+	ths := make([]*core.Thread, n)
+	for i := 0; i < n; i++ {
+		ths[i] = k.Spawn("member", 1+i, core.FlowThen(flow, spinBody(20_000)))
+	}
+
+	env := &fault.Env{M: m, K: k, Rng: m.Rand()}
+	(&fault.SMIStorm{
+		MeanCalmCycles:  float64(sim.NanosToCycles(100_000, spec.FreqHz)),
+		MeanStormCycles: float64(sim.NanosToCycles(100_000_000, spec.FreqHz)),
+		StormGapCycles:  float64(sim.NanosToCycles(1_000_000, spec.FreqHz)),
+		DurationCycles:  int64(sim.NanosToCycles(130_000, spec.FreqHz)),
+	}).Start(env)
+
+	k.RunNs(400_000_000)
+
+	if g.Failed() {
+		t.Fatal("group admission failed")
+	}
+	var memberSheds []shedRec
+	for _, r := range sheds {
+		for _, th := range ths {
+			if r.thread == th {
+				memberSheds = append(memberSheds, r)
+			}
+		}
+	}
+	if len(memberSheds) == 0 {
+		t.Fatal("overloaded group never shed")
+	}
+	if len(memberSheds)%n != 0 {
+		t.Fatalf("partial group shed: %d member sheds, group size %d", len(memberSheds), n)
+	}
+	// Atomicity: the first n member sheds happen at one instant, as one
+	// cohort, covering every member exactly once.
+	atNs := memberSheds[0].ev.NowNs
+	seen := map[*core.Thread]bool{}
+	for _, r := range memberSheds[:n] {
+		if r.ev.NowNs != atNs {
+			t.Errorf("member shed at %dns, cohort started at %dns: not atomic", r.ev.NowNs, atNs)
+		}
+		if r.ev.Cohort != n {
+			t.Errorf("shed event records cohort %d, want %d", r.ev.Cohort, n)
+		}
+		if seen[r.thread] {
+			t.Errorf("thread %s shed twice in one cohort", r.thread.Name())
+		}
+		seen[r.thread] = true
+	}
+	// All-or-nothing end state: no gang fragment left real-time.
+	periodic := 0
+	for _, th := range ths {
+		if th.Constraints().Type == core.Periodic {
+			periodic++
+		}
+	}
+	if periodic != 0 && periodic != n {
+		t.Fatalf("group left partially real-time: %d of %d members periodic", periodic, n)
+	}
+	if !chk.Ok() {
+		t.Fatalf("invariants violated:\n%s", chk.Report())
+	}
+}

@@ -99,10 +99,11 @@ type Config struct {
 	Constraints core.Constraints
 }
 
-// New creates a runtime and spawns its workers.
-func New(k *core.Kernel, cfg Config) *Runtime {
+// New creates a runtime and spawns its workers. It returns an error for a
+// non-positive worker count.
+func New(k *core.Kernel, cfg Config) (*Runtime, error) {
 	if cfg.Workers < 1 {
-		panic("legion: need at least one worker")
+		return nil, fmt.Errorf("legion: need at least one worker (got %d)", cfg.Workers)
 	}
 	rt := &Runtime{k: k, cfg: cfg, wq: ksync.NewWaitQueue(k)}
 	for w := 0; w < cfg.Workers; w++ {
@@ -120,6 +121,15 @@ func New(k *core.Kernel, cfg Config) *Runtime {
 			})
 		}
 		k.Spawn(fmt.Sprintf("legion-%d", w), cfg.FirstCPU+w, prog)
+	}
+	return rt, nil
+}
+
+// MustNew is New for statically-correct call sites; it panics on error.
+func MustNew(k *core.Kernel, cfg Config) *Runtime {
+	rt, err := New(k, cfg)
+	if err != nil {
+		panic(err)
 	}
 	return rt
 }

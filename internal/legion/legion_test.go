@@ -16,7 +16,7 @@ func boot(t *testing.T, ncpus int, seed uint64) *core.Kernel {
 
 func TestWriteReadOrdering(t *testing.T) {
 	k := boot(t, 3, 211)
-	rt := New(k, Config{Workers: 2, FirstCPU: 1})
+	rt := MustNew(k, Config{Workers: 2, FirstCPU: 1})
 	grid := rt.NewRegion("grid", 4)
 	rt.Submit(Task{Name: "init", CostCycles: 50_000,
 		Reqs: []Req{{grid, ReadWrite}},
@@ -38,7 +38,7 @@ func TestWriteReadOrdering(t *testing.T) {
 
 func TestReadersRunConcurrently(t *testing.T) {
 	k := boot(t, 5, 212)
-	rt := New(k, Config{Workers: 4, FirstCPU: 1})
+	rt := MustNew(k, Config{Workers: 4, FirstCPU: 1})
 	r := rt.NewRegion("shared", 1)
 	rt.Submit(Task{Name: "w", CostCycles: 10_000, Reqs: []Req{{r, ReadWrite}}})
 	for i := 0; i < 4; i++ {
@@ -54,7 +54,7 @@ func TestReadersRunConcurrently(t *testing.T) {
 
 func TestWritersSerialize(t *testing.T) {
 	k := boot(t, 5, 213)
-	rt := New(k, Config{Workers: 4, FirstCPU: 1})
+	rt := MustNew(k, Config{Workers: 4, FirstCPU: 1})
 	r := rt.NewRegion("acc", 1)
 	const n = 6
 	for i := 0; i < n; i++ {
@@ -75,7 +75,7 @@ func TestWritersSerialize(t *testing.T) {
 
 func TestDiamondDependence(t *testing.T) {
 	k := boot(t, 5, 214)
-	rt := New(k, Config{Workers: 4, FirstCPU: 1})
+	rt := MustNew(k, Config{Workers: 4, FirstCPU: 1})
 	a := rt.NewRegion("a", 1)
 	b := rt.NewRegion("b", 1)
 	c := rt.NewRegion("c", 1)
@@ -111,7 +111,7 @@ func TestDiamondDependence(t *testing.T) {
 func TestIndependentTasksSpeedup(t *testing.T) {
 	makespan := func(workers int, seed uint64) int64 {
 		k := boot(t, workers+1, seed)
-		rt := New(k, Config{Workers: workers, FirstCPU: 1})
+		rt := MustNew(k, Config{Workers: workers, FirstCPU: 1})
 		for i := 0; i < 8; i++ {
 			r := rt.NewRegion("r", 1)
 			rt.Submit(Task{Name: "t", CostCycles: 1_000_000, Reqs: []Req{{r, ReadWrite}}})
@@ -133,7 +133,7 @@ func TestLateSubmissionAfterCompletion(t *testing.T) {
 	// A task submitted after its predecessor already finished must not
 	// wait on it.
 	k := boot(t, 2, 217)
-	rt := New(k, Config{Workers: 1, FirstCPU: 1})
+	rt := MustNew(k, Config{Workers: 1, FirstCPU: 1})
 	r := rt.NewRegion("r", 1)
 	rt.Submit(Task{Name: "w1", CostCycles: 10_000, Reqs: []Req{{r, ReadWrite}},
 		Fn: func() { r.Data[0] = 7 }})
@@ -155,7 +155,7 @@ func TestLegionUnderRTConstraints(t *testing.T) {
 	// Workers individually admitted as periodic threads: the task graph
 	// still completes correctly, just throttled.
 	k := boot(t, 3, 218)
-	rt := New(k, Config{Workers: 2, FirstCPU: 1,
+	rt := MustNew(k, Config{Workers: 2, FirstCPU: 1,
 		Constraints: core.PeriodicConstraints(0, 100_000, 50_000)})
 	r := rt.NewRegion("r", 1)
 	const n = 5
@@ -180,7 +180,7 @@ func TestLegionUnderRTConstraints(t *testing.T) {
 func TestDeterministicSchedule(t *testing.T) {
 	run := func() []string {
 		k := boot(t, 4, 219)
-		rt := New(k, Config{Workers: 3, FirstCPU: 1})
+		rt := MustNew(k, Config{Workers: 3, FirstCPU: 1})
 		a := rt.NewRegion("a", 1)
 		b := rt.NewRegion("b", 1)
 		rt.Submit(Task{Name: "w-a", CostCycles: 80_000, Reqs: []Req{{a, ReadWrite}}})

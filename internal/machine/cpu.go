@@ -31,6 +31,13 @@ type InterruptSink interface {
 	HandleInterrupt(cpu *CPU, vec Vector, now sim.Time)
 }
 
+// TimerFault perturbs the APIC one-shot timer — the fault-injection channel
+// for modelling timer miscalibration beyond the conservative-rounding spec.
+// It receives the programmed countdown in cycles and returns the countdown
+// the hardware will actually honour plus whether the firing is delivered at
+// all (false models a lost one-shot firing). A nil fault is the identity.
+type TimerFault func(delayCycles int64) (int64, bool)
+
 // CPU is one hardware thread: a cycle counter, an APIC with a one-shot
 // timer and a task-priority register, and a boot time.
 type CPU struct {
@@ -41,6 +48,8 @@ type CPU struct {
 	tscOffset int64 // TSC reading = wall clock + tscOffset
 
 	timerEvent *sim.Event
+	timerFault TimerFault
+	lostFires  int64
 	tpr        uint8
 	pending    []Vector // held-pending interrupts, delivery order
 	sink       InterruptSink
@@ -79,6 +88,21 @@ func (c *CPU) WriteTSC(v int64) {
 // not use it (it can only estimate it, which is the whole point of
 // Section 3.4).
 func (c *CPU) TSCOffset() int64 { return c.tscOffset }
+
+// SkewTSC shifts the cycle counter by delta cycles without going through
+// WriteTSC. This is a hardware-level fault channel — firmware rewriting the
+// counter from SMM, or a deep-sleep calibration regression — so it works
+// even on platforms whose TSC is not software-writable. The kernel cannot
+// observe the skew directly, only its effects on the wall-clock estimate.
+func (c *CPU) SkewTSC(delta int64) { c.tscOffset += delta }
+
+// SetTimerFault installs (or clears, with nil) the one-shot timer fault
+// injector for this CPU.
+func (c *CPU) SetTimerFault(f TimerFault) { c.timerFault = f }
+
+// LostTimerFires returns the number of one-shot firings swallowed by the
+// installed timer fault.
+func (c *CPU) LostTimerFires() int64 { return c.lostFires }
 
 // SetSink registers the software interrupt handler for this CPU.
 func (c *CPU) SetSink(s InterruptSink) { c.sink = s }
@@ -144,8 +168,24 @@ func (c *CPU) SetOneShotTicks(ticks int64) {
 	}
 	c.CancelTimer()
 	c.retirePending(VecTimer)
-	d := sim.Duration(ticks * c.mach.Spec.APICTickCycles)
-	c.timerEvent = c.mach.Eng.After(d, sim.Hard, func(now sim.Time) {
+	c.armTimer(ticks * c.mach.Spec.APICTickCycles)
+}
+
+// armTimer schedules the one-shot firing after d cycles, routing the
+// countdown through the installed timer fault (if any).
+func (c *CPU) armTimer(d int64) {
+	if c.timerFault != nil {
+		var deliver bool
+		d, deliver = c.timerFault(d)
+		if !deliver {
+			c.lostFires++
+			return
+		}
+		if d < 1 {
+			d = 1
+		}
+	}
+	c.timerEvent = c.mach.Eng.After(sim.Duration(d), sim.Hard, func(now sim.Time) {
 		c.timerEvent = nil
 		c.RaiseInterrupt(VecTimer)
 	})
@@ -167,10 +207,7 @@ func (c *CPU) SetOneShotNanos(ns int64) {
 		if cycles < 1 {
 			cycles = 1
 		}
-		c.timerEvent = c.mach.Eng.After(sim.Duration(cycles), sim.Hard, func(now sim.Time) {
-			c.timerEvent = nil
-			c.RaiseInterrupt(VecTimer)
-		})
+		c.armTimer(cycles)
 		return
 	}
 	c.SetOneShotTicks(cycles / c.mach.Spec.APICTickCycles)

@@ -62,6 +62,13 @@ func (s *SMIController) InjectAt(at sim.Time, d sim.Duration) {
 	})
 }
 
+// InjectNow fires a single SMI of duration d at the current instant. It is
+// the entry point for external fault injectors (internal/fault) that drive
+// their own arrival processes rather than the controller's Poisson model.
+func (s *SMIController) InjectNow(d sim.Duration) {
+	s.fire(s.mach.Eng.Now(), d)
+}
+
 func (s *SMIController) fire(now sim.Time, d sim.Duration) {
 	s.count++
 	s.total += d

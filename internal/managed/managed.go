@@ -14,6 +14,8 @@
 package managed
 
 import (
+	"fmt"
+
 	"hrtsched/internal/core"
 	"hrtsched/internal/stats"
 )
@@ -69,10 +71,12 @@ type Tenant struct {
 	Ops         int64
 }
 
-// New spawns the tenant on its CPU.
-func New(k *core.Kernel, cfg Config) *Tenant {
+// New spawns the tenant on its CPU. It returns an error for non-positive
+// nursery or allocation sizes.
+func New(k *core.Kernel, cfg Config) (*Tenant, error) {
 	if cfg.NurseryBytes <= 0 || cfg.AllocBytes <= 0 {
-		panic("managed: nursery and allocation sizes must be positive")
+		return nil, fmt.Errorf("managed: nursery and allocation sizes must be positive (got nursery=%d alloc=%d)",
+			cfg.NurseryBytes, cfg.AllocBytes)
 	}
 	t := &Tenant{k: k, cfg: cfg}
 	if cfg.Strategy == SporadicGC {
@@ -83,6 +87,15 @@ func New(k *core.Kernel, cfg Config) *Tenant {
 		t.collector = k.SpawnPriority("managed-gc", cfg.CPU, t.collectorProgram(), 10)
 	}
 	t.mutator = k.Spawn("managed-mutator", cfg.CPU, t.mutatorProgram())
+	return t, nil
+}
+
+// MustNew is New for statically-correct call sites; it panics on error.
+func MustNew(k *core.Kernel, cfg Config) *Tenant {
+	t, err := New(k, cfg)
+	if err != nil {
+		panic(err)
+	}
 	return t
 }
 

@@ -29,7 +29,7 @@ func baseCfg(strategy GCStrategy) Config {
 
 func TestCollectionsHappenAndHeapResets(t *testing.T) {
 	k := boot(t, 221)
-	ten := New(k, baseCfg(InlineGC))
+	ten := MustNew(k, baseCfg(InlineGC))
 	k.RunNs(60_000_000)
 	if ten.Collections < 10 {
 		t.Fatalf("collections = %d", ten.Collections)
@@ -44,7 +44,7 @@ func TestCollectionsHappenAndHeapResets(t *testing.T) {
 
 func TestInlinePauseMatchesGCCostWhenAlone(t *testing.T) {
 	k := boot(t, 222)
-	ten := New(k, baseCfg(InlineGC))
+	ten := MustNew(k, baseCfg(InlineGC))
 	k.RunNs(60_000_000)
 	gcNs := k.Clocks[1].CyclesToNanos(ten.cfg.GCCycles)
 	mean := ten.PauseNs.Mean()
@@ -70,7 +70,7 @@ func TestSporadicGCBoundsPausesUnderAperiodicLoad(t *testing.T) {
 		}))
 		c := cfg
 		c.Strategy = strategy
-		ten := New(k, c)
+		ten := MustNew(k, c)
 		k.RunNs(600_000_000) // 600 ms: several quantum rotations
 		return ten.WorstPause, ten.GCRejected(), ten.Collections
 	}
@@ -110,7 +110,7 @@ func TestGCNeverDisturbsRTThread(t *testing.T) {
 			}
 			return core.Compute{Cycles: 20_000}
 		}))
-		ten := New(k, baseCfg(strategy))
+		ten := MustNew(k, baseCfg(strategy))
 		k.RunNs(120_000_000)
 		if hog.Misses != 0 {
 			t.Fatalf("strategy %d: GC disturbed the RT thread (%d misses)", strategy, hog.Misses)
@@ -128,7 +128,7 @@ func TestSporadicFallbackWhenReservationExhausted(t *testing.T) {
 	cfg := baseCfg(SporadicGC)
 	cfg.GCCycles = 1_300_000     // 1ms of work...
 	cfg.GCDeadlineNs = 2_000_000 // ...in 2ms: 50% >> 10% reservation
-	ten := New(k, cfg)
+	ten := MustNew(k, cfg)
 	k.RunNs(100_000_000)
 	if ten.Collections < 3 {
 		t.Fatalf("collections = %d", ten.Collections)

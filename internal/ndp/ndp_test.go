@@ -16,7 +16,7 @@ func team(t *testing.T, workers int, seed uint64, cons core.Constraints, sync om
 	spec := machine.PhiKNL().Scaled(workers + 1)
 	m := machine.New(spec, seed)
 	k := core.Boot(m, core.DefaultConfig(spec))
-	tm := omp.NewTeam(k, omp.Config{Workers: workers, FirstCPU: 1, Constraints: cons, Sync: sync})
+	tm := omp.MustNewTeam(k, omp.Config{Workers: workers, FirstCPU: 1, Constraints: cons, Sync: sync})
 	return k, tm
 }
 
@@ -141,7 +141,7 @@ func TestPropertyScanCorrect(t *testing.T) {
 		spec := machine.PhiKNL().Scaled(workers + 1)
 		m := machine.New(spec, seed)
 		k := core.Boot(m, core.DefaultConfig(spec))
-		tm := omp.NewTeam(k, omp.Config{Workers: workers, FirstCPU: 1,
+		tm := omp.MustNewTeam(k, omp.Config{Workers: workers, FirstCPU: 1,
 			Constraints: core.AperiodicConstraints(50), Sync: omp.SyncBarrier})
 		v := &SegVector{Data: append([]float64(nil), data...), Lens: []int{n}}
 		if err := Scan(tm, v, 1<<26); err != nil {
@@ -169,7 +169,7 @@ func TestPropertyChunkingConsistent(t *testing.T) {
 	f := func(nRaw uint16, wRaw uint8) bool {
 		n := int(nRaw%500) + 1
 		w := int(wRaw%8) + 1
-		tm := omp.NewTeam(k, omp.Config{Workers: w, FirstCPU: 1,
+		tm := omp.MustNewTeam(k, omp.Config{Workers: w, FirstCPU: 1,
 			Constraints: core.AperiodicConstraints(50), Sync: omp.SyncBarrier})
 		covered := 0
 		for ww := 0; ww < w; ww++ {

@@ -97,18 +97,19 @@ type Team struct {
 
 // NewTeam creates and starts a team. If cfg.Constraints is periodic the
 // team passes group admission (with phase correction) before accepting
-// work; SyncTimed requires that.
-func NewTeam(k *core.Kernel, cfg Config) *Team {
+// work; SyncTimed requires that. It returns an error for a non-positive
+// worker count or a timed-sync configuration without periodic constraints.
+func NewTeam(k *core.Kernel, cfg Config) (*Team, error) {
 	if cfg.Workers < 1 {
-		panic("omp: team needs at least one worker")
+		return nil, fmt.Errorf("omp: team needs at least one worker (got %d)", cfg.Workers)
 	}
 	if cfg.Sync == SyncTimed && cfg.Constraints.Type != core.Periodic {
-		panic("omp: timed synchronization requires periodic gang scheduling")
+		return nil, fmt.Errorf("omp: timed synchronization requires periodic gang scheduling")
 	}
 	t := &Team{
 		k:          k,
 		cfg:        cfg,
-		g:          group.New(k, "omp", cfg.Workers, group.DefaultCosts()),
+		g:          group.MustNew(k, "omp", cfg.Workers, group.DefaultCosts()),
 		wq:         ksync.NewWaitQueue(k),
 		workerDone: make([]int, cfg.Workers),
 	}
@@ -125,6 +126,16 @@ func NewTeam(k *core.Kernel, cfg Config) *Team {
 		prog := core.FlowThen(pre, core.FlowProgram(t.workerLoop(w)))
 		t.workers = append(t.workers,
 			k.Spawn(fmt.Sprintf("omp-%d", w), cfg.FirstCPU+w, prog))
+	}
+	return t, nil
+}
+
+// MustNewTeam is NewTeam for statically-correct call sites; it panics on
+// error.
+func MustNewTeam(k *core.Kernel, cfg Config) *Team {
+	t, err := NewTeam(k, cfg)
+	if err != nil {
+		panic(err)
 	}
 	return t
 }

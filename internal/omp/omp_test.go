@@ -16,7 +16,7 @@ func boot(t *testing.T, ncpus int, seed uint64) *core.Kernel {
 
 func TestParallelForCoversAllIterations(t *testing.T) {
 	k := boot(t, 5, 141)
-	team := NewTeam(k, Config{Workers: 4, FirstCPU: 1,
+	team := MustNewTeam(k, Config{Workers: 4, FirstCPU: 1,
 		Constraints: core.AperiodicConstraints(50), Sync: SyncBarrier})
 	const n = 103 // not divisible by 4: exercises remainder chunking
 	counts := make([]int, n)
@@ -37,7 +37,7 @@ func TestParallelForCoversAllIterations(t *testing.T) {
 
 func TestMultipleRegionsInOrder(t *testing.T) {
 	k := boot(t, 3, 142)
-	team := NewTeam(k, Config{Workers: 2, FirstCPU: 1,
+	team := MustNewTeam(k, Config{Workers: 2, FirstCPU: 1,
 		Constraints: core.AperiodicConstraints(50), Sync: SyncBarrier})
 	var sum1, sum2 int
 	team.Submit(Region{Name: "a", Iterations: 10, CostPerIter: 1000,
@@ -59,7 +59,7 @@ func TestGangScheduledTeamThrottled(t *testing.T) {
 	// A 50%-utilization team takes about twice as long as a full-speed one.
 	elapsed := func(cons core.Constraints, seed uint64) int64 {
 		k := boot(t, 5, seed)
-		team := NewTeam(k, Config{Workers: 4, FirstCPU: 1,
+		team := MustNewTeam(k, Config{Workers: 4, FirstCPU: 1,
 			Constraints: cons, Sync: SyncBarrier})
 		start := k.NowNs()
 		for r := 0; r < 10; r++ {
@@ -81,7 +81,7 @@ func TestGangScheduledTeamThrottled(t *testing.T) {
 func TestTimedSyncMatchesBarrierResults(t *testing.T) {
 	run := func(sync SyncMode, seed uint64) ([]int, int64) {
 		k := boot(t, 5, seed)
-		team := NewTeam(k, Config{Workers: 4, FirstCPU: 1,
+		team := MustNewTeam(k, Config{Workers: 4, FirstCPU: 1,
 			Constraints: core.PeriodicConstraints(0, 200_000, 180_000), Sync: sync})
 		const n = 64
 		counts := make([]int, n)
@@ -115,13 +115,13 @@ func TestTimedSyncRequiresRT(t *testing.T) {
 			t.Fatalf("timed sync without gang scheduling accepted")
 		}
 	}()
-	NewTeam(k, Config{Workers: 2, FirstCPU: 1,
+	MustNewTeam(k, Config{Workers: 2, FirstCPU: 1,
 		Constraints: core.AperiodicConstraints(50), Sync: SyncTimed})
 }
 
 func TestDynamicScheduleCoversAllIterations(t *testing.T) {
 	k := boot(t, 5, 148)
-	team := NewTeam(k, Config{Workers: 4, FirstCPU: 1,
+	team := MustNewTeam(k, Config{Workers: 4, FirstCPU: 1,
 		Constraints: core.AperiodicConstraints(50), Sync: SyncBarrier})
 	const n = 101
 	counts := make([]int, n)
@@ -145,7 +145,7 @@ func TestDynamicBeatsStaticUnderSkew(t *testing.T) {
 	// heavy iterations on one worker; dynamic claims rebalance.
 	elapsed := func(sched Schedule, seed uint64) int64 {
 		k := boot(t, 5, seed)
-		team := NewTeam(k, Config{Workers: 4, FirstCPU: 1,
+		team := MustNewTeam(k, Config{Workers: 4, FirstCPU: 1,
 			Constraints: core.AperiodicConstraints(50), Sync: SyncBarrier})
 		const n = 64
 		cost := func(i int) int64 {
@@ -173,7 +173,7 @@ func TestDynamicBeatsStaticUnderSkew(t *testing.T) {
 
 func TestDynamicDefaultChunkIsOne(t *testing.T) {
 	k := boot(t, 3, 151)
-	team := NewTeam(k, Config{Workers: 2, FirstCPU: 1,
+	team := MustNewTeam(k, Config{Workers: 2, FirstCPU: 1,
 		Constraints: core.AperiodicConstraints(50), Sync: SyncBarrier})
 	team.Submit(Region{Iterations: 10, CostPerIter: 5000, Sched: Dynamic})
 	if !team.Wait(1, 1<<26) {

@@ -13,7 +13,7 @@ func team(t *testing.T, workers int, seed uint64, cons core.Constraints, sync om
 	spec := machine.PhiKNL().Scaled(workers + 1)
 	m := machine.New(spec, seed)
 	k := core.Boot(m, core.DefaultConfig(spec))
-	tm := omp.NewTeam(k, omp.Config{Workers: workers, FirstCPU: 1, Constraints: cons, Sync: sync})
+	tm := omp.MustNewTeam(k, omp.Config{Workers: workers, FirstCPU: 1, Constraints: cons, Sync: sync})
 	return k, tm
 }
 
