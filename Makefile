@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: ci build vet test race chaos bench
+.PHONY: ci build vet test race chaos bench serve-smoke
 
-# ci is the tier-1 gate: every change must pass vet, build and the race-
-# enabled test suite before it lands (see README "Testing").
-ci: vet build race
+# ci is the tier-1 gate: every change must pass vet, build, the race-
+# enabled test suite, and the serving-layer smoke before it lands (see
+# README "Testing").
+ci: vet build race serve-smoke
 
 build:
 	$(GO) build ./...
@@ -28,3 +29,15 @@ chaos:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# serve-smoke boots hrtd on an ephemeral port, drives it with hrtload for
+# two seconds, and fails on any hard error or a cache that never hits.
+serve-smoke:
+	@set -e; dir=$$(mktemp -d); pid=; \
+	cleanup() { [ -n "$$pid" ] && kill $$pid 2>/dev/null || true; rm -rf "$$dir"; }; \
+	trap cleanup EXIT; \
+	$(GO) build -o "$$dir" ./cmd/hrtd ./cmd/hrtload; \
+	"$$dir"/hrtd -addr 127.0.0.1:0 -addr-file "$$dir"/addr >"$$dir"/hrtd.log 2>&1 & pid=$$!; \
+	for i in $$(seq 100); do [ -s "$$dir"/addr ] && break; sleep 0.1; done; \
+	if ! [ -s "$$dir"/addr ]; then echo "serve-smoke: hrtd never bound"; cat "$$dir"/hrtd.log; exit 1; fi; \
+	"$$dir"/hrtload -addr "$$(cat "$$dir"/addr)" -dur 2s -conns 16 -check

@@ -13,7 +13,9 @@ import (
 	"hrtsched/internal/omp"
 	"hrtsched/internal/paging"
 	"hrtsched/internal/pgas"
+	"hrtsched/internal/plan"
 	"hrtsched/internal/scope"
+	"hrtsched/internal/serve"
 	"hrtsched/internal/sim"
 	"hrtsched/internal/timesync"
 	"hrtsched/internal/trace"
@@ -358,6 +360,81 @@ const (
 func NewMMU(physBytes uint64, size PagingPageSize, tlbEntries int, walkCostPerLevel int64) *MMU {
 	return paging.NewMMU(physBytes, size, tlbEntries, walkCostPerLevel)
 }
+
+// --- Schedulability analysis (internal/plan) ---------------------------------
+
+// PlanTask is one periodic task (period, slice) for offline analysis.
+type PlanTask = plan.Task
+
+// PlanTaskSet is a set of periodic tasks under analysis.
+type PlanTaskSet = plan.TaskSet
+
+// PlanSpec is the platform model an analysis runs against: per-invocation
+// scheduler overhead and the utilization limit.
+type PlanSpec = plan.Spec
+
+// PlanVerdict is a full admission answer: the closed-form bound, the
+// hyperperiod simulation, and the combined decision.
+type PlanVerdict = plan.Verdict
+
+// CapacityReport is the what-if headroom answer of PlanCapacity.
+type CapacityReport = plan.CapacityReport
+
+// Placement is a first-fit assignment of task sets to CPUs.
+type Placement = plan.Placement
+
+// PlanSpecFor derives the analysis spec for a machine spec at a
+// utilization limit, charging the same per-invocation overhead the
+// kernel's own admission simulation charges.
+func PlanSpecFor(m Spec, utilizationLimit float64) PlanSpec {
+	return serve.SpecFor(m, utilizationLimit)
+}
+
+// AnalyzeTaskSet answers admit/reject for a task set on a platform.
+func AnalyzeTaskSet(spec PlanSpec, set PlanTaskSet) PlanVerdict {
+	return plan.Analyze(spec, set)
+}
+
+// AnalyzeGang answers all-or-nothing admission for a gang of tasks
+// arriving together on a CPU that already runs `existing`.
+func AnalyzeGang(spec PlanSpec, existing, gang PlanTaskSet) PlanVerdict {
+	return plan.AnalyzeGang(spec, existing, gang)
+}
+
+// PlanCapacity reports how much additional utilization a CPU running
+// `set` can still take at the probe period (0 = the set's largest period).
+func PlanCapacity(spec PlanSpec, set PlanTaskSet, probePeriodNs int64) CapacityReport {
+	return plan.Capacity(spec, set, probePeriodNs)
+}
+
+// PlaceFirstFit packs task sets onto ncpus CPUs first-fit, consulting the
+// full analysis (bound + simulation) for every placement decision.
+func PlaceFirstFit(spec PlanSpec, ncpus int, sets []PlanTaskSet) (Placement, error) {
+	return plan.PlaceFirstFit(spec, ncpus, sets)
+}
+
+// --- Admission-query service (internal/serve) --------------------------------
+
+// ServeConfig configures the sharded admission-query server.
+type ServeConfig = serve.Config
+
+// Server is the sharded, batching, caching admission-query service behind
+// cmd/hrtd.
+type Server = serve.Server
+
+// MetricsRegistry is the pull-based Prometheus-text metrics registry.
+type MetricsRegistry = serve.Registry
+
+// NewServer starts an admission-query server; Close releases its shards.
+func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return serve.NewRegistry() }
+
+// RegisterKernelMetrics exposes a kernel's robustness counters (deadline
+// misses, degradation, watchdog) on a registry — the same code path
+// cmd/chaos -metrics and hrtd use.
+func RegisterKernelMetrics(r *MetricsRegistry, k *Kernel) { serve.RegisterKernel(r, k) }
 
 // --- Instruments ------------------------------------------------------------
 

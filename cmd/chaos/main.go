@@ -12,6 +12,7 @@
 //	chaos -scenario smi-storm -seed 42
 //	chaos -scenario overload-shed -seed 7 -until-event 120000
 //	chaos -scenario smi-storm -seed 42 -lazy    # lazy-EDF ablation
+//	chaos -scenario smi-storm -metrics          # append Prometheus counters
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"os"
 
 	"hrtsched/internal/fault"
+	"hrtsched/internal/serve"
 )
 
 func main() {
@@ -29,6 +31,7 @@ func main() {
 		until    = flag.Uint64("until-event", 0, "stop after this many engine events (0 = run scenario duration)")
 		lazy     = flag.Bool("lazy", false, "use lazy EDF instead of eager")
 		list     = flag.Bool("list", false, "list scenarios")
+		metrics  = flag.Bool("metrics", false, "append the run's robustness counters in Prometheus text form")
 	)
 	flag.Parse()
 
@@ -54,6 +57,14 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Print(res.Report)
+	if *metrics {
+		// The same registry + collectors hrtd exposes on /metrics, so the
+		// two report robustness counters through one code path.
+		reg := serve.NewRegistry()
+		serve.RegisterKernel(reg, res.Kernel)
+		fmt.Println()
+		reg.WriteTo(os.Stdout) //nolint:errcheck — stdout
+	}
 	if !res.Checker.Ok() {
 		os.Exit(1)
 	}

@@ -1,0 +1,129 @@
+// Command hrtd is the admission-query daemon: an HTTP/JSON front end over
+// the schedulability engine in internal/plan, served through the sharded,
+// batching, caching layer in internal/serve.
+//
+// Usage:
+//
+//	hrtd -machine phi -util 0.99 -addr 127.0.0.1:8080
+//	hrtd -addr 127.0.0.1:0 -addr-file /tmp/hrtd.addr   # ephemeral port
+//
+// Endpoints: POST /v1/analyze, POST /v1/capacity, GET /metrics, GET /healthz.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hrtsched/internal/machine"
+	"hrtsched/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 for ephemeral)")
+		addrFile = flag.String("addr-file", "", "write the bound address to this file once listening")
+		mach     = flag.String("machine", "phi", "platform model: phi or r415")
+		util     = flag.Float64("util", 0.99, "admission utilization limit in (0,1]")
+		overhead = flag.Int64("overhead-ns", 0, "override per-invocation overhead ns (0 = derive from -machine)")
+		shards   = flag.Int("shards", 0, "worker shards (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 0, "per-shard queue depth (0 = default 1024)")
+		batch    = flag.Int("batch", 0, "max requests per flush (0 = default 64)")
+		flush    = flag.Duration("flush", 0, "batch flush window (0 = default 200us)")
+		cache    = flag.Int("cache", 0, "per-shard verdict cache entries (0 = default 4096)")
+	)
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "hrtd: "+format+"\n", args...)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if flag.NArg() > 0 {
+		fail("unexpected arguments: %v", flag.Args())
+	}
+	if *addr == "" {
+		fail("-addr must not be empty")
+	}
+	var spec machine.Spec
+	switch *mach {
+	case "phi":
+		spec = machine.PhiKNL()
+	case "r415":
+		spec = machine.R415()
+	default:
+		fail("-machine must be phi or r415 (got %q)", *mach)
+	}
+	if *util <= 0 || *util > 1 {
+		fail("-util must be in (0,1] (got %g)", *util)
+	}
+	if *overhead < 0 {
+		fail("-overhead-ns must be non-negative (got %d)", *overhead)
+	}
+	if *shards < 0 || *queue < 0 || *batch < 0 || *cache < 0 {
+		fail("-shards, -queue, -batch and -cache must be non-negative")
+	}
+	if *flush < 0 {
+		fail("-flush must be non-negative (got %v)", *flush)
+	}
+
+	planSpec := serve.SpecFor(spec, *util)
+	if *overhead > 0 {
+		planSpec.OverheadNs = *overhead
+	}
+	srv, err := serve.New(serve.Config{
+		Spec:         planSpec,
+		Shards:       *shards,
+		QueueDepth:   *queue,
+		BatchSize:    *batch,
+		FlushWindow:  *flush,
+		CacheEntries: *cache,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hrtd: %v\n", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hrtd: listen: %v\n", err)
+		os.Exit(1)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "hrtd: write -addr-file: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	cfg := srv.Config()
+	fmt.Printf("hrtd: listening on %s (machine=%s overhead=%dns util=%g shards=%d queue=%d batch=%d flush=%v cache=%d)\n",
+		bound, spec.Name, planSpec.OverheadNs, planSpec.UtilizationLimit,
+		cfg.Shards, cfg.QueueDepth, cfg.BatchSize, cfg.FlushWindow, cfg.CacheEntries)
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case got := <-sig:
+		fmt.Printf("hrtd: %v, shutting down\n", got)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx) //nolint:errcheck — best-effort drain before exit
+	case err := <-errCh:
+		if err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "hrtd: serve: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

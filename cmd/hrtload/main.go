@@ -1,0 +1,226 @@
+// Command hrtload is a closed-loop load generator for hrtd: N connections
+// each fire admission queries back-to-back for a fixed duration, mixing
+// repeated task sets (drawn from a popular pool, exercising the verdict
+// cache) with unique ones (forcing fresh analyses), then report
+// throughput, latency quantiles, error counts, and the server-side cache
+// hit rate scraped from /metrics.
+//
+// Usage:
+//
+//	hrtload -addr 127.0.0.1:8080 -dur 2s -conns 16 -repeat 0.9
+//	hrtload -addr $(cat /tmp/hrtd.addr) -dur 2s -check   # exit 1 on failure
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hrtsched/internal/sim"
+	"hrtsched/internal/stats"
+)
+
+// periodMenuUs are the popular-pool periods; all divide 1 ms so pool sets
+// keep small hyperperiods and analyses stay cheap.
+var periodMenuUs = []int64{100, 200, 250, 500, 1000}
+
+type workerResult struct {
+	requests  int64
+	errors    int64 // transport failures and non-200/429 statuses
+	sheds     int64 // 429 responses
+	cacheHits int64 // X-Hrtd-Cache: hit
+	latencyUs []float64
+}
+
+func main() {
+	var (
+		addr   = flag.String("addr", "", "hrtd address host:port (required)")
+		dur    = flag.Duration("dur", 2*time.Second, "how long to generate load")
+		conns  = flag.Int("conns", 16, "concurrent closed-loop connections")
+		pool   = flag.Int("pool", 64, "popular task-set pool size")
+		repeat = flag.Float64("repeat", 0.9, "fraction of queries drawn from the pool in [0,1]")
+		seed   = flag.Uint64("seed", 11, "random seed")
+		check  = flag.Bool("check", false, "exit 1 on any hard error or a zero cache hit rate")
+	)
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "hrtload: "+format+"\n", args...)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if flag.NArg() > 0 {
+		fail("unexpected arguments: %v", flag.Args())
+	}
+	if *addr == "" {
+		fail("-addr is required")
+	}
+	if *dur <= 0 {
+		fail("-dur must be positive (got %v)", *dur)
+	}
+	if *conns <= 0 {
+		fail("-conns must be positive (got %d)", *conns)
+	}
+	if *pool <= 0 {
+		fail("-pool must be positive (got %d)", *pool)
+	}
+	if *repeat < 0 || *repeat > 1 {
+		fail("-repeat must be in [0,1] (got %g)", *repeat)
+	}
+
+	base := "http://" + *addr
+	client := &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        *conns * 2,
+			MaxIdleConnsPerHost: *conns * 2,
+		},
+		Timeout: 5 * time.Second,
+	}
+
+	// Popular pool: small sets over the period menu, slices 10-30% of the
+	// period — admissible alone, cheap to simulate, all distinct.
+	rng := sim.NewRand(*seed)
+	poolBodies := make([]string, *pool)
+	for i := range poolBodies {
+		poolBodies[i] = poolBody(rng, i)
+	}
+
+	var uniqueCtr atomic.Int64
+	deadline := time.Now().Add(*dur)
+	results := make([]workerResult, *conns)
+	var wg sync.WaitGroup
+	for w := 0; w < *conns; w++ {
+		wg.Add(1)
+		go func(w int, rng *sim.Rand) {
+			defer wg.Done()
+			res := &results[w]
+			for time.Now().Before(deadline) {
+				var body string
+				if rng.Float64() < *repeat {
+					body = poolBodies[rng.Intn(len(poolBodies))]
+				} else {
+					// Unique single-task set: the counter makes the slice,
+					// and so the canonical digest, never repeat.
+					n := uniqueCtr.Add(1)
+					body = fmt.Sprintf(`{"tasks":[{"period_ns":1000000,"slice_ns":%d}]}`, 1_000+n)
+				}
+				start := time.Now()
+				resp, err := client.Post(base+"/v1/analyze", "application/json", strings.NewReader(body))
+				lat := float64(time.Since(start).Nanoseconds()) / 1e3
+				res.requests++
+				if err != nil {
+					res.errors++
+					continue
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck — draining for keep-alive
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					res.latencyUs = append(res.latencyUs, lat)
+					if resp.Header.Get("X-Hrtd-Cache") == "hit" {
+						res.cacheHits++
+					}
+				case resp.StatusCode == http.StatusTooManyRequests:
+					res.sheds++
+				default:
+					res.errors++
+				}
+			}
+		}(w, rng.Split())
+	}
+	wg.Wait()
+
+	var total workerResult
+	for i := range results {
+		total.requests += results[i].requests
+		total.errors += results[i].errors
+		total.sheds += results[i].sheds
+		total.cacheHits += results[i].cacheHits
+		total.latencyUs = append(total.latencyUs, results[i].latencyUs...)
+	}
+	ok := int64(len(total.latencyUs))
+	qps := float64(ok) / dur.Seconds()
+	fmt.Printf("hrtload: %d requests in %v (%d ok, %d shed, %d errors)\n",
+		total.requests, *dur, ok, total.sheds, total.errors)
+	fmt.Printf("hrtload: %.0f queries/s\n", qps)
+	if ok > 0 {
+		fmt.Printf("hrtload: latency us p50=%.0f p95=%.0f p99=%.0f\n",
+			stats.Quantile(total.latencyUs, 0.5),
+			stats.Quantile(total.latencyUs, 0.95),
+			stats.Quantile(total.latencyUs, 0.99))
+		fmt.Printf("hrtload: client-observed cache hits %d/%d (%.1f%%)\n",
+			total.cacheHits, ok, 100*float64(total.cacheHits)/float64(ok))
+	}
+
+	serverHitRate, err := scrapeHitRate(client, base)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hrtload: scrape /metrics: %v\n", err)
+		if *check {
+			os.Exit(1)
+		}
+	} else {
+		fmt.Printf("hrtload: server cache hit rate %.3f\n", serverHitRate)
+	}
+
+	if *check {
+		switch {
+		case total.errors > 0:
+			fmt.Fprintf(os.Stderr, "hrtload: FAIL: %d hard errors\n", total.errors)
+			os.Exit(1)
+		case ok == 0:
+			fmt.Fprintln(os.Stderr, "hrtload: FAIL: no successful queries")
+			os.Exit(1)
+		case total.cacheHits == 0 || serverHitRate == 0:
+			fmt.Fprintln(os.Stderr, "hrtload: FAIL: cache never hit")
+			os.Exit(1)
+		}
+		fmt.Println("hrtload: OK")
+	}
+}
+
+// poolBody builds the i-th popular task set: 1-3 tasks from the period
+// menu with slices well under the bound, serialized once up front so the
+// hot loop only swaps strings.
+func poolBody(rng *sim.Rand, i int) string {
+	ntasks := 1 + i%3
+	var b strings.Builder
+	b.WriteString(`{"tasks":[`)
+	for t := 0; t < ntasks; t++ {
+		periodNs := periodMenuUs[rng.Intn(len(periodMenuUs))] * 1000
+		sliceNs := periodNs/10 + rng.Int63n(periodNs/5)
+		if t > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `{"period_ns":%d,"slice_ns":%d}`, periodNs, sliceNs)
+	}
+	b.WriteString(`]}`)
+	return b.String()
+}
+
+// scrapeHitRate pulls /metrics and extracts hrtd_cache_hit_rate.
+func scrapeHitRate(client *http.Client, base string) (float64, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if v, found := strings.CutPrefix(line, "hrtd_cache_hit_rate "); found {
+			return strconv.ParseFloat(strings.TrimSpace(v), 64)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	return 0, fmt.Errorf("hrtd_cache_hit_rate not found in /metrics")
+}

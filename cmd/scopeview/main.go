@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"hrtsched/internal/core"
 	"hrtsched/internal/machine"
@@ -27,6 +28,27 @@ func main() {
 		seed     = flag.Uint64("seed", 7, "random seed")
 	)
 	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "scopeview: "+format+"\n", args...)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if flag.NArg() > 0 {
+		fail("unexpected arguments: %v", flag.Args())
+	}
+	if *periodUs <= 0 {
+		fail("-period must be positive microseconds (got %d)", *periodUs)
+	}
+	if *sliceUs <= 0 || *sliceUs > *periodUs {
+		fail("-slice must be in (0, period] microseconds (got slice=%d period=%d)", *sliceUs, *periodUs)
+	}
+	if *runMs <= 0 {
+		fail("-ms must be positive milliseconds (got %d)", *runMs)
+	}
+	if *cols <= 0 {
+		fail("-cols must be positive (got %d)", *cols)
+	}
 
 	spec := machine.PhiKNL().Scaled(4)
 	m := machine.New(spec, *seed)

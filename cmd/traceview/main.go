@@ -29,6 +29,21 @@ func main() {
 	)
 	flag.Parse()
 
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "traceview: "+format+"\n", args...)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if flag.NArg() > 0 {
+		fail("unexpected arguments: %v", flag.Args())
+	}
+	if *runMs <= 0 {
+		fail("-ms must be positive milliseconds (got %d)", *runMs)
+	}
+	if *ncpus < 1 {
+		fail("-cpus must be at least 1 (got %d)", *ncpus)
+	}
+
 	spec := machine.PhiKNL().Scaled(*ncpus)
 	m := machine.New(spec, *seed)
 	k := core.Boot(m, core.DefaultConfig(spec))

@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"testing"
+
+	"hrtsched/internal/plan"
 )
 
 func TestSleepUntilWakes(t *testing.T) {
@@ -341,22 +343,22 @@ func TestAdmitSimEndToEndZeroMisses(t *testing.T) {
 }
 
 func TestSimulateHyperperiodUnit(t *testing.T) {
-	// Pure-function checks of the offline simulator.
+	// Pure-function checks of the offline simulator (now internal/plan).
 	ovh := int64(4_600) // ~6000 cycles at 1.3GHz
-	if !simulateHyperperiod([]simTask{{100_000, 30_000}, {200_000, 60_000}}, ovh, 0.79) {
+	if !plan.Simulate(plan.TaskSet{{PeriodNs: 100_000, SliceNs: 30_000}, {PeriodNs: 200_000, SliceNs: 60_000}}, ovh, 0.79).OK {
 		t.Fatalf("feasible harmonic set rejected")
 	}
-	if simulateHyperperiod([]simTask{{10_000, 8_000}}, ovh, 0.79) {
+	if plan.Simulate(plan.TaskSet{{PeriodNs: 10_000, SliceNs: 8_000}}, ovh, 0.79).OK {
 		t.Fatalf("over-dense set admitted")
 	}
-	if !simulateHyperperiod(nil, ovh, 0.79) {
+	if !plan.Simulate(nil, ovh, 0.79).OK {
 		t.Fatalf("empty set rejected")
 	}
-	if simulateHyperperiod([]simTask{{0, 1}}, ovh, 0.79) {
+	if plan.Simulate(plan.TaskSet{{PeriodNs: 0, SliceNs: 1}}, ovh, 0.79).OK {
 		t.Fatalf("malformed task admitted")
 	}
 	// Pathological hyperperiod: conservative rejection, not a hang.
-	if simulateHyperperiod([]simTask{{999_983, 10}, {999_979, 10}, {999_961, 10}}, ovh, 0.79) {
+	if plan.Simulate(plan.TaskSet{{PeriodNs: 999_983, SliceNs: 10}, {PeriodNs: 999_979, SliceNs: 10}, {PeriodNs: 999_961, SliceNs: 10}}, ovh, 0.79).OK {
 		t.Fatalf("unbounded hyperperiod not rejected")
 	}
 }

@@ -3,144 +3,22 @@ package core
 // Hyperperiod-simulation admission control — the "more sophisticated
 // admission control" prototype Section 3.2 describes: because admission
 // runs in the context of the requesting thread, it can afford to simulate
-// the local scheduler for a hyperperiod. Unlike the closed-form utilization
-// bound, the simulation charges the scheduler's own per-invocation overhead
-// (two interrupts per period, Section 5.3), so it correctly rejects
-// fine-grain task sets that the bound would admit but that the platform
-// cannot actually schedule — the infeasible region of Figures 6 and 7.
+// the local scheduler for a hyperperiod. The decision procedure itself —
+// EDF over one hyperperiod, charging the scheduler's per-invocation
+// overhead (two interrupts per period, Section 5.3), with conservative
+// rejection on hyperperiod overflow or step-bound exhaustion — lives in
+// internal/plan as a pure, exported engine; this file only collects the
+// scheduler's currently admitted periodic set and asks plan for a verdict.
 
-// simTask is one periodic task in the offline simulation.
-type simTask struct {
-	periodNs, sliceNs int64
-}
-
-// maxSimSteps bounds the offline simulation so admission cost stays
-// bounded no matter how pathological the hyperperiod is.
-const maxSimSteps = 1 << 16
-
-// simulateHyperperiod runs EDF over one hyperperiod of the task set,
-// charging overheadNs of scheduler time at each arrival and each slice
-// completion. It reports whether every job met its deadline. A task set
-// whose hyperperiod is too long to simulate within the step bound is
-// rejected conservatively.
-func simulateHyperperiod(tasks []simTask, overheadNs int64, utilLimit float64) bool {
-	if len(tasks) == 0 {
-		return true
-	}
-	hyper := int64(1)
-	for _, t := range tasks {
-		if t.periodNs <= 0 || t.sliceNs <= 0 {
-			return false
-		}
-		hyper = lcm64(hyper, t.periodNs)
-		if hyper <= 0 || hyper > int64(1)<<40 {
-			return false // hyperperiod overflow: reject conservatively
-		}
-	}
-
-	type job struct {
-		task     int
-		deadline int64
-		rem      int64
-	}
-	var ready []job
-	now := int64(0)
-	steps := 0
-
-	// The utilization limit reserves a fraction of every interval for
-	// non-periodic work, so serving D ns of demand takes D/limit ns of wall
-	// time; fold that into the job's wall-time requirement up front (ceil).
-	inflate := func(ns int64) int64 {
-		if utilLimit <= 0 || utilLimit >= 1 {
-			return ns
-		}
-		v := int64(float64(ns)/utilLimit) + 1
-		return v
-	}
-	release := func(at int64) {
-		for i, t := range tasks {
-			if at%t.periodNs == 0 {
-				// Each arrival costs one scheduler invocation and a second
-				// fires at slice completion; charge both to the job.
-				ready = append(ready, job{task: i, deadline: at + t.periodNs,
-					rem: inflate(t.sliceNs + 2*overheadNs)})
-			}
-		}
-	}
-	nextRelease := func(after int64) int64 {
-		next := int64(-1)
-		for _, t := range tasks {
-			r := (after/t.periodNs + 1) * t.periodNs
-			if next == -1 || r < next {
-				next = r
-			}
-		}
-		return next
-	}
-	release(0)
-	for now < hyper {
-		steps++
-		if steps > maxSimSteps {
-			return false
-		}
-		if len(ready) == 0 {
-			now = nextRelease(now)
-			if now < hyper {
-				release(now)
-			}
-			continue
-		}
-		// EDF: find the earliest deadline.
-		best := 0
-		for i := 1; i < len(ready); i++ {
-			if ready[i].deadline < ready[best].deadline {
-				best = i
-			}
-		}
-		j := &ready[best]
-		runUntil := now + j.rem
-		if nr := nextRelease(now); nr < runUntil {
-			runUntil = nr
-		}
-		if runUntil > j.deadline {
-			return false // this job cannot finish in time
-		}
-		j.rem -= runUntil - now
-		if j.rem <= 0 {
-			ready[best] = ready[len(ready)-1]
-			ready = ready[:len(ready)-1]
-		}
-		now = runUntil
-		if now < hyper {
-			release(now)
-		}
-	}
-	// Jobs still outstanding at the hyperperiod boundary have deadlines at
-	// or before it only if they missed.
-	for _, j := range ready {
-		if j.rem > 0 && j.deadline <= hyper {
-			return false
-		}
-	}
-	return true
-}
-
-func gcd64(a, b int64) int64 {
-	for b != 0 {
-		a, b = b, a%b
-	}
-	return a
-}
-
-func lcm64(a, b int64) int64 { return a / gcd64(a, b) * b }
+import "hrtsched/internal/plan"
 
 // periodicSet collects the periodic tasks currently admitted on this
 // scheduler, excluding (optionally) one thread being re-admitted.
-func (s *LocalScheduler) periodicSet(exclude *Thread) []simTask {
-	var out []simTask
+func (s *LocalScheduler) periodicSet(exclude *Thread) plan.TaskSet {
+	var out plan.TaskSet
 	add := func(t *Thread) {
 		if t != exclude && t.cons.Type == Periodic {
-			out = append(out, simTask{t.cons.PeriodNs, t.cons.SliceNs})
+			out = append(out, plan.Task{PeriodNs: t.cons.PeriodNs, SliceNs: t.cons.SliceNs})
 		}
 	}
 	s.pending.All(add)
@@ -154,10 +32,10 @@ func (s *LocalScheduler) periodicSet(exclude *Thread) []simTask {
 // admitBySimulation checks a periodic request by simulating the resulting
 // task set over a hyperperiod, including scheduler overhead.
 func (s *LocalScheduler) admitBySimulation(t *Thread, c Constraints) bool {
-	set := append(s.periodicSet(t), simTask{c.PeriodNs, c.SliceNs})
+	set := append(s.periodicSet(t), plan.Task{PeriodNs: c.PeriodNs, SliceNs: c.SliceNs})
 	overheadNs := s.clock.CyclesToNanos(s.k.M.Spec.TotalSchedCycles())
 	// The prototype is a "periodic thread-only model" (Section 3.2): it
 	// charges scheduler overhead explicitly and reserves only the
 	// utilization limit's headroom, not the sporadic/aperiodic fractions.
-	return simulateHyperperiod(set, overheadNs, s.cfg.UtilizationLimit)
+	return plan.Simulate(set, overheadNs, s.cfg.UtilizationLimit).OK
 }

@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"hrtsched/internal/core"
+	"hrtsched/internal/plan"
+)
+
+// analyzeRequest is the wire form of POST /v1/analyze and /v1/capacity.
+// Task fields reuse plan.Task's JSON tags (period_ns, slice_ns).
+type analyzeRequest struct {
+	Tasks         plan.TaskSet `json:"tasks"`
+	ProbePeriodNs int64        `json:"probe_period_ns,omitempty"` // capacity only
+}
+
+type errorResponse struct {
+	Error        string `json:"error"`
+	Reason       string `json:"reason,omitempty"`
+	RetryAfterNs int64  `json:"retry_after_ns,omitempty"`
+}
+
+// Handler returns the daemon's HTTP mux:
+//
+//	POST /v1/analyze  {"tasks":[{"period_ns":...,"slice_ns":...}]} -> plan.Verdict
+//	POST /v1/capacity {"tasks":[...],"probe_period_ns":N}          -> plan.CapacityReport
+//	GET  /metrics                                                   Prometheus text
+//	GET  /healthz                                                   liveness JSON
+//
+// Overload sheds answer 429 with a Retry-After header and a structured
+// body. Cached and uncached analyze answers are byte-identical: the cache
+// indicator travels in the X-Hrtd-Cache header, never the body.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("/v1/capacity", s.handleCapacity)
+	mux.Handle("/metrics", s.reg.Handler())
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, req *http.Request) {
+	var body analyzeRequest
+	if !decodeQuery(w, req, &body) {
+		return
+	}
+	v, cached, err := s.Analyze(body.Tasks)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	if cached {
+		w.Header().Set("X-Hrtd-Cache", "hit")
+	} else {
+		w.Header().Set("X-Hrtd-Cache", "miss")
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleCapacity(w http.ResponseWriter, req *http.Request) {
+	var body analyzeRequest
+	if !decodeQuery(w, req, &body) {
+		return
+	}
+	rep, err := s.Capacity(body.Tasks, body.ProbePeriodNs)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET only"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"shards":      len(s.shards),
+		"queue_depth": s.QueueDepth(),
+	})
+}
+
+func decodeQuery(w http.ResponseWriter, req *http.Request, into *analyzeRequest) bool {
+	if req.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		return false
+	}
+	dec := json.NewDecoder(req.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func writeQueryError(w http.ResponseWriter, err error) {
+	var ae *core.AdmissionError
+	switch {
+	case errors.As(err, &ae):
+		// Load shed: tell the client when to come back.
+		if ae.RetryAfterNs > 0 {
+			secs := (ae.RetryAfterNs + 999_999_999) / 1_000_000_000
+			w.Header().Set("Retry-After", fmt.Sprint(secs))
+		}
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{
+			Error: err.Error(), Reason: ae.Reason, RetryAfterNs: ae.RetryAfterNs,
+		})
+	case errors.Is(err, ErrServerClosed):
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(buf, '\n')) //nolint:errcheck — client hangup
+}

@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"fmt"
+
+	"hrtsched/internal/core"
+)
+
+// RegisterKernel exposes a kernel's robustness counters — deadline-miss
+// accounting, graceful-degradation activity, watchdog recoveries — through
+// a metrics registry. Both cmd/chaos (-metrics) and any embedding daemon
+// report these through this single code path, so the two never drift on
+// naming or aggregation.
+func RegisterKernel(r *Registry, k *core.Kernel) {
+	r.CounterVec("hrt_miss_recorded_total",
+		"Deadline-miss magnitudes recorded per CPU (after clamping).",
+		func() []Sample {
+			out := make([]Sample, len(k.Locals))
+			for i, l := range k.Locals {
+				out[i] = Sample{Labels: cpuLabel(i), Value: float64(l.Stats.Miss.Recorded)}
+			}
+			return out
+		})
+	r.CounterVec("hrt_miss_clamped_negative_total",
+		"Miss records whose raw magnitude was negative, per CPU.",
+		func() []Sample {
+			out := make([]Sample, len(k.Locals))
+			for i, l := range k.Locals {
+				out[i] = Sample{Labels: cpuLabel(i), Value: float64(l.Stats.Miss.ClampedNegative)}
+			}
+			return out
+		})
+	r.Gauge("hrt_miss_worst_raw_negative_ns",
+		"Most negative raw miss magnitude observed on any CPU.",
+		func() float64 {
+			var worst int64
+			for _, l := range k.Locals {
+				if l.Stats.Miss.WorstRawNegNs < worst {
+					worst = l.Stats.Miss.WorstRawNegNs
+				}
+			}
+			return float64(worst)
+		})
+	r.CounterVec("hrt_watchdog_kicks_total",
+		"Scheduler passes recovered by the timer watchdog, per CPU.",
+		func() []Sample {
+			out := make([]Sample, len(k.Locals))
+			for i, l := range k.Locals {
+				out[i] = Sample{Labels: cpuLabel(i), Value: float64(l.Stats.WatchdogKicks)}
+			}
+			return out
+		})
+
+	deg := func(name, help string, get func(core.DegradeStats) int64) {
+		r.Counter(name, help, func() float64 { return float64(get(k.Degradation())) })
+	}
+	deg("hrt_degrade_sheds_total", "Threads shed by graceful degradation.",
+		func(d core.DegradeStats) int64 { return d.Sheds })
+	deg("hrt_degrade_cohorts_total", "Atomic shed operations (a whole group counts once).",
+		func(d core.DegradeStats) int64 { return d.Cohorts })
+	deg("hrt_degrade_demoted_total", "Threads demoted to aperiodic by shedding.",
+		func(d core.DegradeStats) int64 { return d.Demoted })
+	deg("hrt_degrade_shrunk_total", "Threads whose slice was shrunk by shedding.",
+		func(d core.DegradeStats) int64 { return d.Shrunk })
+	deg("hrt_degrade_evicted_total", "Threads parked entirely by shedding.",
+		func(d core.DegradeStats) int64 { return d.Evicted })
+	deg("hrt_readmit_attempts_total", "Re-admission attempts for shed threads.",
+		func(d core.DegradeStats) int64 { return d.ReadmitAttempts })
+	deg("hrt_readmitted_total", "Shed threads successfully re-admitted.",
+		func(d core.DegradeStats) int64 { return d.Readmitted })
+	deg("hrt_readmit_gave_up_total", "Shed threads whose re-admission backoff gave up.",
+		func(d core.DegradeStats) int64 { return d.ReadmitGaveUp })
+}
+
+func cpuLabel(i int) []Label {
+	return []Label{{"cpu", fmt.Sprint(i)}}
+}

@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"container/list"
+
+	"hrtsched/internal/plan"
+)
+
+// lru is a fixed-capacity least-recently-used cache from canonical task-set
+// digest to admission verdict. It is owned by exactly one shard goroutine,
+// so it needs no internal locking; the shard exposes entry counts through
+// its own atomics.
+type lru struct {
+	cap int
+	ll  *list.List
+	m   map[uint64]*list.Element
+}
+
+type lruEntry struct {
+	key uint64
+	v   plan.Verdict
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{cap: capacity, ll: list.New(), m: make(map[uint64]*list.Element, capacity)}
+}
+
+// get returns the cached verdict for key and refreshes its recency.
+func (c *lru) get(key uint64) (plan.Verdict, bool) {
+	e, ok := c.m[key]
+	if !ok {
+		return plan.Verdict{}, false
+	}
+	c.ll.MoveToFront(e)
+	return e.Value.(*lruEntry).v, true
+}
+
+// put inserts or refreshes key, evicting the least-recently-used entry when
+// over capacity.
+func (c *lru) put(key uint64, v plan.Verdict) {
+	if e, ok := c.m[key]; ok {
+		c.ll.MoveToFront(e)
+		e.Value.(*lruEntry).v = v
+		return
+	}
+	c.m[key] = c.ll.PushFront(&lruEntry{key: key, v: v})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*lruEntry).key)
+	}
+}
+
+func (c *lru) len() int { return c.ll.Len() }

@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hrtsched/internal/stats"
+)
+
+// Registry is a pull-based metrics registry rendering the Prometheus text
+// exposition format. Metrics are registered once with a collect callback
+// and sampled at scrape time, so exposing a counter costs nothing on the
+// hot path — the callback reads whatever atomic or kernel counter backs it.
+// Both hrtd's /metrics endpoint and cmd/chaos's -metrics dump render
+// through this one code path.
+type Registry struct {
+	metrics []*metric
+}
+
+// Label is one name="value" pair on a sample.
+type Label struct {
+	Key, Value string
+}
+
+// Sample is one observed value of a metric, with optional labels.
+type Sample struct {
+	Labels []Label
+	Value  float64
+}
+
+// HistSample is one labelled histogram snapshot.
+type HistSample struct {
+	Labels []Label
+	H      *stats.Histogram
+}
+
+type metricKind uint8
+
+const (
+	counterKind metricKind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+type metric struct {
+	name, help  string
+	kind        metricKind
+	collect     func() []Sample
+	collectHist func() []HistSample
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) add(m *metric) {
+	r.metrics = append(r.metrics, m)
+}
+
+// Counter registers a single-sample counter read from fn at scrape time.
+func (r *Registry) Counter(name, help string, fn func() float64) {
+	r.add(&metric{name: name, help: help, kind: counterKind,
+		collect: func() []Sample { return []Sample{{Value: fn()}} }})
+}
+
+// CounterVec registers a labelled counter family.
+func (r *Registry) CounterVec(name, help string, fn func() []Sample) {
+	r.add(&metric{name: name, help: help, kind: counterKind, collect: fn})
+}
+
+// Gauge registers a single-sample gauge read from fn at scrape time.
+func (r *Registry) Gauge(name, help string, fn func() float64) {
+	r.add(&metric{name: name, help: help, kind: gaugeKind,
+		collect: func() []Sample { return []Sample{{Value: fn()}} }})
+}
+
+// GaugeVec registers a labelled gauge family.
+func (r *Registry) GaugeVec(name, help string, fn func() []Sample) {
+	r.add(&metric{name: name, help: help, kind: gaugeKind, collect: fn})
+}
+
+// Histogram registers a labelled histogram family; fn returns consistent
+// snapshots (the caller must copy under its own lock if the histogram is
+// concurrently written).
+func (r *Registry) Histogram(name, help string, fn func() []HistSample) {
+	r.add(&metric{name: name, help: help, kind: histogramKind, collectHist: fn})
+}
+
+// WriteTo renders every registered metric in the Prometheus text format.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	for _, m := range r.metrics {
+		fmt.Fprintf(&b, "# HELP %s %s\n", m.name, m.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, m.kind)
+		if m.kind == histogramKind {
+			for _, hs := range m.collectHist() {
+				renderHist(&b, m.name, hs)
+			}
+			continue
+		}
+		for _, s := range m.collect() {
+			b.WriteString(m.name)
+			writeLabels(&b, s.Labels)
+			b.WriteByte(' ')
+			b.WriteString(formatFloat(s.Value))
+			b.WriteByte('\n')
+		}
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// Render returns the text exposition as a string.
+func (r *Registry) Render() string {
+	var b strings.Builder
+	r.WriteTo(&b) //nolint:errcheck — strings.Builder cannot fail
+	return b.String()
+}
+
+// Handler serves the registry at any path, Prometheus content type.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteTo(w) //nolint:errcheck — nothing useful to do on a client hangup
+	})
+}
+
+func renderHist(b *strings.Builder, name string, hs HistSample) {
+	h := hs.H
+	if h == nil {
+		return
+	}
+	// Cumulative buckets; underflow mass is below the first upper edge.
+	cum := h.Under
+	for i := range h.Buckets {
+		cum += h.Buckets[i]
+		upper := h.BucketLo(i) + (h.Hi-h.Lo)/float64(len(h.Buckets))
+		b.WriteString(name + "_bucket")
+		writeLabels(b, append(append([]Label(nil), hs.Labels...), Label{"le", formatFloat(upper)}))
+		fmt.Fprintf(b, " %d\n", cum)
+	}
+	b.WriteString(name + "_bucket")
+	writeLabels(b, append(append([]Label(nil), hs.Labels...), Label{"le", "+Inf"}))
+	fmt.Fprintf(b, " %d\n", h.N())
+	b.WriteString(name + "_count")
+	writeLabels(b, hs.Labels)
+	fmt.Fprintf(b, " %d\n", h.N())
+}
+
+func writeLabels(b *strings.Builder, labels []Label) {
+	if len(labels) == 0 {
+		return
+	}
+	// Stable output: sort by key, except "le" always sorts last by
+	// Prometheus convention.
+	sorted := append([]Label(nil), labels...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if (sorted[i].Key == "le") != (sorted[j].Key == "le") {
+			return sorted[j].Key == "le"
+		}
+		return sorted[i].Key < sorted[j].Key
+	})
+	b.WriteByte('{')
+	for i, l := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"hrtsched/internal/stats"
+)
+
+func TestRegistryRendersPrometheusText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_total", "A counter.", func() float64 { return 42 })
+	r.Gauge("test_depth", "A gauge.", func() float64 { return 3.5 })
+	r.GaugeVec("test_labelled", "A labelled gauge.", func() []Sample {
+		return []Sample{
+			{Labels: []Label{{"shard", "0"}}, Value: 1},
+			{Labels: []Label{{"shard", "1"}}, Value: 2},
+		}
+	})
+	text := r.Render()
+	for _, want := range []string{
+		"# HELP test_total A counter.",
+		"# TYPE test_total counter",
+		"test_total 42",
+		"# TYPE test_depth gauge",
+		"test_depth 3.5",
+		`test_labelled{shard="0"} 1`,
+		`test_labelled{shard="1"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestRegistryHistogramRendering(t *testing.T) {
+	h := stats.NewHistogram(0, 100, 4) // buckets [0,25) [25,50) [50,75) [75,100)
+	for _, x := range []float64{10, 30, 30, 60, 120} {
+		h.Add(x)
+	}
+	r := NewRegistry()
+	r.Histogram("lat_us", "Latency.", func() []HistSample {
+		return []HistSample{{Labels: []Label{{"shard", "0"}}, H: h}}
+	})
+	text := r.Render()
+	for _, want := range []string{
+		"# TYPE lat_us histogram",
+		`lat_us_bucket{shard="0",le="25"} 1`,
+		`lat_us_bucket{shard="0",le="50"} 3`,
+		`lat_us_bucket{shard="0",le="75"} 4`,
+		`lat_us_bucket{shard="0",le="100"} 4`,
+		`lat_us_bucket{shard="0",le="+Inf"} 5`, // overflow sample
+		`lat_us_count{shard="0"} 5`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeVec("esc", "Escapes.", func() []Sample {
+		return []Sample{{Labels: []Label{{"k", "a\"b\\c\nd"}}, Value: 1}}
+	})
+	if got := r.Render(); !strings.Contains(got, `esc{k="a\"b\\c\nd"} 1`) {
+		t.Fatalf("bad escaping:\n%s", got)
+	}
+}

@@ -171,6 +171,68 @@ func (h *Histogram) BucketLo(i int) float64 {
 	return h.Lo + (h.Hi-h.Lo)*float64(i)/float64(len(h.Buckets))
 }
 
+// Quantile returns the q-th quantile (0 <= q <= 1) estimated from the
+// bucket counts by linear interpolation inside the containing bucket.
+// Underflow mass is attributed to the Lo edge and overflow mass to the Hi
+// edge, so the estimate is clamped to [Lo, Hi]. It returns NaN for an
+// empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.n)
+	cum := float64(h.Under)
+	if target <= cum {
+		return h.Lo
+	}
+	width := (h.Hi - h.Lo) / float64(len(h.Buckets))
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if target <= next {
+			return h.BucketLo(i) + width*(target-cum)/float64(c)
+		}
+		cum = next
+	}
+	return h.Hi // the target rank lies in the overflow mass
+}
+
+// Merge folds another histogram with identical bounds and bucket count into
+// this one — the aggregation step behind merged per-shard latency
+// histograms. Merging a nil or empty histogram is a no-op; mismatched
+// shapes are an error.
+func (h *Histogram) Merge(o *Histogram) error {
+	if o == nil || o.n == 0 {
+		return nil
+	}
+	if o.Lo != h.Lo || o.Hi != h.Hi || len(o.Buckets) != len(h.Buckets) {
+		return fmt.Errorf("stats: merge shape mismatch: [%g,%g)x%d vs [%g,%g)x%d",
+			h.Lo, h.Hi, len(h.Buckets), o.Lo, o.Hi, len(o.Buckets))
+	}
+	for i, c := range o.Buckets {
+		h.Buckets[i] += c
+	}
+	h.Under += o.Under
+	h.Over += o.Over
+	h.n += o.n
+	return nil
+}
+
+// Clone returns an independent copy of the histogram.
+func (h *Histogram) Clone() *Histogram {
+	c := *h
+	c.Buckets = append([]int64(nil), h.Buckets...)
+	return &c
+}
+
 // Render draws the histogram as rows of "lo..hi count bar" text, a
 // plain-terminal stand-in for the paper's figure panels.
 func (h *Histogram) Render(width int) string {

@@ -220,3 +220,115 @@ func TestSeriesSortByX(t *testing.T) {
 		t.Fatalf("not sorted: %+v", s.Points)
 	}
 }
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatalf("empty histogram quantile should be NaN, got %g", h.Quantile(0.5))
+	}
+}
+
+func TestHistogramQuantileSingleBucket(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	for i := 0; i < 7; i++ {
+		h.Add(45) // all mass in bucket [40,50)
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		v := h.Quantile(q)
+		if v < 40 || v > 50 {
+			t.Fatalf("q=%g landed at %g, want inside the single occupied bucket [40,50)", q, v)
+		}
+	}
+	// Clamping: quantiles never escape [Lo, Hi].
+	if v := h.Quantile(0); v < 0 || v > 100 {
+		t.Fatalf("q=0 escaped range: %g", v)
+	}
+	if v := h.Quantile(1); v < 0 || v > 100 {
+		t.Fatalf("q=1 escaped range: %g", v)
+	}
+}
+
+func TestHistogramQuantileOutOfRangeMass(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	h.Add(-5) // underflow
+	h.Add(-7)
+	h.Add(500) // overflow
+	if v := h.Quantile(0.1); v != 0 {
+		t.Fatalf("underflow-dominated quantile = %g, want Lo edge 0", v)
+	}
+	if v := h.Quantile(0.99); v != 100 {
+		t.Fatalf("overflow-dominated quantile = %g, want Hi edge 100", v)
+	}
+}
+
+func TestHistogramQuantileInterpolates(t *testing.T) {
+	h := NewHistogram(0, 100, 100) // 1-wide buckets
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	for _, q := range []float64{0.25, 0.5, 0.9} {
+		v := h.Quantile(q)
+		want := q * 100
+		if math.Abs(v-want) > 1.5 {
+			t.Fatalf("q=%g: got %g, want ~%g", q, v, want)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(0, 100, 10)
+	b := NewHistogram(0, 100, 10)
+	seq := NewHistogram(0, 100, 10)
+	for i := 0; i < 50; i++ {
+		x := float64(i * 3 % 120) // spills into overflow sometimes
+		a.Add(x)
+		seq.Add(x)
+	}
+	for i := 0; i < 30; i++ {
+		x := float64(i) - 3 // some underflow
+		b.Add(x)
+		seq.Add(x)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if a.N() != seq.N() || a.Under != seq.Under || a.Over != seq.Over {
+		t.Fatalf("merged totals differ: n=%d/%d under=%d/%d over=%d/%d",
+			a.N(), seq.N(), a.Under, seq.Under, a.Over, seq.Over)
+	}
+	for i := range a.Buckets {
+		if a.Buckets[i] != seq.Buckets[i] {
+			t.Fatalf("bucket %d: merged %d != sequential %d", i, a.Buckets[i], seq.Buckets[i])
+		}
+	}
+	if a.Quantile(0.5) != seq.Quantile(0.5) {
+		t.Fatalf("merged median %g != sequential %g", a.Quantile(0.5), seq.Quantile(0.5))
+	}
+}
+
+func TestHistogramMergeEmptyAndNil(t *testing.T) {
+	a := NewHistogram(0, 10, 5)
+	a.Add(3)
+	if err := a.Merge(nil); err != nil || a.N() != 1 {
+		t.Fatalf("nil merge changed state or errored: %v n=%d", err, a.N())
+	}
+	if err := a.Merge(NewHistogram(0, 10, 5)); err != nil || a.N() != 1 {
+		t.Fatalf("empty merge changed state or errored: %v n=%d", err, a.N())
+	}
+	// Shape mismatch must error (only detected once the source has data).
+	bad := NewHistogram(0, 20, 5)
+	bad.Add(1)
+	if err := a.Merge(bad); err == nil {
+		t.Fatalf("shape-mismatched merge silently accepted")
+	}
+}
+
+func TestHistogramClone(t *testing.T) {
+	a := NewHistogram(0, 10, 5)
+	a.Add(1)
+	c := a.Clone()
+	c.Add(2)
+	if a.N() != 1 || c.N() != 2 {
+		t.Fatalf("clone not independent: a.n=%d c.n=%d", a.N(), c.N())
+	}
+}
