@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: ci build vet test race chaos bench serve-smoke
+.PHONY: ci build vet test race planverify chaos bench serve-smoke cluster-smoke
 
 # ci is the tier-1 gate: every change must pass vet, build, the race-
-# enabled test suite, and the serving-layer smoke before it lands (see
-# README "Testing").
-ci: vet build race serve-smoke
+# enabled test suite, the planverify cross-check, and both serving-layer
+# smokes before it lands (see README "Testing").
+ci: vet build race planverify serve-smoke cluster-smoke
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# planverify rebuilds the admission layers with the verification tag on,
+# so every Incremental verdict is asserted bit-identical to a fresh full
+# Analyze of the same candidate, under the race detector.
+planverify:
+	$(GO) vet -tags planverify ./internal/plan ./internal/serve
+	$(GO) test -race -tags planverify ./internal/plan ./internal/serve
 
 # chaos smoke-runs every fault-injection scenario at a fixed seed and fails
 # on any invariant violation.
@@ -41,3 +48,16 @@ serve-smoke:
 	for i in $$(seq 100); do [ -s "$$dir"/addr ] && break; sleep 0.1; done; \
 	if ! [ -s "$$dir"/addr ]; then echo "serve-smoke: hrtd never bound"; cat "$$dir"/hrtd.log; exit 1; fi; \
 	"$$dir"/hrtload -addr "$$(cat "$$dir"/addr)" -dur 2s -conns 16 -check
+
+# cluster-smoke boots hrtd with a 4-node placement cluster, drives the
+# v1 cluster endpoints with hrtload in cluster mode for two seconds, and
+# fails unless placements both succeeded and showed up in /metrics.
+cluster-smoke:
+	@set -e; dir=$$(mktemp -d); pid=; \
+	cleanup() { [ -n "$$pid" ] && kill $$pid 2>/dev/null || true; rm -rf "$$dir"; }; \
+	trap cleanup EXIT; \
+	$(GO) build -o "$$dir" ./cmd/hrtd ./cmd/hrtload; \
+	"$$dir"/hrtd -addr 127.0.0.1:0 -addr-file "$$dir"/addr -nodes 4 -policy worst-fit >"$$dir"/hrtd.log 2>&1 & pid=$$!; \
+	for i in $$(seq 100); do [ -s "$$dir"/addr ] && break; sleep 0.1; done; \
+	if ! [ -s "$$dir"/addr ]; then echo "cluster-smoke: hrtd never bound"; cat "$$dir"/hrtd.log; exit 1; fi; \
+	"$$dir"/hrtload -addr "$$(cat "$$dir"/addr)" -mode cluster -dur 2s -conns 8 -check

@@ -413,6 +413,26 @@ func PlaceFirstFit(spec PlanSpec, ncpus int, sets []PlanTaskSet) (Placement, err
 	return plan.PlaceFirstFit(spec, ncpus, sets)
 }
 
+// IncrementalPlan is the stateful admission analyzer for one CPU: it
+// retains the admitted task set and its demand decomposition so a
+// one-task delta is answered by patching rather than re-simulating the
+// whole hyperperiod, falling back to the full analysis whenever the
+// hyperperiod shifts. Its verdicts are equivalent (PlanVerdictsEquivalent)
+// to AnalyzeTaskSet on the same candidate set — asserted on every verdict
+// under `go test -tags planverify`.
+type IncrementalPlan = plan.Incremental
+
+// IncrementalPlanStats counts how often an IncrementalPlan answered by
+// patching versus falling back to the full analysis.
+type IncrementalPlanStats = plan.IncrementalStats
+
+// NewIncrementalPlan creates an empty per-CPU incremental analyzer.
+func NewIncrementalPlan(spec PlanSpec) *IncrementalPlan { return plan.NewIncremental(spec) }
+
+// PlanVerdictsEquivalent reports whether two verdicts agree on everything
+// but the simulation step counter (a work measure, not a decision).
+func PlanVerdictsEquivalent(a, b PlanVerdict) bool { return plan.VerdictsEquivalent(a, b) }
+
 // --- Admission-query service (internal/serve) --------------------------------
 
 // ServeConfig configures the sharded admission-query server.
@@ -427,6 +447,56 @@ type MetricsRegistry = serve.Registry
 
 // NewServer starts an admission-query server; Close releases its shards.
 func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }
+
+// MustNewServer is NewServer for statically-correct configurations; it
+// panics on error.
+func MustNewServer(cfg ServeConfig) *Server {
+	s, err := serve.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Cluster is the stateful placement session behind cmd/hrtd's
+// /v1/cluster routes: N simulated nodes, each owning an IncrementalPlan
+// behind a bounded mutation queue, with first-fit/worst-fit placement,
+// node drain, and rebalancing.
+type Cluster = serve.Cluster
+
+// ClusterConfig configures a Cluster.
+type ClusterConfig = serve.ClusterConfig
+
+// PlacePolicy selects how a Cluster orders candidate nodes.
+type PlacePolicy = serve.Policy
+
+// Placement policies.
+const (
+	PlaceFirstFitPolicy = serve.FirstFit
+	PlaceWorstFitPolicy = serve.WorstFit
+)
+
+// PlaceResult reports one Cluster placement attempt.
+type PlaceResult = serve.PlaceResult
+
+// DrainReport summarizes one Cluster node drain.
+type DrainReport = serve.DrainReport
+
+// ClusterStatus is a Cluster's session-wide status snapshot.
+type ClusterStatus = serve.ClusterStatus
+
+// NewCluster starts a placement session; Close releases its node workers.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return serve.NewCluster(cfg) }
+
+// MustNewCluster is NewCluster for statically-correct configurations; it
+// panics on error.
+func MustNewCluster(cfg ClusterConfig) *Cluster {
+	c, err := serve.NewCluster(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
 
 // NewMetricsRegistry creates an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return serve.NewRegistry() }

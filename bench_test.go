@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"hrtsched/internal/experiments"
+	"hrtsched/internal/plan"
 	"hrtsched/internal/stats"
 )
 
@@ -271,4 +272,79 @@ func BenchmarkExtIsolation(b *testing.B) {
 	}
 	b.ReportMetric(holds, "isolation-holds")
 	b.ReportMetric(fig.Series[0].Points[2].Y, "legion-tasks-done")
+}
+
+// incrementalBenchSet builds the 64-task harmonic baseline used by the
+// incremental-vs-full delta benchmarks: periods over {100,200,400,800} us
+// (hyperperiod 800 us, ~240 jobs per full simulation) with small distinct
+// slices so the whole set admits with headroom for one more task.
+func incrementalBenchSet() (plan.Spec, plan.TaskSet, plan.Task) {
+	spec := plan.Spec{OverheadNs: 200, UtilizationLimit: 0.99}
+	periods := []int64{100_000, 200_000, 400_000, 800_000}
+	var set plan.TaskSet
+	for i := 0; i < 64; i++ {
+		p := periods[i%len(periods)]
+		set = append(set, plan.Task{PeriodNs: p, SliceNs: p/128 + int64(i)})
+	}
+	delta := plan.Task{PeriodNs: 400_000, SliceNs: 500}
+	return spec, set, delta
+}
+
+// BenchmarkIncrementalSingleTaskDelta measures the retained-state path:
+// one add plus one remove of a dividing-period task against a committed
+// 64-task set, each answered by patching the demand decomposition.
+func BenchmarkIncrementalSingleTaskDelta(b *testing.B) {
+	spec, set, delta := incrementalBenchSet()
+	inc := plan.NewIncremental(spec)
+	if v := inc.TryGang(set); !v.Admit {
+		b.Fatalf("baseline set rejected: %+v", v)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := inc.Add(delta); !v.Admit {
+			b.Fatalf("delta rejected: %+v", v)
+		}
+		if _, found := inc.Remove(delta); !found {
+			b.Fatal("delta not found for removal")
+		}
+	}
+	b.StopTimer()
+	if inc.Stats().IncrementalOps == 0 {
+		b.Fatalf("deltas never took the incremental path: %+v", inc.Stats())
+	}
+}
+
+// BenchmarkFullReanalysisSingleTaskDelta is the same decision answered the
+// stateless way: a full Analyze of all 65 tasks per delta.
+func BenchmarkFullReanalysisSingleTaskDelta(b *testing.B) {
+	spec, set, delta := incrementalBenchSet()
+	candidate := append(append(plan.TaskSet{}, set...), delta)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := plan.Analyze(spec, candidate); !v.Admit {
+			b.Fatalf("candidate rejected: %+v", v)
+		}
+	}
+}
+
+// TestIncrementalSpeedupAtLeast10x is the tentpole's performance
+// acceptance bar: a single-task delta against a committed 64-task set
+// must be at least 10x cheaper through plan.Incremental than through a
+// full re-analysis — even though the incremental side is charged two
+// mutations (add + remove) per iteration against the full side's one.
+func TestIncrementalSpeedupAtLeast10x(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark comparison, skipped in -short")
+	}
+	incr := testing.Benchmark(BenchmarkIncrementalSingleTaskDelta)
+	full := testing.Benchmark(BenchmarkFullReanalysisSingleTaskDelta)
+	if incr.N == 0 || incr.NsPerOp() == 0 {
+		t.Fatalf("incremental benchmark did not run: %+v", incr)
+	}
+	ratio := float64(full.NsPerOp()) / float64(incr.NsPerOp())
+	t.Logf("full %v/op, incremental %v/op: %.1fx", full.NsPerOp(), incr.NsPerOp(), ratio)
+	if ratio < 10 {
+		t.Fatalf("incremental speedup %.1fx < 10x (full %dns/op, incremental %dns/op)",
+			ratio, full.NsPerOp(), incr.NsPerOp())
+	}
 }

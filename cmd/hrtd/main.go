@@ -6,8 +6,11 @@
 //
 //	hrtd -machine phi -util 0.99 -addr 127.0.0.1:8080
 //	hrtd -addr 127.0.0.1:0 -addr-file /tmp/hrtd.addr   # ephemeral port
+//	hrtd -nodes 8 -policy worst-fit                    # placement cluster
 //
-// Endpoints: POST /v1/analyze, POST /v1/capacity, GET /metrics, GET /healthz.
+// Endpoints: POST /v1/analyze, POST /v1/capacity, POST /v1/cluster/{place,
+// remove,drain,undrain,rebalance}, GET /v1/cluster/status, GET /metrics,
+// GET /healthz. POST /analyze and /capacity remain as deprecated aliases.
 package main
 
 import (
@@ -37,6 +40,8 @@ func main() {
 		batch    = flag.Int("batch", 0, "max requests per flush (0 = default 64)")
 		flush    = flag.Duration("flush", 0, "batch flush window (0 = default 200us)")
 		cache    = flag.Int("cache", 0, "per-shard verdict cache entries (0 = default 4096)")
+		nodes    = flag.Int("nodes", 4, "placement-cluster nodes (0 disables the cluster routes)")
+		policy   = flag.String("policy", "first-fit", "placement policy: first-fit or worst-fit")
 	)
 	flag.Parse()
 
@@ -66,8 +71,12 @@ func main() {
 	if *overhead < 0 {
 		fail("-overhead-ns must be non-negative (got %d)", *overhead)
 	}
-	if *shards < 0 || *queue < 0 || *batch < 0 || *cache < 0 {
-		fail("-shards, -queue, -batch and -cache must be non-negative")
+	if *shards < 0 || *queue < 0 || *batch < 0 || *cache < 0 || *nodes < 0 {
+		fail("-shards, -queue, -batch, -cache and -nodes must be non-negative")
+	}
+	pol, err := serve.ParsePolicy(*policy)
+	if err != nil {
+		fail("%v", err)
 	}
 	if *flush < 0 {
 		fail("-flush must be non-negative (got %v)", *flush)
@@ -91,6 +100,21 @@ func main() {
 	}
 	defer srv.Close()
 
+	var cluster *serve.Cluster
+	if *nodes > 0 {
+		cluster, err = serve.NewCluster(serve.ClusterConfig{
+			Spec:   planSpec,
+			Nodes:  *nodes,
+			Policy: pol,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hrtd: %v\n", err)
+			os.Exit(1)
+		}
+		defer cluster.Close()
+		cluster.RegisterMetrics(srv.Registry())
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hrtd: listen: %v\n", err)
@@ -104,11 +128,12 @@ func main() {
 		}
 	}
 	cfg := srv.Config()
-	fmt.Printf("hrtd: listening on %s (machine=%s overhead=%dns util=%g shards=%d queue=%d batch=%d flush=%v cache=%d)\n",
+	fmt.Printf("hrtd: listening on %s (machine=%s overhead=%dns util=%g shards=%d queue=%d batch=%d flush=%v cache=%d nodes=%d policy=%s)\n",
 		bound, spec.Name, planSpec.OverheadNs, planSpec.UtilizationLimit,
-		cfg.Shards, cfg.QueueDepth, cfg.BatchSize, cfg.FlushWindow, cfg.CacheEntries)
+		cfg.Shards, cfg.QueueDepth, cfg.BatchSize, cfg.FlushWindow, cfg.CacheEntries,
+		*nodes, pol)
 
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := &http.Server{Handler: srv.HandlerWithCluster(cluster)}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
 

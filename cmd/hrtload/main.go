@@ -1,18 +1,28 @@
-// Command hrtload is a closed-loop load generator for hrtd: N connections
-// each fire admission queries back-to-back for a fixed duration, mixing
-// repeated task sets (drawn from a popular pool, exercising the verdict
-// cache) with unique ones (forcing fresh analyses), then report
-// throughput, latency quantiles, error counts, and the server-side cache
-// hit rate scraped from /metrics.
+// Command hrtload is a closed-loop load generator for hrtd with two modes.
+//
+// In -mode query (the default) N connections each fire admission queries
+// back-to-back for a fixed duration, mixing repeated task sets (drawn
+// from a popular pool, exercising the verdict cache) with unique ones
+// (forcing fresh analyses), then report throughput, latency quantiles,
+// error counts, and the server-side cache hit rate scraped from /metrics.
+//
+// In -mode cluster the connections drive the stateful placement session
+// instead: each worker keeps a small ring of live placements, evicting
+// its oldest set to make room before placing a fresh one, so the cluster
+// churns through admissions and removals for the whole run. The report
+// adds placement/rejection counts and the scraped
+// hrtd_cluster_placed_total.
 //
 // Usage:
 //
 //	hrtload -addr 127.0.0.1:8080 -dur 2s -conns 16 -repeat 0.9
-//	hrtload -addr $(cat /tmp/hrtd.addr) -dur 2s -check   # exit 1 on failure
+//	hrtload -addr $(cat /tmp/hrtd.addr) -dur 2s -check     # exit 1 on failure
+//	hrtload -addr $(cat /tmp/hrtd.addr) -mode cluster -check
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -34,21 +44,25 @@ var periodMenuUs = []int64{100, 200, 250, 500, 1000}
 
 type workerResult struct {
 	requests  int64
-	errors    int64 // transport failures and non-200/429 statuses
+	errors    int64 // transport failures and unexpected statuses
 	sheds     int64 // 429 responses
-	cacheHits int64 // X-Hrtd-Cache: hit
+	cacheHits int64 // X-Hrtd-Cache: hit (query mode)
+	placed    int64 // admitted placements (cluster mode)
+	rejected  int64 // placements every node refused (cluster mode)
 	latencyUs []float64
 }
 
 func main() {
 	var (
 		addr   = flag.String("addr", "", "hrtd address host:port (required)")
+		mode   = flag.String("mode", "query", "load shape: query or cluster")
 		dur    = flag.Duration("dur", 2*time.Second, "how long to generate load")
 		conns  = flag.Int("conns", 16, "concurrent closed-loop connections")
-		pool   = flag.Int("pool", 64, "popular task-set pool size")
+		pool   = flag.Int("pool", 64, "popular task-set pool size (query mode)")
 		repeat = flag.Float64("repeat", 0.9, "fraction of queries drawn from the pool in [0,1]")
+		live   = flag.Int("live", 4, "live placements each worker cycles through (cluster mode)")
 		seed   = flag.Uint64("seed", 11, "random seed")
-		check  = flag.Bool("check", false, "exit 1 on any hard error or a zero cache hit rate")
+		check  = flag.Bool("check", false, "exit 1 on any hard error or a dead cache/cluster")
 	)
 	flag.Parse()
 
@@ -63,6 +77,9 @@ func main() {
 	if *addr == "" {
 		fail("-addr is required")
 	}
+	if *mode != "query" && *mode != "cluster" {
+		fail("-mode must be query or cluster (got %q)", *mode)
+	}
 	if *dur <= 0 {
 		fail("-dur must be positive (got %v)", *dur)
 	}
@@ -75,6 +92,9 @@ func main() {
 	if *repeat < 0 || *repeat > 1 {
 		fail("-repeat must be in [0,1] (got %g)", *repeat)
 	}
+	if *live <= 0 {
+		fail("-live must be positive (got %d)", *live)
+	}
 
 	base := "http://" + *addr
 	client := &http.Client{
@@ -85,56 +105,35 @@ func main() {
 		Timeout: 5 * time.Second,
 	}
 
-	// Popular pool: small sets over the period menu, slices 10-30% of the
-	// period — admissible alone, cheap to simulate, all distinct.
 	rng := sim.NewRand(*seed)
-	poolBodies := make([]string, *pool)
-	for i := range poolBodies {
-		poolBodies[i] = poolBody(rng, i)
-	}
-
-	var uniqueCtr atomic.Int64
 	deadline := time.Now().Add(*dur)
 	results := make([]workerResult, *conns)
+	var uniqueCtr atomic.Int64
 	var wg sync.WaitGroup
-	for w := 0; w < *conns; w++ {
-		wg.Add(1)
-		go func(w int, rng *sim.Rand) {
-			defer wg.Done()
-			res := &results[w]
-			for time.Now().Before(deadline) {
-				var body string
-				if rng.Float64() < *repeat {
-					body = poolBodies[rng.Intn(len(poolBodies))]
-				} else {
-					// Unique single-task set: the counter makes the slice,
-					// and so the canonical digest, never repeat.
-					n := uniqueCtr.Add(1)
-					body = fmt.Sprintf(`{"tasks":[{"period_ns":1000000,"slice_ns":%d}]}`, 1_000+n)
-				}
-				start := time.Now()
-				resp, err := client.Post(base+"/v1/analyze", "application/json", strings.NewReader(body))
-				lat := float64(time.Since(start).Nanoseconds()) / 1e3
-				res.requests++
-				if err != nil {
-					res.errors++
-					continue
-				}
-				io.Copy(io.Discard, resp.Body) //nolint:errcheck — draining for keep-alive
-				resp.Body.Close()
-				switch {
-				case resp.StatusCode == http.StatusOK:
-					res.latencyUs = append(res.latencyUs, lat)
-					if resp.Header.Get("X-Hrtd-Cache") == "hit" {
-						res.cacheHits++
-					}
-				case resp.StatusCode == http.StatusTooManyRequests:
-					res.sheds++
-				default:
-					res.errors++
-				}
-			}
-		}(w, rng.Split())
+
+	switch *mode {
+	case "query":
+		// Popular pool: small sets over the period menu, slices 10-30% of
+		// the period — admissible alone, cheap to simulate, all distinct.
+		poolBodies := make([]string, *pool)
+		for i := range poolBodies {
+			poolBodies[i] = poolBody(rng, i)
+		}
+		for w := 0; w < *conns; w++ {
+			wg.Add(1)
+			go func(res *workerResult, rng *sim.Rand) {
+				defer wg.Done()
+				queryWorker(client, base, deadline, poolBodies, *repeat, &uniqueCtr, res, rng)
+			}(&results[w], rng.Split())
+		}
+	case "cluster":
+		for w := 0; w < *conns; w++ {
+			wg.Add(1)
+			go func(w int, res *workerResult, rng *sim.Rand) {
+				defer wg.Done()
+				clusterWorker(client, base, deadline, w, *live, &uniqueCtr, res, rng)
+			}(w, &results[w], rng.Split())
+		}
 	}
 	wg.Wait()
 
@@ -144,6 +143,8 @@ func main() {
 		total.errors += results[i].errors
 		total.sheds += results[i].sheds
 		total.cacheHits += results[i].cacheHits
+		total.placed += results[i].placed
+		total.rejected += results[i].rejected
 		total.latencyUs = append(total.latencyUs, results[i].latencyUs...)
 	}
 	ok := int64(len(total.latencyUs))
@@ -156,33 +157,161 @@ func main() {
 			stats.Quantile(total.latencyUs, 0.5),
 			stats.Quantile(total.latencyUs, 0.95),
 			stats.Quantile(total.latencyUs, 0.99))
-		fmt.Printf("hrtload: client-observed cache hits %d/%d (%.1f%%)\n",
-			total.cacheHits, ok, 100*float64(total.cacheHits)/float64(ok))
 	}
 
-	serverHitRate, err := scrapeHitRate(client, base)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "hrtload: scrape /metrics: %v\n", err)
+	switch *mode {
+	case "query":
+		if ok > 0 {
+			fmt.Printf("hrtload: client-observed cache hits %d/%d (%.1f%%)\n",
+				total.cacheHits, ok, 100*float64(total.cacheHits)/float64(ok))
+		}
+		serverHitRate, err := scrapeMetric(client, base, "hrtd_cache_hit_rate")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hrtload: scrape /metrics: %v\n", err)
+			if *check {
+				os.Exit(1)
+			}
+		} else {
+			fmt.Printf("hrtload: server cache hit rate %.3f\n", serverHitRate)
+		}
 		if *check {
-			os.Exit(1)
+			switch {
+			case total.errors > 0:
+				fmt.Fprintf(os.Stderr, "hrtload: FAIL: %d hard errors\n", total.errors)
+				os.Exit(1)
+			case ok == 0:
+				fmt.Fprintln(os.Stderr, "hrtload: FAIL: no successful queries")
+				os.Exit(1)
+			case total.cacheHits == 0 || serverHitRate == 0:
+				fmt.Fprintln(os.Stderr, "hrtload: FAIL: cache never hit")
+				os.Exit(1)
+			}
+			fmt.Println("hrtload: OK")
 		}
-	} else {
-		fmt.Printf("hrtload: server cache hit rate %.3f\n", serverHitRate)
+	case "cluster":
+		fmt.Printf("hrtload: %d placed, %d rejected\n", total.placed, total.rejected)
+		serverPlaced, err := scrapeMetric(client, base, "hrtd_cluster_placed_total")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hrtload: scrape /metrics: %v\n", err)
+			if *check {
+				os.Exit(1)
+			}
+		} else {
+			fmt.Printf("hrtload: server placed total %.0f\n", serverPlaced)
+		}
+		if *check {
+			switch {
+			case total.errors > 0:
+				fmt.Fprintf(os.Stderr, "hrtload: FAIL: %d hard errors\n", total.errors)
+				os.Exit(1)
+			case total.placed == 0 || serverPlaced == 0:
+				fmt.Fprintln(os.Stderr, "hrtload: FAIL: nothing placed")
+				os.Exit(1)
+			}
+			fmt.Println("hrtload: OK")
+		}
 	}
+}
 
-	if *check {
-		switch {
-		case total.errors > 0:
-			fmt.Fprintf(os.Stderr, "hrtload: FAIL: %d hard errors\n", total.errors)
-			os.Exit(1)
-		case ok == 0:
-			fmt.Fprintln(os.Stderr, "hrtload: FAIL: no successful queries")
-			os.Exit(1)
-		case total.cacheHits == 0 || serverHitRate == 0:
-			fmt.Fprintln(os.Stderr, "hrtload: FAIL: cache never hit")
-			os.Exit(1)
+// queryWorker fires /v1/analyze queries back-to-back until the deadline.
+func queryWorker(client *http.Client, base string, deadline time.Time,
+	poolBodies []string, repeat float64, uniqueCtr *atomic.Int64,
+	res *workerResult, rng *sim.Rand) {
+	for time.Now().Before(deadline) {
+		var body string
+		if rng.Float64() < repeat {
+			body = poolBodies[rng.Intn(len(poolBodies))]
+		} else {
+			// Unique single-task set: the counter makes the slice, and so
+			// the canonical digest, never repeat.
+			n := uniqueCtr.Add(1)
+			body = fmt.Sprintf(`{"tasks":[{"period_ns":1000000,"slice_ns":%d}]}`, 1_000+n)
 		}
-		fmt.Println("hrtload: OK")
+		start := time.Now()
+		resp, err := client.Post(base+"/v1/analyze", "application/json", strings.NewReader(body))
+		lat := float64(time.Since(start).Nanoseconds()) / 1e3
+		res.requests++
+		if err != nil {
+			res.errors++
+			continue
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck — draining for keep-alive
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			res.latencyUs = append(res.latencyUs, lat)
+			if resp.Header.Get("X-Hrtd-Cache") == "hit" {
+				res.cacheHits++
+			}
+		case resp.StatusCode == http.StatusTooManyRequests:
+			res.sheds++
+		default:
+			res.errors++
+		}
+	}
+}
+
+// clusterWorker churns the placement session: before each new placement
+// it evicts its oldest live set once the ring is full, so admissions and
+// removals interleave for the whole run.
+func clusterWorker(client *http.Client, base string, deadline time.Time,
+	w, ringSize int, uniqueCtr *atomic.Int64, res *workerResult, rng *sim.Rand) {
+	var ring []string
+	for time.Now().Before(deadline) {
+		if len(ring) >= ringSize {
+			id := ring[0]
+			ring = ring[1:]
+			body := fmt.Sprintf(`{"id":%q}`, id)
+			resp, err := client.Post(base+"/v1/cluster/remove", "application/json", strings.NewReader(body))
+			res.requests++
+			if err != nil {
+				res.errors++
+				continue
+			}
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusOK, http.StatusNotFound:
+			case http.StatusTooManyRequests:
+				res.sheds++
+			default:
+				res.errors++
+			}
+		}
+
+		n := uniqueCtr.Add(1)
+		id := fmt.Sprintf("w%d-%d", w, n)
+		periodNs := periodMenuUs[rng.Intn(len(periodMenuUs))] * 1000
+		sliceNs := periodNs/20 + rng.Int63n(periodNs/10)
+		body := fmt.Sprintf(`{"id":%q,"tasks":[{"period_ns":%d,"slice_ns":%d}]}`,
+			id, periodNs, sliceNs)
+		start := time.Now()
+		resp, err := client.Post(base+"/v1/cluster/place", "application/json", strings.NewReader(body))
+		lat := float64(time.Since(start).Nanoseconds()) / 1e3
+		res.requests++
+		if err != nil {
+			res.errors++
+			continue
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			res.latencyUs = append(res.latencyUs, lat)
+			var placed struct {
+				Placed bool `json:"placed"`
+			}
+			if json.Unmarshal(b, &placed) == nil && placed.Placed {
+				res.placed++
+				ring = append(ring, id)
+			} else {
+				res.rejected++
+			}
+		case resp.StatusCode == http.StatusTooManyRequests:
+			res.sheds++
+		default:
+			res.errors++
+		}
 	}
 }
 
@@ -205,8 +334,8 @@ func poolBody(rng *sim.Rand, i int) string {
 	return b.String()
 }
 
-// scrapeHitRate pulls /metrics and extracts hrtd_cache_hit_rate.
-func scrapeHitRate(client *http.Client, base string) (float64, error) {
+// scrapeMetric pulls /metrics and extracts the named unlabelled sample.
+func scrapeMetric(client *http.Client, base, name string) (float64, error) {
 	resp, err := client.Get(base + "/metrics")
 	if err != nil {
 		return 0, err
@@ -215,12 +344,12 @@ func scrapeHitRate(client *http.Client, base string) (float64, error) {
 	sc := bufio.NewScanner(resp.Body)
 	for sc.Scan() {
 		line := sc.Text()
-		if v, found := strings.CutPrefix(line, "hrtd_cache_hit_rate "); found {
+		if v, found := strings.CutPrefix(line, name+" "); found {
 			return strconv.ParseFloat(strings.TrimSpace(v), 64)
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return 0, err
 	}
-	return 0, fmt.Errorf("hrtd_cache_hit_rate not found in /metrics")
+	return 0, fmt.Errorf("%s not found in /metrics", name)
 }

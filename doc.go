@@ -27,7 +27,20 @@
 //	}))
 //	k.RunNs(50_000_000)
 //
+// # Constructors
+//
+// Fallible constructors follow one convention across the whole surface:
+// NewX(...) (*X, error) validates its arguments and returns an error —
+// use it whenever the inputs come from configuration or callers; and
+// MustNewX(...) *X is the same constructor for statically-correct call
+// sites (literal sizes, compile-time configs), panicking on error the way
+// regexp.MustCompile does. Every MustNewX is exactly NewX with the error
+// turned into a panic — never a different code path. Infallible
+// constructors (NewMachine, NewIncrementalPlan, NewMetricsRegistry, …)
+// return the value alone and have no Must variant.
+//
 // The cmd/hrtbench tool regenerates every figure of the paper's evaluation;
 // cmd/scopeview renders the oscilloscope verification; cmd/sweep runs
-// individual BSP benchmark points.
+// individual BSP benchmark points; cmd/hrtd serves the analysis over HTTP
+// (see the v1 API contract in DESIGN.md) and cmd/hrtload load-tests it.
 package hrtsched

@@ -1,6 +1,7 @@
 package hrtsched_test
 
 import (
+	"context"
 	"fmt"
 
 	"hrtsched"
@@ -103,4 +104,44 @@ func ExampleNewMMU() {
 	}
 	fmt.Println("covered:", mmu.Covered(), "misses after startup:", mmu.TLB.Misses-before)
 	// Output: covered: true misses after startup: 0
+}
+
+// ExampleAnalyzeTaskSet answers offline admission for a periodic task set
+// on the Phi platform model: the closed-form utilization bound plus an
+// exact hyperperiod simulation with charged scheduler overhead.
+func ExampleAnalyzeTaskSet() {
+	spec := hrtsched.PlanSpecFor(hrtsched.PhiKNL(), 0.99)
+	v := hrtsched.AnalyzeTaskSet(spec, hrtsched.PlanTaskSet{
+		{PeriodNs: 100_000, SliceNs: 30_000},
+		{PeriodNs: 200_000, SliceNs: 60_000},
+	})
+	fmt.Printf("admit: %v reason: %s utilization: %.2f hyperperiod: %d ns\n",
+		v.Admit, v.Reason, v.Utilization, v.Sim.HyperperiodNs)
+	// Output: admit: true reason: ok utilization: 0.60 hyperperiod: 200000 ns
+}
+
+// ExampleNewServer runs the admission-query service in-process: queries
+// are sharded by task-set digest and repeated sets answer from the
+// verdict cache.
+func ExampleNewServer() {
+	srv, err := hrtsched.NewServer(hrtsched.ServeConfig{
+		Spec:   hrtsched.PlanSpecFor(hrtsched.PhiKNL(), 0.99),
+		Shards: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+
+	set := hrtsched.PlanTaskSet{{PeriodNs: 1_000_000, SliceNs: 250_000}}
+	v, cached1, err := srv.AnalyzeContext(context.Background(), set)
+	if err != nil {
+		panic(err)
+	}
+	_, cached2, err := srv.AnalyzeContext(context.Background(), set)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("admit:", v.Admit, "first cached:", cached1, "second cached:", cached2)
+	// Output: admit: true first cached: false second cached: true
 }

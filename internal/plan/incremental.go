@@ -1,0 +1,444 @@
+package plan
+
+// Incremental is the stateful, per-CPU admission engine. It answers the
+// same admit/reject question as Analyze — bit-identically, see
+// VerdictsEquivalent and the planverify build tag — but keeps the admitted
+// task set, its hyperperiod decomposition, and the demand each admitted
+// task places on every deadline checkpoint as reusable state, so a
+// single-task delta is answered by patching that state instead of
+// re-simulating the whole hyperperiod from scratch.
+//
+// The retained state is the processor demand curve of the admitted set:
+// for a synchronous periodic set with deadlines equal to periods, EDF
+// meets every deadline over the hyperperiod H exactly when, at every
+// deadline checkpoint t (every multiple of an admitted period up to H),
+// the total inflated demand released with deadline <= t fits in t. That
+// criterion is exact — it accepts and rejects precisely the sets the
+// hyperperiod simulation accepts and rejects — and it is patchable: a new
+// task with period P dividing H adds floor(t/P)*rem demand at each
+// retained checkpoint plus introduces its own multiples of P, and a
+// removed task subtracts the same, both in time proportional to the delta
+// rather than to the hyperperiod.
+//
+// The engine falls back to the full simulation (Analyze) whenever the
+// patch would not be exact or would not be cheap:
+//
+//   - the hyperperiod changes (LCM shift): the checkpoint set is stale,
+//     so the candidate is re-analyzed in full and the state rebuilt;
+//   - the candidate is within reach of the simulation's conservative
+//     rejections (step budget): the simulation's SimSteps verdict depends
+//     on its exact event count, so any set whose worst-case event count
+//     could exceed MaxSimSteps is handed to the real simulation;
+//   - the engine holds no valid state (empty set, or a committed set the
+//     full analysis itself rejected conservatively).
+//
+// Incremental is not safe for concurrent use; give each CPU (or each
+// cluster node) its own engine.
+type Incremental struct {
+	spec Spec
+
+	tasks TaskSet // committed tasks, in admission order
+	rems  []int64 // per-task inflated per-job demand (slice + 2*overhead)
+	hyper int64   // hyperperiod of tasks (0 when empty)
+	jobs  int64   // total jobs per hyperperiod: sum of hyper/period
+
+	// points is the retained demand curve: one entry per deadline
+	// checkpoint, demand = total inflated demand with deadline <= t.
+	// Unordered; index maps checkpoint time to its slice position.
+	points []demandPoint
+	index  map[int64]int
+
+	// valid reports whether points/jobs describe tasks exactly; it is
+	// false while the committed set is one the full analysis rejected
+	// conservatively (possible only through Remove) — every operation
+	// then takes the full path until an admitted commit rebuilds state.
+	valid bool
+
+	last  Verdict // verdict of the committed set
+	stats IncrementalStats
+}
+
+type demandPoint struct {
+	t      int64
+	demand int64
+}
+
+// IncrementalStats counts which path answered each operation.
+type IncrementalStats struct {
+	// IncrementalOps is the number of verdicts produced by patching the
+	// retained demand curve.
+	IncrementalOps int64
+	// FullAnalyses is the number of verdicts that fell back to the full
+	// Analyze (hyperperiod shift, step-budget risk, bad task, or no
+	// retained state).
+	FullAnalyses int64
+}
+
+// stepRiskMargin: the hyperperiod simulation takes at most 3*jobs+1 steps
+// (every job completes in >=1 segment, each release instant truncates at
+// most one running segment and absorbs at most one idle advance), so any
+// set with 3*jobs+stepRiskMargin <= MaxSimSteps is guaranteed never to hit
+// the SimSteps conservative rejection and the demand-curve verdict is
+// exact. Anything closer to the budget is handed to the real simulation.
+const stepRiskMargin = 8
+
+// NewIncremental creates an empty engine for the spec.
+func NewIncremental(spec Spec) *Incremental {
+	inc := &Incremental{spec: spec, index: map[int64]int{}, valid: true}
+	inc.last = Analyze(spec, nil)
+	return inc
+}
+
+// Spec returns the platform spec the engine analyzes under.
+func (inc *Incremental) Spec() Spec { return inc.spec }
+
+// Len returns the number of committed tasks.
+func (inc *Incremental) Len() int { return len(inc.tasks) }
+
+// Tasks returns a copy of the committed task set in admission order.
+func (inc *Incremental) Tasks() TaskSet { return append(TaskSet(nil), inc.tasks...) }
+
+// Hyperperiod returns the committed set's hyperperiod (0 when empty).
+func (inc *Incremental) Hyperperiod() int64 { return inc.hyper }
+
+// Utilization returns the committed set's summed utilization.
+func (inc *Incremental) Utilization() float64 { return inc.tasks.Utilization() }
+
+// Verdict returns the verdict of the committed set, as Analyze would
+// report it.
+func (inc *Incremental) Verdict() Verdict { return inc.last }
+
+// Stats reports how many operations took each decision path.
+func (inc *Incremental) Stats() IncrementalStats { return inc.stats }
+
+// Reset empties the engine.
+func (inc *Incremental) Reset() {
+	inc.tasks, inc.rems, inc.points = nil, nil, nil
+	inc.index = map[int64]int{}
+	inc.hyper, inc.jobs = 0, 0
+	inc.valid = true
+	inc.last = Analyze(inc.spec, nil)
+}
+
+// Add evaluates the committed set plus one task and commits it when
+// admitted. The verdict describes the combined set either way; a
+// rejection leaves the engine unchanged.
+func (inc *Incremental) Add(t Task) Verdict { return inc.TryGang(TaskSet{t}) }
+
+// TryGang evaluates the committed set plus a gang, all-or-nothing: the
+// gang is committed only when the combined set is admitted, and a
+// rejection admits no member. The verdict describes the combined set.
+func (inc *Incremental) TryGang(gang TaskSet) Verdict {
+	if len(gang) == 0 {
+		return inc.last
+	}
+	candidate := make(TaskSet, 0, len(inc.tasks)+len(gang))
+	candidate = append(append(candidate, inc.tasks...), gang...)
+
+	gangRems, gangJobs, eligible := inc.gangEligible(gang)
+	var v Verdict
+	if eligible {
+		inc.stats.IncrementalOps++
+		v = inc.patchVerdict(candidate, gang, gangRems)
+		verifyVerdict(inc.spec, candidate, v)
+		if v.Admit {
+			inc.commitGang(gang, gangRems, gangJobs)
+			inc.last = v
+		}
+		return v
+	}
+
+	inc.stats.FullAnalyses++
+	v = Analyze(inc.spec, candidate)
+	verifyVerdict(inc.spec, candidate, v)
+	if v.Admit {
+		inc.rebuild(candidate, v)
+	}
+	return v
+}
+
+// Remove evicts one committed task matching t (by value) and returns the
+// remaining set's verdict. The second result is false — and the engine
+// unchanged — when no committed task matches. Unlike Add, a removal
+// always commits: eviction is not an admission question.
+func (inc *Incremental) Remove(t Task) (Verdict, bool) {
+	return inc.RemoveGang(TaskSet{t})
+}
+
+// RemoveGang evicts one committed instance of every task in gang,
+// all-or-nothing: if any member has no match the engine is unchanged and
+// the second result is false. The verdict describes the remaining set.
+func (inc *Incremental) RemoveGang(gang TaskSet) (Verdict, bool) {
+	if len(gang) == 0 {
+		return inc.last, true
+	}
+	drop, ok := inc.matchIndices(gang)
+	if !ok {
+		return inc.last, false
+	}
+	candidate := make(TaskSet, 0, len(inc.tasks)-len(gang))
+	for i, t := range inc.tasks {
+		if !drop[i] {
+			candidate = append(candidate, t)
+		}
+	}
+
+	newHyper, overflow := hyperOf(candidate)
+	var removedJobs int64
+	if inc.hyper > 0 {
+		for i := range drop {
+			removedJobs += inc.hyper / inc.tasks[i].PeriodNs
+		}
+	}
+	if inc.valid && len(candidate) > 0 && !overflow && newHyper == inc.hyper &&
+		3*(inc.jobs-removedJobs)+stepRiskMargin <= MaxSimSteps {
+		inc.stats.IncrementalOps++
+		v := inc.removeVerdict(candidate)
+		verifyVerdict(inc.spec, candidate, v)
+		inc.commitRemove(drop, removedJobs, candidate)
+		inc.last = v
+		return v, true
+	}
+
+	inc.stats.FullAnalyses++
+	v := Analyze(inc.spec, candidate)
+	verifyVerdict(inc.spec, candidate, v)
+	inc.rebuild(candidate, v)
+	return v, true
+}
+
+// gangEligible decides whether the gang can be answered by patching:
+// state valid and non-empty, every member well-formed, no hyperperiod
+// shift, and the grown set safely inside the simulation's step budget.
+func (inc *Incremental) gangEligible(gang TaskSet) (rems []int64, gangJobs int64, ok bool) {
+	if !inc.valid || len(inc.tasks) == 0 || inc.hyper <= 0 {
+		return nil, 0, false
+	}
+	rems = make([]int64, len(gang))
+	for i, g := range gang {
+		if g.PeriodNs <= 0 || g.SliceNs <= 0 || g.SliceNs > g.PeriodNs {
+			return nil, 0, false
+		}
+		if inc.hyper%g.PeriodNs != 0 {
+			return nil, 0, false // LCM shift: hyperperiod would grow
+		}
+		rems[i] = inflateDemand(g.SliceNs+2*inc.spec.OverheadNs, inc.spec.UtilizationLimit)
+		gangJobs += inc.hyper / g.PeriodNs
+	}
+	if 3*(inc.jobs+gangJobs)+stepRiskMargin > MaxSimSteps {
+		return nil, 0, false
+	}
+	return rems, gangJobs, true
+}
+
+// patchVerdict evaluates candidate (= committed set + gang) against the
+// patched demand curve without committing anything.
+func (inc *Incremental) patchVerdict(candidate, gang TaskSet, gangRems []int64) Verdict {
+	v := Verdict{Utilization: candidate.Utilization(), Digest: candidate.Digest()}
+	v.BoundOK = v.Utilization <= inc.spec.UtilizationLimit+utilEpsilon
+
+	simOK := true
+	steps := 0
+	for i := range inc.points {
+		p := inc.points[i]
+		steps++
+		if p.demand+gangDemandAt(p.t, gang, gangRems) > p.t {
+			simOK = false
+			break
+		}
+	}
+	if simOK {
+	newPoints:
+		for _, g := range gang {
+			for t := g.PeriodNs; t <= inc.hyper; t += g.PeriodNs {
+				if _, seen := inc.index[t]; seen {
+					continue
+				}
+				steps++
+				if inc.baseDemandAt(t)+gangDemandAt(t, gang, gangRems) > t {
+					simOK = false
+					break newPoints
+				}
+			}
+		}
+	}
+
+	v.Sim = SimResult{OK: simOK, Reason: OK, HyperperiodNs: inc.hyper, Steps: steps}
+	if !simOK {
+		v.Sim.Reason = HyperperiodMiss
+	}
+	v.Admit = v.BoundOK && simOK
+	switch {
+	case v.Admit:
+		v.Reason = OK
+	case !v.BoundOK:
+		v.Reason = UtilBound
+	default:
+		v.Reason = v.Sim.Reason
+	}
+	return v
+}
+
+// removeVerdict builds the verdict for candidate (= committed set minus a
+// gang, hyperperiod unchanged). Demand only shrinks, so the simulation
+// gate still passes; only the utilization bound needs re-checking.
+func (inc *Incremental) removeVerdict(candidate TaskSet) Verdict {
+	v := Verdict{Utilization: candidate.Utilization(), Digest: candidate.Digest()}
+	v.BoundOK = v.Utilization <= inc.spec.UtilizationLimit+utilEpsilon
+	v.Sim = SimResult{OK: true, Reason: OK, HyperperiodNs: inc.hyper, Steps: len(inc.points)}
+	v.Admit = v.BoundOK
+	if v.Admit {
+		v.Reason = OK
+	} else {
+		v.Reason = UtilBound
+	}
+	return v
+}
+
+// commitGang applies an admitted gang to the retained state. baseDemandAt
+// must see the pre-gang tasks, so tasks/rems are appended last.
+func (inc *Incremental) commitGang(gang TaskSet, gangRems []int64, gangJobs int64) {
+	for i := range inc.points {
+		inc.points[i].demand += gangDemandAt(inc.points[i].t, gang, gangRems)
+	}
+	for _, g := range gang {
+		for t := g.PeriodNs; t <= inc.hyper; t += g.PeriodNs {
+			if _, seen := inc.index[t]; seen {
+				continue
+			}
+			inc.index[t] = len(inc.points)
+			inc.points = append(inc.points, demandPoint{
+				t: t, demand: inc.baseDemandAt(t) + gangDemandAt(t, gang, gangRems)})
+		}
+	}
+	inc.tasks = append(inc.tasks, gang...)
+	inc.rems = append(inc.rems, gangRems...)
+	inc.jobs += gangJobs
+}
+
+// commitRemove applies a committed eviction: removed tasks' demand is
+// subtracted at every checkpoint. Checkpoints that were multiples only of
+// a removed period are retained — their demand stays exact and checking
+// them is merely redundant — until the next full rebuild prunes them.
+func (inc *Incremental) commitRemove(drop map[int]bool, removedJobs int64, candidate TaskSet) {
+	dropped := make([]int, 0, len(drop))
+	for j := range drop {
+		dropped = append(dropped, j)
+	}
+	for i := range inc.points {
+		t := inc.points[i].t
+		for _, j := range dropped {
+			inc.points[i].demand -= (t / inc.tasks[j].PeriodNs) * inc.rems[j]
+		}
+	}
+	rems := make([]int64, 0, len(candidate))
+	for j := range inc.tasks {
+		if !drop[j] {
+			rems = append(rems, inc.rems[j])
+		}
+	}
+	inc.tasks, inc.rems = candidate, rems
+	inc.jobs -= removedJobs
+}
+
+// rebuild replaces the retained state with a fresh decomposition of an
+// analyzed candidate (the full-analysis fallback path).
+func (inc *Incremental) rebuild(candidate TaskSet, v Verdict) {
+	inc.tasks = candidate
+	inc.last = v
+	inc.points, inc.rems = nil, nil
+	inc.index = map[int64]int{}
+	inc.hyper, inc.jobs = 0, 0
+	inc.valid = false
+
+	if len(candidate) == 0 {
+		inc.valid = true
+		return
+	}
+	// State is reusable only for a cleanly simulated set safely inside
+	// the step budget; conservative or failed verdicts leave the engine
+	// on the full path.
+	if v.Sim.Reason != OK || v.Sim.HyperperiodNs <= 0 {
+		return
+	}
+	inc.hyper = v.Sim.HyperperiodNs
+	inc.rems = make([]int64, len(candidate))
+	for i, t := range candidate {
+		inc.rems[i] = inflateDemand(t.SliceNs+2*inc.spec.OverheadNs, inc.spec.UtilizationLimit)
+		inc.jobs += inc.hyper / t.PeriodNs
+	}
+	if 3*inc.jobs+stepRiskMargin > MaxSimSteps {
+		inc.hyper, inc.jobs, inc.rems = 0, 0, nil
+		return
+	}
+	for _, t := range candidate {
+		for p := t.PeriodNs; p <= inc.hyper; p += t.PeriodNs {
+			if _, seen := inc.index[p]; seen {
+				continue
+			}
+			inc.index[p] = len(inc.points)
+			inc.points = append(inc.points, demandPoint{t: p})
+		}
+	}
+	for i := range inc.points {
+		inc.points[i].demand = inc.baseDemandAt(inc.points[i].t)
+	}
+	inc.valid = true
+}
+
+// baseDemandAt returns the committed set's inflated demand with deadline
+// <= t.
+func (inc *Incremental) baseDemandAt(t int64) int64 {
+	var d int64
+	for i := range inc.tasks {
+		d += (t / inc.tasks[i].PeriodNs) * inc.rems[i]
+	}
+	return d
+}
+
+func gangDemandAt(t int64, gang TaskSet, gangRems []int64) int64 {
+	var d int64
+	for i := range gang {
+		d += (t / gang[i].PeriodNs) * gangRems[i]
+	}
+	return d
+}
+
+// matchIndices resolves a gang to committed task indices, multiset-style:
+// each member consumes the first unconsumed committed task equal to it.
+func (inc *Incremental) matchIndices(gang TaskSet) (map[int]bool, bool) {
+	drop := make(map[int]bool, len(gang))
+	for _, g := range gang {
+		found := false
+		for i, t := range inc.tasks {
+			if !drop[i] && t == g {
+				drop[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, false
+		}
+	}
+	return drop, true
+}
+
+// hyperOf folds the hyperperiod of set the same way Simulate does,
+// reporting overflow past the simulation ceiling. Empty sets report 0.
+func hyperOf(set TaskSet) (int64, bool) {
+	if len(set) == 0 {
+		return 0, false
+	}
+	h := int64(1)
+	for _, t := range set {
+		if t.PeriodNs <= 0 {
+			return 0, true
+		}
+		h = lcm64(h, t.PeriodNs)
+		if h <= 0 || h > maxHyperperiodNs {
+			return 0, true
+		}
+	}
+	return h, false
+}

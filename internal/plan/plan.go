@@ -14,8 +14,9 @@
 package plan
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Task is one periodic task: a slice of SliceNs guaranteed every PeriodNs.
@@ -50,11 +51,15 @@ func (ts TaskSet) Utilization() float64 {
 // matter the order a client listed the tasks in.
 func (ts TaskSet) Canonical() TaskSet {
 	out := append(TaskSet(nil), ts...)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].PeriodNs != out[j].PeriodNs {
-			return out[i].PeriodNs < out[j].PeriodNs
+	// slices.SortFunc, not sort.Slice: this is on the hot path of every
+	// digest (cache keys, shard routing, incremental verdicts) and the
+	// reflection-based swapper costs several times the comparisons.
+	// Unstable sorting is safe — ties are identical Task values.
+	slices.SortFunc(out, func(a, b Task) int {
+		if a.PeriodNs != b.PeriodNs {
+			return cmp.Compare(a.PeriodNs, b.PeriodNs)
 		}
-		return out[i].SliceNs < out[j].SliceNs
+		return cmp.Compare(a.SliceNs, b.SliceNs)
 	})
 	return out
 }
@@ -202,23 +207,13 @@ func Simulate(tasks TaskSet, overheadNs int64, utilLimit float64) SimResult {
 	now := int64(0)
 	steps := 0
 
-	// The utilization limit reserves a fraction of every interval for
-	// non-periodic work, so serving D ns of demand takes D/limit ns of wall
-	// time; fold that into the job's wall-time requirement up front (ceil).
-	inflate := func(ns int64) int64 {
-		if utilLimit <= 0 || utilLimit >= 1 {
-			return ns
-		}
-		v := int64(float64(ns)/utilLimit) + 1
-		return v
-	}
 	release := func(at int64) {
 		for i, t := range tasks {
 			if at%t.PeriodNs == 0 {
 				// Each arrival costs one scheduler invocation and a second
 				// fires at slice completion; charge both to the job.
 				ready = append(ready, job{task: i, deadline: at + t.PeriodNs,
-					rem: inflate(t.SliceNs + 2*overheadNs)})
+					rem: inflateDemand(t.SliceNs+2*overheadNs, utilLimit)})
 			}
 		}
 	}
@@ -281,6 +276,18 @@ func Simulate(tasks TaskSet, overheadNs int64, utilLimit float64) SimResult {
 	return SimResult{OK: true, Reason: OK, HyperperiodNs: hyper, Steps: steps}
 }
 
+// inflateDemand converts ns of periodic demand into the wall time the
+// simulation charges for it: the utilization limit reserves a fraction of
+// every interval for non-periodic work, so serving D ns of demand takes
+// D/limit ns of wall time (ceil). Simulate and Incremental share this one
+// definition so their per-job demand is bit-identical.
+func inflateDemand(ns int64, utilLimit float64) int64 {
+	if utilLimit <= 0 || utilLimit >= 1 {
+		return ns
+	}
+	return int64(float64(ns)/utilLimit) + 1
+}
+
 func gcd64(a, b int64) int64 {
 	for b != 0 {
 		a, b = b, a%b
@@ -341,6 +348,18 @@ func Analyze(spec Spec, set TaskSet) Verdict {
 		v.Reason = v.Sim.Reason
 	}
 	return v
+}
+
+// VerdictsEquivalent reports whether two verdicts agree on everything that
+// constitutes the admission decision: Admit, Reason, BoundOK, Utilization,
+// Digest, and the simulation's OK/Reason/HyperperiodNs. Sim.Steps is
+// excluded — it measures the work a particular decision procedure did
+// (simulation events for Simulate, demand checkpoints for Incremental),
+// not the decision itself. The planverify build and the incremental
+// property tests compare through this one definition.
+func VerdictsEquivalent(a, b Verdict) bool {
+	a.Sim.Steps, b.Sim.Steps = 0, 0
+	return a == b
 }
 
 // AnalyzeGang answers group admission the way Algorithm 1 does:

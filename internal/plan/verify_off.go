@@ -1,0 +1,11 @@
+//go:build !planverify
+
+package plan
+
+// VerifyEnabled reports whether this binary was built with the planverify
+// tag, in which case every Incremental verdict is cross-checked against
+// the full Analyze and any divergence panics.
+const VerifyEnabled = false
+
+// verifyVerdict is a no-op outside planverify builds.
+func verifyVerdict(Spec, TaskSet, Verdict) {}

@@ -1,0 +1,764 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hrtsched/internal/core"
+	"hrtsched/internal/plan"
+)
+
+// Cluster is the stateful placement service: a session tracking N
+// simulated nodes, each owning a plan.Incremental admission engine behind
+// a bounded, batching mutation queue (the same queue/batch/flush shape as
+// the Server's shards — one worker goroutine per node, so each engine
+// needs no locking). Named task sets are placed onto nodes first-fit or
+// worst-fit, every bin decision consulting the incremental analysis;
+// sessions can evict sets, drain whole nodes, and rebalance, and every
+// outcome is countable through the metrics Registry.
+type Cluster struct {
+	cfg   ClusterConfig
+	nodes []*node
+
+	wg sync.WaitGroup
+
+	// closeMu serializes queue sends against Close, exactly like
+	// Server.closeMu.
+	closeMu sync.RWMutex
+	closed  bool
+
+	// mu guards placements; opMu serializes the multi-step admin
+	// operations (drain, rebalance) against each other.
+	mu         sync.Mutex
+	placements map[string]*placementRec
+	opMu       sync.Mutex
+
+	placed     atomic.Int64
+	rejected   atomic.Int64
+	removed    atomic.Int64
+	rebalanced atomic.Int64
+	drained    atomic.Int64
+	canceled   atomic.Int64
+}
+
+type placementRec struct {
+	node    int
+	set     plan.TaskSet
+	util    float64
+	pending bool // a mutation for this id is in flight
+}
+
+// Policy selects how Place orders candidate nodes.
+type Policy uint8
+
+const (
+	// FirstFit tries nodes in index order and takes the first that
+	// admits the set.
+	FirstFit Policy = iota
+	// WorstFit tries the least-utilized node first, spreading load.
+	WorstFit
+)
+
+// String names the policy with its flag spelling.
+func (p Policy) String() string {
+	switch p {
+	case FirstFit:
+		return "first-fit"
+	case WorstFit:
+		return "worst-fit"
+	default:
+		return fmt.Sprintf("Policy(%d)", uint8(p))
+	}
+}
+
+// ParsePolicy parses a policy flag value.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "first-fit":
+		return FirstFit, nil
+	case "worst-fit":
+		return WorstFit, nil
+	default:
+		return 0, fmt.Errorf("serve: unknown placement policy %q (want first-fit or worst-fit)", s)
+	}
+}
+
+// ClusterConfig parameterizes a Cluster. Zero fields take defaults.
+type ClusterConfig struct {
+	// Spec is the per-node platform model every admission runs against.
+	Spec plan.Spec
+	// Nodes is the number of simulated nodes; default 4.
+	Nodes int
+	// Policy selects candidate-node ordering; default FirstFit.
+	Policy Policy
+	// QueueDepth bounds each node's mutation queue; default 256.
+	QueueDepth int
+	// BatchSize caps how many mutations one flush applies; default 32.
+	BatchSize int
+	// FlushWindow bounds how long a node waits to fill a batch once it
+	// holds at least one mutation; default 200 us.
+	FlushWindow time.Duration
+}
+
+func (c *ClusterConfig) fillDefaults() {
+	if c.Nodes == 0 {
+		c.Nodes = 4
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 256
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 32
+	}
+	if c.FlushWindow == 0 {
+		c.FlushWindow = 200 * time.Microsecond
+	}
+}
+
+// Validate rejects nonsensical settings.
+func (c ClusterConfig) Validate() error {
+	if c.Nodes < 0 || c.QueueDepth < 0 || c.BatchSize < 0 || c.FlushWindow < 0 {
+		return fmt.Errorf("serve: negative cluster config value: %+v", c)
+	}
+	if c.Policy != FirstFit && c.Policy != WorstFit {
+		return fmt.Errorf("serve: unknown placement policy %d", c.Policy)
+	}
+	if c.Spec.OverheadNs < 0 {
+		return fmt.Errorf("serve: negative overhead %dns", c.Spec.OverheadNs)
+	}
+	if c.Spec.UtilizationLimit <= 0 || c.Spec.UtilizationLimit > 1 {
+		return fmt.Errorf("serve: utilization limit %g outside (0,1]", c.Spec.UtilizationLimit)
+	}
+	return nil
+}
+
+type mutOp uint8
+
+const (
+	placeOp mutOp = iota
+	removeOp
+)
+
+type mutation struct {
+	ctx  context.Context
+	op   mutOp
+	set  plan.TaskSet
+	done chan mutResult
+}
+
+type mutResult struct {
+	verdict  plan.Verdict
+	canceled bool
+}
+
+type node struct {
+	id  int
+	ch  chan *mutation
+	eng *plan.Incremental
+
+	utilBits atomic.Uint64 // math.Float64bits of the node's utilization
+	tasks    atomic.Int64
+	sets     atomic.Int64
+	draining atomic.Bool
+
+	shed     atomic.Int64
+	applied  atomic.Int64
+	batches  atomic.Int64
+	canceled atomic.Int64
+	incOps   atomic.Int64 // engine's incremental-path verdicts
+	fullOps  atomic.Int64 // engine's full-analysis fallbacks
+}
+
+func (n *node) utilization() float64 { return math.Float64frombits(n.utilBits.Load()) }
+
+// Errors returned by cluster session operations.
+var (
+	ErrClusterClosed = errors.New("serve: cluster closed")
+	ErrDuplicateID   = errors.New("serve: placement id already in use")
+	ErrUnknownID     = errors.New("serve: unknown placement id")
+	ErrUnknownNode   = errors.New("serve: unknown node")
+	ErrPendingID     = errors.New("serve: placement id has a mutation in flight")
+)
+
+// NewCluster starts a placement session with cfg's node workers running.
+// Close releases them.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	c, err := newCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range c.nodes {
+		c.wg.Add(1)
+		go c.runNode(n)
+	}
+	return c, nil
+}
+
+// newCluster builds the cluster without starting node workers; tests use
+// it to exercise queue-full and cancellation behaviour deterministically.
+func newCluster(cfg ClusterConfig) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.fillDefaults()
+	c := &Cluster{
+		cfg:        cfg,
+		nodes:      make([]*node, cfg.Nodes),
+		placements: make(map[string]*placementRec),
+	}
+	for i := range c.nodes {
+		c.nodes[i] = &node{
+			id:  i,
+			ch:  make(chan *mutation, cfg.QueueDepth),
+			eng: plan.NewIncremental(cfg.Spec),
+		}
+	}
+	return c, nil
+}
+
+// Config returns the effective configuration after defaulting.
+func (c *Cluster) Config() ClusterConfig { return c.cfg }
+
+// Close stops accepting mutations, drains the node queues, and waits for
+// the workers to exit. Safe to call more than once.
+func (c *Cluster) Close() {
+	c.closeMu.Lock()
+	if c.closed {
+		c.closeMu.Unlock()
+		return
+	}
+	c.closed = true
+	c.closeMu.Unlock()
+	for _, n := range c.nodes {
+		close(n.ch)
+	}
+	c.wg.Wait()
+}
+
+// PlaceResult reports one placement attempt.
+type PlaceResult struct {
+	// Placed is true when some node admitted the set.
+	Placed bool `json:"placed"`
+	// Node is the admitting node, -1 when rejected everywhere.
+	Node int `json:"node"`
+	// Attempts is the number of nodes consulted.
+	Attempts int `json:"attempts"`
+	// Verdict is the admitting node's verdict (or the last rejecting
+	// node's, when Placed is false).
+	Verdict plan.Verdict `json:"verdict"`
+}
+
+// Place admits the named task set onto the first node (in policy order)
+// whose incremental analysis accepts it. A set every node rejects returns
+// Placed=false with a nil error; errors report session problems (closed,
+// duplicate id, shed queue, canceled context).
+func (c *Cluster) Place(ctx context.Context, id string, set plan.TaskSet) (PlaceResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if id == "" {
+		return PlaceResult{Node: -1}, errors.New("serve: placement id must not be empty")
+	}
+	set = append(plan.TaskSet(nil), set...)
+
+	c.mu.Lock()
+	if _, exists := c.placements[id]; exists {
+		c.mu.Unlock()
+		return PlaceResult{Node: -1}, fmt.Errorf("%w: %q", ErrDuplicateID, id)
+	}
+	rec := &placementRec{node: -1, set: set, pending: true}
+	c.placements[id] = rec
+	c.mu.Unlock()
+
+	res, err := c.placeOnCandidates(ctx, set, c.candidates(), false)
+	c.mu.Lock()
+	if res.Placed {
+		rec.node = res.Node
+		rec.util = set.Utilization()
+		rec.pending = false
+	} else {
+		delete(c.placements, id)
+	}
+	c.mu.Unlock()
+	if err == nil && !res.Placed {
+		c.rejected.Add(1)
+	}
+	if res.Placed {
+		c.placed.Add(1)
+	}
+	return res, err
+}
+
+// placeOnCandidates walks the candidate nodes in order, returning on the
+// first admit. Session errors (shed, closed, canceled) abort the walk.
+func (c *Cluster) placeOnCandidates(ctx context.Context, set plan.TaskSet,
+	order []*node, allowDraining bool) (PlaceResult, error) {
+	res := PlaceResult{Node: -1}
+	for _, n := range order {
+		if !allowDraining && n.draining.Load() {
+			continue
+		}
+		res.Attempts++
+		r, err := c.submit(ctx, n, &mutation{op: placeOp, set: set})
+		if err != nil {
+			return res, err
+		}
+		res.Verdict = r.verdict
+		if r.verdict.Admit {
+			res.Placed = true
+			res.Node = n.id
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// candidates returns nodes in the configured policy's order.
+func (c *Cluster) candidates() []*node {
+	order := append([]*node(nil), c.nodes...)
+	if c.cfg.Policy == WorstFit {
+		sort.SliceStable(order, func(i, j int) bool {
+			return order[i].utilization() < order[j].utilization()
+		})
+	}
+	return order
+}
+
+// Remove evicts the named set from its node and forgets the id. The
+// verdict describes the node's remaining set.
+func (c *Cluster) Remove(ctx context.Context, id string) (plan.Verdict, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.mu.Lock()
+	rec, ok := c.placements[id]
+	if !ok {
+		c.mu.Unlock()
+		return plan.Verdict{}, fmt.Errorf("%w: %q", ErrUnknownID, id)
+	}
+	if rec.pending {
+		c.mu.Unlock()
+		return plan.Verdict{}, fmt.Errorf("%w: %q", ErrPendingID, id)
+	}
+	rec.pending = true
+	n := c.nodes[rec.node]
+	c.mu.Unlock()
+
+	r, err := c.submit(ctx, n, &mutation{op: removeOp, set: rec.set})
+	c.mu.Lock()
+	if err != nil {
+		rec.pending = false
+	} else {
+		delete(c.placements, id)
+	}
+	c.mu.Unlock()
+	if err != nil {
+		return plan.Verdict{}, err
+	}
+	c.removed.Add(1)
+	return r.verdict, nil
+}
+
+// DrainReport summarizes one node drain.
+type DrainReport struct {
+	// Node is the drained node.
+	Node int `json:"node"`
+	// Moved counts sets re-placed onto other nodes.
+	Moved int `json:"moved"`
+	// Stranded counts sets no other node admitted; they stay on the
+	// draining node.
+	Stranded int `json:"stranded"`
+	// StrandedIDs names them.
+	StrandedIDs []string `json:"stranded_ids,omitempty"`
+}
+
+// Drain marks a node as draining (no new placements) and re-places every
+// set it holds onto the remaining nodes in policy order. Sets no other
+// node admits are put back and reported stranded; the node stays draining
+// either way until Undrain.
+func (c *Cluster) Drain(ctx context.Context, nodeID int) (DrainReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if nodeID < 0 || nodeID >= len(c.nodes) {
+		return DrainReport{Node: nodeID}, fmt.Errorf("%w: %d", ErrUnknownNode, nodeID)
+	}
+	c.opMu.Lock()
+	defer c.opMu.Unlock()
+	n := c.nodes[nodeID]
+	n.draining.Store(true)
+
+	rep := DrainReport{Node: nodeID}
+	for _, id := range c.idsOnNode(nodeID) {
+		moved, err := c.moveSet(ctx, id, c.candidates(), n)
+		if err != nil {
+			return rep, err
+		}
+		if moved {
+			rep.Moved++
+			c.drained.Add(1)
+		} else {
+			rep.Stranded++
+			rep.StrandedIDs = append(rep.StrandedIDs, id)
+		}
+	}
+	return rep, nil
+}
+
+// Undrain re-opens a drained node for placements.
+func (c *Cluster) Undrain(nodeID int) error {
+	if nodeID < 0 || nodeID >= len(c.nodes) {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, nodeID)
+	}
+	c.nodes[nodeID].draining.Store(false)
+	return nil
+}
+
+// rebalanceSlack is the utilization spread below which Rebalance stops:
+// moves that chase less than this much imbalance churn without benefit.
+const rebalanceSlack = 0.02
+
+// Rebalance greedily narrows the utilization spread: repeatedly move one
+// set from the most- to the least-utilized node while a move that shrinks
+// the spread exists. Returns the number of sets moved.
+func (c *Cluster) Rebalance(ctx context.Context) (int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.opMu.Lock()
+	defer c.opMu.Unlock()
+
+	moves := 0
+	for iter := 0; iter < len(c.nodes)*4; iter++ {
+		hi, lo := c.spreadEnds()
+		if hi == nil || lo == nil || hi == lo {
+			break
+		}
+		gap := hi.utilization() - lo.utilization()
+		if gap <= rebalanceSlack {
+			break
+		}
+		// The best movable set shrinks the spread the most: the largest
+		// set smaller than the gap (moving anything larger would just
+		// swap which node is overloaded).
+		id := c.bestMovable(hi.id, gap)
+		if id == "" {
+			break
+		}
+		moved, err := c.moveSet(ctx, id, []*node{lo}, hi)
+		if err != nil {
+			return moves, err
+		}
+		if !moved {
+			break // the target rejected it (simulation, not arithmetic)
+		}
+		moves++
+		c.rebalanced.Add(1)
+	}
+	return moves, nil
+}
+
+// spreadEnds returns the most- and least-utilized non-draining nodes.
+func (c *Cluster) spreadEnds() (hi, lo *node) {
+	for _, n := range c.nodes {
+		if n.draining.Load() {
+			continue
+		}
+		if hi == nil || n.utilization() > hi.utilization() {
+			hi = n
+		}
+		if lo == nil || n.utilization() < lo.utilization() {
+			lo = n
+		}
+	}
+	return hi, lo
+}
+
+// bestMovable picks the largest placement on the node with utilization
+// strictly under gap (0 < util < gap), or "" when none qualifies.
+func (c *Cluster) bestMovable(nodeID int, gap float64) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	best, bestUtil := "", 0.0
+	for id, rec := range c.placements {
+		if rec.node != nodeID || rec.pending {
+			continue
+		}
+		if rec.util < gap && rec.util > bestUtil {
+			best, bestUtil = id, rec.util
+		}
+	}
+	return best
+}
+
+// idsOnNode snapshots the non-pending placement ids on a node.
+func (c *Cluster) idsOnNode(nodeID int) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var ids []string
+	for id, rec := range c.placements {
+		if rec.node == nodeID && !rec.pending {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// moveSet evicts id from its node and re-places it on the first admitting
+// candidate. If every candidate rejects, the set is put back on `home`
+// (which always re-admits what it just released) and false is returned.
+func (c *Cluster) moveSet(ctx context.Context, id string, order []*node, home *node) (bool, error) {
+	c.mu.Lock()
+	rec, ok := c.placements[id]
+	if !ok || rec.pending {
+		c.mu.Unlock()
+		return false, nil
+	}
+	rec.pending = true
+	set := rec.set
+	c.mu.Unlock()
+
+	finish := func(nodeID int, moved bool, err error) (bool, error) {
+		c.mu.Lock()
+		rec.node = nodeID
+		rec.pending = false
+		c.mu.Unlock()
+		return moved, err
+	}
+
+	if _, err := c.submit(ctx, home, &mutation{op: removeOp, set: set}); err != nil {
+		return finish(home.id, false, err)
+	}
+	res, err := c.placeOnCandidates(ctx, set, order, false)
+	if err == nil && res.Placed {
+		return finish(res.Node, true, nil)
+	}
+	// Put it back; the home node just released exactly this demand, so
+	// re-admission cannot fail the analysis.
+	if _, backErr := c.submit(ctx, home, &mutation{op: placeOp, set: set}); backErr != nil && err == nil {
+		err = backErr
+	}
+	return finish(home.id, false, err)
+}
+
+// submit queues one mutation on a node and waits for the worker's answer,
+// shedding with a structured retry-after error when the queue is full.
+func (c *Cluster) submit(ctx context.Context, n *node, m *mutation) (mutResult, error) {
+	m.ctx = ctx
+	m.done = make(chan mutResult, 1)
+
+	c.closeMu.RLock()
+	if c.closed {
+		c.closeMu.RUnlock()
+		return mutResult{}, ErrClusterClosed
+	}
+	var shed bool
+	select {
+	case n.ch <- m:
+	default:
+		shed = true
+	}
+	c.closeMu.RUnlock()
+
+	if shed {
+		n.shed.Add(1)
+		return mutResult{}, &core.AdmissionError{
+			Reason: "cluster-overload",
+			Detail: fmt.Sprintf("node %d mutation queue full (%d deep)", n.id, c.cfg.QueueDepth),
+			RetryAfterNs: (time.Duration(shedRetryWindows+len(n.ch)/c.cfg.BatchSize) *
+				c.cfg.FlushWindow).Nanoseconds(),
+		}
+	}
+	select {
+	case r := <-m.done:
+		if r.canceled {
+			return mutResult{}, ctx.Err()
+		}
+		return r, nil
+	case <-ctx.Done():
+		return mutResult{}, ctx.Err()
+	}
+}
+
+// runNode is a node's worker loop: block for one mutation, drain up to
+// BatchSize more within FlushWindow, and apply the batch in order — the
+// same shape as the Server's runShard.
+func (c *Cluster) runNode(n *node) {
+	defer c.wg.Done()
+	batch := make([]*mutation, 0, c.cfg.BatchSize)
+	for {
+		first, ok := <-n.ch
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], first)
+		timer := time.NewTimer(c.cfg.FlushWindow)
+		open := true
+	fill:
+		for len(batch) < c.cfg.BatchSize {
+			select {
+			case m, more := <-n.ch:
+				if !more {
+					open = false
+					break fill
+				}
+				batch = append(batch, m)
+			case <-timer.C:
+				break fill
+			}
+		}
+		timer.Stop()
+		n.batches.Add(1)
+		c.applyBatch(n, batch)
+		if !open {
+			for m := range n.ch {
+				c.applyBatch(n, []*mutation{m})
+			}
+			return
+		}
+	}
+}
+
+// applyBatch applies mutations to the node's engine. A mutation whose
+// context was canceled while queued is dropped unapplied and counted.
+func (c *Cluster) applyBatch(n *node, batch []*mutation) {
+	for _, m := range batch {
+		if m.ctx != nil && m.ctx.Err() != nil {
+			n.canceled.Add(1)
+			c.canceled.Add(1)
+			m.done <- mutResult{canceled: true}
+			continue
+		}
+		var r mutResult
+		switch m.op {
+		case placeOp:
+			r.verdict = n.eng.TryGang(m.set)
+		case removeOp:
+			r.verdict, _ = n.eng.RemoveGang(m.set)
+		}
+		n.applied.Add(1)
+		n.utilBits.Store(math.Float64bits(n.eng.Utilization()))
+		n.tasks.Store(int64(n.eng.Len()))
+		st := n.eng.Stats()
+		n.incOps.Store(st.IncrementalOps)
+		n.fullOps.Store(st.FullAnalyses)
+		m.done <- r
+	}
+}
+
+// NodeStatus is one node's row in the cluster status report.
+type NodeStatus struct {
+	Node        int     `json:"node"`
+	Utilization float64 `json:"utilization"`
+	Tasks       int64   `json:"tasks"`
+	Sets        int64   `json:"sets"`
+	Draining    bool    `json:"draining"`
+	QueueDepth  int     `json:"queue_depth"`
+}
+
+// ClusterStatus is the session-wide status report.
+type ClusterStatus struct {
+	Nodes      []NodeStatus `json:"nodes"`
+	Policy     string       `json:"policy"`
+	Placements int          `json:"placements"`
+	Placed     int64        `json:"placed_total"`
+	Rejected   int64        `json:"rejected_total"`
+	Removed    int64        `json:"removed_total"`
+	Rebalanced int64        `json:"rebalanced_total"`
+	Drained    int64        `json:"drained_total"`
+	Canceled   int64        `json:"canceled_total"`
+}
+
+// Status snapshots the cluster.
+func (c *Cluster) Status() ClusterStatus {
+	c.mu.Lock()
+	perNode := make(map[int]int64)
+	for _, rec := range c.placements {
+		if !rec.pending {
+			perNode[rec.node]++
+		}
+	}
+	placements := len(c.placements)
+	c.mu.Unlock()
+
+	st := ClusterStatus{
+		Policy:     c.cfg.Policy.String(),
+		Placements: placements,
+		Placed:     c.placed.Load(),
+		Rejected:   c.rejected.Load(),
+		Removed:    c.removed.Load(),
+		Rebalanced: c.rebalanced.Load(),
+		Drained:    c.drained.Load(),
+		Canceled:   c.canceled.Load(),
+	}
+	for _, n := range c.nodes {
+		st.Nodes = append(st.Nodes, NodeStatus{
+			Node:        n.id,
+			Utilization: n.utilization(),
+			Tasks:       n.tasks.Load(),
+			Sets:        perNode[n.id],
+			Draining:    n.draining.Load(),
+			QueueDepth:  len(n.ch),
+		})
+	}
+	return st
+}
+
+// RegisterMetrics exposes the cluster's counters and per-node gauges on a
+// registry (typically the owning Server's, so one /metrics scrape covers
+// both layers).
+func (c *Cluster) RegisterMetrics(r *Registry) {
+	perNode := func(val func(*node) float64) func() []Sample {
+		return func() []Sample {
+			out := make([]Sample, len(c.nodes))
+			for i, n := range c.nodes {
+				out[i] = Sample{Labels: []Label{{"node", fmt.Sprint(n.id)}}, Value: val(n)}
+			}
+			return out
+		}
+	}
+	r.Gauge("hrtd_cluster_nodes", "Number of simulated placement nodes.",
+		func() float64 { return float64(len(c.nodes)) })
+	r.Counter("hrtd_cluster_placed_total", "Task sets successfully placed.",
+		func() float64 { return float64(c.placed.Load()) })
+	r.Counter("hrtd_cluster_rejected_total", "Task sets every node rejected.",
+		func() float64 { return float64(c.rejected.Load()) })
+	r.Counter("hrtd_cluster_removed_total", "Task sets evicted by clients.",
+		func() float64 { return float64(c.removed.Load()) })
+	r.Counter("hrtd_cluster_rebalanced_total", "Sets moved by rebalancing.",
+		func() float64 { return float64(c.rebalanced.Load()) })
+	r.Counter("hrtd_cluster_drained_total", "Sets moved off draining nodes.",
+		func() float64 { return float64(c.drained.Load()) })
+	r.Counter("hrtd_cluster_canceled_total", "Mutations dropped: context canceled while queued.",
+		func() float64 { return float64(c.canceled.Load()) })
+	r.GaugeVec("hrtd_cluster_node_utilization", "Admitted utilization per node.",
+		perNode(func(n *node) float64 { return n.utilization() }))
+	r.GaugeVec("hrtd_cluster_node_tasks", "Admitted tasks per node.",
+		perNode(func(n *node) float64 { return float64(n.tasks.Load()) }))
+	r.GaugeVec("hrtd_cluster_node_draining", "1 when the node is draining.",
+		perNode(func(n *node) float64 {
+			if n.draining.Load() {
+				return 1
+			}
+			return 0
+		}))
+	r.GaugeVec("hrtd_cluster_queue_depth", "Mutations queued per node.",
+		perNode(func(n *node) float64 { return float64(len(n.ch)) }))
+	r.CounterVec("hrtd_cluster_mutations_total", "Mutations applied per node.",
+		perNode(func(n *node) float64 { return float64(n.applied.Load()) }))
+	r.CounterVec("hrtd_cluster_shed_total", "Load-shed mutations per node.",
+		perNode(func(n *node) float64 { return float64(n.shed.Load()) }))
+	r.CounterVec("hrtd_cluster_incremental_ops_total",
+		"Admission verdicts answered by the incremental engine per node.",
+		perNode(func(n *node) float64 { return float64(n.incOps.Load()) }))
+	r.CounterVec("hrtd_cluster_full_analyses_total",
+		"Admission verdicts that fell back to the full analysis per node.",
+		perNode(func(n *node) float64 { return float64(n.fullOps.Load()) }))
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -17,29 +18,97 @@ type analyzeRequest struct {
 	ProbePeriodNs int64        `json:"probe_period_ns,omitempty"` // capacity only
 }
 
-type errorResponse struct {
-	Error        string `json:"error"`
-	Reason       string `json:"reason,omitempty"`
-	RetryAfterNs int64  `json:"retry_after_ns,omitempty"`
+// placeRequest is the wire form of POST /v1/cluster/place.
+type placeRequest struct {
+	ID    string       `json:"id"`
+	Tasks plan.TaskSet `json:"tasks"`
 }
 
-// Handler returns the daemon's HTTP mux:
+// idRequest is the wire form of POST /v1/cluster/remove.
+type idRequest struct {
+	ID string `json:"id"`
+}
+
+// nodeRequest is the wire form of POST /v1/cluster/drain and /undrain.
+type nodeRequest struct {
+	Node int `json:"node"`
+}
+
+// apiError is the one JSON error envelope every v1 route answers with:
 //
-//	POST /v1/analyze  {"tasks":[{"period_ns":...,"slice_ns":...}]} -> plan.Verdict
-//	POST /v1/capacity {"tasks":[...],"probe_period_ns":N}          -> plan.CapacityReport
-//	GET  /metrics                                                   Prometheus text
-//	GET  /healthz                                                   liveness JSON
+//	{"code":"overloaded","reason":"shard 3 queue full (1024 deep)","retry_after_ms":1}
 //
-// Overload sheds answer 429 with a Retry-After header and a structured
-// body. Cached and uncached analyze answers are byte-identical: the cache
-// indicator travels in the X-Hrtd-Cache header, never the body.
-func (s *Server) Handler() http.Handler {
+// Code is the machine-readable class (bad_request, method_not_allowed,
+// overloaded, conflict, not_found, canceled, unavailable, internal);
+// Reason is the human detail; RetryAfterMs is set only on overload sheds
+// and mirrors the Retry-After header.
+type apiError struct {
+	Code         string `json:"code"`
+	Reason       string `json:"reason"`
+	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
+}
+
+// statusClientClosedRequest is nginx's conventional status for a request
+// whose client canceled; net/http has no named constant for it.
+const statusClientClosedRequest = 499
+
+// Handler returns the daemon's HTTP mux without cluster routes; it is
+// HandlerWithCluster(nil). See HandlerWithCluster for the route table.
+func (s *Server) Handler() http.Handler { return s.HandlerWithCluster(nil) }
+
+// HandlerWithCluster returns the daemon's HTTP mux:
+//
+//	POST /v1/analyze   {"tasks":[{"period_ns":...,"slice_ns":...}]} -> plan.Verdict
+//	POST /v1/capacity  {"tasks":[...],"probe_period_ns":N}          -> plan.CapacityReport
+//	POST /v1/cluster/place     {"id":"...","tasks":[...]}           -> PlaceResult
+//	POST /v1/cluster/remove    {"id":"..."}                         -> {"verdict":plan.Verdict}
+//	POST /v1/cluster/drain     {"node":N}                           -> DrainReport
+//	POST /v1/cluster/undrain   {"node":N}                           -> {"node":N}
+//	POST /v1/cluster/rebalance {}                                   -> {"moved":N}
+//	GET  /v1/cluster/status                                         -> ClusterStatus
+//	GET  /metrics                                                    Prometheus text
+//	GET  /healthz                                                    liveness JSON
+//
+// The cluster routes are registered only when c is non-nil; without a
+// cluster they answer 404 with the standard envelope. Every v1 error is
+// the apiError envelope; overload sheds answer 429 with a Retry-After
+// header whose value (in whole seconds, rounded up) mirrors the body's
+// retry_after_ms. Cached and uncached analyze answers are byte-identical:
+// the cache indicator travels in the X-Hrtd-Cache header, never the body.
+//
+// POST /analyze and /capacity remain as deprecated aliases of their /v1/
+// twins; they answer identically plus a "Deprecation: true" header and a
+// Link to the successor route.
+func (s *Server) HandlerWithCluster(c *Cluster) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("/v1/capacity", s.handleCapacity)
+	mux.HandleFunc("/analyze", deprecated("/v1/analyze", s.handleAnalyze))
+	mux.HandleFunc("/capacity", deprecated("/v1/capacity", s.handleCapacity))
+	if c != nil {
+		mux.HandleFunc("/v1/cluster/place", c.handlePlace)
+		mux.HandleFunc("/v1/cluster/remove", c.handleRemove)
+		mux.HandleFunc("/v1/cluster/drain", c.handleDrain)
+		mux.HandleFunc("/v1/cluster/undrain", c.handleUndrain)
+		mux.HandleFunc("/v1/cluster/rebalance", c.handleRebalance)
+		mux.HandleFunc("/v1/cluster/status", c.handleStatus)
+	}
 	mux.Handle("/metrics", s.reg.Handler())
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		writeError(w, http.StatusNotFound, "not_found", "no such route: "+req.URL.Path, 0)
+	})
 	return mux
+}
+
+// deprecated wraps a legacy alias: same behaviour as the v1 handler, plus
+// the RFC 9745 Deprecation header and a successor-version link.
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		h(w, req)
+	}
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, req *http.Request) {
@@ -47,7 +116,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, req *http.Request) {
 	if !decodeQuery(w, req, &body) {
 		return
 	}
-	v, cached, err := s.Analyze(body.Tasks)
+	v, cached, err := s.AnalyzeContext(req.Context(), body.Tasks)
 	if err != nil {
 		writeQueryError(w, err)
 		return
@@ -65,7 +134,7 @@ func (s *Server) handleCapacity(w http.ResponseWriter, req *http.Request) {
 	if !decodeQuery(w, req, &body) {
 		return
 	}
-	rep, err := s.Capacity(body.Tasks, body.ProbePeriodNs)
+	rep, err := s.CapacityContext(req.Context(), body.Tasks, body.ProbePeriodNs)
 	if err != nil {
 		writeQueryError(w, err)
 		return
@@ -73,9 +142,81 @@ func (s *Server) handleCapacity(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, http.StatusOK, rep)
 }
 
+func (c *Cluster) handlePlace(w http.ResponseWriter, req *http.Request) {
+	var body placeRequest
+	if !decodeBody(w, req, &body) {
+		return
+	}
+	res, err := c.Place(req.Context(), body.ID, body.Tasks)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (c *Cluster) handleRemove(w http.ResponseWriter, req *http.Request) {
+	var body idRequest
+	if !decodeBody(w, req, &body) {
+		return
+	}
+	v, err := c.Remove(req.Context(), body.ID)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"verdict": v})
+}
+
+func (c *Cluster) handleDrain(w http.ResponseWriter, req *http.Request) {
+	var body nodeRequest
+	if !decodeBody(w, req, &body) {
+		return
+	}
+	rep, err := c.Drain(req.Context(), body.Node)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (c *Cluster) handleUndrain(w http.ResponseWriter, req *http.Request) {
+	var body nodeRequest
+	if !decodeBody(w, req, &body) {
+		return
+	}
+	if err := c.Undrain(body.Node); err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"node": body.Node})
+}
+
+func (c *Cluster) handleRebalance(w http.ResponseWriter, req *http.Request) {
+	var body struct{}
+	if !decodeBody(w, req, &body) {
+		return
+	}
+	moved, err := c.Rebalance(req.Context())
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"moved": moved})
+}
+
+func (c *Cluster) handleStatus(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET only", 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, c.Status())
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, req *http.Request) {
 	if req.Method != http.MethodGet {
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET only"})
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET only", 0)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -86,36 +227,53 @@ func (s *Server) handleHealthz(w http.ResponseWriter, req *http.Request) {
 }
 
 func decodeQuery(w http.ResponseWriter, req *http.Request, into *analyzeRequest) bool {
+	return decodeBody(w, req, into)
+}
+
+// decodeBody parses a POST body into `into`, answering the envelope on
+// any protocol error.
+func decodeBody(w http.ResponseWriter, req *http.Request, into any) bool {
 	if req.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST only", 0)
 		return false
 	}
 	dec := json.NewDecoder(req.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request: " + err.Error()})
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error(), 0)
 		return false
 	}
 	return true
 }
 
+// writeQueryError maps a session error to the v1 envelope.
 func writeQueryError(w http.ResponseWriter, err error) {
 	var ae *core.AdmissionError
 	switch {
 	case errors.As(err, &ae):
-		// Load shed: tell the client when to come back.
+		// Load shed: tell the client when to come back, in the header
+		// (whole seconds, rounded up) and the body (milliseconds).
+		ms := (ae.RetryAfterNs + 999_999) / 1_000_000
 		if ae.RetryAfterNs > 0 {
 			secs := (ae.RetryAfterNs + 999_999_999) / 1_000_000_000
 			w.Header().Set("Retry-After", fmt.Sprint(secs))
 		}
-		writeJSON(w, http.StatusTooManyRequests, errorResponse{
-			Error: err.Error(), Reason: ae.Reason, RetryAfterNs: ae.RetryAfterNs,
-		})
-	case errors.Is(err, ErrServerClosed):
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		writeError(w, http.StatusTooManyRequests, "overloaded", err.Error(), ms)
+	case errors.Is(err, ErrDuplicateID), errors.Is(err, ErrPendingID):
+		writeError(w, http.StatusConflict, "conflict", err.Error(), 0)
+	case errors.Is(err, ErrUnknownID), errors.Is(err, ErrUnknownNode):
+		writeError(w, http.StatusNotFound, "not_found", err.Error(), 0)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		writeError(w, statusClientClosedRequest, "canceled", err.Error(), 0)
+	case errors.Is(err, ErrServerClosed), errors.Is(err, ErrClusterClosed):
+		writeError(w, http.StatusServiceUnavailable, "unavailable", err.Error(), 0)
 	default:
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		writeError(w, http.StatusInternalServerError, "internal", err.Error(), 0)
 	}
+}
+
+func writeError(w http.ResponseWriter, status int, code, reason string, retryAfterMs int64) {
+	writeJSON(w, status, apiError{Code: code, Reason: reason, RetryAfterMs: retryAfterMs})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

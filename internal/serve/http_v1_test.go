@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hrtsched/internal/plan"
+)
+
+func postJSON(t *testing.T, url, body string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(b), resp.Header
+}
+
+func TestHTTPLegacyAliasesAreDeprecatedTwins(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := `{"tasks":[{"period_ns":1000000,"slice_ns":600000}]}`
+	for _, route := range []string{"/analyze", "/capacity"} {
+		v1Code, v1Body, v1Hdr := postJSON(t, ts.URL+"/v1"+route, body)
+		oldCode, oldBody, oldHdr := postJSON(t, ts.URL+route, body)
+		if v1Code != http.StatusOK || oldCode != v1Code {
+			t.Fatalf("%s: status v1=%d legacy=%d", route, v1Code, oldCode)
+		}
+		if oldBody != v1Body {
+			t.Fatalf("%s: legacy body diverges from v1:\n%s\n%s", route, oldBody, v1Body)
+		}
+		if oldHdr.Get("Deprecation") != "true" {
+			t.Fatalf("%s: legacy route not marked deprecated: %v", route, oldHdr)
+		}
+		if !strings.Contains(oldHdr.Get("Link"), `rel="successor-version"`) ||
+			!strings.Contains(oldHdr.Get("Link"), "/v1"+route) {
+			t.Fatalf("%s: legacy route lacks successor link: %q", route, oldHdr.Get("Link"))
+		}
+		if v1Hdr.Get("Deprecation") != "" {
+			t.Fatalf("%s: v1 route marked deprecated", route)
+		}
+	}
+}
+
+func TestHTTPErrorEnvelopeShape(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	decode := func(body string) apiError {
+		t.Helper()
+		var e apiError
+		if err := json.Unmarshal([]byte(body), &e); err != nil {
+			t.Fatalf("error body is not the envelope: %v in %s", err, body)
+		}
+		if e.Code == "" || e.Reason == "" {
+			t.Fatalf("envelope missing code/reason: %s", body)
+		}
+		return e
+	}
+
+	code, body, _ := postJSON(t, ts.URL+"/v1/analyze", `{"nope":1}`)
+	if e := decode(body); code != http.StatusBadRequest || e.Code != "bad_request" {
+		t.Fatalf("bad request: %d %s", code, body)
+	}
+	resp, err := http.Get(ts.URL + "/v1/analyze")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if e := decode(string(b)); resp.StatusCode != http.StatusMethodNotAllowed || e.Code != "method_not_allowed" {
+		t.Fatalf("method not allowed: %d %s", resp.StatusCode, b)
+	}
+	code, body, _ = postJSON(t, ts.URL+"/v1/cluster/place", `{"id":"x","tasks":[]}`)
+	if e := decode(body); code != http.StatusNotFound || e.Code != "not_found" {
+		t.Fatalf("cluster route without cluster: %d %s", code, body)
+	}
+}
+
+func TestHTTPClusterEndpoints(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 1})
+	c := newTestCluster(t, ClusterConfig{Nodes: 2})
+	ts := httptest.NewServer(s.HandlerWithCluster(c))
+	defer ts.Close()
+
+	// Place.
+	code, body, _ := postJSON(t, ts.URL+"/v1/cluster/place",
+		`{"id":"svc-a","tasks":[{"period_ns":100000,"slice_ns":20000}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("place: %d %s", code, body)
+	}
+	var res PlaceResult
+	if err := json.Unmarshal([]byte(body), &res); err != nil || !res.Placed || res.Node != 0 {
+		t.Fatalf("place result: %s (%v)", body, err)
+	}
+
+	// Duplicate id: 409 conflict envelope.
+	code, body, _ = postJSON(t, ts.URL+"/v1/cluster/place",
+		`{"id":"svc-a","tasks":[{"period_ns":100000,"slice_ns":20000}]}`)
+	var e apiError
+	json.Unmarshal([]byte(body), &e) //nolint:errcheck
+	if code != http.StatusConflict || e.Code != "conflict" {
+		t.Fatalf("duplicate place: %d %s", code, body)
+	}
+
+	// Status.
+	resp, err := http.Get(ts.URL + "/v1/cluster/status")
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var st ClusterStatus
+	if err := json.Unmarshal(b, &st); err != nil || st.Placed != 1 || len(st.Nodes) != 2 {
+		t.Fatalf("status body: %s (%v)", b, err)
+	}
+
+	// Drain, rebalance, undrain, remove.
+	if code, body, _ = postJSON(t, ts.URL+"/v1/cluster/drain", `{"node":0}`); code != http.StatusOK {
+		t.Fatalf("drain: %d %s", code, body)
+	}
+	var rep DrainReport
+	if err := json.Unmarshal([]byte(body), &rep); err != nil || rep.Moved != 1 {
+		t.Fatalf("drain report: %s (%v)", body, err)
+	}
+	if code, body, _ = postJSON(t, ts.URL+"/v1/cluster/undrain", `{"node":0}`); code != http.StatusOK {
+		t.Fatalf("undrain: %d %s", code, body)
+	}
+	if code, body, _ = postJSON(t, ts.URL+"/v1/cluster/rebalance", `{}`); code != http.StatusOK {
+		t.Fatalf("rebalance: %d %s", code, body)
+	}
+	if code, body, _ = postJSON(t, ts.URL+"/v1/cluster/remove", `{"id":"svc-a"}`); code != http.StatusOK {
+		t.Fatalf("remove: %d %s", code, body)
+	}
+	// Unknown id: 404 envelope.
+	code, body, _ = postJSON(t, ts.URL+"/v1/cluster/remove", `{"id":"svc-a"}`)
+	json.Unmarshal([]byte(body), &e) //nolint:errcheck
+	if code != http.StatusNotFound || e.Code != "not_found" {
+		t.Fatalf("remove unknown: %d %s", code, body)
+	}
+	// Unknown node: 404 envelope.
+	code, body, _ = postJSON(t, ts.URL+"/v1/cluster/drain", `{"node":7}`)
+	json.Unmarshal([]byte(body), &e) //nolint:errcheck
+	if code != http.StatusNotFound || e.Code != "not_found" {
+		t.Fatalf("drain unknown node: %d %s", code, body)
+	}
+}
+
+func TestServerContextCancellation(t *testing.T) {
+	// White-box: no workers, so the request stays queued while we cancel.
+	s, err := newServer(Config{Spec: testSpec, Shards: 1})
+	if err != nil {
+		t.Fatalf("newServer: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := s.AnalyzeContext(ctx, plan.TaskSet{{PeriodNs: 1_000_000, SliceNs: 1_000}}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled query error = %v", err)
+	}
+	// The queued request is dropped unprocessed when the shard gets to it.
+	sh := s.shards[0]
+	r := <-sh.ch
+	s.process(sh, []*request{r})
+	if sh.canceled.Load() != 1 || sh.processed.Load() != 0 {
+		t.Fatalf("canceled=%d processed=%d, want 1/0", sh.canceled.Load(), sh.processed.Load())
+	}
+	if !strings.Contains(s.reg.Render(), `hrtd_canceled_total{shard="0"} 1`) {
+		t.Fatalf("canceled drop not visible in metrics:\n%s", s.reg.Render())
+	}
+}

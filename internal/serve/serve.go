@@ -9,6 +9,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -103,6 +104,7 @@ const (
 )
 
 type request struct {
+	ctx     context.Context
 	kind    queryKind
 	set     plan.TaskSet // canonicalized before routing
 	digest  uint64
@@ -115,6 +117,7 @@ type response struct {
 	verdict  plan.Verdict
 	capacity plan.CapacityReport
 	cached   bool
+	canceled bool
 }
 
 type shard struct {
@@ -132,6 +135,7 @@ type shard struct {
 	processed atomic.Int64
 	batches   atomic.Int64
 	entries   atomic.Int64
+	canceled  atomic.Int64
 }
 
 // Server is the sharded admission-query service.
@@ -207,20 +211,44 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
-// Analyze answers an admission query for set, from cache when possible.
-// The returned bool reports whether the answer came from the cache.
-func (s *Server) Analyze(set plan.TaskSet) (plan.Verdict, bool, error) {
-	resp, err := s.submit(&request{kind: analyzeQuery, set: set})
+// AnalyzeContext answers an admission query for set, from cache when
+// possible. The returned bool reports whether the answer came from the
+// cache. Canceling ctx abandons the query: a request whose context is
+// done when its shard dequeues it is dropped unanswered and counted in
+// hrtd_canceled_total.
+func (s *Server) AnalyzeContext(ctx context.Context, set plan.TaskSet) (plan.Verdict, bool, error) {
+	resp, err := s.submit(ctx, &request{kind: analyzeQuery, set: set})
 	return resp.verdict, resp.cached, err
 }
 
-// Capacity answers a what-if capacity query for set; see plan.Capacity.
-func (s *Server) Capacity(set plan.TaskSet, probeNs int64) (plan.CapacityReport, error) {
-	resp, err := s.submit(&request{kind: capacityQuery, set: set, probeNs: probeNs})
+// CapacityContext answers a what-if capacity query for set with
+// cancellation; see plan.Capacity and AnalyzeContext.
+func (s *Server) CapacityContext(ctx context.Context, set plan.TaskSet, probeNs int64) (plan.CapacityReport, error) {
+	resp, err := s.submit(ctx, &request{kind: capacityQuery, set: set, probeNs: probeNs})
 	return resp.capacity, err
 }
 
-func (s *Server) submit(r *request) (response, error) {
+// Analyze answers an admission query without cancellation.
+//
+// Deprecated: use AnalyzeContext, which can abandon queued queries when
+// the caller gives up. Analyze is AnalyzeContext(context.Background(), …).
+func (s *Server) Analyze(set plan.TaskSet) (plan.Verdict, bool, error) {
+	return s.AnalyzeContext(context.Background(), set)
+}
+
+// Capacity answers a what-if capacity query without cancellation.
+//
+// Deprecated: use CapacityContext. Capacity is
+// CapacityContext(context.Background(), …).
+func (s *Server) Capacity(set plan.TaskSet, probeNs int64) (plan.CapacityReport, error) {
+	return s.CapacityContext(context.Background(), set, probeNs)
+}
+
+func (s *Server) submit(ctx context.Context, r *request) (response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	r.ctx = ctx
 	canon := r.set.Canonical()
 	r.set = canon
 	r.digest = canon.Digest()
@@ -250,7 +278,15 @@ func (s *Server) submit(r *request) (response, error) {
 				s.cfg.FlushWindow).Nanoseconds(),
 		}
 	}
-	return <-r.done, nil
+	select {
+	case resp := <-r.done:
+		if resp.canceled {
+			return response{}, ctx.Err()
+		}
+		return resp, nil
+	case <-ctx.Done():
+		return response{}, ctx.Err()
+	}
 }
 
 // runShard is a shard's worker loop: block for one request, then drain up
@@ -294,6 +330,13 @@ func (s *Server) runShard(sh *shard) {
 
 func (s *Server) process(sh *shard, batch []*request) {
 	for _, r := range batch {
+		if r.ctx != nil && r.ctx.Err() != nil {
+			// The caller gave up while this request was queued: drop it
+			// unanswered rather than spend analysis work on it.
+			sh.canceled.Add(1)
+			r.done <- response{canceled: true}
+			continue
+		}
 		var resp response
 		switch r.kind {
 		case analyzeQuery:
@@ -394,6 +437,8 @@ func (s *Server) registerMetrics() {
 	r.Gauge("hrtd_cache_hit_rate", "Aggregate cache hit rate in [0,1].", s.CacheHitRate)
 	r.CounterVec("hrtd_shed_total", "Load-shed requests per shard.",
 		perShard(func(sh *shard) float64 { return float64(sh.shed.Load()) }))
+	r.CounterVec("hrtd_canceled_total", "Requests dropped per shard: context canceled while queued.",
+		perShard(func(sh *shard) float64 { return float64(sh.canceled.Load()) }))
 	r.Histogram("hrtd_latency_us", "Query latency in microseconds per shard.",
 		func() []HistSample {
 			out := make([]HistSample, 0, len(s.shards)+1)

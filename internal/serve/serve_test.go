@@ -181,12 +181,15 @@ func TestHTTPShedAnswers429(t *testing.T) {
 	if resp.Header.Get("Retry-After") == "" {
 		t.Fatalf("429 without Retry-After header")
 	}
-	var body errorResponse
+	var body apiError
 	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
 		t.Fatalf("decode 429 body: %v", err)
 	}
-	if body.Reason != "server-overload" || body.RetryAfterNs <= 0 {
+	if body.Code != "overloaded" || body.RetryAfterMs <= 0 {
 		t.Fatalf("bad 429 body: %+v", body)
+	}
+	if !strings.Contains(body.Reason, "server-overload") {
+		t.Fatalf("429 reason lost the admission detail: %+v", body)
 	}
 }
 
