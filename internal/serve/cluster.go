@@ -39,12 +39,20 @@ type Cluster struct {
 	placements map[string]*placementRec
 	opMu       sync.Mutex
 
+	// placeGate fences Place's candidate walk against Drain: every walk
+	// holds the read lock, and Drain takes the write lock once after
+	// setting a node's draining flag, so any walk that read the stale
+	// flag has finished (and its placement is visible) before the drain
+	// snapshots the node's sets.
+	placeGate sync.RWMutex
+
 	placed     atomic.Int64
 	rejected   atomic.Int64
 	removed    atomic.Int64
 	rebalanced atomic.Int64
 	drained    atomic.Int64
 	canceled   atomic.Int64
+	unmatched  atomic.Int64
 }
 
 type placementRec struct {
@@ -153,7 +161,13 @@ type mutation struct {
 }
 
 type mutResult struct {
-	verdict  plan.Verdict
+	verdict plan.Verdict
+	// matched is true when the mutation changed the engine as intended:
+	// always for an applied place, and only when RemoveGang actually
+	// found the set for a remove. A false matched on a remove means the
+	// placement map and the engine disagreed — state divergence the
+	// caller must surface, never absorb.
+	matched  bool
 	canceled bool
 }
 
@@ -184,6 +198,11 @@ var (
 	ErrUnknownID     = errors.New("serve: unknown placement id")
 	ErrUnknownNode   = errors.New("serve: unknown node")
 	ErrPendingID     = errors.New("serve: placement id has a mutation in flight")
+	// ErrLostPlacement reports that a placement record's set was not
+	// found on its recorded node: the session's map and the node's
+	// engine diverged. The stale record is dropped and the divergence
+	// counted in hrtd_cluster_unmatched_removals_total.
+	ErrLostPlacement = errors.New("serve: placement not found on its node (state divergence)")
 )
 
 // NewCluster starts a placement session with cfg's node workers running.
@@ -276,6 +295,10 @@ func (c *Cluster) Place(ctx context.Context, id string, set plan.TaskSet) (Place
 	c.placements[id] = rec
 	c.mu.Unlock()
 
+	// The read lock pairs with Drain's write-lock barrier: it covers the
+	// walk AND the record commit, so once Drain has the barrier, any set
+	// this walk landed on the draining node is visible to its snapshot.
+	c.placeGate.RLock()
 	res, err := c.placeOnCandidates(ctx, set, c.candidates(), false)
 	c.mu.Lock()
 	if res.Placed {
@@ -286,6 +309,7 @@ func (c *Cluster) Place(ctx context.Context, id string, set plan.TaskSet) (Place
 		delete(c.placements, id)
 	}
 	c.mu.Unlock()
+	c.placeGate.RUnlock()
 	if err == nil && !res.Placed {
 		c.rejected.Add(1)
 	}
@@ -361,6 +385,13 @@ func (c *Cluster) Remove(ctx context.Context, id string) (plan.Verdict, error) {
 	if err != nil {
 		return plan.Verdict{}, err
 	}
+	if !r.matched {
+		// The engine never held this set: the record was stale. It is
+		// dropped either way, but the divergence is surfaced, not
+		// counted as a successful removal.
+		c.unmatched.Add(1)
+		return r.verdict, fmt.Errorf("%w: %q", ErrLostPlacement, id)
+	}
 	c.removed.Add(1)
 	return r.verdict, nil
 }
@@ -393,6 +424,15 @@ func (c *Cluster) Drain(ctx context.Context, nodeID int) (DrainReport, error) {
 	defer c.opMu.Unlock()
 	n := c.nodes[nodeID]
 	n.draining.Store(true)
+
+	// Barrier: a Place that read draining=false before the store above
+	// may still be walking candidates and could land its set here after
+	// we snapshot. Every walk holds placeGate's read lock, so acquiring
+	// the write lock waits those walks out — after it, any set that
+	// slipped onto this node is committed and visible to idsOnNode, and
+	// all later walks see the draining flag.
+	c.placeGate.Lock()
+	c.placeGate.Unlock() //nolint:staticcheck // empty section is the barrier
 
 	rep := DrainReport{Node: nodeID}
 	for _, id := range c.idsOnNode(nodeID) {
@@ -511,13 +551,18 @@ func (c *Cluster) idsOnNode(nodeID int) []string {
 	return ids
 }
 
-// moveSet evicts id from its node and re-places it on the first admitting
-// candidate. If every candidate rejects, the set is put back on `home`
-// (which always re-admits what it just released) and false is returned.
+// moveSet re-places id from `home` onto the first admitting node in
+// `order`. The destination admits the set BEFORE home releases it — the
+// per-node engines are independent, so the destination's verdict never
+// needed home's capacity freed — which means a rejection or an error at
+// any step leaves the set untouched on home: there is no put-back step
+// that can fail and lose a placed set. Between the admit and the release
+// the set is briefly reserved on both nodes; transient over-reservation
+// is the only intermediate state, never loss.
 func (c *Cluster) moveSet(ctx context.Context, id string, order []*node, home *node) (bool, error) {
 	c.mu.Lock()
 	rec, ok := c.placements[id]
-	if !ok || rec.pending {
+	if !ok || rec.pending || rec.node != home.id {
 		c.mu.Unlock()
 		return false, nil
 	}
@@ -525,27 +570,55 @@ func (c *Cluster) moveSet(ctx context.Context, id string, order []*node, home *n
 	set := rec.set
 	c.mu.Unlock()
 
-	finish := func(nodeID int, moved bool, err error) (bool, error) {
+	// Never "move" onto the node being vacated: admitting a second copy
+	// on home and then releasing one would churn the engine for nothing.
+	dst := make([]*node, 0, len(order))
+	for _, n := range order {
+		if n != home {
+			dst = append(dst, n)
+		}
+	}
+	res, err := c.placeOnCandidates(ctx, set, dst, false)
+	if err != nil || !res.Placed {
 		c.mu.Lock()
-		rec.node = nodeID
 		rec.pending = false
 		c.mu.Unlock()
-		return moved, err
+		return false, err
 	}
 
-	if _, err := c.submit(ctx, home, &mutation{op: removeOp, set: set}); err != nil {
-		return finish(home.id, false, err)
+	// Commit the new home before releasing the old copy, so at every
+	// instant the record points at a node whose engine holds the set.
+	c.mu.Lock()
+	rec.node = res.Node
+	rec.pending = false
+	c.mu.Unlock()
+
+	// Release home's copy. A client hangup must not abort a half-done
+	// move, and a transient queue shed must not strand phantom demand on
+	// home, so the release runs detached from ctx and retries through
+	// sheds until the home worker applies it (or the session closes,
+	// which tears down both engines anyway).
+	relCtx := context.WithoutCancel(ctx)
+	for {
+		r, rerr := c.submit(relCtx, home, &mutation{op: removeOp, set: set})
+		if rerr == nil {
+			if !r.matched {
+				c.unmatched.Add(1)
+			}
+			return true, nil
+		}
+		var ae *core.AdmissionError
+		if !errors.As(rerr, &ae) {
+			// Closed session: the destination placement stands; report
+			// the error so the admin operation stops cleanly.
+			return true, rerr
+		}
+		sleep := time.Duration(ae.RetryAfterNs)
+		if sleep <= 0 {
+			sleep = c.cfg.FlushWindow
+		}
+		time.Sleep(sleep)
 	}
-	res, err := c.placeOnCandidates(ctx, set, order, false)
-	if err == nil && res.Placed {
-		return finish(res.Node, true, nil)
-	}
-	// Put it back; the home node just released exactly this demand, so
-	// re-admission cannot fail the analysis.
-	if _, backErr := c.submit(ctx, home, &mutation{op: placeOp, set: set}); backErr != nil && err == nil {
-		err = backErr
-	}
-	return finish(home.id, false, err)
 }
 
 // submit queues one mutation on a node and waits for the worker's answer,
@@ -576,15 +649,23 @@ func (c *Cluster) submit(ctx context.Context, n *node, m *mutation) (mutResult, 
 				c.cfg.FlushWindow).Nanoseconds(),
 		}
 	}
-	select {
-	case r := <-m.done:
-		if r.canceled {
-			return mutResult{}, ctx.Err()
+	// Once queued, the worker owns cancellation: it drops a mutation
+	// whose context died while queued (answering canceled) and otherwise
+	// applies it, answering exactly once either way. Abandoning this wait
+	// on ctx.Done() instead would race the commit — the worker could
+	// apply the mutation in the same instant, and a committed place
+	// reported as canceled becomes phantom demand (or a committed remove
+	// a lost set) that no caller can ever reconcile. The worker's answer
+	// is authoritative, so we block for it; the wait is bounded by the
+	// queue depth times the batch apply time.
+	r := <-m.done
+	if r.canceled {
+		if err := ctx.Err(); err != nil {
+			return mutResult{}, err
 		}
-		return r, nil
-	case <-ctx.Done():
-		return mutResult{}, ctx.Err()
+		return mutResult{}, context.Canceled
 	}
+	return r, nil
 }
 
 // runNode is a node's worker loop: block for one mutation, drain up to
@@ -640,8 +721,9 @@ func (c *Cluster) applyBatch(n *node, batch []*mutation) {
 		switch m.op {
 		case placeOp:
 			r.verdict = n.eng.TryGang(m.set)
+			r.matched = true
 		case removeOp:
-			r.verdict, _ = n.eng.RemoveGang(m.set)
+			r.verdict, r.matched = n.eng.RemoveGang(m.set)
 		}
 		n.applied.Add(1)
 		n.utilBits.Store(math.Float64bits(n.eng.Utilization()))
@@ -674,6 +756,9 @@ type ClusterStatus struct {
 	Rebalanced int64        `json:"rebalanced_total"`
 	Drained    int64        `json:"drained_total"`
 	Canceled   int64        `json:"canceled_total"`
+	// Unmatched counts removals whose set was not on its recorded node;
+	// any nonzero value means placement state diverged from an engine.
+	Unmatched int64 `json:"unmatched_removals_total"`
 }
 
 // Status snapshots the cluster.
@@ -697,6 +782,7 @@ func (c *Cluster) Status() ClusterStatus {
 		Rebalanced: c.rebalanced.Load(),
 		Drained:    c.drained.Load(),
 		Canceled:   c.canceled.Load(),
+		Unmatched:  c.unmatched.Load(),
 	}
 	for _, n := range c.nodes {
 		st.Nodes = append(st.Nodes, NodeStatus{
@@ -738,6 +824,9 @@ func (c *Cluster) RegisterMetrics(r *Registry) {
 		func() float64 { return float64(c.drained.Load()) })
 	r.Counter("hrtd_cluster_canceled_total", "Mutations dropped: context canceled while queued.",
 		func() float64 { return float64(c.canceled.Load()) })
+	r.Counter("hrtd_cluster_unmatched_removals_total",
+		"Removals whose set was not on its recorded node (state divergence).",
+		func() float64 { return float64(c.unmatched.Load()) })
 	r.GaugeVec("hrtd_cluster_node_utilization", "Admitted utilization per node.",
 		perNode(func(n *node) float64 { return n.utilization() }))
 	r.GaugeVec("hrtd_cluster_node_tasks", "Admitted tasks per node.",

@@ -3,7 +3,9 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -321,6 +323,107 @@ func TestClusterMetricsRender(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Fatalf("metrics missing %q in:\n%s", want, text)
 		}
+	}
+}
+
+func TestClusterDrainWithCanceledContextLosesNothing(t *testing.T) {
+	c := newTestCluster(t, ClusterConfig{Nodes: 2})
+	ctx := context.Background()
+	for _, id := range []string{"a", "b"} {
+		if res, err := c.Place(ctx, id, setOfUtil(0.15)); err != nil || res.Node != 0 {
+			t.Fatalf("Place(%s): %+v, %v", id, res, err)
+		}
+	}
+	dead, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := c.Drain(dead, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled drain error = %v", err)
+	}
+	// The aborted drain moved nothing and lost nothing: destinations are
+	// admitted before home releases, so a cancellation mid-move leaves
+	// both sets recorded and committed on node 0.
+	st := c.Status()
+	if st.Placements != 2 || st.Nodes[0].Tasks != 2 || st.Nodes[1].Tasks != 0 {
+		t.Fatalf("canceled drain corrupted state: %+v", st)
+	}
+	if err := c.Undrain(0); err != nil {
+		t.Fatalf("Undrain: %v", err)
+	}
+	if rep, err := c.Drain(ctx, 0); err != nil || rep.Moved != 2 {
+		t.Fatalf("drain after canceled attempt: %+v, %v", rep, err)
+	}
+}
+
+func TestClusterRemoveSurfacesDivergence(t *testing.T) {
+	c := newTestCluster(t, ClusterConfig{Nodes: 1})
+	ctx := context.Background()
+	if res, err := c.Place(ctx, "a", setOfUtil(0.30)); err != nil || !res.Placed {
+		t.Fatalf("Place: %+v, %v", res, err)
+	}
+	// Corrupt the record so it names tasks the engine never admitted,
+	// simulating map/engine divergence.
+	c.mu.Lock()
+	c.placements["a"].set = setOfUtil(0.23)
+	c.mu.Unlock()
+	if _, err := c.Remove(ctx, "a"); !errors.Is(err, ErrLostPlacement) {
+		t.Fatalf("divergent remove error = %v", err)
+	}
+	st := c.Status()
+	if st.Removed != 0 || st.Unmatched != 1 || st.Placements != 0 {
+		t.Fatalf("divergence accounting wrong: %+v", st)
+	}
+	// An unmatched removal must leave the engine's real demand untouched.
+	if st.Nodes[0].Tasks != 1 {
+		t.Fatalf("unmatched removal mutated the engine: %+v", st)
+	}
+}
+
+func TestClusterDrainSeesRacingPlacements(t *testing.T) {
+	// Places racing the drain flag must end up either moved off the node
+	// or listed stranded — never silently parked on the draining node —
+	// and every record must stay backed by its node's engine.
+	for iter := 0; iter < 25; iter++ {
+		c := newTestCluster(t, ClusterConfig{Nodes: 2})
+		ctx := context.Background()
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				c.Place(ctx, fmt.Sprintf("s%d", i), setOfUtil(0.05)) //nolint:errcheck
+			}(i)
+		}
+		rep, err := c.Drain(ctx, 0)
+		if err != nil {
+			t.Fatalf("iter %d: Drain: %v", iter, err)
+		}
+		wg.Wait()
+		stranded := map[string]bool{}
+		for _, id := range rep.StrandedIDs {
+			stranded[id] = true
+		}
+		c.mu.Lock()
+		var unseen []string
+		recorded := 0
+		for id, rec := range c.placements {
+			recorded += len(rec.set)
+			if rec.node == 0 && !stranded[id] {
+				unseen = append(unseen, id)
+			}
+		}
+		c.mu.Unlock()
+		if len(unseen) != 0 {
+			t.Fatalf("iter %d: sets landed on draining node unseen: %v (report %+v)",
+				iter, unseen, rep)
+		}
+		committed := 0
+		for _, n := range c.nodes {
+			committed += n.eng.Len()
+		}
+		if committed != recorded {
+			t.Fatalf("iter %d: engines hold %d tasks, records say %d", iter, committed, recorded)
+		}
+		c.Close()
 	}
 }
 

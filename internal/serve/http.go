@@ -173,7 +173,9 @@ func (c *Cluster) handleDrain(w http.ResponseWriter, req *http.Request) {
 	if !decodeBody(w, req, &body) {
 		return
 	}
-	rep, err := c.Drain(req.Context(), body.Node)
+	// Detached context: a client hangup must not abort a multi-step
+	// admin operation halfway through its moves.
+	rep, err := c.Drain(context.WithoutCancel(req.Context()), body.Node)
 	if err != nil {
 		writeQueryError(w, err)
 		return
@@ -198,7 +200,8 @@ func (c *Cluster) handleRebalance(w http.ResponseWriter, req *http.Request) {
 	if !decodeBody(w, req, &body) {
 		return
 	}
-	moved, err := c.Rebalance(req.Context())
+	// Detached for the same reason as handleDrain.
+	moved, err := c.Rebalance(context.WithoutCancel(req.Context()))
 	if err != nil {
 		writeQueryError(w, err)
 		return
