@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: ci build vet test race planverify chaos bench serve-smoke cluster-smoke
+.PHONY: ci build vet test race planverify chaos bench bench-engine bench-record engine-bench-smoke serve-smoke cluster-smoke
 
 # ci is the tier-1 gate: every change must pass vet, build, the race-
-# enabled test suite, the planverify cross-check, and both serving-layer
-# smokes before it lands (see README "Testing").
-ci: vet build race planverify serve-smoke cluster-smoke
+# enabled test suite, the planverify cross-check, the engine benchmark
+# smoke, and both serving-layer smokes before it lands (see README
+# "Testing").
+ci: vet build race planverify engine-bench-smoke serve-smoke cluster-smoke
 
 build:
 	$(GO) build ./...
@@ -36,6 +37,23 @@ chaos:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-engine runs the event-engine microbenchmarks, rewrite and legacy
+# reference side by side.
+bench-engine:
+	$(GO) test ./internal/sim -run '^$$' -bench 'BenchmarkEngine|BenchmarkLegacy|BenchmarkFreeze' -benchmem
+
+# bench-record regenerates the committed benchmark trajectory artifact
+# (BENCH_PR4.json): engine microbenchmarks plus the Quick figure-suite
+# wall-clock, as machine-readable JSON.
+bench-record:
+	$(GO) run ./cmd/benchrecord -o BENCH_PR4.json
+
+# engine-bench-smoke compiles and exercises every engine benchmark for a
+# fixed 100 iterations — fast enough for ci, and it catches benchmarks
+# that panic or assert without paying for stable timings.
+engine-bench-smoke:
+	$(GO) test ./internal/sim -run '^$$' -bench 'BenchmarkEngine' -benchtime 100x
 
 # serve-smoke boots hrtd on an ephemeral port, drives it with hrtload for
 # two seconds, and fails on any hard error or a cache that never hits.

@@ -1,0 +1,172 @@
+// Command benchrecord captures the engine benchmark trajectory as a
+// committed JSON artifact (BENCH_PR4.json at the repository root). It runs
+// the internal/sim microbenchmarks — rewrite and preserved legacy engine
+// side by side — through `go test -bench`, parses the results, times the
+// Quick-preset figure suite wall-clock, and writes one machine-readable
+// record with the derived speedup ratios.
+//
+// Usage:
+//
+//	go run ./cmd/benchrecord                 # writes BENCH_PR4.json
+//	go run ./cmd/benchrecord -o out.json -benchtime 500x
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"time"
+
+	"hrtsched/internal/experiments"
+)
+
+// benchResult is one parsed `go test -bench` line.
+type benchResult struct {
+	N           int64   `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// record is the schema of BENCH_PR4.json.
+type record struct {
+	GeneratedBy string                 `json:"generated_by"`
+	GoVersion   string                 `json:"go_version"`
+	GOMAXPROCS  int                    `json:"gomaxprocs"`
+	Benchtime   string                 `json:"benchtime"`
+	Microbench  map[string]benchResult `json:"microbench"`
+	Derived     map[string]float64     `json:"derived"`
+	QuickSuite  quickSuite             `json:"quick_suite"`
+}
+
+// quickSuite is the wall-clock of every registered experiment at the Quick
+// preset — the end-to-end number the engine rewrite moves.
+type quickSuite struct {
+	TotalSeconds float64            `json:"total_seconds"`
+	Experiments  map[string]float64 `json:"experiments_seconds"`
+}
+
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+func main() {
+	var (
+		out       = flag.String("o", "BENCH_PR4.json", "output path")
+		benchtime = flag.String("benchtime", "", "passed to go test -benchtime (default: go's)")
+		pattern   = flag.String("bench", "BenchmarkEngine|BenchmarkLegacy|BenchmarkFreeze",
+			"benchmark name pattern")
+		skipSuite = flag.Bool("skip-suite", false, "skip the Quick figure-suite timing")
+	)
+	flag.Parse()
+
+	rec := record{
+		GeneratedBy: "cmd/benchrecord",
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Benchtime:   *benchtime,
+		Microbench:  map[string]benchResult{},
+		Derived:     map[string]float64{},
+	}
+
+	if err := runMicrobench(&rec, *pattern, *benchtime); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrecord:", err)
+		os.Exit(1)
+	}
+	derive(&rec)
+	if !*skipSuite {
+		runQuickSuite(&rec)
+	}
+
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrecord:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrecord:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks, quick suite %.2fs)\n",
+		*out, len(rec.Microbench), rec.QuickSuite.TotalSeconds)
+}
+
+// runMicrobench shells out to `go test -bench` for internal/sim and parses
+// every reported benchmark into rec.Microbench.
+func runMicrobench(rec *record, pattern, benchtime string) error {
+	args := []string{"test", "./internal/sim", "-run", "^$",
+		"-bench", pattern, "-benchmem", "-count", "1"}
+	if benchtime != "" {
+		args = append(args, "-benchtime", benchtime)
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	outBuf, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go test -bench: %w", err)
+	}
+	for _, line := range regexp.MustCompile(`\r?\n`).Split(string(outBuf), -1) {
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		var r benchResult
+		r.N, _ = strconv.ParseInt(m[2], 10, 64)
+		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		rec.Microbench[m[1]] = r
+	}
+	if len(rec.Microbench) == 0 {
+		return fmt.Errorf("no benchmark lines parsed from go test output")
+	}
+	return nil
+}
+
+// derive computes the rewrite-vs-legacy ratios the acceptance gates track.
+func derive(rec *record) {
+	ratio := func(legacy, rewritten string) (float64, bool) {
+		l, okL := rec.Microbench[legacy]
+		r, okR := rec.Microbench[rewritten]
+		if !okL || !okR || r.NsPerOp == 0 {
+			return 0, false
+		}
+		return l.NsPerOp / r.NsPerOp, true
+	}
+	pairs := map[string][2]string{
+		"freeze_storm_speedup_x": {"BenchmarkLegacyFreezeStorm", "BenchmarkEngineFreezeStorm"},
+		"rearm_speedup_x":        {"BenchmarkLegacyRearm", "BenchmarkEngineRearm"},
+		"cancel_heavy_speedup_x": {"BenchmarkLegacyCancelHeavy", "BenchmarkEngineCancelHeavy"},
+		"throughput_speedup_x":   {"BenchmarkLegacyThroughput", "BenchmarkEngineThroughput"},
+	}
+	for name, p := range pairs {
+		if v, ok := ratio(p[0], p[1]); ok {
+			rec.Derived[name] = v
+		}
+	}
+}
+
+// runQuickSuite times every registered experiment at the Quick preset.
+func runQuickSuite(rec *record) {
+	rec.QuickSuite.Experiments = map[string]float64{}
+	ids := experiments.IDs()
+	sort.Strings(ids)
+	start := time.Now()
+	for _, id := range ids {
+		t0 := time.Now()
+		if _, err := experiments.Run(id, experiments.DefaultOptions()); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrecord: experiment %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		rec.QuickSuite.Experiments[id] = time.Since(t0).Seconds()
+	}
+	rec.QuickSuite.TotalSeconds = time.Since(start).Seconds()
+}

@@ -38,13 +38,7 @@ func (s *LocalScheduler) startAction(t *Thread, now sim.Time) {
 				t.cur = nil
 				continue
 			}
-			gen := s.gen
-			s.actionEv = s.k.Eng.After(sim.Duration(t.curRemCycles), sim.Soft, func(dn sim.Time) {
-				if gen == s.gen {
-					s.actionEv = nil
-					s.onActionComplete(t, dn)
-				}
-			})
+			s.armAction(t, sim.Duration(t.curRemCycles))
 			return
 		case Call:
 			t.cur = nil
@@ -87,13 +81,7 @@ func (s *LocalScheduler) startAction(t *Thread, now sim.Time) {
 			if cost < 1 {
 				cost = 1
 			}
-			gen := s.gen
-			s.actionEv = s.k.Eng.After(sim.Duration(cost), sim.Soft, func(dn sim.Time) {
-				if gen == s.gen {
-					s.actionEv = nil
-					s.onActionComplete(t, dn)
-				}
-			})
+			s.armAction(t, sim.Duration(cost))
 			return
 		case admitMarker:
 			// Reached only on resume after preemption mid-admission; the

@@ -122,8 +122,8 @@ func (k *Kernel) startWatchdog() {
 	if cycles < 1 {
 		cycles = 1
 	}
-	var tick func(now sim.Time)
-	tick = func(now sim.Time) {
+	var wd *sim.Event
+	wd = k.Eng.NewEvent(sim.Hard, func(now sim.Time) {
 		for i, s := range k.Locals {
 			nowNs := s.nowNs(0)
 			if nowNs-s.lastPassNs < period {
@@ -136,9 +136,9 @@ func (k *Kernel) startWatchdog() {
 			s.Stats.WatchdogKicks++
 			k.Kick(i)
 		}
-		k.Eng.After(sim.Duration(cycles), sim.Hard, tick)
-	}
-	k.Eng.After(sim.Duration(cycles), sim.Hard, tick)
+		wd.RescheduleAfter(sim.Duration(cycles))
+	})
+	wd.RescheduleAfter(sim.Duration(cycles))
 }
 
 // NumCPUs returns the machine's hardware thread count.

@@ -86,8 +86,9 @@ type LocalScheduler struct {
 	runStartWall   sim.Time
 	missingAtStart sim.Duration
 	quantumEndNs   int64
-	actionEv       *sim.Event
-	stealEv        *sim.Event
+	actionEv       *sim.Event // pooled action-completion event (see armAction)
+	stealEv        *sim.Event // persistent steal-attempt event
+	stealGen       uint64     // s.gen when stealEv was last armed
 	rrCounter      uint64
 
 	periodicUtil float64
@@ -172,6 +173,23 @@ func newLocalScheduler(k *Kernel, cpu *machine.CPU, clock *timesync.Clock, cfg *
 		aperq:   newThreadHeap(cfg.MaxThreads, byPriorityRR),
 	}
 	s.sliceSlackCycles = 2*k.M.Spec.APICTickCycles + 64
+	// The steal attempt is per-pass churn with an at-most-one-pending
+	// invariant (armed only from dispatch, which follows a cancelling
+	// invocation, or from its own firing), so it re-arms one persistent
+	// event in place. The stale-firing guard moved from a captured closure
+	// variable to stealGen: an invocation bumps s.gen and cancels the
+	// event, so a firing armed under an older generation is ignored
+	// exactly as before.
+	s.stealEv = k.Eng.NewEvent(sim.Soft, func(now sim.Time) {
+		if s.stealGen != s.gen || s.current != nil {
+			return
+		}
+		if s.trySteal() {
+			s.invoke(ReasonThread, now)
+			return
+		}
+		s.armSteal()
+	})
 	cpu.SetSink(s)
 	return s
 }
@@ -655,6 +673,23 @@ func (s *LocalScheduler) cancelAction() {
 		s.actionEv.Cancel()
 		s.actionEv = nil
 	}
+}
+
+// armAction schedules completion of t's in-flight action d cycles from
+// now. Unlike the timer/steal/IRQ churn sites it deliberately schedules a
+// fresh pooled event per arm rather than re-arming one persistent event:
+// overlapping interrupt-handler windows (kernel.interruptHandlerWindow)
+// can arm a second completion while an earlier one is still pending, and
+// both firings are part of the engine-pinned deterministic behaviour. The
+// event object itself still comes from the engine's free list.
+func (s *LocalScheduler) armAction(t *Thread, d sim.Duration) {
+	gen := s.gen
+	s.actionEv = s.k.Eng.After(d, sim.Soft, func(dn sim.Time) {
+		if gen == s.gen {
+			s.actionEv = nil
+			s.onActionComplete(t, dn)
+		}
+	})
 }
 
 func (s *LocalScheduler) mustPush(h *threadHeap, t *Thread) {

@@ -8,34 +8,23 @@ import "hrtsched/internal/sim"
 // moved between local schedulers — which is what keeps parallel/distributed
 // admission control unnecessary and group scheduling simple.
 
-// armSteal schedules the next steal attempt while the CPU is idle.
+// armSteal schedules the next steal attempt while the CPU is idle, by
+// re-arming the persistent steal event in place (its handler lives in
+// newLocalScheduler).
 func (s *LocalScheduler) armSteal() {
 	if s.cfg.Steal == StealOff || s.k.NumCPUs() < 2 {
 		return
 	}
-	gen := s.gen
+	s.stealGen = s.gen
 	d := sim.Duration(s.clock.NanosToCycles(s.cfg.StealCheckNs))
 	if d < 1 {
 		d = 1
 	}
-	s.stealEv = s.k.Eng.After(d, sim.Soft, func(now sim.Time) {
-		if gen != s.gen || s.current != nil {
-			return
-		}
-		s.stealEv = nil
-		if s.trySteal() {
-			s.invoke(ReasonThread, now)
-			return
-		}
-		s.armSteal()
-	})
+	s.stealEv.RescheduleAfter(d)
 }
 
 func (s *LocalScheduler) cancelSteal() {
-	if s.stealEv != nil {
-		s.stealEv.Cancel()
-		s.stealEv = nil
-	}
+	s.stealEv.Cancel()
 }
 
 // trySteal attempts one victim selection and theft. It returns true if a

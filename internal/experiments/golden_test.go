@@ -1,0 +1,58 @@
+package experiments
+
+import "testing"
+
+// goldenDigests pins the exact stats.Figure contents of three experiments
+// at the Quick preset with the default seed. The values were captured from
+// the pre-PR-4 container/heap engine and must never drift: the event core
+// may be rearchitected for speed, but event ordering, SMI slip accounting
+// and RNG consumption have to stay bit-for-bit identical, and these three
+// harnesses together exercise single-CPU timer churn (fig6), cross-CPU
+// group synchronization (fig11), and device-interrupt storms with priority
+// filtering (ablation-steering).
+var goldenDigests = map[string]string{
+	"fig6":              "56e59cdff2ee650aec0e5a86653de9ec2bea766961bac8eb90ba238f2e76ccce",
+	"fig11":             "780332f9d534e2876c6808895e0dfbe8b3cf8e5f52d740a94c8af5841fc69159",
+	"ablation-steering": "e494eee085db1980ab6a39cbfd7f39599045650fdb95242b5901f45baa5d18a2",
+}
+
+func TestGoldenDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second experiment runs, skipped in -short")
+	}
+	for id, want := range goldenDigests {
+		id, want := id, want
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			fig, err := Run(id, DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := fig.Digest()
+			if got != want {
+				t.Fatalf("digest drifted: got %s, want %s\nthe engine rewrite changed observable behaviour; figure now:\n%s",
+					got, want, fig.Format())
+			}
+		})
+	}
+}
+
+// TestGoldenRerunStable guards the guard: the same harness run twice in
+// one process must digest identically, otherwise the pinned values above
+// test nothing.
+func TestGoldenRerunStable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs, skipped in -short")
+	}
+	a, err := Run("fig6", DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("fig6", DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatalf("fig6 is not deterministic within one process: %s vs %s", a.Digest(), b.Digest())
+	}
+}

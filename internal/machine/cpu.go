@@ -47,7 +47,7 @@ type CPU struct {
 
 	tscOffset int64 // TSC reading = wall clock + tscOffset
 
-	timerEvent *sim.Event
+	timerEvent *sim.Event // persistent one-shot firing, re-armed in place
 	timerFault TimerFault
 	lostFires  int64
 	tpr        uint8
@@ -56,7 +56,15 @@ type CPU struct {
 }
 
 func newCPU(m *Machine, id int, bootAt sim.Time, tscOffset int64) *CPU {
-	return &CPU{id: id, mach: m, bootAt: bootAt, tscOffset: tscOffset}
+	c := &CPU{id: id, mach: m, bootAt: bootAt, tscOffset: tscOffset}
+	// The one-shot timer is the hottest churn site in the whole simulator:
+	// every scheduler pass disarms and re-arms it. A single pre-bound
+	// persistent event makes each re-arm an in-place heap fix with zero
+	// allocations instead of a cancel-plus-new-event pair.
+	c.timerEvent = m.Eng.NewEvent(sim.Hard, func(now sim.Time) {
+		c.RaiseInterrupt(VecTimer)
+	})
+	return c
 }
 
 // ID returns the hardware thread index.
@@ -185,10 +193,7 @@ func (c *CPU) armTimer(d int64) {
 			d = 1
 		}
 	}
-	c.timerEvent = c.mach.Eng.After(sim.Duration(d), sim.Hard, func(now sim.Time) {
-		c.timerEvent = nil
-		c.RaiseInterrupt(VecTimer)
-	})
+	c.timerEvent.RescheduleAfter(sim.Duration(d))
 }
 
 // SetOneShotNanos programs the one-shot timer for approximately ns
@@ -225,14 +230,11 @@ func (c *CPU) retirePending(v Vector) {
 
 // CancelTimer disarms a pending one-shot timer, if any.
 func (c *CPU) CancelTimer() {
-	if c.timerEvent != nil {
-		c.timerEvent.Cancel()
-		c.timerEvent = nil
-	}
+	c.timerEvent.Cancel()
 }
 
 // TimerArmed reports whether a one-shot timer is pending.
-func (c *CPU) TimerArmed() bool { return c.timerEvent != nil }
+func (c *CPU) TimerArmed() bool { return c.timerEvent.Armed() }
 
 // SendIPI sends an interprocessor interrupt to dst, arriving after the
 // platform's IPI flight latency.

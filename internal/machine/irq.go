@@ -13,6 +13,7 @@ type DeviceSource struct {
 	target          int
 	ctl             *IRQController
 	rng             *sim.Rand
+	ev              *sim.Event // persistent arrival event, re-armed per gap
 	raised, dropped int64
 	running         bool
 }
@@ -34,23 +35,27 @@ func (d *DeviceSource) schedule() {
 		return
 	}
 	d.running = true
-	var next func(sim.Time)
-	next = func(now sim.Time) {
-		if !d.running {
-			return
-		}
-		d.Raise()
-		gap := sim.Duration(float64(d.MeanGapCycles) * d.rng.ExpFloat64())
-		if gap < 1 {
-			gap = 1
-		}
-		d.ctl.mach.Eng.After(gap, sim.Hard, next)
+	if d.ev == nil {
+		// One persistent event carries the whole arrival process: each
+		// delivery re-arms it in place for the next exponential gap, so a
+		// device storm costs zero allocations per interrupt.
+		d.ev = d.ctl.mach.Eng.NewEvent(sim.Hard, func(now sim.Time) {
+			if !d.running {
+				return
+			}
+			d.Raise()
+			d.armNext()
+		})
 	}
+	d.armNext()
+}
+
+func (d *DeviceSource) armNext() {
 	gap := sim.Duration(float64(d.MeanGapCycles) * d.rng.ExpFloat64())
 	if gap < 1 {
 		gap = 1
 	}
-	d.ctl.mach.Eng.After(gap, sim.Hard, next)
+	d.ev.RescheduleAfter(gap)
 }
 
 // Stop halts autonomous interrupt generation from this source.

@@ -9,6 +9,7 @@ import "hrtsched/internal/sim"
 type SMIController struct {
 	mach    *Machine
 	rng     *sim.Rand
+	ev      *sim.Event // persistent injection event, re-armed per gap
 	enabled bool
 	count   int64
 	total   sim.Duration
@@ -79,22 +80,27 @@ func (s *SMIController) fire(now sim.Time, d sim.Duration) {
 }
 
 func (s *SMIController) scheduleNext() {
+	if s.ev == nil {
+		// One persistent event drives the Poisson injection chain; each
+		// firing re-arms it in place for the next gap.
+		s.ev = s.mach.Eng.NewEvent(sim.Hard, func(now sim.Time) {
+			if !s.enabled {
+				return
+			}
+			d := s.mach.Spec.SMIDurationCycles
+			if j := s.mach.Spec.SMIDurationJitter; j > 0 {
+				d += s.rng.Range(-j, j)
+			}
+			if d < 0 {
+				d = 0
+			}
+			s.fire(now, sim.Duration(d))
+			s.scheduleNext()
+		})
+	}
 	gap := sim.Duration(float64(s.mach.Spec.MeanSMIGapCycles) * s.rng.ExpFloat64())
 	if gap < 1 {
 		gap = 1
 	}
-	s.mach.Eng.After(gap, sim.Hard, func(now sim.Time) {
-		if !s.enabled {
-			return
-		}
-		d := s.mach.Spec.SMIDurationCycles
-		if j := s.mach.Spec.SMIDurationJitter; j > 0 {
-			d += s.rng.Range(-j, j)
-		}
-		if d < 0 {
-			d = 0
-		}
-		s.fire(now, sim.Duration(d))
-		s.scheduleNext()
-	})
+	s.ev.RescheduleAfter(gap)
 }

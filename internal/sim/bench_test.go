@@ -9,6 +9,7 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	var next func(Time)
 	next = func(Time) { e.After(10, Soft, next) }
 	e.After(10, Soft, next)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.Step()
@@ -42,6 +43,116 @@ func BenchmarkFreeze(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.Freeze(1)
+	}
+}
+
+// freezeStormPending is the queue depth for the SMI-storm benchmarks: the
+// gated speedup test (speedup_test.go) measures Freeze over this many
+// pending soft events, rewrite vs legacy engine.
+const freezeStormPending = 10_000
+
+// BenchmarkEngineFreezeStorm measures one SMI freeze extension over a deep
+// soft queue on the rewritten engine, where it is two counter updates.
+// Each iteration extends the window by one cycle so the slow path (the
+// legacy counterpart's full rescan) cannot short-circuit on overlap.
+func BenchmarkEngineFreezeStorm(b *testing.B) {
+	e := NewEngine()
+	for i := 0; i < freezeStormPending; i++ {
+		e.Schedule(Time(1<<40+i), Soft, func(Time) {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Freeze(Duration(i + 1))
+	}
+}
+
+// BenchmarkLegacyFreezeStorm is the same storm against the preserved
+// pre-rewrite engine: every freeze rescans all pending soft events and
+// re-heapifies the whole queue.
+func BenchmarkLegacyFreezeStorm(b *testing.B) {
+	e := newLegacyEngine()
+	for i := 0; i < freezeStormPending; i++ {
+		e.Schedule(Time(1<<40+i), Soft, func(Time) {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Freeze(Duration(i + 1))
+	}
+}
+
+// BenchmarkEngineRearm measures the one-shot-timer churn pattern on the
+// rewritten engine: cancel a pending persistent event and re-arm it in
+// place. This is the path behind machine.CPU.SetOneShot* and must stay at
+// zero allocations per op (asserted by the gated test).
+func BenchmarkEngineRearm(b *testing.B) {
+	e := NewEngine()
+	ev := e.NewEvent(Hard, func(Time) {})
+	ev.Reschedule(1 << 39)
+	for i := 0; i < 1024; i++ {
+		e.Schedule(Time(1<<40+i), Hard, func(Time) {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Cancel()
+		ev.Reschedule(Time(1<<39) + Time(i&1023))
+	}
+}
+
+// BenchmarkLegacyRearm is the same churn the pre-rewrite way: an eager
+// heap removal plus a freshly allocated event per re-arm.
+func BenchmarkLegacyRearm(b *testing.B) {
+	e := newLegacyEngine()
+	ev := e.Schedule(1<<39, Hard, func(Time) {})
+	for i := 0; i < 1024; i++ {
+		e.Schedule(Time(1<<40+i), Hard, func(Time) {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Cancel()
+		ev = e.Schedule(Time(1<<39)+Time(i&1023), Hard, func(Time) {})
+	}
+}
+
+// BenchmarkEngineCancelHeavy measures schedule-then-cancel churn, the
+// pattern of retired scheduler passes: lazy tombstoning plus periodic
+// compaction on the rewritten engine.
+func BenchmarkEngineCancelHeavy(b *testing.B) {
+	e := NewEngine()
+	fn := func(Time) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Time(1<<40)+Time(i&4095), Soft, fn).Cancel()
+	}
+}
+
+// BenchmarkLegacyCancelHeavy is the same churn with eager heap removal and
+// per-schedule allocation.
+func BenchmarkLegacyCancelHeavy(b *testing.B) {
+	e := newLegacyEngine()
+	fn := func(Time) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Time(1<<40)+Time(i&4095), Soft, fn).Cancel()
+	}
+}
+
+// BenchmarkLegacyThroughput is BenchmarkEngineThroughput against the
+// preserved engine, for the pooled-allocation comparison in BENCH_PR4.
+func BenchmarkLegacyThroughput(b *testing.B) {
+	e := newLegacyEngine()
+	var next func(Time)
+	next = func(Time) { e.After(10, Soft, next) }
+	e.After(10, Soft, next)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
 	}
 }
 

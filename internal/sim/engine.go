@@ -1,7 +1,5 @@
 package sim
 
-import "container/heap"
-
 // EventClass distinguishes hardware from software events. Hardware events
 // (timer expiry, interrupt delivery) occur at fixed wall-clock instants and
 // are unaffected by SMIs except that their handling is deferred until the
@@ -22,75 +20,132 @@ const (
 // later than the time the event was scheduled for.
 type Handler func(now Time)
 
-// Event is a scheduled occurrence in the simulation. Events are created via
-// Engine.Schedule* and may be cancelled until they fire.
+// Event is a scheduled occurrence in the simulation: an intrusive node in
+// one of the engine's two class heaps plus, for pooled events, a free-list
+// link.
+//
+// Ownership contract: events returned by Schedule/After are pooled — the
+// engine reclaims them once they fire or once their cancellation is
+// collected, after which the object may be reused for an unrelated later
+// Schedule. Callers may hold the pointer only until the event fires or
+// they cancel it; Cancel before firing is always safe, but a retained
+// pointer must not be used (Cancel, Reschedule, At) after the handler has
+// run. Call sites that re-arm across firings hold a persistent event from
+// NewEvent instead, which is never pooled and may be Rescheduled freely.
 type Event struct {
-	at      Time
-	seq     uint64
-	class   EventClass
-	fn      Handler
-	index   int // heap index, -1 once popped or cancelled
-	engine  *Engine
-	cancled bool
+	// key orders the event within its class heap. For hard events it is
+	// the absolute firing time. For soft events it is slip-relative:
+	// scheduled-at minus the cumulative SMI missing time observed when the
+	// event was (re)scheduled, so that effective time = key + missingTime.
+	// A freeze then shifts every pending soft event at once by advancing
+	// missingTime — O(1) instead of the former rescan-and-reheapify.
+	key       Time
+	seq       uint64
+	fn        Handler
+	engine    *Engine
+	next      *Event // free-list link while pooled and idle
+	index     int32  // position in its class heap, -1 when not queued
+	class     EventClass
+	cancelled bool
+	pooled    bool
 }
 
-// At reports the time the event is currently scheduled for.
-func (e *Event) At() Time { return e.at }
+// At reports the time the event is currently scheduled for (including SMI
+// slip accumulated so far, and deferral for frozen hard events). It is
+// meaningful only while the caller still owns the event.
+func (ev *Event) At() Time {
+	if ev.class == Soft {
+		return ev.key + Time(ev.engine.missingTime)
+	}
+	return ev.key
+}
 
 // Cancelled reports whether Cancel was called before the event fired.
-func (e *Event) Cancelled() bool { return e.cancled }
+func (ev *Event) Cancelled() bool { return ev.cancelled }
+
+// Armed reports whether the event is queued to fire.
+func (ev *Event) Armed() bool { return ev.index >= 0 && !ev.cancelled }
 
 // Cancel removes the event from the queue. Cancelling an event that has
-// already fired or been cancelled is a no-op.
-func (e *Event) Cancel() {
-	if e.cancled || e.index < 0 {
-		e.cancled = true
+// already fired or been cancelled is a no-op. Cancellation is lazy: the
+// event is tombstoned in place and collected when it reaches the head of
+// its heap or at the next compaction, so Cancel is O(1).
+func (ev *Event) Cancel() {
+	if ev.cancelled {
 		return
 	}
-	e.cancled = true
-	heap.Remove(&e.engine.queue, e.index)
-	e.index = -1
-}
-
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+	ev.cancelled = true
+	if ev.index < 0 {
+		return
 	}
-	return q[i].seq < q[j].seq
+	e := ev.engine
+	e.live--
+	e.tombstones++
+	e.maybeCompact()
 }
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+
+// Reschedule arms the event to fire at time at, assigning it a fresh
+// sequence number exactly as a new Schedule would. It works in place: a
+// queued event (cancelled or not) is re-keyed and fixed within its heap, an
+// idle persistent event is pushed. It panics if at precedes the current
+// time, or when called on a pooled event that already fired (the object is
+// no longer owned by the caller).
+func (ev *Event) Reschedule(at Time) {
+	e := ev.engine
+	if at < e.now {
+		panic("sim: scheduling event in the past")
+	}
+	e.seq++
+	key := at
+	if ev.class == Soft {
+		key -= Time(e.missingTime)
+	}
+	ev.seq = e.seq
+	if ev.index >= 0 {
+		if ev.cancelled {
+			ev.cancelled = false
+			e.live++
+			e.tombstones--
+		}
+		ev.key = key
+		e.heapFor(ev).fix(int(ev.index))
+		return
+	}
+	if ev.pooled {
+		panic("sim: Reschedule on a pooled event after it fired")
+	}
+	ev.cancelled = false
+	ev.key = key
+	e.heapFor(ev).push(ev)
+	e.live++
 }
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+
+// RescheduleAfter arms the event to fire d cycles from now.
+func (ev *Event) RescheduleAfter(d Duration) {
+	ev.Reschedule(ev.engine.now + d)
 }
 
 // Engine is a single-threaded discrete-event simulator. It is not safe for
 // concurrent use; parallelism in this repository always lives one level up,
 // with many independent Engines running on separate goroutines.
+//
+// Events live in two intrusive 4-ary min-heaps, one per class. Hard events
+// are keyed on absolute time; soft events on slip-relative time (see
+// Event.key), which makes Freeze O(1). The next event overall is the
+// smaller of the two heads under (effective time, seq) — seq is globally
+// unique across both heaps, so the order is total and identical to the
+// former single-queue implementation.
 type Engine struct {
-	queue       eventQueue
+	hard        eventHeap
+	soft        eventHeap
 	now         Time
 	seq         uint64
 	frozenUntil Time
 	missingTime Duration // cumulative SMI freeze time observed so far
 	steps       uint64
+	live        int    // queued, non-cancelled events
+	tombstones  int    // cancelled events still occupying heap slots
+	free        *Event // pooled events awaiting reuse
 }
 
 // NewEngine returns an engine with the clock at time zero.
@@ -113,17 +168,58 @@ func (e *Engine) MissingTime() Duration { return e.missingTime }
 func (e *Engine) FrozenUntil() Time { return e.frozenUntil }
 
 // Pending returns the number of events waiting in the queue.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.live }
+
+func (e *Engine) heapFor(ev *Event) *eventHeap {
+	if ev.class == Soft {
+		return &e.soft
+	}
+	return &e.hard
+}
+
+// alloc takes an event from the free list, or makes one.
+func (e *Engine) alloc() *Event {
+	if ev := e.free; ev != nil {
+		e.free = ev.next
+		ev.next = nil
+		return ev
+	}
+	return &Event{engine: e, index: -1}
+}
+
+// release returns a collected pooled event to the free list; persistent
+// events are simply left unqueued.
+func (e *Engine) release(ev *Event) {
+	if !ev.pooled {
+		return
+	}
+	ev.fn = nil
+	ev.next = e.free
+	e.free = ev
+}
 
 // Schedule enqueues fn to run at time at with the given class. It panics if
-// at precedes the current time.
+// at precedes the current time. The returned event is pooled: see the
+// ownership contract on Event.
 func (e *Engine) Schedule(at Time, class EventClass, fn Handler) *Event {
 	if at < e.now {
 		panic("sim: scheduling event in the past")
 	}
+	ev := e.alloc()
+	ev.class = class
+	ev.fn = fn
+	ev.pooled = true
+	ev.cancelled = false
 	e.seq++
-	ev := &Event{at: at, seq: e.seq, class: class, fn: fn, engine: e}
-	heap.Push(&e.queue, ev)
+	ev.seq = e.seq
+	if class == Soft {
+		ev.key = at - Time(e.missingTime)
+		e.soft.push(ev)
+	} else {
+		ev.key = at
+		e.hard.push(ev)
+	}
+	e.live++
 	return ev
 }
 
@@ -132,10 +228,21 @@ func (e *Engine) After(d Duration, class EventClass, fn Handler) *Event {
 	return e.Schedule(e.now+d, class, fn)
 }
 
+// NewEvent returns an idle persistent event bound to class and fn. It is
+// not queued until Reschedule is called, never enters the pool, and may be
+// re-armed (Reschedule) or disarmed (Cancel) any number of times —
+// including from inside its own handler. This is the allocation-free
+// re-arm primitive behind one-shot timers, device interrupt sources and
+// the other steady-state churn sites.
+func (e *Engine) NewEvent(class EventClass, fn Handler) *Event {
+	return &Event{engine: e, class: class, fn: fn, index: -1}
+}
+
 // Freeze models an SMI: all software progress stops for d cycles starting
 // now. Every pending soft event slips by d; hard events are untouched but
 // will be handled no earlier than the freeze end. Nested freezes extend the
-// current one.
+// current one. Because soft events are keyed slip-relative, the whole
+// shift is the two counter updates below — O(1) regardless of queue size.
 func (e *Engine) Freeze(d Duration) {
 	if d <= 0 {
 		return
@@ -151,45 +258,94 @@ func (e *Engine) Freeze(d Duration) {
 	}
 	e.frozenUntil = end
 	e.missingTime += d
-	for _, ev := range e.queue {
-		if ev.class == Soft {
-			ev.at += d
-		}
-	}
-	heap.Init(&e.queue)
 }
 
-// peek discards cancelled events from the head of the queue and returns the
-// next live event, or nil if none remain.
-func (e *Engine) peek() *Event {
-	for len(e.queue) > 0 && e.queue[0].cancled {
-		heap.Pop(&e.queue)
+// maybeCompact rebuilds the heaps once cancelled events outnumber live
+// ones (and are numerous enough to matter), bounding the memory and
+// pop-skip cost of lazy cancellation.
+func (e *Engine) maybeCompact() {
+	const minTombstones = 64
+	if e.tombstones >= minTombstones && e.tombstones > e.live {
+		e.hard.compact(e)
+		e.soft.compact(e)
+		e.tombstones = 0
 	}
-	if len(e.queue) == 0 {
+}
+
+// collectHeads discards cancelled events sitting at either heap head so
+// the heads are live (or the heaps empty).
+func (e *Engine) collectHeads() {
+	for {
+		hh := e.hard.head()
+		if hh == nil || !hh.cancelled {
+			break
+		}
+		e.hard.popMin()
+		e.tombstones--
+		e.release(hh)
+	}
+	for {
+		sh := e.soft.head()
+		if sh == nil || !sh.cancelled {
+			break
+		}
+		e.soft.popMin()
+		e.tombstones--
+		e.release(sh)
+	}
+}
+
+// popNext removes and returns the next live event in (effective time, seq)
+// order across both heaps, or nil if none remain. Hard events are compared
+// at their stored (pre-deferral) key, exactly as the single-queue
+// implementation did; deferral happens in Step.
+func (e *Engine) popNext() *Event {
+	e.collectHeads()
+	hh, sh := e.hard.head(), e.soft.head()
+	if hh == nil && sh == nil {
 		return nil
 	}
-	return e.queue[0]
+	var ev *Event
+	switch {
+	case sh == nil:
+		ev = e.hard.popMin()
+	case hh == nil:
+		ev = e.soft.popMin()
+	default:
+		sa := sh.key + Time(e.missingTime)
+		if hh.key < sa || (hh.key == sa && hh.seq < sh.seq) {
+			ev = e.hard.popMin()
+		} else {
+			ev = e.soft.popMin()
+		}
+	}
+	e.live--
+	return ev
 }
 
 // Step handles the next event, advancing the clock. It returns false when
 // the queue is empty. Hard events scheduled inside a freeze window are
 // deferred to the freeze end before their handler runs.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.cancled {
-			continue
+	for {
+		ev := e.popNext()
+		if ev == nil {
+			return false
 		}
-		at := ev.at
-		if ev.class == Hard && at < e.frozenUntil {
+		if ev.class == Hard && ev.key < e.frozenUntil {
 			// Hardware fired during an SMI; handling waits for the freeze
-			// to end. Requeue at the deferred time so ordering with other
-			// deferred events stays stable.
-			ev.at = e.frozenUntil
+			// to end. Requeue at the deferred time with a fresh sequence
+			// number so ordering with other deferred events stays stable.
+			ev.key = e.frozenUntil
 			e.seq++
 			ev.seq = e.seq
-			heap.Push(&e.queue, ev)
+			e.hard.push(ev)
+			e.live++
 			continue
+		}
+		at := ev.key
+		if ev.class == Soft {
+			at += Time(e.missingTime)
 		}
 		if at < e.now {
 			panic("sim: time went backwards")
@@ -197,9 +353,41 @@ func (e *Engine) Step() bool {
 		e.now = at
 		e.steps++
 		ev.fn(at)
+		// Reclaim the event unless the handler re-armed it (persistent
+		// events rescheduling themselves).
+		if ev.pooled && ev.index < 0 {
+			e.release(ev)
+		}
 		return true
 	}
-	return false
+}
+
+// nextAt reports the effective handling time of the next live event
+// (accounting for hard-event deferral), or false if the queue is empty.
+func (e *Engine) nextAt() (Time, bool) {
+	e.collectHeads()
+	hh, sh := e.hard.head(), e.soft.head()
+	if hh == nil && sh == nil {
+		return 0, false
+	}
+	head := hh
+	switch {
+	case hh == nil:
+		head = sh
+	case sh == nil:
+	default:
+		sa := sh.key + Time(e.missingTime)
+		if !(hh.key < sa || (hh.key == sa && hh.seq < sh.seq)) {
+			head = sh
+		}
+	}
+	at := head.key
+	if head.class == Soft {
+		at += Time(e.missingTime)
+	} else if at < e.frozenUntil {
+		at = e.frozenUntil
+	}
+	return at, true
 }
 
 // Run handles events until the queue is empty or the clock passes until.
@@ -208,15 +396,8 @@ func (e *Engine) Step() bool {
 func (e *Engine) Run(until Time) uint64 {
 	var n uint64
 	for {
-		head := e.peek()
-		if head == nil {
-			break
-		}
-		next := head.at
-		if head.class == Hard && next < e.frozenUntil {
-			next = e.frozenUntil
-		}
-		if next > until {
+		next, ok := e.nextAt()
+		if !ok || next > until {
 			break
 		}
 		if !e.Step() {
@@ -224,11 +405,9 @@ func (e *Engine) Run(until Time) uint64 {
 		}
 		n++
 	}
-	if e.now < until && len(e.queue) == 0 {
-		e.now = until
-	} else if e.now < until {
-		// Next event is beyond until; advance the clock to until so callers
-		// see a consistent stopping time.
+	// Advance the clock to until (the queue is drained or its head lies
+	// beyond) so callers see a consistent stopping time.
+	if e.now < until {
 		e.now = until
 	}
 	return n

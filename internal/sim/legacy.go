@@ -1,0 +1,194 @@
+package sim
+
+import "container/heap"
+
+// This file preserves the pre-PR-4 container/heap engine as an internal
+// reference implementation. It exists for two reasons: the gated A/B
+// speedup tests in speedup_test.go measure the rewrite against it, and the
+// randomized equivalence test in engine_matrix_test.go drives both engines
+// with identical workloads and asserts identical firing sequences. It is
+// deliberately not reachable from any non-test code and can be deleted
+// once a few PRs of benchmark trajectory have accumulated.
+
+// legacyEvent is the reference implementation's event: one `any`-boxed
+// binary-heap node, eagerly removed on cancel.
+type legacyEvent struct {
+	at        Time
+	seq       uint64
+	class     EventClass
+	fn        Handler
+	index     int // heap index, -1 once popped or cancelled
+	engine    *legacyEngine
+	cancelled bool
+}
+
+func (e *legacyEvent) At() Time        { return e.at }
+func (e *legacyEvent) Cancelled() bool { return e.cancelled }
+
+func (e *legacyEvent) Cancel() {
+	if e.cancelled || e.index < 0 {
+		e.cancelled = true
+		return
+	}
+	e.cancelled = true
+	heap.Remove(&e.engine.queue, e.index)
+	e.index = -1
+}
+
+type legacyQueue []*legacyEvent
+
+func (q legacyQueue) Len() int { return len(q) }
+func (q legacyQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q legacyQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *legacyQueue) Push(x any) {
+	e := x.(*legacyEvent)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *legacyQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// legacyEngine is the pre-PR-4 engine: a single container/heap queue,
+// O(n + heap.Init) Freeze, per-Schedule allocation, eager cancellation.
+type legacyEngine struct {
+	queue       legacyQueue
+	now         Time
+	seq         uint64
+	frozenUntil Time
+	missingTime Duration
+	steps       uint64
+}
+
+func newLegacyEngine() *legacyEngine { return &legacyEngine{} }
+
+func (e *legacyEngine) Now() Time             { return e.now }
+func (e *legacyEngine) Steps() uint64         { return e.steps }
+func (e *legacyEngine) MissingTime() Duration { return e.missingTime }
+func (e *legacyEngine) FrozenUntil() Time     { return e.frozenUntil }
+func (e *legacyEngine) Pending() int          { return len(e.queue) }
+
+func (e *legacyEngine) Schedule(at Time, class EventClass, fn Handler) *legacyEvent {
+	if at < e.now {
+		panic("sim: scheduling event in the past")
+	}
+	e.seq++
+	ev := &legacyEvent{at: at, seq: e.seq, class: class, fn: fn, engine: e}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+func (e *legacyEngine) After(d Duration, class EventClass, fn Handler) *legacyEvent {
+	return e.Schedule(e.now+d, class, fn)
+}
+
+// Freeze is the O(n)-rescan-plus-heap.Init implementation the rewrite
+// replaces: every pending soft event is touched and the whole queue
+// re-heapified per SMI.
+func (e *legacyEngine) Freeze(d Duration) {
+	if d <= 0 {
+		return
+	}
+	end := e.now + d
+	if e.frozenUntil > e.now {
+		d = end - e.frozenUntil
+		if d <= 0 {
+			return
+		}
+		end = e.frozenUntil + d
+	}
+	e.frozenUntil = end
+	e.missingTime += d
+	for _, ev := range e.queue {
+		if ev.class == Soft {
+			ev.at += d
+		}
+	}
+	heap.Init(&e.queue)
+}
+
+func (e *legacyEngine) peek() *legacyEvent {
+	for len(e.queue) > 0 && e.queue[0].cancelled {
+		heap.Pop(&e.queue)
+	}
+	if len(e.queue) == 0 {
+		return nil
+	}
+	return e.queue[0]
+}
+
+func (e *legacyEngine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*legacyEvent)
+		if ev.cancelled {
+			continue
+		}
+		at := ev.at
+		if ev.class == Hard && at < e.frozenUntil {
+			ev.at = e.frozenUntil
+			e.seq++
+			ev.seq = e.seq
+			heap.Push(&e.queue, ev)
+			continue
+		}
+		if at < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = at
+		e.steps++
+		ev.fn(at)
+		return true
+	}
+	return false
+}
+
+func (e *legacyEngine) Run(until Time) uint64 {
+	var n uint64
+	for {
+		head := e.peek()
+		if head == nil {
+			break
+		}
+		next := head.at
+		if head.class == Hard && next < e.frozenUntil {
+			next = e.frozenUntil
+		}
+		if next > until {
+			break
+		}
+		if !e.Step() {
+			break
+		}
+		n++
+	}
+	if e.now < until {
+		e.now = until
+	}
+	return n
+}
+
+func (e *legacyEngine) RunAll(maxEvents uint64) uint64 {
+	var n uint64
+	for e.Step() {
+		n++
+		if n > maxEvents {
+			panic("sim: event bound exceeded; simulation is not terminating")
+		}
+	}
+	return n
+}

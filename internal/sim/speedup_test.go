@@ -1,0 +1,56 @@
+package sim
+
+import "testing"
+
+// Gated acceptance bars for the PR-4 engine rewrite, in the style of
+// TestIncrementalSpeedupAtLeast10x at the repository root: the rewritten
+// engine is measured against the preserved legacy engine (legacy.go) with
+// testing.Benchmark, and the test fails if the structural win regresses
+// below the bar. Both run the identical workload, so the ratio is robust
+// to machine speed.
+
+// TestFreezeStormSpeedupAtLeast5x is the tentpole's headline number: an
+// SMI storm over 10k pending soft events. The legacy engine rescans every
+// soft event and re-heapifies the queue per freeze; the rewrite updates
+// two counters. The bar is a deliberately conservative 5x — the measured
+// gap is orders of magnitude.
+func TestFreezeStormSpeedupAtLeast5x(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark comparison, skipped in -short")
+	}
+	rewritten := testing.Benchmark(BenchmarkEngineFreezeStorm)
+	legacy := testing.Benchmark(BenchmarkLegacyFreezeStorm)
+	if rewritten.N == 0 || rewritten.NsPerOp() == 0 {
+		t.Fatalf("freeze-storm benchmark did not run: %+v", rewritten)
+	}
+	ratio := float64(legacy.NsPerOp()) / float64(rewritten.NsPerOp())
+	t.Logf("legacy %v ns/op, rewritten %v ns/op over %d pending: %.1fx",
+		legacy.NsPerOp(), rewritten.NsPerOp(), freezeStormPending, ratio)
+	if ratio < 5 {
+		t.Fatalf("freeze speedup %.1fx < 5x (legacy %dns/op, rewritten %dns/op)",
+			ratio, legacy.NsPerOp(), rewritten.NsPerOp())
+	}
+}
+
+// TestRearmChurnZeroAllocsPerOp gates the other half of the tentpole: the
+// steady-state timer re-arm (Cancel + Reschedule of a persistent event)
+// and the pooled schedule/fire cycle must not allocate.
+func TestRearmChurnZeroAllocsPerOp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark comparison, skipped in -short")
+	}
+	rearm := testing.Benchmark(BenchmarkEngineRearm)
+	if rearm.N == 0 {
+		t.Fatalf("re-arm benchmark did not run: %+v", rearm)
+	}
+	if a := rearm.AllocsPerOp(); a != 0 {
+		t.Fatalf("timer re-arm allocates %d/op, want 0", a)
+	}
+	fire := testing.Benchmark(BenchmarkEngineThroughput)
+	if fire.N == 0 {
+		t.Fatalf("throughput benchmark did not run: %+v", fire)
+	}
+	if a := fire.AllocsPerOp(); a != 0 {
+		t.Fatalf("pooled schedule/fire cycle allocates %d/op, want 0", a)
+	}
+}

@@ -1,0 +1,53 @@
+package stats
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+)
+
+// Digest returns a hex SHA-256 over the figure's complete contents — id,
+// caption, axis labels, every series label, every point (exact float64
+// bits, not a printed rounding), and every note. Two figures digest equal
+// iff they are bit-for-bit the same result, which is what the
+// golden-determinism tests pin across engine rewrites: any change to event
+// ordering, slip accounting or RNG consumption shows up here.
+func (f *Figure) Digest() string {
+	h := sha256.New()
+	writeStr(h, f.ID)
+	writeStr(h, f.Caption)
+	writeStr(h, f.XLabel)
+	writeStr(h, f.YLabel)
+	writeUint(h, uint64(len(f.Series)))
+	for _, s := range f.Series {
+		writeStr(h, s.Label)
+		writeUint(h, uint64(len(s.Points)))
+		for _, p := range s.Points {
+			writeFloat(h, p.X)
+			writeFloat(h, p.Y)
+			writeFloat(h, p.Err)
+		}
+	}
+	writeUint(h, uint64(len(f.Notes)))
+	for _, n := range f.Notes {
+		writeStr(h, n)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func writeStr(h hash.Hash, s string) {
+	writeUint(h, uint64(len(s)))
+	h.Write([]byte(s))
+}
+
+func writeUint(h hash.Hash, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	h.Write(b[:])
+}
+
+func writeFloat(h hash.Hash, v float64) {
+	writeUint(h, math.Float64bits(v))
+}
