@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: ci build vet test race planverify chaos bench bench-engine bench-record engine-bench-smoke serve-smoke cluster-smoke
+.PHONY: ci build vet test race planverify chaos bench bench-engine bench-record bench-record-pr5 engine-bench-smoke serve-smoke cluster-smoke recovery-smoke
 
 # ci is the tier-1 gate: every change must pass vet, build, the race-
 # enabled test suite, the planverify cross-check, the engine benchmark
-# smoke, and both serving-layer smokes before it lands (see README
-# "Testing").
-ci: vet build race planverify engine-bench-smoke serve-smoke cluster-smoke
+# smoke, and the serving-layer smokes — including the kill -9 recovery
+# smoke — before it lands (see README "Testing").
+ci: vet build race planverify engine-bench-smoke serve-smoke cluster-smoke recovery-smoke
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,12 @@ bench-engine:
 bench-record:
 	$(GO) run ./cmd/benchrecord -o BENCH_PR4.json
 
+# bench-record-pr5 regenerates the durability overhead artifact
+# (BENCH_PR5.json): fsync-backed versus in-memory cluster placement, with
+# the derived durable_place_overhead_x ratio.
+bench-record-pr5:
+	$(GO) run ./cmd/benchrecord -pkg ./internal/serve -bench 'BenchmarkClusterPlace' -skip-suite -o BENCH_PR5.json
+
 # engine-bench-smoke compiles and exercises every engine benchmark for a
 # fixed 100 iterations — fast enough for ci, and it catches benchmarks
 # that panic or assert without paying for stable timings.
@@ -79,3 +85,29 @@ cluster-smoke:
 	for i in $$(seq 100); do [ -s "$$dir"/addr ] && break; sleep 0.1; done; \
 	if ! [ -s "$$dir"/addr ]; then echo "cluster-smoke: hrtd never bound"; cat "$$dir"/hrtd.log; exit 1; fi; \
 	"$$dir"/hrtload -addr "$$(cat "$$dir"/addr)" -mode cluster -dur 2s -conns 8 -check
+
+# recovery-smoke is the end-to-end crash-recovery drill: boot hrtd with a
+# durable 4-node cluster, drive it with hrtload, kill the daemon with
+# SIGKILL mid-flight, restart it on the same data directory, and fail
+# unless the recovered placement count matches the pre-crash probe (and
+# is non-zero — an empty cluster would pass a trivial diff).
+recovery-smoke:
+	@set -e; dir=$$(mktemp -d); pid=; \
+	cleanup() { [ -n "$$pid" ] && kill -9 $$pid 2>/dev/null || true; rm -rf "$$dir"; }; \
+	trap cleanup EXIT; \
+	$(GO) build -o "$$dir" ./cmd/hrtd ./cmd/hrtload; \
+	"$$dir"/hrtd -addr 127.0.0.1:0 -addr-file "$$dir"/addr -nodes 4 -data-dir "$$dir"/data >"$$dir"/hrtd.log 2>&1 & pid=$$!; \
+	for i in $$(seq 100); do [ -s "$$dir"/addr ] && break; sleep 0.1; done; \
+	if ! [ -s "$$dir"/addr ]; then echo "recovery-smoke: hrtd never bound"; cat "$$dir"/hrtd.log; exit 1; fi; \
+	"$$dir"/hrtload -addr "$$(cat "$$dir"/addr)" -mode cluster -dur 2s -conns 8 -check; \
+	before=$$("$$dir"/hrtload -addr "$$(cat "$$dir"/addr)" -mode status -check | sed -n 's/.*status placements=\([0-9]*\).*/\1/p'); \
+	kill -9 $$pid; wait $$pid 2>/dev/null || true; pid=; \
+	rm -f "$$dir"/addr; \
+	"$$dir"/hrtd -addr 127.0.0.1:0 -addr-file "$$dir"/addr -nodes 4 -data-dir "$$dir"/data >"$$dir"/hrtd2.log 2>&1 & pid=$$!; \
+	for i in $$(seq 100); do [ -s "$$dir"/addr ] && break; sleep 0.1; done; \
+	if ! [ -s "$$dir"/addr ]; then echo "recovery-smoke: hrtd never rebound"; cat "$$dir"/hrtd2.log; exit 1; fi; \
+	after=$$("$$dir"/hrtload -addr "$$(cat "$$dir"/addr)" -mode status -check | sed -n 's/.*status placements=\([0-9]*\).*/\1/p'); \
+	grep 'hrtd: recovery:' "$$dir"/hrtd2.log || { echo "recovery-smoke: no recovery boot line"; cat "$$dir"/hrtd2.log; exit 1; }; \
+	if [ -z "$$before" ] || [ "$$before" -eq 0 ]; then echo "recovery-smoke: pre-crash placements empty ($$before)"; exit 1; fi; \
+	if [ "$$before" != "$$after" ]; then echo "recovery-smoke: placements diverged: before=$$before after=$$after"; cat "$$dir"/hrtd2.log; exit 1; fi; \
+	echo "recovery-smoke: ok ($$before placements survived kill -9)"

@@ -4,6 +4,7 @@ import (
 	"hrtsched/internal/bsp"
 	"hrtsched/internal/core"
 	"hrtsched/internal/cyclic"
+	"hrtsched/internal/durable"
 	"hrtsched/internal/group"
 	"hrtsched/internal/ksync"
 	"hrtsched/internal/legion"
@@ -497,6 +498,21 @@ func MustNewCluster(cfg ClusterConfig) *Cluster {
 	}
 	return c
 }
+
+// ClusterDurabilityConfig makes a Cluster crash-recoverable: committed
+// mutations are group-committed to a write-ahead log in Dir before the
+// client's reply, periodic snapshots bound replay, and NewCluster
+// recovers the pre-crash state on boot (see DESIGN.md §9).
+type ClusterDurabilityConfig = serve.DurabilityConfig
+
+// ClusterDurabilityStatus is the durability block of ClusterStatus,
+// present only when durability is enabled.
+type ClusterDurabilityStatus = serve.DurabilityStatus
+
+// ClusterRecoveryResult reports what a durable Cluster rebuilt at boot:
+// snapshot LSN, records replayed and rejected, torn bytes truncated,
+// segments dropped, orphans released.
+type ClusterRecoveryResult = durable.RecoveryResult
 
 // NewMetricsRegistry creates an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return serve.NewRegistry() }

@@ -9,6 +9,8 @@
 //
 //	go run ./cmd/benchrecord                 # writes BENCH_PR4.json
 //	go run ./cmd/benchrecord -o out.json -benchtime 500x
+//	go run ./cmd/benchrecord -pkg ./internal/serve -bench BenchmarkClusterPlace \
+//	    -skip-suite -o BENCH_PR5.json       # durability overhead artifact
 package main
 
 import (
@@ -61,6 +63,7 @@ func main() {
 		benchtime = flag.String("benchtime", "", "passed to go test -benchtime (default: go's)")
 		pattern   = flag.String("bench", "BenchmarkEngine|BenchmarkLegacy|BenchmarkFreeze",
 			"benchmark name pattern")
+		pkg       = flag.String("pkg", "./internal/sim", "package to benchmark")
 		skipSuite = flag.Bool("skip-suite", false, "skip the Quick figure-suite timing")
 	)
 	flag.Parse()
@@ -74,7 +77,7 @@ func main() {
 		Derived:     map[string]float64{},
 	}
 
-	if err := runMicrobench(&rec, *pattern, *benchtime); err != nil {
+	if err := runMicrobench(&rec, *pkg, *pattern, *benchtime); err != nil {
 		fmt.Fprintln(os.Stderr, "benchrecord:", err)
 		os.Exit(1)
 	}
@@ -97,10 +100,10 @@ func main() {
 		*out, len(rec.Microbench), rec.QuickSuite.TotalSeconds)
 }
 
-// runMicrobench shells out to `go test -bench` for internal/sim and parses
-// every reported benchmark into rec.Microbench.
-func runMicrobench(rec *record, pattern, benchtime string) error {
-	args := []string{"test", "./internal/sim", "-run", "^$",
+// runMicrobench shells out to `go test -bench` for pkg and parses every
+// reported benchmark into rec.Microbench.
+func runMicrobench(rec *record, pkg, pattern, benchtime string) error {
+	args := []string{"test", pkg, "-run", "^$",
 		"-bench", pattern, "-benchmem", "-count", "1"}
 	if benchtime != "" {
 		args = append(args, "-benchtime", benchtime)
@@ -146,6 +149,9 @@ func derive(rec *record) {
 		"rearm_speedup_x":        {"BenchmarkLegacyRearm", "BenchmarkEngineRearm"},
 		"cancel_heavy_speedup_x": {"BenchmarkLegacyCancelHeavy", "BenchmarkEngineCancelHeavy"},
 		"throughput_speedup_x":   {"BenchmarkLegacyThroughput", "BenchmarkEngineThroughput"},
+		// PR5: cost of fsync-backed placement relative to in-memory — here
+		// the "legacy" slot is the durable run so the ratio reads as overhead.
+		"durable_place_overhead_x": {"BenchmarkClusterPlaceDurable", "BenchmarkClusterPlaceMemory"},
 	}
 	for name, p := range pairs {
 		if v, ok := ratio(p[0], p[1]); ok {

@@ -7,6 +7,7 @@
 //	hrtd -machine phi -util 0.99 -addr 127.0.0.1:8080
 //	hrtd -addr 127.0.0.1:0 -addr-file /tmp/hrtd.addr   # ephemeral port
 //	hrtd -nodes 8 -policy worst-fit                    # placement cluster
+//	hrtd -nodes 4 -data-dir /var/lib/hrtd              # durable cluster state
 //
 // Endpoints: POST /v1/analyze, POST /v1/capacity, POST /v1/cluster/{place,
 // remove,drain,undrain,rebalance}, GET /v1/cluster/status, GET /metrics,
@@ -42,6 +43,7 @@ func main() {
 		cache    = flag.Int("cache", 0, "per-shard verdict cache entries (0 = default 4096)")
 		nodes    = flag.Int("nodes", 4, "placement-cluster nodes (0 disables the cluster routes)")
 		policy   = flag.String("policy", "first-fit", "placement policy: first-fit or worst-fit")
+		dataDir  = flag.String("data-dir", "", "durable state directory (WAL + snapshots); empty = in-memory only")
 	)
 	flag.Parse()
 
@@ -81,6 +83,9 @@ func main() {
 	if *flush < 0 {
 		fail("-flush must be non-negative (got %v)", *flush)
 	}
+	if *dataDir != "" && *nodes == 0 {
+		fail("-data-dir requires a placement cluster (-nodes > 0)")
+	}
 
 	planSpec := serve.SpecFor(spec, *util)
 	if *overhead > 0 {
@@ -102,17 +107,28 @@ func main() {
 
 	var cluster *serve.Cluster
 	if *nodes > 0 {
-		cluster, err = serve.NewCluster(serve.ClusterConfig{
+		ccfg := serve.ClusterConfig{
 			Spec:   planSpec,
 			Nodes:  *nodes,
 			Policy: pol,
-		})
+		}
+		if *dataDir != "" {
+			ccfg.Durability = &serve.DurabilityConfig{Dir: *dataDir}
+		}
+		cluster, err = serve.NewCluster(ccfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hrtd: %v\n", err)
 			os.Exit(1)
 		}
 		defer cluster.Close()
 		cluster.RegisterMetrics(srv.Registry())
+		if *dataDir != "" {
+			rec := cluster.Recovery()
+			fmt.Printf("hrtd: recovery: snapshot_lsn=%d replayed=%d rejected=%d truncated_bytes=%d dropped_segments=%d bad_snapshots=%d orphans=%d last_lsn=%d spec_changed=%v\n",
+				rec.SnapshotLSN, rec.Replayed, rec.Rejected, rec.TruncatedBytes,
+				rec.DroppedSegments, rec.BadSnapshots, rec.OrphansReleased,
+				rec.LastLSN, rec.SpecChanged)
+		}
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -141,10 +157,31 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case got := <-sig:
+		// Orderly teardown: stop accepting HTTP and drain in-flight
+		// requests, then let the node workers drain their bounded queues
+		// and the WAL flush + final snapshot (cluster.Close), bounded by a
+		// timeout so a wedged worker cannot hold the process hostage.
 		fmt.Printf("hrtd: %v, shutting down\n", got)
+		start := time.Now()
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		hs.Shutdown(ctx) //nolint:errcheck — best-effort drain before exit
+		httpErr := hs.Shutdown(ctx)
+		cancel()
+		clusterDrained := true
+		if cluster != nil {
+			done := make(chan struct{})
+			go func() { cluster.Close(); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				clusterDrained = false
+			}
+		}
+		srv.Close()
+		fmt.Printf("hrtd: shutdown summary: signal=%v http_drained=%v cluster_drained=%v durable=%v took=%.2fs\n",
+			got, httpErr == nil, clusterDrained, *dataDir != "", time.Since(start).Seconds())
+		if !clusterDrained {
+			os.Exit(1)
+		}
 	case err := <-errCh:
 		if err != http.ErrServerClosed {
 			fmt.Fprintf(os.Stderr, "hrtd: serve: %v\n", err)

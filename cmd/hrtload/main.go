@@ -13,11 +13,16 @@
 // adds placement/rejection counts and the scraped
 // hrtd_cluster_placed_total.
 //
+// In -mode status a single GET of /v1/cluster/status is printed as one
+// greppable line (placements, per-counter totals, durability health) —
+// the probe the recovery smoke test diffs across a kill -9.
+//
 // Usage:
 //
 //	hrtload -addr 127.0.0.1:8080 -dur 2s -conns 16 -repeat 0.9
 //	hrtload -addr $(cat /tmp/hrtd.addr) -dur 2s -check     # exit 1 on failure
 //	hrtload -addr $(cat /tmp/hrtd.addr) -mode cluster -check
+//	hrtload -addr $(cat /tmp/hrtd.addr) -mode status -check
 package main
 
 import (
@@ -77,8 +82,8 @@ func main() {
 	if *addr == "" {
 		fail("-addr is required")
 	}
-	if *mode != "query" && *mode != "cluster" {
-		fail("-mode must be query or cluster (got %q)", *mode)
+	if *mode != "query" && *mode != "cluster" && *mode != "status" {
+		fail("-mode must be query, cluster, or status (got %q)", *mode)
 	}
 	if *dur <= 0 {
 		fail("-dur must be positive (got %v)", *dur)
@@ -103,6 +108,16 @@ func main() {
 			MaxIdleConnsPerHost: *conns * 2,
 		},
 		Timeout: 5 * time.Second,
+	}
+
+	if *mode == "status" {
+		if err := printStatus(client, base); err != nil {
+			fmt.Fprintf(os.Stderr, "hrtload: status: %v\n", err)
+			if *check {
+				os.Exit(1)
+			}
+		}
+		return
 	}
 
 	rng := sim.NewRand(*seed)
@@ -332,6 +347,47 @@ func poolBody(rng *sim.Rand, i int) string {
 	}
 	b.WriteString(`]}`)
 	return b.String()
+}
+
+// printStatus fetches /v1/cluster/status and prints one greppable line.
+func printStatus(client *http.Client, base string) error {
+	resp, err := client.Get(base + "/v1/cluster/status")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var st struct {
+		Placements int   `json:"placements"`
+		Placed     int64 `json:"placed_total"`
+		Removed    int64 `json:"removed_total"`
+		Rebalanced int64 `json:"rebalanced_total"`
+		Drained    int64 `json:"drained_total"`
+		Nodes      []struct {
+			Tasks int64 `json:"tasks"`
+		} `json:"nodes"`
+		Durability *struct {
+			LastLSN  uint64 `json:"last_lsn"`
+			Degraded bool   `json:"degraded"`
+		} `json:"durability"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return err
+	}
+	var tasks int64
+	for _, n := range st.Nodes {
+		tasks += n.Tasks
+	}
+	line := fmt.Sprintf("hrtload: status placements=%d tasks=%d placed_total=%d removed_total=%d rebalanced_total=%d drained_total=%d",
+		st.Placements, tasks, st.Placed, st.Removed, st.Rebalanced, st.Drained)
+	if st.Durability != nil {
+		line += fmt.Sprintf(" durable=true last_lsn=%d degraded=%v",
+			st.Durability.LastLSN, st.Durability.Degraded)
+	}
+	fmt.Println(line)
+	return nil
 }
 
 // scrapeMetric pulls /metrics and extracts the named unlabelled sample.

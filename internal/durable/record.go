@@ -1,0 +1,141 @@
+// Package durable makes the cluster placement session survive crashes:
+// every committed mutation (place, remove, drain move, rebalance move) is
+// encoded as a Record and group-committed to an internal/wal log before
+// the client hears about it, a shadow State replica of the placement
+// tables advances in log order, and periodic snapshots of the shadow
+// bound replay time. Recovery loads the latest valid snapshot, replays
+// the WAL suffix through the admission engines, and reconciles the one
+// legal intermediate state a crash can expose (a move's dual
+// reservation). Replaying the same log always rebuilds the same state —
+// every step is a deterministic function of the record sequence.
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hrtsched/internal/plan"
+)
+
+// Kind says what a record does to the placement tables.
+type Kind uint8
+
+const (
+	// KindPlace commits a task set onto a node.
+	KindPlace Kind = 1
+	// KindRemove evicts a named set from a node.
+	KindRemove Kind = 2
+)
+
+// Origin says which operation committed the mutation; recovery rebuilds
+// the per-operation counters from it.
+type Origin uint8
+
+const (
+	// OriginClient is a direct Place or Remove call.
+	OriginClient Origin = 0
+	// OriginDrain is a place performed while moving a set off a draining
+	// node.
+	OriginDrain Origin = 1
+	// OriginRebalance is a place performed by the rebalancer.
+	OriginRebalance Origin = 2
+	// OriginRelease is the remove half of a move (or of recovery's orphan
+	// reconciliation): the set lives on elsewhere, so it counts nothing.
+	OriginRelease Origin = 3
+)
+
+// Record is one committed placement mutation. Remove records carry no
+// tasks — the set is resolved from the shadow state by id, which is
+// well-defined because the log is replayed in commit order.
+type Record struct {
+	Kind   Kind
+	Origin Origin
+	Node   int
+	ID     string
+	Tasks  plan.TaskSet // place only
+}
+
+// maxIDLen bounds the id field on the wire (u16 length prefix).
+const maxIDLen = 1<<16 - 1
+
+// Encode serializes the record into the WAL payload format:
+// [kind u8][origin u8][node u32][idlen u16][id][ntasks u16][{period i64,
+// slice i64}...], all little-endian.
+func (r Record) Encode() ([]byte, error) {
+	if r.Kind != KindPlace && r.Kind != KindRemove {
+		return nil, fmt.Errorf("durable: encode: bad kind %d", r.Kind)
+	}
+	if r.Origin > OriginRelease {
+		return nil, fmt.Errorf("durable: encode: bad origin %d", r.Origin)
+	}
+	if r.Node < 0 || int64(r.Node) > int64(1<<31) {
+		return nil, fmt.Errorf("durable: encode: bad node %d", r.Node)
+	}
+	if len(r.ID) == 0 || len(r.ID) > maxIDLen {
+		return nil, fmt.Errorf("durable: encode: id length %d", len(r.ID))
+	}
+	tasks := r.Tasks
+	if r.Kind == KindRemove {
+		tasks = nil
+	}
+	if len(tasks) > maxIDLen {
+		return nil, fmt.Errorf("durable: encode: %d tasks", len(tasks))
+	}
+	buf := make([]byte, 0, 2+4+2+len(r.ID)+2+16*len(tasks))
+	buf = append(buf, byte(r.Kind), byte(r.Origin))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Node))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(r.ID)))
+	buf = append(buf, r.ID...)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(tasks)))
+	for _, t := range tasks {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(t.PeriodNs))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(t.SliceNs))
+	}
+	return buf, nil
+}
+
+// DecodeRecord parses one WAL payload. Framing already guarantees the
+// bytes arrived intact (CRC32C), so any structural error here means the
+// writer and reader disagree — it is returned, never guessed around.
+func DecodeRecord(p []byte) (Record, error) {
+	var r Record
+	if len(p) < 10 {
+		return r, fmt.Errorf("durable: record too short (%d bytes)", len(p))
+	}
+	r.Kind = Kind(p[0])
+	r.Origin = Origin(p[1])
+	if r.Kind != KindPlace && r.Kind != KindRemove {
+		return r, fmt.Errorf("durable: bad record kind %d", p[0])
+	}
+	if r.Origin > OriginRelease {
+		return r, fmt.Errorf("durable: bad record origin %d", p[1])
+	}
+	r.Node = int(binary.LittleEndian.Uint32(p[2:6]))
+	idLen := int(binary.LittleEndian.Uint16(p[6:8]))
+	if len(p) < 8+idLen+2 {
+		return r, fmt.Errorf("durable: record truncated inside id")
+	}
+	r.ID = string(p[8 : 8+idLen])
+	if r.ID == "" {
+		return r, fmt.Errorf("durable: empty record id")
+	}
+	off := 8 + idLen
+	ntasks := int(binary.LittleEndian.Uint16(p[off : off+2]))
+	off += 2
+	if len(p) != off+16*ntasks {
+		return r, fmt.Errorf("durable: record length %d != %d for %d tasks",
+			len(p), off+16*ntasks, ntasks)
+	}
+	if ntasks > 0 {
+		r.Tasks = make(plan.TaskSet, ntasks)
+		for i := range r.Tasks {
+			r.Tasks[i].PeriodNs = int64(binary.LittleEndian.Uint64(p[off:]))
+			r.Tasks[i].SliceNs = int64(binary.LittleEndian.Uint64(p[off+8:]))
+			off += 16
+		}
+	}
+	if r.Kind == KindPlace && len(r.Tasks) == 0 {
+		return r, fmt.Errorf("durable: place record %q with no tasks", r.ID)
+	}
+	return r, nil
+}

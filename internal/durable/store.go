@@ -1,0 +1,421 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hrtsched/internal/plan"
+	"hrtsched/internal/wal"
+)
+
+// ErrClosed is returned by LogBatch after Close.
+var ErrClosed = errors.New("durable: store closed")
+
+// Config parameterizes a Store. Zero fields take defaults.
+type Config struct {
+	// Dir holds WAL segments and snapshots; created if missing.
+	Dir string
+	// NumNodes is the cluster's node count; a snapshot recorded with more
+	// nodes than this refuses to open (shrinking a cluster under live
+	// placements needs an explicit drain, not a silent amputation).
+	NumNodes int
+	// Spec is the per-node admission spec; recovery flags (but tolerates)
+	// a snapshot taken under a different one.
+	Spec plan.Spec
+	// FS is the filesystem to write through; default the real one.
+	FS wal.FS
+	// SegmentBytes is the WAL roll threshold; default wal's.
+	SegmentBytes int64
+	// SnapshotEveryRecords triggers a snapshot after this many logged
+	// records; default 4096.
+	SnapshotEveryRecords int64
+	// SnapshotEveryBytes triggers a snapshot after this many logged
+	// bytes; default 1 MiB.
+	SnapshotEveryBytes int64
+}
+
+func (c *Config) fillDefaults() {
+	if c.FS == nil {
+		c.FS = wal.OSFS{}
+	}
+	if c.SnapshotEveryRecords == 0 {
+		c.SnapshotEveryRecords = 4096
+	}
+	if c.SnapshotEveryBytes == 0 {
+		c.SnapshotEveryBytes = 1 << 20
+	}
+}
+
+// RecoveryResult summarizes what one recovery did, for the boot log line
+// and the status endpoint.
+type RecoveryResult struct {
+	// SnapshotLSN is the LSN of the snapshot recovery started from (0
+	// when none was usable).
+	SnapshotLSN uint64 `json:"snapshot_lsn"`
+	// BadSnapshots counts snapshot files skipped for CRC or decode
+	// failures.
+	BadSnapshots int `json:"bad_snapshots"`
+	// Replayed counts WAL records applied on top of the snapshot.
+	Replayed int64 `json:"replayed"`
+	// Rejected counts WAL records that no longer fit — undecodable,
+	// aimed at a missing node, or refused by the engine under a changed
+	// spec. They are skipped consistently, never force-applied.
+	Rejected int64 `json:"rejected"`
+	// TruncatedBytes is the torn tail the WAL amputated.
+	TruncatedBytes int64 `json:"truncated_bytes"`
+	// DroppedSegments counts WAL segments discarded as unreachable.
+	DroppedSegments int `json:"dropped_segments"`
+	// OrphansReleased counts stale move copies reconciled after replay.
+	OrphansReleased int `json:"orphans_released"`
+	// LastLSN is the log's last valid LSN after recovery.
+	LastLSN uint64 `json:"last_lsn"`
+	// SpecChanged notes that the snapshot was taken under a different
+	// admission spec than the current configuration.
+	SpecChanged bool `json:"spec_changed,omitempty"`
+}
+
+// Stats snapshots the store's health for metrics and status.
+type Stats struct {
+	WAL             wal.Stats
+	LastSnapshotLSN uint64
+	Snapshots       int64
+	SnapshotErrors  int64
+	PendingRecords  int64 // records logged since the last snapshot cut
+	Degraded        bool
+}
+
+// Store is the durability engine under one cluster: it owns the WAL, the
+// shadow State, and the snapshot cadence. All mutation logging funnels
+// through LogBatch, which assigns WAL order and shadow order under one
+// mutex — so the shadow is always the fold of the log prefix, and
+// snapshotting it never needs to stop the world.
+//
+// A Store that hits a write error latches into degraded mode: it stops
+// logging and snapshotting (so the last durable state stays trustworthy)
+// but the cluster keeps serving from memory — fail-open, surfaced through
+// Stats().Degraded and the metrics.
+type Store struct {
+	cfg      Config
+	log      *wal.Log
+	recovery RecoveryResult
+
+	mu             sync.Mutex
+	state          *State
+	appliedLSN     uint64
+	lastSnapLSN    uint64
+	recSinceSnap   int64
+	bytesSinceSnap int64
+	closed         bool
+	degradedErr    error
+
+	snapshotting atomic.Bool
+	snapWG       sync.WaitGroup
+	snapshots    atomic.Int64
+	snapErrors   atomic.Int64
+}
+
+// Open loads the latest valid snapshot and scans the WAL. The caller must
+// then restore its engines from RecoveredState, run Replay, and reconcile
+// ReleaseOrphans — in that order — before the first LogBatch.
+func Open(cfg Config) (*Store, error) {
+	cfg.fillDefaults()
+	if cfg.Dir == "" {
+		return nil, errors.New("durable: Config.Dir is required")
+	}
+	if cfg.NumNodes <= 0 {
+		return nil, fmt.Errorf("durable: NumNodes %d, want > 0", cfg.NumNodes)
+	}
+	if err := cfg.FS.MkdirAll(cfg.Dir); err != nil {
+		return nil, fmt.Errorf("durable: mkdir %s: %w", cfg.Dir, err)
+	}
+	state, snapLSN, specChanged, bad, err := loadLatestSnapshot(cfg.FS, cfg.Dir, cfg.Spec)
+	if err != nil {
+		return nil, err
+	}
+	if state == nil {
+		state = NewState(cfg.NumNodes)
+	} else {
+		if len(state.Nodes) > cfg.NumNodes {
+			return nil, fmt.Errorf("durable: snapshot holds %d nodes but %d are configured; "+
+				"drain before shrinking the cluster", len(state.Nodes), cfg.NumNodes)
+		}
+		for len(state.Nodes) < cfg.NumNodes {
+			state.Nodes = append(state.Nodes, nil)
+		}
+	}
+
+	walOpts := wal.Options{Dir: cfg.Dir, FS: cfg.FS, SegmentBytes: cfg.SegmentBytes}
+	log, rep, err := wal.Open(walOpts)
+	if err != nil {
+		return nil, err
+	}
+	if rep.LastLSN < snapLSN {
+		// The snapshot outran the surviving log (its covered tail was
+		// torn off, or segments were lost). Every surviving record is
+		// already inside the snapshot, so the stale segments are wiped
+		// and the log restarts just past it — LSNs the snapshot covers
+		// must never be reassigned to new records.
+		if cerr := log.Close(); cerr != nil {
+			return nil, cerr
+		}
+		n, werr := wal.RemoveAll(cfg.FS, cfg.Dir)
+		if werr != nil {
+			return nil, fmt.Errorf("durable: wipe stale log: %w", werr)
+		}
+		rep.DroppedSegments += n
+		walOpts.BaseLSN = snapLSN + 1
+		log, _, err = wal.Open(walOpts)
+		if err != nil {
+			return nil, err
+		}
+		rep.LastLSN = snapLSN
+	}
+
+	return &Store{
+		cfg:   cfg,
+		log:   log,
+		state: state,
+		recovery: RecoveryResult{
+			SnapshotLSN:     snapLSN,
+			BadSnapshots:    bad,
+			TruncatedBytes:  rep.TruncatedBytes,
+			DroppedSegments: rep.DroppedSegments,
+			LastLSN:         rep.LastLSN,
+			SpecChanged:     specChanged,
+		},
+		appliedLSN:  snapLSN,
+		lastSnapLSN: snapLSN,
+	}, nil
+}
+
+// RecoveredState exposes the shadow for the single-threaded recovery
+// window: the caller restores its engines from it before Replay and must
+// not touch it after the first LogBatch.
+func (s *Store) RecoveredState() *State { return s.state }
+
+// Recovery returns the recovery summary (complete once Replay and
+// ReleaseOrphans have run).
+func (s *Store) Recovery() RecoveryResult { return s.recovery }
+
+// Replay streams the WAL suffix past the snapshot through apply in
+// commit order. apply reports whether the engine accepted the record;
+// refusals (and records that no longer fit the shadow) are counted as
+// rejected and consistently skipped on both sides. Must run before the
+// first LogBatch.
+func (s *Store) Replay(apply func(r Record, tasks plan.TaskSet) bool) error {
+	err := s.log.Replay(s.recovery.SnapshotLSN+1, func(lsn uint64, payload []byte) error {
+		rec, derr := DecodeRecord(payload)
+		if derr != nil {
+			s.recovery.Rejected++
+			return nil
+		}
+		if !s.state.Peek(rec) {
+			s.recovery.Rejected++
+			return nil
+		}
+		if !apply(rec, s.state.Resolve(rec)) {
+			s.recovery.Rejected++
+			return nil
+		}
+		s.state.Apply(rec)
+		s.recovery.Replayed++
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if s.recovery.LastLSN > s.appliedLSN {
+		s.appliedLSN = s.recovery.LastLSN
+	}
+	return nil
+}
+
+// ReleaseOrphans reconciles entries stranded mid-move by the crash: for
+// each, release (drop it from the engine) runs first, then a
+// OriginRelease remove is logged so the log and shadow agree with the
+// engines again. Returns how many were released.
+func (s *Store) ReleaseOrphans(release func(o Orphan)) (int, error) {
+	orphans := s.state.Orphans()
+	if len(orphans) == 0 {
+		return 0, nil
+	}
+	recs := make([]Record, len(orphans))
+	for i, o := range orphans {
+		release(o)
+		recs[i] = Record{Kind: KindRemove, Origin: OriginRelease, Node: o.Node, ID: o.ID}
+	}
+	s.recovery.OrphansReleased = len(orphans)
+	return len(orphans), s.LogBatch(recs)
+}
+
+// LogBatch makes a batch of committed mutations durable: records are
+// framed into the WAL (sharing fsyncs with concurrent callers via group
+// commit) and folded into the shadow, and the call returns only once
+// every record is on disk. The caller replies to its client after this
+// returns — that ordering is the whole durability guarantee.
+func (s *Store) LogBatch(recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	payloads := make([][]byte, len(recs))
+	var total int64
+	for i, r := range recs {
+		p, err := r.Encode()
+		if err != nil {
+			return s.degrade(err)
+		}
+		payloads[i] = p
+		total += int64(len(p))
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if s.degradedErr != nil {
+		err := s.degradedErr
+		s.mu.Unlock()
+		return err
+	}
+	t, err := s.log.AppendBatch(payloads)
+	if err != nil {
+		s.degradeLocked(err)
+		s.mu.Unlock()
+		return err
+	}
+	for _, r := range recs {
+		if !s.state.Peek(r) {
+			// A committed mutation the shadow cannot absorb means the
+			// replica logic diverged from the live tables — latch
+			// degraded instead of snapshotting a lie.
+			err := fmt.Errorf("durable: record %v %q on node %d does not fit the shadow state",
+				r.Kind, r.ID, r.Node)
+			s.degradeLocked(err)
+			s.mu.Unlock()
+			return err
+		}
+		s.state.Apply(r)
+	}
+	s.appliedLSN = t.LastLSN
+	s.recSinceSnap += int64(len(recs))
+	s.bytesSinceSnap += total
+	shouldSnap := s.recSinceSnap >= s.cfg.SnapshotEveryRecords ||
+		s.bytesSinceSnap >= s.cfg.SnapshotEveryBytes
+	s.mu.Unlock()
+
+	if err := t.Wait(); err != nil {
+		return s.degrade(err)
+	}
+	if shouldSnap {
+		s.maybeSnapshot()
+	}
+	return nil
+}
+
+// maybeSnapshot starts one background snapshot if none is running.
+func (s *Store) maybeSnapshot() {
+	if !s.snapshotting.CompareAndSwap(false, true) {
+		return
+	}
+	s.snapWG.Add(1)
+	go func() {
+		defer s.snapWG.Done()
+		defer s.snapshotting.Store(false)
+		s.mu.Lock()
+		clone := s.state.Clone()
+		lsn := s.appliedLSN
+		s.recSinceSnap = 0
+		s.bytesSinceSnap = 0
+		s.mu.Unlock()
+		s.writeAndPublish(lsn, clone)
+	}()
+}
+
+// writeAndPublish persists one snapshot and compacts the log behind it.
+// Failures count but do not degrade: the WAL alone still carries the
+// state, and the next cadence trigger retries.
+func (s *Store) writeAndPublish(lsn uint64, clone *State) {
+	if err := writeSnapshot(s.cfg.FS, s.cfg.Dir, lsn, s.cfg.Spec, clone); err != nil {
+		s.snapErrors.Add(1)
+		return
+	}
+	s.snapshots.Add(1)
+	s.mu.Lock()
+	if lsn > s.lastSnapLSN {
+		s.lastSnapLSN = lsn
+	}
+	s.mu.Unlock()
+	if err := pruneSnapshots(s.cfg.FS, s.cfg.Dir); err != nil {
+		s.snapErrors.Add(1)
+	}
+	if _, err := s.log.CompactBefore(lsn + 1); err != nil {
+		s.snapErrors.Add(1)
+	}
+}
+
+// degrade latches the store into fail-open mode.
+func (s *Store) degrade(err error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.degradeLocked(err)
+	return s.degradedErr
+}
+
+func (s *Store) degradeLocked(err error) {
+	if s.degradedErr == nil {
+		s.degradedErr = err
+	}
+}
+
+// DegradedErr returns the latched failure, or nil while healthy.
+func (s *Store) DegradedErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degradedErr
+}
+
+// Stats snapshots the store.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		LastSnapshotLSN: s.lastSnapLSN,
+		PendingRecords:  s.recSinceSnap,
+		Degraded:        s.degradedErr != nil,
+	}
+	s.mu.Unlock()
+	st.WAL = s.log.Stats()
+	st.Snapshots = s.snapshots.Load()
+	st.SnapshotErrors = s.snapErrors.Load()
+	return st
+}
+
+// Close waits out any background snapshot, writes a final snapshot (so a
+// clean restart replays nothing), and closes the WAL. Safe to call more
+// than once.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.snapWG.Wait()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.snapWG.Wait()
+
+	s.mu.Lock()
+	lsn := s.appliedLSN
+	needSnap := s.degradedErr == nil && lsn > s.lastSnapLSN
+	var clone *State
+	if needSnap {
+		clone = s.state.Clone()
+	}
+	s.mu.Unlock()
+	if needSnap {
+		s.writeAndPublish(lsn, clone)
+	}
+	return s.log.Close()
+}

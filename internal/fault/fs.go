@@ -1,0 +1,397 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"hrtsched/internal/wal"
+)
+
+// ErrCrashed is returned by every operation on a FaultyFS after Crash:
+// the process is "dead" and must reopen the directory through a fresh
+// view (Restart) to continue, exactly like a real reboot.
+var ErrCrashed = errors.New("fault: filesystem crashed")
+
+// ErrInjectedSync and ErrInjectedWrite mark deterministic I/O failures
+// armed with FailSyncAt / FailWriteAt / ShortWriteAt.
+var (
+	ErrInjectedSync  = errors.New("fault: injected fsync failure")
+	ErrInjectedWrite = errors.New("fault: injected write failure")
+)
+
+// CrashOptions shapes what survives a simulated power loss.
+type CrashOptions struct {
+	// KeepUnsynced keeps up to this many bytes written after the last
+	// Sync of each file — a torn tail. Zero models a strict disk that
+	// loses everything unsynced.
+	KeepUnsynced int64
+	// CorruptKept flips a bit in the last kept unsynced byte, modeling a
+	// sector that was half-written when power dropped.
+	CorruptKept bool
+}
+
+// FaultyFS wraps a wal.FS and injects storage faults: deterministic
+// fsync/write failures by operation index, short writes, and whole-process
+// crashes that rewind every file to its last-synced watermark (plus an
+// optional torn tail). It tracks, per path, how many bytes a real disk
+// would have promised durable — only bytes covered by a successful Sync
+// survive Crash.
+type FaultyFS struct {
+	inner wal.FS
+
+	mu           sync.Mutex
+	crashed      bool
+	syncs        int64
+	writes       int64
+	failSyncAt   int64 // 1-based Sync index to fail; 0 = never
+	failWriteAt  int64 // 1-based Write index to fail; 0 = never
+	shortWriteAt int64 // 1-based Write index to cut in half; 0 = never
+	files        map[string]*trackedFile
+}
+
+// trackedFile is shared by every handle on one path.
+type trackedFile struct {
+	size   int64 // logical extent written through this wrapper
+	synced int64 // extent covered by the last successful Sync
+}
+
+// NewFaultyFS wraps inner (wal.OSFS when nil).
+func NewFaultyFS(inner wal.FS) *FaultyFS {
+	if inner == nil {
+		inner = wal.OSFS{}
+	}
+	return &FaultyFS{inner: inner, files: map[string]*trackedFile{}}
+}
+
+// FailSyncAt arms the nth future Sync (1-based, counted across all files)
+// to fail with ErrInjectedSync without persisting anything.
+func (fs *FaultyFS) FailSyncAt(n int64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.failSyncAt = fs.syncs + n
+}
+
+// FailWriteAt arms the nth future Write to fail with ErrInjectedWrite
+// before writing any bytes.
+func (fs *FaultyFS) FailWriteAt(n int64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.failWriteAt = fs.writes + n
+}
+
+// ShortWriteAt arms the nth future Write to persist only the first half
+// of its buffer and then fail — a torn frame on disk.
+func (fs *FaultyFS) ShortWriteAt(n int64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.shortWriteAt = fs.writes + n
+}
+
+// Syncs returns how many Sync calls have been attempted.
+func (fs *FaultyFS) Syncs() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.syncs
+}
+
+// Crash simulates power loss: every tracked file is rewound to its
+// last-synced watermark (plus an optional torn tail per opts), and all
+// further operations through this view return ErrCrashed until Restart.
+func (fs *FaultyFS) Crash(opts CrashOptions) error {
+	fs.mu.Lock()
+	if fs.crashed {
+		fs.mu.Unlock()
+		return nil
+	}
+	fs.crashed = true
+	type cut struct {
+		path    string
+		keep    int64
+		corrupt bool
+	}
+	var cuts []cut
+	for path, tf := range fs.files {
+		keep := tf.synced
+		unsynced := tf.size - tf.synced
+		if unsynced < 0 {
+			unsynced = 0
+		}
+		extra := opts.KeepUnsynced
+		if extra > unsynced {
+			extra = unsynced
+		}
+		keep += extra
+		cuts = append(cuts, cut{path, keep, opts.CorruptKept && extra > 0})
+	}
+	fs.mu.Unlock()
+
+	for _, c := range cuts {
+		if err := fs.rewind(c.path, c.keep, c.corrupt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rewind truncates path's real file to keep bytes and, when corrupt is
+// set, flips a bit in its final byte.
+func (fs *FaultyFS) rewind(path string, keep int64, corrupt bool) error {
+	f, err := fs.inner.Open(path)
+	if err != nil {
+		return fmt.Errorf("fault: crash rewind %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := f.Truncate(keep); err != nil {
+		return fmt.Errorf("fault: crash truncate %s: %w", path, err)
+	}
+	if corrupt && keep > 0 {
+		var b [1]byte
+		if _, err := f.Seek(keep-1, io.SeekStart); err != nil {
+			return err
+		}
+		if _, err := io.ReadFull(f, b[:]); err != nil {
+			return err
+		}
+		b[0] ^= 0x40
+		if _, err := f.Seek(keep-1, io.SeekStart); err != nil {
+			return err
+		}
+		if _, err := f.Write(b[:]); err != nil {
+			return err
+		}
+	}
+	return f.Sync()
+}
+
+// Restart clears the crashed latch and forgets per-file tracking, as if
+// the machine rebooted and remounted the disk. Armed fault counters are
+// cleared too.
+func (fs *FaultyFS) Restart() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.crashed = false
+	fs.failSyncAt, fs.failWriteAt, fs.shortWriteAt = 0, 0, 0
+	fs.files = map[string]*trackedFile{}
+}
+
+func (fs *FaultyFS) check() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// MkdirAll implements wal.FS.
+func (fs *FaultyFS) MkdirAll(dir string) error {
+	if err := fs.check(); err != nil {
+		return err
+	}
+	return fs.inner.MkdirAll(dir)
+}
+
+// ReadDir implements wal.FS.
+func (fs *FaultyFS) ReadDir(dir string) ([]string, error) {
+	if err := fs.check(); err != nil {
+		return nil, err
+	}
+	return fs.inner.ReadDir(dir)
+}
+
+// Create implements wal.FS.
+func (fs *FaultyFS) Create(name string) (wal.File, error) {
+	if err := fs.check(); err != nil {
+		return nil, err
+	}
+	f, err := fs.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	fs.mu.Lock()
+	tf := &trackedFile{}
+	fs.files[name] = tf
+	fs.mu.Unlock()
+	return &faultFile{fs: fs, inner: f, tf: tf, path: name}, nil
+}
+
+// Open implements wal.FS.
+func (fs *FaultyFS) Open(name string) (wal.File, error) {
+	if err := fs.check(); err != nil {
+		return nil, err
+	}
+	f, err := fs.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	fs.mu.Lock()
+	tf, ok := fs.files[name]
+	fs.mu.Unlock()
+	if !ok {
+		// First sighting of a pre-existing file: everything already on
+		// disk counts as durable.
+		size, serr := f.Seek(0, io.SeekEnd)
+		if serr != nil {
+			f.Close()
+			return nil, serr
+		}
+		if _, serr := f.Seek(0, io.SeekStart); serr != nil {
+			f.Close()
+			return nil, serr
+		}
+		tf = &trackedFile{size: size, synced: size}
+		fs.mu.Lock()
+		fs.files[name] = tf
+		fs.mu.Unlock()
+	}
+	return &faultFile{fs: fs, inner: f, tf: tf, path: name}, nil
+}
+
+// Rename implements wal.FS. The rename itself is treated as durable (the
+// WAL renames only after syncing the temp file, matching its use).
+func (fs *FaultyFS) Rename(oldname, newname string) error {
+	if err := fs.check(); err != nil {
+		return err
+	}
+	if err := fs.inner.Rename(oldname, newname); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	if tf, ok := fs.files[oldname]; ok {
+		delete(fs.files, oldname)
+		fs.files[newname] = tf
+	}
+	fs.mu.Unlock()
+	return nil
+}
+
+// Remove implements wal.FS.
+func (fs *FaultyFS) Remove(name string) error {
+	if err := fs.check(); err != nil {
+		return err
+	}
+	if err := fs.inner.Remove(name); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	delete(fs.files, name)
+	fs.mu.Unlock()
+	return nil
+}
+
+// faultFile is one handle; cursor state is per-handle, durability
+// watermarks are shared per-path through tf.
+type faultFile struct {
+	fs    *FaultyFS
+	inner wal.File
+	tf    *trackedFile
+	path  string
+	pos   int64
+}
+
+func (f *faultFile) Read(p []byte) (int, error) {
+	if err := f.fs.check(); err != nil {
+		return 0, err
+	}
+	n, err := f.inner.Read(p)
+	f.pos += int64(n)
+	return n, err
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	fs := f.fs
+	fs.mu.Lock()
+	if fs.crashed {
+		fs.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	fs.writes++
+	failNow := fs.failWriteAt != 0 && fs.writes == fs.failWriteAt
+	shortNow := fs.shortWriteAt != 0 && fs.writes == fs.shortWriteAt
+	fs.mu.Unlock()
+
+	if failNow {
+		return 0, ErrInjectedWrite
+	}
+	if shortNow {
+		half := p[:len(p)/2]
+		n, err := f.inner.Write(half)
+		f.advance(n)
+		if err != nil {
+			return n, err
+		}
+		return n, ErrInjectedWrite
+	}
+	n, err := f.inner.Write(p)
+	f.advance(n)
+	return n, err
+}
+
+func (f *faultFile) advance(n int) {
+	f.pos += int64(n)
+	fs := f.fs
+	fs.mu.Lock()
+	if f.pos > f.tf.size {
+		f.tf.size = f.pos
+	}
+	fs.mu.Unlock()
+}
+
+func (f *faultFile) Seek(offset int64, whence int) (int64, error) {
+	if err := f.fs.check(); err != nil {
+		return 0, err
+	}
+	pos, err := f.inner.Seek(offset, whence)
+	if err == nil {
+		f.pos = pos
+	}
+	return pos, err
+}
+
+func (f *faultFile) Sync() error {
+	fs := f.fs
+	fs.mu.Lock()
+	if fs.crashed {
+		fs.mu.Unlock()
+		return ErrCrashed
+	}
+	fs.syncs++
+	failNow := fs.failSyncAt != 0 && fs.syncs == fs.failSyncAt
+	fs.mu.Unlock()
+	if failNow {
+		return ErrInjectedSync
+	}
+	if err := f.inner.Sync(); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	f.tf.synced = f.tf.size
+	fs.mu.Unlock()
+	return nil
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	if err := f.fs.check(); err != nil {
+		return err
+	}
+	if err := f.inner.Truncate(size); err != nil {
+		return err
+	}
+	fs := f.fs
+	fs.mu.Lock()
+	if size < f.tf.size {
+		f.tf.size = size
+	}
+	if size < f.tf.synced {
+		f.tf.synced = size
+	}
+	fs.mu.Unlock()
+	return nil
+}
+
+func (f *faultFile) Close() error {
+	// Close is allowed after crash so deferred cleanups don't cascade.
+	return f.inner.Close()
+}

@@ -120,6 +120,19 @@ func (inc *Incremental) Reset() {
 	inc.last = Analyze(inc.spec, nil)
 }
 
+// Restore replaces the committed set wholesale — the crash-recovery path
+// after loading a durable snapshot. Unlike TryGang it commits regardless
+// of the verdict: the set was admitted before the restart, and a spec
+// change across restarts must not silently evict running work. The
+// returned verdict describes the restored set under the current spec.
+func (inc *Incremental) Restore(tasks TaskSet) Verdict {
+	candidate := append(TaskSet(nil), tasks...)
+	inc.stats.FullAnalyses++
+	v := Analyze(inc.spec, candidate)
+	inc.rebuild(candidate, v)
+	return v
+}
+
 // Add evaluates the committed set plus one task and commits it when
 // admitted. The verdict describes the combined set either way; a
 // rejection leaves the engine unchanged.

@@ -214,3 +214,40 @@ func randTask(r *sim.Rand, periods []int64) Task {
 		return Task{PeriodNs: p, SliceNs: 1 + r.Int63n(p*2/5)}
 	}
 }
+
+func TestIncrementalRestore(t *testing.T) {
+	inc := NewIncremental(specPhi79)
+	a := Task{PeriodNs: 200_000, SliceNs: 40_000}
+	b := Task{PeriodNs: 100_000, SliceNs: 20_000}
+	inc.Add(a)
+
+	// Restore replaces the committed set wholesale with a fresh analysis.
+	set := TaskSet{a, b}
+	full := inc.Stats().FullAnalyses
+	v := inc.Restore(set)
+	if inc.Stats().FullAnalyses != full+1 {
+		t.Fatalf("Restore did not run a full analysis")
+	}
+	if want := Analyze(specPhi79, set); !VerdictsEquivalent(v, want) {
+		t.Fatalf("restore verdict diverges:\n got %+v\nwant %+v", v, want)
+	}
+	if got := inc.Tasks(); !reflect.DeepEqual(got, set) {
+		t.Fatalf("restored set = %v, want %v", got, set)
+	}
+
+	// The engine keeps answering incrementally after a restore.
+	c := Task{PeriodNs: 100_000, SliceNs: 10_000}
+	if want := Analyze(specPhi79, TaskSet{a, b, c}); !VerdictsEquivalent(inc.Add(c), want) {
+		t.Fatalf("add after restore diverges")
+	}
+
+	// Restore commits even a set the spec rejects: a spec change across a
+	// restart must never evict running work, only report it as over-budget.
+	fat := TaskSet{{PeriodNs: 100_000, SliceNs: 90_000}}
+	if v := inc.Restore(fat); v.Admit {
+		t.Fatalf("over-capacity restore admitted: %+v", v)
+	}
+	if got := inc.Tasks(); !reflect.DeepEqual(got, fat) {
+		t.Fatalf("rejected restore did not commit: %v", got)
+	}
+}

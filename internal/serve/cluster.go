@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"hrtsched/internal/core"
+	"hrtsched/internal/durable"
 	"hrtsched/internal/plan"
 )
 
@@ -53,6 +54,11 @@ type Cluster struct {
 	drained    atomic.Int64
 	canceled   atomic.Int64
 	unmatched  atomic.Int64
+
+	// store, when non-nil, makes every committed mutation durable before
+	// its client reply; recovery holds what boot-time recovery found.
+	store    *durable.Store
+	recovery durable.RecoveryResult
 }
 
 type placementRec struct {
@@ -112,6 +118,9 @@ type ClusterConfig struct {
 	// FlushWindow bounds how long a node waits to fill a batch once it
 	// holds at least one mutation; default 200 us.
 	FlushWindow time.Duration
+	// Durability, when non-nil, persists every committed mutation to a
+	// write-ahead log under Durability.Dir and recovers it at startup.
+	Durability *DurabilityConfig
 }
 
 func (c *ClusterConfig) fillDefaults() {
@@ -143,6 +152,9 @@ func (c ClusterConfig) Validate() error {
 	if c.Spec.UtilizationLimit <= 0 || c.Spec.UtilizationLimit > 1 {
 		return fmt.Errorf("serve: utilization limit %g outside (0,1]", c.Spec.UtilizationLimit)
 	}
+	if c.Durability != nil && c.Durability.Dir == "" {
+		return errors.New("serve: Durability.Dir is required when durability is enabled")
+	}
 	return nil
 }
 
@@ -154,10 +166,14 @@ const (
 )
 
 type mutation struct {
-	ctx  context.Context
-	op   mutOp
-	set  plan.TaskSet
-	done chan mutResult
+	ctx context.Context
+	op  mutOp
+	set plan.TaskSet
+	// id and origin identify the mutation in the write-ahead log; unused
+	// (but still set) when durability is off.
+	id     string
+	origin durable.Origin
+	done   chan mutResult
 }
 
 type mutResult struct {
@@ -191,6 +207,15 @@ type node struct {
 
 func (n *node) utilization() float64 { return math.Float64frombits(n.utilBits.Load()) }
 
+// syncGauges refreshes the node's published gauges from its engine.
+func (n *node) syncGauges() {
+	n.utilBits.Store(math.Float64bits(n.eng.Utilization()))
+	n.tasks.Store(int64(n.eng.Len()))
+	st := n.eng.Stats()
+	n.incOps.Store(st.IncrementalOps)
+	n.fullOps.Store(st.FullAnalyses)
+}
+
 // Errors returned by cluster session operations.
 var (
 	ErrClusterClosed = errors.New("serve: cluster closed")
@@ -206,11 +231,18 @@ var (
 )
 
 // NewCluster starts a placement session with cfg's node workers running.
-// Close releases them.
+// With cfg.Durability set it first recovers the previous session from
+// disk — load snapshot, replay the WAL suffix, reconcile orphans — before
+// any worker accepts a mutation. Close releases them.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	c, err := newCluster(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if c.cfg.Durability != nil {
+		if err := c.openDurability(); err != nil {
+			return nil, err
+		}
 	}
 	for _, n := range c.nodes {
 		c.wg.Add(1)
@@ -258,6 +290,12 @@ func (c *Cluster) Close() {
 		close(n.ch)
 	}
 	c.wg.Wait()
+	if c.store != nil {
+		// Workers are gone, so the log is quiescent: a final snapshot
+		// makes the next boot replay-free. Errors latch into the store's
+		// degraded stats; the WAL alone still carries the state.
+		c.store.Close() //nolint:errcheck
+	}
 }
 
 // PlaceResult reports one placement attempt.
@@ -299,7 +337,7 @@ func (c *Cluster) Place(ctx context.Context, id string, set plan.TaskSet) (Place
 	// walk AND the record commit, so once Drain has the barrier, any set
 	// this walk landed on the draining node is visible to its snapshot.
 	c.placeGate.RLock()
-	res, err := c.placeOnCandidates(ctx, set, c.candidates(), false)
+	res, err := c.placeOnCandidates(ctx, id, set, c.candidates(), false, durable.OriginClient)
 	c.mu.Lock()
 	if res.Placed {
 		rec.node = res.Node
@@ -321,15 +359,15 @@ func (c *Cluster) Place(ctx context.Context, id string, set plan.TaskSet) (Place
 
 // placeOnCandidates walks the candidate nodes in order, returning on the
 // first admit. Session errors (shed, closed, canceled) abort the walk.
-func (c *Cluster) placeOnCandidates(ctx context.Context, set plan.TaskSet,
-	order []*node, allowDraining bool) (PlaceResult, error) {
+func (c *Cluster) placeOnCandidates(ctx context.Context, id string, set plan.TaskSet,
+	order []*node, allowDraining bool, origin durable.Origin) (PlaceResult, error) {
 	res := PlaceResult{Node: -1}
 	for _, n := range order {
 		if !allowDraining && n.draining.Load() {
 			continue
 		}
 		res.Attempts++
-		r, err := c.submit(ctx, n, &mutation{op: placeOp, set: set})
+		r, err := c.submit(ctx, n, &mutation{op: placeOp, set: set, id: id, origin: origin})
 		if err != nil {
 			return res, err
 		}
@@ -374,7 +412,7 @@ func (c *Cluster) Remove(ctx context.Context, id string) (plan.Verdict, error) {
 	n := c.nodes[rec.node]
 	c.mu.Unlock()
 
-	r, err := c.submit(ctx, n, &mutation{op: removeOp, set: rec.set})
+	r, err := c.submit(ctx, n, &mutation{op: removeOp, set: rec.set, id: id, origin: durable.OriginClient})
 	c.mu.Lock()
 	if err != nil {
 		rec.pending = false
@@ -436,7 +474,7 @@ func (c *Cluster) Drain(ctx context.Context, nodeID int) (DrainReport, error) {
 
 	rep := DrainReport{Node: nodeID}
 	for _, id := range c.idsOnNode(nodeID) {
-		moved, err := c.moveSet(ctx, id, c.candidates(), n)
+		moved, err := c.moveSet(ctx, id, c.candidates(), n, durable.OriginDrain)
 		if err != nil {
 			return rep, err
 		}
@@ -491,7 +529,7 @@ func (c *Cluster) Rebalance(ctx context.Context) (int, error) {
 		if id == "" {
 			break
 		}
-		moved, err := c.moveSet(ctx, id, []*node{lo}, hi)
+		moved, err := c.moveSet(ctx, id, []*node{lo}, hi, durable.OriginRebalance)
 		if err != nil {
 			return moves, err
 		}
@@ -559,7 +597,8 @@ func (c *Cluster) idsOnNode(nodeID int) []string {
 // that can fail and lose a placed set. Between the admit and the release
 // the set is briefly reserved on both nodes; transient over-reservation
 // is the only intermediate state, never loss.
-func (c *Cluster) moveSet(ctx context.Context, id string, order []*node, home *node) (bool, error) {
+func (c *Cluster) moveSet(ctx context.Context, id string, order []*node, home *node,
+	origin durable.Origin) (bool, error) {
 	c.mu.Lock()
 	rec, ok := c.placements[id]
 	if !ok || rec.pending || rec.node != home.id {
@@ -578,7 +617,7 @@ func (c *Cluster) moveSet(ctx context.Context, id string, order []*node, home *n
 			dst = append(dst, n)
 		}
 	}
-	res, err := c.placeOnCandidates(ctx, set, dst, false)
+	res, err := c.placeOnCandidates(ctx, id, set, dst, false, origin)
 	if err != nil || !res.Placed {
 		c.mu.Lock()
 		rec.pending = false
@@ -600,7 +639,7 @@ func (c *Cluster) moveSet(ctx context.Context, id string, order []*node, home *n
 	// which tears down both engines anyway).
 	relCtx := context.WithoutCancel(ctx)
 	for {
-		r, rerr := c.submit(relCtx, home, &mutation{op: removeOp, set: set})
+		r, rerr := c.submit(relCtx, home, &mutation{op: removeOp, set: set, id: id, origin: durable.OriginRelease})
 		if rerr == nil {
 			if !r.matched {
 				c.unmatched.Add(1)
@@ -709,12 +748,27 @@ func (c *Cluster) runNode(n *node) {
 
 // applyBatch applies mutations to the node's engine. A mutation whose
 // context was canceled while queued is dropped unapplied and counted.
+//
+// With durability on, replies for committed mutations are staged until
+// the whole batch's WAL records are fsynced — a client never hears
+// "placed" (or "removed") before the record that proves it is on disk.
+// The group commit shares the fsync across this batch AND any other
+// node's batch in flight. A WAL failure latches the store degraded and
+// the committed replies still go out: the engine already applied them,
+// so fail-open (keep serving, stop claiming durability) is the only
+// answer that doesn't lie in one direction or the other.
 func (c *Cluster) applyBatch(n *node, batch []*mutation) {
-	for _, m := range batch {
+	results := make([]mutResult, len(batch))
+	replied := make([]bool, len(batch))
+	var recs []durable.Record
+	for i, m := range batch {
 		if m.ctx != nil && m.ctx.Err() != nil {
 			n.canceled.Add(1)
 			c.canceled.Add(1)
+			// Nothing was committed, so nothing needs to be durable:
+			// cancellations answer immediately.
 			m.done <- mutResult{canceled: true}
+			replied[i] = true
 			continue
 		}
 		var r mutResult
@@ -722,16 +776,32 @@ func (c *Cluster) applyBatch(n *node, batch []*mutation) {
 		case placeOp:
 			r.verdict = n.eng.TryGang(m.set)
 			r.matched = true
+			if c.store != nil && r.verdict.Admit {
+				recs = append(recs, durable.Record{
+					Kind: durable.KindPlace, Origin: m.origin,
+					Node: n.id, ID: m.id, Tasks: m.set,
+				})
+			}
 		case removeOp:
 			r.verdict, r.matched = n.eng.RemoveGang(m.set)
+			if c.store != nil && r.matched {
+				recs = append(recs, durable.Record{
+					Kind: durable.KindRemove, Origin: m.origin,
+					Node: n.id, ID: m.id,
+				})
+			}
 		}
 		n.applied.Add(1)
-		n.utilBits.Store(math.Float64bits(n.eng.Utilization()))
-		n.tasks.Store(int64(n.eng.Len()))
-		st := n.eng.Stats()
-		n.incOps.Store(st.IncrementalOps)
-		n.fullOps.Store(st.FullAnalyses)
-		m.done <- r
+		n.syncGauges()
+		results[i] = r
+	}
+	if c.store != nil && len(recs) > 0 {
+		c.store.LogBatch(recs) //nolint:errcheck // fail-open: store latches degraded, replies stand
+	}
+	for i, m := range batch {
+		if !replied[i] {
+			m.done <- results[i]
+		}
 	}
 }
 
@@ -759,6 +829,9 @@ type ClusterStatus struct {
 	// Unmatched counts removals whose set was not on its recorded node;
 	// any nonzero value means placement state diverged from an engine.
 	Unmatched int64 `json:"unmatched_removals_total"`
+	// Durability reports WAL/snapshot/recovery health; absent when
+	// durability is off, keeping the disabled status byte-identical.
+	Durability *DurabilityStatus `json:"durability,omitempty"`
 }
 
 // Status snapshots the cluster.
@@ -783,6 +856,7 @@ func (c *Cluster) Status() ClusterStatus {
 		Drained:    c.drained.Load(),
 		Canceled:   c.canceled.Load(),
 		Unmatched:  c.unmatched.Load(),
+		Durability: c.durabilityStatus(),
 	}
 	for _, n := range c.nodes {
 		st.Nodes = append(st.Nodes, NodeStatus{
@@ -850,4 +924,7 @@ func (c *Cluster) RegisterMetrics(r *Registry) {
 	r.CounterVec("hrtd_cluster_full_analyses_total",
 		"Admission verdicts that fell back to the full analysis per node.",
 		perNode(func(n *node) float64 { return float64(n.fullOps.Load()) }))
+	if c.store != nil {
+		c.registerDurabilityMetrics(r)
+	}
 }

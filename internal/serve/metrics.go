@@ -148,7 +148,7 @@ func renderHist(b *strings.Builder, name string, hs HistSample) {
 	cum := h.Under
 	for i := range h.Buckets {
 		cum += h.Buckets[i]
-		upper := h.BucketLo(i) + (h.Hi-h.Lo)/float64(len(h.Buckets))
+		upper := h.BucketHi(i)
 		b.WriteString(name + "_bucket")
 		writeLabels(b, append(append([]Label(nil), hs.Labels...), Label{"le", formatFloat(upper)}))
 		fmt.Fprintf(b, " %d\n", cum)

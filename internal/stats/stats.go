@@ -127,14 +127,20 @@ func Quantile(xs []float64, q float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
-// Histogram is a fixed-width histogram over [Lo, Hi) with underflow and
-// overflow buckets.
+// Histogram is a histogram over [Lo, Hi) with underflow and overflow
+// buckets. By default the buckets are equal-width; a non-nil Edges gives
+// explicit ascending bucket boundaries (len(Buckets)+1 of them, with
+// Edges[0] == Lo and Edges[len(Buckets)] == Hi), which is how
+// NewLogHistogram builds geometric latency buckets.
 type Histogram struct {
 	Lo, Hi  float64
 	Buckets []int64
-	Under   int64
-	Over    int64
-	n       int64
+	// Edges, when non-nil, holds the explicit bucket boundaries; bucket i
+	// covers [Edges[i], Edges[i+1]).
+	Edges []float64
+	Under int64
+	Over  int64
+	n     int64
 }
 
 // NewHistogram creates a histogram with nbuckets equal-width buckets
@@ -146,6 +152,24 @@ func NewHistogram(lo, hi float64, nbuckets int) *Histogram {
 	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int64, nbuckets)}
 }
 
+// NewLogHistogram creates a histogram with nbuckets geometrically spaced
+// buckets covering [lo, hi) — constant relative resolution, the right
+// shape for latencies spanning decades (fsync on tmpfs vs spinning rust).
+// It panics if lo <= 0, hi <= lo, or nbuckets < 1.
+func NewLogHistogram(lo, hi float64, nbuckets int) *Histogram {
+	if lo <= 0 || hi <= lo || nbuckets < 1 {
+		panic("stats: invalid log histogram bounds")
+	}
+	edges := make([]float64, nbuckets+1)
+	ratio := math.Log(hi / lo)
+	for i := range edges {
+		edges[i] = lo * math.Exp(ratio*float64(i)/float64(nbuckets))
+	}
+	edges[0] = lo
+	edges[nbuckets] = hi
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int64, nbuckets), Edges: edges}
+}
+
 // Add records x.
 func (h *Histogram) Add(x float64) {
 	h.n++
@@ -155,9 +179,22 @@ func (h *Histogram) Add(x float64) {
 	case x >= h.Hi:
 		h.Over++
 	default:
-		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Buckets)))
+		var i int
+		if h.Edges != nil {
+			// First edge strictly above x, minus one, is x's bucket.
+			i = sort.SearchFloat64s(h.Edges, x)
+			if i < len(h.Edges) && h.Edges[i] == x {
+				i++ // buckets are half-open [lo, hi): x on an edge belongs above
+			}
+			i--
+		} else {
+			i = int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Buckets)))
+		}
 		if i >= len(h.Buckets) { // guard float rounding at the top edge
 			i = len(h.Buckets) - 1
+		}
+		if i < 0 {
+			i = 0
 		}
 		h.Buckets[i]++
 	}
@@ -168,7 +205,18 @@ func (h *Histogram) N() int64 { return h.n }
 
 // BucketLo returns the lower edge of bucket i.
 func (h *Histogram) BucketLo(i int) float64 {
+	if h.Edges != nil {
+		return h.Edges[i]
+	}
 	return h.Lo + (h.Hi-h.Lo)*float64(i)/float64(len(h.Buckets))
+}
+
+// BucketHi returns the upper edge of bucket i.
+func (h *Histogram) BucketHi(i int) float64 {
+	if h.Edges != nil {
+		return h.Edges[i+1]
+	}
+	return h.Lo + (h.Hi-h.Lo)*float64(i+1)/float64(len(h.Buckets))
 }
 
 // Quantile returns the q-th quantile (0 <= q <= 1) estimated from the
@@ -191,14 +239,14 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if target <= cum {
 		return h.Lo
 	}
-	width := (h.Hi - h.Lo) / float64(len(h.Buckets))
 	for i, c := range h.Buckets {
 		if c == 0 {
 			continue
 		}
 		next := cum + float64(c)
 		if target <= next {
-			return h.BucketLo(i) + width*(target-cum)/float64(c)
+			lo := h.BucketLo(i)
+			return lo + (h.BucketHi(i)-lo)*(target-cum)/float64(c)
 		}
 		cum = next
 	}
@@ -213,9 +261,16 @@ func (h *Histogram) Merge(o *Histogram) error {
 	if o == nil || o.n == 0 {
 		return nil
 	}
-	if o.Lo != h.Lo || o.Hi != h.Hi || len(o.Buckets) != len(h.Buckets) {
+	if o.Lo != h.Lo || o.Hi != h.Hi || len(o.Buckets) != len(h.Buckets) ||
+		len(o.Edges) != len(h.Edges) {
 		return fmt.Errorf("stats: merge shape mismatch: [%g,%g)x%d vs [%g,%g)x%d",
 			h.Lo, h.Hi, len(h.Buckets), o.Lo, o.Hi, len(o.Buckets))
+	}
+	for i := range h.Edges {
+		if o.Edges[i] != h.Edges[i] {
+			return fmt.Errorf("stats: merge edge mismatch at %d: %g vs %g",
+				i, h.Edges[i], o.Edges[i])
+		}
 	}
 	for i, c := range o.Buckets {
 		h.Buckets[i] += c
@@ -230,6 +285,9 @@ func (h *Histogram) Merge(o *Histogram) error {
 func (h *Histogram) Clone() *Histogram {
 	c := *h
 	c.Buckets = append([]int64(nil), h.Buckets...)
+	if h.Edges != nil {
+		c.Edges = append([]float64(nil), h.Edges...)
+	}
 	return &c
 }
 

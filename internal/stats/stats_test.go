@@ -332,3 +332,91 @@ func TestHistogramClone(t *testing.T) {
 		t.Fatalf("clone not independent: a.n=%d c.n=%d", a.N(), c.N())
 	}
 }
+
+func TestLogHistogramEdges(t *testing.T) {
+	h := NewLogHistogram(1, 1000, 3)
+	if len(h.Edges) != 4 || h.Edges[0] != 1 || h.Edges[3] != 1000 {
+		t.Fatalf("edges = %v", h.Edges)
+	}
+	// Geometric spacing: each edge is 10x the previous for 1..1000 over 3.
+	if math.Abs(h.Edges[1]-10) > 1e-9 || math.Abs(h.Edges[2]-100) > 1e-9 {
+		t.Fatalf("edges not geometric: %v", h.Edges)
+	}
+	if h.BucketLo(1) != h.Edges[1] || h.BucketHi(1) != h.Edges[2] {
+		t.Fatalf("bucket edges: [%g, %g)", h.BucketLo(1), h.BucketHi(1))
+	}
+	for _, bad := range []func(){
+		func() { NewLogHistogram(0, 10, 4) },
+		func() { NewLogHistogram(-1, 10, 4) },
+		func() { NewLogHistogram(10, 10, 4) },
+		func() { NewLogHistogram(1, 10, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("invalid log histogram did not panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestLogHistogramAddPlacement(t *testing.T) {
+	h := NewLogHistogram(1, 1000, 3) // buckets [1,10) [10,100) [100,1000)
+	for _, x := range []float64{0.5, 1, 5, 9.999, 10, 99, 100, 999, 1000, 5000} {
+		h.Add(x)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Fatalf("under/over = %d/%d", h.Under, h.Over)
+	}
+	// Half-open buckets: an exact edge sample belongs to the bucket above.
+	if h.Buckets[0] != 3 || h.Buckets[1] != 2 || h.Buckets[2] != 2 {
+		t.Fatalf("buckets = %v", h.Buckets)
+	}
+	if h.N() != 10 {
+		t.Fatalf("n = %d", h.N())
+	}
+}
+
+func TestLogHistogramQuantileUsesGeometricWidths(t *testing.T) {
+	h := NewLogHistogram(1, 1000, 3)
+	// All mass in [10, 100): the median must interpolate inside it.
+	for i := 0; i < 100; i++ {
+		h.Add(50)
+	}
+	if q := h.Quantile(0.5); q < 10 || q >= 100 {
+		t.Fatalf("p50 = %g, want inside [10, 100)", q)
+	}
+	if q := h.Quantile(0); q < 1 || q > 10 {
+		t.Fatalf("p0 = %g", q)
+	}
+}
+
+func TestLogHistogramMergeAndClone(t *testing.T) {
+	a := NewLogHistogram(1, 1000, 3)
+	b := NewLogHistogram(1, 1000, 3)
+	a.Add(5)
+	b.Add(50)
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if a.N() != 2 || a.Buckets[0] != 1 || a.Buckets[1] != 1 {
+		t.Fatalf("merged: n=%d buckets=%v", a.N(), a.Buckets)
+	}
+	// A linear histogram with the same bounds has a different shape.
+	if err := a.Merge(NewHistogram(1, 1000, 3).Clone()); err != nil {
+		t.Fatalf("merging empty linear histogram should no-op: %v", err)
+	}
+	lin := NewHistogram(1, 1000, 3)
+	lin.Add(5)
+	if err := a.Merge(lin); err == nil {
+		t.Fatalf("merged a linear histogram into a log one")
+	}
+	c := a.Clone()
+	c.Add(2)
+	c.Edges[0] = 99
+	if a.N() != 2 || a.Edges[0] != 1 {
+		t.Fatalf("clone shares storage with the original")
+	}
+}

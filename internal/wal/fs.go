@@ -1,0 +1,75 @@
+package wal
+
+import (
+	"io"
+	"os"
+)
+
+// FS is the narrow filesystem surface the log and snapshot codecs write
+// through. Production code uses OSFS; tests swap in the fault-injecting
+// wrapper from internal/fault to model short writes, fsync failures, and
+// crashes at arbitrary byte boundaries without killing the process.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// ReadDir lists the entry names in dir (files only are required).
+	ReadDir(dir string) ([]string, error)
+	// Create opens name for read/write, creating or truncating it.
+	Create(name string) (File, error)
+	// Open opens an existing name for read/write without truncating; the
+	// cursor starts at offset 0.
+	Open(name string) (File, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes name.
+	Remove(name string) error
+}
+
+// File is the per-file surface: sequential read/write plus the durability
+// and repair operations the log needs (Sync for group commit, Truncate for
+// torn-tail amputation, Seek to find ends and re-read).
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	io.Seeker
+	Sync() error
+	Truncate(size int64) error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// ReadDir implements FS.
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+// Create implements FS.
+func (OSFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+// Open implements FS.
+func (OSFS) Open(name string) (File, error) {
+	return os.OpenFile(name, os.O_RDWR, 0o644)
+}
+
+// Rename implements FS.
+func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }

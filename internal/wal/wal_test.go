@@ -1,0 +1,388 @@
+// Tests live in wal_test so they can drive the log through the fault
+// injector in internal/fault (which itself imports wal) without a cycle.
+package wal_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"hrtsched/internal/fault"
+	"hrtsched/internal/wal"
+)
+
+func payload(i int) []byte { return fmt.Appendf(nil, "record-%04d", i) }
+
+func mustOpen(t *testing.T, opts wal.Options) (*wal.Log, wal.OpenReport) {
+	t.Helper()
+	l, rep, err := wal.Open(opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", opts.Dir, err)
+	}
+	return l, rep
+}
+
+func collect(t *testing.T, l *wal.Log, from uint64) (lsns []uint64, payloads [][]byte) {
+	t.Helper()
+	err := l.Replay(from, func(lsn uint64, p []byte) error {
+		lsns = append(lsns, lsn)
+		payloads = append(payloads, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay(%d): %v", from, err)
+	}
+	return lsns, payloads
+}
+
+func TestAppendReplayRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	l, rep := mustOpen(t, wal.Options{Dir: dir})
+	if rep.LastLSN != 0 || rep.TruncatedBytes != 0 || rep.DroppedSegments != 0 {
+		t.Fatalf("fresh dir report: %+v", rep)
+	}
+	for i := 1; i <= 20; i++ {
+		lsn, err := l.Append(payload(i))
+		if err != nil || lsn != uint64(i) {
+			t.Fatalf("Append(%d) = %d, %v", i, lsn, err)
+		}
+	}
+	st := l.Stats()
+	if st.Appends != 20 || st.LastLSN != 20 || st.SyncedLSN != 20 || st.Fsyncs == 0 {
+		t.Fatalf("stats after 20 appends: %+v", st)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2, rep2 := mustOpen(t, wal.Options{Dir: dir})
+	defer l2.Close()
+	if rep2.LastLSN != 20 || rep2.TruncatedBytes != 0 || rep2.DroppedSegments != 0 {
+		t.Fatalf("clean reopen report: %+v", rep2)
+	}
+	lsns, payloads := collect(t, l2, 5)
+	if len(lsns) != 16 {
+		t.Fatalf("replayed %d records, want 16", len(lsns))
+	}
+	for i, lsn := range lsns {
+		want := uint64(5 + i)
+		if lsn != want || !bytes.Equal(payloads[i], payload(int(want))) {
+			t.Fatalf("record %d: lsn=%d payload=%q", i, lsn, payloads[i])
+		}
+	}
+	// A reopened log appends after the recovered tail.
+	if lsn, err := l2.Append(payload(21)); err != nil || lsn != 21 {
+		t.Fatalf("append after reopen = %d, %v", lsn, err)
+	}
+}
+
+func TestAppendBatchSingleFsync(t *testing.T) {
+	l, _ := mustOpen(t, wal.Options{Dir: t.TempDir()})
+	defer l.Close()
+	payloads := make([][]byte, 100)
+	for i := range payloads {
+		payloads[i] = payload(i + 1)
+	}
+	tk, err := l.AppendBatch(payloads)
+	if err != nil {
+		t.Fatalf("AppendBatch: %v", err)
+	}
+	if tk.FirstLSN != 1 || tk.LastLSN != 100 {
+		t.Fatalf("ticket LSNs: %+v", tk)
+	}
+	if err := tk.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	st := l.Stats()
+	if st.Fsyncs != 1 || st.Batches != 1 || st.Appends != 100 {
+		t.Fatalf("one batch should cost one fsync: %+v", st)
+	}
+	if st.FsyncLatencyUs.N() != 1 {
+		t.Fatalf("fsync latency samples = %d, want 1", st.FsyncLatencyUs.N())
+	}
+}
+
+func TestConcurrentAppendsAssignUniqueLSNs(t *testing.T) {
+	l, _ := mustOpen(t, wal.Options{Dir: t.TempDir()})
+	defer l.Close()
+	const workers, perWorker = 8, 50
+	var wg sync.WaitGroup
+	lsnCh := make(chan uint64, workers*perWorker)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				lsn, err := l.Append(payload(w*perWorker + i))
+				if err != nil {
+					t.Errorf("worker %d append %d: %v", w, i, err)
+					return
+				}
+				lsnCh <- lsn
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(lsnCh)
+	seen := map[uint64]bool{}
+	for lsn := range lsnCh {
+		if seen[lsn] {
+			t.Fatalf("lsn %d assigned twice", lsn)
+		}
+		seen[lsn] = true
+	}
+	if len(seen) != workers*perWorker {
+		t.Fatalf("got %d lsns, want %d", len(seen), workers*perWorker)
+	}
+	st := l.Stats()
+	if st.SyncedLSN != workers*perWorker || st.Appends != workers*perWorker {
+		t.Fatalf("stats: %+v", st)
+	}
+	// Group commit should have shared at least some fsyncs under this much
+	// concurrency — but never more fsyncs than appends.
+	if st.Fsyncs > st.Appends {
+		t.Fatalf("more fsyncs (%d) than appends (%d)", st.Fsyncs, st.Appends)
+	}
+}
+
+func TestSegmentRollCompactAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	// 64-byte threshold with 19-byte frames: segments hold 3 records each.
+	l, _ := mustOpen(t, wal.Options{Dir: dir, SegmentBytes: 64})
+	for i := 1; i <= 9; i++ {
+		if _, err := l.Append(payload(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if st := l.Stats(); st.Segments != 3 {
+		t.Fatalf("segments = %d, want 3 (bases 1,4,7)", st.Segments)
+	}
+	// LSN 5 still lives in the second segment, so only the first
+	// (records 1..3) is fully covered.
+	removed, err := l.CompactBefore(5)
+	if err != nil || removed != 1 {
+		t.Fatalf("CompactBefore(5) = %d, %v", removed, err)
+	}
+	// The active segment survives even when fully covered.
+	if removed, err = l.CompactBefore(100); err != nil || removed != 1 {
+		t.Fatalf("CompactBefore(100) = %d, %v", removed, err)
+	}
+	if st := l.Stats(); st.Segments != 1 {
+		t.Fatalf("segments after compaction = %d, want 1", st.Segments)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Reopen finds only the surviving suffix, with LSNs intact.
+	l2, rep := mustOpen(t, wal.Options{Dir: dir, SegmentBytes: 64})
+	defer l2.Close()
+	if rep.LastLSN != 9 || rep.DroppedSegments != 0 {
+		t.Fatalf("post-compaction reopen: %+v", rep)
+	}
+	lsns, _ := collect(t, l2, 1)
+	if len(lsns) != 3 || lsns[0] != 7 || lsns[2] != 9 {
+		t.Fatalf("replay after compaction: %v", lsns)
+	}
+}
+
+func TestTornTailTruncatedOnReopen(t *testing.T) {
+	ffs := fault.NewFaultyFS(nil)
+	dir := t.TempDir()
+	l, _ := mustOpen(t, wal.Options{Dir: dir, FS: ffs})
+	for i := 1; i <= 5; i++ {
+		if _, err := l.Append(payload(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	// The sixth record's bytes reach the file but its fsync fails: the log
+	// latches the error and every later append reports it.
+	ffs.FailSyncAt(1)
+	if _, err := l.Append(payload(6)); !errors.Is(err, fault.ErrInjectedSync) {
+		t.Fatalf("append over failed fsync: %v", err)
+	}
+	if _, err := l.Append(payload(7)); !errors.Is(err, fault.ErrInjectedSync) {
+		t.Fatalf("latched log accepted an append: %v", err)
+	}
+	if st := l.Stats(); st.SyncedLSN != 5 || st.AppendErrors == 0 {
+		t.Fatalf("stats after failed fsync: %+v", st)
+	}
+	l.Close() //nolint:errcheck // returns the latched injected error
+
+	// Power loss keeps 5 unsynced bytes — a torn frame header.
+	if err := ffs.Crash(fault.CrashOptions{KeepUnsynced: 5}); err != nil {
+		t.Fatalf("Crash: %v", err)
+	}
+	ffs.Restart()
+	l2, rep := mustOpen(t, wal.Options{Dir: dir, FS: ffs})
+	defer l2.Close()
+	if rep.LastLSN != 5 || rep.TruncatedBytes != 5 {
+		t.Fatalf("torn-tail reopen: %+v", rep)
+	}
+	lsns, _ := collect(t, l2, 1)
+	if len(lsns) != 5 {
+		t.Fatalf("replay after torn tail: %v", lsns)
+	}
+	// New appends continue exactly where the valid prefix ended.
+	if lsn, err := l2.Append(payload(6)); err != nil || lsn != 6 {
+		t.Fatalf("append after repair = %d, %v", lsn, err)
+	}
+}
+
+func TestCorruptedKeptByteDetectedByCRC(t *testing.T) {
+	ffs := fault.NewFaultyFS(nil)
+	dir := t.TempDir()
+	l, _ := mustOpen(t, wal.Options{Dir: dir, FS: ffs})
+	for i := 1; i <= 5; i++ {
+		if _, err := l.Append(payload(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	ffs.FailSyncAt(1)
+	l.Append(payload(6)) //nolint:errcheck // injected failure is the point
+	l.Close()            //nolint:errcheck
+
+	// Keep the whole unsynced frame but flip a bit in its last byte: the
+	// frame is structurally complete and fails only its checksum.
+	if err := ffs.Crash(fault.CrashOptions{KeepUnsynced: 1 << 20, CorruptKept: true}); err != nil {
+		t.Fatalf("Crash: %v", err)
+	}
+	ffs.Restart()
+	l2, rep := mustOpen(t, wal.Options{Dir: dir, FS: ffs})
+	defer l2.Close()
+	frameLen := int64(8 + len(payload(6)))
+	if rep.LastLSN != 5 || rep.TruncatedBytes != frameLen {
+		t.Fatalf("crc-corrupt reopen: %+v, want truncated=%d", rep, frameLen)
+	}
+}
+
+func TestMidLogCorruptionDropsUnreachableSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, wal.Options{Dir: dir, SegmentBytes: 64})
+	for i := 1; i <= 9; i++ {
+		if _, err := l.Append(payload(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Flip a payload byte in the middle segment (records 4..6): its frames
+	// die at the CRC, and segment 7..9 becomes unreachable by replay.
+	seg2 := filepath.Join(dir, "0000000000000004.wal")
+	data, err := os.ReadFile(seg2)
+	if err != nil {
+		t.Fatalf("read %s: %v", seg2, err)
+	}
+	data[16+8] ^= 0xff // first payload byte: header (16) + frame header (8)
+	if err := os.WriteFile(seg2, data, 0o644); err != nil {
+		t.Fatalf("rewrite %s: %v", seg2, err)
+	}
+
+	l2, rep := mustOpen(t, wal.Options{Dir: dir, SegmentBytes: 64})
+	defer l2.Close()
+	if rep.LastLSN != 3 || rep.DroppedSegments != 1 || rep.TruncatedBytes == 0 {
+		t.Fatalf("mid-log corruption report: %+v", rep)
+	}
+	lsns, _ := collect(t, l2, 1)
+	if len(lsns) != 3 || lsns[len(lsns)-1] != 3 {
+		t.Fatalf("replay served records past the corruption: %v", lsns)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "0000000000000007.wal")); !os.IsNotExist(err) {
+		t.Fatalf("unreachable segment not deleted: %v", err)
+	}
+	// The log keeps serving: appends restart at the first lost LSN.
+	if lsn, err := l2.Append(payload(4)); err != nil || lsn != 4 {
+		t.Fatalf("append after drop = %d, %v", lsn, err)
+	}
+}
+
+func TestBaseLSNStartsPastSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	l, rep := mustOpen(t, wal.Options{Dir: dir, BaseLSN: 100})
+	if rep.LastLSN != 99 {
+		t.Fatalf("BaseLSN report: %+v", rep)
+	}
+	if lsn, err := l.Append(payload(0)); err != nil || lsn != 100 {
+		t.Fatalf("first append = %d, %v", lsn, err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// BaseLSN only applies to empty directories: reopening follows the log.
+	l2, rep2 := mustOpen(t, wal.Options{Dir: dir, BaseLSN: 5})
+	defer l2.Close()
+	if rep2.LastLSN != 100 {
+		t.Fatalf("reopen ignored existing records: %+v", rep2)
+	}
+}
+
+func TestRemoveAllWipesSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, wal.Options{Dir: dir, SegmentBytes: 64})
+	for i := 1; i <= 6; i++ {
+		if _, err := l.Append(payload(i)); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	n, err := wal.RemoveAll(nil, dir)
+	if err != nil || n != 2 {
+		t.Fatalf("RemoveAll = %d, %v; want 2 segments", n, err)
+	}
+	l2, rep := mustOpen(t, wal.Options{Dir: dir})
+	defer l2.Close()
+	if rep.LastLSN != 0 {
+		t.Fatalf("wiped dir still has records: %+v", rep)
+	}
+}
+
+func TestAppendValidationAndClose(t *testing.T) {
+	l, _ := mustOpen(t, wal.Options{Dir: t.TempDir()})
+	if _, err := l.AppendBatch(nil); err == nil {
+		t.Fatalf("empty batch accepted")
+	}
+	if _, err := l.Append(nil); err == nil {
+		t.Fatalf("empty payload accepted")
+	}
+	if _, err := l.AppendBatch([][]byte{make([]byte, wal.MaxRecordBytes+1)}); err == nil {
+		t.Fatalf("oversized payload accepted")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := l.Append(payload(1)); !errors.Is(err, wal.ErrClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+}
+
+func TestWriteFailureLatchesLog(t *testing.T) {
+	ffs := fault.NewFaultyFS(nil)
+	l, _ := mustOpen(t, wal.Options{Dir: t.TempDir(), FS: ffs})
+	if _, err := l.Append(payload(1)); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	ffs.FailWriteAt(1)
+	if _, err := l.Append(payload(2)); !errors.Is(err, fault.ErrInjectedWrite) {
+		t.Fatalf("append over failed write: %v", err)
+	}
+	if _, err := l.Append(payload(3)); !errors.Is(err, fault.ErrInjectedWrite) {
+		t.Fatalf("latched log accepted an append: %v", err)
+	}
+	if st := l.Stats(); st.AppendErrors != 1 || st.SyncedLSN != 1 {
+		t.Fatalf("stats after latched failure: %+v", st)
+	}
+	if err := l.Close(); !errors.Is(err, fault.ErrInjectedWrite) {
+		t.Fatalf("Close should surface the latched error: %v", err)
+	}
+}
