@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: ci build vet test race planverify chaos bench bench-engine bench-record bench-record-pr5 engine-bench-smoke serve-smoke cluster-smoke recovery-smoke
+.PHONY: ci build vet test race planverify perf-gate chaos bench bench-engine bench-record bench-record-pr5 engine-bench-smoke serve-smoke cluster-smoke recovery-smoke failover-smoke
 
 # ci is the tier-1 gate: every change must pass vet, build, the race-
-# enabled test suite, the planverify cross-check, the engine benchmark
-# smoke, and the serving-layer smokes — including the kill -9 recovery
-# smoke — before it lands (see README "Testing").
-ci: vet build race planverify engine-bench-smoke serve-smoke cluster-smoke recovery-smoke
+# enabled test suite, the planverify cross-check, the non-race perf
+# gate, the engine benchmark smoke, and the serving-layer smokes —
+# including the kill -9 recovery and leader-failover smokes — before it
+# lands (see README "Testing").
+ci: vet build race planverify perf-gate engine-bench-smoke serve-smoke cluster-smoke recovery-smoke failover-smoke
 
 build:
 	$(GO) build ./...
@@ -19,6 +20,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# perf-gate runs the wall-clock throughput gates without the race
+# detector (whose several-fold slowdown would measure the
+# instrumentation, not the code — the gates skip themselves under -race).
+perf-gate:
+	$(GO) test -run TestDurablePlaceThroughputAtLeast5k -count=1 ./internal/serve
 
 # planverify rebuilds the admission layers with the verification tag on,
 # so every Incremental verdict is asserted bit-identical to a fresh full
@@ -111,3 +118,60 @@ recovery-smoke:
 	if [ -z "$$before" ] || [ "$$before" -eq 0 ]; then echo "recovery-smoke: pre-crash placements empty ($$before)"; exit 1; fi; \
 	if [ "$$before" != "$$after" ]; then echo "recovery-smoke: placements diverged: before=$$before after=$$after"; cat "$$dir"/hrtd2.log; exit 1; fi; \
 	echo "recovery-smoke: ok ($$before placements survived kill -9)"
+
+# failover-smoke is the end-to-end replication drill: boot a 3-replica
+# hrtd placement service, drive mutations through a follower (so every
+# one rides a 307 leader redirect), kill -9 the leader mid-stream, and
+# fail unless a new leader emerges within the election budget, both
+# survivors converge to the same durable view, and a final checked load
+# run lands cleanly on the re-formed cluster.
+failover-smoke:
+	@set -e; dir=$$(mktemp -d); p1=; p2=; p3=; loadpid=; \
+	cleanup() { for p in $$p1 $$p2 $$p3 $$loadpid; do kill -9 $$p 2>/dev/null || true; done; rm -rf "$$dir"; }; \
+	trap cleanup EXIT; \
+	$(GO) build -o "$$dir" ./cmd/hrtd ./cmd/hrtload; \
+	peers="-peer 0=127.0.0.1:29871 -peer 1=127.0.0.1:29872 -peer 2=127.0.0.1:29873"; \
+	for r in 1 2 3; do \
+		"$$dir"/hrtd -addr 127.0.0.1:2987$$r -nodes 4 -data-dir "$$dir"/d$$r \
+			-replicas 3 -id $$((r-1)) $$peers >"$$dir"/hrtd$$r.log 2>&1 & \
+		eval p$$r=$$!; \
+	done; \
+	leader=; \
+	for i in $$(seq 100); do \
+		for r in 1 2 3; do \
+			line=$$("$$dir"/hrtload -addr 127.0.0.1:2987$$r -mode status 2>/dev/null || true); \
+			case "$$line" in *"role=leader"*) leader=$$r; break 2;; esac; \
+		done; \
+		sleep 0.1; \
+	done; \
+	if [ -z "$$leader" ]; then echo "failover-smoke: no leader elected"; cat "$$dir"/hrtd1.log; exit 1; fi; \
+	follower=1; [ "$$leader" = 1 ] && follower=2; \
+	echo "failover-smoke: leader is replica $$((leader-1)), loading via follower $$((follower-1))"; \
+	"$$dir"/hrtload -addr 127.0.0.1:2987$$follower -mode cluster -dur 4s -conns 4 >"$$dir"/load.log 2>&1 & loadpid=$$!; \
+	sleep 1; \
+	eval kill -9 \$$p$$leader; eval p$$leader=; \
+	newleader=; \
+	for i in $$(seq 100); do \
+		for r in 1 2 3; do \
+			[ "$$r" = "$$leader" ] && continue; \
+			line=$$("$$dir"/hrtload -addr 127.0.0.1:2987$$r -mode status 2>/dev/null || true); \
+			case "$$line" in *"role=leader"*) newleader=$$r; break 2;; esac; \
+		done; \
+		sleep 0.1; \
+	done; \
+	if [ -z "$$newleader" ]; then echo "failover-smoke: no new leader after kill -9"; cat "$$dir"/hrtd$$follower.log; exit 1; fi; \
+	echo "failover-smoke: replica $$((newleader-1)) took over"; \
+	wait $$loadpid 2>/dev/null || true; loadpid=; \
+	grep 'leader redirects followed' "$$dir"/load.log >/dev/null || { echo "failover-smoke: no 307 redirects observed"; cat "$$dir"/load.log; exit 1; }; \
+	"$$dir"/hrtload -addr 127.0.0.1:2987$$follower -mode cluster -dur 2s -conns 4 -check; \
+	other=; for r in 1 2 3; do [ "$$r" != "$$leader" ] && [ "$$r" != "$$newleader" ] && other=$$r; done; \
+	same=; \
+	for i in $$(seq 50); do \
+		v1=$$("$$dir"/hrtload -addr 127.0.0.1:2987$$newleader -mode status 2>/dev/null | sed 's/ durable=.*//'); \
+		v2=$$("$$dir"/hrtload -addr 127.0.0.1:2987$$other -mode status 2>/dev/null | sed 's/ durable=.*//'); \
+		if [ -n "$$v1" ] && [ "$$v1" = "$$v2" ]; then same=yes; break; fi; \
+		sleep 0.2; \
+	done; \
+	if [ -z "$$same" ]; then echo "failover-smoke: survivors diverged:"; echo " $$v1"; echo " $$v2"; exit 1; fi; \
+	case "$$v1" in *"placements=0"*) echo "failover-smoke: empty cluster would pass a trivial diff"; exit 1;; esac; \
+	echo "failover-smoke: ok ($$v1)"

@@ -9,6 +9,17 @@
 //	hrtd -nodes 8 -policy worst-fit                    # placement cluster
 //	hrtd -nodes 4 -data-dir /var/lib/hrtd              # durable cluster state
 //
+// A replicated placement service runs one hrtd per replica, each naming
+// every peer (including itself):
+//
+//	hrtd -addr 127.0.0.1:9101 -data-dir /var/lib/hrtd-0 -replicas 3 -id 0 \
+//	     -peer 0=127.0.0.1:9101 -peer 1=127.0.0.1:9102 -peer 2=127.0.0.1:9103
+//
+// Mutations commit once a majority of replicas has fsynced them; a
+// follower answers mutations with a 307 redirect to the leader and serves
+// GET /v1/cluster/status from its own durable view. On SIGTERM a leader
+// hands leadership to the most caught-up follower before draining.
+//
 // Endpoints: POST /v1/analyze, POST /v1/capacity, POST /v1/cluster/{place,
 // remove,drain,undrain,rebalance}, GET /v1/cluster/status, GET /metrics,
 // GET /healthz. POST /analyze and /capacity remain as deprecated aliases.
@@ -22,6 +33,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -44,7 +57,22 @@ func main() {
 		nodes    = flag.Int("nodes", 4, "placement-cluster nodes (0 disables the cluster routes)")
 		policy   = flag.String("policy", "first-fit", "placement policy: first-fit or worst-fit")
 		dataDir  = flag.String("data-dir", "", "durable state directory (WAL + snapshots); empty = in-memory only")
+		replicas = flag.Int("replicas", 1, "total replica count (>1 replicates the placement log)")
+		replID   = flag.Int("id", 0, "this replica's id in [0,replicas)")
 	)
+	peers := map[int]string{}
+	flag.Func("peer", "replica address as id=host:port (repeat once per replica)", func(v string) error {
+		id, hostport, ok := strings.Cut(v, "=")
+		if !ok {
+			return fmt.Errorf("want id=host:port, got %q", v)
+		}
+		n, err := strconv.Atoi(id)
+		if err != nil {
+			return fmt.Errorf("bad replica id %q: %w", id, err)
+		}
+		peers[n] = "http://" + hostport
+		return nil
+	})
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
@@ -86,6 +114,22 @@ func main() {
 	if *dataDir != "" && *nodes == 0 {
 		fail("-data-dir requires a placement cluster (-nodes > 0)")
 	}
+	if *replicas < 1 {
+		fail("-replicas must be at least 1 (got %d)", *replicas)
+	}
+	if *replicas > 1 {
+		if *dataDir == "" {
+			fail("-replicas > 1 requires -data-dir (the replicated log lives there)")
+		}
+		if *replID < 0 || *replID >= *replicas {
+			fail("-id %d outside [0,%d)", *replID, *replicas)
+		}
+		for i := 0; i < *replicas; i++ {
+			if peers[i] == "" {
+				fail("-replicas %d needs -peer %d=host:port", *replicas, i)
+			}
+		}
+	}
 
 	planSpec := serve.SpecFor(spec, *util)
 	if *overhead > 0 {
@@ -115,6 +159,13 @@ func main() {
 		if *dataDir != "" {
 			ccfg.Durability = &serve.DurabilityConfig{Dir: *dataDir}
 		}
+		if *replicas > 1 {
+			ccfg.Replication = &serve.ReplicationConfig{
+				ID:       *replID,
+				Replicas: *replicas,
+				Peers:    peers,
+			}
+		}
 		cluster, err = serve.NewCluster(ccfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hrtd: %v\n", err)
@@ -128,6 +179,10 @@ func main() {
 				rec.SnapshotLSN, rec.Replayed, rec.Rejected, rec.TruncatedBytes,
 				rec.DroppedSegments, rec.BadSnapshots, rec.OrphansReleased,
 				rec.LastLSN, rec.SpecChanged)
+		}
+		if *replicas > 1 {
+			fmt.Printf("hrtd: replication: id=%d replicas=%d peers=%s\n",
+				*replID, *replicas, peerList(peers, *replicas))
 		}
 	}
 
@@ -163,6 +218,18 @@ func main() {
 		// timeout so a wedged worker cannot hold the process hostage.
 		fmt.Printf("hrtd: %v, shutting down\n", got)
 		start := time.Now()
+		// A replicated leader hands off before draining so the cluster
+		// keeps accepting mutations while this replica goes away. Failure
+		// is fine — the survivors elect on the missed-heartbeat path.
+		if cluster != nil && *replicas > 1 {
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			if to, err := cluster.TransferLeadership(ctx); err == nil {
+				fmt.Printf("hrtd: leadership transferred to replica %d\n", to)
+			} else {
+				fmt.Printf("hrtd: leadership transfer skipped: %v\n", err)
+			}
+			cancel()
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		httpErr := hs.Shutdown(ctx)
 		cancel()
@@ -188,4 +255,13 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// peerList renders the peer map in id order for the boot line.
+func peerList(peers map[int]string, n int) string {
+	parts := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		parts = append(parts, strconv.Itoa(i)+"="+peers[i])
+	}
+	return strings.Join(parts, ",")
 }

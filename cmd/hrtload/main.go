@@ -14,8 +14,14 @@
 // hrtd_cluster_placed_total.
 //
 // In -mode status a single GET of /v1/cluster/status is printed as one
-// greppable line (placements, per-counter totals, durability health) —
-// the probe the recovery smoke test diffs across a kill -9.
+// greppable line (placements, per-counter totals, durability health,
+// replication role) — the probe the recovery and failover smoke tests
+// diff across a kill -9.
+//
+// Against a replicated hrtd the generator is failover-aware: mutations
+// sent to a follower follow its 307 redirect to the leader (counted and
+// reported), and 429/503 responses back off for the server's Retry-After
+// with jitter instead of hammering a cluster that is mid-election.
 //
 // Usage:
 //
@@ -50,12 +56,16 @@ var periodMenuUs = []int64{100, 200, 250, 500, 1000}
 type workerResult struct {
 	requests  int64
 	errors    int64 // transport failures and unexpected statuses
-	sheds     int64 // 429 responses
+	sheds     int64 // 429/503 backpressure responses (each backs off)
 	cacheHits int64 // X-Hrtd-Cache: hit (query mode)
 	placed    int64 // admitted placements (cluster mode)
 	rejected  int64 // placements every node refused (cluster mode)
 	latencyUs []float64
 }
+
+// redirects counts 307 leader redirects the HTTP client followed —
+// shared across workers because the redirect hook lives on the client.
+var redirects atomic.Int64
 
 func main() {
 	var (
@@ -108,6 +118,16 @@ func main() {
 			MaxIdleConnsPerHost: *conns * 2,
 		},
 		Timeout: 5 * time.Second,
+		// A follower answers mutations with 307 + Location: leader. The
+		// standard client re-sends the body (GetBody is set for string
+		// readers); the hook just counts the hops and keeps the cap.
+		CheckRedirect: func(req *http.Request, via []*http.Request) error {
+			if len(via) >= 5 {
+				return fmt.Errorf("stopped after 5 redirects")
+			}
+			redirects.Add(1)
+			return nil
+		},
 	}
 
 	if *mode == "status" {
@@ -166,6 +186,9 @@ func main() {
 	qps := float64(ok) / dur.Seconds()
 	fmt.Printf("hrtload: %d requests in %v (%d ok, %d shed, %d errors)\n",
 		total.requests, *dur, ok, total.sheds, total.errors)
+	if n := redirects.Load(); n > 0 {
+		fmt.Printf("hrtload: %d leader redirects followed\n", n)
+	}
 	fmt.Printf("hrtload: %.0f queries/s\n", qps)
 	if ok > 0 {
 		fmt.Printf("hrtload: latency us p50=%.0f p95=%.0f p99=%.0f\n",
@@ -258,8 +281,10 @@ func queryWorker(client *http.Client, base string, deadline time.Time,
 			if resp.Header.Get("X-Hrtd-Cache") == "hit" {
 				res.cacheHits++
 			}
-		case resp.StatusCode == http.StatusTooManyRequests:
+		case resp.StatusCode == http.StatusTooManyRequests,
+			resp.StatusCode == http.StatusServiceUnavailable:
 			res.sheds++
+			time.Sleep(retryDelay(resp, rng))
 		default:
 			res.errors++
 		}
@@ -281,21 +306,26 @@ func clusterWorker(client *http.Client, base string, deadline time.Time,
 			res.requests++
 			if err != nil {
 				res.errors++
+				time.Sleep(time.Duration(5+rng.Int63n(20)) * time.Millisecond)
 				continue
 			}
 			io.Copy(io.Discard, resp.Body) //nolint:errcheck
 			resp.Body.Close()
 			switch resp.StatusCode {
 			case http.StatusOK, http.StatusNotFound:
-			case http.StatusTooManyRequests:
+			case http.StatusTooManyRequests, http.StatusServiceUnavailable:
 				res.sheds++
+				time.Sleep(retryDelay(resp, rng))
 			default:
 				res.errors++
 			}
 		}
 
+		// The pid keeps ids unique across hrtload runs: against a durable
+		// cluster a second run would otherwise collide with the previous
+		// run's surviving placements and take 409s.
 		n := uniqueCtr.Add(1)
-		id := fmt.Sprintf("w%d-%d", w, n)
+		id := fmt.Sprintf("w%d-%d-%d", w, os.Getpid(), n)
 		periodNs := periodMenuUs[rng.Intn(len(periodMenuUs))] * 1000
 		sliceNs := periodNs/20 + rng.Int63n(periodNs/10)
 		body := fmt.Sprintf(`{"id":%q,"tasks":[{"period_ns":%d,"slice_ns":%d}]}`,
@@ -306,6 +336,10 @@ func clusterWorker(client *http.Client, base string, deadline time.Time,
 		res.requests++
 		if err != nil {
 			res.errors++
+			// Transport failures fail in microseconds (connection refused
+			// to a killed replica); pace them so a closed loop doesn't
+			// record millions of errors while an election settles.
+			time.Sleep(time.Duration(5+rng.Int63n(20)) * time.Millisecond)
 			continue
 		}
 		b, _ := io.ReadAll(resp.Body)
@@ -322,12 +356,32 @@ func clusterWorker(client *http.Client, base string, deadline time.Time,
 			} else {
 				res.rejected++
 			}
-		case resp.StatusCode == http.StatusTooManyRequests:
+		case resp.StatusCode == http.StatusTooManyRequests,
+			resp.StatusCode == http.StatusServiceUnavailable:
 			res.sheds++
+			time.Sleep(retryDelay(resp, rng))
 		default:
 			res.errors++
 		}
 	}
+}
+
+// retryDelay says how long to wait before retrying after a 429 or 503.
+// It honors the server's Retry-After seconds when present (hrtd sends
+// Retry-After: 1 while a cluster has no ready leader), caps the base at
+// 2s, and jitters the result across [base/2, base*3/2) so the workers
+// that were shed together don't re-stampede together.
+func retryDelay(resp *http.Response, rng *sim.Rand) time.Duration {
+	base := 50 * time.Millisecond
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(strings.TrimSpace(s)); err == nil && secs > 0 {
+			base = time.Duration(secs) * time.Second
+		}
+	}
+	if base > 2*time.Second {
+		base = 2 * time.Second
+	}
+	return base/2 + time.Duration(rng.Int63n(int64(base)))
 }
 
 // poolBody builds the i-th popular task set: 1-3 tasks from the period
@@ -372,6 +426,13 @@ func printStatus(client *http.Client, base string) error {
 			LastLSN  uint64 `json:"last_lsn"`
 			Degraded bool   `json:"degraded"`
 		} `json:"durability"`
+		Replication *struct {
+			Role       string `json:"role"`
+			Term       uint64 `json:"term"`
+			Leader     int    `json:"leader"`
+			CommitLSN  uint64 `json:"commit_lsn"`
+			AppliedLSN uint64 `json:"applied_lsn"`
+		} `json:"replication"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		return err
@@ -385,6 +446,11 @@ func printStatus(client *http.Client, base string) error {
 	if st.Durability != nil {
 		line += fmt.Sprintf(" durable=true last_lsn=%d degraded=%v",
 			st.Durability.LastLSN, st.Durability.Degraded)
+	}
+	if st.Replication != nil {
+		line += fmt.Sprintf(" role=%s term=%d leader=%d commit_lsn=%d applied_lsn=%d",
+			st.Replication.Role, st.Replication.Term, st.Replication.Leader,
+			st.Replication.CommitLSN, st.Replication.AppliedLSN)
 	}
 	fmt.Println(line)
 	return nil

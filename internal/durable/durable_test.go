@@ -178,10 +178,10 @@ func TestSnapshotRoundtripFallbackAndPrune(t *testing.T) {
 	st := NewState(2)
 	st.Apply(Record{Kind: KindPlace, Origin: OriginClient, Node: 1, ID: "a", Tasks: taskSet(2, 100_000)})
 
-	if err := writeSnapshot(fs, dir, 42, testSpec, st); err != nil {
+	if err := writeSnapshot(fs, dir, 42, 0, testSpec, st); err != nil {
 		t.Fatalf("writeSnapshot: %v", err)
 	}
-	got, lsn, specChanged, bad, err := loadLatestSnapshot(fs, dir, testSpec)
+	got, lsn, _, specChanged, bad, err := loadLatestSnapshot(fs, dir, testSpec)
 	if err != nil || lsn != 42 || specChanged || bad != 0 {
 		t.Fatalf("load = lsn %d specChanged %v bad %d err %v", lsn, specChanged, bad, err)
 	}
@@ -190,7 +190,7 @@ func TestSnapshotRoundtripFallbackAndPrune(t *testing.T) {
 	}
 
 	// A corrupt newer snapshot falls back to the older one, counted.
-	if err := writeSnapshot(fs, dir, 50, testSpec, st); err != nil {
+	if err := writeSnapshot(fs, dir, 50, 0, testSpec, st); err != nil {
 		t.Fatalf("writeSnapshot: %v", err)
 	}
 	path := filepath.Join(dir, snapName(50))
@@ -199,7 +199,7 @@ func TestSnapshotRoundtripFallbackAndPrune(t *testing.T) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatalf("corrupt snapshot: %v", err)
 	}
-	_, lsn, _, bad, err = loadLatestSnapshot(fs, dir, testSpec)
+	_, lsn, _, _, bad, err = loadLatestSnapshot(fs, dir, testSpec)
 	if err != nil || lsn != 42 || bad != 1 {
 		t.Fatalf("fallback load = lsn %d bad %d err %v", lsn, bad, err)
 	}
@@ -207,12 +207,12 @@ func TestSnapshotRoundtripFallbackAndPrune(t *testing.T) {
 	// A spec change is flagged, not fatal.
 	other := testSpec
 	other.UtilizationLimit = 0.5
-	if _, _, specChanged, _, err = loadLatestSnapshot(fs, dir, other); err != nil || !specChanged {
+	if _, _, _, specChanged, _, err = loadLatestSnapshot(fs, dir, other); err != nil || !specChanged {
 		t.Fatalf("spec change not flagged: %v, %v", specChanged, err)
 	}
 
 	// Pruning keeps the newest snapKeep files.
-	if err := writeSnapshot(fs, dir, 60, testSpec, st); err != nil {
+	if err := writeSnapshot(fs, dir, 60, 0, testSpec, st); err != nil {
 		t.Fatalf("writeSnapshot: %v", err)
 	}
 	if err := pruneSnapshots(fs, dir); err != nil {
@@ -476,7 +476,7 @@ func TestStoreSnapshotOutrunsTornLog(t *testing.T) {
 	st.Apply(Record{Kind: KindPlace, Origin: OriginClient, Node: 0, ID: "a", Tasks: taskSet(1, 100_000)})
 	// A snapshot claims LSN 10, but the log has nothing at all — the torn
 	// tail it covered is gone. Reopening must not reissue LSNs <= 10.
-	if err := writeSnapshot(wal.OSFS{}, dir, 10, testSpec, st); err != nil {
+	if err := writeSnapshot(wal.OSFS{}, dir, 10, 0, testSpec, st); err != nil {
 		t.Fatalf("writeSnapshot: %v", err)
 	}
 	cfg := Config{Dir: dir, NumNodes: 1, Spec: testSpec}
@@ -513,7 +513,7 @@ func TestStoreSnapshotOutrunsTornLog(t *testing.T) {
 
 func TestStoreRefusesNodeShrink(t *testing.T) {
 	dir := t.TempDir()
-	if err := writeSnapshot(wal.OSFS{}, dir, 1, testSpec, NewState(3)); err != nil {
+	if err := writeSnapshot(wal.OSFS{}, dir, 1, 0, testSpec, NewState(3)); err != nil {
 		t.Fatalf("writeSnapshot: %v", err)
 	}
 	_, err := Open(Config{Dir: dir, NumNodes: 2, Spec: testSpec})

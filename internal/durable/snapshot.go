@@ -33,10 +33,14 @@ const (
 
 var snapCRC = crc32.MakeTable(crc32.Castagnoli)
 
-// snapshotPayload is the JSON body of a snapshot file.
+// snapshotPayload is the JSON body of a snapshot file. Term is the
+// replication term of the last covered entry; it is only written in
+// replicated mode (omitempty), so single-replica snapshots stay
+// byte-identical to their pre-replication format.
 type snapshotPayload struct {
 	Version int       `json:"version"`
 	LSN     uint64    `json:"lsn"`
+	Term    uint64    `json:"term,omitempty"`
 	Spec    plan.Spec `json:"spec"`
 	State   *State    `json:"state"`
 }
@@ -61,10 +65,10 @@ func parseSnapName(name string) (uint64, bool) {
 }
 
 // writeSnapshot persists state as the snapshot covering every record up
-// to and including lsn.
-func writeSnapshot(fs wal.FS, dir string, lsn uint64, spec plan.Spec, state *State) error {
+// to and including lsn (term 0 outside replicated mode).
+func writeSnapshot(fs wal.FS, dir string, lsn, term uint64, spec plan.Spec, state *State) error {
 	body, err := json.Marshal(snapshotPayload{
-		Version: snapVersion, LSN: lsn, Spec: spec, State: state,
+		Version: snapVersion, LSN: lsn, Term: term, Spec: spec, State: state,
 	})
 	if err != nil {
 		return fmt.Errorf("durable: marshal snapshot: %w", err)
@@ -103,10 +107,10 @@ func writeSnapshot(fs wal.FS, dir string, lsn uint64, spec plan.Spec, state *Sta
 // the ones that did not. A dir with no usable snapshot returns a nil
 // state with lsn 0: replay starts from the beginning of the log.
 func loadLatestSnapshot(fs wal.FS, dir string, spec plan.Spec) (
-	state *State, lsn uint64, specChanged bool, bad int, err error) {
+	state *State, lsn, term uint64, specChanged bool, bad int, err error) {
 	names, err := fs.ReadDir(dir)
 	if err != nil {
-		return nil, 0, false, 0, fmt.Errorf("durable: list %s: %w", dir, err)
+		return nil, 0, 0, false, 0, fmt.Errorf("durable: list %s: %w", dir, err)
 	}
 	type cand struct {
 		lsn  uint64
@@ -126,9 +130,9 @@ func loadLatestSnapshot(fs wal.FS, dir string, spec plan.Spec) (
 			bad++
 			continue
 		}
-		return payload.State, payload.LSN, payload.Spec != spec, bad, nil
+		return payload.State, payload.LSN, payload.Term, payload.Spec != spec, bad, nil
 	}
-	return nil, 0, false, bad, nil
+	return nil, 0, 0, false, bad, nil
 }
 
 func readSnapshot(fs wal.FS, path string) (*snapshotPayload, error) {

@@ -130,7 +130,7 @@ func Open(cfg Config) (*Store, error) {
 	if err := cfg.FS.MkdirAll(cfg.Dir); err != nil {
 		return nil, fmt.Errorf("durable: mkdir %s: %w", cfg.Dir, err)
 	}
-	state, snapLSN, specChanged, bad, err := loadLatestSnapshot(cfg.FS, cfg.Dir, cfg.Spec)
+	state, snapLSN, _, specChanged, bad, err := loadLatestSnapshot(cfg.FS, cfg.Dir, cfg.Spec)
 	if err != nil {
 		return nil, err
 	}
@@ -338,7 +338,7 @@ func (s *Store) maybeSnapshot() {
 // Failures count but do not degrade: the WAL alone still carries the
 // state, and the next cadence trigger retries.
 func (s *Store) writeAndPublish(lsn uint64, clone *State) {
-	if err := writeSnapshot(s.cfg.FS, s.cfg.Dir, lsn, s.cfg.Spec, clone); err != nil {
+	if err := writeSnapshot(s.cfg.FS, s.cfg.Dir, lsn, 0, s.cfg.Spec, clone); err != nil {
 		s.snapErrors.Add(1)
 		return
 	}

@@ -1,0 +1,103 @@
+package fault
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// NetPolicy is a seeded fault policy for a point-to-point message
+// transport between numbered replicas: partitions (only pairs inside the
+// same group may talk), probabilistic drops, and bounded random delays.
+// The replication test transport consults Admit before delivering each
+// request, so one policy object scripts the whole failure schedule of a
+// partition/failover property test deterministically from its seed.
+type NetPolicy struct {
+	mu       sync.Mutex
+	rng      *rand.Rand
+	dropRate float64
+	minDelay time.Duration
+	maxDelay time.Duration
+	// group maps replica id -> partition group; replicas in different
+	// groups cannot exchange messages. nil = fully connected.
+	group map[int]int
+	// dropped and delivered count Admit outcomes, for assertions that a
+	// schedule actually exercised the fault.
+	dropped   int64
+	delivered int64
+}
+
+// NewNetPolicy returns a fully-connected, lossless, zero-delay policy
+// whose random choices (drops, delay lengths) derive from seed.
+func NewNetPolicy(seed int64) *NetPolicy {
+	return &NetPolicy{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Partition splits the network: each argument is one group of replica
+// ids, and messages only flow between replicas in the same group. A
+// replica named in no group is isolated entirely.
+func (p *NetPolicy) Partition(groups ...[]int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.group = map[int]int{}
+	for gi, g := range groups {
+		for _, id := range g {
+			p.group[id] = gi
+		}
+	}
+}
+
+// Heal reconnects everything (drops and delays stay as configured).
+func (p *NetPolicy) Heal() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.group = nil
+}
+
+// SetDrop sets the independent per-message drop probability in [0,1].
+func (p *NetPolicy) SetDrop(rate float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.dropRate = rate
+}
+
+// SetDelay sets the per-message delivery delay range.
+func (p *NetPolicy) SetDelay(minD, maxD time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.minDelay, p.maxDelay = minD, maxD
+}
+
+// Admit decides one message's fate: ok=false means the network ate it
+// (partition or random drop); otherwise delay says how long delivery
+// should stall.
+func (p *NetPolicy) Admit(from, to int) (delay time.Duration, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.group != nil {
+		gf, okf := p.group[from]
+		gt, okt := p.group[to]
+		if !okf || !okt || gf != gt {
+			p.dropped++
+			return 0, false
+		}
+	}
+	if p.dropRate > 0 && p.rng.Float64() < p.dropRate {
+		p.dropped++
+		return 0, false
+	}
+	p.delivered++
+	if p.maxDelay > p.minDelay {
+		delay = p.minDelay + time.Duration(p.rng.Int63n(int64(p.maxDelay-p.minDelay)))
+	} else {
+		delay = p.minDelay
+	}
+	return delay, true
+}
+
+// Counts reports how many messages were delivered and dropped so far.
+func (p *NetPolicy) Counts() (delivered, dropped int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.delivered, p.dropped
+}

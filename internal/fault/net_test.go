@@ -1,0 +1,74 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNetPolicyPartitionBlocksCrossGroup(t *testing.T) {
+	p := NewNetPolicy(1)
+	if _, ok := p.Admit(0, 1); !ok {
+		t.Fatalf("fresh policy dropped a message")
+	}
+	p.Partition([]int{0, 1}, []int{2})
+	cases := []struct {
+		from, to int
+		want     bool
+	}{
+		{0, 1, true}, {1, 0, true}, // same group
+		{0, 2, false}, {2, 1, false}, // across the cut
+		{3, 0, false}, // ungrouped id is isolated
+	}
+	for _, c := range cases {
+		if _, ok := p.Admit(c.from, c.to); ok != c.want {
+			t.Errorf("Admit(%d,%d) = %v, want %v", c.from, c.to, ok, c.want)
+		}
+	}
+	p.Heal()
+	if _, ok := p.Admit(0, 2); !ok {
+		t.Fatalf("healed policy still partitioned")
+	}
+	if delivered, dropped := p.Counts(); delivered != 4 || dropped != 3 {
+		t.Fatalf("counts = %d delivered, %d dropped", delivered, dropped)
+	}
+}
+
+func TestNetPolicyDropRateIsSeededAndBounded(t *testing.T) {
+	run := func(seed int64) (dropped int64) {
+		p := NewNetPolicy(seed)
+		p.SetDrop(0.3)
+		for i := 0; i < 1000; i++ {
+			p.Admit(0, 1)
+		}
+		_, d := p.Counts()
+		return d
+	}
+	a, b := run(7), run(7)
+	if a != b {
+		t.Fatalf("same seed diverged: %d vs %d drops", a, b)
+	}
+	if a < 200 || a > 400 {
+		t.Fatalf("drop rate 0.3 produced %d/1000 drops", a)
+	}
+	if c := run(8); c == a {
+		t.Fatalf("different seeds produced identical schedules (%d)", c)
+	}
+}
+
+func TestNetPolicyDelayRange(t *testing.T) {
+	p := NewNetPolicy(3)
+	p.SetDelay(time.Millisecond, 4*time.Millisecond)
+	for i := 0; i < 100; i++ {
+		d, ok := p.Admit(0, 1)
+		if !ok {
+			t.Fatalf("lossless policy dropped")
+		}
+		if d < time.Millisecond || d >= 4*time.Millisecond {
+			t.Fatalf("delay %v outside [1ms,4ms)", d)
+		}
+	}
+	p.SetDelay(2*time.Millisecond, 2*time.Millisecond)
+	if d, _ := p.Admit(0, 1); d != 2*time.Millisecond {
+		t.Fatalf("fixed delay = %v", d)
+	}
+}

@@ -1,0 +1,152 @@
+// Package repl replicates the cluster's write-ahead log across N hrtd
+// replicas, leader-based: one leader assigns log positions and ships
+// term-stamped WAL records to followers over a pluggable transport, and a
+// record is committed — and only then acknowledged to a client — once a
+// majority of replicas has it fsynced. Elections follow the classic
+// highest-log-wins rule: a replica votes for a candidate only when the
+// candidate's (last term, last LSN) is at least its own, so the winner of
+// any election already holds every committed record and promotion never
+// loses an acknowledged mutation. Heartbeats double as liveness probes in
+// both directions: followers that miss them start elections with seeded
+// jittered timeouts, and a leader that loses contact with a majority
+// steps down (check-quorum) instead of serving stale answers forever.
+//
+// Records in a replicated log are enveloped as [term u64][kind u8]
+// [payload] before framing, so every entry's term travels inside the
+// segment files themselves and follower logs are byte-identical to the
+// leader's. Kind 0 is a no-op barrier each new leader commits to
+// establish its commit index; kind 1 carries an application payload
+// (a durable.Record in hrtd).
+//
+// Compaction is disabled while replicating: followers can always catch up
+// from LSN 1, so no install-snapshot RPC is needed yet. Snapshots still
+// bound local replay time at boot.
+package repl
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Role is a replica's current protocol role.
+type Role int32
+
+const (
+	// RoleFollower replicates entries from the leader and votes.
+	RoleFollower Role = iota
+	// RoleCandidate is mid-election.
+	RoleCandidate
+	// RoleLeader assigns LSNs and ships entries.
+	RoleLeader
+)
+
+// String names the role for logs and metrics.
+func (r Role) String() string {
+	switch r {
+	case RoleFollower:
+		return "follower"
+	case RoleCandidate:
+		return "candidate"
+	case RoleLeader:
+		return "leader"
+	default:
+		return fmt.Sprintf("Role(%d)", int32(r))
+	}
+}
+
+// Entry kinds inside the term envelope.
+const (
+	kindNoop byte = 0
+	kindApp  byte = 1
+)
+
+// envHeader is the term envelope: term (8) + kind (1).
+const envHeader = 9
+
+// encodeEntry wraps an application payload (or a noop) in the term
+// envelope that goes into the WAL.
+func encodeEntry(term uint64, kind byte, payload []byte) []byte {
+	buf := make([]byte, envHeader+len(payload))
+	binary.LittleEndian.PutUint64(buf, term)
+	buf[8] = kind
+	copy(buf[envHeader:], payload)
+	return buf
+}
+
+// decodeEntry splits an enveloped WAL record. The payload aliases data.
+func decodeEntry(data []byte) (term uint64, kind byte, payload []byte, err error) {
+	if len(data) < envHeader {
+		return 0, 0, nil, fmt.Errorf("repl: entry too short (%d bytes)", len(data))
+	}
+	kind = data[8]
+	if kind != kindNoop && kind != kindApp {
+		return 0, 0, nil, fmt.Errorf("repl: bad entry kind %d", kind)
+	}
+	return binary.LittleEndian.Uint64(data), kind, data[envHeader:], nil
+}
+
+// Entry is one log record on the wire: the LSN plus the enveloped bytes
+// exactly as they sit in the leader's WAL, so follower logs stay
+// byte-identical.
+type Entry struct {
+	LSN  uint64 `json:"lsn"`
+	Data []byte `json:"data"`
+}
+
+// AppendRequest is the leader->follower replication RPC (also the
+// heartbeat, with no entries).
+type AppendRequest struct {
+	Term      uint64  `json:"term"`
+	Leader    int     `json:"leader"`
+	PrevLSN   uint64  `json:"prev_lsn"`
+	PrevTerm  uint64  `json:"prev_term"`
+	CommitLSN uint64  `json:"commit_lsn"`
+	Entries   []Entry `json:"entries,omitempty"`
+}
+
+// AppendResponse reports the follower's verdict and durable position: on
+// success the leader advances the follower's match to DurableLSN, on
+// failure it rewinds its next-index toward it.
+type AppendResponse struct {
+	Term       uint64 `json:"term"`
+	Success    bool   `json:"success"`
+	DurableLSN uint64 `json:"durable_lsn"`
+}
+
+// VoteRequest asks for this term's vote; LastTerm/LastLSN carry the
+// election restriction (highest durable log wins).
+type VoteRequest struct {
+	Term      uint64 `json:"term"`
+	Candidate int    `json:"candidate"`
+	LastLSN   uint64 `json:"last_lsn"`
+	LastTerm  uint64 `json:"last_term"`
+}
+
+// VoteResponse is the voter's answer.
+type VoteResponse struct {
+	Term    uint64 `json:"term"`
+	Granted bool   `json:"granted"`
+}
+
+// ErrClosed is returned by operations on a closed node.
+var ErrClosed = errors.New("repl: node closed")
+
+// NotLeaderError rejects a proposal on a non-leader; Leader is the id of
+// the last known leader (-1 when no leader is known this term).
+type NotLeaderError struct {
+	Leader int
+	Term   uint64
+}
+
+func (e *NotLeaderError) Error() string {
+	if e.Leader < 0 {
+		return fmt.Sprintf("repl: not leader (term %d, no leader known)", e.Term)
+	}
+	return fmt.Sprintf("repl: not leader (term %d, leader is replica %d)", e.Term, e.Leader)
+}
+
+// ErrLostLeadership fails proposal waiters when the proposer stepped down
+// before learning the outcome: the entry may still commit under a later
+// leader, so the result is indeterminate, never "rejected".
+var ErrLostLeadership = errors.New("repl: leadership lost before commit (outcome indeterminate)")

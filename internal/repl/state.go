@@ -1,0 +1,100 @@
+package repl
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"path/filepath"
+
+	"hrtsched/internal/wal"
+)
+
+// The persisted term state ("hard state" in Raft terms) must hit disk
+// before a replica answers a vote or speaks in a new term: forgetting a
+// vote across a crash is how two leaders win the same term. The file is
+// tiny and rewritten whole — magic, term, votedFor, CRC — via the usual
+// tmp + fsync + rename dance so a crash mid-write leaves the old state.
+
+const (
+	termFileMagic = "hrtrepl1"
+	termFileName  = "term.repl"
+	termFileLen   = 8 + 8 + 8 + 4 // magic + term + votedFor + crc32c
+)
+
+var termCRC = crc32.MakeTable(crc32.Castagnoli)
+
+func encodeTermState(term uint64, votedFor int) []byte {
+	buf := make([]byte, termFileLen)
+	copy(buf, termFileMagic)
+	binary.LittleEndian.PutUint64(buf[8:], term)
+	binary.LittleEndian.PutUint64(buf[16:], uint64(int64(votedFor)))
+	binary.LittleEndian.PutUint32(buf[24:], crc32.Checksum(buf[:24], termCRC))
+	return buf
+}
+
+func decodeTermState(buf []byte) (term uint64, votedFor int, err error) {
+	if len(buf) != termFileLen || string(buf[:8]) != termFileMagic {
+		return 0, -1, fmt.Errorf("repl: malformed term state (%d bytes)", len(buf))
+	}
+	if crc32.Checksum(buf[:24], termCRC) != binary.LittleEndian.Uint32(buf[24:]) {
+		return 0, -1, fmt.Errorf("repl: term state CRC mismatch")
+	}
+	return binary.LittleEndian.Uint64(buf[8:]),
+		int(int64(binary.LittleEndian.Uint64(buf[16:]))), nil
+}
+
+// writeTermState durably replaces the term file.
+func writeTermState(fs wal.FS, dir string, term uint64, votedFor int) error {
+	tmp := filepath.Join(dir, termFileName+".tmp")
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("repl: create term state: %w", err)
+	}
+	if _, err := f.Write(encodeTermState(term, votedFor)); err != nil {
+		f.Close()
+		return fmt.Errorf("repl: write term state: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("repl: sync term state: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("repl: close term state: %w", err)
+	}
+	if err := fs.Rename(tmp, filepath.Join(dir, termFileName)); err != nil {
+		return fmt.Errorf("repl: install term state: %w", err)
+	}
+	return nil
+}
+
+// readTermState loads the persisted term and vote; a missing file is a
+// fresh replica (term 0, no vote), but an unreadable or corrupt one is an
+// error — guessing "never voted" after losing a real vote breaks election
+// safety.
+func readTermState(fs wal.FS, dir string) (term uint64, votedFor int, err error) {
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return 0, -1, fmt.Errorf("repl: list %s: %w", dir, err)
+	}
+	found := false
+	for _, name := range names {
+		if name == termFileName {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return 0, -1, nil
+	}
+	f, err := fs.Open(filepath.Join(dir, termFileName))
+	if err != nil {
+		return 0, -1, fmt.Errorf("repl: open term state: %w", err)
+	}
+	defer f.Close()
+	buf, err := io.ReadAll(f)
+	if err != nil {
+		return 0, -1, fmt.Errorf("repl: read term state: %w", err)
+	}
+	return decodeTermState(buf)
+}

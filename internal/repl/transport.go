@@ -1,0 +1,123 @@
+package repl
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// RPC paths mounted by the serving layer; the HTTP transport posts JSON
+// bodies to peerURL+path and decodes the JSON response.
+const (
+	PathAppend     = "/repl/append"
+	PathVote       = "/repl/vote"
+	PathTimeoutNow = "/repl/timeoutnow"
+)
+
+// HTTPTransport reaches peers over their hrtd HTTP endpoints.
+type HTTPTransport struct {
+	// Peers maps replica id -> base URL ("http://host:port").
+	Peers map[int]string
+	// Client defaults to one with sane keep-alive settings; per-call
+	// deadlines come from the caller's context.
+	Client *http.Client
+}
+
+// NewHTTPTransport builds a transport over the given id -> base URL map.
+func NewHTTPTransport(peers map[int]string) *HTTPTransport {
+	return &HTTPTransport{
+		Peers: peers,
+		Client: &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost: 4,
+				IdleConnTimeout:     30 * time.Second,
+			},
+		},
+	}
+}
+
+func (t *HTTPTransport) post(ctx context.Context, peer int, path string, in, out any) error {
+	base, ok := t.Peers[peer]
+	if !ok {
+		return fmt.Errorf("repl: no address for peer %d", peer)
+	}
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := t.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("repl: peer %d %s: HTTP %d", peer, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Append implements Transport.
+func (t *HTTPTransport) Append(ctx context.Context, peer int, req AppendRequest) (AppendResponse, error) {
+	var resp AppendResponse
+	err := t.post(ctx, peer, PathAppend, req, &resp)
+	return resp, err
+}
+
+// Vote implements Transport.
+func (t *HTTPTransport) Vote(ctx context.Context, peer int, req VoteRequest) (VoteResponse, error) {
+	var resp VoteResponse
+	err := t.post(ctx, peer, PathVote, req, &resp)
+	return resp, err
+}
+
+// TimeoutNow implements Transport.
+func (t *HTTPTransport) TimeoutNow(ctx context.Context, peer int) error {
+	return t.post(ctx, peer, PathTimeoutNow, struct{}{}, nil)
+}
+
+// Handler serves the three RPC endpoints for a node; the serving layer
+// mounts it at the /repl/ prefix.
+func Handler(n *Node) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathAppend, func(w http.ResponseWriter, r *http.Request) {
+		var req AppendRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeRPC(w, n.HandleAppend(req))
+	})
+	mux.HandleFunc(PathVote, func(w http.ResponseWriter, r *http.Request) {
+		var req VoteRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeRPC(w, n.HandleVote(req))
+	})
+	mux.HandleFunc(PathTimeoutNow, func(w http.ResponseWriter, r *http.Request) {
+		n.HandleTimeoutNow()
+		writeRPC(w, struct{}{})
+	})
+	return mux
+}
+
+func writeRPC(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

@@ -13,6 +13,7 @@ import (
 	"hrtsched/internal/core"
 	"hrtsched/internal/durable"
 	"hrtsched/internal/plan"
+	"hrtsched/internal/repl"
 )
 
 // Cluster is the stateful placement service: a session tracking N
@@ -59,6 +60,19 @@ type Cluster struct {
 	// its client reply; recovery holds what boot-time recovery found.
 	store    *durable.Store
 	recovery durable.RecoveryResult
+
+	// Replicated mode (cfg.Replication non-nil): repl is the consensus
+	// node, rstore the snapshot-only shadow store. replBoot closes once
+	// repl is assigned, so consensus callbacks can run during boot.
+	// replReadyTerm holds the last term whose leader ramp (log catch-up
+	// plus orphan reconciliation) completed on this replica.
+	repl           *repl.Node
+	rstore         *durable.ReplStore
+	replBoot       chan struct{}
+	replReadyTerm  atomic.Uint64
+	redirects      atomic.Int64
+	replSkipped    atomic.Int64
+	orphanReleases atomic.Int64
 }
 
 type placementRec struct {
@@ -66,6 +80,10 @@ type placementRec struct {
 	set     plan.TaskSet
 	util    float64
 	pending bool // a mutation for this id is in flight
+	// committed marks (replicated mode) that the consensus apply loop has
+	// folded this id's place record in: an indeterminate reply must not
+	// delete a placement the replicated log already holds.
+	committed bool
 }
 
 // Policy selects how Place orders candidate nodes.
@@ -121,6 +139,10 @@ type ClusterConfig struct {
 	// Durability, when non-nil, persists every committed mutation to a
 	// write-ahead log under Durability.Dir and recovers it at startup.
 	Durability *DurabilityConfig
+	// Replication, when non-nil, replicates the write-ahead log to peer
+	// replicas and acknowledges mutations only on a majority fsync.
+	// Requires Durability.
+	Replication *ReplicationConfig
 }
 
 func (c *ClusterConfig) fillDefaults() {
@@ -155,6 +177,20 @@ func (c ClusterConfig) Validate() error {
 	if c.Durability != nil && c.Durability.Dir == "" {
 		return errors.New("serve: Durability.Dir is required when durability is enabled")
 	}
+	if r := c.Replication; r != nil {
+		if c.Durability == nil {
+			return errors.New("serve: Replication requires Durability")
+		}
+		if r.Replicas < 1 {
+			return fmt.Errorf("serve: Replication.Replicas %d, want >= 1", r.Replicas)
+		}
+		if r.ID < 0 || r.ID >= r.Replicas {
+			return fmt.Errorf("serve: Replication.ID %d outside [0,%d)", r.ID, r.Replicas)
+		}
+		if r.Transport == nil && r.Replicas > 1 && len(r.Peers) == 0 {
+			return errors.New("serve: Replication.Peers is required without a custom transport")
+		}
+	}
 	return nil
 }
 
@@ -178,6 +214,9 @@ type mutation struct {
 
 type mutResult struct {
 	verdict plan.Verdict
+	// err, when non-nil, is a replicated-mode commit failure: the record
+	// was not (knowably) committed, so the verdict is meaningless.
+	err error
 	// matched is true when the mutation changed the engine as intended:
 	// always for an applied place, and only when RemoveGang actually
 	// found the set for a remove. A false matched on a remove means the
@@ -191,6 +230,10 @@ type node struct {
 	id  int
 	ch  chan *mutation
 	eng *plan.Incremental
+	// engMu guards eng in replicated mode only, where the consensus apply
+	// loop mutates it alongside the worker's evaluation pass. Single-node
+	// mode never locks it: the worker is the only engine toucher.
+	engMu sync.Mutex
 
 	utilBits atomic.Uint64 // math.Float64bits of the node's utilization
 	tasks    atomic.Int64
@@ -239,7 +282,12 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	if c.cfg.Durability != nil {
+	switch {
+	case c.cfg.Replication != nil:
+		if err := c.openReplication(); err != nil {
+			return nil, err
+		}
+	case c.cfg.Durability != nil:
 		if err := c.openDurability(); err != nil {
 			return nil, err
 		}
@@ -262,6 +310,7 @@ func newCluster(cfg ClusterConfig) (*Cluster, error) {
 		cfg:        cfg,
 		nodes:      make([]*node, cfg.Nodes),
 		placements: make(map[string]*placementRec),
+		replBoot:   make(chan struct{}),
 	}
 	for i := range c.nodes {
 		c.nodes[i] = &node{
@@ -296,6 +345,14 @@ func (c *Cluster) Close() {
 		// degraded stats; the WAL alone still carries the state.
 		c.store.Close() //nolint:errcheck
 	}
+	if c.repl != nil {
+		// Stop consensus first (no more applies), then cut the final
+		// snapshot at the applied position.
+		c.repl.Close() //nolint:errcheck
+	}
+	if c.rstore != nil {
+		c.rstore.Close() //nolint:errcheck
+	}
 }
 
 // PlaceResult reports one placement attempt.
@@ -322,6 +379,9 @@ func (c *Cluster) Place(ctx context.Context, id string, set plan.TaskSet) (Place
 	if id == "" {
 		return PlaceResult{Node: -1}, errors.New("serve: placement id must not be empty")
 	}
+	if err := c.leaderCheck(); err != nil {
+		return PlaceResult{Node: -1}, err
+	}
 	set = append(plan.TaskSet(nil), set...)
 
 	c.mu.Lock()
@@ -339,20 +399,33 @@ func (c *Cluster) Place(ctx context.Context, id string, set plan.TaskSet) (Place
 	c.placeGate.RLock()
 	res, err := c.placeOnCandidates(ctx, id, set, c.candidates(), false, durable.OriginClient)
 	c.mu.Lock()
-	if res.Placed {
+	switch {
+	case res.Placed:
 		rec.node = res.Node
 		rec.util = set.Utilization()
 		rec.pending = false
-	} else {
-		delete(c.placements, id)
+	case rec.committed:
+		// Replicated mode: the reply was lost to a leadership change but
+		// the apply loop has already folded the committed record in — the
+		// placement stands; only the in-flight marker clears. The caller
+		// sees an indeterminate error and, on retry, a duplicate-id
+		// conflict that confirms the commit.
+		rec.pending = false
+	default:
+		// Guarded: the apply loop may have dropped this rec already (a
+		// skipped record) and a retry inserted its own — never delete a
+		// successor's entry.
+		if c.placements[id] == rec {
+			delete(c.placements, id)
+		}
 	}
 	c.mu.Unlock()
 	c.placeGate.RUnlock()
 	if err == nil && !res.Placed {
 		c.rejected.Add(1)
 	}
-	if res.Placed {
-		c.placed.Add(1)
+	if res.Placed && c.repl == nil {
+		c.placed.Add(1) // replicated mode counts on apply, identically on every replica
 	}
 	return res, err
 }
@@ -398,6 +471,9 @@ func (c *Cluster) Remove(ctx context.Context, id string) (plan.Verdict, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if err := c.leaderCheck(); err != nil {
+		return plan.Verdict{}, err
+	}
 	c.mu.Lock()
 	rec, ok := c.placements[id]
 	if !ok {
@@ -430,7 +506,9 @@ func (c *Cluster) Remove(ctx context.Context, id string) (plan.Verdict, error) {
 		c.unmatched.Add(1)
 		return r.verdict, fmt.Errorf("%w: %q", ErrLostPlacement, id)
 	}
-	c.removed.Add(1)
+	if c.repl == nil {
+		c.removed.Add(1) // replicated mode counts on apply
+	}
 	return r.verdict, nil
 }
 
@@ -458,6 +536,9 @@ func (c *Cluster) Drain(ctx context.Context, nodeID int) (DrainReport, error) {
 	if nodeID < 0 || nodeID >= len(c.nodes) {
 		return DrainReport{Node: nodeID}, fmt.Errorf("%w: %d", ErrUnknownNode, nodeID)
 	}
+	if err := c.leaderCheck(); err != nil {
+		return DrainReport{Node: nodeID}, err
+	}
 	c.opMu.Lock()
 	defer c.opMu.Unlock()
 	n := c.nodes[nodeID]
@@ -480,7 +561,9 @@ func (c *Cluster) Drain(ctx context.Context, nodeID int) (DrainReport, error) {
 		}
 		if moved {
 			rep.Moved++
-			c.drained.Add(1)
+			if c.repl == nil {
+				c.drained.Add(1) // replicated mode counts on apply
+			}
 		} else {
 			rep.Stranded++
 			rep.StrandedIDs = append(rep.StrandedIDs, id)
@@ -493,6 +576,9 @@ func (c *Cluster) Drain(ctx context.Context, nodeID int) (DrainReport, error) {
 func (c *Cluster) Undrain(nodeID int) error {
 	if nodeID < 0 || nodeID >= len(c.nodes) {
 		return fmt.Errorf("%w: %d", ErrUnknownNode, nodeID)
+	}
+	if err := c.leaderCheck(); err != nil {
+		return err
 	}
 	c.nodes[nodeID].draining.Store(false)
 	return nil
@@ -508,6 +594,9 @@ const rebalanceSlack = 0.02
 func (c *Cluster) Rebalance(ctx context.Context) (int, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if err := c.leaderCheck(); err != nil {
+		return 0, err
 	}
 	c.opMu.Lock()
 	defer c.opMu.Unlock()
@@ -537,7 +626,9 @@ func (c *Cluster) Rebalance(ctx context.Context) (int, error) {
 			break // the target rejected it (simulation, not arithmetic)
 		}
 		moves++
-		c.rebalanced.Add(1)
+		if c.repl == nil {
+			c.rebalanced.Add(1) // replicated mode counts on apply
+		}
 	}
 	return moves, nil
 }
@@ -704,6 +795,9 @@ func (c *Cluster) submit(ctx context.Context, n *node, m *mutation) (mutResult, 
 		}
 		return mutResult{}, context.Canceled
 	}
+	if r.err != nil {
+		return mutResult{}, r.err
+	}
 	return r, nil
 }
 
@@ -758,6 +852,10 @@ func (c *Cluster) runNode(n *node) {
 // so fail-open (keep serving, stop claiming durability) is the only
 // answer that doesn't lie in one direction or the other.
 func (c *Cluster) applyBatch(n *node, batch []*mutation) {
+	if c.repl != nil {
+		c.applyBatchRepl(n, batch)
+		return
+	}
 	results := make([]mutResult, len(batch))
 	replied := make([]bool, len(batch))
 	var recs []durable.Record
@@ -832,6 +930,9 @@ type ClusterStatus struct {
 	// Durability reports WAL/snapshot/recovery health; absent when
 	// durability is off, keeping the disabled status byte-identical.
 	Durability *DurabilityStatus `json:"durability,omitempty"`
+	// Replication reports consensus health; absent when replication is
+	// off, keeping single-replica status byte-identical.
+	Replication *ReplicationStatus `json:"replication,omitempty"`
 }
 
 // Status snapshots the cluster.
@@ -855,8 +956,9 @@ func (c *Cluster) Status() ClusterStatus {
 		Rebalanced: c.rebalanced.Load(),
 		Drained:    c.drained.Load(),
 		Canceled:   c.canceled.Load(),
-		Unmatched:  c.unmatched.Load(),
-		Durability: c.durabilityStatus(),
+		Unmatched:   c.unmatched.Load(),
+		Durability:  c.durabilityStatus(),
+		Replication: c.replicationStatus(),
 	}
 	for _, n := range c.nodes {
 		st.Nodes = append(st.Nodes, NodeStatus{
@@ -926,5 +1028,8 @@ func (c *Cluster) RegisterMetrics(r *Registry) {
 		perNode(func(n *node) float64 { return float64(n.fullOps.Load()) }))
 	if c.store != nil {
 		c.registerDurabilityMetrics(r)
+	}
+	if c.repl != nil {
+		c.registerReplicationMetrics(r)
 	}
 }

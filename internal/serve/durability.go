@@ -139,6 +139,9 @@ func (c *Cluster) openDurability() error {
 
 // durabilityStatus builds the status block, nil when durability is off.
 func (c *Cluster) durabilityStatus() *DurabilityStatus {
+	if c.rstore != nil {
+		return c.replDurabilityStatus()
+	}
 	if c.store == nil {
 		return nil
 	}

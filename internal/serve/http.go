@@ -6,9 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 
 	"hrtsched/internal/core"
 	"hrtsched/internal/plan"
+	"hrtsched/internal/repl"
 )
 
 // analyzeRequest is the wire form of POST /v1/analyze and /v1/capacity.
@@ -92,6 +94,13 @@ func (s *Server) HandlerWithCluster(c *Cluster) http.Handler {
 		mux.HandleFunc("/v1/cluster/undrain", c.handleUndrain)
 		mux.HandleFunc("/v1/cluster/rebalance", c.handleRebalance)
 		mux.HandleFunc("/v1/cluster/status", c.handleStatus)
+		if c.repl != nil {
+			// Peer-to-peer consensus RPCs (append, vote, timeout-now).
+			h := repl.Handler(c.repl)
+			mux.Handle(repl.PathAppend, h)
+			mux.Handle(repl.PathVote, h)
+			mux.Handle(repl.PathTimeoutNow, h)
+		}
 	}
 	mux.Handle("/metrics", s.reg.Handler())
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -142,6 +151,22 @@ func (s *Server) handleCapacity(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, http.StatusOK, rep)
 }
 
+// redirectToLeader answers a NotLeaderError with a 307 to the same path
+// on the leader (307 preserves the method and body, so a client that
+// follows it re-issues the identical mutation). Returns false when err is
+// anything else, or when no leader URL is known — the caller falls back
+// to writeQueryError's 503.
+func (c *Cluster) redirectToLeader(w http.ResponseWriter, req *http.Request, err error) bool {
+	var nl *NotLeaderError
+	if !errors.As(err, &nl) || nl.LeaderURL == "" {
+		return false
+	}
+	c.redirects.Add(1)
+	w.Header().Set("Location", strings.TrimSuffix(nl.LeaderURL, "/")+req.URL.Path)
+	writeError(w, http.StatusTemporaryRedirect, "not_leader", err.Error(), 0)
+	return true
+}
+
 func (c *Cluster) handlePlace(w http.ResponseWriter, req *http.Request) {
 	var body placeRequest
 	if !decodeBody(w, req, &body) {
@@ -149,7 +174,9 @@ func (c *Cluster) handlePlace(w http.ResponseWriter, req *http.Request) {
 	}
 	res, err := c.Place(req.Context(), body.ID, body.Tasks)
 	if err != nil {
-		writeQueryError(w, err)
+		if !c.redirectToLeader(w, req, err) {
+			writeQueryError(w, err)
+		}
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -162,7 +189,9 @@ func (c *Cluster) handleRemove(w http.ResponseWriter, req *http.Request) {
 	}
 	v, err := c.Remove(req.Context(), body.ID)
 	if err != nil {
-		writeQueryError(w, err)
+		if !c.redirectToLeader(w, req, err) {
+			writeQueryError(w, err)
+		}
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"verdict": v})
@@ -177,7 +206,9 @@ func (c *Cluster) handleDrain(w http.ResponseWriter, req *http.Request) {
 	// admin operation halfway through its moves.
 	rep, err := c.Drain(context.WithoutCancel(req.Context()), body.Node)
 	if err != nil {
-		writeQueryError(w, err)
+		if !c.redirectToLeader(w, req, err) {
+			writeQueryError(w, err)
+		}
 		return
 	}
 	writeJSON(w, http.StatusOK, rep)
@@ -189,7 +220,9 @@ func (c *Cluster) handleUndrain(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	if err := c.Undrain(body.Node); err != nil {
-		writeQueryError(w, err)
+		if !c.redirectToLeader(w, req, err) {
+			writeQueryError(w, err)
+		}
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"node": body.Node})
@@ -203,7 +236,9 @@ func (c *Cluster) handleRebalance(w http.ResponseWriter, req *http.Request) {
 	// Detached for the same reason as handleDrain.
 	moved, err := c.Rebalance(context.WithoutCancel(req.Context()))
 	if err != nil {
-		writeQueryError(w, err)
+		if !c.redirectToLeader(w, req, err) {
+			writeQueryError(w, err)
+		}
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"moved": moved})
@@ -213,6 +248,17 @@ func (c *Cluster) handleStatus(w http.ResponseWriter, req *http.Request) {
 	if req.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET only", 0)
 		return
+	}
+	// Status is served on every replica — a follower answers its durable
+	// view (the fold of the committed log prefix it has applied), with
+	// staleness headers so a client can judge how far behind it may be.
+	if c.repl != nil {
+		st := c.repl.Status()
+		w.Header().Set("X-Hrtd-Repl-Role", st.RoleName)
+		w.Header().Set("X-Hrtd-Repl-Term", fmt.Sprint(st.Term))
+		w.Header().Set("X-Hrtd-Repl-Applied-Lsn", fmt.Sprint(st.AppliedLSN))
+		w.Header().Set("X-Hrtd-Repl-Commit-Lsn", fmt.Sprint(st.CommitLSN))
+		w.Header().Set("X-Hrtd-Repl-Leader-Contact-Ms", fmt.Sprint(st.MsSinceLeaderContact))
 	}
 	writeJSON(w, http.StatusOK, c.Status())
 }
@@ -268,6 +314,16 @@ func writeQueryError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusNotFound, "not_found", err.Error(), 0)
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		writeError(w, statusClientClosedRequest, "canceled", err.Error(), 0)
+	case errors.As(err, new(*NotLeaderError)), errors.Is(err, ErrNoLeader), errors.Is(err, ErrLeaderNotReady):
+		// Replica cannot take the mutation right now and no redirect was
+		// possible: tell the client when to retry.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "no_leader", err.Error(), 1000)
+	case errors.Is(err, ErrIndeterminate):
+		// The mutation MAY have committed; the client must re-issue the
+		// same id and treat a duplicate-id conflict as success.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "indeterminate", err.Error(), 1000)
 	case errors.Is(err, ErrServerClosed), errors.Is(err, ErrClusterClosed):
 		writeError(w, http.StatusServiceUnavailable, "unavailable", err.Error(), 0)
 	default:

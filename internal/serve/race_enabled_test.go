@@ -1,0 +1,8 @@
+//go:build race
+
+package serve
+
+// The race detector multiplies wall-clock cost several-fold, which makes
+// throughput gates measure the instrumentation instead of the code; see
+// TestDurablePlaceThroughputAtLeast5k.
+func init() { raceEnabled = true }

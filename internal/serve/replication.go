@@ -1,0 +1,618 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"hrtsched/internal/durable"
+	"hrtsched/internal/plan"
+	"hrtsched/internal/repl"
+)
+
+// ReplicationConfig opts a durable Cluster into leader-based replication:
+// every mutation record is shipped to the peer replicas through the
+// repl.Node consensus layer and acknowledged only once a majority has
+// fsynced it. Requires ClusterConfig.Durability (the WAL directory and
+// snapshot cadence come from there; the replication layer owns the WAL).
+type ReplicationConfig struct {
+	// ID is this replica's index in [0, Replicas).
+	ID int
+	// Replicas is the total replica count (including this one).
+	Replicas int
+	// Peers maps replica IDs to their base URLs ("http://host:port") —
+	// used for mutation redirects and, when Transport is nil, to build
+	// the default HTTP transport.
+	Peers map[int]string
+	// Transport overrides the RPC transport (in-process fault-injection
+	// tests); nil builds an HTTP transport over Peers.
+	Transport repl.Transport
+	// HeartbeatInterval / ElectionTimeout / RPCTimeout tune the failure
+	// detector; zero values take the repl package defaults.
+	HeartbeatInterval time.Duration
+	ElectionTimeout   time.Duration
+	RPCTimeout        time.Duration
+	// Seed makes election jitter deterministic in tests.
+	Seed int64
+	// Logf, when non-nil, receives role-transition and recovery logs.
+	Logf func(format string, args ...any)
+}
+
+// NotLeaderError reports a mutation sent to a replica that is not the
+// leader. LeaderURL is empty when no leader is currently known.
+type NotLeaderError struct {
+	LeaderID  int
+	LeaderURL string
+}
+
+func (e *NotLeaderError) Error() string {
+	if e.LeaderURL != "" {
+		return fmt.Sprintf("serve: not the leader; leader is replica %d at %s", e.LeaderID, e.LeaderURL)
+	}
+	return fmt.Sprintf("serve: not the leader; leader is replica %d", e.LeaderID)
+}
+
+// Errors the replicated mutation path can return.
+var (
+	// ErrNoLeader means no replica currently holds a lease; the client
+	// should retry after the election settles (503 + Retry-After).
+	ErrNoLeader = errors.New("serve: no replication leader elected")
+	// ErrLeaderNotReady means this replica just won an election and is
+	// still applying its log up to the term barrier; retry shortly.
+	ErrLeaderNotReady = errors.New("serve: leader still applying its log")
+	// ErrIndeterminate wraps a mutation whose commit outcome is unknown
+	// (leadership was lost mid-commit). The record MAY have committed;
+	// the client must re-issue the same id and treat a duplicate-id
+	// conflict as success.
+	ErrIndeterminate = errors.New("serve: leadership lost mid-commit; outcome indeterminate")
+)
+
+// openReplication boots the replicated store: restore engines and the
+// placement map from the newest snapshot, then start the consensus node,
+// whose apply loop replays the committed log suffix through the same
+// engines. Runs before the node workers start.
+func (c *Cluster) openReplication() error {
+	rc := c.cfg.Replication
+	d := c.cfg.Durability
+	rs, err := durable.OpenReplicated(durable.ReplConfig{
+		Dir:                  d.Dir,
+		NumNodes:             c.cfg.Nodes,
+		Spec:                 c.cfg.Spec,
+		FS:                   d.FS,
+		SnapshotEveryRecords: d.SnapshotEveryRecords,
+		SnapshotEveryBytes:   d.SnapshotEveryBytes,
+	})
+	if err != nil {
+		return err
+	}
+	st := rs.RecoveredState()
+	for i, n := range c.nodes {
+		var tasks plan.TaskSet
+		for _, e := range st.Nodes[i] {
+			tasks = append(tasks, e.Tasks...)
+		}
+		if len(tasks) > 0 {
+			n.eng.Restore(tasks)
+		}
+	}
+	for id, nodeID := range st.Placements {
+		for _, e := range st.Nodes[nodeID] {
+			if e.ID == id {
+				c.placements[id] = &placementRec{
+					node: nodeID,
+					set:  e.Tasks,
+					util: e.Tasks.Utilization(),
+				}
+				break
+			}
+		}
+	}
+	c.placed.Store(st.Counters.Placed)
+	c.removed.Store(st.Counters.Removed)
+	c.drained.Store(st.Counters.Drained)
+	c.rebalanced.Store(st.Counters.Rebalanced)
+	for _, n := range c.nodes {
+		n.syncGauges()
+	}
+	c.rstore = rs
+	rrec := rs.Recovery()
+	c.recovery = durable.RecoveryResult{
+		SnapshotLSN:  rrec.SnapshotLSN,
+		BadSnapshots: rrec.BadSnapshots,
+		SpecChanged:  rrec.SpecChanged,
+	}
+
+	tr := rc.Transport
+	if tr == nil {
+		tr = repl.NewHTTPTransport(rc.Peers)
+	}
+	node, rep, err := repl.Open(repl.Config{
+		ID:                rc.ID,
+		Replicas:          rc.Replicas,
+		Dir:               d.Dir,
+		FS:                d.FS,
+		SegmentBytes:      d.SegmentBytes,
+		Transport:         tr,
+		Apply:             c.applyCommitted,
+		OnRole:            c.onRole,
+		HeartbeatInterval: rc.HeartbeatInterval,
+		ElectionTimeout:   rc.ElectionTimeout,
+		RPCTimeout:        rc.RPCTimeout,
+		Seed:              rc.Seed,
+		FloorTerm:         rrec.SnapshotTerm,
+		AppliedLSN:        rrec.SnapshotLSN,
+		Logf:              rc.Logf,
+	})
+	if err != nil {
+		rs.Close() //nolint:errcheck // already failing; surface the open error
+		c.rstore = nil
+		return fmt.Errorf("serve: replication open: %w", err)
+	}
+	c.recovery.TruncatedBytes = rep.TruncatedBytes
+	c.recovery.DroppedSegments = rep.DroppedSegments
+	c.recovery.LastLSN = rep.LastLSN
+	c.repl = node
+	close(c.replBoot)
+	return nil
+}
+
+// applyCommitted is the consensus apply callback: it folds one committed
+// record into this replica's engines, placement map, counters, and shadow
+// state, in log order, on leader and follower alike. It is the SOLE
+// mutator of the engines in replicated mode (the worker's evaluation pass
+// reverts itself), so every replica's live state is the fold of the same
+// committed prefix.
+func (c *Cluster) applyCommitted(lsn, term uint64, payload []byte) {
+	rec, err := durable.DecodeRecord(payload)
+	if err != nil || rec.Node < 0 || rec.Node >= len(c.nodes) || !c.rstore.Peek(rec) {
+		// Undecodable or no longer fitting the shadow: skipped consistently
+		// on every replica, never force-applied.
+		c.replSkipped.Add(1)
+		c.rstore.SkipCommitted(lsn, term)
+		c.dropSkippedPending(rec)
+		return
+	}
+	tasks := c.rstore.Resolve(rec)
+	n := c.nodes[rec.Node]
+	n.engMu.Lock()
+	applied := false
+	switch rec.Kind {
+	case durable.KindPlace:
+		applied = n.eng.TryGang(tasks).Admit
+	case durable.KindRemove:
+		_, applied = n.eng.RemoveGang(tasks)
+	}
+	if applied {
+		n.applied.Add(1)
+		n.syncGauges()
+	}
+	n.engMu.Unlock()
+	if !applied {
+		// The engine refused what the shadow accepted. Engines are
+		// deterministic folds of the same record sequence, so every
+		// replica refuses identically; skipping both sides keeps the
+		// shadow and the engines in agreement. A pending map entry for a
+		// skipped place (a deposed leader's in-flight proposal that
+		// committed under the new term but no longer fits) must go too,
+		// or this replica's map would hold an id no engine backs.
+		c.replSkipped.Add(1)
+		c.rstore.SkipCommitted(lsn, term)
+		c.dropSkippedPending(rec)
+		return
+	}
+	c.rstore.ApplyCommitted(lsn, term, len(payload), rec) //nolint:errcheck // latches degraded internally
+
+	c.mu.Lock()
+	switch rec.Kind {
+	case durable.KindPlace:
+		if old, ok := c.placements[rec.ID]; ok && old.pending {
+			// The leader's own in-flight Place: update in place so the
+			// caller's pending marker (and its pointer) stay valid, and
+			// mark it committed so an indeterminate reply never deletes a
+			// record the log already holds.
+			old.node, old.set, old.util, old.committed = rec.Node, tasks, tasks.Utilization(), true
+		} else {
+			c.placements[rec.ID] = &placementRec{
+				node: rec.Node, set: tasks, util: tasks.Utilization(), committed: true,
+			}
+		}
+	case durable.KindRemove:
+		// Mirror the shadow's release rule: a release record removes a
+		// moved set's stale copy, so the map keeps the id when it already
+		// points at the new home.
+		if old, ok := c.placements[rec.ID]; ok && old.node == rec.Node {
+			delete(c.placements, rec.ID)
+		}
+	}
+	c.mu.Unlock()
+
+	switch {
+	case rec.Kind == durable.KindPlace && rec.Origin == durable.OriginClient:
+		c.placed.Add(1)
+	case rec.Kind == durable.KindPlace && rec.Origin == durable.OriginDrain:
+		c.drained.Add(1)
+	case rec.Kind == durable.KindPlace && rec.Origin == durable.OriginRebalance:
+		c.rebalanced.Add(1)
+	case rec.Kind == durable.KindRemove && rec.Origin == durable.OriginClient:
+		c.removed.Add(1)
+	}
+}
+
+// dropSkippedPending clears the in-flight map entry of a skipped place
+// record. Without it a deposed leader whose proposal committed under the
+// new term but was refused at apply would keep a map id no engine backs.
+func (c *Cluster) dropSkippedPending(rec durable.Record) {
+	if rec.Kind != durable.KindPlace || rec.ID == "" {
+		return
+	}
+	c.mu.Lock()
+	if old, ok := c.placements[rec.ID]; ok && old.pending && !old.committed {
+		delete(c.placements, rec.ID)
+	}
+	c.mu.Unlock()
+}
+
+// applyBatchRepl is the worker's batch step in replicated mode. The
+// engine pass is EVALUATION only — each admitted mutation is immediately
+// reverted — because committed records re-apply through applyCommitted in
+// log order on every replica. The worker proposes the batch's records,
+// waits for the majority commit AND the local apply, then replies; a
+// mutation whose record fails to commit answers an error instead of a
+// verdict.
+func (c *Cluster) applyBatchRepl(n *node, batch []*mutation) {
+	results := make([]mutResult, len(batch))
+	replied := make([]bool, len(batch))
+	hasRec := make([]bool, len(batch))
+	var recs []durable.Record
+	// The evaluation must compose across the batch: each admitted entry
+	// stays in the engine while the later entries are judged, so the
+	// batch is evaluated exactly as applyCommitted will replay it, and a
+	// boundary-fitting set can't be acked here and refused at apply.
+	// Everything is reverted together (in reverse) once the batch is
+	// judged — the commit re-applies it in log order on every replica.
+	type revertOp struct {
+		added bool // true: evaluation added the set; revert removes it
+		set   plan.TaskSet
+	}
+	var reverts []revertOp
+	n.engMu.Lock()
+	for i, m := range batch {
+		if m.ctx != nil && m.ctx.Err() != nil {
+			n.canceled.Add(1)
+			c.canceled.Add(1)
+			m.done <- mutResult{canceled: true}
+			replied[i] = true
+			continue
+		}
+		var r mutResult
+		switch m.op {
+		case placeOp:
+			r.verdict = n.eng.TryGang(m.set)
+			r.matched = true
+			if r.verdict.Admit {
+				reverts = append(reverts, revertOp{added: true, set: m.set})
+				recs = append(recs, durable.Record{
+					Kind: durable.KindPlace, Origin: m.origin,
+					Node: n.id, ID: m.id, Tasks: m.set,
+				})
+				hasRec[i] = true
+			}
+		case removeOp:
+			r.verdict, r.matched = n.eng.RemoveGang(m.set)
+			if r.matched {
+				reverts = append(reverts, revertOp{added: false, set: m.set})
+				recs = append(recs, durable.Record{
+					Kind: durable.KindRemove, Origin: m.origin,
+					Node: n.id, ID: m.id,
+				})
+				hasRec[i] = true
+			}
+		}
+		results[i] = r
+	}
+	for i := len(reverts) - 1; i >= 0; i-- {
+		if reverts[i].added {
+			n.eng.RemoveGang(reverts[i].set)
+		} else {
+			n.eng.TryGang(reverts[i].set)
+		}
+	}
+	n.engMu.Unlock()
+	if len(recs) > 0 {
+		if err := c.replCommit(recs); err != nil {
+			serr := c.mapReplErr(err)
+			for i := range batch {
+				if hasRec[i] {
+					results[i] = mutResult{err: serr}
+				}
+			}
+		}
+	}
+	for i, m := range batch {
+		if !replied[i] {
+			m.done <- results[i]
+		}
+	}
+}
+
+// replCommit proposes one batch of records and blocks until they are
+// majority-durable AND applied locally, so the reply (and any follow-up
+// mutation on the same node) observes its own write.
+func (c *Cluster) replCommit(recs []durable.Record) error {
+	payloads := make([][]byte, len(recs))
+	for i, r := range recs {
+		p, err := r.Encode()
+		if err != nil {
+			return err
+		}
+		payloads[i] = p
+	}
+	t, err := c.repl.Propose(payloads)
+	if err != nil {
+		return err
+	}
+	if err := t.Wait(); err != nil {
+		return err
+	}
+	return c.repl.WaitApplied(t.LastLSN)
+}
+
+// mapReplErr translates consensus errors into the session's vocabulary.
+func (c *Cluster) mapReplErr(err error) error {
+	var nl *repl.NotLeaderError
+	switch {
+	case errors.As(err, &nl):
+		// Never appended here: determinately not committed.
+		e := &NotLeaderError{LeaderID: nl.Leader}
+		if nl.Leader >= 0 {
+			e.LeaderURL = c.cfg.Replication.Peers[nl.Leader]
+		}
+		return e
+	case errors.Is(err, repl.ErrLostLeadership):
+		// Appended but the commit outcome is unknown.
+		return fmt.Errorf("%w: %v", ErrIndeterminate, err)
+	case errors.Is(err, repl.ErrClosed):
+		return ErrClusterClosed
+	default:
+		return err
+	}
+}
+
+// leaderCheck gates mutations: nil on a ready leader, a redirectable
+// NotLeaderError on a follower that knows the leader, ErrNoLeader during
+// an election, ErrLeaderNotReady while a fresh leader catches up its log
+// and reconciles orphans.
+func (c *Cluster) leaderCheck() error {
+	if c.repl == nil {
+		return nil
+	}
+	st := c.repl.Status()
+	if st.Role == repl.RoleLeader {
+		if c.repl.LeaderReady() && c.replReadyTerm.Load() == st.Term {
+			return nil
+		}
+		return ErrLeaderNotReady
+	}
+	// Redirect only to a leader this follower has actually heard from
+	// within the election timeout: a staler address is likely a dead
+	// process mid-failover, and bouncing clients against it is worse
+	// than an honest 503 + Retry-After while the election settles.
+	fresh := st.MsSinceLeaderContact >= 0 &&
+		time.Duration(st.MsSinceLeaderContact)*time.Millisecond <= c.repl.ElectionTimeout()
+	if st.Leader >= 0 && st.Leader != c.cfg.Replication.ID && fresh {
+		e := &NotLeaderError{LeaderID: st.Leader, LeaderURL: c.cfg.Replication.Peers[st.Leader]}
+		return e
+	}
+	return ErrNoLeader
+}
+
+// onRole observes consensus role transitions. A won election starts the
+// new-leader ramp: wait for the term barrier to apply (the whole
+// committed log is then folded in), reconcile move-orphans, and only then
+// open the gate for client mutations.
+func (c *Cluster) onRole(st repl.Status) {
+	<-c.replBoot // repl field is assigned before any work here needs it
+	if st.Role != repl.RoleLeader {
+		return
+	}
+	go c.leaderRamp(st.Term)
+}
+
+// leaderRamp runs once per won term.
+func (c *Cluster) leaderRamp(term uint64) {
+	for {
+		st := c.repl.Status()
+		if st.Role != repl.RoleLeader || st.Term != term {
+			return
+		}
+		if st.ReadyLSN > 0 {
+			if c.repl.WaitApplied(st.ReadyLSN) != nil {
+				return
+			}
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The log is fully applied: any move that lost its release record to
+	// a leadership change is now visible as an orphan. Release the stale
+	// copies through the normal propose path so every replica folds the
+	// same reconciliation.
+	for _, o := range c.rstore.Orphans() {
+		st := c.repl.Status()
+		if st.Role != repl.RoleLeader || st.Term != term {
+			return
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		_, err := c.submit(ctx, c.nodes[o.Node], &mutation{
+			op: removeOp, set: o.Tasks, id: o.ID, origin: durable.OriginRelease,
+		})
+		cancel()
+		if err == nil {
+			c.orphanReleases.Add(1)
+		}
+		// On error: the next election retries; orphans are transient
+		// over-reservation, never loss.
+	}
+	st := c.repl.Status()
+	if st.Role == repl.RoleLeader && st.Term == term {
+		c.replReadyTerm.Store(term)
+	}
+}
+
+// TransferLeadership asks the consensus layer to hand leadership to the
+// most caught-up follower (SIGTERM step-down). Returns the chosen peer,
+// or an error when this replica is not the leader or has no peer.
+func (c *Cluster) TransferLeadership(ctx context.Context) (int, error) {
+	if c.repl == nil {
+		return -1, errors.New("serve: replication is not enabled")
+	}
+	return c.repl.TransferLeadership(ctx)
+}
+
+// ReplicationStatus is the replication block of ClusterStatus; absent
+// when replication is off.
+type ReplicationStatus struct {
+	ID        int    `json:"id"`
+	Role      string `json:"role"`
+	Term      uint64 `json:"term"`
+	Leader    int    `json:"leader"` // -1 when unknown
+	LeaderURL string `json:"leader_url,omitempty"`
+	LastLSN   uint64 `json:"last_lsn"`
+	// DurableLSN is the highest locally-fsynced LSN; CommitLSN the
+	// highest majority-durable one; AppliedLSN what the engines reflect.
+	DurableLSN uint64 `json:"durable_lsn"`
+	CommitLSN  uint64 `json:"commit_lsn"`
+	AppliedLSN uint64 `json:"applied_lsn"`
+	Elections  int64  `json:"elections_total"`
+	Redirects  int64  `json:"redirects_total"`
+	// Skipped counts committed records this replica skipped (undecodable
+	// or no longer fitting); nonzero means divergence was detected.
+	Skipped int64 `json:"skipped_records_total"`
+	// OrphanReleases counts stale move copies reconciled after elections.
+	OrphanReleases int64 `json:"orphan_releases_total"`
+	// Peers is the leader's view of follower progress.
+	Peers []repl.PeerStatus `json:"peers,omitempty"`
+	// MsSinceLeaderContact is a follower's staleness bound: milliseconds
+	// since the last accepted leader append or heartbeat.
+	MsSinceLeaderContact int64 `json:"ms_since_leader_contact"`
+}
+
+// replicationStatus builds the status block, nil when replication is off.
+func (c *Cluster) replicationStatus() *ReplicationStatus {
+	if c.repl == nil {
+		return nil
+	}
+	st := c.repl.Status()
+	rs := &ReplicationStatus{
+		ID:                   st.ID,
+		Role:                 st.RoleName,
+		Term:                 st.Term,
+		Leader:               st.Leader,
+		LastLSN:              st.LastLSN,
+		DurableLSN:           st.DurableLSN,
+		CommitLSN:            st.CommitLSN,
+		AppliedLSN:           st.AppliedLSN,
+		Elections:            st.Elections,
+		Redirects:            c.redirects.Load(),
+		Skipped:              c.replSkipped.Load(),
+		OrphanReleases:       c.orphanReleases.Load(),
+		Peers:                st.Peers,
+		MsSinceLeaderContact: st.MsSinceLeaderContact,
+	}
+	if st.Leader >= 0 {
+		rs.LeaderURL = c.cfg.Replication.Peers[st.Leader]
+	}
+	return rs
+}
+
+// replDurabilityStatus is the durability block in replicated mode: the
+// consensus layer owns the WAL, the ReplStore owns snapshots.
+func (c *Cluster) replDurabilityStatus() *DurabilityStatus {
+	ws := c.repl.WALStats()
+	st := c.rstore.Stats()
+	return &DurabilityStatus{
+		WALSegments:     ws.Segments,
+		WALBytes:        ws.Bytes,
+		LastLSN:         ws.LastLSN,
+		SyncedLSN:       ws.SyncedLSN,
+		Records:         ws.Appends,
+		Fsyncs:          ws.Fsyncs,
+		Batches:         ws.Batches,
+		AppendErrors:    ws.AppendErrors,
+		LastSnapshotLSN: st.LastSnapshotLSN,
+		Snapshots:       st.Snapshots,
+		SnapshotErrors:  st.SnapshotErrors,
+		PendingRecords:  st.PendingRecords,
+		Degraded:        st.Degraded || c.rstore.DegradedErr() != nil,
+		LastRecovery:    c.recovery,
+	}
+}
+
+// registerReplicationMetrics exposes hrtd_repl_* on r.
+func (c *Cluster) registerReplicationMetrics(r *Registry) {
+	status := func(f func(repl.Status) float64) func() float64 {
+		return func() float64 { return f(c.repl.Status()) }
+	}
+	r.Gauge("hrtd_repl_term", "Current replication term.",
+		status(func(s repl.Status) float64 { return float64(s.Term) }))
+	r.Gauge("hrtd_repl_role", "Replication role: 0 follower, 1 candidate, 2 leader.",
+		status(func(s repl.Status) float64 { return float64(s.Role) }))
+	r.Gauge("hrtd_repl_is_leader", "1 when this replica is the ready leader.",
+		func() float64 {
+			if c.leaderCheck() == nil {
+				return 1
+			}
+			return 0
+		})
+	r.Gauge("hrtd_repl_last_lsn", "Last LSN appended to the local log.",
+		status(func(s repl.Status) float64 { return float64(s.LastLSN) }))
+	r.Gauge("hrtd_repl_durable_lsn", "Last locally-fsynced LSN.",
+		status(func(s repl.Status) float64 { return float64(s.DurableLSN) }))
+	r.Gauge("hrtd_repl_commit_lsn", "Last majority-durable LSN.",
+		status(func(s repl.Status) float64 { return float64(s.CommitLSN) }))
+	r.Gauge("hrtd_repl_applied_lsn", "Last LSN folded into the engines.",
+		status(func(s repl.Status) float64 { return float64(s.AppliedLSN) }))
+	r.Counter("hrtd_repl_elections_total", "Elections this replica started.",
+		status(func(s repl.Status) float64 { return float64(s.Elections) }))
+	r.Counter("hrtd_repl_redirects_total", "Mutations redirected to the leader.",
+		func() float64 { return float64(c.redirects.Load()) })
+	r.Counter("hrtd_repl_skipped_records_total",
+		"Committed records skipped (undecodable or divergent).",
+		func() float64 { return float64(c.replSkipped.Load()) })
+	r.Counter("hrtd_repl_orphan_releases_total",
+		"Stale move copies reconciled after elections.",
+		func() float64 { return float64(c.orphanReleases.Load()) })
+	r.Counter("hrtd_repl_proposals_total", "Record batches proposed by this replica.",
+		func() float64 { _, _, _, _, p, _ := c.repl.Counters(); return float64(p) })
+	r.Counter("hrtd_repl_appends_sent_total", "AppendEntries RPCs sent.",
+		func() float64 { _, a, _, _, _, _ := c.repl.Counters(); return float64(a) })
+	r.Counter("hrtd_repl_appends_recv_total", "AppendEntries RPCs received.",
+		func() float64 { _, _, a, _, _, _ := c.repl.Counters(); return float64(a) })
+	r.Counter("hrtd_repl_protocol_errors_total", "Replication protocol violations detected.",
+		func() float64 { _, _, _, _, _, e := c.repl.Counters(); return float64(e) })
+	followerGauge := func(val func(repl.Status, repl.PeerStatus) float64) func() []Sample {
+		return func() []Sample {
+			s := c.repl.Status()
+			out := make([]Sample, 0, len(s.Peers))
+			for _, p := range s.Peers {
+				out = append(out, Sample{
+					Labels: []Label{{"peer", fmt.Sprint(p.ID)}},
+					Value:  val(s, p),
+				})
+			}
+			return out
+		}
+	}
+	r.GaugeVec("hrtd_repl_follower_match_lsn",
+		"Per-follower highest LSN confirmed durable (leader only).",
+		followerGauge(func(s repl.Status, p repl.PeerStatus) float64 { return float64(p.MatchLSN) }))
+	r.GaugeVec("hrtd_repl_follower_commit_lag",
+		"Per-follower LSNs behind the commit index (leader only).",
+		followerGauge(func(s repl.Status, p repl.PeerStatus) float64 {
+			if s.CommitLSN > p.MatchLSN {
+				return float64(s.CommitLSN - p.MatchLSN)
+			}
+			return 0
+		}))
+}

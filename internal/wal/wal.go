@@ -620,6 +620,172 @@ func (l *Log) CompactBefore(lsn uint64) (int, error) {
 	return removed, nil
 }
 
+// Rec is one record streamed out of the log by ReadFrom.
+type Rec struct {
+	LSN     uint64
+	Payload []byte
+}
+
+// ReadFrom returns up to max records starting at fromLSN, reading only
+// frames already covered by a successful group commit. Unlike Replay it is
+// safe to call while appends are in flight: segment metadata (advanced
+// only after each fsync) bounds how far into a file it will read, so a
+// half-written trailing frame is never touched. Used by the replication
+// layer to ship committed suffixes to lagging followers.
+func (l *Log) ReadFrom(fromLSN uint64, max int) ([]Rec, error) {
+	if max <= 0 {
+		return nil, nil
+	}
+	l.segMu.Lock()
+	segs := append([]segMeta(nil), l.segs...)
+	l.segMu.Unlock()
+
+	var out []Rec
+	for _, seg := range segs {
+		if seg.records == 0 || seg.end() < fromLSN {
+			continue
+		}
+		f, err := l.opts.FS.Open(l.segPath(seg.name))
+		if err != nil {
+			return nil, fmt.Errorf("wal: read open %s: %w", seg.name, err)
+		}
+		data, err := io.ReadAll(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("wal: read %s: %w", seg.name, err)
+		}
+		off := int64(headerSize)
+		for lsn := seg.base; lsn <= seg.end(); lsn++ {
+			_, payload, next := nextFrame(data, off)
+			if next < 0 {
+				return out, fmt.Errorf("wal: read: segment %s invalid at offset %d", seg.name, off)
+			}
+			off = next
+			if lsn < fromLSN {
+				continue
+			}
+			out = append(out, Rec{LSN: lsn, Payload: append([]byte(nil), payload...)})
+			if len(out) >= max {
+				return out, nil
+			}
+		}
+	}
+	return out, nil
+}
+
+// TruncateFrom discards every record with LSN >= lsn: whole segments past
+// the cut are removed, the segment holding the cut is truncated and
+// synced, and the next append is assigned lsn again. The caller must
+// guarantee no append is in flight (the replication layer serializes
+// follower appends); records already handed to waiters stay valid only
+// below the cut. Returns how many records were discarded.
+func (l *Log) TruncateFrom(lsn uint64) (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	l.segMu.Lock()
+	defer l.segMu.Unlock()
+	if l.err != nil {
+		return 0, l.err
+	}
+	if lsn >= l.nextLSN {
+		return 0, nil
+	}
+
+	var removed int64
+	// Drop whole segments whose base is at or past the cut (never the
+	// first: the log always keeps an active segment).
+	for len(l.segs) > 1 && l.segs[len(l.segs)-1].base >= lsn {
+		s := l.segs[len(l.segs)-1]
+		if l.f != nil {
+			l.f.Close() //nolint:errcheck // about to unlink the file
+			l.f = nil
+		}
+		if err := l.opts.FS.Remove(l.segPath(s.name)); err != nil {
+			l.err = fmt.Errorf("wal: truncate remove %s: %w", s.name, err)
+			return removed, l.err
+		}
+		removed += s.records
+		l.segs = l.segs[:len(l.segs)-1]
+	}
+
+	active := &l.segs[len(l.segs)-1]
+	if lsn <= active.base+uint64(active.records)-1 && active.records > 0 {
+		// The cut lands inside this segment: walk frames to its offset.
+		if l.f != nil {
+			l.f.Close() //nolint:errcheck
+			l.f = nil
+		}
+		f, err := l.opts.FS.Open(l.segPath(active.name))
+		if err != nil {
+			l.err = fmt.Errorf("wal: truncate open %s: %w", active.name, err)
+			return removed, l.err
+		}
+		data, err := io.ReadAll(f)
+		if err != nil {
+			f.Close()
+			l.err = fmt.Errorf("wal: truncate read %s: %w", active.name, err)
+			return removed, l.err
+		}
+		off := int64(headerSize)
+		keep := int64(0)
+		cut := lsn
+		if cut < active.base {
+			cut = active.base
+		}
+		for i := active.base; i < cut; i++ {
+			_, _, next := nextFrame(data, off)
+			if next < 0 {
+				f.Close()
+				l.err = fmt.Errorf("wal: truncate: segment %s invalid at offset %d", active.name, off)
+				return removed, l.err
+			}
+			off = next
+			keep++
+		}
+		if err := f.Truncate(off); err != nil {
+			f.Close()
+			l.err = fmt.Errorf("wal: truncate %s: %w", active.name, err)
+			return removed, l.err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			l.err = fmt.Errorf("wal: truncate sync %s: %w", active.name, err)
+			return removed, l.err
+		}
+		f.Close()
+		removed += active.records - keep
+		active.records = keep
+		active.bytes = off
+	}
+
+	// Reopen the active segment for appending at its new end.
+	if l.f == nil {
+		f, err := l.opts.FS.Open(l.segPath(active.name))
+		if err != nil {
+			l.err = fmt.Errorf("wal: truncate reopen %s: %w", active.name, err)
+			return removed, l.err
+		}
+		if _, err := f.Seek(0, io.SeekEnd); err != nil {
+			f.Close()
+			l.err = fmt.Errorf("wal: truncate seek %s: %w", active.name, err)
+			return removed, l.err
+		}
+		l.f = f
+	}
+	end := active.base + uint64(active.records) - 1
+	if active.records == 0 {
+		end = active.base - 1
+	}
+	l.nextLSN = end + 1
+	if l.syncedLSN > end {
+		l.syncedLSN = end
+	}
+	return removed, nil
+}
+
 // Stats snapshots the log's counters.
 func (l *Log) Stats() Stats {
 	l.mu.Lock()

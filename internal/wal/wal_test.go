@@ -386,3 +386,212 @@ func TestWriteFailureLatchesLog(t *testing.T) {
 		t.Fatalf("Close should surface the latched error: %v", err)
 	}
 }
+
+func TestReadFromWhileAppending(t *testing.T) {
+	l, _ := mustOpen(t, wal.Options{Dir: t.TempDir(), SegmentBytes: 64})
+	defer l.Close()
+	for i := 1; i <= 30; i++ {
+		if _, err := l.Append(payload(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	// Concurrent appends must not disturb a committed-suffix read.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 31; i <= 60; i++ {
+			l.Append(payload(i)) //nolint:errcheck
+		}
+	}()
+	recs, err := l.ReadFrom(7, 10)
+	<-done
+	if err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	if len(recs) != 10 {
+		t.Fatalf("ReadFrom returned %d records, want 10", len(recs))
+	}
+	for i, r := range recs {
+		want := uint64(7 + i)
+		if r.LSN != want || !bytes.Equal(r.Payload, payload(int(want))) {
+			t.Fatalf("rec %d: lsn=%d payload=%q", i, r.LSN, r.Payload)
+		}
+	}
+	if recs, err := l.ReadFrom(1000, 5); err != nil || len(recs) != 0 {
+		t.Fatalf("ReadFrom past the end: %d recs, %v", len(recs), err)
+	}
+}
+
+func TestTruncateFromDropsSuffixAndReassignsLSNs(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, wal.Options{Dir: dir, SegmentBytes: 64})
+	for i := 1; i <= 20; i++ {
+		if _, err := l.Append(payload(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if l.Stats().Segments < 3 {
+		t.Fatalf("want multiple segments, got %d", l.Stats().Segments)
+	}
+	// Cut inside an earlier segment: whole later segments drop, the cut
+	// segment truncates in place.
+	n, err := l.TruncateFrom(8)
+	if err != nil || n != 13 {
+		t.Fatalf("TruncateFrom(8) = %d, %v; want 13 dropped", n, err)
+	}
+	if st := l.Stats(); st.LastLSN != 7 || st.SyncedLSN != 7 {
+		t.Fatalf("stats after truncate: %+v", st)
+	}
+	// The next append reuses LSN 8 with different content.
+	if lsn, err := l.Append([]byte("replacement-8")); err != nil || lsn != 8 {
+		t.Fatalf("append after truncate = %d, %v", lsn, err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2, rep := mustOpen(t, wal.Options{Dir: dir, SegmentBytes: 64})
+	defer l2.Close()
+	if rep.LastLSN != 8 || rep.TruncatedBytes != 0 || rep.DroppedSegments != 0 {
+		t.Fatalf("reopen after truncate: %+v", rep)
+	}
+	lsns, payloads := collect(t, l2, 7)
+	if len(lsns) != 2 || !bytes.Equal(payloads[1], []byte("replacement-8")) {
+		t.Fatalf("replay after truncate: lsns=%v payloads=%q", lsns, payloads)
+	}
+	// No-op cuts.
+	if n, err := l2.TruncateFrom(100); err != nil || n != 0 {
+		t.Fatalf("TruncateFrom past end = %d, %v", n, err)
+	}
+}
+
+func TestTruncateFromWholeLog(t *testing.T) {
+	l, _ := mustOpen(t, wal.Options{Dir: t.TempDir(), SegmentBytes: 64})
+	defer l.Close()
+	for i := 1; i <= 10; i++ {
+		if _, err := l.Append(payload(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if n, err := l.TruncateFrom(1); err != nil || n != 10 {
+		t.Fatalf("TruncateFrom(1) = %d, %v", n, err)
+	}
+	if st := l.Stats(); st.LastLSN != 0 {
+		t.Fatalf("stats after full truncate: %+v", st)
+	}
+	if lsn, err := l.Append(payload(1)); err != nil || lsn != 1 {
+		t.Fatalf("append after full truncate = %d, %v", lsn, err)
+	}
+}
+
+// TestCorruptionOnSegmentBoundaryFrame covers the cross-segment torn-tail
+// case: the corrupt frame is the LAST frame of a sealed (non-tail)
+// segment, so repair must truncate that segment at the boundary AND drop
+// every later segment as unreachable, never resurrecting records past the
+// cut.
+func TestCorruptionOnSegmentBoundaryFrame(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, wal.Options{Dir: dir, SegmentBytes: 64})
+	for i := 1; i <= 20; i++ {
+		if _, err := l.Append(payload(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	segs := l.Stats().Segments
+	if segs < 3 {
+		t.Fatalf("want >= 3 segments, got %d", segs)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Flip a bit in the FINAL byte of the second segment: its boundary
+	// frame (the last record before the roll) fails CRC.
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("readdir: %v", err)
+	}
+	var segNames []string
+	for _, e := range names {
+		segNames = append(segNames, e.Name())
+	}
+	// Lexicographic order == LSN order for %016x names.
+	victim := filepath.Join(dir, segNames[1])
+	data, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatalf("read victim: %v", err)
+	}
+	data[len(data)-1] ^= 0x40
+	if err := os.WriteFile(victim, data, 0o644); err != nil {
+		t.Fatalf("corrupt victim: %v", err)
+	}
+
+	l2, rep := mustOpen(t, wal.Options{Dir: dir, SegmentBytes: 64})
+	defer l2.Close()
+	if rep.TruncatedBytes == 0 {
+		t.Fatalf("boundary corruption not truncated: %+v", rep)
+	}
+	if rep.DroppedSegments != segs-2 {
+		t.Fatalf("dropped %d segments, want %d: %+v", rep.DroppedSegments, segs-2, rep)
+	}
+	lsns, _ := collect(t, l2, 1)
+	if len(lsns) == 0 || lsns[len(lsns)-1] != rep.LastLSN {
+		t.Fatalf("replay end %v != report %d", lsns, rep.LastLSN)
+	}
+	// Every surviving record is an unbroken prefix 1..LastLSN.
+	for i, lsn := range lsns {
+		if lsn != uint64(i+1) {
+			t.Fatalf("hole in recovered prefix at %d: %v", i, lsns)
+		}
+	}
+	// And the log keeps appending from the repaired tail.
+	if lsn, err := l2.Append(payload(999)); err != nil || lsn != rep.LastLSN+1 {
+		t.Fatalf("append after boundary repair = %d, %v (want %d)", lsn, err, rep.LastLSN+1)
+	}
+}
+
+// TestCrashCorruptKeptAcrossSegmentRoll drives the same cross-segment case
+// through the crash injector: the torn-and-corrupted tail lands exactly on
+// the frame that opens a fresh segment, so the kept byte count ends inside
+// the new segment's first frame while the sealed segment stays intact.
+func TestCrashCorruptKeptAcrossSegmentRoll(t *testing.T) {
+	ffs := fault.NewFaultyFS(nil)
+	dir := t.TempDir()
+	l, _ := mustOpen(t, wal.Options{Dir: dir, FS: ffs, SegmentBytes: 64})
+	for i := 1; i <= 6; i++ {
+		if _, err := l.Append(payload(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	before := l.Stats()
+	// The next batch rolls into a fresh segment; its fsync fails, so the
+	// header and frame bytes exist but are not durable.
+	ffs.FailSyncAt(1)
+	if _, err := l.Append(payload(7)); !errors.Is(err, fault.ErrInjectedSync) {
+		t.Fatalf("append over failed sync: %v", err)
+	}
+	// Keep the whole unsynced tail but corrupt its last byte: the damage
+	// sits exactly on the boundary frame of the new segment.
+	if err := ffs.Crash(fault.CrashOptions{KeepUnsynced: 1 << 20, CorruptKept: true}); err != nil {
+		t.Fatalf("Crash: %v", err)
+	}
+	l.Close() //nolint:errcheck — log is latched by the injected failure
+	ffs.Restart()
+
+	l2, rep := mustOpen(t, wal.Options{Dir: dir, FS: ffs, SegmentBytes: 64})
+	defer l2.Close()
+	if rep.LastLSN != before.SyncedLSN {
+		t.Fatalf("recovered LastLSN %d, want synced pre-crash %d (report %+v)",
+			rep.LastLSN, before.SyncedLSN, rep)
+	}
+	if rep.TruncatedBytes == 0 {
+		t.Fatalf("corrupt boundary frame not amputated: %+v", rep)
+	}
+	lsns, _ := collect(t, l2, 1)
+	if uint64(len(lsns)) != before.SyncedLSN {
+		t.Fatalf("replay found %d records, want %d", len(lsns), before.SyncedLSN)
+	}
+	if lsn, err := l2.Append(payload(7)); err != nil || lsn != before.SyncedLSN+1 {
+		t.Fatalf("append after crash repair = %d, %v", lsn, err)
+	}
+}
