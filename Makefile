@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: ci build vet test race planverify perf-gate chaos bench bench-engine bench-record bench-record-pr5 engine-bench-smoke serve-smoke cluster-smoke recovery-smoke failover-smoke
+.PHONY: ci build vet test race planverify perf-gate chaos bench bench-engine bench-record bench-record-pr5 bench-record-pr7 engine-bench-smoke serve-smoke cluster-smoke recovery-smoke failover-smoke dag-smoke
 
 # ci is the tier-1 gate: every change must pass vet, build, the race-
 # enabled test suite, the planverify cross-check, the non-race perf
 # gate, the engine benchmark smoke, and the serving-layer smokes —
-# including the kill -9 recovery and leader-failover smokes — before it
-# lands (see README "Testing").
-ci: vet build race planverify perf-gate engine-bench-smoke serve-smoke cluster-smoke recovery-smoke failover-smoke
+# including the kill -9 recovery, leader-failover, and DAG-recovery
+# smokes — before it lands (see README "Testing").
+ci: vet build race planverify perf-gate engine-bench-smoke serve-smoke cluster-smoke recovery-smoke failover-smoke dag-smoke
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,12 @@ bench-record:
 # the derived durable_place_overhead_x ratio.
 bench-record-pr5:
 	$(GO) run ./cmd/benchrecord -pkg ./internal/serve -bench 'BenchmarkClusterPlace' -skip-suite -o BENCH_PR5.json
+
+# bench-record-pr7 regenerates the DAG admission artifact (BENCH_PR7.json):
+# end-to-end validate + RTA + placement + removal throughput, with the
+# derived dag_admission_ops_per_sec figure.
+bench-record-pr7:
+	$(GO) run ./cmd/benchrecord -pkg ./internal/serve -bench 'BenchmarkDAGAdmission' -skip-suite -o BENCH_PR7.json
 
 # engine-bench-smoke compiles and exercises every engine benchmark for a
 # fixed 100 iterations — fast enough for ci, and it catches benchmarks
@@ -118,6 +124,34 @@ recovery-smoke:
 	if [ -z "$$before" ] || [ "$$before" -eq 0 ]; then echo "recovery-smoke: pre-crash placements empty ($$before)"; exit 1; fi; \
 	if [ "$$before" != "$$after" ]; then echo "recovery-smoke: placements diverged: before=$$before after=$$after"; cat "$$dir"/hrtd2.log; exit 1; fi; \
 	echo "recovery-smoke: ok ($$before placements survived kill -9)"
+
+# dag-smoke is the end-to-end DAG admission drill: boot hrtd with a
+# durable 4-node cluster, submit a random DAG fleet with hrtload in dag
+# mode, kill the daemon with SIGKILL, restart it on the same data
+# directory, and fail unless the recovered status line — DAG placements
+# and the replicated placed total included — is byte-identical to the
+# pre-crash probe (session-local WAL counters stripped), and non-empty.
+dag-smoke:
+	@set -e; dir=$$(mktemp -d); pid=; \
+	cleanup() { [ -n "$$pid" ] && kill -9 $$pid 2>/dev/null || true; rm -rf "$$dir"; }; \
+	trap cleanup EXIT; \
+	$(GO) build -o "$$dir" ./cmd/hrtd ./cmd/hrtload; \
+	"$$dir"/hrtd -addr 127.0.0.1:0 -addr-file "$$dir"/addr -nodes 4 -data-dir "$$dir"/data >"$$dir"/hrtd.log 2>&1 & pid=$$!; \
+	for i in $$(seq 100); do [ -s "$$dir"/addr ] && break; sleep 0.1; done; \
+	if ! [ -s "$$dir"/addr ]; then echo "dag-smoke: hrtd never bound"; cat "$$dir"/hrtd.log; exit 1; fi; \
+	"$$dir"/hrtload -addr "$$(cat "$$dir"/addr)" -mode dag -dur 2s -conns 8 -check; \
+	before=$$("$$dir"/hrtload -addr "$$(cat "$$dir"/addr)" -mode status -check | sed 's/ durable=.*//'); \
+	case "$$before" in *"dag_placements="*) ;; *) echo "dag-smoke: no DAG block in status: $$before"; exit 1;; esac; \
+	case "$$before" in *"dag_placements=0 "*) echo "dag-smoke: zero DAG placements would pass a trivial diff: $$before"; exit 1;; esac; \
+	kill -9 $$pid; wait $$pid 2>/dev/null || true; pid=; \
+	rm -f "$$dir"/addr; \
+	"$$dir"/hrtd -addr 127.0.0.1:0 -addr-file "$$dir"/addr -nodes 4 -data-dir "$$dir"/data >"$$dir"/hrtd2.log 2>&1 & pid=$$!; \
+	for i in $$(seq 100); do [ -s "$$dir"/addr ] && break; sleep 0.1; done; \
+	if ! [ -s "$$dir"/addr ]; then echo "dag-smoke: hrtd never rebound"; cat "$$dir"/hrtd2.log; exit 1; fi; \
+	grep 'hrtd: recovery:' "$$dir"/hrtd2.log >/dev/null || { echo "dag-smoke: no recovery boot line"; cat "$$dir"/hrtd2.log; exit 1; }; \
+	after=$$("$$dir"/hrtload -addr "$$(cat "$$dir"/addr)" -mode status -check | sed 's/ durable=.*//'); \
+	if [ "$$before" != "$$after" ]; then echo "dag-smoke: status diverged across kill -9:"; echo " before: $$before"; echo " after:  $$after"; cat "$$dir"/hrtd2.log; exit 1; fi; \
+	echo "dag-smoke: ok ($$before)"
 
 # failover-smoke is the end-to-end replication drill: boot a 3-replica
 # hrtd placement service, drive mutations through a follower (so every

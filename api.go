@@ -4,6 +4,7 @@ import (
 	"hrtsched/internal/bsp"
 	"hrtsched/internal/core"
 	"hrtsched/internal/cyclic"
+	"hrtsched/internal/dag"
 	"hrtsched/internal/durable"
 	"hrtsched/internal/group"
 	"hrtsched/internal/ksync"
@@ -434,6 +435,27 @@ func NewIncrementalPlan(spec PlanSpec) *IncrementalPlan { return plan.NewIncreme
 // but the simulation step counter (a work measure, not a decision).
 func PlanVerdictsEquivalent(a, b PlanVerdict) bool { return plan.VerdictsEquivalent(a, b) }
 
+// PlanAnalysis is the pluggable admission-analysis interface: stateless
+// verdicts (Analyze/AnalyzeGang/Capacity) plus a factory for stateful
+// engines. The default plug-in, named DefaultPlanAnalysis, is the EDF
+// hyperperiod analysis every function above delegates to.
+type PlanAnalysis = plan.Analysis
+
+// PlanEngine is the stateful half of a PlanAnalysis — exactly
+// IncrementalPlan's method set.
+type PlanEngine = plan.Engine
+
+// DefaultPlanAnalysis names the registry's incumbent analysis.
+const DefaultPlanAnalysis = plan.DefaultAnalysisName
+
+// NewPlanAnalysis instantiates a registered analysis by name for a spec.
+func NewPlanAnalysis(name string, spec PlanSpec) (PlanAnalysis, error) {
+	return plan.NewAnalysis(name, spec)
+}
+
+// PlanAnalysisNames lists the registered analyses, sorted.
+func PlanAnalysisNames() []string { return plan.AnalysisNames() }
+
 // --- Admission-query service (internal/serve) --------------------------------
 
 // ServeConfig configures the sharded admission-query server.
@@ -513,6 +535,57 @@ type ClusterDurabilityStatus = serve.DurabilityStatus
 // snapshot LSN, records replayed and rejected, torn bytes truncated,
 // segments dropped, orphans released.
 type ClusterRecoveryResult = durable.RecoveryResult
+
+// --- DAG tasks (internal/dag) ------------------------------------------------
+
+// DAGTask is a parallel task with precedence structure: WCET-annotated
+// nodes, precedence edges, a period, a constrained deadline, and a core
+// budget. Validate rejects malformed graphs with typed codes before any
+// analysis runs.
+type DAGTask = dag.Task
+
+// DAGNode is one unit of sequential work inside a DAGTask.
+type DAGNode = dag.Node
+
+// DAGEdge is a precedence constraint between two DAGTask nodes.
+type DAGEdge = dag.Edge
+
+// DAGResult is one response-time analysis outcome: the admission bit, a
+// typed rejection reason, the bound, and the blocking path that set it.
+type DAGResult = dag.Result
+
+// DAGValidationError is the typed structural rejection (cycle, bad WCET,
+// edge out of range, ...) with the offending node/edge/path.
+type DAGValidationError = dag.ValidationError
+
+// DAGAnalyzer computes a response-time bound for a validated DAGTask;
+// "classical" is the 1/m interference bound, "alpha-beta" the
+// interference-set refinement.
+type DAGAnalyzer = dag.Analyzer
+
+// NewDAGAnalyzer resolves an analyzer by name ("" = classical).
+func NewDAGAnalyzer(name string) (DAGAnalyzer, error) { return dag.NewAnalyzer(name) }
+
+// DAGAnalyzerNames lists the registered DAG analyzers, sorted.
+func DAGAnalyzerNames() []string { return dag.AnalyzerNames() }
+
+// AnalyzeDAG validates t and runs the named response-time analysis
+// against spec — the library form of hrtd's POST /v1/dag/analyze.
+func AnalyzeDAG(spec PlanSpec, t DAGTask, analyzer string) (DAGResult, error) {
+	rta, err := dag.NewAnalyzer(analyzer)
+	if err != nil {
+		return DAGResult{}, err
+	}
+	return dag.New(spec, rta).AnalyzeDAG(&t)
+}
+
+// DAGPlaceResult reports one Cluster DAG admission: the analysis, the
+// derived periodic server task, and where it was placed.
+type DAGPlaceResult = serve.DAGPlaceResult
+
+// ClusterDAGStatus is the DAG block of ClusterStatus, present once any
+// DAG has been submitted.
+type ClusterDAGStatus = serve.DAGStatus
 
 // NewMetricsRegistry creates an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return serve.NewRegistry() }

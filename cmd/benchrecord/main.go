@@ -158,6 +158,11 @@ func derive(rec *record) {
 			rec.Derived[name] = v
 		}
 	}
+	// PR7: end-to-end DAG admission throughput (validate + RTA + placement
+	// + removal per op) as an absolute rate rather than a ratio.
+	if r, ok := rec.Microbench["BenchmarkDAGAdmission"]; ok && r.NsPerOp > 0 {
+		rec.Derived["dag_admission_ops_per_sec"] = 1e9 / r.NsPerOp
+	}
 }
 
 // runQuickSuite times every registered experiment at the Quick preset.

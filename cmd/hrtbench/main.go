@@ -33,6 +33,44 @@ func main() {
 	)
 	flag.Parse()
 
+	// Every flag is validated up front: an invalid invocation exits 2 with
+	// a usage line before any simulation starts.
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "hrtbench: "+format+"\n", args...)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if flag.NArg() > 0 {
+		fail("unexpected arguments: %v", flag.Args())
+	}
+	if *workers < 0 {
+		fail("-workers must be non-negative (got %d)", *workers)
+	}
+	selectors := 0
+	for _, on := range []bool{*all, *fig != 0, *exp != "", *list} {
+		if on {
+			selectors++
+		}
+	}
+	if selectors > 1 {
+		fail("-fig, -exp, -all, and -list are mutually exclusive")
+	}
+	if *fig != 0 && (*fig < 3 || *fig > 16) {
+		fail("-fig must be in 3..16 (got %d); see -list", *fig)
+	}
+	if *exp != "" {
+		known := false
+		for _, id := range experiments.IDs() {
+			if id == *exp {
+				known = true
+				break
+			}
+		}
+		if !known {
+			fail("unknown experiment %q; see -list", *exp)
+		}
+	}
+
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
@@ -45,26 +83,16 @@ func main() {
 		opts.Scale = experiments.Full
 	}
 
-	if *workers < 0 {
-		fmt.Fprintf(os.Stderr, "hrtbench: -workers must be non-negative (got %d)\n", *workers)
-		os.Exit(2)
-	}
-
 	var ids []string
 	switch {
 	case *all:
 		ids = experiments.IDs()
 	case *fig != 0:
-		if *fig < 3 || *fig > 16 {
-			fmt.Fprintf(os.Stderr, "hrtbench: -fig must be in 3..16 (got %d); see -list\n", *fig)
-			os.Exit(2)
-		}
 		ids = []string{fmt.Sprintf("fig%d", *fig)}
 	case *exp != "":
 		ids = []string{*exp}
 	default:
-		fmt.Fprintln(os.Stderr, "specify -fig N, -exp ID, -all, or -list")
-		os.Exit(2)
+		fail("specify -fig N, -exp ID, -all, or -list")
 	}
 
 	for _, id := range ids {

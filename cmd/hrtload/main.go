@@ -13,10 +13,16 @@
 // adds placement/rejection counts and the scraped
 // hrtd_cluster_placed_total.
 //
+// In -mode dag the workers drive /v1/dag/place instead: each submits
+// randomized small DAG tasks (3-6 nodes, forward edges, mixed analyzers)
+// through the response-time-analysis admission path, cycling a ring of
+// live reservations exactly like cluster mode. The report adds the
+// scraped hrtd_dag_placed_total.
+//
 // In -mode status a single GET of /v1/cluster/status is printed as one
-// greppable line (placements, per-counter totals, durability health,
-// replication role) — the probe the recovery and failover smoke tests
-// diff across a kill -9.
+// greppable line (placements, per-counter totals, DAG reservations,
+// durability health, replication role) — the probe the recovery,
+// failover, and dag smoke tests diff across a kill -9.
 //
 // Against a replicated hrtd the generator is failover-aware: mutations
 // sent to a follower follow its 307 redirect to the leader (counted and
@@ -70,7 +76,7 @@ var redirects atomic.Int64
 func main() {
 	var (
 		addr   = flag.String("addr", "", "hrtd address host:port (required)")
-		mode   = flag.String("mode", "query", "load shape: query or cluster")
+		mode   = flag.String("mode", "query", "load shape: query, cluster, dag, or status")
 		dur    = flag.Duration("dur", 2*time.Second, "how long to generate load")
 		conns  = flag.Int("conns", 16, "concurrent closed-loop connections")
 		pool   = flag.Int("pool", 64, "popular task-set pool size (query mode)")
@@ -92,8 +98,8 @@ func main() {
 	if *addr == "" {
 		fail("-addr is required")
 	}
-	if *mode != "query" && *mode != "cluster" && *mode != "status" {
-		fail("-mode must be query, cluster, or status (got %q)", *mode)
+	if *mode != "query" && *mode != "cluster" && *mode != "dag" && *mode != "status" {
+		fail("-mode must be query, cluster, dag, or status (got %q)", *mode)
 	}
 	if *dur <= 0 {
 		fail("-dur must be positive (got %v)", *dur)
@@ -169,6 +175,14 @@ func main() {
 				clusterWorker(client, base, deadline, w, *live, &uniqueCtr, res, rng)
 			}(w, &results[w], rng.Split())
 		}
+	case "dag":
+		for w := 0; w < *conns; w++ {
+			wg.Add(1)
+			go func(w int, res *workerResult, rng *sim.Rand) {
+				defer wg.Done()
+				dagWorker(client, base, deadline, w, *live, &uniqueCtr, res, rng)
+			}(w, &results[w], rng.Split())
+		}
 	}
 	wg.Wait()
 
@@ -226,9 +240,13 @@ func main() {
 			}
 			fmt.Println("hrtload: OK")
 		}
-	case "cluster":
+	case "cluster", "dag":
 		fmt.Printf("hrtload: %d placed, %d rejected\n", total.placed, total.rejected)
-		serverPlaced, err := scrapeMetric(client, base, "hrtd_cluster_placed_total")
+		placedMetric := "hrtd_cluster_placed_total"
+		if *mode == "dag" {
+			placedMetric = "hrtd_dag_placed_total"
+		}
+		serverPlaced, err := scrapeMetric(client, base, placedMetric)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hrtload: scrape /metrics: %v\n", err)
 			if *check {
@@ -366,6 +384,108 @@ func clusterWorker(client *http.Client, base string, deadline time.Time,
 	}
 }
 
+// dagAnalyzers are the analyzer names dag mode cycles through.
+var dagAnalyzers = []string{"classical", "alpha-beta"}
+
+// dagWorker churns DAG reservations: randomized small DAGs go in through
+// /v1/dag/place and come back out through /v1/cluster/remove (an admitted
+// DAG is an ordinary placement), the same ring discipline as clusterWorker.
+func dagWorker(client *http.Client, base string, deadline time.Time,
+	w, ringSize int, uniqueCtr *atomic.Int64, res *workerResult, rng *sim.Rand) {
+	var ring []string
+	for time.Now().Before(deadline) {
+		if len(ring) >= ringSize {
+			id := ring[0]
+			ring = ring[1:]
+			body := fmt.Sprintf(`{"id":%q}`, id)
+			resp, err := client.Post(base+"/v1/cluster/remove", "application/json", strings.NewReader(body))
+			res.requests++
+			if err != nil {
+				res.errors++
+				time.Sleep(time.Duration(5+rng.Int63n(20)) * time.Millisecond)
+				continue
+			}
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusOK, http.StatusNotFound:
+			case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+				res.sheds++
+				time.Sleep(retryDelay(resp, rng))
+			default:
+				res.errors++
+			}
+		}
+
+		n := uniqueCtr.Add(1)
+		id := fmt.Sprintf("dag-w%d-%d-%d", w, os.Getpid(), n)
+		body := fmt.Sprintf(`{"id":%q,"task":%s,"analyzer":%q}`,
+			id, dagBody(rng), dagAnalyzers[rng.Intn(len(dagAnalyzers))])
+		start := time.Now()
+		resp, err := client.Post(base+"/v1/dag/place", "application/json", strings.NewReader(body))
+		lat := float64(time.Since(start).Nanoseconds()) / 1e3
+		res.requests++
+		if err != nil {
+			res.errors++
+			time.Sleep(time.Duration(5+rng.Int63n(20)) * time.Millisecond)
+			continue
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			res.latencyUs = append(res.latencyUs, lat)
+			var placed struct {
+				Placed bool `json:"placed"`
+			}
+			if json.Unmarshal(b, &placed) == nil && placed.Placed {
+				res.placed++
+				ring = append(ring, id)
+			} else {
+				res.rejected++
+			}
+		case resp.StatusCode == http.StatusTooManyRequests,
+			resp.StatusCode == http.StatusServiceUnavailable:
+			res.sheds++
+			time.Sleep(retryDelay(resp, rng))
+		default:
+			res.errors++
+		}
+	}
+}
+
+// dagBody builds one randomized DAG task: 3-6 nodes, forward-only edges
+// (guaranteeing acyclicity), short WCETs against a 10-20 ms period so
+// most submissions admit and the ring keeps cycling.
+func dagBody(rng *sim.Rand) string {
+	nodes := 3 + int(rng.Int63n(4))
+	var b strings.Builder
+	b.WriteString(`{"nodes":[`)
+	for i := 0; i < nodes; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `{"wcet_ns":%d}`, (20+rng.Int63n(100))*1000)
+	}
+	b.WriteString(`],"edges":[`)
+	edges := 0
+	for i := 0; i < nodes; i++ {
+		for j := i + 1; j < nodes; j++ {
+			if rng.Float64() < 0.4 {
+				if edges > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(&b, `{"from":%d,"to":%d}`, i, j)
+				edges++
+			}
+		}
+	}
+	periodNs := (10 + 10*rng.Int63n(2)) * 1_000_000
+	cores := 2 + rng.Int63n(3)
+	fmt.Fprintf(&b, `],"period_ns":%d,"cores":%d}`, periodNs, cores)
+	return b.String()
+}
+
 // retryDelay says how long to wait before retrying after a 429 or 503.
 // It honors the server's Retry-After seconds when present (hrtd sends
 // Retry-After: 1 while a cluster has no ready leader), caps the base at
@@ -422,6 +542,10 @@ func printStatus(client *http.Client, base string) error {
 		Nodes      []struct {
 			Tasks int64 `json:"tasks"`
 		} `json:"nodes"`
+		DAG *struct {
+			Placements int   `json:"placements"`
+			Placed     int64 `json:"placed_total"`
+		} `json:"dag"`
 		Durability *struct {
 			LastLSN  uint64 `json:"last_lsn"`
 			Degraded bool   `json:"degraded"`
@@ -443,6 +567,10 @@ func printStatus(client *http.Client, base string) error {
 	}
 	line := fmt.Sprintf("hrtload: status placements=%d tasks=%d placed_total=%d removed_total=%d rebalanced_total=%d drained_total=%d",
 		st.Placements, tasks, st.Placed, st.Removed, st.Rebalanced, st.Drained)
+	if st.DAG != nil {
+		line += fmt.Sprintf(" dag_placements=%d dag_placed_total=%d",
+			st.DAG.Placements, st.DAG.Placed)
+	}
 	if st.Durability != nil {
 		line += fmt.Sprintf(" durable=true last_lsn=%d degraded=%v",
 			st.Durability.LastLSN, st.Durability.Degraded)

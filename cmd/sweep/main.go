@@ -42,6 +42,9 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if flag.NArg() > 0 {
+		fail("unexpected arguments: %v", flag.Args())
+	}
 	if *p <= 0 {
 		fail("-p must be positive (got %d)", *p)
 	}

@@ -1,0 +1,315 @@
+// Package dag is the parallel task model the admission service grew
+// beyond independent periodic tasks: a task is a directed acyclic graph
+// of nodes with worst-case execution times and precedence edges,
+// released every period with a (constrained) relative deadline, and
+// scheduled across a gang of cores. Admission is a response-time
+// analysis: a bound R on the makespan of one release, admitted when
+// R <= deadline. The admitted DAG then reserves a derived periodic
+// server task (period T, slice R) through the ordinary plan machinery —
+// the RT-Gang reduction: one gang-scheduled reservation whose budget
+// covers the whole graph, so everything downstream (placement,
+// durability, replication) handles DAGs exactly like periodic sets.
+//
+// Everything here is deterministic and side-effect-free: equal tasks
+// produce identical validation outcomes and identical bounds.
+package dag
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is one unit of work in a DAG task.
+type Node struct {
+	// Name is an optional label, used in error paths; defaults to the
+	// node's index when empty.
+	Name string `json:"name,omitempty"`
+	// WCETNs is the node's worst-case execution time in nanoseconds.
+	WCETNs int64 `json:"wcet_ns"`
+}
+
+// Edge is a precedence constraint: From must complete before To starts.
+// Endpoints are node indexes.
+type Edge struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+}
+
+// Task is one periodic DAG task.
+type Task struct {
+	// Name identifies the task in placements and errors.
+	Name string `json:"name,omitempty"`
+	// Nodes are the units of work, referenced by index from Edges.
+	Nodes []Node `json:"nodes"`
+	// Edges are the precedence constraints.
+	Edges []Edge `json:"edges,omitempty"`
+	// PeriodNs is the release period.
+	PeriodNs int64 `json:"period_ns"`
+	// DeadlineNs is the relative deadline; 0 means implicit (= period).
+	// Constrained deadlines only: DeadlineNs > PeriodNs is rejected.
+	DeadlineNs int64 `json:"deadline_ns,omitempty"`
+	// Cores is the gang width the response-time bound is computed for.
+	Cores int `json:"cores"`
+}
+
+// Deadline returns the effective relative deadline (period when implicit).
+func (t *Task) Deadline() int64 {
+	if t.DeadlineNs == 0 {
+		return t.PeriodNs
+	}
+	return t.DeadlineNs
+}
+
+// Volume returns the summed WCET of every node (the work of one release).
+func (t *Task) Volume() int64 {
+	var v int64
+	for _, n := range t.Nodes {
+		v += n.WCETNs
+	}
+	return v
+}
+
+// ErrorCode is the typed reason a task failed structural validation.
+// Codes are stable wire tags (the HTTP layer surfaces them verbatim).
+type ErrorCode string
+
+const (
+	// ErrNoNodes: the task has no nodes.
+	ErrNoNodes ErrorCode = "no-nodes"
+	// ErrTooManyNodes: the node count exceeds the wire format's bound.
+	ErrTooManyNodes ErrorCode = "too-many-nodes"
+	// ErrBadWCET: a node's WCET is non-positive.
+	ErrBadWCET ErrorCode = "bad-wcet"
+	// ErrBadPeriod: the period is non-positive.
+	ErrBadPeriod ErrorCode = "bad-period"
+	// ErrBadDeadline: the deadline is negative or exceeds the period.
+	ErrBadDeadline ErrorCode = "bad-deadline"
+	// ErrBadCores: the gang width is non-positive.
+	ErrBadCores ErrorCode = "bad-cores"
+	// ErrEdgeRange: an edge endpoint names no node (an orphan edge).
+	ErrEdgeRange ErrorCode = "edge-out-of-range"
+	// ErrSelfEdge: an edge's endpoints are the same node.
+	ErrSelfEdge ErrorCode = "self-edge"
+	// ErrDupEdge: the same edge appears twice.
+	ErrDupEdge ErrorCode = "duplicate-edge"
+	// ErrCycle: the precedence relation is cyclic; the error carries the
+	// blocking path.
+	ErrCycle ErrorCode = "cycle"
+)
+
+// maxNodes bounds the node count to what the durable wire format's u16
+// fields can carry.
+const maxNodes = 1<<16 - 1
+
+// ValidationError is a typed structural rejection. Node and Edge locate
+// the offending element where applicable (Node is -1 otherwise); Path
+// carries the blocking node path for ErrCycle.
+type ValidationError struct {
+	Code ErrorCode
+	Node int
+	Edge *Edge
+	// Path is the blocking path, as node indexes, for ErrCycle: a walk
+	// along precedence edges that returns to its first element.
+	Path []int
+	msg  string
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("dag: %s: %s", e.Code, e.msg)
+}
+
+// pathString renders a node path as "a -> b -> c" using names.
+func (t *Task) pathString(path []int) string {
+	parts := make([]string, len(path))
+	for i, n := range path {
+		parts[i] = t.nodeName(n)
+	}
+	return strings.Join(parts, " -> ")
+}
+
+func (t *Task) nodeName(i int) string {
+	if i >= 0 && i < len(t.Nodes) && t.Nodes[i].Name != "" {
+		return t.Nodes[i].Name
+	}
+	return fmt.Sprintf("#%d", i)
+}
+
+// Validate checks the task's structure and parameters, returning a typed
+// *ValidationError for the first violation found (nodes first, then
+// parameters, then edges, then acyclicity). A nil return guarantees the
+// graph helpers (TopoOrder, CriticalPath) are well-defined.
+func (t *Task) Validate() error {
+	if len(t.Nodes) == 0 {
+		return &ValidationError{Code: ErrNoNodes, Node: -1, msg: "task has no nodes"}
+	}
+	if len(t.Nodes) > maxNodes {
+		return &ValidationError{Code: ErrTooManyNodes, Node: -1,
+			msg: fmt.Sprintf("%d nodes exceeds the limit of %d", len(t.Nodes), maxNodes)}
+	}
+	for i, n := range t.Nodes {
+		if n.WCETNs <= 0 {
+			return &ValidationError{Code: ErrBadWCET, Node: i,
+				msg: fmt.Sprintf("node %s has wcet %dns", t.nodeName(i), n.WCETNs)}
+		}
+	}
+	if t.PeriodNs <= 0 {
+		return &ValidationError{Code: ErrBadPeriod, Node: -1,
+			msg: fmt.Sprintf("period %dns", t.PeriodNs)}
+	}
+	if t.DeadlineNs < 0 || t.DeadlineNs > t.PeriodNs {
+		return &ValidationError{Code: ErrBadDeadline, Node: -1,
+			msg: fmt.Sprintf("deadline %dns outside [0, period %dns]", t.DeadlineNs, t.PeriodNs)}
+	}
+	if t.Cores <= 0 {
+		return &ValidationError{Code: ErrBadCores, Node: -1,
+			msg: fmt.Sprintf("cores %d", t.Cores)}
+	}
+	seen := make(map[Edge]bool, len(t.Edges))
+	for i, e := range t.Edges {
+		e := e
+		if e.From < 0 || e.From >= len(t.Nodes) || e.To < 0 || e.To >= len(t.Nodes) {
+			return &ValidationError{Code: ErrEdgeRange, Node: -1, Edge: &e,
+				msg: fmt.Sprintf("edge %d [%d -> %d] names no node (have %d)", i, e.From, e.To, len(t.Nodes))}
+		}
+		if e.From == e.To {
+			return &ValidationError{Code: ErrSelfEdge, Node: e.From, Edge: &e,
+				msg: fmt.Sprintf("edge %d loops on node %s", i, t.nodeName(e.From))}
+		}
+		if seen[e] {
+			return &ValidationError{Code: ErrDupEdge, Node: -1, Edge: &e,
+				msg: fmt.Sprintf("edge [%d -> %d] appears twice", e.From, e.To)}
+		}
+		seen[e] = true
+	}
+	if cycle := t.findCycle(); cycle != nil {
+		return &ValidationError{Code: ErrCycle, Node: cycle[0], Path: cycle,
+			msg: "precedence cycle " + t.pathString(cycle)}
+	}
+	return nil
+}
+
+// succs builds the successor adjacency lists.
+func (t *Task) succs() [][]int {
+	out := make([][]int, len(t.Nodes))
+	for _, e := range t.Edges {
+		out[e.From] = append(out[e.From], e.To)
+	}
+	return out
+}
+
+// findCycle returns a precedence cycle as a node path whose last element
+// has an edge back to the first, or nil when the graph is acyclic.
+// Deterministic: DFS from the lowest node index, lowest successor first.
+func (t *Task) findCycle() []int {
+	succ := t.succs()
+	const (
+		white = 0 // unvisited
+		grey  = 1 // on the current DFS path
+		black = 2 // finished
+	)
+	color := make([]int, len(t.Nodes))
+	var stack []int
+	var found []int
+	var visit func(u int) bool
+	visit = func(u int) bool {
+		color[u] = grey
+		stack = append(stack, u)
+		for _, v := range succ[u] {
+			if color[v] == grey {
+				// Extract the cycle: the stack suffix from v's position.
+				for i, w := range stack {
+					if w == v {
+						found = append([]int(nil), stack[i:]...)
+						return true
+					}
+				}
+			}
+			if color[v] == white && visit(v) {
+				return true
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[u] = black
+		return false
+	}
+	for u := range t.Nodes {
+		if color[u] == white && visit(u) {
+			return found
+		}
+	}
+	return nil
+}
+
+// TopoOrder returns the node indexes in a deterministic topological
+// order (Kahn's algorithm, lowest index first among ready nodes). The
+// task must validate.
+func (t *Task) TopoOrder() []int {
+	indeg := make([]int, len(t.Nodes))
+	succ := t.succs()
+	for _, e := range t.Edges {
+		indeg[e.To]++
+	}
+	// ready is kept as a sorted min-heap-by-scan; node counts are small
+	// (u16-bounded) and admission runs off the hot path.
+	var ready []int
+	for i := range t.Nodes {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	order := make([]int, 0, len(t.Nodes))
+	for len(ready) > 0 {
+		best := 0
+		for i := 1; i < len(ready); i++ {
+			if ready[i] < ready[best] {
+				best = i
+			}
+		}
+		u := ready[best]
+		ready = append(ready[:best], ready[best+1:]...)
+		order = append(order, u)
+		for _, v := range succ[u] {
+			if indeg[v]--; indeg[v] == 0 {
+				ready = append(ready, v)
+			}
+		}
+	}
+	return order
+}
+
+// CriticalPath returns the longest chain through the graph by summed
+// WCET — its length L (the makespan floor no core count can beat) and
+// its node indexes in execution order. The task must validate.
+func (t *Task) CriticalPath() (int64, []int) {
+	order := t.TopoOrder()
+	succ := t.succs()
+	// down[u] is the longest chain length starting at u (inclusive);
+	// next[u] the successor continuing it (ties to the lowest index, so
+	// the reported blocking path is deterministic).
+	down := make([]int64, len(t.Nodes))
+	next := make([]int, len(t.Nodes))
+	for i := range next {
+		next[i] = -1
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		down[u] = t.Nodes[u].WCETNs
+		for _, v := range succ[u] {
+			if cand := t.Nodes[u].WCETNs + down[v]; cand > down[u] || (cand == down[u] && (next[u] == -1 || v < next[u])) {
+				down[u] = cand
+				next[u] = v
+			}
+		}
+	}
+	start, best := -1, int64(0)
+	for u := range t.Nodes {
+		if down[u] > best || (down[u] == best && (start == -1 || u < start)) {
+			start, best = u, down[u]
+		}
+	}
+	var path []int
+	for u := start; u != -1; u = next[u] {
+		path = append(path, u)
+	}
+	return best, path
+}

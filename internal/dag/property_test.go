@@ -1,0 +1,147 @@
+package dag
+
+import (
+	"reflect"
+	"testing"
+
+	"hrtsched/internal/sim"
+)
+
+// randDAG draws a random valid task: 2-10 nodes, forward-only edges (so
+// the graph is acyclic by construction and any additional forward edge
+// stays consistent with the same topological order), WCETs of 10-200us,
+// and a deadline drawn between half the critical-path floor and the
+// period so both admissions and both rejection reasons occur.
+func randDAG(r *sim.Rand) Task {
+	n := 2 + r.Intn(9)
+	t := Task{
+		PeriodNs: (5 + r.Int63n(20)) * 1_000_000,
+		Cores:    1 + r.Intn(4),
+	}
+	for i := 0; i < n; i++ {
+		t.Nodes = append(t.Nodes, Node{WCETNs: (10 + r.Int63n(191)) * 1000})
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < 0.3 {
+				t.Edges = append(t.Edges, Edge{From: u, To: v})
+			}
+		}
+	}
+	// Deadlines from generous to impossible, implicit included.
+	switch r.Intn(4) {
+	case 0:
+		t.DeadlineNs = 0 // implicit (= period)
+	case 1:
+		t.DeadlineNs = t.PeriodNs / 2
+	case 2:
+		t.DeadlineNs = 200_000 + r.Int63n(1_000_000)
+	case 3:
+		t.DeadlineNs = 50_000 + r.Int63n(200_000)
+	}
+	return t
+}
+
+// missingForwardEdges lists every (u,v) with u < v not already an edge —
+// the candidate set for monotonicity probes.
+func missingForwardEdges(t *Task) []Edge {
+	have := make(map[Edge]bool, len(t.Edges))
+	for _, e := range t.Edges {
+		have[e] = true
+	}
+	var out []Edge
+	for u := 0; u < len(t.Nodes); u++ {
+		for v := u + 1; v < len(t.Nodes); v++ {
+			if e := (Edge{From: u, To: v}); !have[e] {
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}
+
+// TestRTAPropertyRandomDAGs is the analysis property suite over seeded
+// random DAGs:
+//
+//  1. Determinism — analyzing the same task twice (for every registered
+//     analyzer) yields deeply equal Results, blocking paths included.
+//  2. Classical edge-monotonicity — adding one precedence edge never
+//     shrinks the classical bound and never turns a rejection into an
+//     admission (the bound moves by delta*(1-1/m) >= 0 when the critical
+//     path grows by delta and the volume is unchanged).
+//  3. Alpha-beta tightness — the interference-set bound is never looser
+//     than classical on the same task, for both priority policies.
+func TestRTAPropertyRandomDAGs(t *testing.T) {
+	const trials = 400
+	rng := sim.NewRand(0xda6)
+
+	var admitted, rejected, probes int
+	for trial := 0; trial < trials; trial++ {
+		r := rng.Split()
+		task := randDAG(r)
+		if err := task.Validate(); err != nil {
+			t.Fatalf("trial %d: generator produced invalid task: %v", trial, err)
+		}
+
+		classical := Classical{}.Analyze(&task)
+		if classical.Admit {
+			admitted++
+		} else {
+			rejected++
+		}
+
+		// 1. Determinism across every registered analyzer.
+		for _, name := range AnalyzerNames() {
+			a, err := NewAnalyzer(name)
+			if err != nil {
+				t.Fatalf("NewAnalyzer(%q): %v", name, err)
+			}
+			first, second := a.Analyze(&task), a.Analyze(&task)
+			if !reflect.DeepEqual(first, second) {
+				t.Fatalf("trial %d: %s not deterministic\nfirst  %+v\nsecond %+v",
+					trial, name, first, second)
+			}
+		}
+
+		// 2. Classical monotonicity under one extra forward edge.
+		if missing := missingForwardEdges(&task); len(missing) > 0 {
+			grown := task
+			grown.Edges = append(append([]Edge{}, task.Edges...),
+				missing[r.Intn(len(missing))])
+			after := Classical{}.Analyze(&grown)
+			if after.BoundNs < classical.BoundNs {
+				t.Fatalf("trial %d: adding edge shrank classical bound %d -> %d\ntask %+v",
+					trial, classical.BoundNs, after.BoundNs, task)
+			}
+			if !classical.Admit && after.Admit {
+				t.Fatalf("trial %d: adding an edge flipped REJECT to ADMIT\nbefore %+v\nafter  %+v",
+					trial, classical, after)
+			}
+			probes++
+		}
+
+		// 3. Alpha-beta never looser than classical, either policy.
+		for _, ab := range []Analyzer{
+			AlphaBeta{},
+			AlphaBeta{Policy: TopoOrderPolicy{}},
+		} {
+			res := ab.Analyze(&task)
+			if res.BoundNs > classical.BoundNs {
+				t.Fatalf("trial %d: %s bound %d looser than classical %d\ntask %+v",
+					trial, ab.Name(), res.BoundNs, classical.BoundNs, task)
+			}
+			if classical.Admit && !res.Admit {
+				t.Fatalf("trial %d: %s rejected a classically-admitted task\ntask %+v",
+					trial, ab.Name(), task)
+			}
+		}
+	}
+
+	// The property is vacuous unless both verdicts and the probe occurred.
+	if admitted == 0 || rejected == 0 || probes == 0 {
+		t.Fatalf("trials did not exercise all outcomes: %d admitted, %d rejected, %d probes",
+			admitted, rejected, probes)
+	}
+	t.Logf("%d trials: %d admitted, %d rejected, %d monotonicity probes",
+		trials, admitted, rejected, probes)
+}

@@ -573,3 +573,135 @@ func TestStoreLogBatchAfterClose(t *testing.T) {
 		t.Fatalf("LogBatch after close: %v", err)
 	}
 }
+
+func dagMeta() *DAGMeta {
+	return &DAGMeta{
+		Cores: 4, PeriodNs: 1_000_000, DeadlineNs: 800_000, BoundNs: 400_000,
+		Analyzer: "dag-classical",
+		WCETNs:   []int64{50_000, 80_000, 30_000},
+		Edges:    [][2]int{{0, 1}, {0, 2}, {1, 2}},
+	}
+}
+
+func TestDAGRecordEncodeDecodeRoundtrip(t *testing.T) {
+	recs := []Record{
+		{Kind: KindPlaceDAG, Origin: OriginClient, Node: 3, ID: "dag-a",
+			Tasks: plan.TaskSet{{PeriodNs: 1_000_000, SliceNs: 400_000}}, DAG: dagMeta()},
+		{Kind: KindPlaceDAG, Origin: OriginRebalance, Node: 0, ID: "dag-b",
+			Tasks: plan.TaskSet{{PeriodNs: 2_000_000, SliceNs: 100_000}},
+			DAG:   &DAGMeta{Cores: 1, PeriodNs: 2_000_000, DeadlineNs: 2_000_000, BoundNs: 100_000, Analyzer: "dag-ab", WCETNs: []int64{100_000}}},
+	}
+	for i, r := range recs {
+		p, err := r.Encode()
+		if err != nil {
+			t.Fatalf("dag record %d encode: %v", i, err)
+		}
+		got, err := DecodeRecord(p)
+		if err != nil {
+			t.Fatalf("dag record %d decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, r) {
+			t.Fatalf("dag record %d roundtrip:\n got %+v\nwant %+v", i, got, r)
+		}
+	}
+	// DAG meta on a plain kind, or a DAG kind without meta, refuses to encode.
+	bad := []Record{
+		{Kind: KindPlace, Origin: OriginClient, ID: "x", Tasks: taskSet(1, 1000), DAG: dagMeta()},
+		{Kind: KindPlaceDAG, Origin: OriginClient, ID: "x", Tasks: taskSet(1, 1000)},
+		{Kind: KindPlaceDAG, Origin: OriginClient, ID: "x", Tasks: taskSet(1, 1000),
+			DAG: &DAGMeta{Cores: 2, WCETNs: []int64{1}, Edges: [][2]int{{0, 5}}}},
+	}
+	for i, r := range bad {
+		if _, err := r.Encode(); err == nil {
+			t.Errorf("bad dag record %d encoded: %+v", i, r)
+		}
+	}
+	// Truncating anywhere inside the DAG section must not decode.
+	good, err := recs[0].Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	base := 10 + len(recs[0].ID) + 16*len(recs[0].Tasks) // prefix shared with KindPlace
+	for cut := base; cut < len(good); cut++ {
+		if _, err := DecodeRecord(good[:cut]); err == nil {
+			t.Fatalf("dag record truncated at %d decoded", cut)
+		}
+	}
+}
+
+func TestStateAppliesDAGPlacements(t *testing.T) {
+	st := NewState(1)
+	meta := dagMeta()
+	r := Record{Kind: KindPlaceDAG, Origin: OriginClient, Node: 0, ID: "dag-a",
+		Tasks: plan.TaskSet{{PeriodNs: 1_000_000, SliceNs: 400_000}}, DAG: meta}
+	if !st.Peek(r) {
+		t.Fatalf("Peek refused a fresh DAG place")
+	}
+	if got := st.Apply(r); !reflect.DeepEqual(got, r.Tasks) {
+		t.Fatalf("Apply returned %+v", got)
+	}
+	if e := st.Nodes[0][0]; e.DAG == nil || e.DAG.BoundNs != meta.BoundNs {
+		t.Fatalf("entry lost DAG meta: %+v", e)
+	}
+	if st.Counters.Placed != 1 {
+		t.Fatalf("counters = %+v", st.Counters)
+	}
+	// Removal resolves and clears it like any other placement.
+	rm := Record{Kind: KindRemove, Origin: OriginClient, Node: 0, ID: "dag-a"}
+	if got := st.Resolve(rm); !reflect.DeepEqual(got, r.Tasks) {
+		t.Fatalf("Resolve = %+v", got)
+	}
+	st.Apply(rm)
+	if len(st.Nodes[0]) != 0 || st.Counters.Removed != 1 {
+		t.Fatalf("post-remove state: %+v", st)
+	}
+}
+
+func TestReplayFailsLoudOnUnknownKind(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, NumNodes: 1, Spec: testSpec}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := s.Replay(alwaysApply); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if err := s.LogBatch([]Record{{Kind: KindPlace, Origin: OriginClient, Node: 0, ID: "a", Tasks: taskSet(1, 100_000)}}); err != nil {
+		t.Fatalf("LogBatch: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// A newer writer appends a record kind this build has never heard of.
+	future, err := Record{Kind: KindPlace, Origin: OriginClient, Node: 0, ID: "b", Tasks: taskSet(1, 100_000)}.Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	future[0] = 7
+	l, _, err := wal.Open(wal.Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("wal.Open: %v", err)
+	}
+	if _, err := l.Append(future); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("wal close: %v", err)
+	}
+
+	s2, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	err = s2.Replay(alwaysApply)
+	var unknown *UnknownKindError
+	if !errors.As(err, &unknown) {
+		t.Fatalf("replay of unknown kind: err = %v, want *UnknownKindError", err)
+	}
+	if unknown.Kind != 7 {
+		t.Fatalf("UnknownKindError.Kind = %d, want 7", unknown.Kind)
+	}
+}

@@ -2,10 +2,14 @@ package durable
 
 import "hrtsched/internal/plan"
 
-// Entry is one placed set on one node, in admission order.
+// Entry is one placed set on one node, in admission order. DAG is set
+// only for placements committed by a KindPlaceDAG record; it is omitted
+// from snapshots otherwise, so snapshots of DAG-free sessions stay
+// byte-identical to previous releases.
 type Entry struct {
 	ID    string       `json:"id"`
 	Tasks plan.TaskSet `json:"tasks"`
+	DAG   *DAGMeta     `json:"dag,omitempty"`
 }
 
 // Counters are the durable per-operation totals, rebuilt from record
@@ -16,6 +20,9 @@ type Counters struct {
 	Removed    int64 `json:"removed"`
 	Drained    int64 `json:"drained"`
 	Rebalanced int64 `json:"rebalanced"`
+	// DAGPlaced counts the KindPlaceDAG subset of Placed. omitempty keeps
+	// snapshots of DAG-free sessions byte-identical to previous releases.
+	DAGPlaced int64 `json:"dag_placed,omitempty"`
 }
 
 // State is the shadow replica of the cluster's placement tables. It
@@ -70,7 +77,7 @@ func (st *State) Peek(r Record) bool {
 	}
 	onNode := st.entryIndex(r)
 	switch r.Kind {
-	case KindPlace:
+	case KindPlace, KindPlaceDAG:
 		return len(r.Tasks) > 0 && onNode < 0
 	case KindRemove:
 		return onNode >= 0
@@ -81,7 +88,7 @@ func (st *State) Peek(r Record) bool {
 // Resolve returns the task set r operates on: the record's own tasks for
 // a place, the stored entry's tasks for a remove (nil when Peek fails).
 func (st *State) Resolve(r Record) plan.TaskSet {
-	if r.Kind == KindPlace {
+	if r.Kind == KindPlace || r.Kind == KindPlaceDAG {
 		return r.Tasks
 	}
 	if r.Node < 0 || r.Node >= len(st.Nodes) {
@@ -97,13 +104,16 @@ func (st *State) Resolve(r Record) plan.TaskSet {
 // affected task set.
 func (st *State) Apply(r Record) plan.TaskSet {
 	switch r.Kind {
-	case KindPlace:
+	case KindPlace, KindPlaceDAG:
 		tasks := append(plan.TaskSet(nil), r.Tasks...)
-		st.Nodes[r.Node] = append(st.Nodes[r.Node], Entry{ID: r.ID, Tasks: tasks})
+		st.Nodes[r.Node] = append(st.Nodes[r.Node], Entry{ID: r.ID, Tasks: tasks, DAG: r.DAG})
 		st.Placements[r.ID] = r.Node
 		switch r.Origin {
 		case OriginClient:
 			st.Counters.Placed++
+			if r.Kind == KindPlaceDAG {
+				st.Counters.DAGPlaced++
+			}
 		case OriginDrain:
 			st.Counters.Drained++
 		case OriginRebalance:

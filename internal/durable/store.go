@@ -202,12 +202,19 @@ func (s *Store) Recovery() RecoveryResult { return s.recovery }
 // Replay streams the WAL suffix past the snapshot through apply in
 // commit order. apply reports whether the engine accepted the record;
 // refusals (and records that no longer fit the shadow) are counted as
-// rejected and consistently skipped on both sides. Must run before the
-// first LogBatch.
+// rejected and consistently skipped on both sides. A record whose kind
+// byte this build does not know aborts replay with *UnknownKindError:
+// it means the log came from a newer writer, and skipping it would
+// silently diverge from the state that writer rebuilds. Must run before
+// the first LogBatch.
 func (s *Store) Replay(apply func(r Record, tasks plan.TaskSet) bool) error {
 	err := s.log.Replay(s.recovery.SnapshotLSN+1, func(lsn uint64, payload []byte) error {
 		rec, derr := DecodeRecord(payload)
 		if derr != nil {
+			var unknown *UnknownKindError
+			if errors.As(derr, &unknown) {
+				return fmt.Errorf("durable: replay lsn %d: %w", lsn, derr)
+			}
 			s.recovery.Rejected++
 			return nil
 		}

@@ -1,0 +1,162 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Analysis is the pluggable admission-analysis contract: everything the
+// serving layer needs from a schedulability theory, behind one interface.
+// An implementation answers stateless verdicts (Analyze/AnalyzeGang),
+// what-if capacity probes, and manufactures stateful incremental engines
+// for per-node delta admission. Implementations must be deterministic and
+// side-effect-free: equal (spec, canonical set) inputs produce identical
+// verdicts, and an Engine's committed verdict must stay equivalent (see
+// VerdictsEquivalent) to a from-scratch Analyze of its committed set —
+// the planverify build enforces exactly that.
+type Analysis interface {
+	// Name is the registry name of the analysis (stable, wire-visible).
+	Name() string
+	// Spec returns the platform spec verdicts are computed under.
+	Spec() Spec
+	// Analyze returns the admission verdict for one task set.
+	Analyze(set TaskSet) Verdict
+	// AnalyzeGang answers all-or-nothing group admission: the verdict of
+	// existing and gang combined.
+	AnalyzeGang(existing, gang TaskSet) Verdict
+	// Capacity produces the what-if headroom report for a CPU running set.
+	Capacity(set TaskSet, probePeriodNs int64) CapacityReport
+	// NewEngine creates an empty incremental engine whose verdicts agree
+	// with Analyze on every committed set.
+	NewEngine() Engine
+}
+
+// Engine is the stateful half of an Analysis: a per-CPU (or per-node)
+// admission engine that commits admitted sets and answers single-delta
+// questions without re-analyzing from scratch. *Incremental is the
+// default implementation; the interface is exactly its method set, so
+// any committed-set invariant documented there binds every plug-in.
+// Engines are not safe for concurrent use.
+type Engine interface {
+	// Spec returns the platform spec the engine analyzes under.
+	Spec() Spec
+	// Len returns the number of committed tasks.
+	Len() int
+	// Tasks returns a copy of the committed task set in admission order.
+	Tasks() TaskSet
+	// Hyperperiod returns the committed set's hyperperiod (0 when empty).
+	Hyperperiod() int64
+	// Utilization returns the committed set's summed utilization.
+	Utilization() float64
+	// Verdict returns the verdict of the committed set.
+	Verdict() Verdict
+	// Stats reports how many operations took each decision path.
+	Stats() IncrementalStats
+	// Reset empties the engine.
+	Reset()
+	// Restore replaces the committed set wholesale, committing regardless
+	// of the verdict (the crash-recovery path).
+	Restore(tasks TaskSet) Verdict
+	// Add evaluates the committed set plus one task, committing on admit.
+	Add(t Task) Verdict
+	// TryGang evaluates the committed set plus a gang, all-or-nothing.
+	TryGang(gang TaskSet) Verdict
+	// Remove evicts one committed task matching t; false when unmatched.
+	Remove(t Task) (Verdict, bool)
+	// RemoveGang evicts one committed instance of every gang member,
+	// all-or-nothing; false (and no change) when any member is unmatched.
+	RemoveGang(gang TaskSet) (Verdict, bool)
+}
+
+// Compile-time proof that the incumbent implementation satisfies the
+// interface it was refactored behind.
+var _ Engine = (*Incremental)(nil)
+
+// DefaultAnalysisName names the incumbent analysis: the closed-form EDF
+// utilization bound plus the overhead-charging hyperperiod simulation.
+const DefaultAnalysisName = "edf-hyperperiod"
+
+// Factory builds an Analysis for a spec.
+type Factory func(spec Spec) (Analysis, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Factory{}
+)
+
+// RegisterAnalysis adds a named analysis factory to the registry.
+// Registration normally happens from init; duplicate names panic because
+// two theories answering under one name is a wiring bug, not a runtime
+// condition.
+func RegisterAnalysis(name string, f Factory) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if name == "" || f == nil {
+		panic("plan: RegisterAnalysis with empty name or nil factory")
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("plan: analysis %q registered twice", name))
+	}
+	registry[name] = f
+}
+
+// NewAnalysis builds the named analysis for spec, or an error naming the
+// registered alternatives.
+func NewAnalysis(name string, spec Spec) (Analysis, error) {
+	registryMu.RLock()
+	f := registry[name]
+	registryMu.RUnlock()
+	if f == nil {
+		return nil, fmt.Errorf("plan: unknown analysis %q (have %v)", name, AnalysisNames())
+	}
+	return f(spec)
+}
+
+// AnalysisNames lists the registered analyses, sorted.
+func AnalysisNames() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DefaultEDF returns the default analysis for spec: the exact machinery
+// the package-level Analyze/AnalyzeGang/Capacity/NewIncremental functions
+// run, behind the interface. Its verdicts are those functions' verdicts,
+// bit for bit.
+func DefaultEDF(spec Spec) Analysis { return edfAnalysis{spec: spec} }
+
+// edfAnalysis adapts the package-level EDF machinery to the Analysis
+// interface. It holds no state beyond the spec: every method delegates to
+// the same free functions callers used before the refactor, which is what
+// the planverify bit-identity assertions lean on.
+type edfAnalysis struct {
+	spec Spec
+}
+
+func (a edfAnalysis) Name() string { return DefaultAnalysisName }
+
+func (a edfAnalysis) Spec() Spec { return a.spec }
+
+func (a edfAnalysis) Analyze(set TaskSet) Verdict { return Analyze(a.spec, set) }
+
+func (a edfAnalysis) AnalyzeGang(existing, gang TaskSet) Verdict {
+	return AnalyzeGang(a.spec, existing, gang)
+}
+
+func (a edfAnalysis) Capacity(set TaskSet, probePeriodNs int64) CapacityReport {
+	return Capacity(a.spec, set, probePeriodNs)
+}
+
+func (a edfAnalysis) NewEngine() Engine { return NewIncremental(a.spec) }
+
+func init() {
+	RegisterAnalysis(DefaultAnalysisName, func(spec Spec) (Analysis, error) {
+		return DefaultEDF(spec), nil
+	})
+}

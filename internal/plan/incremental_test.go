@@ -130,73 +130,123 @@ func TestIncrementalBadTaskAndConservativeReasons(t *testing.T) {
 }
 
 // TestIncrementalPropertyRandomSequences is the planverify property: over
-// 1000 seeded random add/remove/gang sequences, every Incremental verdict
-// must be equivalent to the full Analyze of the same candidate set. Under
+// 1000 seeded random add/remove/gang sequences, every engine verdict must
+// be equivalent to the full analysis of the same candidate set. The whole
+// property runs through the Analysis interface — the engine comes from the
+// registry's NewEngine and the oracles are the interface Analyze and
+// AnalyzeGang — so registry dispatch is proven to change nothing. Under
 // `-tags planverify` the engine additionally self-checks every verdict.
 func TestIncrementalPropertyRandomSequences(t *testing.T) {
 	const sequences = 1000
 	periods := []int64{50_000, 100_000, 200_000, 400_000, 1_000_000, 999_983}
 	rng := sim.NewRand(0x19c7e)
 
+	analysis, err := NewAnalysis(DefaultAnalysisName, specPhi79)
+	if err != nil {
+		t.Fatal(err)
+	}
+
 	var totals IncrementalStats
+	var gangRemovals int
 	for seq := 0; seq < sequences; seq++ {
 		r := rng.Split()
-		inc := NewIncremental(specPhi79)
+		var eng Engine = analysis.NewEngine()
 		var mirror TaskSet
 		ops := 8 + r.Intn(6)
 		for op := 0; op < ops; op++ {
-			if len(mirror) > 0 && r.Float64() < 0.35 {
+			roll := r.Float64()
+			switch {
+			case len(mirror) > 1 && roll < 0.12:
+				// Multi-task gang removal: evict 2-3 distinct committed
+				// instances at once. The engine consumes the first
+				// committed instance equal to each member, so mirror that.
+				k := 2 + r.Intn(2)
+				if k > len(mirror) {
+					k = len(mirror)
+				}
+				gang := TaskSet{}
+				for _, i := range r.Perm(len(mirror))[:k] {
+					gang = append(gang, mirror[i])
+				}
+				candidate := removeFirstEqual(mirror, gang)
+				v, found := eng.RemoveGang(gang)
+				if !found {
+					t.Fatalf("seq %d op %d: committed gang %v not found", seq, op, gang)
+				}
+				if want := analysis.Analyze(candidate); !VerdictsEquivalent(v, want) {
+					t.Fatalf("seq %d op %d: gang-remove verdict diverges\nset  %v\ninc  %+v\nfull %+v",
+						seq, op, candidate, v, want)
+				}
+				mirror = candidate
+				gangRemovals++
+
+			case len(mirror) > 0 && roll < 0.35:
 				// Remove a random committed task; the engine evicts the
 				// first committed instance equal to it, so mirror that.
 				victim := mirror[r.Intn(len(mirror))]
-				var candidate TaskSet
-				dropped := false
-				for _, task := range mirror {
-					if !dropped && task == victim {
-						dropped = true
-						continue
-					}
-					candidate = append(candidate, task)
-				}
-				v, found := inc.Remove(victim)
+				candidate := removeFirstEqual(mirror, TaskSet{victim})
+				v, found := eng.Remove(victim)
 				if !found {
 					t.Fatalf("seq %d op %d: committed task %v not found", seq, op, victim)
 				}
-				if want := Analyze(specPhi79, candidate); !VerdictsEquivalent(v, want) {
+				if want := analysis.Analyze(candidate); !VerdictsEquivalent(v, want) {
 					t.Fatalf("seq %d op %d: remove verdict diverges\nset  %v\ninc  %+v\nfull %+v",
 						seq, op, candidate, v, want)
 				}
 				mirror = candidate
-				continue
-			}
 
-			gang := TaskSet{randTask(r, periods)}
-			for r.Float64() < 0.2 { // occasional multi-task gang
-				gang = append(gang, randTask(r, periods))
-			}
-			candidate := append(append(TaskSet{}, mirror...), gang...)
-			v := inc.TryGang(gang)
-			if want := Analyze(specPhi79, candidate); !VerdictsEquivalent(v, want) {
-				t.Fatalf("seq %d op %d: gang verdict diverges\nset  %v\ninc  %+v\nfull %+v",
-					seq, op, candidate, v, want)
-			}
-			if v.Admit {
-				mirror = candidate
+			default:
+				gang := TaskSet{randTask(r, periods)}
+				for r.Float64() < 0.2 { // occasional multi-task gang
+					gang = append(gang, randTask(r, periods))
+				}
+				candidate := append(append(TaskSet{}, mirror...), gang...)
+				v := eng.TryGang(gang)
+				if want := analysis.AnalyzeGang(mirror, gang); !VerdictsEquivalent(v, want) {
+					t.Fatalf("seq %d op %d: gang verdict diverges\nset  %v\ninc  %+v\nfull %+v",
+						seq, op, candidate, v, want)
+				}
+				if v.Admit {
+					mirror = candidate
+				}
 			}
 		}
-		if want := Analyze(specPhi79, mirror); !VerdictsEquivalent(inc.Verdict(), want) {
+		if want := analysis.Analyze(mirror); !VerdictsEquivalent(eng.Verdict(), want) {
 			t.Fatalf("seq %d: final committed verdict diverges\nset  %v\ninc  %+v\nfull %+v",
-				seq, mirror, inc.Verdict(), want)
+				seq, mirror, eng.Verdict(), want)
 		}
-		s := inc.Stats()
+		s := eng.Stats()
 		totals.IncrementalOps += s.IncrementalOps
 		totals.FullAnalyses += s.FullAnalyses
 	}
-	// The property is only meaningful if both paths were actually hit.
-	if totals.IncrementalOps == 0 || totals.FullAnalyses == 0 {
-		t.Fatalf("random sequences did not exercise both paths: %+v", totals)
+	// The property is only meaningful if every path was actually hit.
+	if totals.IncrementalOps == 0 || totals.FullAnalyses == 0 || gangRemovals == 0 {
+		t.Fatalf("random sequences did not exercise all paths: %+v, %d gang removals",
+			totals, gangRemovals)
 	}
-	t.Logf("paths over %d sequences: %+v (verify tag: %v)", sequences, totals, VerifyEnabled)
+	t.Logf("paths over %d sequences: %+v, %d gang removals (verify tag: %v)",
+		sequences, totals, gangRemovals, VerifyEnabled)
+}
+
+// removeFirstEqual mirrors the engine's multiset removal: each gang member
+// consumes the first unconsumed instance of set equal to it.
+func removeFirstEqual(set, gang TaskSet) TaskSet {
+	drop := make(map[int]bool, len(gang))
+	for _, g := range gang {
+		for i, t := range set {
+			if !drop[i] && t == g {
+				drop[i] = true
+				break
+			}
+		}
+	}
+	out := make(TaskSet, 0, len(set)-len(gang))
+	for i, t := range set {
+		if !drop[i] {
+			out = append(out, t)
+		}
+	}
+	return out
 }
 
 // randTask draws a mostly-wellformed task; a small fraction is malformed

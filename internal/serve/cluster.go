@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"hrtsched/internal/core"
+	"hrtsched/internal/dag"
 	"hrtsched/internal/durable"
 	"hrtsched/internal/plan"
 	"hrtsched/internal/repl"
@@ -56,6 +57,14 @@ type Cluster struct {
 	canceled   atomic.Int64
 	unmatched  atomic.Int64
 
+	// DAG submission counters. dagPlaced counts committed DAG placements
+	// (on apply in replicated mode, identically on every replica); the
+	// rest count on the submitting leader only.
+	dagSubmitted atomic.Int64
+	dagAdmitted  atomic.Int64
+	dagRejected  atomic.Int64
+	dagPlaced    atomic.Int64
+
 	// store, when non-nil, makes every committed mutation durable before
 	// its client reply; recovery holds what boot-time recovery found.
 	store    *durable.Store
@@ -79,7 +88,8 @@ type placementRec struct {
 	node    int
 	set     plan.TaskSet
 	util    float64
-	pending bool // a mutation for this id is in flight
+	dag     *durable.DAGMeta // provenance when the placement is a DAG reservation
+	pending bool             // a mutation for this id is in flight
 	// committed marks (replicated mode) that the consensus apply loop has
 	// folded this id's place record in: an indeterminate reply must not
 	// delete a placement the replicated log already holds.
@@ -125,6 +135,11 @@ func ParsePolicy(s string) (Policy, error) {
 type ClusterConfig struct {
 	// Spec is the per-node platform model every admission runs against.
 	Spec plan.Spec
+	// Analysis is the admission analysis every node engine dispatches
+	// through; default the registered plan.DefaultAnalysisName plug-in
+	// (EDF utilization bound + hyperperiod simulation) for Spec. A non-nil
+	// Analysis must report the same Spec.
+	Analysis plan.Analysis
 	// Nodes is the number of simulated nodes; default 4.
 	Nodes int
 	// Policy selects candidate-node ordering; default FirstFit.
@@ -158,6 +173,9 @@ func (c *ClusterConfig) fillDefaults() {
 	if c.FlushWindow == 0 {
 		c.FlushWindow = 200 * time.Microsecond
 	}
+	if c.Analysis == nil {
+		c.Analysis = plan.DefaultEDF(c.Spec)
+	}
 }
 
 // Validate rejects nonsensical settings.
@@ -173,6 +191,10 @@ func (c ClusterConfig) Validate() error {
 	}
 	if c.Spec.UtilizationLimit <= 0 || c.Spec.UtilizationLimit > 1 {
 		return fmt.Errorf("serve: utilization limit %g outside (0,1]", c.Spec.UtilizationLimit)
+	}
+	if c.Analysis != nil && c.Analysis.Spec() != c.Spec {
+		return fmt.Errorf("serve: analysis %q spec %+v disagrees with cluster spec %+v",
+			c.Analysis.Name(), c.Analysis.Spec(), c.Spec)
 	}
 	if c.Durability != nil && c.Durability.Dir == "" {
 		return errors.New("serve: Durability.Dir is required when durability is enabled")
@@ -209,7 +231,10 @@ type mutation struct {
 	// (but still set) when durability is off.
 	id     string
 	origin durable.Origin
-	done   chan mutResult
+	// dag, when non-nil, marks a place as a DAG reservation: the record is
+	// logged as KindPlaceDAG carrying this provenance.
+	dag  *durable.DAGMeta
+	done chan mutResult
 }
 
 type mutResult struct {
@@ -227,9 +252,11 @@ type mutResult struct {
 }
 
 type node struct {
-	id  int
-	ch  chan *mutation
-	eng *plan.Incremental
+	id int
+	ch chan *mutation
+	// eng is created through the configured plan.Analysis, so every
+	// cluster verdict dispatches through the interface.
+	eng plan.Engine
 	// engMu guards eng in replicated mode only, where the consensus apply
 	// loop mutates it alongside the worker's evaluation pass. Single-node
 	// mode never locks it: the worker is the only engine toucher.
@@ -316,7 +343,7 @@ func newCluster(cfg ClusterConfig) (*Cluster, error) {
 		c.nodes[i] = &node{
 			id:  i,
 			ch:  make(chan *mutation, cfg.QueueDepth),
-			eng: plan.NewIncremental(cfg.Spec),
+			eng: cfg.Analysis.NewEngine(),
 		}
 	}
 	return c, nil
@@ -382,14 +409,20 @@ func (c *Cluster) Place(ctx context.Context, id string, set plan.TaskSet) (Place
 	if err := c.leaderCheck(); err != nil {
 		return PlaceResult{Node: -1}, err
 	}
-	set = append(plan.TaskSet(nil), set...)
+	return c.placeSet(ctx, id, append(plan.TaskSet(nil), set...), nil)
+}
 
+// placeSet is the shared commit path behind Place and PlaceDAG: reserve
+// the id, walk candidates, and commit or roll back the placement record.
+// meta, when non-nil, marks a DAG reservation (logged as KindPlaceDAG).
+func (c *Cluster) placeSet(ctx context.Context, id string, set plan.TaskSet,
+	meta *durable.DAGMeta) (PlaceResult, error) {
 	c.mu.Lock()
 	if _, exists := c.placements[id]; exists {
 		c.mu.Unlock()
 		return PlaceResult{Node: -1}, fmt.Errorf("%w: %q", ErrDuplicateID, id)
 	}
-	rec := &placementRec{node: -1, set: set, pending: true}
+	rec := &placementRec{node: -1, set: set, dag: meta, pending: true}
 	c.placements[id] = rec
 	c.mu.Unlock()
 
@@ -397,7 +430,7 @@ func (c *Cluster) Place(ctx context.Context, id string, set plan.TaskSet) (Place
 	// walk AND the record commit, so once Drain has the barrier, any set
 	// this walk landed on the draining node is visible to its snapshot.
 	c.placeGate.RLock()
-	res, err := c.placeOnCandidates(ctx, id, set, c.candidates(), false, durable.OriginClient)
+	res, err := c.placeOnCandidates(ctx, id, set, c.candidates(), false, durable.OriginClient, meta)
 	c.mu.Lock()
 	switch {
 	case res.Placed:
@@ -426,21 +459,102 @@ func (c *Cluster) Place(ctx context.Context, id string, set plan.TaskSet) (Place
 	}
 	if res.Placed && c.repl == nil {
 		c.placed.Add(1) // replicated mode counts on apply, identically on every replica
+		if meta != nil {
+			c.dagPlaced.Add(1)
+		}
 	}
+	return res, err
+}
+
+// DAGPlaceResult reports one DAG submission: the response-time analysis
+// verdict, the derived periodic server reservation, and (when the
+// analysis admitted) the placement outcome across the nodes.
+type DAGPlaceResult struct {
+	// Placed is true when the analysis admitted AND some node reserved
+	// the derived server task.
+	Placed bool `json:"placed"`
+	// Node is the reserving node, -1 otherwise.
+	Node int `json:"node"`
+	// Attempts is the number of nodes consulted (0 on an analysis reject).
+	Attempts int `json:"attempts"`
+	// Analysis is the RTA verdict, including the blocking path on reject.
+	Analysis dag.Result `json:"analysis"`
+	// ServerTask is the derived reservation (period, slice = bound); zero
+	// when the analysis rejected.
+	ServerTask plan.Task `json:"server_task"`
+	// Verdict is the reserving node's admission verdict (or the last
+	// rejecting node's when every node refused).
+	Verdict plan.Verdict `json:"verdict"`
+}
+
+// PlaceDAG admits one periodic DAG task end to end: validate the graph,
+// run the named response-time analysis (dag.NewAnalyzer names; ""
+// defaults to classical), and — when the bound meets the deadline —
+// reserve the derived periodic server task on the first admitting node,
+// durably logged as a KindPlaceDAG record so replay and replicas rebuild
+// the reservation without re-running the analysis. Structural rejections
+// return a *dag.ValidationError; analytical and placement rejections
+// return Placed=false with a nil error.
+func (c *Cluster) PlaceDAG(ctx context.Context, id string, t dag.Task, analyzer string) (DAGPlaceResult, error) {
+	res := DAGPlaceResult{Node: -1}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if id == "" {
+		return res, errors.New("serve: placement id must not be empty")
+	}
+	if err := c.leaderCheck(); err != nil {
+		return res, err
+	}
+	rta, err := dag.NewAnalyzer(analyzer)
+	if err != nil {
+		return res, err
+	}
+	c.dagSubmitted.Add(1)
+	r, err := dag.New(c.cfg.Spec, rta).AnalyzeDAG(&t)
+	if err != nil {
+		c.dagRejected.Add(1)
+		return res, err
+	}
+	res.Analysis = r
+	if !r.Admit {
+		c.dagRejected.Add(1)
+		return res, nil
+	}
+	c.dagAdmitted.Add(1)
+	res.ServerTask = dag.ServerTask(&t, r)
+
+	meta := &durable.DAGMeta{
+		Cores:      t.Cores,
+		PeriodNs:   t.PeriodNs,
+		DeadlineNs: t.DeadlineNs,
+		BoundNs:    r.BoundNs,
+		Analyzer:   rta.Name(),
+		WCETNs:     make([]int64, len(t.Nodes)),
+		Edges:      make([][2]int, len(t.Edges)),
+	}
+	for i, n := range t.Nodes {
+		meta.WCETNs[i] = n.WCETNs
+	}
+	for i, e := range t.Edges {
+		meta.Edges[i] = [2]int{e.From, e.To}
+	}
+	pres, err := c.placeSet(ctx, id, plan.TaskSet{res.ServerTask}, meta)
+	res.Placed, res.Node, res.Attempts, res.Verdict = pres.Placed, pres.Node, pres.Attempts, pres.Verdict
 	return res, err
 }
 
 // placeOnCandidates walks the candidate nodes in order, returning on the
 // first admit. Session errors (shed, closed, canceled) abort the walk.
 func (c *Cluster) placeOnCandidates(ctx context.Context, id string, set plan.TaskSet,
-	order []*node, allowDraining bool, origin durable.Origin) (PlaceResult, error) {
+	order []*node, allowDraining bool, origin durable.Origin, dag *durable.DAGMeta) (PlaceResult, error) {
 	res := PlaceResult{Node: -1}
 	for _, n := range order {
 		if !allowDraining && n.draining.Load() {
 			continue
 		}
 		res.Attempts++
-		r, err := c.submit(ctx, n, &mutation{op: placeOp, set: set, id: id, origin: origin})
+		r, err := c.submit(ctx, n, &mutation{op: placeOp, set: set, id: id, origin: origin, dag: dag})
 		if err != nil {
 			return res, err
 		}
@@ -698,6 +812,7 @@ func (c *Cluster) moveSet(ctx context.Context, id string, order []*node, home *n
 	}
 	rec.pending = true
 	set := rec.set
+	dagMeta := rec.dag
 	c.mu.Unlock()
 
 	// Never "move" onto the node being vacated: admitting a second copy
@@ -708,7 +823,9 @@ func (c *Cluster) moveSet(ctx context.Context, id string, order []*node, home *n
 			dst = append(dst, n)
 		}
 	}
-	res, err := c.placeOnCandidates(ctx, id, set, dst, false, origin)
+	// A DAG reservation moves as a DAG record, so replay and replicas keep
+	// its provenance no matter which node it lands on.
+	res, err := c.placeOnCandidates(ctx, id, set, dst, false, origin, dagMeta)
 	if err != nil || !res.Placed {
 		c.mu.Lock()
 		rec.pending = false
@@ -875,10 +992,15 @@ func (c *Cluster) applyBatch(n *node, batch []*mutation) {
 			r.verdict = n.eng.TryGang(m.set)
 			r.matched = true
 			if c.store != nil && r.verdict.Admit {
-				recs = append(recs, durable.Record{
+				rec := durable.Record{
 					Kind: durable.KindPlace, Origin: m.origin,
 					Node: n.id, ID: m.id, Tasks: m.set,
-				})
+				}
+				if m.dag != nil {
+					rec.Kind = durable.KindPlaceDAG
+					rec.DAG = m.dag
+				}
+				recs = append(recs, rec)
 			}
 		case removeOp:
 			r.verdict, r.matched = n.eng.RemoveGang(m.set)
@@ -927,6 +1049,9 @@ type ClusterStatus struct {
 	// Unmatched counts removals whose set was not on its recorded node;
 	// any nonzero value means placement state diverged from an engine.
 	Unmatched int64 `json:"unmatched_removals_total"`
+	// DAG reports DAG-submission activity; absent until the session sees
+	// its first DAG (keeping DAG-free status byte-identical).
+	DAG *DAGStatus `json:"dag,omitempty"`
 	// Durability reports WAL/snapshot/recovery health; absent when
 	// durability is off, keeping the disabled status byte-identical.
 	Durability *DurabilityStatus `json:"durability,omitempty"`
@@ -935,13 +1060,30 @@ type ClusterStatus struct {
 	Replication *ReplicationStatus `json:"replication,omitempty"`
 }
 
+// DAGStatus is the DAG block of ClusterStatus.
+type DAGStatus struct {
+	// Placements counts live DAG reservations.
+	Placements int `json:"placements"`
+	// Submitted/Admitted/Rejected count this process's PlaceDAG calls
+	// (admission-analysis outcomes); Placed counts committed DAG
+	// reservations and is restored across recovery and replicated apply.
+	Submitted int64 `json:"submitted_total"`
+	Admitted  int64 `json:"admitted_total"`
+	Rejected  int64 `json:"rejected_total"`
+	Placed    int64 `json:"placed_total"`
+}
+
 // Status snapshots the cluster.
 func (c *Cluster) Status() ClusterStatus {
 	c.mu.Lock()
 	perNode := make(map[int]int64)
+	dagPlacements := 0
 	for _, rec := range c.placements {
 		if !rec.pending {
 			perNode[rec.node]++
+			if rec.dag != nil {
+				dagPlacements++
+			}
 		}
 	}
 	placements := len(c.placements)
@@ -959,6 +1101,15 @@ func (c *Cluster) Status() ClusterStatus {
 		Unmatched:   c.unmatched.Load(),
 		Durability:  c.durabilityStatus(),
 		Replication: c.replicationStatus(),
+	}
+	if d := (DAGStatus{
+		Placements: dagPlacements,
+		Submitted:  c.dagSubmitted.Load(),
+		Admitted:   c.dagAdmitted.Load(),
+		Rejected:   c.dagRejected.Load(),
+		Placed:     c.dagPlaced.Load(),
+	}); d != (DAGStatus{}) {
+		st.DAG = &d
 	}
 	for _, n := range c.nodes {
 		st.Nodes = append(st.Nodes, NodeStatus{
@@ -1003,6 +1154,27 @@ func (c *Cluster) RegisterMetrics(r *Registry) {
 	r.Counter("hrtd_cluster_unmatched_removals_total",
 		"Removals whose set was not on its recorded node (state divergence).",
 		func() float64 { return float64(c.unmatched.Load()) })
+	r.Counter("hrtd_dag_submitted_total", "DAG tasks submitted for admission.",
+		func() float64 { return float64(c.dagSubmitted.Load()) })
+	r.Counter("hrtd_dag_admitted_total", "DAG tasks whose response-time bound met the deadline.",
+		func() float64 { return float64(c.dagAdmitted.Load()) })
+	r.Counter("hrtd_dag_rejected_total",
+		"DAG tasks rejected (structural, path-overrun, or deadline-miss).",
+		func() float64 { return float64(c.dagRejected.Load()) })
+	r.Counter("hrtd_dag_placed_total", "DAG server reservations committed to nodes.",
+		func() float64 { return float64(c.dagPlaced.Load()) })
+	r.Gauge("hrtd_dag_placements", "Live DAG reservations.",
+		func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			n := 0
+			for _, rec := range c.placements {
+				if !rec.pending && rec.dag != nil {
+					n++
+				}
+			}
+			return float64(n)
+		})
 	r.GaugeVec("hrtd_cluster_node_utilization", "Admitted utilization per node.",
 		perNode(func(n *node) float64 { return n.utilization() }))
 	r.GaugeVec("hrtd_cluster_node_tasks", "Admitted tasks per node.",

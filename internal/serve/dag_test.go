@@ -1,0 +1,274 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hrtsched/internal/dag"
+)
+
+// testDAG is a 4-node diamond: critical path 500us, volume 700us, so the
+// classical bound on 2 cores is 600us — admitted against a 1ms deadline
+// within a 10ms period (server utilization 0.06 per reservation).
+func testDAG() dag.Task {
+	return dag.Task{
+		Name: "pipeline",
+		Nodes: []dag.Node{
+			{Name: "src", WCETNs: 100_000},
+			{Name: "left", WCETNs: 300_000},
+			{Name: "right", WCETNs: 200_000},
+			{Name: "sink", WCETNs: 100_000},
+		},
+		Edges:      []dag.Edge{{From: 0, To: 1}, {From: 0, To: 2}, {From: 1, To: 3}, {From: 2, To: 3}},
+		PeriodNs:   10_000_000,
+		DeadlineNs: 1_000_000,
+		Cores:      2,
+	}
+}
+
+func TestClusterPlaceDAG(t *testing.T) {
+	c := newTestCluster(t, ClusterConfig{Nodes: 2})
+
+	res, err := c.PlaceDAG(nil, "dag-a", testDAG(), "")
+	if err != nil || !res.Placed || res.Node != 0 {
+		t.Fatalf("PlaceDAG = %+v, %v", res, err)
+	}
+	if res.Analysis.BoundNs != 600_000 || res.Analysis.Reason != dag.OK {
+		t.Fatalf("analysis = %+v", res.Analysis)
+	}
+	if res.ServerTask.PeriodNs != 10_000_000 || res.ServerTask.SliceNs != 600_000 {
+		t.Fatalf("server task = %+v", res.ServerTask)
+	}
+
+	st := c.Status()
+	if st.DAG == nil || st.DAG.Placements != 1 || st.DAG.Placed != 1 ||
+		st.DAG.Submitted != 1 || st.DAG.Admitted != 1 || st.DAG.Rejected != 0 {
+		t.Fatalf("dag status = %+v", st.DAG)
+	}
+	if st.Placed != 1 || st.Placements != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+
+	// The reservation is an ordinary placement: Remove frees it.
+	if _, err := c.Remove(nil, "dag-a"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if st := c.Status(); st.DAG.Placements != 0 {
+		t.Fatalf("dag placement survived removal: %+v", st.DAG)
+	}
+
+	// Analytical rejection: 200-class outcome, no placement, typed reason.
+	tight := testDAG()
+	tight.DeadlineNs = 550_000
+	res, err = c.PlaceDAG(nil, "dag-b", tight, "")
+	if err != nil || res.Placed || res.Analysis.Reason != dag.DeadlineMiss {
+		t.Fatalf("tight deadline: %+v, %v", res, err)
+	}
+	if res.Attempts != 0 {
+		t.Fatalf("rejected analysis consulted nodes: %+v", res)
+	}
+	if st := c.Status(); st.DAG.Rejected != 1 || st.Placements != 0 {
+		t.Fatalf("post-reject status: %+v", st.DAG)
+	}
+
+	// Structural rejection: typed *dag.ValidationError.
+	cyclic := testDAG()
+	cyclic.Edges = append(cyclic.Edges, dag.Edge{From: 3, To: 0})
+	var verr *dag.ValidationError
+	if _, err := c.PlaceDAG(nil, "dag-c", cyclic, ""); !errors.As(err, &verr) || verr.Code != dag.ErrCycle {
+		t.Fatalf("cyclic PlaceDAG error = %v", err)
+	}
+
+	// Unknown analyzer: an error before anything is counted or reserved.
+	if _, err := c.PlaceDAG(nil, "dag-d", testDAG(), "bogus"); err == nil {
+		t.Fatal("unknown analyzer accepted")
+	}
+}
+
+func TestClusterPlaceDAGAlphaBetaNoLooser(t *testing.T) {
+	c := newTestCluster(t, ClusterConfig{Nodes: 1})
+	classical, err := c.PlaceDAG(nil, "cls", testDAG(), "classical")
+	if err != nil {
+		t.Fatalf("classical: %v", err)
+	}
+	ab, err := c.PlaceDAG(nil, "ab", testDAG(), "alpha-beta")
+	if err != nil {
+		t.Fatalf("alpha-beta: %v", err)
+	}
+	if ab.Analysis.BoundNs > classical.Analysis.BoundNs {
+		t.Fatalf("alpha-beta bound %d looser than classical %d",
+			ab.Analysis.BoundNs, classical.Analysis.BoundNs)
+	}
+}
+
+// TestClusterDAGSurvivesRestart proves a DAG reservation rebuilds from the
+// durable log with its provenance — without re-running the analysis.
+func TestClusterDAGSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	c := newTestCluster(t, ClusterConfig{Nodes: 2, Durability: &DurabilityConfig{Dir: dir}})
+	res, err := c.PlaceDAG(nil, "dag-a", testDAG(), "alpha-beta")
+	if err != nil || !res.Placed {
+		t.Fatalf("PlaceDAG = %+v, %v", res, err)
+	}
+	if _, err := c.Place(nil, "periodic-a", setOfUtil(0.2)); err != nil {
+		t.Fatalf("Place: %v", err)
+	}
+	before := c.Status()
+	c.Close()
+
+	c2 := newTestCluster(t, ClusterConfig{Nodes: 2, Durability: &DurabilityConfig{Dir: dir}})
+	after := c2.Status()
+	if after.Placements != 2 || after.Placed != before.Placed {
+		t.Fatalf("recovered status = %+v, want placements/placed of %+v", after, before)
+	}
+	if after.DAG == nil || after.DAG.Placements != 1 || after.DAG.Placed != 1 {
+		t.Fatalf("recovered dag status = %+v", after.DAG)
+	}
+	c2.mu.Lock()
+	rec := c2.placements["dag-a"]
+	c2.mu.Unlock()
+	if rec == nil || rec.dag == nil {
+		t.Fatalf("recovered placement lost its DAG provenance: %+v", rec)
+	}
+	if rec.dag.Analyzer != "alpha-beta/longest-path-first" || rec.dag.BoundNs != res.Analysis.BoundNs {
+		t.Fatalf("recovered meta = %+v", rec.dag)
+	}
+	if len(rec.set) != 1 || rec.set[0] != res.ServerTask {
+		t.Fatalf("recovered server task = %+v, want %+v", rec.set[0], res.ServerTask)
+	}
+
+	// The recovered reservation still behaves like a placement: removable.
+	if _, err := c2.Remove(nil, "dag-a"); err != nil {
+		t.Fatalf("Remove after recovery: %v", err)
+	}
+}
+
+func TestHTTPDAGEndpoints(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 1})
+	c := newTestCluster(t, ClusterConfig{Nodes: 2})
+	ts := httptest.NewServer(s.HandlerWithCluster(c))
+	defer ts.Close()
+
+	dagJSON := func(mutate func(*dag.Task)) string {
+		d := testDAG()
+		if mutate != nil {
+			mutate(&d)
+		}
+		b, err := json.Marshal(d)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return string(b)
+	}
+
+	// Analyze only: no reservation.
+	code, body, _ := postJSON(t, ts.URL+"/v1/dag/analyze", `{"task":`+dagJSON(nil)+`}`)
+	if code != http.StatusOK {
+		t.Fatalf("analyze: %d %s", code, body)
+	}
+	var ar dag.Result
+	if err := json.Unmarshal([]byte(body), &ar); err != nil || !ar.Admit || ar.BoundNs != 600_000 {
+		t.Fatalf("analyze result: %s (%v)", body, err)
+	}
+	if st := c.Status(); st.DAG != nil && st.DAG.Placements != 0 {
+		t.Fatalf("analyze reserved something: %+v", st.DAG)
+	}
+
+	// Place.
+	code, body, _ = postJSON(t, ts.URL+"/v1/dag/place", `{"id":"dag-a","task":`+dagJSON(nil)+`}`)
+	if code != http.StatusOK {
+		t.Fatalf("place: %d %s", code, body)
+	}
+	var res DAGPlaceResult
+	if err := json.Unmarshal([]byte(body), &res); err != nil || !res.Placed || res.Node != 0 {
+		t.Fatalf("place result: %s (%v)", body, err)
+	}
+
+	// Duplicate id: 409 conflict.
+	code, body, _ = postJSON(t, ts.URL+"/v1/dag/place", `{"id":"dag-a","task":`+dagJSON(nil)+`}`)
+	var e apiError
+	json.Unmarshal([]byte(body), &e) //nolint:errcheck
+	if code != http.StatusConflict || e.Code != "conflict" {
+		t.Fatalf("duplicate: %d %s", code, body)
+	}
+
+	// Structural rejection: 422 with the typed code and blocking path.
+	code, body, _ = postJSON(t, ts.URL+"/v1/dag/place",
+		`{"id":"dag-b","task":`+dagJSON(func(d *dag.Task) {
+			d.Edges = append(d.Edges, dag.Edge{From: 3, To: 0})
+		})+`}`)
+	json.Unmarshal([]byte(body), &e) //nolint:errcheck
+	if code != http.StatusUnprocessableEntity || e.Code != "invalid_dag" || e.DAGCode != "cycle" {
+		t.Fatalf("cyclic: %d %s", code, body)
+	}
+	if len(e.BlockingPath) == 0 {
+		t.Fatalf("cycle rejection lacks blocking path: %s", body)
+	}
+
+	// Analytical rejection: 200 with the typed reason and blocking path.
+	code, body, _ = postJSON(t, ts.URL+"/v1/dag/place",
+		`{"id":"dag-c","task":`+dagJSON(func(d *dag.Task) { d.DeadlineNs = 400_000 })+`}`)
+	if code != http.StatusOK {
+		t.Fatalf("overrun place: %d %s", code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &res); err != nil || res.Placed ||
+		res.Analysis.Reason != dag.PathOverrun || len(res.Analysis.BlockingPath) == 0 {
+		t.Fatalf("overrun result: %s (%v)", body, err)
+	}
+
+	// Unknown analyzer: 400.
+	code, body, _ = postJSON(t, ts.URL+"/v1/dag/analyze",
+		`{"task":`+dagJSON(nil)+`,"analyzer":"bogus"}`)
+	json.Unmarshal([]byte(body), &e) //nolint:errcheck
+	if code != http.StatusBadRequest || e.Code != "bad_request" {
+		t.Fatalf("bogus analyzer: %d %s", code, body)
+	}
+
+	// Unknown fields rejected like every other v1 route.
+	code, body, _ = postJSON(t, ts.URL+"/v1/dag/place", `{"nope":1}`)
+	if code != http.StatusBadRequest || !strings.Contains(body, "bad_request") {
+		t.Fatalf("unknown field: %d %s", code, body)
+	}
+
+	// Status reports the DAG block.
+	resp, err := http.Get(ts.URL + "/v1/cluster/status")
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	var st ClusterStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("status decode: %v", err)
+	}
+	resp.Body.Close()
+	if st.DAG == nil || st.DAG.Placements != 1 {
+		t.Fatalf("status dag block: %+v", st.DAG)
+	}
+}
+
+// BenchmarkDAGAdmission measures end-to-end DAG admission+placement+
+// removal throughput on an in-memory cluster (the figure benchrecord
+// derives dag-admission ops/s from).
+func BenchmarkDAGAdmission(b *testing.B) {
+	c, err := NewCluster(ClusterConfig{Spec: testSpec, Nodes: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	d := testDAG()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := fmt.Sprintf("dag-%d", i)
+		res, err := c.PlaceDAG(nil, id, d, "")
+		if err != nil || !res.Placed {
+			b.Fatalf("PlaceDAG: %+v, %v", res, err)
+		}
+		if _, err := c.Remove(nil, id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

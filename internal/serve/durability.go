@@ -77,7 +77,9 @@ func (c *Cluster) openDurability() error {
 	err = store.Replay(func(r durable.Record, tasks plan.TaskSet) bool {
 		n := c.nodes[r.Node]
 		switch r.Kind {
-		case durable.KindPlace:
+		case durable.KindPlace, durable.KindPlaceDAG:
+			// A DAG record replays its stored derived server task; the
+			// response-time analysis is never re-run at recovery.
 			return n.eng.TryGang(tasks).Admit
 		case durable.KindRemove:
 			_, matched := n.eng.RemoveGang(tasks)
@@ -121,6 +123,7 @@ func (c *Cluster) openDurability() error {
 					node: nodeID,
 					set:  e.Tasks,
 					util: e.Tasks.Utilization(),
+					dag:  e.DAG,
 				}
 				break
 			}
@@ -130,6 +133,7 @@ func (c *Cluster) openDurability() error {
 	c.removed.Store(st.Counters.Removed)
 	c.drained.Store(st.Counters.Drained)
 	c.rebalanced.Store(st.Counters.Rebalanced)
+	c.dagPlaced.Store(st.Counters.DAGPlaced)
 	for _, n := range c.nodes {
 		n.syncGauges()
 	}

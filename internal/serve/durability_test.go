@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"hrtsched/internal/dag"
 	"hrtsched/internal/durable"
 	"hrtsched/internal/fault"
 	"hrtsched/internal/plan"
@@ -180,12 +181,31 @@ func TestClusterCrashRecoveryProperty(t *testing.T) {
 				}
 				return set
 			}
+			randDAGTask := func() dag.Task {
+				n := 3 + rng.Intn(4)
+				dt := dag.Task{PeriodNs: int64(10_000_000) << rng.Intn(2), Cores: 2 + rng.Intn(2)}
+				for j := 0; j < n; j++ {
+					dt.Nodes = append(dt.Nodes, dag.Node{WCETNs: (20 + rng.Int63n(100)) * 1000})
+				}
+				for u := 0; u < n; u++ {
+					for v := u + 1; v < n; v++ {
+						if rng.Float64() < 0.4 {
+							dt.Edges = append(dt.Edges, dag.Edge{From: u, To: v})
+						}
+					}
+				}
+				if rng.Intn(4) == 0 {
+					dt.DeadlineNs = 150_000 // tight: exercises analytical rejection
+				}
+				return dt
+			}
+			dagAnalyzers := []string{"", "classical", "alpha-beta"}
 			var live []string
 			next := 0
 			ops := 80 + rng.Intn(60)
 			for i := 0; i < ops; i++ {
 				switch r := rng.Float64(); {
-				case r < 0.55 || len(live) == 0:
+				case r < 0.45 || len(live) == 0:
 					id := fmt.Sprintf("set-%03d", next)
 					next++
 					set := randSet()
@@ -193,6 +213,22 @@ func TestClusterCrashRecoveryProperty(t *testing.T) {
 					rd, err2 := dur.Place(ctx, id, set)
 					if err1 != nil || err2 != nil || rm.Placed != rd.Placed || rm.Node != rd.Node {
 						t.Fatalf("op %d: Place(%s) diverged: mem=%+v,%v dur=%+v,%v", i, id, rm, err1, rd, err2)
+					}
+					if rm.Placed {
+						live = append(live, id)
+					}
+				case r < 0.55:
+					// DAG admission flows through the same durable commit
+					// path (KindPlaceDAG); placements join the same lifecycle.
+					id := fmt.Sprintf("dag-%03d", next)
+					next++
+					dt := randDAGTask()
+					an := dagAnalyzers[rng.Intn(len(dagAnalyzers))]
+					rm, err1 := mem.PlaceDAG(ctx, id, dt, an)
+					rd, err2 := dur.PlaceDAG(ctx, id, dt, an)
+					if err1 != nil || err2 != nil || rm.Placed != rd.Placed || rm.Node != rd.Node ||
+						rm.Analysis.BoundNs != rd.Analysis.BoundNs {
+						t.Fatalf("op %d: PlaceDAG(%s) diverged: mem=%+v,%v dur=%+v,%v", i, id, rm, err1, rd, err2)
 					}
 					if rm.Placed {
 						live = append(live, id)
@@ -238,6 +274,14 @@ func TestClusterCrashRecoveryProperty(t *testing.T) {
 				st := c.Status()
 				st.Durability = nil
 				st.Rejected, st.Canceled, st.Unmatched = 0, 0, 0
+				// DAG submission/admission/rejection tallies are session
+				// counters too; placements and the placed total are durable.
+				if st.DAG != nil {
+					st.DAG.Submitted, st.DAG.Admitted, st.DAG.Rejected = 0, 0, 0
+					if *st.DAG == (DAGStatus{}) {
+						st.DAG = nil
+					}
+				}
 				b, err := json.Marshal(st)
 				if err != nil {
 					t.Fatalf("marshal status: %v", err)

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"hrtsched/internal/core"
+	"hrtsched/internal/dag"
 	"hrtsched/internal/plan"
 	"hrtsched/internal/repl"
 )
@@ -36,6 +37,15 @@ type nodeRequest struct {
 	Node int `json:"node"`
 }
 
+// dagRequest is the wire form of POST /v1/dag/place and /v1/dag/analyze
+// (which ignores ID). Analyzer defaults to "classical"; see
+// dag.AnalyzerNames for the accepted values.
+type dagRequest struct {
+	ID       string   `json:"id,omitempty"`
+	Task     dag.Task `json:"task"`
+	Analyzer string   `json:"analyzer,omitempty"`
+}
+
 // apiError is the one JSON error envelope every v1 route answers with:
 //
 //	{"code":"overloaded","reason":"shard 3 queue full (1024 deep)","retry_after_ms":1}
@@ -48,6 +58,12 @@ type apiError struct {
 	Code         string `json:"code"`
 	Reason       string `json:"reason"`
 	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
+	// DAGCode and BlockingPath carry the typed detail of a /v1/dag/*
+	// structural rejection (dag.ErrorCode tag; the offending node path for
+	// a precedence cycle). omitempty keeps every other route's envelope
+	// byte-identical to previous releases.
+	DAGCode      string `json:"dag_code,omitempty"`
+	BlockingPath []int  `json:"blocking_path,omitempty"`
 }
 
 // statusClientClosedRequest is nginx's conventional status for a request
@@ -68,6 +84,8 @@ func (s *Server) Handler() http.Handler { return s.HandlerWithCluster(nil) }
 //	POST /v1/cluster/undrain   {"node":N}                           -> {"node":N}
 //	POST /v1/cluster/rebalance {}                                   -> {"moved":N}
 //	GET  /v1/cluster/status                                         -> ClusterStatus
+//	POST /v1/dag/place   {"id":"...","task":{...},"analyzer":"..."} -> DAGPlaceResult
+//	POST /v1/dag/analyze {"task":{...},"analyzer":"..."}            -> dag.Result
 //	GET  /metrics                                                    Prometheus text
 //	GET  /healthz                                                    liveness JSON
 //
@@ -94,6 +112,8 @@ func (s *Server) HandlerWithCluster(c *Cluster) http.Handler {
 		mux.HandleFunc("/v1/cluster/undrain", c.handleUndrain)
 		mux.HandleFunc("/v1/cluster/rebalance", c.handleRebalance)
 		mux.HandleFunc("/v1/cluster/status", c.handleStatus)
+		mux.HandleFunc("/v1/dag/place", c.handleDAGPlace)
+		mux.HandleFunc("/v1/dag/analyze", c.handleDAGAnalyze)
 		if c.repl != nil {
 			// Peer-to-peer consensus RPCs (append, vote, timeout-now).
 			h := repl.Handler(c.repl)
@@ -175,6 +195,64 @@ func (c *Cluster) handlePlace(w http.ResponseWriter, req *http.Request) {
 	res, err := c.Place(req.Context(), body.ID, body.Tasks)
 	if err != nil {
 		if !c.redirectToLeader(w, req, err) {
+			writeQueryError(w, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// writeDAGError answers a structural DAG rejection: 422 with the uniform
+// envelope carrying the typed dag.ErrorCode and, for a precedence cycle,
+// the blocking node path. Returns false for any other error.
+func writeDAGError(w http.ResponseWriter, err error) bool {
+	var verr *dag.ValidationError
+	if !errors.As(err, &verr) {
+		return false
+	}
+	writeJSON(w, http.StatusUnprocessableEntity, apiError{
+		Code:         "invalid_dag",
+		Reason:       verr.Error(),
+		DAGCode:      string(verr.Code),
+		BlockingPath: verr.Path,
+	})
+	return true
+}
+
+func (c *Cluster) handleDAGPlace(w http.ResponseWriter, req *http.Request) {
+	var body dagRequest
+	if !decodeBody(w, req, &body) {
+		return
+	}
+	if _, err := dag.NewAnalyzer(body.Analyzer); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error(), 0)
+		return
+	}
+	res, err := c.PlaceDAG(req.Context(), body.ID, body.Task, body.Analyzer)
+	if err != nil {
+		if !writeDAGError(w, err) && !c.redirectToLeader(w, req, err) {
+			writeQueryError(w, err)
+		}
+		return
+	}
+	// Analytical and placement rejections are 200s: the Result carries the
+	// typed reason (path-overrun, deadline-miss) and the blocking path.
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (c *Cluster) handleDAGAnalyze(w http.ResponseWriter, req *http.Request) {
+	var body dagRequest
+	if !decodeBody(w, req, &body) {
+		return
+	}
+	rta, err := dag.NewAnalyzer(body.Analyzer)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error(), 0)
+		return
+	}
+	res, err := dag.New(c.cfg.Spec, rta).AnalyzeDAG(&body.Task)
+	if err != nil {
+		if !writeDAGError(w, err) {
 			writeQueryError(w, err)
 		}
 		return

@@ -103,6 +103,7 @@ func (c *Cluster) openReplication() error {
 					node: nodeID,
 					set:  e.Tasks,
 					util: e.Tasks.Utilization(),
+					dag:  e.DAG,
 				}
 				break
 			}
@@ -112,6 +113,7 @@ func (c *Cluster) openReplication() error {
 	c.removed.Store(st.Counters.Removed)
 	c.drained.Store(st.Counters.Drained)
 	c.rebalanced.Store(st.Counters.Rebalanced)
+	c.dagPlaced.Store(st.Counters.DAGPlaced)
 	for _, n := range c.nodes {
 		n.syncGauges()
 	}
@@ -178,7 +180,7 @@ func (c *Cluster) applyCommitted(lsn, term uint64, payload []byte) {
 	n.engMu.Lock()
 	applied := false
 	switch rec.Kind {
-	case durable.KindPlace:
+	case durable.KindPlace, durable.KindPlaceDAG:
 		applied = n.eng.TryGang(tasks).Admit
 	case durable.KindRemove:
 		_, applied = n.eng.RemoveGang(tasks)
@@ -205,16 +207,18 @@ func (c *Cluster) applyCommitted(lsn, term uint64, payload []byte) {
 
 	c.mu.Lock()
 	switch rec.Kind {
-	case durable.KindPlace:
+	case durable.KindPlace, durable.KindPlaceDAG:
 		if old, ok := c.placements[rec.ID]; ok && old.pending {
 			// The leader's own in-flight Place: update in place so the
 			// caller's pending marker (and its pointer) stay valid, and
 			// mark it committed so an indeterminate reply never deletes a
 			// record the log already holds.
 			old.node, old.set, old.util, old.committed = rec.Node, tasks, tasks.Utilization(), true
+			old.dag = rec.DAG
 		} else {
 			c.placements[rec.ID] = &placementRec{
-				node: rec.Node, set: tasks, util: tasks.Utilization(), committed: true,
+				node: rec.Node, set: tasks, util: tasks.Utilization(),
+				dag: rec.DAG, committed: true,
 			}
 		}
 	case durable.KindRemove:
@@ -227,12 +231,16 @@ func (c *Cluster) applyCommitted(lsn, term uint64, payload []byte) {
 	}
 	c.mu.Unlock()
 
+	isPlace := rec.Kind == durable.KindPlace || rec.Kind == durable.KindPlaceDAG
 	switch {
-	case rec.Kind == durable.KindPlace && rec.Origin == durable.OriginClient:
+	case isPlace && rec.Origin == durable.OriginClient:
 		c.placed.Add(1)
-	case rec.Kind == durable.KindPlace && rec.Origin == durable.OriginDrain:
+		if rec.Kind == durable.KindPlaceDAG {
+			c.dagPlaced.Add(1)
+		}
+	case isPlace && rec.Origin == durable.OriginDrain:
 		c.drained.Add(1)
-	case rec.Kind == durable.KindPlace && rec.Origin == durable.OriginRebalance:
+	case isPlace && rec.Origin == durable.OriginRebalance:
 		c.rebalanced.Add(1)
 	case rec.Kind == durable.KindRemove && rec.Origin == durable.OriginClient:
 		c.removed.Add(1)
@@ -243,7 +251,7 @@ func (c *Cluster) applyCommitted(lsn, term uint64, payload []byte) {
 // record. Without it a deposed leader whose proposal committed under the
 // new term but was refused at apply would keep a map id no engine backs.
 func (c *Cluster) dropSkippedPending(rec durable.Record) {
-	if rec.Kind != durable.KindPlace || rec.ID == "" {
+	if (rec.Kind != durable.KindPlace && rec.Kind != durable.KindPlaceDAG) || rec.ID == "" {
 		return
 	}
 	c.mu.Lock()
@@ -292,10 +300,15 @@ func (c *Cluster) applyBatchRepl(n *node, batch []*mutation) {
 			r.matched = true
 			if r.verdict.Admit {
 				reverts = append(reverts, revertOp{added: true, set: m.set})
-				recs = append(recs, durable.Record{
+				rec := durable.Record{
 					Kind: durable.KindPlace, Origin: m.origin,
 					Node: n.id, ID: m.id, Tasks: m.set,
-				})
+				}
+				if m.dag != nil {
+					rec.Kind = durable.KindPlaceDAG
+					rec.DAG = m.dag
+				}
+				recs = append(recs, rec)
 				hasRec[i] = true
 			}
 		case removeOp:

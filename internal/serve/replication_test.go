@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"hrtsched/internal/core"
+	"hrtsched/internal/dag"
 	"hrtsched/internal/fault"
 	"hrtsched/internal/plan"
 	"hrtsched/internal/repl"
@@ -226,6 +227,30 @@ func (rn *replNet) place(t *testing.T, id string, set plan.TaskSet) bool {
 	return false
 }
 
+// placeDAG drives one DAG admission to a determinate outcome, mirroring
+// place: true when the derived server task committed, false on a
+// determinate rejection (analytical or placement).
+func (rn *replNet) placeDAG(t *testing.T, id string, task dag.Task, analyzer string) bool {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		c := rn.waitLeader(10 * time.Second)
+		res, err := c.PlaceDAG(context.Background(), id, task, analyzer)
+		switch {
+		case err == nil:
+			return res.Placed
+		case errors.Is(err, ErrDuplicateID):
+			return true
+		case retryable(err):
+			time.Sleep(2 * time.Millisecond)
+		default:
+			t.Fatalf("placeDAG %q: unexpected error %v", id, err)
+		}
+	}
+	t.Fatalf("placeDAG %q never reached a determinate outcome", id)
+	return false
+}
+
 // remove drives one removal of a known-placed id to completion.
 func (rn *replNet) remove(t *testing.T, id string) {
 	t.Helper()
@@ -272,6 +297,14 @@ func durableViewRepl(t *testing.T, c *Cluster) string {
 	st.Rejected = 0
 	st.Canceled = 0
 	st.Unmatched = 0
+	// DAG submission tallies are leader-session counters; only the
+	// placements and the replicated placed total are functions of the log.
+	if st.DAG != nil {
+		st.DAG.Submitted, st.DAG.Admitted, st.DAG.Rejected = 0, 0, 0
+		if *st.DAG == (DAGStatus{}) {
+			st.DAG = nil
+		}
+	}
 	for i := range st.Nodes {
 		st.Nodes[i].QueueDepth = 0
 		st.Nodes[i].Draining = false
@@ -489,10 +522,31 @@ func runReplProperty(t *testing.T, seed int64) {
 			placeable = append(placeable, id)
 		}
 		if rng.Float64() < 0.7 || len(placeable) == 0 {
-			id := fmt.Sprintf("set-%d", nextID)
-			nextID++
-			if rn.place(t, id, setOfUtil(0.02+0.06*rng.Float64())) {
-				twin[id] = true
+			if rng.Float64() < 0.25 {
+				// A DAG admission replicating as KindPlaceDAG: the follower
+				// applies the stored server task, never re-running the RTA.
+				id := fmt.Sprintf("dag-%d", nextID)
+				nextID++
+				task := dag.Task{
+					Nodes: []dag.Node{
+						{WCETNs: (20 + rng.Int63n(80)) * 1000},
+						{WCETNs: (20 + rng.Int63n(80)) * 1000},
+						{WCETNs: (20 + rng.Int63n(80)) * 1000},
+					},
+					Edges:    []dag.Edge{{From: 0, To: 1}, {From: 0, To: 2}},
+					PeriodNs: 10_000_000,
+					Cores:    2,
+				}
+				analyzer := [3]string{"", "classical", "alpha-beta"}[rng.Intn(3)]
+				if rn.placeDAG(t, id, task, analyzer) {
+					twin[id] = true
+				}
+			} else {
+				id := fmt.Sprintf("set-%d", nextID)
+				nextID++
+				if rn.place(t, id, setOfUtil(0.02+0.06*rng.Float64())) {
+					twin[id] = true
+				}
 			}
 		} else {
 			sort.Strings(placeable)

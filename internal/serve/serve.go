@@ -143,6 +143,9 @@ type Server struct {
 	cfg    Config
 	shards []*shard
 	reg    *Registry
+	// analysis is the default plan.Analysis for cfg.Spec; every query
+	// verdict dispatches through the interface.
+	analysis plan.Analysis
 
 	wg sync.WaitGroup // shard goroutines
 
@@ -174,7 +177,7 @@ func newServer(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	cfg.fillDefaults()
-	s := &Server{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	s := &Server{cfg: cfg, shards: make([]*shard, cfg.Shards), analysis: plan.DefaultEDF(cfg.Spec)}
 	for i := range s.shards {
 		s.shards[i] = &shard{
 			id:    i,
@@ -345,13 +348,13 @@ func (s *Server) process(sh *shard, batch []*request) {
 				resp = response{verdict: v, cached: true}
 			} else {
 				sh.misses.Add(1)
-				v := plan.Analyze(s.cfg.Spec, r.set)
+				v := s.analysis.Analyze(r.set)
 				sh.cache.put(r.digest, v)
 				sh.entries.Store(int64(sh.cache.len()))
 				resp = response{verdict: v}
 			}
 		case capacityQuery:
-			resp = response{capacity: plan.Capacity(s.cfg.Spec, r.set, r.probeNs)}
+			resp = response{capacity: s.analysis.Capacity(r.set, r.probeNs)}
 		}
 		lat := float64(time.Since(r.start).Nanoseconds()) / 1e3
 		sh.histMu.Lock()
