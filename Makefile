@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: ci build vet test race planverify perf-gate chaos bench bench-engine bench-record bench-record-pr5 bench-record-pr7 engine-bench-smoke serve-smoke cluster-smoke recovery-smoke failover-smoke dag-smoke
+.PHONY: ci build vet test race planverify perf-gate chaos bench bench-engine bench-record bench-record-pr5 bench-record-pr7 bench-record-pr8 engine-bench-smoke serve-smoke cluster-smoke batch-smoke recovery-smoke failover-smoke dag-smoke
 
 # ci is the tier-1 gate: every change must pass vet, build, the race-
 # enabled test suite, the planverify cross-check, the non-race perf
 # gate, the engine benchmark smoke, and the serving-layer smokes —
-# including the kill -9 recovery, leader-failover, and DAG-recovery
-# smokes — before it lands (see README "Testing").
-ci: vet build race planverify perf-gate engine-bench-smoke serve-smoke cluster-smoke recovery-smoke failover-smoke dag-smoke
+# including the kill -9 recovery, leader-failover, DAG-recovery, and
+# batched-placement smokes — before it lands (see README "Testing").
+ci: vet build race planverify perf-gate engine-bench-smoke serve-smoke cluster-smoke batch-smoke recovery-smoke failover-smoke dag-smoke
 
 build:
 	$(GO) build ./...
@@ -25,7 +25,7 @@ race:
 # detector (whose several-fold slowdown would measure the
 # instrumentation, not the code — the gates skip themselves under -race).
 perf-gate:
-	$(GO) test -run TestDurablePlaceThroughputAtLeast5k -count=1 ./internal/serve
+	$(GO) test -run TestDurablePlaceThroughputAtLeast8k -count=1 ./internal/serve
 
 # planverify rebuilds the admission layers with the verification tag on,
 # so every Incremental verdict is asserted bit-identical to a fresh full
@@ -68,6 +68,16 @@ bench-record-pr5:
 bench-record-pr7:
 	$(GO) run ./cmd/benchrecord -pkg ./internal/serve -bench 'BenchmarkDAGAdmission' -skip-suite -o BENCH_PR7.json
 
+# bench-record-pr8 regenerates the fast-path admission artifact
+# (BENCH_PR8.json): memoized versus uncached repeated admission, curve
+# versus uncached gang probes, and the batched/durable placement rates,
+# with the derived repeat_admission_speedup_x, batch_probe_speedup_x,
+# batch_place_ops_per_sec, and durable_place_ops_per_sec figures.
+bench-record-pr8:
+	$(GO) run ./cmd/benchrecord -pkg './internal/plan ./internal/serve' \
+		-bench 'BenchmarkAnalyzeRepeat|BenchmarkGangProbe|BenchmarkClusterPlace' \
+		-skip-suite -o BENCH_PR8.json
+
 # engine-bench-smoke compiles and exercises every engine benchmark for a
 # fixed 100 iterations — fast enough for ci, and it catches benchmarks
 # that panic or assert without paying for stable timings.
@@ -98,6 +108,19 @@ cluster-smoke:
 	for i in $$(seq 100); do [ -s "$$dir"/addr ] && break; sleep 0.1; done; \
 	if ! [ -s "$$dir"/addr ]; then echo "cluster-smoke: hrtd never bound"; cat "$$dir"/hrtd.log; exit 1; fi; \
 	"$$dir"/hrtload -addr "$$(cat "$$dir"/addr)" -mode cluster -dur 2s -conns 8 -check
+
+# batch-smoke boots hrtd with a 4-node cluster and drives the batched
+# placement endpoint with hrtload in batch mode for two seconds, failing
+# on any hard error, a per-item error envelope, or zero placements.
+batch-smoke:
+	@set -e; dir=$$(mktemp -d); pid=; \
+	cleanup() { [ -n "$$pid" ] && kill $$pid 2>/dev/null || true; rm -rf "$$dir"; }; \
+	trap cleanup EXIT; \
+	$(GO) build -o "$$dir" ./cmd/hrtd ./cmd/hrtload; \
+	"$$dir"/hrtd -addr 127.0.0.1:0 -addr-file "$$dir"/addr -nodes 4 -policy worst-fit >"$$dir"/hrtd.log 2>&1 & pid=$$!; \
+	for i in $$(seq 100); do [ -s "$$dir"/addr ] && break; sleep 0.1; done; \
+	if ! [ -s "$$dir"/addr ]; then echo "batch-smoke: hrtd never bound"; cat "$$dir"/hrtd.log; exit 1; fi; \
+	"$$dir"/hrtload -addr "$$(cat "$$dir"/addr)" -mode batch -dur 2s -conns 8 -live 8 -check
 
 # recovery-smoke is the end-to-end crash-recovery drill: boot hrtd with a
 # durable 4-node cluster, drive it with hrtload, kill the daemon with

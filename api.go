@@ -456,6 +456,34 @@ func NewPlanAnalysis(name string, spec PlanSpec) (PlanAnalysis, error) {
 // PlanAnalysisNames lists the registered analyses, sorted.
 func PlanAnalysisNames() []string { return plan.AnalysisNames() }
 
+// PlanMemo is a demand-bound-curve cache: a digest-keyed LRU over
+// canonically-equal task sets whose entries retain the incremental curve,
+// so repeated Analyze/Capacity calls and gang probes against the same set
+// skip the hyperperiod simulation. Answers are bit-identical to the
+// uncached analysis of the canonical task ordering (see DESIGN.md §12).
+type PlanMemo = plan.Memo
+
+// PlanMemoStats counts a PlanMemo's hits, misses, and live entries.
+type PlanMemoStats = plan.MemoStats
+
+// NewPlanMemo creates a curve cache holding up to entries task sets
+// (0 = DefaultMemoEntries).
+func NewPlanMemo(spec PlanSpec, entries int) *PlanMemo { return plan.NewMemo(spec, entries) }
+
+// AnalyzeTaskSetBatch answers many admission queries in one pass, sharing
+// demand-bound curves across canonically-equal sets; out[i] is
+// bit-identical to AnalyzeTaskSet on sets[i]'s canonical ordering.
+func AnalyzeTaskSetBatch(spec PlanSpec, sets []PlanTaskSet) []PlanVerdict {
+	return plan.AnalyzeBatch(spec, sets)
+}
+
+// AnalyzeGangBatch evaluates many candidate gangs against one existing
+// set with a single demand-curve pass; out[i] is equivalent
+// (PlanVerdictsEquivalent) to AnalyzeGang(spec, existing, gangs[i]).
+func AnalyzeGangBatch(spec PlanSpec, existing PlanTaskSet, gangs []PlanTaskSet) []PlanVerdict {
+	return plan.TryGangBatch(spec, existing, gangs)
+}
+
 // --- Admission-query service (internal/serve) --------------------------------
 
 // ServeConfig configures the sharded admission-query server.
@@ -501,6 +529,13 @@ const (
 
 // PlaceResult reports one Cluster placement attempt.
 type PlaceResult = serve.PlaceResult
+
+// ClusterBatchPlaceItem is one placement request of Cluster.PlaceBatch.
+type ClusterBatchPlaceItem = serve.BatchPlaceItem
+
+// ClusterBatchPlaceResult is one per-item answer of Cluster.PlaceBatch,
+// in input order: exactly what Place would have returned for that item.
+type ClusterBatchPlaceResult = serve.BatchPlaceResult
 
 // DrainReport summarizes one Cluster node drain.
 type DrainReport = serve.DrainReport

@@ -23,6 +23,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"hrtsched/internal/experiments"
@@ -63,7 +64,7 @@ func main() {
 		benchtime = flag.String("benchtime", "", "passed to go test -benchtime (default: go's)")
 		pattern   = flag.String("bench", "BenchmarkEngine|BenchmarkLegacy|BenchmarkFreeze",
 			"benchmark name pattern")
-		pkg       = flag.String("pkg", "./internal/sim", "package to benchmark")
+		pkg       = flag.String("pkg", "./internal/sim", "package(s) to benchmark, space-separated")
 		skipSuite = flag.Bool("skip-suite", false, "skip the Quick figure-suite timing")
 	)
 	flag.Parse()
@@ -100,11 +101,13 @@ func main() {
 		*out, len(rec.Microbench), rec.QuickSuite.TotalSeconds)
 }
 
-// runMicrobench shells out to `go test -bench` for pkg and parses every
-// reported benchmark into rec.Microbench.
+// runMicrobench shells out to `go test -bench` for pkg (which may name
+// several space-separated packages) and parses every reported benchmark
+// into rec.Microbench.
 func runMicrobench(rec *record, pkg, pattern, benchtime string) error {
-	args := []string{"test", pkg, "-run", "^$",
-		"-bench", pattern, "-benchmem", "-count", "1"}
+	args := append([]string{"test"}, strings.Fields(pkg)...)
+	args = append(args, "-run", "^$",
+		"-bench", pattern, "-benchmem", "-count", "1")
 	if benchtime != "" {
 		args = append(args, "-benchtime", benchtime)
 	}
@@ -152,6 +155,9 @@ func derive(rec *record) {
 		// PR5: cost of fsync-backed placement relative to in-memory — here
 		// the "legacy" slot is the durable run so the ratio reads as overhead.
 		"durable_place_overhead_x": {"BenchmarkClusterPlaceDurable", "BenchmarkClusterPlaceMemory"},
+		// PR8: the memoized/curve fast paths against the uncached analysis.
+		"repeat_admission_speedup_x": {"BenchmarkAnalyzeRepeatUncached", "BenchmarkAnalyzeRepeatMemo"},
+		"batch_probe_speedup_x":      {"BenchmarkGangProbeUncached", "BenchmarkGangProbeCurve"},
 	}
 	for name, p := range pairs {
 		if v, ok := ratio(p[0], p[1]); ok {
@@ -162,6 +168,17 @@ func derive(rec *record) {
 	// + removal per op) as an absolute rate rather than a ratio.
 	if r, ok := rec.Microbench["BenchmarkDAGAdmission"]; ok && r.NsPerOp > 0 {
 		rec.Derived["dag_admission_ops_per_sec"] = 1e9 / r.NsPerOp
+	}
+	// PR8: absolute placement rates. One bench op is a place+remove pair,
+	// so ops/s counts 2 mutations per op — the same accounting as the
+	// TestDurablePlaceThroughputAtLeast8k gate.
+	for name, bench := range map[string]string{
+		"durable_place_ops_per_sec": "BenchmarkClusterPlaceDurable",
+		"batch_place_ops_per_sec":   "BenchmarkClusterPlaceBatch",
+	} {
+		if r, ok := rec.Microbench[bench]; ok && r.NsPerOp > 0 {
+			rec.Derived[name] = 2e9 / r.NsPerOp
+		}
 	}
 }
 

@@ -19,6 +19,12 @@
 // live reservations exactly like cluster mode. The report adds the
 // scraped hrtd_dag_placed_total.
 //
+// In -mode batch the workers drive /v1/cluster/place-batch: each places
+// -live gangs per POST in one batched envelope, checks every per-item
+// verdict, then removes them and goes again — the closed-loop shape of
+// cluster mode with the round trips amortized across the batch. The
+// report counts each envelope item as a placement.
+//
 // In -mode status a single GET of /v1/cluster/status is printed as one
 // greppable line (placements, per-counter totals, DAG reservations,
 // durability health, replication role) — the probe the recovery,
@@ -76,7 +82,7 @@ var redirects atomic.Int64
 func main() {
 	var (
 		addr   = flag.String("addr", "", "hrtd address host:port (required)")
-		mode   = flag.String("mode", "query", "load shape: query, cluster, dag, or status")
+		mode   = flag.String("mode", "query", "load shape: query, cluster, batch, dag, or status")
 		dur    = flag.Duration("dur", 2*time.Second, "how long to generate load")
 		conns  = flag.Int("conns", 16, "concurrent closed-loop connections")
 		pool   = flag.Int("pool", 64, "popular task-set pool size (query mode)")
@@ -98,8 +104,8 @@ func main() {
 	if *addr == "" {
 		fail("-addr is required")
 	}
-	if *mode != "query" && *mode != "cluster" && *mode != "dag" && *mode != "status" {
-		fail("-mode must be query, cluster, dag, or status (got %q)", *mode)
+	if *mode != "query" && *mode != "cluster" && *mode != "batch" && *mode != "dag" && *mode != "status" {
+		fail("-mode must be query, cluster, batch, dag, or status (got %q)", *mode)
 	}
 	if *dur <= 0 {
 		fail("-dur must be positive (got %v)", *dur)
@@ -175,6 +181,14 @@ func main() {
 				clusterWorker(client, base, deadline, w, *live, &uniqueCtr, res, rng)
 			}(w, &results[w], rng.Split())
 		}
+	case "batch":
+		for w := 0; w < *conns; w++ {
+			wg.Add(1)
+			go func(w int, res *workerResult, rng *sim.Rand) {
+				defer wg.Done()
+				batchWorker(client, base, deadline, w, *live, &uniqueCtr, res, rng)
+			}(w, &results[w], rng.Split())
+		}
 	case "dag":
 		for w := 0; w < *conns; w++ {
 			wg.Add(1)
@@ -240,7 +254,7 @@ func main() {
 			}
 			fmt.Println("hrtload: OK")
 		}
-	case "cluster", "dag":
+	case "cluster", "batch", "dag":
 		fmt.Printf("hrtload: %d placed, %d rejected\n", total.placed, total.rejected)
 		placedMetric := "hrtd_cluster_placed_total"
 		if *mode == "dag" {
@@ -380,6 +394,102 @@ func clusterWorker(client *http.Client, base string, deadline time.Time,
 			time.Sleep(retryDelay(resp, rng))
 		default:
 			res.errors++
+		}
+	}
+}
+
+// batchWorker drives the batched placement path: place batchSize gangs in
+// one /v1/cluster/place-batch POST, check every per-item verdict, remove
+// them, repeat. Each admitted envelope item counts as one placement; a
+// per-item error envelope counts as a hard error (ids are unique, so a
+// healthy server never produces one).
+func batchWorker(client *http.Client, base string, deadline time.Time,
+	w, batchSize int, uniqueCtr *atomic.Int64, res *workerResult, rng *sim.Rand) {
+	for time.Now().Before(deadline) {
+		ids := make([]string, batchSize)
+		var b strings.Builder
+		b.WriteString(`{"items":[`)
+		for i := range ids {
+			n := uniqueCtr.Add(1)
+			ids[i] = fmt.Sprintf("bw%d-%d-%d", w, os.Getpid(), n)
+			periodNs := periodMenuUs[rng.Intn(len(periodMenuUs))] * 1000
+			sliceNs := periodNs/20 + rng.Int63n(periodNs/10)
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, `{"id":%q,"tasks":[{"period_ns":%d,"slice_ns":%d}]}`,
+				ids[i], periodNs, sliceNs)
+		}
+		b.WriteString(`]}`)
+
+		start := time.Now()
+		resp, err := client.Post(base+"/v1/cluster/place-batch", "application/json", strings.NewReader(b.String()))
+		lat := float64(time.Since(start).Nanoseconds()) / 1e3
+		res.requests++
+		if err != nil {
+			res.errors++
+			time.Sleep(time.Duration(5+rng.Int63n(20)) * time.Millisecond)
+			continue
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var placed []string
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			res.latencyUs = append(res.latencyUs, lat)
+			var env struct {
+				Items []struct {
+					ID     string `json:"id"`
+					Result *struct {
+						Placed bool `json:"placed"`
+					} `json:"result"`
+					Error *struct {
+						Code string `json:"code"`
+					} `json:"error"`
+				} `json:"items"`
+			}
+			if json.Unmarshal(body, &env) != nil || len(env.Items) != batchSize {
+				res.errors++
+				break
+			}
+			for _, it := range env.Items {
+				switch {
+				case it.Error != nil:
+					res.errors++
+				case it.Result != nil && it.Result.Placed:
+					res.placed++
+					placed = append(placed, it.ID)
+				default:
+					res.rejected++
+				}
+			}
+		case resp.StatusCode == http.StatusTooManyRequests,
+			resp.StatusCode == http.StatusServiceUnavailable:
+			res.sheds++
+			time.Sleep(retryDelay(resp, rng))
+		default:
+			res.errors++
+		}
+
+		for _, id := range placed {
+			body := fmt.Sprintf(`{"id":%q}`, id)
+			resp, err := client.Post(base+"/v1/cluster/remove", "application/json", strings.NewReader(body))
+			res.requests++
+			if err != nil {
+				res.errors++
+				time.Sleep(time.Duration(5+rng.Int63n(20)) * time.Millisecond)
+				continue
+			}
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusOK, http.StatusNotFound:
+			case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+				res.sheds++
+				time.Sleep(retryDelay(resp, rng))
+			default:
+				res.errors++
+			}
 		}
 	}
 }

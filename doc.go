@@ -39,6 +39,18 @@
 // constructors (NewMachine, NewIncrementalPlan, NewMetricsRegistry, …)
 // return the value alone and have no Must variant.
 //
+// # Cancellation and deprecation
+//
+// Service methods that can queue, block, or shed take a context.Context
+// and carry the Context suffix (AnalyzeContext, CapacityContext,
+// AnalyzeBatchContext); batched forms answer many items per call with
+// each item bit-identical to its single-item twin. Context-less variants
+// of the same operations are retained only as deprecated shims over the
+// *Context forms — they behave identically with context.Background() —
+// and new code should call the *Context form directly. The same policy
+// governs the HTTP surface: a retired route answers 410 Gone with a Link
+// header naming its /v1 successor rather than silently vanishing.
+//
 // The cmd/hrtbench tool regenerates every figure of the paper's evaluation;
 // cmd/scopeview renders the oscilloscope verification; cmd/sweep runs
 // individual BSP benchmark points; cmd/hrtd serves the analysis over HTTP

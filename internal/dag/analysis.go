@@ -56,6 +56,12 @@ func (a *Analysis) AnalyzeGang(existing, gang plan.TaskSet) plan.Verdict {
 	return a.base.AnalyzeGang(existing, gang)
 }
 
+// AnalyzeBatch delegates batched periodic-set admission to the default
+// EDF analysis.
+func (a *Analysis) AnalyzeBatch(sets []plan.TaskSet) []plan.Verdict {
+	return a.base.AnalyzeBatch(sets)
+}
+
 // Capacity delegates headroom probing to the default EDF analysis.
 func (a *Analysis) Capacity(set plan.TaskSet, probePeriodNs int64) plan.CapacityReport {
 	return a.base.Capacity(set, probePeriodNs)

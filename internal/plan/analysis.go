@@ -25,6 +25,10 @@ type Analysis interface {
 	// AnalyzeGang answers all-or-nothing group admission: the verdict of
 	// existing and gang combined.
 	AnalyzeGang(existing, gang TaskSet) Verdict
+	// AnalyzeBatch answers many sets in one pass, sharing analysis work
+	// across canonically-equal sets; out[i] must be bit-identical to
+	// Analyze of sets[i]'s canonical ordering.
+	AnalyzeBatch(sets []TaskSet) []Verdict
 	// Capacity produces the what-if headroom report for a CPU running set.
 	Capacity(set TaskSet, probePeriodNs int64) CapacityReport
 	// NewEngine creates an empty incremental engine whose verdicts agree
@@ -62,6 +66,12 @@ type Engine interface {
 	Add(t Task) Verdict
 	// TryGang evaluates the committed set plus a gang, all-or-nothing.
 	TryGang(gang TaskSet) Verdict
+	// EvaluateGang answers the committed set plus a gang without
+	// committing anything — the what-if half of TryGang.
+	EvaluateGang(gang TaskSet) Verdict
+	// TryGangBatch evaluates many candidate gangs against the committed
+	// set in one pass, committing nothing: out[i] = EvaluateGang(gangs[i]).
+	TryGangBatch(gangs []TaskSet) []Verdict
 	// Remove evicts one committed task matching t; false when unmatched.
 	Remove(t Task) (Verdict, bool)
 	// RemoveGang evicts one committed instance of every gang member,
@@ -147,6 +157,10 @@ func (a edfAnalysis) Analyze(set TaskSet) Verdict { return Analyze(a.spec, set) 
 
 func (a edfAnalysis) AnalyzeGang(existing, gang TaskSet) Verdict {
 	return AnalyzeGang(a.spec, existing, gang)
+}
+
+func (a edfAnalysis) AnalyzeBatch(sets []TaskSet) []Verdict {
+	return AnalyzeBatch(a.spec, sets)
 }
 
 func (a edfAnalysis) Capacity(set TaskSet, probePeriodNs int64) CapacityReport {

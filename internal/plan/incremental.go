@@ -56,6 +56,15 @@ type Incremental struct {
 
 	last  Verdict // verdict of the committed set
 	stats IncrementalStats
+
+	// scratch holds per-engine evaluation buffers reused across
+	// EvaluateGang/TryGangBatch calls, so the batch-query hot path does no
+	// per-call slice growth. Safe because the engine is single-owner and
+	// nothing retains these buffers past a call.
+	scratch struct {
+		candidate TaskSet
+		rems      []int64
+	}
 }
 
 type demandPoint struct {
@@ -220,14 +229,60 @@ func (inc *Incremental) RemoveGang(gang TaskSet) (Verdict, bool) {
 	return v, true
 }
 
+// EvaluateGang answers the verdict of the committed set plus gang without
+// committing anything — the what-if half of TryGang. It patches the
+// retained demand curve when eligible and falls back to the full Analyze
+// otherwise, so the verdict is equivalent (see VerdictsEquivalent) to
+// Analyze on the combined set either way; the planverify build asserts
+// it. The engine state is unchanged, and per-engine scratch buffers make
+// the patch path allocation-free in the steady state.
+func (inc *Incremental) EvaluateGang(gang TaskSet) Verdict {
+	if len(gang) == 0 {
+		return inc.last
+	}
+	candidate := append(inc.scratch.candidate[:0], inc.tasks...)
+	candidate = append(candidate, gang...)
+	inc.scratch.candidate = candidate
+
+	gangRems, _, eligible := inc.gangEligible(gang)
+	var v Verdict
+	if eligible {
+		inc.stats.IncrementalOps++
+		v = inc.patchVerdict(candidate, gang, gangRems)
+	} else {
+		inc.stats.FullAnalyses++
+		v = Analyze(inc.spec, candidate)
+	}
+	verifyVerdict(inc.spec, candidate, v)
+	return v
+}
+
+// TryGangBatch evaluates many candidate gangs against the committed set
+// in one retained-curve pass, committing nothing: out[i] is exactly
+// EvaluateGang(gangs[i]). One demand-bound decomposition of the committed
+// set answers every candidate, so a k-candidate probe costs k curve
+// patches instead of k hyperperiod simulations.
+func (inc *Incremental) TryGangBatch(gangs []TaskSet) []Verdict {
+	out := make([]Verdict, len(gangs))
+	for i, g := range gangs {
+		out[i] = inc.EvaluateGang(g)
+	}
+	return out
+}
+
 // gangEligible decides whether the gang can be answered by patching:
 // state valid and non-empty, every member well-formed, no hyperperiod
 // shift, and the grown set safely inside the simulation's step budget.
+// The returned rems buffer is engine scratch, valid until the next
+// EvaluateGang/TryGang-family call; commit paths copy its values.
 func (inc *Incremental) gangEligible(gang TaskSet) (rems []int64, gangJobs int64, ok bool) {
 	if !inc.valid || len(inc.tasks) == 0 || inc.hyper <= 0 {
 		return nil, 0, false
 	}
-	rems = make([]int64, len(gang))
+	if cap(inc.scratch.rems) < len(gang) {
+		inc.scratch.rems = make([]int64, len(gang))
+	}
+	rems = inc.scratch.rems[:len(gang)]
 	for i, g := range gang {
 		if g.PeriodNs <= 0 || g.SliceNs <= 0 || g.SliceNs > g.PeriodNs {
 			return nil, 0, false

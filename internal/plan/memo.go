@@ -1,0 +1,181 @@
+package plan
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DefaultMemoEntries is the Memo capacity when the caller passes <= 0.
+const DefaultMemoEntries = 1024
+
+// Memo is a digest-keyed LRU over canonically-equal task sets that caches
+// both the admission verdict and the retained demand-bound curve of each
+// set, so repeated Analyze/Capacity/gang questions about an equivalent
+// set skip the hyperperiod simulation entirely. The serving layer's
+// verdict LRU proved the keying approach; the Memo goes further by
+// keeping the *curve* (an Incremental committed to the canonical set),
+// which answers gang probes and capacity binary-search steps by patching
+// instead of simulating.
+//
+// Answer convention: like the serving layer, the Memo canonicalizes
+// before analyzing, so Memo.Analyze(set) is bit-identical to
+// Analyze(spec, set.Canonical()) — the order a client listed tasks in
+// does not perturb float summation. Gang answers describe the
+// canonical(existing) ++ gang candidate. Verdicts never go stale —
+// they are pure functions of (spec, canonical set) — so the only
+// invalidation is LRU eviction; a 64-bit digest collision would alias
+// two sets, the same accepted risk as the serving layer's cache.
+//
+// A Memo is safe for concurrent use; operations serialize on an internal
+// lock because the cached curves are stateful single-owner engines.
+type Memo struct {
+	spec Spec
+	cap  int
+
+	mu      sync.Mutex
+	ll      *list.List // front = most recently used
+	entries map[uint64]*list.Element
+
+	hits   int64
+	misses int64
+}
+
+// memoEntry is one cached set: its verdict and its demand-bound curve.
+type memoEntry struct {
+	key     uint64
+	verdict Verdict
+	curve   *Incremental // committed to the canonical set
+}
+
+// MemoStats reports cache effectiveness.
+type MemoStats struct {
+	Hits    int64
+	Misses  int64
+	Entries int
+}
+
+// NewMemo creates a memo for spec holding up to entries cached sets
+// (DefaultMemoEntries when entries <= 0).
+func NewMemo(spec Spec, entries int) *Memo {
+	if entries <= 0 {
+		entries = DefaultMemoEntries
+	}
+	return &Memo{
+		spec:    spec,
+		cap:     entries,
+		ll:      list.New(),
+		entries: make(map[uint64]*list.Element, entries),
+	}
+}
+
+// Spec returns the platform spec answers are computed under.
+func (m *Memo) Spec() Spec { return m.spec }
+
+// Len returns the number of cached sets.
+func (m *Memo) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ll.Len()
+}
+
+// Stats reports hit/miss counts and the live entry count.
+func (m *Memo) Stats() MemoStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return MemoStats{Hits: m.hits, Misses: m.misses, Entries: m.ll.Len()}
+}
+
+// Analyze returns the admission verdict for the set — bit-identical to
+// Analyze(spec, set.Canonical()). A hit returns the stored verdict
+// without touching the simulation (and without allocating); a miss runs
+// the full analysis once and caches verdict and curve.
+func (m *Memo) Analyze(set TaskSet) Verdict {
+	digest := set.Digest()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.entryLocked(set, digest).verdict
+}
+
+// AnalyzeGang answers all-or-nothing group admission for existing plus
+// gang: the verdict of the canonical(existing) ++ gang candidate,
+// answered by patching existing's cached demand curve when eligible.
+func (m *Memo) AnalyzeGang(existing, gang TaskSet) Verdict {
+	digest := existing.Digest()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.entryLocked(existing, digest).curve.EvaluateGang(gang)
+}
+
+// TryGangBatch evaluates many candidate gangs against one existing set in
+// a single retained-curve pass: out[i] describes canonical(existing) ++
+// gangs[i], and nothing is committed anywhere.
+func (m *Memo) TryGangBatch(existing TaskSet, gangs []TaskSet) []Verdict {
+	digest := existing.Digest()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.entryLocked(existing, digest).curve.TryGangBatch(gangs)
+}
+
+// Capacity produces the what-if headroom report for a CPU running set —
+// identical to Capacity(spec, set.Canonical(), probePeriodNs) — with
+// every binary-search probe answered from the cached demand curve
+// instead of a fresh hyperperiod simulation.
+func (m *Memo) Capacity(set TaskSet, probePeriodNs int64) CapacityReport {
+	digest := set.Digest()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.entryLocked(set, digest)
+	var probeBuf [1]Task
+	return capacitySearch(m.spec, e.curve.tasks, probePeriodNs, func(probe Task) bool {
+		probeBuf[0] = probe
+		return e.curve.EvaluateGang(probeBuf[:]).Admit
+	})
+}
+
+// entryLocked returns the cached entry for the set's digest, building and
+// inserting it (with LRU eviction) on a miss. Callers hold m.mu.
+func (m *Memo) entryLocked(set TaskSet, digest uint64) *memoEntry {
+	if el, ok := m.entries[digest]; ok {
+		m.hits++
+		m.ll.MoveToFront(el)
+		return el.Value.(*memoEntry)
+	}
+	m.misses++
+	curve := NewIncremental(m.spec)
+	e := &memoEntry{key: digest, curve: curve, verdict: curve.Restore(set.Canonical())}
+	m.entries[digest] = m.ll.PushFront(e)
+	for m.ll.Len() > m.cap {
+		oldest := m.ll.Back()
+		m.ll.Remove(oldest)
+		delete(m.entries, oldest.Value.(*memoEntry).key)
+	}
+	return e
+}
+
+// AnalyzeBatch answers many admission questions in one pass, sharing
+// analysis work across canonically-equal sets: each distinct digest is
+// analyzed once and its verdict reused for every equal set in the batch.
+// out[i] is bit-identical to Analyze(spec, sets[i].Canonical()).
+func AnalyzeBatch(spec Spec, sets []TaskSet) []Verdict {
+	n := len(sets)
+	if n == 0 {
+		return nil
+	}
+	m := NewMemo(spec, n)
+	out := make([]Verdict, n)
+	for i, s := range sets {
+		out[i] = m.Analyze(s)
+	}
+	return out
+}
+
+// TryGangBatch evaluates many candidate gangs against one existing set:
+// one demand-curve decomposition of canonical(existing) answers every
+// candidate, so out[i] — the verdict of canonical(existing) ++ gangs[i]
+// — costs a curve patch instead of a hyperperiod simulation. Nothing is
+// committed; this is the pure batch-placement probe.
+func TryGangBatch(spec Spec, existing TaskSet, gangs []TaskSet) []Verdict {
+	eng := NewIncremental(spec)
+	eng.Restore(existing.Canonical())
+	return eng.TryGangBatch(gangs)
+}

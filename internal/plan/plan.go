@@ -17,6 +17,7 @@ import (
 	"cmp"
 	"fmt"
 	"slices"
+	"sync"
 )
 
 // Task is one periodic task: a slice of SliceNs guaranteed every PeriodNs.
@@ -51,23 +52,59 @@ func (ts TaskSet) Utilization() float64 {
 // matter the order a client listed the tasks in.
 func (ts TaskSet) Canonical() TaskSet {
 	out := append(TaskSet(nil), ts...)
-	// slices.SortFunc, not sort.Slice: this is on the hot path of every
-	// digest (cache keys, shard routing, incremental verdicts) and the
-	// reflection-based swapper costs several times the comparisons.
-	// Unstable sorting is safe — ties are identical Task values.
-	slices.SortFunc(out, func(a, b Task) int {
+	canonSort(out)
+	return out
+}
+
+// canonSort sorts a set in place into canonical order: ascending by
+// period, then by slice. slices.SortFunc, not sort.Slice: this is on the
+// hot path of every digest (cache keys, shard routing, incremental
+// verdicts) and the reflection-based swapper costs several times the
+// comparisons. Unstable sorting is safe — ties are identical Task values.
+func canonSort(ts TaskSet) {
+	slices.SortFunc(ts, func(a, b Task) int {
 		if a.PeriodNs != b.PeriodNs {
 			return cmp.Compare(a.PeriodNs, b.PeriodNs)
 		}
 		return cmp.Compare(a.SliceNs, b.SliceNs)
 	})
-	return out
 }
+
+// digestScratch pools the sort buffer Digest canonicalizes into, so
+// digesting — which every Analyze, cache lookup, and shard route does —
+// allocates nothing in the steady state.
+var digestScratch = sync.Pool{New: func() any {
+	buf := make(TaskSet, 0, 64)
+	return &buf
+}}
 
 // Digest returns a 64-bit FNV-1a hash of the canonical task sequence. Equal
 // multisets of tasks have equal digests; the digest is the cache key and
 // the shard-routing key of the serving layer.
 func (ts TaskSet) Digest() uint64 {
+	bp := digestScratch.Get().(*TaskSet)
+	buf := append((*bp)[:0], ts...)
+	canonSort(buf)
+	h := digestOf(buf)
+	*bp = buf
+	digestScratch.Put(bp)
+	return h
+}
+
+// digest2 is Digest over the concatenation a ++ b without materializing
+// it: the combined-set key the batch evaluation paths need per candidate.
+func digest2(a, b TaskSet) uint64 {
+	bp := digestScratch.Get().(*TaskSet)
+	buf := append(append((*bp)[:0], a...), b...)
+	canonSort(buf)
+	h := digestOf(buf)
+	*bp = buf
+	digestScratch.Put(bp)
+	return h
+}
+
+// digestOf hashes an already-canonical sequence.
+func digestOf(ts TaskSet) uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
@@ -81,7 +118,7 @@ func (ts TaskSet) Digest() uint64 {
 			x >>= 8
 		}
 	}
-	for _, t := range ts.Canonical() {
+	for _, t := range ts {
 		mix(t.PeriodNs)
 		mix(t.SliceNs)
 	}
@@ -197,46 +234,68 @@ func Simulate(tasks TaskSet, overheadNs int64, utilLimit float64) SimResult {
 			return SimResult{Reason: HyperperiodOverflow}
 		}
 	}
+	rp := simScratch.Get().(*[]simJob)
+	res, buf := simulate(tasks, overheadNs, utilLimit, hyper, (*rp)[:0])
+	*rp = buf
+	simScratch.Put(rp)
+	return res
+}
 
-	type job struct {
-		task     int
-		deadline int64
-		rem      int64
+// simJob is one released, not-yet-finished job in the EDF simulation.
+type simJob struct {
+	task     int
+	deadline int64
+	rem      int64
+}
+
+// simScratch pools the ready-queue buffer so a steady-state Simulate —
+// and therefore a steady-state Analyze — allocates nothing.
+var simScratch = sync.Pool{New: func() any {
+	buf := make([]simJob, 0, 64)
+	return &buf
+}}
+
+// releaseJobs appends the jobs of every task with an arrival at `at`.
+func releaseJobs(ready []simJob, tasks TaskSet, at, overheadNs int64, utilLimit float64) []simJob {
+	for i, t := range tasks {
+		if at%t.PeriodNs == 0 {
+			// Each arrival costs one scheduler invocation and a second
+			// fires at slice completion; charge both to the job.
+			ready = append(ready, simJob{task: i, deadline: at + t.PeriodNs,
+				rem: inflateDemand(t.SliceNs+2*overheadNs, utilLimit)})
+		}
 	}
-	var ready []job
+	return ready
+}
+
+// nextReleaseAfter returns the earliest arrival instant strictly after
+// `after`.
+func nextReleaseAfter(tasks TaskSet, after int64) int64 {
+	next := int64(-1)
+	for _, t := range tasks {
+		r := (after/t.PeriodNs + 1) * t.PeriodNs
+		if next == -1 || r < next {
+			next = r
+		}
+	}
+	return next
+}
+
+// simulate is Simulate's validated core; it returns the (possibly grown)
+// ready buffer alongside the result so the caller can pool it.
+func simulate(tasks TaskSet, overheadNs int64, utilLimit float64, hyper int64, ready []simJob) (SimResult, []simJob) {
 	now := int64(0)
 	steps := 0
-
-	release := func(at int64) {
-		for i, t := range tasks {
-			if at%t.PeriodNs == 0 {
-				// Each arrival costs one scheduler invocation and a second
-				// fires at slice completion; charge both to the job.
-				ready = append(ready, job{task: i, deadline: at + t.PeriodNs,
-					rem: inflateDemand(t.SliceNs+2*overheadNs, utilLimit)})
-			}
-		}
-	}
-	nextRelease := func(after int64) int64 {
-		next := int64(-1)
-		for _, t := range tasks {
-			r := (after/t.PeriodNs + 1) * t.PeriodNs
-			if next == -1 || r < next {
-				next = r
-			}
-		}
-		return next
-	}
-	release(0)
+	ready = releaseJobs(ready, tasks, 0, overheadNs, utilLimit)
 	for now < hyper {
 		steps++
 		if steps > MaxSimSteps {
-			return SimResult{Reason: SimSteps, HyperperiodNs: hyper, Steps: steps}
+			return SimResult{Reason: SimSteps, HyperperiodNs: hyper, Steps: steps}, ready
 		}
 		if len(ready) == 0 {
-			now = nextRelease(now)
+			now = nextReleaseAfter(tasks, now)
 			if now < hyper {
-				release(now)
+				ready = releaseJobs(ready, tasks, now, overheadNs, utilLimit)
 			}
 			continue
 		}
@@ -249,12 +308,12 @@ func Simulate(tasks TaskSet, overheadNs int64, utilLimit float64) SimResult {
 		}
 		j := &ready[best]
 		runUntil := now + j.rem
-		if nr := nextRelease(now); nr < runUntil {
+		if nr := nextReleaseAfter(tasks, now); nr < runUntil {
 			runUntil = nr
 		}
 		if runUntil > j.deadline {
 			// This job cannot finish in time.
-			return SimResult{Reason: HyperperiodMiss, HyperperiodNs: hyper, Steps: steps}
+			return SimResult{Reason: HyperperiodMiss, HyperperiodNs: hyper, Steps: steps}, ready
 		}
 		j.rem -= runUntil - now
 		if j.rem <= 0 {
@@ -263,17 +322,17 @@ func Simulate(tasks TaskSet, overheadNs int64, utilLimit float64) SimResult {
 		}
 		now = runUntil
 		if now < hyper {
-			release(now)
+			ready = releaseJobs(ready, tasks, now, overheadNs, utilLimit)
 		}
 	}
 	// Jobs still outstanding at the hyperperiod boundary have deadlines at
 	// or before it only if they missed.
 	for _, j := range ready {
 		if j.rem > 0 && j.deadline <= hyper {
-			return SimResult{Reason: HyperperiodMiss, HyperperiodNs: hyper, Steps: steps}
+			return SimResult{Reason: HyperperiodMiss, HyperperiodNs: hyper, Steps: steps}, ready
 		}
 	}
-	return SimResult{OK: true, Reason: OK, HyperperiodNs: hyper, Steps: steps}
+	return SimResult{OK: true, Reason: OK, HyperperiodNs: hyper, Steps: steps}, ready
 }
 
 // inflateDemand converts ns of periodic demand into the wall time the
@@ -400,6 +459,17 @@ type CapacityReport struct {
 // hyperperiod is unchanged), or 1 ms for an empty set. The search is a
 // binary search on the probe task's slice, each step a full Analyze.
 func Capacity(spec Spec, set TaskSet, probePeriodNs int64) CapacityReport {
+	return capacitySearch(spec, set, probePeriodNs, func(probe Task) bool {
+		cand := append(append(TaskSet(nil), set...), probe)
+		return Analyze(spec, cand).Admit
+	})
+}
+
+// capacitySearch is Capacity's search over an injectable admit probe, so
+// the memoized path can answer each step from a retained demand curve
+// while producing the identical report: the probe's Admit bits are the
+// only thing the search consumes.
+func capacitySearch(spec Spec, set TaskSet, probePeriodNs int64, admitsProbe func(Task) bool) CapacityReport {
 	r := CapacityReport{Utilization: set.Utilization()}
 	r.BoundHeadroom = spec.UtilizationLimit - r.Utilization
 	if r.BoundHeadroom < 0 {
@@ -418,8 +488,7 @@ func Capacity(spec Spec, set TaskSet, probePeriodNs int64) CapacityReport {
 	r.ProbePeriodNs = probePeriodNs
 
 	admits := func(sliceNs int64) bool {
-		probe := append(append(TaskSet(nil), set...), Task{probePeriodNs, sliceNs})
-		return Analyze(spec, probe).Admit
+		return admitsProbe(Task{PeriodNs: probePeriodNs, SliceNs: sliceNs})
 	}
 	lo, hi := int64(0), probePeriodNs // invariant: admits(lo), !admits(hi+1)
 	if !admits(1) {

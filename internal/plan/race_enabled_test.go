@@ -1,0 +1,10 @@
+//go:build race
+
+package plan
+
+// Under -race, sync.Pool deliberately randomizes Put/Get so pooled
+// buffers are sometimes dropped and reallocated — the zero-alloc gates
+// would measure that randomization, not the code. The speedup gate
+// likewise measures several-fold instrumentation cost; see
+// TestRepeatAdmissionSpeedupAtLeast10x.
+func init() { raceEnabled = true }

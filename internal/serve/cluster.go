@@ -148,8 +148,10 @@ type ClusterConfig struct {
 	QueueDepth int
 	// BatchSize caps how many mutations one flush applies; default 32.
 	BatchSize int
-	// FlushWindow bounds how long a node waits to fill a batch once it
-	// holds at least one mutation; default 200 us.
+	// FlushWindow sizes the retry-after quote handed to shed clients;
+	// default 200 us. Node workers drain their queues greedily and never
+	// wait on it: a lone mutation commits immediately, and batches form
+	// exactly when mutations queue faster than the node applies them.
 	FlushWindow time.Duration
 	// Durability, when non-nil, persists every committed mutation to a
 	// write-ahead log under Durability.Dir and recovers it at startup.
@@ -395,21 +397,87 @@ type PlaceResult struct {
 	Verdict plan.Verdict `json:"verdict"`
 }
 
+// errEmptyID rejects placements with no identifier.
+var errEmptyID = errors.New("serve: placement id must not be empty")
+
 // Place admits the named task set onto the first node (in policy order)
 // whose incremental analysis accepts it. A set every node rejects returns
 // Placed=false with a nil error; errors report session problems (closed,
-// duplicate id, shed queue, canceled context).
+// duplicate id, shed queue, canceled context). Place is a one-item
+// PlaceBatch, so single and batched placements share one code path and
+// identical per-item behavior.
 func (c *Cluster) Place(ctx context.Context, id string, set plan.TaskSet) (PlaceResult, error) {
+	res := c.PlaceBatch(ctx, []BatchPlaceItem{{ID: id, Tasks: set}})
+	return res[0].Result, res[0].Err
+}
+
+// BatchPlaceItem is one candidate placement in a PlaceBatch call.
+type BatchPlaceItem struct {
+	ID    string       `json:"id"`
+	Tasks plan.TaskSet `json:"tasks"`
+}
+
+// BatchPlaceResult is one item's outcome in a PlaceBatch envelope: the
+// PlaceResult is meaningful when Err is nil, and Err carries the same
+// session errors Place returns for a single item.
+type BatchPlaceResult struct {
+	ID     string
+	Result PlaceResult
+	Err    error
+}
+
+// PlaceBatch admits many task sets in one call, fanning the items out
+// across the per-node admission workers concurrently instead of serially
+// per mutation. Results are returned in input order and each item's
+// outcome is exactly what Place would have returned for it alone.
+//
+// Ordering guarantees: items within one batch are admitted concurrently,
+// so their relative admission order against each other is unspecified —
+// but every individual admission is still serialized through the owning
+// node's worker, evaluated against that node's committed state at its
+// turn, and its verdict is planverify-exact for that state. Duplicate ids
+// within the batch are rejected deterministically: the first occurrence
+// (in input order) proceeds, later ones fail with ErrDuplicateID without
+// racing the first.
+func (c *Cluster) PlaceBatch(ctx context.Context, items []BatchPlaceItem) []BatchPlaceResult {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if id == "" {
-		return PlaceResult{Node: -1}, errors.New("serve: placement id must not be empty")
+	out := make([]BatchPlaceResult, len(items))
+	leaderErr := c.leaderCheck()
+	seen := make(map[string]bool, len(items))
+	// Bound the fan-out so a huge batch cannot flood the per-node queues
+	// into shedding everything: a few items in flight per node keeps every
+	// worker busy without queue blowout.
+	workers := 2 * len(c.nodes)
+	if workers < 1 {
+		workers = 1
 	}
-	if err := c.leaderCheck(); err != nil {
-		return PlaceResult{Node: -1}, err
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range items {
+		out[i] = BatchPlaceResult{ID: items[i].ID, Result: PlaceResult{Node: -1}}
+		switch {
+		case items[i].ID == "":
+			out[i].Err = errEmptyID
+		case leaderErr != nil:
+			out[i].Err = leaderErr
+		case seen[items[i].ID]:
+			out[i].Err = fmt.Errorf("%w: %q", ErrDuplicateID, items[i].ID)
+		default:
+			seen[items[i].ID] = true
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				set := append(plan.TaskSet(nil), items[i].Tasks...)
+				out[i].Result, out[i].Err = c.placeSet(ctx, items[i].ID, set, nil)
+			}(i)
+		}
 	}
-	return c.placeSet(ctx, id, append(plan.TaskSet(nil), set...), nil)
+	wg.Wait()
+	return out
 }
 
 // placeSet is the shared commit path behind Place and PlaceDAG: reserve
@@ -501,7 +569,7 @@ func (c *Cluster) PlaceDAG(ctx context.Context, id string, t dag.Task, analyzer 
 		ctx = context.Background()
 	}
 	if id == "" {
-		return res, errors.New("serve: placement id must not be empty")
+		return res, errEmptyID
 	}
 	if err := c.leaderCheck(); err != nil {
 		return res, err
@@ -918,9 +986,12 @@ func (c *Cluster) submit(ctx context.Context, n *node, m *mutation) (mutResult, 
 	return r, nil
 }
 
-// runNode is a node's worker loop: block for one mutation, drain up to
-// BatchSize more within FlushWindow, and apply the batch in order — the
-// same shape as the Server's runShard.
+// runNode is a node's worker loop: block for one mutation, then greedily
+// drain whatever is already queued (up to BatchSize) and apply the batch
+// in order — the same shape as the Server's runShard. The drain never
+// waits on a flush window: a lone mutation commits immediately, and
+// batches (and therefore shared WAL group commits) form exactly when
+// mutations queue faster than the node applies them.
 func (c *Cluster) runNode(n *node) {
 	defer c.wg.Done()
 	batch := make([]*mutation, 0, c.cfg.BatchSize)
@@ -930,7 +1001,6 @@ func (c *Cluster) runNode(n *node) {
 			return
 		}
 		batch = append(batch[:0], first)
-		timer := time.NewTimer(c.cfg.FlushWindow)
 		open := true
 	fill:
 		for len(batch) < c.cfg.BatchSize {
@@ -941,11 +1011,10 @@ func (c *Cluster) runNode(n *node) {
 					break fill
 				}
 				batch = append(batch, m)
-			case <-timer.C:
+			default:
 				break fill
 			}
 		}
-		timer.Stop()
 		n.batches.Add(1)
 		c.applyBatch(n, batch)
 		if !open {

@@ -323,14 +323,16 @@ func TestClusterCrashRecoveryProperty(t *testing.T) {
 	}
 }
 
-// TestDurablePlaceThroughputAtLeast5k is the group-commit acceptance gate:
+// TestDurablePlaceThroughputAtLeast8k is the group-commit acceptance gate:
 // with durability on, concurrent placement mutations must sustain at least
-// 5k ops/s — each op acked only after its record is fsynced. Wall-clock
-// fsync throughput is at the mercy of whatever else the box is running
-// (the race suite runs packages in parallel), so the gate takes the best
-// of three attempts: the bar stays at 5000, transient scheduler noise
-// doesn't fail it.
-func TestDurablePlaceThroughputAtLeast5k(t *testing.T) {
+// 8k ops/s — each op acked only after its record is fsynced. The bar was
+// 5k through PR 7; the greedy queue drain (no flush-window wait before a
+// batch commits) raised the measured rate enough to hold a higher floor.
+// Wall-clock fsync throughput is at the mercy of whatever else the box is
+// running (the race suite runs packages in parallel), so the gate takes
+// the best of three attempts: the bar stays at 8000, transient scheduler
+// noise doesn't fail it.
+func TestDurablePlaceThroughputAtLeast8k(t *testing.T) {
 	if testing.Short() {
 		t.Skip("perf gate skipped in -short")
 	}
@@ -344,11 +346,11 @@ func TestDurablePlaceThroughputAtLeast5k(t *testing.T) {
 			return
 		}
 		t.Logf("durable mutation rate: %.0f ops/s (attempt %d)", rate, attempt)
-		if rate >= 5000 {
+		if rate >= 8000 {
 			return
 		}
 	}
-	t.Fatalf("durable place throughput %.0f ops/s, want >= 5000", rate)
+	t.Fatalf("durable place throughput %.0f ops/s, want >= 8000", rate)
 }
 
 // raceEnabled is set by race_enabled_test.go under -race.

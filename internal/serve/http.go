@@ -27,6 +27,31 @@ type placeRequest struct {
 	Tasks plan.TaskSet `json:"tasks"`
 }
 
+// analyzeBatchRequest is the wire form of POST /v1/analyze-batch: many
+// analyzeRequest items answered in one round trip.
+type analyzeBatchRequest struct {
+	Items []analyzeRequest `json:"items"`
+}
+
+// placeBatchRequest is the wire form of POST /v1/cluster/place-batch.
+type placeBatchRequest struct {
+	Items []placeRequest `json:"items"`
+}
+
+// placeBatchItem is one entry of the place-batch response envelope:
+// exactly one of Result or Error is set. Result is byte-identical to the
+// single-item /v1/cluster/place body for the same request; Error is the
+// same apiError envelope the single route would answer with.
+type placeBatchItem struct {
+	ID     string       `json:"id"`
+	Result *PlaceResult `json:"result,omitempty"`
+	Error  *apiError    `json:"error,omitempty"`
+}
+
+// maxBatchItems caps the item count of one batch request; larger batches
+// answer 400 so a client cannot queue unbounded work behind one POST.
+const maxBatchItems = 1024
+
 // idRequest is the wire form of POST /v1/cluster/remove.
 type idRequest struct {
 	ID string `json:"id"`
@@ -76,9 +101,11 @@ func (s *Server) Handler() http.Handler { return s.HandlerWithCluster(nil) }
 
 // HandlerWithCluster returns the daemon's HTTP mux:
 //
-//	POST /v1/analyze   {"tasks":[{"period_ns":...,"slice_ns":...}]} -> plan.Verdict
+//	POST /v1/analyze       {"tasks":[{"period_ns":...,"slice_ns":...}]} -> plan.Verdict
+//	POST /v1/analyze-batch {"items":[{"tasks":[...]},...]}         -> {"items":[plan.Verdict,...]}
 //	POST /v1/capacity  {"tasks":[...],"probe_period_ns":N}          -> plan.CapacityReport
 //	POST /v1/cluster/place     {"id":"...","tasks":[...]}           -> PlaceResult
+//	POST /v1/cluster/place-batch {"items":[{"id":...,"tasks":[...]},...]} -> {"items":[{id,result|error},...]}
 //	POST /v1/cluster/remove    {"id":"..."}                         -> {"verdict":plan.Verdict}
 //	POST /v1/cluster/drain     {"node":N}                           -> DrainReport
 //	POST /v1/cluster/undrain   {"node":N}                           -> {"node":N}
@@ -96,17 +123,18 @@ func (s *Server) Handler() http.Handler { return s.HandlerWithCluster(nil) }
 // retry_after_ms. Cached and uncached analyze answers are byte-identical:
 // the cache indicator travels in the X-Hrtd-Cache header, never the body.
 //
-// POST /analyze and /capacity remain as deprecated aliases of their /v1/
-// twins; they answer identically plus a "Deprecation: true" header and a
-// Link to the successor route.
+// The pre-v1 aliases /analyze and /capacity are retired: they answer
+// 410 Gone with the envelope and a Link header naming the /v1 successor.
 func (s *Server) HandlerWithCluster(c *Cluster) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("/v1/analyze-batch", s.handleAnalyzeBatch)
 	mux.HandleFunc("/v1/capacity", s.handleCapacity)
-	mux.HandleFunc("/analyze", deprecated("/v1/analyze", s.handleAnalyze))
-	mux.HandleFunc("/capacity", deprecated("/v1/capacity", s.handleCapacity))
+	mux.HandleFunc("/analyze", gone("/v1/analyze"))
+	mux.HandleFunc("/capacity", gone("/v1/capacity"))
 	if c != nil {
 		mux.HandleFunc("/v1/cluster/place", c.handlePlace)
+		mux.HandleFunc("/v1/cluster/place-batch", c.handlePlaceBatch)
 		mux.HandleFunc("/v1/cluster/remove", c.handleRemove)
 		mux.HandleFunc("/v1/cluster/drain", c.handleDrain)
 		mux.HandleFunc("/v1/cluster/undrain", c.handleUndrain)
@@ -130,13 +158,14 @@ func (s *Server) HandlerWithCluster(c *Cluster) http.Handler {
 	return mux
 }
 
-// deprecated wraps a legacy alias: same behaviour as the v1 handler, plus
-// the RFC 9745 Deprecation header and a successor-version link.
-func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+// gone answers a retired pre-v1 alias: 410 with the envelope and a Link
+// header naming the /v1 successor. The aliases shipped deprecated (RFC
+// 9745 Deprecation header) for two releases before retirement.
+func gone(successor string) http.HandlerFunc {
 	return func(w http.ResponseWriter, req *http.Request) {
-		w.Header().Set("Deprecation", "true")
 		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
-		h(w, req)
+		writeError(w, http.StatusGone, "gone",
+			fmt.Sprintf("%s was retired; use %s", req.URL.Path, successor), 0)
 	}
 }
 
@@ -156,6 +185,42 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("X-Hrtd-Cache", "miss")
 	}
 	writeJSON(w, http.StatusOK, v)
+}
+
+// handleAnalyzeBatch answers many analyze items in one envelope. Each
+// item's verdict is byte-identical to the single-route answer for the
+// same task set; the per-item cache bits travel as a comma-joined
+// X-Hrtd-Cache header ("hit,miss,..."). The batch is all-or-nothing on
+// error, matching AnalyzeBatchContext's contract.
+func (s *Server) handleAnalyzeBatch(w http.ResponseWriter, req *http.Request) {
+	var body analyzeBatchRequest
+	if !decodeBody(w, req, &body) {
+		return
+	}
+	if len(body.Items) > maxBatchItems {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("batch of %d items exceeds the %d-item cap", len(body.Items), maxBatchItems), 0)
+		return
+	}
+	sets := make([]plan.TaskSet, len(body.Items))
+	for i, it := range body.Items {
+		sets[i] = it.Tasks
+	}
+	verdicts, cached, err := s.AnalyzeBatchContext(req.Context(), sets)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	bits := make([]string, len(cached))
+	for i, hit := range cached {
+		if hit {
+			bits[i] = "hit"
+		} else {
+			bits[i] = "miss"
+		}
+	}
+	w.Header().Set("X-Hrtd-Cache", strings.Join(bits, ","))
+	writeJSON(w, http.StatusOK, map[string]any{"items": verdicts})
 }
 
 func (s *Server) handleCapacity(w http.ResponseWriter, req *http.Request) {
@@ -200,6 +265,45 @@ func (c *Cluster) handlePlace(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
+}
+
+// handlePlaceBatch places many gangs in one request. The batch always
+// answers 200 with one envelope item per input, in input order; each item
+// carries either the PlaceResult the single route would have returned or
+// the apiError envelope it would have answered with. The one exception is
+// leadership: when the items fail with a redirectable NotLeaderError the
+// whole batch answers 307 to the leader, so a client that follows it
+// re-issues the identical batch there.
+func (c *Cluster) handlePlaceBatch(w http.ResponseWriter, req *http.Request) {
+	var body placeBatchRequest
+	if !decodeBody(w, req, &body) {
+		return
+	}
+	if len(body.Items) > maxBatchItems {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("batch of %d items exceeds the %d-item cap", len(body.Items), maxBatchItems), 0)
+		return
+	}
+	items := make([]BatchPlaceItem, len(body.Items))
+	for i, it := range body.Items {
+		items[i] = BatchPlaceItem{ID: it.ID, Tasks: it.Tasks}
+	}
+	results := c.PlaceBatch(req.Context(), items)
+	out := make([]placeBatchItem, len(results))
+	for i, r := range results {
+		out[i].ID = r.ID
+		if r.Err != nil {
+			if c.redirectToLeader(w, req, r.Err) {
+				return
+			}
+			_, e, _ := queryError(r.Err)
+			out[i].Error = &e
+			continue
+		}
+		res := r.Result
+		out[i].Result = &res
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"items": out})
 }
 
 // writeDAGError answers a structural DAG rejection: 422 with the uniform
@@ -373,8 +477,11 @@ func decodeBody(w http.ResponseWriter, req *http.Request, into any) bool {
 	return true
 }
 
-// writeQueryError maps a session error to the v1 envelope.
-func writeQueryError(w http.ResponseWriter, err error) {
+// queryError maps a session error to its v1 envelope: the HTTP status
+// the single-item routes answer with, the apiError body, and the
+// Retry-After header value in whole seconds (0 = no header). Batch
+// routes embed the envelope per item; writeQueryError writes it whole.
+func queryError(err error) (status int, e apiError, retryAfterSecs int64) {
 	var ae *core.AdmissionError
 	switch {
 	case errors.As(err, &ae):
@@ -382,31 +489,37 @@ func writeQueryError(w http.ResponseWriter, err error) {
 		// (whole seconds, rounded up) and the body (milliseconds).
 		ms := (ae.RetryAfterNs + 999_999) / 1_000_000
 		if ae.RetryAfterNs > 0 {
-			secs := (ae.RetryAfterNs + 999_999_999) / 1_000_000_000
-			w.Header().Set("Retry-After", fmt.Sprint(secs))
+			retryAfterSecs = (ae.RetryAfterNs + 999_999_999) / 1_000_000_000
 		}
-		writeError(w, http.StatusTooManyRequests, "overloaded", err.Error(), ms)
+		return http.StatusTooManyRequests, apiError{Code: "overloaded", Reason: err.Error(), RetryAfterMs: ms}, retryAfterSecs
 	case errors.Is(err, ErrDuplicateID), errors.Is(err, ErrPendingID):
-		writeError(w, http.StatusConflict, "conflict", err.Error(), 0)
+		return http.StatusConflict, apiError{Code: "conflict", Reason: err.Error()}, 0
 	case errors.Is(err, ErrUnknownID), errors.Is(err, ErrUnknownNode):
-		writeError(w, http.StatusNotFound, "not_found", err.Error(), 0)
+		return http.StatusNotFound, apiError{Code: "not_found", Reason: err.Error()}, 0
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		writeError(w, statusClientClosedRequest, "canceled", err.Error(), 0)
+		return statusClientClosedRequest, apiError{Code: "canceled", Reason: err.Error()}, 0
 	case errors.As(err, new(*NotLeaderError)), errors.Is(err, ErrNoLeader), errors.Is(err, ErrLeaderNotReady):
 		// Replica cannot take the mutation right now and no redirect was
 		// possible: tell the client when to retry.
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, "no_leader", err.Error(), 1000)
+		return http.StatusServiceUnavailable, apiError{Code: "no_leader", Reason: err.Error(), RetryAfterMs: 1000}, 1
 	case errors.Is(err, ErrIndeterminate):
 		// The mutation MAY have committed; the client must re-issue the
 		// same id and treat a duplicate-id conflict as success.
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, "indeterminate", err.Error(), 1000)
+		return http.StatusServiceUnavailable, apiError{Code: "indeterminate", Reason: err.Error(), RetryAfterMs: 1000}, 1
 	case errors.Is(err, ErrServerClosed), errors.Is(err, ErrClusterClosed):
-		writeError(w, http.StatusServiceUnavailable, "unavailable", err.Error(), 0)
+		return http.StatusServiceUnavailable, apiError{Code: "unavailable", Reason: err.Error()}, 0
 	default:
-		writeError(w, http.StatusInternalServerError, "internal", err.Error(), 0)
+		return http.StatusInternalServerError, apiError{Code: "internal", Reason: err.Error()}, 0
 	}
+}
+
+// writeQueryError maps a session error to the v1 envelope.
+func writeQueryError(w http.ResponseWriter, err error) {
+	status, e, secs := queryError(err)
+	if secs > 0 {
+		w.Header().Set("Retry-After", fmt.Sprint(secs))
+	}
+	writeJSON(w, status, e)
 }
 
 func writeError(w http.ResponseWriter, status int, code, reason string, retryAfterMs int64) {

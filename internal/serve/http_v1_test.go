@@ -24,31 +24,146 @@ func postJSON(t *testing.T, url, body string) (int, string, http.Header) {
 	return resp.StatusCode, string(b), resp.Header
 }
 
-func TestHTTPLegacyAliasesAreDeprecatedTwins(t *testing.T) {
+func TestHTTPLegacyAliasesAreGone(t *testing.T) {
 	s := newTestServer(t, Config{Shards: 1})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
 	body := `{"tasks":[{"period_ns":1000000,"slice_ns":600000}]}`
 	for _, route := range []string{"/analyze", "/capacity"} {
-		v1Code, v1Body, v1Hdr := postJSON(t, ts.URL+"/v1"+route, body)
-		oldCode, oldBody, oldHdr := postJSON(t, ts.URL+route, body)
-		if v1Code != http.StatusOK || oldCode != v1Code {
-			t.Fatalf("%s: status v1=%d legacy=%d", route, v1Code, oldCode)
+		code, respBody, hdr := postJSON(t, ts.URL+route, body)
+		if code != http.StatusGone {
+			t.Fatalf("%s: status = %d, want 410", route, code)
 		}
-		if oldBody != v1Body {
-			t.Fatalf("%s: legacy body diverges from v1:\n%s\n%s", route, oldBody, v1Body)
+		var e apiError
+		if err := json.Unmarshal([]byte(respBody), &e); err != nil || e.Code != "gone" {
+			t.Fatalf("%s: envelope = %s (%v)", route, respBody, err)
 		}
-		if oldHdr.Get("Deprecation") != "true" {
-			t.Fatalf("%s: legacy route not marked deprecated: %v", route, oldHdr)
+		if !strings.Contains(e.Reason, "/v1"+route) {
+			t.Fatalf("%s: reason does not name the successor: %q", route, e.Reason)
 		}
-		if !strings.Contains(oldHdr.Get("Link"), `rel="successor-version"`) ||
-			!strings.Contains(oldHdr.Get("Link"), "/v1"+route) {
-			t.Fatalf("%s: legacy route lacks successor link: %q", route, oldHdr.Get("Link"))
+		if !strings.Contains(hdr.Get("Link"), `rel="successor-version"`) ||
+			!strings.Contains(hdr.Get("Link"), "/v1"+route) {
+			t.Fatalf("%s: retired route lacks successor link: %q", route, hdr.Get("Link"))
 		}
-		if v1Hdr.Get("Deprecation") != "" {
-			t.Fatalf("%s: v1 route marked deprecated", route)
+		// The successor still answers.
+		if v1Code, v1Body, _ := postJSON(t, ts.URL+"/v1"+route, body); v1Code != http.StatusOK {
+			t.Fatalf("/v1%s: %d %s", route, v1Code, v1Body)
 		}
+	}
+}
+
+func TestHTTPAnalyzeBatchMatchesSingleRoute(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	items := []string{
+		`{"tasks":[{"period_ns":1000000,"slice_ns":600000}]}`,
+		`{"tasks":[{"period_ns":2000000,"slice_ns":100000},{"period_ns":1000000,"slice_ns":50000}]}`,
+		`{"tasks":[{"period_ns":1000000,"slice_ns":999999}]}`,
+	}
+	var singles []string
+	for _, it := range items {
+		code, body, _ := postJSON(t, ts.URL+"/v1/analyze", it)
+		if code != http.StatusOK {
+			t.Fatalf("single analyze: %d %s", code, body)
+		}
+		singles = append(singles, strings.TrimSuffix(body, "\n"))
+	}
+	code, body, hdr := postJSON(t, ts.URL+"/v1/analyze-batch",
+		`{"items":[`+strings.Join(items, ",")+`]}`)
+	if code != http.StatusOK {
+		t.Fatalf("batch analyze: %d %s", code, body)
+	}
+	var env struct {
+		Items []json.RawMessage `json:"items"`
+	}
+	if err := json.Unmarshal([]byte(body), &env); err != nil || len(env.Items) != len(items) {
+		t.Fatalf("batch envelope: %s (%v)", body, err)
+	}
+	for i, raw := range env.Items {
+		if string(raw) != singles[i] {
+			t.Fatalf("item %d diverges from single route:\nbatch:  %s\nsingle: %s", i, raw, singles[i])
+		}
+	}
+	// Items 0 and 2 repeat after the single calls primed the cache; all
+	// bits must be present and comma-joined in input order.
+	bits := strings.Split(hdr.Get("X-Hrtd-Cache"), ",")
+	if len(bits) != len(items) {
+		t.Fatalf("cache header bits = %q, want %d entries", hdr.Get("X-Hrtd-Cache"), len(items))
+	}
+	for i, b := range bits {
+		if b != "hit" && b != "miss" {
+			t.Fatalf("cache bit %d = %q", i, b)
+		}
+	}
+
+	// Oversized batch: 400 envelope.
+	big := `{"items":[` + strings.Repeat(items[0]+",", maxBatchItems) + items[0] + `]}`
+	code, body, _ = postJSON(t, ts.URL+"/v1/analyze-batch", big)
+	var e apiError
+	json.Unmarshal([]byte(body), &e) //nolint:errcheck
+	if code != http.StatusBadRequest || e.Code != "bad_request" {
+		t.Fatalf("oversized batch: %d %s", code, body)
+	}
+}
+
+func TestHTTPPlaceBatch(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 1})
+	c := newTestCluster(t, ClusterConfig{Nodes: 2})
+	ts := httptest.NewServer(s.HandlerWithCluster(c))
+	defer ts.Close()
+
+	// Seed one placement so the batch can collide with it.
+	code, body, _ := postJSON(t, ts.URL+"/v1/cluster/place",
+		`{"id":"seeded","tasks":[{"period_ns":100000,"slice_ns":20000}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("seed place: %d %s", code, body)
+	}
+	singleBody := strings.TrimSuffix(body, "\n")
+
+	code, body, _ = postJSON(t, ts.URL+"/v1/cluster/place-batch",
+		`{"items":[`+
+			`{"id":"batch-a","tasks":[{"period_ns":100000,"slice_ns":20000}]},`+
+			`{"id":"seeded","tasks":[{"period_ns":100000,"slice_ns":20000}]},`+
+			`{"id":"batch-b","tasks":[{"period_ns":200000,"slice_ns":10000}]}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("place-batch: %d %s", code, body)
+	}
+	var env struct {
+		Items []placeBatchItem `json:"items"`
+	}
+	if err := json.Unmarshal([]byte(body), &env); err != nil || len(env.Items) != 3 {
+		t.Fatalf("batch envelope: %s (%v)", body, err)
+	}
+	if env.Items[0].ID != "batch-a" || env.Items[0].Error != nil || env.Items[0].Result == nil || !env.Items[0].Result.Placed {
+		t.Fatalf("item 0: %+v", env.Items[0])
+	}
+	if env.Items[1].ID != "seeded" || env.Items[1].Result != nil ||
+		env.Items[1].Error == nil || env.Items[1].Error.Code != "conflict" {
+		t.Fatalf("item 1 should be a conflict envelope: %+v", env.Items[1])
+	}
+	if env.Items[2].ID != "batch-b" || env.Items[2].Error != nil || env.Items[2].Result == nil {
+		t.Fatalf("item 2: %+v", env.Items[2])
+	}
+
+	// A one-item batch result marshals byte-identically to the single
+	// route's body for the same request.
+	raw, err := json.Marshal(env.Items[0].Result)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var seeded PlaceResult
+	if err := json.Unmarshal([]byte(singleBody), &seeded); err != nil {
+		t.Fatalf("single body: %v", err)
+	}
+	var batched PlaceResult
+	if err := json.Unmarshal(raw, &batched); err != nil {
+		t.Fatalf("batch item: %v", err)
+	}
+	if batched.Placed != seeded.Placed || batched.Verdict.Admit != seeded.Verdict.Admit {
+		t.Fatalf("batch item shape diverges: single=%s batch=%s", singleBody, raw)
 	}
 }
 

@@ -4,5 +4,5 @@ package serve
 
 // The race detector multiplies wall-clock cost several-fold, which makes
 // throughput gates measure the instrumentation instead of the code; see
-// TestDurablePlaceThroughputAtLeast5k.
+// TestDurablePlaceThroughputAtLeast8k.
 func init() { raceEnabled = true }

@@ -57,8 +57,11 @@ type Config struct {
 	QueueDepth int
 	// BatchSize caps how many requests one flush processes; default 64.
 	BatchSize int
-	// FlushWindow bounds how long a shard waits to fill a batch once it
-	// holds at least one request; default 200 us.
+	// FlushWindow sizes the retry-after quote handed to shed clients (one
+	// queue's worth of work is quoted as queued-batches × FlushWindow);
+	// default 200 us. Shard workers drain their queues greedily and never
+	// wait on it: a lone request is answered immediately, and batches form
+	// exactly when the queue is deeper than the worker is fast.
 	FlushWindow time.Duration
 	// CacheEntries bounds each shard's verdict LRU; default 4096.
 	CacheEntries int
@@ -124,6 +127,10 @@ type shard struct {
 	id    int
 	ch    chan *request
 	cache *lru
+	// memo caches demand-bound curves for capacity queries, so a repeated
+	// what-if probe patches a retained curve instead of re-simulating the
+	// hyperperiod per binary-search step. Owned by the shard goroutine.
+	memo *plan.Memo
 
 	// histMu guards hist; the shard goroutine writes it, scrapes clone it.
 	histMu sync.Mutex
@@ -183,6 +190,7 @@ func newServer(cfg Config) (*Server, error) {
 			id:    i,
 			ch:    make(chan *request, cfg.QueueDepth),
 			cache: newLRU(cfg.CacheEntries),
+			memo:  plan.NewMemo(cfg.Spec, cfg.CacheEntries),
 			hist:  stats.NewHistogram(latHistLoUs, latHistHiUs, latHistNBuckets),
 		}
 	}
@@ -222,6 +230,34 @@ func (s *Server) Close() {
 func (s *Server) AnalyzeContext(ctx context.Context, set plan.TaskSet) (plan.Verdict, bool, error) {
 	resp, err := s.submit(ctx, &request{kind: analyzeQuery, set: set})
 	return resp.verdict, resp.cached, err
+}
+
+// AnalyzeBatchContext answers many admission queries in one call, fanning
+// the sets out across their digest-routed shards concurrently and
+// collecting the answers in input order. Each verdict — and each cached
+// flag — is exactly what AnalyzeContext would have returned for that set
+// alone, so batch and single-item answers are byte-identical on the wire.
+// The error contract is all-or-nothing: the first per-item error (shed,
+// cancellation, server closed) in input order fails the whole batch.
+func (s *Server) AnalyzeBatchContext(ctx context.Context, sets []plan.TaskSet) ([]plan.Verdict, []bool, error) {
+	verdicts := make([]plan.Verdict, len(sets))
+	cached := make([]bool, len(sets))
+	errs := make([]error, len(sets))
+	var wg sync.WaitGroup
+	for i := range sets {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			verdicts[i], cached[i], errs[i] = s.AnalyzeContext(ctx, sets[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return verdicts, cached, nil
 }
 
 // CapacityContext answers a what-if capacity query for set with
@@ -292,8 +328,12 @@ func (s *Server) submit(ctx context.Context, r *request) (response, error) {
 	}
 }
 
-// runShard is a shard's worker loop: block for one request, then drain up
-// to BatchSize more within FlushWindow, and answer the batch in order.
+// runShard is a shard's worker loop: block for one request, then greedily
+// drain whatever is already queued (up to BatchSize) and answer the batch
+// in order. The drain never waits: a lone serial request is answered
+// immediately, and batches form exactly when the queue is filling faster
+// than the worker processes — the same adaptive shape as the WAL's group
+// commit, without the fixed flush-window latency it used to add.
 func (s *Server) runShard(sh *shard) {
 	defer s.wg.Done()
 	batch := make([]*request, 0, s.cfg.BatchSize)
@@ -303,7 +343,6 @@ func (s *Server) runShard(sh *shard) {
 			return
 		}
 		batch = append(batch[:0], first)
-		timer := time.NewTimer(s.cfg.FlushWindow)
 		open := true
 	fill:
 		for len(batch) < s.cfg.BatchSize {
@@ -314,11 +353,10 @@ func (s *Server) runShard(sh *shard) {
 					break fill
 				}
 				batch = append(batch, r)
-			case <-timer.C:
+			default:
 				break fill
 			}
 		}
-		timer.Stop()
 		sh.batches.Add(1)
 		s.process(sh, batch)
 		if !open {
@@ -354,7 +392,10 @@ func (s *Server) process(sh *shard, batch []*request) {
 				resp = response{verdict: v}
 			}
 		case capacityQuery:
-			resp = response{capacity: s.analysis.Capacity(r.set, r.probeNs)}
+			// r.set is already canonical, so the memoized answer is
+			// bit-identical to s.analysis.Capacity(r.set, r.probeNs) with
+			// the hyperperiod simulations replaced by curve patches.
+			resp = response{capacity: sh.memo.Capacity(r.set, r.probeNs)}
 		}
 		lat := float64(time.Since(r.start).Nanoseconds()) / 1e3
 		sh.histMu.Lock()

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"bytes"
 	"encoding/json"
 	"errors"
@@ -61,7 +62,7 @@ func TestAnalyzeMatchesPlanDirectly(t *testing.T) {
 	}
 	for _, set := range sets {
 		want := plan.Analyze(testSpec, set.Canonical())
-		got, _, err := s.Analyze(set)
+		got, _, err := s.AnalyzeContext(context.Background(), set)
 		if err != nil {
 			t.Fatalf("Analyze(%v): %v", set, err)
 		}
@@ -75,7 +76,7 @@ func TestCacheHitByteIdentical(t *testing.T) {
 	s := newTestServer(t, Config{Shards: 2})
 	set := plan.TaskSet{{PeriodNs: 200_000, SliceNs: 60_000}, {PeriodNs: 100_000, SliceNs: 30_000}}
 
-	v1, cached1, err := s.Analyze(set)
+	v1, cached1, err := s.AnalyzeContext(context.Background(), set)
 	if err != nil {
 		t.Fatalf("first Analyze: %v", err)
 	}
@@ -84,7 +85,7 @@ func TestCacheHitByteIdentical(t *testing.T) {
 	}
 	// Same set, different order: must hit the cache (canonical digest).
 	reordered := plan.TaskSet{{PeriodNs: 100_000, SliceNs: 30_000}, {PeriodNs: 200_000, SliceNs: 60_000}}
-	v2, cached2, err := s.Analyze(reordered)
+	v2, cached2, err := s.AnalyzeContext(context.Background(), reordered)
 	if err != nil {
 		t.Fatalf("second Analyze: %v", err)
 	}
@@ -138,7 +139,7 @@ func TestLoadSheddingReturnsAdmissionError(t *testing.T) {
 		sh.ch <- &request{}
 	}
 
-	_, _, err = s.Analyze(plan.TaskSet{{PeriodNs: 1_000_000, SliceNs: 1_000}})
+	_, _, err = s.AnalyzeContext(context.Background(), plan.TaskSet{{PeriodNs: 1_000_000, SliceNs: 1_000}})
 	if err == nil {
 		t.Fatalf("full queue accepted a query")
 	}
@@ -200,7 +201,7 @@ func TestSubmitAfterClose(t *testing.T) {
 	}
 	s.Close()
 	s.Close() // idempotent
-	if _, _, err := s.Analyze(plan.TaskSet{{PeriodNs: 1_000_000, SliceNs: 1_000}}); !errors.Is(err, ErrServerClosed) {
+	if _, _, err := s.AnalyzeContext(context.Background(), plan.TaskSet{{PeriodNs: 1_000_000, SliceNs: 1_000}}); !errors.Is(err, ErrServerClosed) {
 		t.Fatalf("Analyze after Close: err = %v, want ErrServerClosed", err)
 	}
 }
@@ -217,7 +218,7 @@ func TestConcurrentQueriesAllAnswered(t *testing.T) {
 			for i := 0; i < perWorker; i++ {
 				// Mix of repeated (cacheable) and unique sets.
 				slice := int64(100_000 + (i%10)*7_000 + w)
-				v, _, err := s.Analyze(plan.TaskSet{{PeriodNs: 1_000_000, SliceNs: slice}})
+				v, _, err := s.AnalyzeContext(context.Background(), plan.TaskSet{{PeriodNs: 1_000_000, SliceNs: slice}})
 				if err != nil {
 					errs <- fmt.Errorf("worker %d: %v", w, err)
 					return
@@ -249,7 +250,7 @@ func TestConcurrentQueriesAllAnswered(t *testing.T) {
 func TestCapacityQuery(t *testing.T) {
 	s := newTestServer(t, Config{Shards: 2})
 	set := plan.TaskSet{{PeriodNs: 1_000_000, SliceNs: 300_000}}
-	got, err := s.Capacity(set, 0)
+	got, err := s.CapacityContext(context.Background(), set, 0)
 	if err != nil {
 		t.Fatalf("Capacity: %v", err)
 	}
@@ -322,7 +323,7 @@ func TestHTTPMetricsAndHealthz(t *testing.T) {
 	// Generate one miss and one hit so rates are non-zero.
 	set := plan.TaskSet{{PeriodNs: 1_000_000, SliceNs: 500_000}}
 	for i := 0; i < 2; i++ {
-		if _, _, err := s.Analyze(set); err != nil {
+		if _, _, err := s.AnalyzeContext(context.Background(), set); err != nil {
 			t.Fatalf("Analyze: %v", err)
 		}
 	}
