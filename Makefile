@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: ci build vet test race planverify perf-gate chaos bench bench-engine bench-record bench-record-pr5 bench-record-pr7 bench-record-pr8 engine-bench-smoke serve-smoke cluster-smoke batch-smoke recovery-smoke failover-smoke dag-smoke
+.PHONY: ci build vet test race planverify perf-gate chaos bench bench-engine bench-record bench-record-pr5 bench-record-pr7 bench-record-pr8 bench-record-pr9 engine-bench-smoke serve-smoke cluster-smoke batch-smoke recovery-smoke failover-smoke dag-smoke shard-smoke
 
 # ci is the tier-1 gate: every change must pass vet, build, the race-
 # enabled test suite, the planverify cross-check, the non-race perf
-# gate, the engine benchmark smoke, and the serving-layer smokes —
-# including the kill -9 recovery, leader-failover, DAG-recovery, and
-# batched-placement smokes — before it lands (see README "Testing").
-ci: vet build race planverify perf-gate engine-bench-smoke serve-smoke cluster-smoke batch-smoke recovery-smoke failover-smoke dag-smoke
+# gates, the engine benchmark smoke, and the serving-layer smokes —
+# including the kill -9 recovery, leader-failover, DAG-recovery,
+# batched-placement, and sharded-router smokes — before it lands (see
+# README "Testing").
+ci: vet build race planverify perf-gate engine-bench-smoke serve-smoke cluster-smoke batch-smoke recovery-smoke failover-smoke dag-smoke shard-smoke
 
 build:
 	$(GO) build ./...
@@ -26,13 +27,14 @@ race:
 # instrumentation, not the code — the gates skip themselves under -race).
 perf-gate:
 	$(GO) test -run TestDurablePlaceThroughputAtLeast8k -count=1 ./internal/serve
+	$(GO) test -run TestRoutedPlaceScaleoutAtLeast1_8x -count=1 ./internal/route
 
 # planverify rebuilds the admission layers with the verification tag on,
 # so every Incremental verdict is asserted bit-identical to a fresh full
 # Analyze of the same candidate, under the race detector.
 planverify:
-	$(GO) vet -tags planverify ./internal/plan ./internal/serve
-	$(GO) test -race -tags planverify ./internal/plan ./internal/serve
+	$(GO) vet -tags planverify ./internal/plan ./internal/serve ./internal/route
+	$(GO) test -race -tags planverify ./internal/plan ./internal/serve ./internal/route
 
 # chaos smoke-runs every fault-injection scenario at a fixed seed and fails
 # on any invariant violation.
@@ -77,6 +79,13 @@ bench-record-pr8:
 	$(GO) run ./cmd/benchrecord -pkg './internal/plan ./internal/serve' \
 		-bench 'BenchmarkAnalyzeRepeat|BenchmarkGangProbe|BenchmarkClusterPlace' \
 		-skip-suite -o BENCH_PR8.json
+
+# bench-record-pr9 regenerates the horizontal scale-out artifact
+# (BENCH_PR9.json): routed place-batch throughput on one shard group
+# versus four over the same 8 nodes, with the derived
+# routed_place_scaleout_x and routed_place_ops_per_sec figures.
+bench-record-pr9:
+	$(GO) run ./cmd/benchrecord -pkg ./internal/route -bench 'BenchmarkRoutedPlace' -skip-suite -o BENCH_PR9.json
 
 # engine-bench-smoke compiles and exercises every engine benchmark for a
 # fixed 100 iterations — fast enough for ci, and it catches benchmarks
@@ -175,6 +184,44 @@ dag-smoke:
 	after=$$("$$dir"/hrtload -addr "$$(cat "$$dir"/addr)" -mode status -check | sed 's/ durable=.*//'); \
 	if [ "$$before" != "$$after" ]; then echo "dag-smoke: status diverged across kill -9:"; echo " before: $$before"; echo " after:  $$after"; cat "$$dir"/hrtd2.log; exit 1; fi; \
 	echo "dag-smoke: ok ($$before)"
+
+# shard-smoke is the end-to-end horizontal scale-out drill: boot four
+# independent shard-group daemons (2 nodes each), front them with a
+# stateless router daemon, drive the routed place-batch path with
+# hrtload, assert the aggregate status sees all four groups, then kill -9
+# one group's daemon and fail unless the router keeps serving — batches
+# still place on the surviving groups (degrading per-item, not
+# per-request) and the aggregate status reports exactly one group down.
+shard-smoke:
+	@set -e; dir=$$(mktemp -d); g1=; g2=; g3=; g4=; rpid=; \
+	cleanup() { for p in $$g1 $$g2 $$g3 $$g4 $$rpid; do kill -9 $$p 2>/dev/null || true; done; rm -rf "$$dir"; }; \
+	trap cleanup EXIT; \
+	$(GO) build -o "$$dir" ./cmd/hrtd ./cmd/hrtload; \
+	for g in 1 2 3 4; do \
+		"$$dir"/hrtd -addr 127.0.0.1:0 -addr-file "$$dir"/g$$g.addr -nodes 2 >"$$dir"/g$$g.log 2>&1 & \
+		eval g$$g=$$!; \
+	done; \
+	for g in 1 2 3 4; do \
+		for i in $$(seq 100); do [ -s "$$dir"/g$$g.addr ] && break; sleep 0.1; done; \
+		if ! [ -s "$$dir"/g$$g.addr ]; then echo "shard-smoke: group $$g never bound"; cat "$$dir"/g$$g.log; exit 1; fi; \
+	done; \
+	"$$dir"/hrtd -addr 127.0.0.1:0 -addr-file "$$dir"/router.addr \
+		-route "$$(cat "$$dir"/g1.addr)" -route "$$(cat "$$dir"/g2.addr)" \
+		-route "$$(cat "$$dir"/g3.addr)" -route "$$(cat "$$dir"/g4.addr)" \
+		>"$$dir"/router.log 2>&1 & rpid=$$!; \
+	for i in $$(seq 100); do [ -s "$$dir"/router.addr ] && break; sleep 0.1; done; \
+	if ! [ -s "$$dir"/router.addr ]; then echo "shard-smoke: router never bound"; cat "$$dir"/router.log; exit 1; fi; \
+	grep 'hrtd: routing: groups=4' "$$dir"/router.log >/dev/null || { echo "shard-smoke: no routing boot line"; cat "$$dir"/router.log; exit 1; }; \
+	"$$dir"/hrtload -addr "$$(cat "$$dir"/router.addr)" -mode batch -dur 2s -conns 4 -live 8 -check; \
+	st=$$("$$dir"/hrtload -addr "$$(cat "$$dir"/router.addr)" -mode status -check); \
+	case "$$st" in *"groups=4 reachable=4"*) ;; *) echo "shard-smoke: bad healthy status: $$st"; exit 1;; esac; \
+	kill -9 $$g2; wait $$g2 2>/dev/null || true; g2=; \
+	"$$dir"/hrtload -addr "$$(cat "$$dir"/router.addr)" -mode batch -dur 2s -conns 4 -live 8 >"$$dir"/degraded.log 2>&1 || true; \
+	placed=$$(sed -n 's/^hrtload: \([0-9]*\) placed.*/\1/p' "$$dir"/degraded.log); \
+	if [ -z "$$placed" ] || [ "$$placed" -eq 0 ]; then echo "shard-smoke: nothing placed with one group down"; cat "$$dir"/degraded.log; cat "$$dir"/router.log; exit 1; fi; \
+	st2=$$("$$dir"/hrtload -addr "$$(cat "$$dir"/router.addr)" -mode status -check); \
+	case "$$st2" in *"groups=4 reachable=3"*) ;; *) echo "shard-smoke: bad degraded status: $$st2"; exit 1;; esac; \
+	echo "shard-smoke: ok ($$placed placements with one of four groups killed; $$st2)"
 
 # failover-smoke is the end-to-end replication drill: boot a 3-replica
 # hrtd placement service, drive mutations through a follower (so every

@@ -1,6 +1,9 @@
 package hrtsched
 
 import (
+	"context"
+	"time"
+
 	"hrtsched/internal/bsp"
 	"hrtsched/internal/core"
 	"hrtsched/internal/cyclic"
@@ -16,6 +19,7 @@ import (
 	"hrtsched/internal/paging"
 	"hrtsched/internal/pgas"
 	"hrtsched/internal/plan"
+	"hrtsched/internal/route"
 	"hrtsched/internal/scope"
 	"hrtsched/internal/serve"
 	"hrtsched/internal/sim"
@@ -629,6 +633,72 @@ func NewMetricsRegistry() *MetricsRegistry { return serve.NewRegistry() }
 // misses, degradation, watchdog) on a registry — the same code path
 // cmd/chaos -metrics and hrtd use.
 func RegisterKernelMetrics(r *MetricsRegistry, k *Kernel) { serve.RegisterKernel(r, k) }
+
+// --- Placement router (internal/route) ---------------------------------------
+
+// PlacementRouter shards a node fleet into independent placement groups
+// behind a thin stateless routing layer: task-set ids map to owning
+// groups by rendezvous hashing, batches split and re-merge in input
+// order, and cross-shard drain/rebalance move sets between groups with
+// admit-before-release safety (see DESIGN.md §13).
+type PlacementRouter = route.Router
+
+// RouterConfig configures a PlacementRouter.
+type RouterConfig = route.Config
+
+// RouterGroup is one shard group behind a router: the subset of the
+// Cluster surface the router fans requests to.
+type RouterGroup = route.Group
+
+// RouterBatchResult is the merged, input-ordered answer of a routed
+// PlaceBatch, with the owning group recorded per item.
+type RouterBatchResult = route.BatchResult
+
+// RoutedStatus is the aggregated fleet status of Router.Status: global
+// totals plus a per-group breakdown with staleness ages.
+type RoutedStatus = route.RoutedStatus
+
+// RoutedGroupStatus is one group's entry in RoutedStatus.
+type RoutedGroupStatus = route.GroupStatus
+
+// RouterDrainReport summarizes one cross-shard node drain.
+type RouterDrainReport = route.DrainReport
+
+// RouterRebalanceReport summarizes one cross-shard rebalance pass.
+type RouterRebalanceReport = route.RebalanceReport
+
+// RouteEnvelopeError is a structured error proxied verbatim from a
+// remote shard group (status code, error envelope, Retry-After).
+type RouteEnvelopeError = route.EnvelopeError
+
+// ErrShardGroupUnreachable reports that a shard group could not be
+// reached at all (transport failure, not a structured rejection).
+var ErrShardGroupUnreachable = route.ErrGroupUnreachable
+
+// ShardGroupHeader is the response header naming the shard group(s)
+// that served a routed request.
+const ShardGroupHeader = route.ShardGroupHeader
+
+// NewPlacementRouter builds a router over shard groups. It returns an
+// error for an empty group list or inconsistent configuration.
+func NewPlacementRouter(groups []RouterGroup, cfg RouterConfig) (*PlacementRouter, error) {
+	return route.New(groups, cfg)
+}
+
+// NewLocalShardGroup wraps an in-process Cluster as a shard group
+// (migratable in cross-shard drain/rebalance).
+func NewLocalShardGroup(c *Cluster) *route.LocalGroup { return route.NewLocalGroup(c) }
+
+// NewRemoteShardGroup dials a remote hrtd group endpoint and wraps it
+// as a shard group (served, but not migratable).
+func NewRemoteShardGroup(ctx context.Context, baseURL string, timeout time.Duration) (*route.RemoteGroup, error) {
+	return route.NewRemoteGroup(ctx, baseURL, timeout)
+}
+
+// PartitionFleetNodes deterministically partitions node indices
+// [0, total) into the given number of shard groups by rendezvous
+// hashing, evened to within one node per group.
+func PartitionFleetNodes(total, groups int) [][]int { return route.PartitionNodes(total, groups) }
 
 // --- Instruments ------------------------------------------------------------
 

@@ -158,6 +158,9 @@ func derive(rec *record) {
 		// PR8: the memoized/curve fast paths against the uncached analysis.
 		"repeat_admission_speedup_x": {"BenchmarkAnalyzeRepeatUncached", "BenchmarkAnalyzeRepeatMemo"},
 		"batch_probe_speedup_x":      {"BenchmarkGangProbeUncached", "BenchmarkGangProbeCurve"},
+		// PR9: routed place-batch over 4 shard groups against a single group
+		// on the same 8 nodes — the horizontal scale-out factor.
+		"routed_place_scaleout_x": {"BenchmarkRoutedPlaceOneGroup", "BenchmarkRoutedPlaceFourGroups"},
 	}
 	for name, p := range pairs {
 		if v, ok := ratio(p[0], p[1]); ok {
@@ -179,6 +182,12 @@ func derive(rec *record) {
 		if r, ok := rec.Microbench[bench]; ok && r.NsPerOp > 0 {
 			rec.Derived[name] = 2e9 / r.NsPerOp
 		}
+	}
+	// PR9: absolute routed placement rate. One bench op is a 64-item
+	// place-batch plus its removals, so placements/s is 64 per op — the
+	// same accounting as the TestRoutedPlaceScaleoutAtLeast1_8x gate.
+	if r, ok := rec.Microbench["BenchmarkRoutedPlaceFourGroups"]; ok && r.NsPerOp > 0 {
+		rec.Derived["routed_place_ops_per_sec"] = 64e9 / r.NsPerOp
 	}
 }
 

@@ -23,6 +23,19 @@
 // Endpoints: POST /v1/analyze, POST /v1/capacity, POST /v1/cluster/{place,
 // remove,drain,undrain,rebalance}, GET /v1/cluster/status, GET /metrics,
 // GET /healthz. POST /analyze and /capacity remain as deprecated aliases.
+//
+// Horizontal scale-out shards the node fleet into independent groups
+// behind the placement router (internal/route):
+//
+//	hrtd -nodes 8 -shard-groups 4            # 4 in-process shard groups
+//	hrtd -route http://10.0.0.1:9101 -route http://10.0.0.2:9101
+//
+// With -shard-groups K the fleet partitions into K in-process clusters
+// (each optionally durable under -data-dir/group-<k>); with -route the
+// daemon is a pure stateless router over remote group daemons, each of
+// which may itself be a replica set (the router follows 307 leader
+// redirects). The /v1/cluster and /v1/dag routes answer through the
+// router either way, with X-Hrtd-Shard-Group attribution headers.
 package main
 
 import (
@@ -33,12 +46,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"hrtsched/internal/machine"
+	"hrtsched/internal/route"
 	"hrtsched/internal/serve"
 )
 
@@ -59,7 +74,19 @@ func main() {
 		dataDir  = flag.String("data-dir", "", "durable state directory (WAL + snapshots); empty = in-memory only")
 		replicas = flag.Int("replicas", 1, "total replica count (>1 replicates the placement log)")
 		replID   = flag.Int("id", 0, "this replica's id in [0,replicas)")
+		groups   = flag.Int("shard-groups", 1, "partition the node fleet into this many in-process shard groups behind the placement router")
 	)
+	var routes []string
+	flag.Func("route", "shard-group daemon base URL (repeat once per group); makes this daemon a stateless router", func(v string) error {
+		if v == "" {
+			return fmt.Errorf("empty -route URL")
+		}
+		if !strings.Contains(v, "://") {
+			v = "http://" + v
+		}
+		routes = append(routes, v)
+		return nil
+	})
 	peers := map[int]string{}
 	flag.Func("peer", "replica address as id=host:port (repeat once per replica)", func(v string) error {
 		id, hostport, ok := strings.Cut(v, "=")
@@ -117,6 +144,26 @@ func main() {
 	if *replicas < 1 {
 		fail("-replicas must be at least 1 (got %d)", *replicas)
 	}
+	if *groups < 1 {
+		fail("-shard-groups must be at least 1 (got %d)", *groups)
+	}
+	if len(routes) > 0 {
+		// A routing daemon owns no nodes of its own: the groups do.
+		if *groups > 1 {
+			fail("-route and -shard-groups are mutually exclusive (the -route targets are the groups)")
+		}
+		if *dataDir != "" || *replicas > 1 {
+			fail("-route is a stateless router; -data-dir and -replicas belong on the group daemons")
+		}
+	}
+	if *groups > 1 {
+		if *nodes < *groups {
+			fail("-shard-groups %d needs at least that many nodes (got -nodes %d)", *groups, *nodes)
+		}
+		if *replicas > 1 {
+			fail("-shard-groups > 1 cannot replicate in-process; run replicated group daemons and front them with -route")
+		}
+	}
 	if *replicas > 1 {
 		if *dataDir == "" {
 			fail("-replicas > 1 requires -data-dir (the replicated log lives there)")
@@ -149,8 +196,77 @@ func main() {
 	}
 	defer srv.Close()
 
-	var cluster *serve.Cluster
-	if *nodes > 0 {
+	var (
+		cluster  *serve.Cluster
+		clusters []*serve.Cluster
+		router   *route.Router
+	)
+	switch {
+	case len(routes) > 0:
+		// Stateless router over remote shard-group daemons. Boot retries the
+		// status probe briefly so the router can start alongside its groups.
+		rgroups := make([]route.Group, len(routes))
+		for i, u := range routes {
+			var rg *route.RemoteGroup
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				rg, err = route.NewRemoteGroup(ctx, u, 30*time.Second)
+				cancel()
+				if err == nil || time.Now().After(deadline) {
+					break
+				}
+				time.Sleep(200 * time.Millisecond)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hrtd: %v\n", err)
+				os.Exit(1)
+			}
+			rgroups[i] = rg
+		}
+		router, err = route.New(rgroups, route.Config{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hrtd: %v\n", err)
+			os.Exit(1)
+		}
+		router.RegisterMetrics(srv.Registry())
+		fmt.Printf("hrtd: routing: groups=%d targets=%s\n", len(routes), strings.Join(routes, ","))
+	case *groups > 1 && *nodes > 0:
+		// In-process sharding: partition the fleet into K independent
+		// clusters (each optionally durable under its own subdirectory)
+		// behind the router.
+		part := route.PartitionNodes(*nodes, *groups)
+		lgroups := make([]route.Group, *groups)
+		for g := range lgroups {
+			ccfg := serve.ClusterConfig{
+				Spec:   planSpec,
+				Nodes:  len(part[g]),
+				Policy: pol,
+			}
+			if *dataDir != "" {
+				ccfg.Durability = &serve.DurabilityConfig{
+					Dir: filepath.Join(*dataDir, fmt.Sprintf("group-%d", g)),
+				}
+			}
+			cl, cerr := serve.NewCluster(ccfg)
+			if cerr != nil {
+				fmt.Fprintf(os.Stderr, "hrtd: group %d: %v\n", g, cerr)
+				os.Exit(1)
+			}
+			clusters = append(clusters, cl)
+			defer cl.Close()
+			cl.RegisterMetrics(srv.Registry().Labeled(serve.Label{Key: "group", Value: strconv.Itoa(g)}))
+			lgroups[g] = route.NewLocalGroup(cl)
+		}
+		router, err = route.New(lgroups, route.Config{Partition: part})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hrtd: %v\n", err)
+			os.Exit(1)
+		}
+		router.RegisterMetrics(srv.Registry())
+		fmt.Printf("hrtd: sharding: groups=%d nodes=%d partition=%v durable=%v\n",
+			*groups, *nodes, part, *dataDir != "")
+	case *nodes > 0:
 		ccfg := serve.ClusterConfig{
 			Spec:   planSpec,
 			Nodes:  *nodes,
@@ -204,7 +320,13 @@ func main() {
 		cfg.Shards, cfg.QueueDepth, cfg.BatchSize, cfg.FlushWindow, cfg.CacheEntries,
 		*nodes, pol)
 
-	hs := &http.Server{Handler: srv.HandlerWithCluster(cluster)}
+	var handler http.Handler = srv.HandlerWithCluster(cluster)
+	if router != nil {
+		// The router owns the /v1/cluster and /v1/dag routes; the query
+		// server keeps /v1/analyze, /metrics, and /healthz underneath it.
+		handler = router.Handler(srv.Handler())
+	}
+	hs := &http.Server{Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
 
@@ -234,9 +356,17 @@ func main() {
 		httpErr := hs.Shutdown(ctx)
 		cancel()
 		clusterDrained := true
-		if cluster != nil {
+		if cluster != nil || len(clusters) > 0 {
 			done := make(chan struct{})
-			go func() { cluster.Close(); close(done) }()
+			go func() {
+				if cluster != nil {
+					cluster.Close()
+				}
+				for _, cl := range clusters {
+					cl.Close()
+				}
+				close(done)
+			}()
 			select {
 			case <-done:
 			case <-time.After(10 * time.Second):

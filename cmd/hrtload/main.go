@@ -262,6 +262,13 @@ func main() {
 		}
 		serverPlaced, err := scrapeMetric(client, base, placedMetric)
 		if err != nil {
+			// A routed hrtd owns no cluster of its own: its placements
+			// surface on the router-side counter instead.
+			if v, rerr := scrapeMetric(client, base, "hrtd_route_placed_total"); rerr == nil {
+				serverPlaced, err = v, nil
+			}
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "hrtload: scrape /metrics: %v\n", err)
 			if *check {
 				os.Exit(1)
@@ -644,6 +651,10 @@ func printStatus(client *http.Client, base string) error {
 		return fmt.Errorf("status %d", resp.StatusCode)
 	}
 	var st struct {
+		// Groups/Reachable are only present in a routed (sharded) status
+		// body; an unrouted cluster leaves them zero.
+		Groups     int   `json:"groups"`
+		Reachable  int   `json:"reachable"`
 		Placements int   `json:"placements"`
 		Placed     int64 `json:"placed_total"`
 		Removed    int64 `json:"removed_total"`
@@ -677,6 +688,9 @@ func printStatus(client *http.Client, base string) error {
 	}
 	line := fmt.Sprintf("hrtload: status placements=%d tasks=%d placed_total=%d removed_total=%d rebalanced_total=%d drained_total=%d",
 		st.Placements, tasks, st.Placed, st.Removed, st.Rebalanced, st.Drained)
+	if st.Groups > 0 {
+		line += fmt.Sprintf(" groups=%d reachable=%d", st.Groups, st.Reachable)
+	}
 	if st.DAG != nil {
 		line += fmt.Sprintf(" dag_placements=%d dag_placed_total=%d",
 			st.DAG.Placements, st.DAG.Placed)

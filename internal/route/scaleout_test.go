@@ -1,0 +1,153 @@
+package route
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"hrtsched/internal/plan"
+	"hrtsched/internal/serve"
+)
+
+// raceEnabled is set by race_enabled_test.go under -race, where the
+// throughput gate is meaningless.
+var raceEnabled bool
+
+// The scale-out workload: one 8-node fleet, prefilled with prefillSets
+// live placements, then hammered with place-batch/remove rounds of
+// opBatchSize fresh sets each. Admission cost scales with the committed
+// set size the candidate is evaluated against (the canonical digest is an
+// O(m log m) sort per evaluation), so sharding the same 8 nodes into 4
+// groups cuts each group's committed set — and so each admission — by
+// roughly 4x. That is an algorithmic speedup, not parallelism: it holds on
+// a single CPU.
+const (
+	scaleoutNodes = 8
+	prefillSets   = 3072
+	opBatchSize   = 64
+)
+
+// tinySet is the i-th prefill/op set: 100 ms period, sub-0.005% inflated
+// utilization, so thousands fit on one node and admission outcome never
+// depends on topology.
+func tinySet(i int) plan.TaskSet {
+	return plan.TaskSet{{PeriodNs: 100_000_000, SliceNs: 100 + int64(i%7)}}
+}
+
+// newScaleoutRouter builds a routed fleet of `groups` groups splitting
+// scaleoutNodes nodes evenly, prefilled with prefillSets placements.
+func newScaleoutRouter(tb testing.TB, groups int) *Router {
+	tb.Helper()
+	gs := make([]Group, groups)
+	for g := range gs {
+		c, err := serve.NewCluster(serve.ClusterConfig{
+			Spec:  plan.Spec{OverheadNs: 4_600, UtilizationLimit: 0.79},
+			Nodes: scaleoutNodes / groups,
+		})
+		if err != nil {
+			tb.Fatalf("NewCluster: %v", err)
+		}
+		tb.Cleanup(c.Close)
+		gs[g] = NewLocalGroup(c)
+	}
+	r, err := New(gs, Config{})
+	if err != nil {
+		tb.Fatalf("New: %v", err)
+	}
+	items := make([]serve.BatchPlaceItem, prefillSets)
+	for i := range items {
+		items[i] = serve.BatchPlaceItem{ID: fmt.Sprintf("fill-%d", i), Tasks: tinySet(i)}
+	}
+	br := r.PlaceBatch(context.Background(), items)
+	for i, res := range br.Results {
+		if res.Err != nil || !res.Result.Placed {
+			tb.Fatalf("prefill %d: placed=%v err=%v", i, res.Result.Placed, res.Err)
+		}
+	}
+	return r
+}
+
+// scaleoutRound is one measured unit: place a batch of opBatchSize fresh
+// sets through the router, then remove them all, returning the fleet to
+// the prefilled state.
+func scaleoutRound(tb testing.TB, r *Router, round int) {
+	tb.Helper()
+	ctx := context.Background()
+	items := make([]serve.BatchPlaceItem, opBatchSize)
+	for i := range items {
+		items[i] = serve.BatchPlaceItem{ID: fmt.Sprintf("op-%d-%d", round, i), Tasks: tinySet(i)}
+	}
+	br := r.PlaceBatch(ctx, items)
+	for i, res := range br.Results {
+		if res.Err != nil || !res.Result.Placed {
+			tb.Fatalf("round %d item %d: placed=%v err=%v", round, i, res.Result.Placed, res.Err)
+		}
+	}
+	for i := range items {
+		if _, _, err := r.Remove(ctx, items[i].ID); err != nil {
+			tb.Fatalf("round %d remove %d: %v", round, i, err)
+		}
+	}
+}
+
+func benchmarkRoutedPlace(b *testing.B, groups int) {
+	r := newScaleoutRouter(b, groups)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scaleoutRound(b, r, i)
+	}
+}
+
+// BenchmarkRoutedPlaceOneGroup is the monolith baseline: 1x8 nodes behind
+// the router (single-group fast path, no splitting).
+func BenchmarkRoutedPlaceOneGroup(b *testing.B) { benchmarkRoutedPlace(b, 1) }
+
+// BenchmarkRoutedPlaceFourGroups shards the same 8 nodes 4x2.
+func BenchmarkRoutedPlaceFourGroups(b *testing.B) { benchmarkRoutedPlace(b, 4) }
+
+// measureRoutedOpsPerSec times `rounds` scaleout rounds against a fresh
+// fleet and returns placements (batch items) per second.
+func measureRoutedOpsPerSec(tb testing.TB, groups, rounds int) float64 {
+	r := newScaleoutRouter(tb, groups)
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		scaleoutRound(tb, r, i)
+	}
+	elapsed := time.Since(start)
+	return float64(rounds*opBatchSize) / elapsed.Seconds()
+}
+
+// TestRoutedPlaceScaleoutAtLeast1_8x is the PR's acceptance gate: routed
+// place-batch throughput across 4 shard groups must be at least 1.8x a
+// single group on the same 8 nodes. The mechanism is algorithmic (smaller
+// per-group committed sets make every admission cheaper), so the gate does
+// not depend on core count. Best of 3 attempts; skipped where timing is
+// not representative (-race, planverify, -short).
+func TestRoutedPlaceScaleoutAtLeast1_8x(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing gate skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("timing gate skipped under -race")
+	}
+	if plan.VerifyEnabled {
+		t.Skip("timing gate skipped under planverify")
+	}
+	const want = 1.8
+	best := 0.0
+	for attempt := 0; attempt < 3; attempt++ {
+		one := measureRoutedOpsPerSec(t, 1, 6)
+		four := measureRoutedOpsPerSec(t, 4, 6)
+		ratio := four / one
+		t.Logf("attempt %d: one-group %.0f ops/s, four-group %.0f ops/s, ratio %.2fx",
+			attempt, one, four, ratio)
+		if ratio > best {
+			best = ratio
+		}
+		if best >= want {
+			return
+		}
+	}
+	t.Fatalf("routed place scale-out %.2fx, want >= %.1fx", best, want)
+}

@@ -153,6 +153,10 @@ type ClusterConfig struct {
 	// wait on it: a lone mutation commits immediately, and batches form
 	// exactly when mutations queue faster than the node applies them.
 	FlushWindow time.Duration
+	// MaxBatchItems caps the item count of one /v1/cluster/place-batch
+	// request; larger batches answer 400 quoting the cap, so a router
+	// sizing sub-batches can discover it. Default DefaultMaxBatchItems.
+	MaxBatchItems int
 	// Durability, when non-nil, persists every committed mutation to a
 	// write-ahead log under Durability.Dir and recovers it at startup.
 	Durability *DurabilityConfig
@@ -175,6 +179,9 @@ func (c *ClusterConfig) fillDefaults() {
 	if c.FlushWindow == 0 {
 		c.FlushWindow = 200 * time.Microsecond
 	}
+	if c.MaxBatchItems == 0 {
+		c.MaxBatchItems = DefaultMaxBatchItems
+	}
 	if c.Analysis == nil {
 		c.Analysis = plan.DefaultEDF(c.Spec)
 	}
@@ -182,7 +189,7 @@ func (c *ClusterConfig) fillDefaults() {
 
 // Validate rejects nonsensical settings.
 func (c ClusterConfig) Validate() error {
-	if c.Nodes < 0 || c.QueueDepth < 0 || c.BatchSize < 0 || c.FlushWindow < 0 {
+	if c.Nodes < 0 || c.QueueDepth < 0 || c.BatchSize < 0 || c.FlushWindow < 0 || c.MaxBatchItems < 0 {
 		return fmt.Errorf("serve: negative cluster config value: %+v", c)
 	}
 	if c.Policy != FirstFit && c.Policy != WorstFit {
@@ -223,6 +230,11 @@ type mutOp uint8
 const (
 	placeOp mutOp = iota
 	removeOp
+	// evalOp answers EvaluateGang against the node's committed state
+	// without mutating anything — the what-if probe the shard router uses
+	// before committing a cross-group migration. Never logged or
+	// replicated: it changes nothing.
+	evalOp
 )
 
 type mutation struct {
@@ -634,6 +646,87 @@ func (c *Cluster) placeOnCandidates(ctx context.Context, id string, set plan.Tas
 		}
 	}
 	return res, nil
+}
+
+// NodeCount returns the number of simulated nodes in the session.
+func (c *Cluster) NodeCount() int { return len(c.nodes) }
+
+// Evaluate answers the what-if admission verdict for set against every
+// node's committed state, in node order, committing nothing. It runs
+// through the same per-node mutation queues as placements, so each verdict
+// is serialized against that node's committed state at its turn. Evaluate
+// is read-only and therefore answered on any replica, leader or not — the
+// shard router uses it to probe a migration destination before committing
+// an admit-before-release move.
+func (c *Cluster) Evaluate(ctx context.Context, set plan.TaskSet) ([]plan.Verdict, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]plan.Verdict, len(c.nodes))
+	for i, n := range c.nodes {
+		r, err := c.submit(ctx, n, &mutation{op: evalOp, set: set})
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r.verdict
+	}
+	return out, nil
+}
+
+// PlacementInfo is the router-facing view of one live placement.
+type PlacementInfo struct {
+	// Node holds the set.
+	Node int
+	// Tasks is a copy of the placed set.
+	Tasks plan.TaskSet
+	// Utilization is the set's summed utilization.
+	Utilization float64
+	// DAG is true for DAG server reservations, whose provenance cannot
+	// survive a plain re-place on another group.
+	DAG bool
+}
+
+// Placement looks up a live, non-pending placement by id.
+func (c *Cluster) Placement(id string) (PlacementInfo, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, ok := c.placements[id]
+	if !ok || rec.pending {
+		return PlacementInfo{}, false
+	}
+	return PlacementInfo{
+		Node:        rec.node,
+		Tasks:       append(plan.TaskSet(nil), rec.set...),
+		Utilization: rec.util,
+		DAG:         rec.dag != nil,
+	}, true
+}
+
+// BestMovableUnder picks the largest non-pending, non-DAG placement
+// anywhere in the session with utilization strictly inside (0, gap), or ""
+// when none qualifies — the cluster-wide analogue of the per-node choice
+// Rebalance makes, used by the router's cross-shard rebalance.
+func (c *Cluster) BestMovableUnder(gap float64) (id string, info PlacementInfo, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	bestUtil := 0.0
+	var best *placementRec
+	for pid, rec := range c.placements {
+		if rec.pending || rec.dag != nil {
+			continue
+		}
+		if rec.util < gap && rec.util > bestUtil {
+			id, best, bestUtil = pid, rec, rec.util
+		}
+	}
+	if best == nil {
+		return "", PlacementInfo{}, false
+	}
+	return id, PlacementInfo{
+		Node:        best.node,
+		Tasks:       append(plan.TaskSet(nil), best.set...),
+		Utilization: best.util,
+	}, true
 }
 
 // candidates returns nodes in the configured policy's order.
@@ -1079,6 +1172,10 @@ func (c *Cluster) applyBatch(n *node, batch []*mutation) {
 					Node: n.id, ID: m.id,
 				})
 			}
+		case evalOp:
+			// What-if probe: no engine change, no WAL record.
+			r.verdict = n.eng.EvaluateGang(m.set)
+			r.matched = true
 		}
 		n.applied.Add(1)
 		n.syncGauges()

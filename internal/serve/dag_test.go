@@ -191,7 +191,7 @@ func TestHTTPDAGEndpoints(t *testing.T) {
 
 	// Duplicate id: 409 conflict.
 	code, body, _ = postJSON(t, ts.URL+"/v1/dag/place", `{"id":"dag-a","task":`+dagJSON(nil)+`}`)
-	var e apiError
+	var e APIError
 	json.Unmarshal([]byte(body), &e) //nolint:errcheck
 	if code != http.StatusConflict || e.Code != "conflict" {
 		t.Fatalf("duplicate: %d %s", code, body)

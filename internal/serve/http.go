@@ -41,16 +41,19 @@ type placeBatchRequest struct {
 // placeBatchItem is one entry of the place-batch response envelope:
 // exactly one of Result or Error is set. Result is byte-identical to the
 // single-item /v1/cluster/place body for the same request; Error is the
-// same apiError envelope the single route would answer with.
+// same APIError envelope the single route would answer with.
 type placeBatchItem struct {
 	ID     string       `json:"id"`
 	Result *PlaceResult `json:"result,omitempty"`
-	Error  *apiError    `json:"error,omitempty"`
+	Error  *APIError    `json:"error,omitempty"`
 }
 
-// maxBatchItems caps the item count of one batch request; larger batches
-// answer 400 so a client cannot queue unbounded work behind one POST.
-const maxBatchItems = 1024
+// DefaultMaxBatchItems is the default cap on the item count of one batch
+// request; larger batches answer 400 so a client cannot queue unbounded
+// work behind one POST. The effective cap is Config.MaxBatchItems /
+// ClusterConfig.MaxBatchItems and is quoted in the 400 body, so a router
+// sizing sub-batches can discover it from the error envelope.
+const DefaultMaxBatchItems = 1024
 
 // idRequest is the wire form of POST /v1/cluster/remove.
 type idRequest struct {
@@ -71,7 +74,7 @@ type dagRequest struct {
 	Analyzer string   `json:"analyzer,omitempty"`
 }
 
-// apiError is the one JSON error envelope every v1 route answers with:
+// APIError is the one JSON error envelope every v1 route answers with:
 //
 //	{"code":"overloaded","reason":"shard 3 queue full (1024 deep)","retry_after_ms":1}
 //
@@ -79,7 +82,7 @@ type dagRequest struct {
 // overloaded, conflict, not_found, canceled, unavailable, internal);
 // Reason is the human detail; RetryAfterMs is set only on overload sheds
 // and mirrors the Retry-After header.
-type apiError struct {
+type APIError struct {
 	Code         string `json:"code"`
 	Reason       string `json:"reason"`
 	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
@@ -118,7 +121,7 @@ func (s *Server) Handler() http.Handler { return s.HandlerWithCluster(nil) }
 //
 // The cluster routes are registered only when c is non-nil; without a
 // cluster they answer 404 with the standard envelope. Every v1 error is
-// the apiError envelope; overload sheds answer 429 with a Retry-After
+// the APIError envelope; overload sheds answer 429 with a Retry-After
 // header whose value (in whole seconds, rounded up) mirrors the body's
 // retry_after_ms. Cached and uncached analyze answers are byte-identical:
 // the cache indicator travels in the X-Hrtd-Cache header, never the body.
@@ -197,9 +200,9 @@ func (s *Server) handleAnalyzeBatch(w http.ResponseWriter, req *http.Request) {
 	if !decodeBody(w, req, &body) {
 		return
 	}
-	if len(body.Items) > maxBatchItems {
+	if len(body.Items) > s.cfg.MaxBatchItems {
 		writeError(w, http.StatusBadRequest, "bad_request",
-			fmt.Sprintf("batch of %d items exceeds the %d-item cap", len(body.Items), maxBatchItems), 0)
+			fmt.Sprintf("batch of %d items exceeds the %d-item cap", len(body.Items), s.cfg.MaxBatchItems), 0)
 		return
 	}
 	sets := make([]plan.TaskSet, len(body.Items))
@@ -270,7 +273,7 @@ func (c *Cluster) handlePlace(w http.ResponseWriter, req *http.Request) {
 // handlePlaceBatch places many gangs in one request. The batch always
 // answers 200 with one envelope item per input, in input order; each item
 // carries either the PlaceResult the single route would have returned or
-// the apiError envelope it would have answered with. The one exception is
+// the APIError envelope it would have answered with. The one exception is
 // leadership: when the items fail with a redirectable NotLeaderError the
 // whole batch answers 307 to the leader, so a client that follows it
 // re-issues the identical batch there.
@@ -279,9 +282,9 @@ func (c *Cluster) handlePlaceBatch(w http.ResponseWriter, req *http.Request) {
 	if !decodeBody(w, req, &body) {
 		return
 	}
-	if len(body.Items) > maxBatchItems {
+	if len(body.Items) > c.cfg.MaxBatchItems {
 		writeError(w, http.StatusBadRequest, "bad_request",
-			fmt.Sprintf("batch of %d items exceeds the %d-item cap", len(body.Items), maxBatchItems), 0)
+			fmt.Sprintf("batch of %d items exceeds the %d-item cap", len(body.Items), c.cfg.MaxBatchItems), 0)
 		return
 	}
 	items := make([]BatchPlaceItem, len(body.Items))
@@ -314,7 +317,7 @@ func writeDAGError(w http.ResponseWriter, err error) bool {
 	if !errors.As(err, &verr) {
 		return false
 	}
-	writeJSON(w, http.StatusUnprocessableEntity, apiError{
+	writeJSON(w, http.StatusUnprocessableEntity, APIError{
 		Code:         "invalid_dag",
 		Reason:       verr.Error(),
 		DAGCode:      string(verr.Code),
@@ -478,10 +481,10 @@ func decodeBody(w http.ResponseWriter, req *http.Request, into any) bool {
 }
 
 // queryError maps a session error to its v1 envelope: the HTTP status
-// the single-item routes answer with, the apiError body, and the
+// the single-item routes answer with, the APIError body, and the
 // Retry-After header value in whole seconds (0 = no header). Batch
 // routes embed the envelope per item; writeQueryError writes it whole.
-func queryError(err error) (status int, e apiError, retryAfterSecs int64) {
+func queryError(err error) (status int, e APIError, retryAfterSecs int64) {
 	var ae *core.AdmissionError
 	switch {
 	case errors.As(err, &ae):
@@ -491,25 +494,25 @@ func queryError(err error) (status int, e apiError, retryAfterSecs int64) {
 		if ae.RetryAfterNs > 0 {
 			retryAfterSecs = (ae.RetryAfterNs + 999_999_999) / 1_000_000_000
 		}
-		return http.StatusTooManyRequests, apiError{Code: "overloaded", Reason: err.Error(), RetryAfterMs: ms}, retryAfterSecs
+		return http.StatusTooManyRequests, APIError{Code: "overloaded", Reason: err.Error(), RetryAfterMs: ms}, retryAfterSecs
 	case errors.Is(err, ErrDuplicateID), errors.Is(err, ErrPendingID):
-		return http.StatusConflict, apiError{Code: "conflict", Reason: err.Error()}, 0
+		return http.StatusConflict, APIError{Code: "conflict", Reason: err.Error()}, 0
 	case errors.Is(err, ErrUnknownID), errors.Is(err, ErrUnknownNode):
-		return http.StatusNotFound, apiError{Code: "not_found", Reason: err.Error()}, 0
+		return http.StatusNotFound, APIError{Code: "not_found", Reason: err.Error()}, 0
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		return statusClientClosedRequest, apiError{Code: "canceled", Reason: err.Error()}, 0
+		return statusClientClosedRequest, APIError{Code: "canceled", Reason: err.Error()}, 0
 	case errors.As(err, new(*NotLeaderError)), errors.Is(err, ErrNoLeader), errors.Is(err, ErrLeaderNotReady):
 		// Replica cannot take the mutation right now and no redirect was
 		// possible: tell the client when to retry.
-		return http.StatusServiceUnavailable, apiError{Code: "no_leader", Reason: err.Error(), RetryAfterMs: 1000}, 1
+		return http.StatusServiceUnavailable, APIError{Code: "no_leader", Reason: err.Error(), RetryAfterMs: 1000}, 1
 	case errors.Is(err, ErrIndeterminate):
 		// The mutation MAY have committed; the client must re-issue the
 		// same id and treat a duplicate-id conflict as success.
-		return http.StatusServiceUnavailable, apiError{Code: "indeterminate", Reason: err.Error(), RetryAfterMs: 1000}, 1
+		return http.StatusServiceUnavailable, APIError{Code: "indeterminate", Reason: err.Error(), RetryAfterMs: 1000}, 1
 	case errors.Is(err, ErrServerClosed), errors.Is(err, ErrClusterClosed):
-		return http.StatusServiceUnavailable, apiError{Code: "unavailable", Reason: err.Error()}, 0
+		return http.StatusServiceUnavailable, APIError{Code: "unavailable", Reason: err.Error()}, 0
 	default:
-		return http.StatusInternalServerError, apiError{Code: "internal", Reason: err.Error()}, 0
+		return http.StatusInternalServerError, APIError{Code: "internal", Reason: err.Error()}, 0
 	}
 }
 
@@ -522,8 +525,52 @@ func writeQueryError(w http.ResponseWriter, err error) {
 	writeJSON(w, status, e)
 }
 
+// QueryError maps a session error to its v1 envelope — the exported form
+// of the mapping the single-item routes use, for front-ends (the shard
+// router) that must answer with byte-identical envelopes.
+func QueryError(err error) (status int, e APIError, retryAfterSecs int64) {
+	return queryError(err)
+}
+
+// WriteQueryError writes the v1 envelope for err, including the
+// Retry-After header when the mapping calls for one.
+func WriteQueryError(w http.ResponseWriter, err error) { writeQueryError(w, err) }
+
+// WriteAPIError writes a pre-built envelope with the given status and
+// optional Retry-After header (whole seconds; 0 = no header).
+func WriteAPIError(w http.ResponseWriter, status int, e APIError, retryAfterSecs int64) {
+	if retryAfterSecs > 0 {
+		w.Header().Set("Retry-After", fmt.Sprint(retryAfterSecs))
+	}
+	writeJSON(w, status, e)
+}
+
+// WriteError writes the envelope for an ad-hoc code/reason pair.
+func WriteError(w http.ResponseWriter, status int, code, reason string, retryAfterMs int64) {
+	writeError(w, status, code, reason, retryAfterMs)
+}
+
+// WriteJSON writes v as the uniform JSON response (trailing newline
+// included), answering 500 if it cannot marshal.
+func WriteJSON(w http.ResponseWriter, status int, v any) { writeJSON(w, status, v) }
+
+// DecodeBody parses a POST body into `into` with unknown fields rejected,
+// answering the envelope on any protocol error. Returns false when the
+// response has already been written.
+func DecodeBody(w http.ResponseWriter, req *http.Request, into any) bool {
+	return decodeBody(w, req, into)
+}
+
+// WriteDAGErrorResponse answers a structural DAG rejection (422 with the
+// typed dag_code envelope) and reports whether err was one. Front-ends
+// replicating the /v1/dag/* contract use it before falling back to
+// QueryError.
+func WriteDAGErrorResponse(w http.ResponseWriter, err error) bool {
+	return writeDAGError(w, err)
+}
+
 func writeError(w http.ResponseWriter, status int, code, reason string, retryAfterMs int64) {
-	writeJSON(w, status, apiError{Code: code, Reason: reason, RetryAfterMs: retryAfterMs})
+	writeJSON(w, status, APIError{Code: code, Reason: reason, RetryAfterMs: retryAfterMs})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -35,7 +35,7 @@ func TestHTTPLegacyAliasesAreGone(t *testing.T) {
 		if code != http.StatusGone {
 			t.Fatalf("%s: status = %d, want 410", route, code)
 		}
-		var e apiError
+		var e APIError
 		if err := json.Unmarshal([]byte(respBody), &e); err != nil || e.Code != "gone" {
 			t.Fatalf("%s: envelope = %s (%v)", route, respBody, err)
 		}
@@ -100,9 +100,9 @@ func TestHTTPAnalyzeBatchMatchesSingleRoute(t *testing.T) {
 	}
 
 	// Oversized batch: 400 envelope.
-	big := `{"items":[` + strings.Repeat(items[0]+",", maxBatchItems) + items[0] + `]}`
+	big := `{"items":[` + strings.Repeat(items[0]+",", DefaultMaxBatchItems) + items[0] + `]}`
 	code, body, _ = postJSON(t, ts.URL+"/v1/analyze-batch", big)
-	var e apiError
+	var e APIError
 	json.Unmarshal([]byte(body), &e) //nolint:errcheck
 	if code != http.StatusBadRequest || e.Code != "bad_request" {
 		t.Fatalf("oversized batch: %d %s", code, body)
@@ -172,9 +172,9 @@ func TestHTTPErrorEnvelopeShape(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	decode := func(body string) apiError {
+	decode := func(body string) APIError {
 		t.Helper()
-		var e apiError
+		var e APIError
 		if err := json.Unmarshal([]byte(body), &e); err != nil {
 			t.Fatalf("error body is not the envelope: %v in %s", err, body)
 		}
@@ -223,7 +223,7 @@ func TestHTTPClusterEndpoints(t *testing.T) {
 	// Duplicate id: 409 conflict envelope.
 	code, body, _ = postJSON(t, ts.URL+"/v1/cluster/place",
 		`{"id":"svc-a","tasks":[{"period_ns":100000,"slice_ns":20000}]}`)
-	var e apiError
+	var e APIError
 	json.Unmarshal([]byte(body), &e) //nolint:errcheck
 	if code != http.StatusConflict || e.Code != "conflict" {
 		t.Fatalf("duplicate place: %d %s", code, body)

@@ -17,8 +17,18 @@ import (
 // hot path — the callback reads whatever atomic or kernel counter backs it.
 // Both hrtd's /metrics endpoint and cmd/chaos's -metrics dump render
 // through this one code path.
+//
+// Registering the same family name twice merges the collectors under one
+// HELP/TYPE block (the kinds must agree), which is how K shard-group
+// clusters expose one hrtd_cluster_* family with per-group labels: each
+// group registers through its own Labeled view of the shared registry.
 type Registry struct {
+	// root is nil on the root registry itself; a Labeled view points back
+	// at the root, where the metric families actually live.
+	root    *Registry
+	labels  []Label
 	metrics []*metric
+	byName  map[string]*metric
 }
 
 // Label is one name="value" pair on a sample.
@@ -60,64 +70,129 @@ func (k metricKind) String() string {
 type metric struct {
 	name, help  string
 	kind        metricKind
-	collect     func() []Sample
-	collectHist func() []HistSample
+	collect     []func() []Sample
+	collectHist []func() []HistSample
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry { return &Registry{} }
 
-func (r *Registry) add(m *metric) {
-	r.metrics = append(r.metrics, m)
+// Labeled returns a view of the registry that prepends the given labels to
+// every sample registered through it. Families registered by several views
+// under the same name share one HELP/TYPE block; the per-view labels keep
+// the series distinct. The view shares the root's storage — rendering any
+// view renders the whole registry.
+func (r *Registry) Labeled(labels ...Label) *Registry {
+	root := r.rootReg()
+	merged := append(append([]Label(nil), r.labels...), labels...)
+	return &Registry{root: root, labels: merged}
+}
+
+func (r *Registry) rootReg() *Registry {
+	if r.root != nil {
+		return r.root
+	}
+	return r
+}
+
+func (r *Registry) add(name, help string, kind metricKind, fn func() []Sample, hfn func() []HistSample) {
+	if labels := r.labels; len(labels) > 0 {
+		if fn != nil {
+			inner := fn
+			fn = func() []Sample {
+				out := inner()
+				for i := range out {
+					out[i].Labels = append(append([]Label(nil), labels...), out[i].Labels...)
+				}
+				return out
+			}
+		}
+		if hfn != nil {
+			inner := hfn
+			hfn = func() []HistSample {
+				out := inner()
+				for i := range out {
+					out[i].Labels = append(append([]Label(nil), labels...), out[i].Labels...)
+				}
+				return out
+			}
+		}
+	}
+	root := r.rootReg()
+	if root.byName == nil {
+		root.byName = make(map[string]*metric)
+	}
+	if m, ok := root.byName[name]; ok && m.kind == kind {
+		if fn != nil {
+			m.collect = append(m.collect, fn)
+		}
+		if hfn != nil {
+			m.collectHist = append(m.collectHist, hfn)
+		}
+		return
+	}
+	m := &metric{name: name, help: help, kind: kind}
+	if fn != nil {
+		m.collect = append(m.collect, fn)
+	}
+	if hfn != nil {
+		m.collectHist = append(m.collectHist, hfn)
+	}
+	root.metrics = append(root.metrics, m)
+	root.byName[name] = m
 }
 
 // Counter registers a single-sample counter read from fn at scrape time.
 func (r *Registry) Counter(name, help string, fn func() float64) {
-	r.add(&metric{name: name, help: help, kind: counterKind,
-		collect: func() []Sample { return []Sample{{Value: fn()}} }})
+	r.add(name, help, counterKind,
+		func() []Sample { return []Sample{{Value: fn()}} }, nil)
 }
 
 // CounterVec registers a labelled counter family.
 func (r *Registry) CounterVec(name, help string, fn func() []Sample) {
-	r.add(&metric{name: name, help: help, kind: counterKind, collect: fn})
+	r.add(name, help, counterKind, fn, nil)
 }
 
 // Gauge registers a single-sample gauge read from fn at scrape time.
 func (r *Registry) Gauge(name, help string, fn func() float64) {
-	r.add(&metric{name: name, help: help, kind: gaugeKind,
-		collect: func() []Sample { return []Sample{{Value: fn()}} }})
+	r.add(name, help, gaugeKind,
+		func() []Sample { return []Sample{{Value: fn()}} }, nil)
 }
 
 // GaugeVec registers a labelled gauge family.
 func (r *Registry) GaugeVec(name, help string, fn func() []Sample) {
-	r.add(&metric{name: name, help: help, kind: gaugeKind, collect: fn})
+	r.add(name, help, gaugeKind, fn, nil)
 }
 
 // Histogram registers a labelled histogram family; fn returns consistent
 // snapshots (the caller must copy under its own lock if the histogram is
 // concurrently written).
 func (r *Registry) Histogram(name, help string, fn func() []HistSample) {
-	r.add(&metric{name: name, help: help, kind: histogramKind, collectHist: fn})
+	r.add(name, help, histogramKind, nil, fn)
 }
 
 // WriteTo renders every registered metric in the Prometheus text format.
 func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 	var b strings.Builder
-	for _, m := range r.metrics {
+	for _, m := range r.rootReg().metrics {
 		fmt.Fprintf(&b, "# HELP %s %s\n", m.name, m.help)
 		fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, m.kind)
 		if m.kind == histogramKind {
-			for _, hs := range m.collectHist() {
-				renderHist(&b, m.name, hs)
+			for _, fn := range m.collectHist {
+				for _, hs := range fn() {
+					renderHist(&b, m.name, hs)
+				}
 			}
 			continue
 		}
-		for _, s := range m.collect() {
-			b.WriteString(m.name)
-			writeLabels(&b, s.Labels)
-			b.WriteByte(' ')
-			b.WriteString(formatFloat(s.Value))
-			b.WriteByte('\n')
+		for _, fn := range m.collect {
+			for _, s := range fn() {
+				b.WriteString(m.name)
+				writeLabels(&b, s.Labels)
+				b.WriteByte(' ')
+				b.WriteString(formatFloat(s.Value))
+				b.WriteByte('\n')
+			}
 		}
 	}
 	n, err := io.WriteString(w, b.String())

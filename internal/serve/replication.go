@@ -321,6 +321,10 @@ func (c *Cluster) applyBatchRepl(n *node, batch []*mutation) {
 				})
 				hasRec[i] = true
 			}
+		case evalOp:
+			// What-if probe: evaluation only, no record, nothing to revert.
+			r.verdict = n.eng.EvaluateGang(m.set)
+			r.matched = true
 		}
 		results[i] = r
 	}

@@ -65,6 +65,10 @@ type Config struct {
 	FlushWindow time.Duration
 	// CacheEntries bounds each shard's verdict LRU; default 4096.
 	CacheEntries int
+	// MaxBatchItems caps the item count of one /v1/analyze-batch request;
+	// larger batches answer 400 quoting the cap. Default
+	// DefaultMaxBatchItems (1024).
+	MaxBatchItems int
 }
 
 func (c *Config) fillDefaults() {
@@ -83,11 +87,14 @@ func (c *Config) fillDefaults() {
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 4096
 	}
+	if c.MaxBatchItems == 0 {
+		c.MaxBatchItems = DefaultMaxBatchItems
+	}
 }
 
 // Validate rejects nonsensical settings (negative counts, bad spec).
 func (c Config) Validate() error {
-	if c.Shards < 0 || c.QueueDepth < 0 || c.BatchSize < 0 || c.CacheEntries < 0 || c.FlushWindow < 0 {
+	if c.Shards < 0 || c.QueueDepth < 0 || c.BatchSize < 0 || c.CacheEntries < 0 || c.FlushWindow < 0 || c.MaxBatchItems < 0 {
 		return fmt.Errorf("serve: negative config value: %+v", c)
 	}
 	if c.Spec.OverheadNs < 0 {

@@ -182,7 +182,7 @@ func TestHTTPShedAnswers429(t *testing.T) {
 	if resp.Header.Get("Retry-After") == "" {
 		t.Fatalf("429 without Retry-After header")
 	}
-	var body apiError
+	var body APIError
 	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
 		t.Fatalf("decode 429 body: %v", err)
 	}
