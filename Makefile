@@ -1,14 +1,14 @@
 GO ?= go
 
-.PHONY: ci build vet test race planverify perf-gate chaos bench bench-engine bench-record bench-record-pr5 bench-record-pr7 bench-record-pr8 bench-record-pr9 engine-bench-smoke serve-smoke cluster-smoke batch-smoke recovery-smoke failover-smoke dag-smoke shard-smoke
+.PHONY: ci build vet test race planverify perf-gate chaos bench bench-engine bench-record bench-record-pr5 bench-record-pr7 bench-record-pr8 bench-record-pr9 bench-record-pr10 engine-bench-smoke serve-smoke cluster-smoke batch-smoke recovery-smoke failover-smoke dag-smoke shard-smoke simulate-smoke
 
 # ci is the tier-1 gate: every change must pass vet, build, the race-
 # enabled test suite, the planverify cross-check, the non-race perf
 # gates, the engine benchmark smoke, and the serving-layer smokes —
 # including the kill -9 recovery, leader-failover, DAG-recovery,
-# batched-placement, and sharded-router smokes — before it lands (see
-# README "Testing").
-ci: vet build race planverify perf-gate engine-bench-smoke serve-smoke cluster-smoke batch-smoke recovery-smoke failover-smoke dag-smoke shard-smoke
+# batched-placement, sharded-router, and what-if simulation smokes —
+# before it lands (see README "Testing").
+ci: vet build race planverify perf-gate engine-bench-smoke serve-smoke cluster-smoke batch-smoke recovery-smoke failover-smoke dag-smoke shard-smoke simulate-smoke
 
 build:
 	$(GO) build ./...
@@ -86,6 +86,13 @@ bench-record-pr8:
 # routed_place_scaleout_x and routed_place_ops_per_sec figures.
 bench-record-pr9:
 	$(GO) run ./cmd/benchrecord -pkg ./internal/route -bench 'BenchmarkRoutedPlace' -skip-suite -o BENCH_PR9.json
+
+# bench-record-pr10 regenerates the what-if simulation artifact
+# (BENCH_PR10.json): seeded stochastic replication throughput, with the
+# derived simulate_hyperperiods_per_sec and simulate_scenarios_per_sec
+# figures.
+bench-record-pr10:
+	$(GO) run ./cmd/benchrecord -pkg ./internal/whatif -bench 'BenchmarkWhatif' -skip-suite -o BENCH_PR10.json
 
 # engine-bench-smoke compiles and exercises every engine benchmark for a
 # fixed 100 iterations — fast enough for ci, and it catches benchmarks
@@ -222,6 +229,28 @@ shard-smoke:
 	st2=$$("$$dir"/hrtload -addr "$$(cat "$$dir"/router.addr)" -mode status -check); \
 	case "$$st2" in *"groups=4 reachable=3"*) ;; *) echo "shard-smoke: bad degraded status: $$st2"; exit 1;; esac; \
 	echo "shard-smoke: ok ($$placed placements with one of four groups killed; $$st2)"
+
+# simulate-smoke is the end-to-end what-if drill: boot hrtd with two
+# in-process shard groups (so /v1/simulate rides the router), run the
+# same small distributed sweep grid twice through cmd/sweep and fail
+# unless the outputs are byte-identical, then drive the endpoint with
+# hrtload in simulate mode, which fails on any hard error or a reply
+# that diverged for a repeated seed.
+simulate-smoke:
+	@set -e; dir=$$(mktemp -d); pid=; \
+	cleanup() { [ -n "$$pid" ] && kill $$pid 2>/dev/null || true; rm -rf "$$dir"; }; \
+	trap cleanup EXIT; \
+	$(GO) build -o "$$dir" ./cmd/hrtd ./cmd/hrtload ./cmd/sweep; \
+	"$$dir"/hrtd -addr 127.0.0.1:0 -addr-file "$$dir"/addr -nodes 4 -shard-groups 2 >"$$dir"/hrtd.log 2>&1 & pid=$$!; \
+	for i in $$(seq 100); do [ -s "$$dir"/addr ] && break; sleep 0.1; done; \
+	if ! [ -s "$$dir"/addr ]; then echo "simulate-smoke: hrtd never bound"; cat "$$dir"/hrtd.log; exit 1; fi; \
+	"$$dir"/sweep -targets "$$(cat "$$dir"/addr)" -models wcet,half-random -utils 0.5,0.8 \
+		-grid-seeds 2 -reps 5 -json >"$$dir"/sweep1.json; \
+	"$$dir"/sweep -targets "$$(cat "$$dir"/addr)" -models wcet,half-random -utils 0.5,0.8 \
+		-grid-seeds 2 -reps 5 -json >"$$dir"/sweep2.json; \
+	cmp "$$dir"/sweep1.json "$$dir"/sweep2.json || { echo "simulate-smoke: repeated sweep diverged"; exit 1; }; \
+	"$$dir"/hrtload -addr "$$(cat "$$dir"/addr)" -mode simulate -dur 2s -conns 4 -check; \
+	echo "simulate-smoke: ok (repeated sweep byte-identical)"
 
 # failover-smoke is the end-to-end replication drill: boot a 3-replica
 # hrtd placement service, drive mutations through a follower (so every

@@ -25,6 +25,7 @@ import (
 	"hrtsched/internal/sim"
 	"hrtsched/internal/timesync"
 	"hrtsched/internal/trace"
+	"hrtsched/internal/whatif"
 )
 
 // --- Platform (internal/machine) -------------------------------------------
@@ -699,6 +700,44 @@ func NewRemoteShardGroup(ctx context.Context, baseURL string, timeout time.Durat
 // [0, total) into the given number of shard groups by rendezvous
 // hashing, evened to within one node per group.
 func PartitionFleetNodes(total, groups int) [][]int { return route.PartitionNodes(total, groups) }
+
+// --- What-if simulation (internal/whatif) ------------------------------------
+
+// WhatifScenario describes one stochastic what-if experiment: a task set,
+// an execution-time model, optional fault presets, and a replication
+// count. Equal (scenario, seed) pairs produce byte-identical reports.
+type WhatifScenario = whatif.Scenario
+
+// WhatifTask is one periodic task in a what-if scenario.
+type WhatifTask = whatif.Task
+
+// WhatifReport is the aggregated outcome of a what-if run: per-task miss
+// counts and response-time quantiles, survival probability, and the
+// admission-verdict-vs-observed disagreement counters.
+type WhatifReport = whatif.Report
+
+// WhatifTaskReport is the per-task slice of a what-if report.
+type WhatifTaskReport = whatif.TaskReport
+
+// WhatifExecModel is a parsed execution-time model ("wcet",
+// "full-random", "half-random", "random-a,b", with an optional
+// ":uniform" or ":normal" distribution suffix).
+type WhatifExecModel = whatif.ExecModel
+
+// SimulateRequest is the body of POST /v1/simulate.
+type SimulateRequest = serve.SimulateRequest
+
+// RunWhatif normalizes, validates, and runs one what-if scenario with
+// the given root seed.
+func RunWhatif(sc WhatifScenario, seed uint64) (*WhatifReport, error) {
+	return whatif.Run(sc, seed)
+}
+
+// ParseExecModel parses an execution-time model string.
+func ParseExecModel(s string) (WhatifExecModel, error) { return whatif.ParseModel(s) }
+
+// WhatifFaultNames lists the fault-injection presets a scenario may name.
+func WhatifFaultNames() []string { return whatif.FaultNames() }
 
 // --- Instruments ------------------------------------------------------------
 

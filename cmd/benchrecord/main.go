@@ -189,6 +189,15 @@ func derive(rec *record) {
 	if r, ok := rec.Microbench["BenchmarkRoutedPlaceFourGroups"]; ok && r.NsPerOp > 0 {
 		rec.Derived["routed_place_ops_per_sec"] = 64e9 / r.NsPerOp
 	}
+	// PR10: what-if simulation throughput. BenchmarkWhatifHyperperiod runs
+	// one replication over one hyperperiod per op; BenchmarkWhatifScenario
+	// runs one default 20-replication scenario per op.
+	if r, ok := rec.Microbench["BenchmarkWhatifHyperperiod"]; ok && r.NsPerOp > 0 {
+		rec.Derived["simulate_hyperperiods_per_sec"] = 1e9 / r.NsPerOp
+	}
+	if r, ok := rec.Microbench["BenchmarkWhatifScenario"]; ok && r.NsPerOp > 0 {
+		rec.Derived["simulate_scenarios_per_sec"] = 1e9 / r.NsPerOp
+	}
 }
 
 // runQuickSuite times every registered experiment at the Quick preset.

@@ -20,9 +20,15 @@
 // GET /v1/cluster/status from its own durable view. On SIGTERM a leader
 // hands leadership to the most caught-up follower before draining.
 //
-// Endpoints: POST /v1/analyze, POST /v1/capacity, POST /v1/cluster/{place,
-// remove,drain,undrain,rebalance}, GET /v1/cluster/status, GET /metrics,
-// GET /healthz. POST /analyze and /capacity remain as deprecated aliases.
+// Endpoints: POST /v1/analyze, POST /v1/capacity, POST /v1/simulate,
+// POST /v1/cluster/{place,remove,drain,undrain,rebalance},
+// GET /v1/cluster/status, GET /metrics, GET /healthz. POST /analyze and
+// /capacity remain as deprecated aliases.
+//
+// POST /v1/simulate runs stochastic what-if replications (internal/whatif)
+// on a bounded worker pool (-sim-workers, -sim-queue); a full queue sheds
+// with 429 + Retry-After. Routing daemons forward the run to a shard
+// group by rendezvous hash of (scenario name, seed).
 //
 // Horizontal scale-out shards the node fleet into independent groups
 // behind the placement router (internal/route):
@@ -75,6 +81,8 @@ func main() {
 		replicas = flag.Int("replicas", 1, "total replica count (>1 replicates the placement log)")
 		replID   = flag.Int("id", 0, "this replica's id in [0,replicas)")
 		groups   = flag.Int("shard-groups", 1, "partition the node fleet into this many in-process shard groups behind the placement router")
+		simWork  = flag.Int("sim-workers", 0, "what-if simulation workers (0 = GOMAXPROCS/2)")
+		simQueue = flag.Int("sim-queue", 0, "what-if simulation queue depth (0 = default 16)")
 	)
 	var routes []string
 	flag.Func("route", "shard-group daemon base URL (repeat once per group); makes this daemon a stateless router", func(v string) error {
@@ -131,6 +139,9 @@ func main() {
 	if *shards < 0 || *queue < 0 || *batch < 0 || *cache < 0 || *nodes < 0 {
 		fail("-shards, -queue, -batch, -cache and -nodes must be non-negative")
 	}
+	if *simWork < 0 || *simQueue < 0 {
+		fail("-sim-workers and -sim-queue must be non-negative")
+	}
 	pol, err := serve.ParsePolicy(*policy)
 	if err != nil {
 		fail("%v", err)
@@ -183,12 +194,14 @@ func main() {
 		planSpec.OverheadNs = *overhead
 	}
 	srv, err := serve.New(serve.Config{
-		Spec:         planSpec,
-		Shards:       *shards,
-		QueueDepth:   *queue,
-		BatchSize:    *batch,
-		FlushWindow:  *flush,
-		CacheEntries: *cache,
+		Spec:          planSpec,
+		Shards:        *shards,
+		QueueDepth:    *queue,
+		BatchSize:     *batch,
+		FlushWindow:   *flush,
+		CacheEntries:  *cache,
+		SimWorkers:    *simWork,
+		SimQueueDepth: *simQueue,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hrtd: %v\n", err)
@@ -256,7 +269,9 @@ func main() {
 			clusters = append(clusters, cl)
 			defer cl.Close()
 			cl.RegisterMetrics(srv.Registry().Labeled(serve.Label{Key: "group", Value: strconv.Itoa(g)}))
-			lgroups[g] = route.NewLocalGroup(cl)
+			// The server carries the simulation pool, so local groups wrap it
+			// too: the router's /v1/simulate answers in process.
+			lgroups[g] = route.NewLocalGroupWithServer(cl, srv)
 		}
 		router, err = route.New(lgroups, route.Config{Partition: part})
 		if err != nil {

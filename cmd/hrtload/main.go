@@ -30,6 +30,14 @@
 // durability health, replication role) — the probe the recovery,
 // failover, and dag smoke tests diff across a kill -9.
 //
+// In -mode simulate the workers drive POST /v1/simulate closed-loop with
+// a small pool of precomputed what-if scenarios. Because every scenario
+// body carries its own seed, repeated submissions of the same body must
+// answer byte-identically; any divergence counts as a determinism
+// mismatch and fails -check. 429 sheds back off for Retry-After like
+// every other mode, and the report scrapes the server's hrtd_whatif_*
+// counters.
+//
 // Against a replicated hrtd the generator is failover-aware: mutations
 // sent to a follower follow its 307 redirect to the leader (counted and
 // reported), and 429/503 responses back off for the server's Retry-After
@@ -40,6 +48,7 @@
 //	hrtload -addr 127.0.0.1:8080 -dur 2s -conns 16 -repeat 0.9
 //	hrtload -addr $(cat /tmp/hrtd.addr) -dur 2s -check     # exit 1 on failure
 //	hrtload -addr $(cat /tmp/hrtd.addr) -mode cluster -check
+//	hrtload -addr $(cat /tmp/hrtd.addr) -mode simulate -check
 //	hrtload -addr $(cat /tmp/hrtd.addr) -mode status -check
 package main
 
@@ -72,7 +81,10 @@ type workerResult struct {
 	cacheHits int64 // X-Hrtd-Cache: hit (query mode)
 	placed    int64 // admitted placements (cluster mode)
 	rejected  int64 // placements every node refused (cluster mode)
-	latencyUs []float64
+	// mismatches counts simulate-mode replies that diverged from the
+	// first-seen reply for the same request body: determinism violations.
+	mismatches int64
+	latencyUs  []float64
 }
 
 // redirects counts 307 leader redirects the HTTP client followed —
@@ -82,7 +94,7 @@ var redirects atomic.Int64
 func main() {
 	var (
 		addr   = flag.String("addr", "", "hrtd address host:port (required)")
-		mode   = flag.String("mode", "query", "load shape: query, cluster, batch, dag, or status")
+		mode   = flag.String("mode", "query", "load shape: query, cluster, batch, dag, simulate, or status")
 		dur    = flag.Duration("dur", 2*time.Second, "how long to generate load")
 		conns  = flag.Int("conns", 16, "concurrent closed-loop connections")
 		pool   = flag.Int("pool", 64, "popular task-set pool size (query mode)")
@@ -104,8 +116,9 @@ func main() {
 	if *addr == "" {
 		fail("-addr is required")
 	}
-	if *mode != "query" && *mode != "cluster" && *mode != "batch" && *mode != "dag" && *mode != "status" {
-		fail("-mode must be query, cluster, batch, dag, or status (got %q)", *mode)
+	if *mode != "query" && *mode != "cluster" && *mode != "batch" && *mode != "dag" &&
+		*mode != "simulate" && *mode != "status" {
+		fail("-mode must be query, cluster, batch, dag, simulate, or status (got %q)", *mode)
 	}
 	if *dur <= 0 {
 		fail("-dur must be positive (got %v)", *dur)
@@ -197,6 +210,22 @@ func main() {
 				dagWorker(client, base, deadline, w, *live, &uniqueCtr, res, rng)
 			}(w, &results[w], rng.Split())
 		}
+	case "simulate":
+		// A small shared pool of scenario bodies: every worker re-submits
+		// bodies its peers have run, so the byte-identity check exercises
+		// cross-worker (and, routed, cross-group) determinism.
+		simBodies := make([]string, 8)
+		for i := range simBodies {
+			simBodies[i] = simBody(rng, i)
+		}
+		var seen sync.Map // body index -> first-seen reply
+		for w := 0; w < *conns; w++ {
+			wg.Add(1)
+			go func(res *workerResult, rng *sim.Rand) {
+				defer wg.Done()
+				simulateWorker(client, base, deadline, simBodies, &seen, res, rng)
+			}(&results[w], rng.Split())
+		}
 	}
 	wg.Wait()
 
@@ -208,6 +237,7 @@ func main() {
 		total.cacheHits += results[i].cacheHits
 		total.placed += results[i].placed
 		total.rejected += results[i].rejected
+		total.mismatches += results[i].mismatches
 		total.latencyUs = append(total.latencyUs, results[i].latencyUs...)
 	}
 	ok := int64(len(total.latencyUs))
@@ -250,6 +280,27 @@ func main() {
 				os.Exit(1)
 			case total.cacheHits == 0 || serverHitRate == 0:
 				fmt.Fprintln(os.Stderr, "hrtload: FAIL: cache never hit")
+				os.Exit(1)
+			}
+			fmt.Println("hrtload: OK")
+		}
+	case "simulate":
+		fmt.Printf("hrtload: %d simulations ok, %d determinism mismatches\n", ok, total.mismatches)
+		for _, m := range []string{"hrtd_whatif_requests_total", "hrtd_whatif_replications_total", "hrtd_whatif_shed_total"} {
+			if v, err := scrapeMetric(client, base, m); err == nil {
+				fmt.Printf("hrtload: server %s %.0f\n", m, v)
+			}
+		}
+		if *check {
+			switch {
+			case total.errors > 0:
+				fmt.Fprintf(os.Stderr, "hrtload: FAIL: %d hard errors\n", total.errors)
+				os.Exit(1)
+			case ok == 0:
+				fmt.Fprintln(os.Stderr, "hrtload: FAIL: no successful simulations")
+				os.Exit(1)
+			case total.mismatches > 0:
+				fmt.Fprintf(os.Stderr, "hrtload: FAIL: %d determinism mismatches\n", total.mismatches)
 				os.Exit(1)
 			}
 			fmt.Println("hrtload: OK")
@@ -497,6 +548,64 @@ func batchWorker(client *http.Client, base string, deadline time.Time,
 			default:
 				res.errors++
 			}
+		}
+	}
+}
+
+// simModels are the execution models simulate mode cycles through.
+var simModels = []string{"wcet", "full-random", "half-random", "random-0.6,1.1:normal"}
+
+// simBody builds the i-th what-if scenario body: two rate-harmonic tasks
+// on two CPUs, a model from the menu, a couple of replications over one
+// hyperperiod — heavy enough to exercise the pool, light enough that a
+// closed loop turns over fast. The seed is baked into the body, so the
+// body fully determines the reply.
+func simBody(rng *sim.Rand, i int) string {
+	periodNs := periodMenuUs[rng.Intn(len(periodMenuUs))] * 1000
+	s1 := periodNs/5 + rng.Int63n(periodNs/5)
+	s2 := periodNs/10 + rng.Int63n(periodNs/10)
+	model := simModels[i%len(simModels)]
+	var faults string
+	if i%2 == 0 {
+		faults = `"faults":["smi-storm"],`
+	}
+	return fmt.Sprintf(`{"scenario":{"name":"load-%d","cpus":2,"tasks":[`+
+		`{"period_ns":%d,"slice_ns":%d,"cpu":0},`+
+		`{"period_ns":%d,"slice_ns":%d,"cpu":1}],`+
+		`"model":%q,%s"replications":3},"seed":%d}`,
+		i, periodNs, s1, periodNs, s2, model, faults, 1000+i)
+}
+
+// simulateWorker fires /v1/simulate requests from the shared body pool
+// back-to-back until the deadline. The first reply for each body is
+// published to seen; every later reply must match it byte for byte.
+func simulateWorker(client *http.Client, base string, deadline time.Time,
+	bodies []string, seen *sync.Map, res *workerResult, rng *sim.Rand) {
+	for time.Now().Before(deadline) {
+		i := rng.Intn(len(bodies))
+		start := time.Now()
+		resp, err := client.Post(base+"/v1/simulate", "application/json", strings.NewReader(bodies[i]))
+		lat := float64(time.Since(start).Nanoseconds()) / 1e3
+		res.requests++
+		if err != nil {
+			res.errors++
+			time.Sleep(time.Duration(5+rng.Int63n(20)) * time.Millisecond)
+			continue
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			res.latencyUs = append(res.latencyUs, lat)
+			if prev, loaded := seen.LoadOrStore(i, string(b)); loaded && prev.(string) != string(b) {
+				res.mismatches++
+			}
+		case resp.StatusCode == http.StatusTooManyRequests,
+			resp.StatusCode == http.StatusServiceUnavailable:
+			res.sheds++
+			time.Sleep(retryDelay(resp, rng))
+		default:
+			res.errors++
 		}
 	}
 }

@@ -1,0 +1,80 @@
+package fault
+
+import (
+	"sort"
+
+	"hrtsched/internal/machine"
+)
+
+// Presets maps a fault-mix name to a constructor that builds the injector
+// set for a platform. These are the same parameterizations the chaos
+// scenarios use, exported so other subsystems (the what-if simulation
+// service in particular) can compose them with arbitrary workloads instead
+// of the fixed chaos workloads above.
+//
+// Injector construction is pure; all randomness is drawn at Start from the
+// environment's derived stream, so a preset contributes nothing to the
+// seed-determinism contract beyond its fixed parameters.
+var Presets = map[string]func(spec machine.Spec) []Injector{
+	// smi-storm: Markov-modulated SMI bursts — calm stretches broken by
+	// storms in which firmware steals ~150 us every ~800 us.
+	"smi-storm": func(spec machine.Spec) []Injector {
+		return []Injector{&SMIStorm{
+			MeanCalmCycles:  nsToCycles(spec, 40_000_000),
+			MeanStormCycles: nsToCycles(spec, 10_000_000),
+			CalmGapCycles:   0,
+			StormGapCycles:  nsToCycles(spec, 800_000),
+			DurationCycles:  int64(nsToCycles(spec, 150_000)),
+			DurationJitter:  int64(nsToCycles(spec, 30_000)),
+		}}
+	},
+	// smi-drain: near-permanent storm stealing ~15% of every period; the
+	// overload driver used by the degradation scenarios.
+	"smi-drain": func(spec machine.Spec) []Injector {
+		return []Injector{&SMIStorm{
+			MeanCalmCycles:  nsToCycles(spec, 100_000),
+			MeanStormCycles: nsToCycles(spec, 100_000_000),
+			CalmGapCycles:   0,
+			StormGapCycles:  nsToCycles(spec, 1_000_000),
+			DurationCycles:  int64(nsToCycles(spec, 150_000)),
+		}}
+	},
+	// irq-storm: device-interrupt bursts against CPU 0.
+	"irq-storm": func(spec machine.Spec) []Injector {
+		return []Injector{&IRQStorm{
+			Targets:         []int{0},
+			HandlerCycles:   int64(nsToCycles(spec, 40_000)),
+			MeanCalmCycles:  nsToCycles(spec, 25_000_000),
+			MeanBurstCycles: nsToCycles(spec, 8_000_000),
+			BurstGapCycles:  nsToCycles(spec, 80_000),
+		}}
+	},
+	// timer-drift: APIC miscalibration with delayed and lost one-shot
+	// firings plus forward-only TSC re-skew.
+	"timer-drift": func(spec machine.Spec) []Injector {
+		return []Injector{
+			&TimerDrift{
+				EarlyFrac:   0.05,
+				LateFrac:    0.20,
+				LoseProb:    0.01,
+				DelayProb:   0.10,
+				DelayCycles: int64(nsToCycles(spec, 200_000)),
+			},
+			&TSCReskew{
+				MeanGapCycles: nsToCycles(spec, 50_000_000),
+				MaxSkewCycles: int64(nsToCycles(spec, 100_000)),
+				PositiveOnly:  true,
+			},
+		}
+	},
+}
+
+// PresetNames returns the registered fault-mix names in stable order.
+func PresetNames() []string {
+	names := make([]string, 0, len(Presets))
+	for n := range Presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -167,3 +167,20 @@ func (s Spec) Scaled(ncpus int) Spec {
 	s.NumCPUs = ncpus
 	return s
 }
+
+// SpecByName resolves a platform preset by its Spec.Name ("phiknl" or
+// "r415"). ok is false for unknown names.
+func SpecByName(name string) (spec Spec, ok bool) {
+	switch name {
+	case "phiknl", "":
+		return PhiKNL(), true
+	case "r415":
+		return R415(), true
+	default:
+		return Spec{}, false
+	}
+}
+
+// SpecNames lists the platform presets SpecByName accepts, in a fixed
+// order suitable for error messages.
+func SpecNames() []string { return []string{"phiknl", "r415"} }

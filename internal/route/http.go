@@ -80,6 +80,7 @@ func (r *Router) Handler(next http.Handler) http.Handler {
 	mux.HandleFunc("/v1/cluster/status", r.timed("status", r.handleStatus))
 	mux.HandleFunc("/v1/dag/place", r.timed("dag-place", r.handleDAGPlace))
 	mux.HandleFunc("/v1/dag/analyze", r.timed("dag-analyze", r.handleDAGAnalyze))
+	mux.HandleFunc("/v1/simulate", r.timed("simulate", r.handleSimulate))
 	if next != nil {
 		mux.Handle("/", next)
 	}
@@ -273,6 +274,29 @@ func (r *Router) handleStatus(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	serve.WriteJSON(w, http.StatusOK, r.Status(req.Context()))
+}
+
+// handleSimulate forwards a what-if run to a simulation-capable group.
+// Validation happens here so malformed scenarios answer 400 without a
+// network hop; the serving group re-validates (the normalized scenario is
+// forwarded, so the check is idempotent).
+func (r *Router) handleSimulate(w http.ResponseWriter, req *http.Request) {
+	var body serve.SimulateRequest
+	if !serve.DecodeBody(w, req, &body) {
+		return
+	}
+	body.Scenario = body.Scenario.Normalize()
+	if err := body.Scenario.Validate(); err != nil {
+		serve.WriteError(w, http.StatusBadRequest, "invalid_scenario", err.Error(), 0)
+		return
+	}
+	rep, g, err := r.Simulate(req.Context(), body)
+	if err != nil {
+		writeGroupError(w, req, err)
+		return
+	}
+	w.Header().Set(ShardGroupHeader, strconv.Itoa(g))
+	serve.WriteJSON(w, http.StatusOK, rep)
 }
 
 func (r *Router) handleDAGPlace(w http.ResponseWriter, req *http.Request) {

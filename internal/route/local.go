@@ -6,17 +6,28 @@ import (
 	"hrtsched/internal/dag"
 	"hrtsched/internal/plan"
 	"hrtsched/internal/serve"
+	"hrtsched/internal/whatif"
 )
 
 // LocalGroup adapts an in-process serve.Cluster as a shard group. It
 // implements Migrator, so local groups fully participate in cross-shard
-// drain and rebalance migrations.
+// drain and rebalance migrations. When constructed with
+// NewLocalGroupWithServer it also implements Simulator, delegating
+// what-if runs to the owning server's simulation pool.
 type LocalGroup struct {
-	c *serve.Cluster
+	c   *serve.Cluster
+	srv *serve.Server
 }
 
 // NewLocalGroup wraps a cluster.
 func NewLocalGroup(c *serve.Cluster) *LocalGroup { return &LocalGroup{c: c} }
+
+// NewLocalGroupWithServer wraps a cluster plus the server that owns it,
+// enabling the Simulator capability (the simulation worker pool lives on
+// the server, not the cluster).
+func NewLocalGroupWithServer(c *serve.Cluster, srv *serve.Server) *LocalGroup {
+	return &LocalGroup{c: c, srv: srv}
+}
 
 // Cluster returns the wrapped cluster.
 func (g *LocalGroup) Cluster() *serve.Cluster { return g.c }
@@ -75,6 +86,16 @@ func (g *LocalGroup) Rebalance(ctx context.Context) (int, error) {
 // Status implements Group; an in-process snapshot cannot fail.
 func (g *LocalGroup) Status(context.Context) (serve.ClusterStatus, error) {
 	return g.c.Status(), nil
+}
+
+// Simulate implements Simulator when the group was constructed with
+// NewLocalGroupWithServer; otherwise the router falls through to the next
+// capable group.
+func (g *LocalGroup) Simulate(ctx context.Context, req serve.SimulateRequest) (*whatif.Report, error) {
+	if g.srv == nil {
+		return nil, errSimUnsupported
+	}
+	return g.srv.Simulate(ctx, req)
 }
 
 // Evaluate implements Migrator via the cluster's evaluate-only queue path.

@@ -12,6 +12,7 @@ import (
 	"hrtsched/internal/dag"
 	"hrtsched/internal/plan"
 	"hrtsched/internal/serve"
+	"hrtsched/internal/whatif"
 )
 
 // EnvelopeError carries a shard group's v1 error envelope through the
@@ -269,6 +270,16 @@ func (g *RemoteGroup) AnalyzeDAG(ctx context.Context, t dag.Task, analyzer strin
 	err := g.do(ctx, http.MethodPost, "/v1/dag/analyze",
 		wireDAGRequest{Task: t, Analyzer: analyzer}, &res)
 	return res, err
+}
+
+// Simulate implements Simulator: every remote group daemon serves
+// /v1/simulate, so the router can always forward what-if runs here.
+func (g *RemoteGroup) Simulate(ctx context.Context, req serve.SimulateRequest) (*whatif.Report, error) {
+	var rep whatif.Report
+	if err := g.do(ctx, http.MethodPost, "/v1/simulate", req, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
 }
 
 // Remove implements Group.

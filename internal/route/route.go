@@ -27,6 +27,7 @@ import (
 	"hrtsched/internal/dag"
 	"hrtsched/internal/plan"
 	"hrtsched/internal/serve"
+	"hrtsched/internal/whatif"
 )
 
 // Group is one shard group: the subset of the placement surface the router
@@ -61,6 +62,19 @@ type Migrator interface {
 	Placement(id string) (serve.PlacementInfo, bool)
 	BestMovableUnder(gap float64) (id string, info serve.PlacementInfo, ok bool)
 }
+
+// Simulator is the optional capability a Group needs to serve routed
+// /v1/simulate requests. RemoteGroup always implements it (the remote
+// daemon owns the worker pool); LocalGroup implements it when constructed
+// with the serve.Server that holds the in-process simulation pool.
+type Simulator interface {
+	Simulate(ctx context.Context, req serve.SimulateRequest) (*whatif.Report, error)
+}
+
+// errSimUnsupported makes a capability gap distinguishable from a real
+// failure: the router falls through to the next group instead of
+// answering an error.
+var errSimUnsupported = errors.New("route: group does not support simulation")
 
 // ErrGroupUnreachable reports that a shard group could not be reached at
 // all (transport failure, not a protocol error). The HTTP layer answers it
@@ -299,6 +313,56 @@ func (r *Router) Place(ctx context.Context, id string, set plan.TaskSet) (serve.
 		r.m.placed.Add(1)
 	}
 	return res, g, err
+}
+
+// Simulate routes one what-if request to a shard group. Ownership is the
+// rendezvous hash of (scenario name, seed) — a sweep's grid spreads its
+// CPU-heavy replications across every group — and a group that lacks the
+// Simulator capability falls through to the next candidate in rendezvous
+// preference order. Errors from a capable group (sheds included) pass
+// through verbatim; only the capability gap falls through.
+func (r *Router) Simulate(ctx context.Context, req serve.SimulateRequest) (*whatif.Report, int, error) {
+	key := fmt.Sprintf("%s#%d", req.Scenario.Name, req.Seed)
+	order := rendezvousOrder(key, r.names)
+	for _, g := range order {
+		sim, ok := r.groups[g].(Simulator)
+		if !ok {
+			continue
+		}
+		start := time.Now()
+		rep, err := sim.Simulate(ctx, req)
+		if errors.Is(err, errSimUnsupported) {
+			continue
+		}
+		r.m.observe(g, start, err)
+		return rep, g, err
+	}
+	return nil, -1, fmt.Errorf("%w: no shard group supports simulation", ErrGroupUnreachable)
+}
+
+// rendezvousOrder ranks group indexes by descending rendezvous score for
+// key: element 0 is the owner, the rest are the deterministic fallback
+// order.
+func rendezvousOrder(key string, names []string) []int {
+	type scored struct {
+		idx   int
+		score uint64
+	}
+	ss := make([]scored, len(names))
+	for i, n := range names {
+		ss[i] = scored{i, fnv64Pair(n, key)}
+	}
+	sort.Slice(ss, func(a, b int) bool {
+		if ss[a].score != ss[b].score {
+			return ss[a].score > ss[b].score
+		}
+		return ss[a].idx < ss[b].idx
+	})
+	out := make([]int, len(ss))
+	for i, s := range ss {
+		out[i] = s.idx
+	}
+	return out
 }
 
 // PlaceDAG routes one DAG submission to its owning group.

@@ -116,6 +116,7 @@ func (s *Server) Handler() http.Handler { return s.HandlerWithCluster(nil) }
 //	GET  /v1/cluster/status                                         -> ClusterStatus
 //	POST /v1/dag/place   {"id":"...","task":{...},"analyzer":"..."} -> DAGPlaceResult
 //	POST /v1/dag/analyze {"task":{...},"analyzer":"..."}            -> dag.Result
+//	POST /v1/simulate  {"scenario":{...},"seed":N}                  -> whatif.Report
 //	GET  /metrics                                                    Prometheus text
 //	GET  /healthz                                                    liveness JSON
 //
@@ -133,6 +134,7 @@ func (s *Server) HandlerWithCluster(c *Cluster) http.Handler {
 	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("/v1/analyze-batch", s.handleAnalyzeBatch)
 	mux.HandleFunc("/v1/capacity", s.handleCapacity)
+	mux.HandleFunc("/v1/simulate", s.handleSimulate)
 	mux.HandleFunc("/analyze", gone("/v1/analyze"))
 	mux.HandleFunc("/capacity", gone("/v1/capacity"))
 	if c != nil {

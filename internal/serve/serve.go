@@ -69,6 +69,13 @@ type Config struct {
 	// larger batches answer 400 quoting the cap. Default
 	// DefaultMaxBatchItems (1024).
 	MaxBatchItems int
+	// SimWorkers sizes the /v1/simulate worker pool; default
+	// max(1, GOMAXPROCS/2) — simulation runs are CPU-bound for
+	// milliseconds, so they never get the whole machine.
+	SimWorkers int
+	// SimQueueDepth bounds the /v1/simulate queue; default 16. A full
+	// queue sheds with 429 and a Retry-After quote.
+	SimQueueDepth int
 }
 
 func (c *Config) fillDefaults() {
@@ -90,11 +97,20 @@ func (c *Config) fillDefaults() {
 	if c.MaxBatchItems == 0 {
 		c.MaxBatchItems = DefaultMaxBatchItems
 	}
+	if c.SimWorkers == 0 {
+		c.SimWorkers = runtime.GOMAXPROCS(0) / 2
+		if c.SimWorkers < 1 {
+			c.SimWorkers = 1
+		}
+	}
+	if c.SimQueueDepth == 0 {
+		c.SimQueueDepth = 16
+	}
 }
 
 // Validate rejects nonsensical settings (negative counts, bad spec).
 func (c Config) Validate() error {
-	if c.Shards < 0 || c.QueueDepth < 0 || c.BatchSize < 0 || c.CacheEntries < 0 || c.FlushWindow < 0 || c.MaxBatchItems < 0 {
+	if c.Shards < 0 || c.QueueDepth < 0 || c.BatchSize < 0 || c.CacheEntries < 0 || c.FlushWindow < 0 || c.MaxBatchItems < 0 || c.SimWorkers < 0 || c.SimQueueDepth < 0 {
 		return fmt.Errorf("serve: negative config value: %+v", c)
 	}
 	if c.Spec.OverheadNs < 0 {
@@ -156,6 +172,7 @@ type shard struct {
 type Server struct {
 	cfg    Config
 	shards []*shard
+	sim    *simPool
 	reg    *Registry
 	// analysis is the default plan.Analysis for cfg.Spec; every query
 	// verdict dispatches through the interface.
@@ -181,6 +198,10 @@ func New(cfg Config) (*Server, error) {
 		s.wg.Add(1)
 		go s.runShard(sh)
 	}
+	for i := 0; i < s.sim.workers; i++ {
+		s.sim.wg.Add(1)
+		go s.sim.run()
+	}
 	return s, nil
 }
 
@@ -201,8 +222,10 @@ func newServer(cfg Config) (*Server, error) {
 			hist:  stats.NewHistogram(latHistLoUs, latHistHiUs, latHistNBuckets),
 		}
 	}
+	s.sim = newSimPool(cfg.SimWorkers, cfg.SimQueueDepth)
 	s.reg = NewRegistry()
 	s.registerMetrics()
+	s.registerSimMetrics()
 	return s, nil
 }
 
@@ -226,7 +249,9 @@ func (s *Server) Close() {
 	for _, sh := range s.shards {
 		close(sh.ch)
 	}
+	close(s.sim.ch)
 	s.wg.Wait()
+	s.sim.wg.Wait()
 }
 
 // AnalyzeContext answers an admission query for set, from cache when

@@ -84,6 +84,27 @@ func (r *Rand) NormFloat64() float64 {
 	return mag * math.Cos(2*math.Pi*v)
 }
 
+// TruncNormFloat64 returns a normal deviate with the given mean and sigma,
+// truncated to [lo, hi] by rejection sampling. After maxNormRejects
+// rejections the draw is clamped instead, bounding the worst case while
+// staying deterministic for a given stream. Panics if hi < lo.
+func (r *Rand) TruncNormFloat64(mean, sigma, lo, hi float64) float64 {
+	if hi < lo {
+		panic("sim: TruncNormFloat64 with hi < lo")
+	}
+	if sigma <= 0 || lo == hi {
+		return math.Min(math.Max(mean, lo), hi)
+	}
+	const maxNormRejects = 64
+	for i := 0; i < maxNormRejects; i++ {
+		x := mean + sigma*r.NormFloat64()
+		if x >= lo && x <= hi {
+			return x
+		}
+	}
+	return math.Min(math.Max(mean+sigma*r.NormFloat64(), lo), hi)
+}
+
 // ExpFloat64 returns an exponentially distributed deviate with mean 1.
 func (r *Rand) ExpFloat64() float64 {
 	for {

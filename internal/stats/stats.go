@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -289,6 +290,38 @@ func (h *Histogram) Clone() *Histogram {
 		c.Edges = append([]float64(nil), h.Edges...)
 	}
 	return &c
+}
+
+// histogramJSON is the wire form of Histogram. The unexported sample count
+// is carried explicitly so a histogram survives a decode/re-encode hop
+// (e.g. a routing proxy) with Quantile and N intact.
+type histogramJSON struct {
+	Lo      float64   `json:"lo"`
+	Hi      float64   `json:"hi"`
+	Buckets []int64   `json:"buckets"`
+	Edges   []float64 `json:"edges,omitempty"`
+	Under   int64     `json:"under,omitempty"`
+	Over    int64     `json:"over,omitempty"`
+	N       int64     `json:"n"`
+}
+
+// MarshalJSON encodes the histogram including its sample count.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(histogramJSON{
+		Lo: h.Lo, Hi: h.Hi, Buckets: h.Buckets, Edges: h.Edges,
+		Under: h.Under, Over: h.Over, N: h.n,
+	})
+}
+
+// UnmarshalJSON decodes a histogram produced by MarshalJSON.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var w histogramJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	h.Lo, h.Hi, h.Buckets, h.Edges = w.Lo, w.Hi, w.Buckets, w.Edges
+	h.Under, h.Over, h.n = w.Under, w.Over, w.N
+	return nil
 }
 
 // Render draws the histogram as rows of "lo..hi count bar" text, a

@@ -1,0 +1,44 @@
+package whatif
+
+import "testing"
+
+// benchScenario is the unit of the recorded throughput figures: a 2-CPU
+// half-random what-if with a 1 ms hyperperiod.
+func benchScenario(reps int) Scenario {
+	return Scenario{
+		Name: "bench",
+		CPUs: 2,
+		Tasks: []Task{
+			{PeriodNs: 1_000_000, SliceNs: 300_000, CPU: 0},
+			{PeriodNs: 1_000_000, SliceNs: 300_000, CPU: 1},
+		},
+		Model:        "half-random",
+		Replications: reps,
+		Hyperperiods: 1,
+	}
+}
+
+// BenchmarkWhatifHyperperiod measures one seeded single-hyperperiod
+// replication end to end; 1e9/ns-per-op is simulate_hyperperiods_per_sec
+// in BENCH_PR10.json.
+func BenchmarkWhatifHyperperiod(b *testing.B) {
+	sc := benchScenario(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(sc, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWhatifScenario measures a full default-sized request (20
+// replications); 1e9/ns-per-op is simulate_scenarios_per_sec.
+func BenchmarkWhatifScenario(b *testing.B) {
+	sc := benchScenario(0) // Normalize applies the default 20
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(sc, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

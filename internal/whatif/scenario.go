@@ -1,0 +1,477 @@
+package whatif
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hrtsched/internal/core"
+	"hrtsched/internal/fault"
+	"hrtsched/internal/machine"
+	"hrtsched/internal/plan"
+	"hrtsched/internal/sim"
+	"hrtsched/internal/stats"
+)
+
+// Limits on scenario size: one request must stay a bounded unit of work so
+// the serving pool's shed arithmetic means something.
+const (
+	MaxTasks        = 64
+	MaxReplications = 10_000
+	MaxHyperperiods = 1_000
+	// maxHyperperiodNs rejects task sets whose period LCM makes a single
+	// replication unboundedly long (mirrors plan's HyperperiodOverflow).
+	maxHyperperiodNs = 10_000_000_000 // 10 s simulated
+	respHistBuckets  = 40
+)
+
+// Task is one periodic task of a scenario. SliceNs is the reserved
+// budget the admission analysis sees; WcetNs is the nominal worst-case
+// compute the execution model draws each job's actual cost against. It
+// defaults to SliceNs — a zero-margin reservation where even the wcet
+// model finishes a hair past its deadline (the record step lands after
+// the compute exhausts the slice). Set WcetNs below SliceNs to model a
+// real admission pipeline that reserves WCET plus headroom.
+type Task struct {
+	Name     string `json:"name,omitempty"`
+	PeriodNs int64  `json:"period_ns"`
+	SliceNs  int64  `json:"slice_ns"`
+	WcetNs   int64  `json:"wcet_ns,omitempty"`
+	PhaseNs  int64  `json:"phase_ns,omitempty"`
+	CPU      int    `json:"cpu,omitempty"`
+}
+
+// Scenario is one what-if question. The zero values of the optional
+// fields select the defaults applied by Normalize.
+type Scenario struct {
+	Name    string   `json:"name,omitempty"`
+	Machine string   `json:"machine,omitempty"` // platform preset; default phiknl
+	CPUs    int      `json:"cpus,omitempty"`    // scaled CPU count; default 2
+	Tasks   []Task   `json:"tasks"`
+	Model   string   `json:"model,omitempty"`   // execution model; default wcet
+	Faults  []string `json:"faults,omitempty"`  // fault.Presets names, applied in order
+	Degrade string   `json:"degrade,omitempty"` // off|demote|shrink|evict; default off
+	// Replications is the number of independently seeded runs; default 20.
+	Replications int `json:"replications,omitempty"`
+	// Hyperperiods is the simulated length of each replication in task-set
+	// hyperperiods; default 1.
+	Hyperperiods int `json:"hyperperiods,omitempty"`
+	// UtilizationLimit is the admission cap used for the analytical
+	// verdict; default 0.99 (the paper's configuration).
+	UtilizationLimit float64 `json:"utilization_limit,omitempty"`
+}
+
+// Normalize returns a copy with defaults applied.
+func (sc Scenario) Normalize() Scenario {
+	if sc.Machine == "" {
+		sc.Machine = "phiknl"
+	}
+	if sc.CPUs <= 0 {
+		sc.CPUs = 2
+	}
+	if sc.Model == "" {
+		sc.Model = "wcet"
+	}
+	if sc.Degrade == "" {
+		sc.Degrade = "off"
+	}
+	if sc.Replications <= 0 {
+		sc.Replications = 20
+	}
+	if sc.Hyperperiods <= 0 {
+		sc.Hyperperiods = 1
+	}
+	if sc.UtilizationLimit <= 0 {
+		sc.UtilizationLimit = 0.99
+	}
+	for i := range sc.Tasks {
+		if sc.Tasks[i].Name == "" {
+			sc.Tasks[i].Name = fmt.Sprintf("task%d", i)
+		}
+		if sc.Tasks[i].WcetNs <= 0 {
+			sc.Tasks[i].WcetNs = sc.Tasks[i].SliceNs
+		}
+	}
+	return sc
+}
+
+// degradePolicy maps the textual policy names.
+func degradePolicy(s string) (core.DegradePolicy, error) {
+	switch s {
+	case "off", "":
+		return core.DegradeOff, nil
+	case "demote":
+		return core.DegradeDemote, nil
+	case "shrink":
+		return core.DegradeShrink, nil
+	case "evict":
+		return core.DegradeEvict, nil
+	default:
+		return 0, fmt.Errorf("whatif: unknown degrade policy %q (want off, demote, shrink, or evict)", s)
+	}
+}
+
+// Validate checks a normalized scenario without running it.
+func (sc Scenario) Validate() error {
+	if _, ok := machine.SpecByName(sc.Machine); !ok {
+		return fmt.Errorf("whatif: unknown machine %q (want %s)",
+			sc.Machine, strings.Join(machine.SpecNames(), ", "))
+	}
+	if len(sc.Tasks) == 0 {
+		return fmt.Errorf("whatif: scenario has no tasks")
+	}
+	if len(sc.Tasks) > MaxTasks {
+		return fmt.Errorf("whatif: %d tasks exceeds limit %d", len(sc.Tasks), MaxTasks)
+	}
+	if sc.Replications > MaxReplications {
+		return fmt.Errorf("whatif: %d replications exceeds limit %d", sc.Replications, MaxReplications)
+	}
+	if sc.Hyperperiods > MaxHyperperiods {
+		return fmt.Errorf("whatif: %d hyperperiods exceeds limit %d", sc.Hyperperiods, MaxHyperperiods)
+	}
+	if _, err := ParseModel(sc.Model); err != nil {
+		return err
+	}
+	if _, err := degradePolicy(sc.Degrade); err != nil {
+		return err
+	}
+	for _, f := range sc.Faults {
+		if _, ok := fault.Presets[f]; !ok {
+			return fmt.Errorf("whatif: unknown fault preset %q (want %s)",
+				f, strings.Join(fault.PresetNames(), ", "))
+		}
+	}
+	for i, t := range sc.Tasks {
+		if t.PeriodNs <= 0 || t.SliceNs <= 0 || t.SliceNs > t.PeriodNs {
+			return fmt.Errorf("whatif: task %d: want 0 < slice_ns <= period_ns", i)
+		}
+		// WcetNs above PeriodNs would make even a dedicated CPU insufficient;
+		// above SliceNs is allowed (deliberate under-reservation).
+		if t.WcetNs < 0 || t.WcetNs > t.PeriodNs {
+			return fmt.Errorf("whatif: task %d: want 0 <= wcet_ns <= period_ns", i)
+		}
+		if t.PhaseNs < 0 || t.PhaseNs >= t.PeriodNs {
+			return fmt.Errorf("whatif: task %d: want 0 <= phase_ns < period_ns", i)
+		}
+		if t.CPU < 0 || t.CPU >= sc.CPUs {
+			return fmt.Errorf("whatif: task %d: cpu %d outside [0, %d)", i, t.CPU, sc.CPUs)
+		}
+	}
+	if hp := hyperperiodNs(sc.Tasks); hp <= 0 || hp > maxHyperperiodNs {
+		return fmt.Errorf("whatif: task-set hyperperiod exceeds %d ns", int64(maxHyperperiodNs))
+	}
+	return nil
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// hyperperiodNs returns the LCM of the task periods, or 0 on overflow.
+func hyperperiodNs(tasks []Task) int64 {
+	h := int64(1)
+	for _, t := range tasks {
+		g := gcd64(h, t.PeriodNs)
+		if g == 0 {
+			return 0
+		}
+		q := h / g
+		if t.PeriodNs != 0 && q > maxHyperperiodNs/t.PeriodNs {
+			return 0
+		}
+		h = q * t.PeriodNs
+	}
+	return h
+}
+
+// repOutcome collects one replication's observations.
+type repOutcome struct {
+	arrivals, misses []int64
+	maxStreak        []int
+	degrades         []int64
+	readmits         []int64
+	steps            uint64
+	violations       int
+}
+
+// jobRecorder is the per-task observation sink shared between the job
+// program and the replication driver.
+type jobRecorder struct {
+	hist *stats.Histogram
+	sum  stats.Summary
+	// late counts jobs that completed after their deadline. The scheduler's
+	// Misses counter only fires when the reserved slice goes unserved
+	// (supply-side overload); a job whose drawn cost exceeds its budget
+	// still gets its full reservation every period and finishes late
+	// without a scheduler miss — the demand-side overrun only the
+	// observation layer can see.
+	late int64
+}
+
+// jobProgram is the canonical what-if workload: per period, draw the job's
+// cost from the execution model, compute it, record the observed response
+// time, and sleep until the next arrival. Overrun periods are abandoned —
+// the scheduler has already rolled the arrivals forward and counted the
+// misses; the program just resynchronizes to the next future boundary.
+func jobProgram(cons core.Constraints, wcetCycles int64, model ExecModel, rng *sim.Rand, rec *jobRecorder) core.Program {
+	const (
+		stAdmit = iota
+		stCompute
+		stRecord
+		stSleep
+	)
+	state := stAdmit
+	var arrivalNs int64
+	return core.ProgramFunc(func(tc *core.ThreadCtx) core.Action {
+		switch state {
+		case stAdmit:
+			state = stCompute
+			return core.ChangeConstraints{C: cons}
+		case stCompute:
+			arrivalNs = tc.T.ArrivalNs()
+			state = stRecord
+			return core.Compute{Cycles: model.Draw(rng, wcetCycles)}
+		case stRecord:
+			state = stSleep
+			return core.Call{Fn: func(tc *core.ThreadCtx) {
+				resp := tc.NowNs - arrivalNs
+				rec.hist.Add(float64(resp))
+				rec.sum.Add(float64(resp))
+				if resp > cons.PeriodNs {
+					rec.late++
+				}
+			}}
+		default:
+			state = stCompute
+			// The task's schedule is anchored at its admission time Gamma,
+			// not at absolute zero, so the next arrival boundary is the
+			// scheduler's current deadline — never recompute it as k*P.
+			// After an overrun the scheduler has already rolled arrival and
+			// deadline forward (counting the misses), so the deadline is
+			// still the first boundary strictly after now.
+			return core.SleepUntil{WallNs: tc.T.DeadlineNs()}
+		}
+	})
+}
+
+// runReplication executes one seeded replication and returns its
+// observations. All randomness derives from machine.New(spec, seed) in a
+// fixed construction order: kernel boot, per-task model streams (in task
+// order), then the fault environment.
+func runReplication(sc Scenario, spec machine.Spec, model ExecModel, policy core.DegradePolicy, seed uint64, durationNs int64, recs []*jobRecorder) repOutcome {
+	m := machine.New(spec, seed)
+	cfg := core.DefaultConfig(spec)
+	// Admission is judged analytically by plan.Analyze; the engine runs
+	// every task so rejected sets still produce observations (that is the
+	// disagreement report's whole point).
+	cfg.Admit = core.AdmitNone
+	if policy != core.DegradeOff {
+		cfg.Degrade = core.DegradeConfig{Policy: policy, MissStreak: 3}
+	}
+	// A lost one-shot firing under timer-drift otherwise bricks the CPU
+	// for the rest of the replication.
+	cfg.WatchdogNs = 10_000_000
+	k := core.Boot(m, cfg)
+	chk := core.AttachInvariants(k, seed, "whatif:"+sc.Name)
+
+	out := repOutcome{
+		arrivals:  make([]int64, len(sc.Tasks)),
+		misses:    make([]int64, len(sc.Tasks)),
+		maxStreak: make([]int, len(sc.Tasks)),
+		degrades:  make([]int64, len(sc.Tasks)),
+		readmits:  make([]int64, len(sc.Tasks)),
+	}
+
+	threads := make([]*core.Thread, len(sc.Tasks))
+	index := make(map[*core.Thread]int, len(sc.Tasks))
+	for i, task := range sc.Tasks {
+		cons := core.PeriodicConstraints(task.PhaseNs, task.PeriodNs, task.SliceNs)
+		wcet := int64(spec.NanosToCycles(task.WcetNs))
+		if wcet < 1 {
+			wcet = 1
+		}
+		rng := m.Rand()
+		threads[i] = k.Spawn(task.Name, task.CPU, jobProgram(cons, wcet, model, rng, recs[i]))
+		index[threads[i]] = i
+	}
+
+	prevMiss := k.Hooks.Miss
+	k.Hooks.Miss = func(cpu int, t *core.Thread, nowNs, missNs int64) {
+		if prevMiss != nil {
+			prevMiss(cpu, t, nowNs, missNs)
+		}
+		if i, ok := index[t]; ok {
+			if s := t.MissStreak(); s > out.maxStreak[i] {
+				out.maxStreak[i] = s
+			}
+		}
+	}
+	prevDegrade := k.Hooks.Degrade
+	k.Hooks.Degrade = func(cpu int, t *core.Thread, ev core.DegradeEvent) {
+		if prevDegrade != nil {
+			prevDegrade(cpu, t, ev)
+		}
+		if i, ok := index[t]; ok {
+			out.degrades[i]++
+		}
+	}
+	prevReadmit := k.Hooks.Readmit
+	k.Hooks.Readmit = func(cpu int, t *core.Thread, nowNs int64) {
+		if prevReadmit != nil {
+			prevReadmit(cpu, t, nowNs)
+		}
+		if i, ok := index[t]; ok {
+			out.readmits[i]++
+		}
+	}
+
+	env := &fault.Env{M: m, K: k, Rng: m.Rand()}
+	for _, name := range sc.Faults {
+		for _, inj := range fault.Presets[name](spec) {
+			inj.Start(env)
+		}
+	}
+
+	k.RunUntilNs(durationNs)
+
+	for i, t := range threads {
+		out.arrivals[i] = t.Arrivals
+		out.misses[i] = t.Misses
+	}
+	out.steps = k.Eng.Steps()
+	out.violations = len(chk.Violations())
+	return out
+}
+
+// Run executes the scenario's replications and aggregates the Report.
+// Replication r runs on its own machine seeded from the r-th draw of a
+// root stream over seed, so reports are reproducible per (scenario, seed)
+// and replications are statistically independent.
+func Run(sc Scenario, seed uint64) (*Report, error) {
+	sc = sc.Normalize()
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	spec, _ := machine.SpecByName(sc.Machine)
+	spec = spec.Scaled(sc.CPUs)
+	model, _ := ParseModel(sc.Model)
+	policy, _ := degradePolicy(sc.Degrade)
+
+	set := make(plan.TaskSet, len(sc.Tasks))
+	for i, t := range sc.Tasks {
+		set[i] = plan.Task{PeriodNs: t.PeriodNs, SliceNs: t.SliceNs}
+	}
+	planSpec := plan.Spec{
+		OverheadNs:       spec.CyclesToNanos(sim.Time(spec.TotalSchedCycles())),
+		UtilizationLimit: sc.UtilizationLimit,
+	}
+	verdict := plan.Analyze(planSpec, set)
+
+	hp := hyperperiodNs(sc.Tasks)
+	durationNs := hp * int64(sc.Hyperperiods)
+
+	recs := make([]*jobRecorder, len(sc.Tasks))
+	for i, t := range sc.Tasks {
+		recs[i] = &jobRecorder{hist: stats.NewHistogram(0, float64(2*t.PeriodNs), respHistBuckets)}
+	}
+
+	rep := &Report{
+		Scenario:      sc.Name,
+		Machine:       sc.Machine,
+		CPUs:          sc.CPUs,
+		Model:         model.String(),
+		Faults:        sc.Faults,
+		Degrade:       sc.Degrade,
+		Seed:          seed,
+		Replications:  sc.Replications,
+		Hyperperiods:  sc.Hyperperiods,
+		HyperperiodNs: hp,
+		Utilization:   verdict.Utilization,
+		Admit:         verdict.Admit,
+		AdmitReason:   verdict.Reason.String(),
+	}
+
+	agg := repOutcome{
+		arrivals:  make([]int64, len(sc.Tasks)),
+		misses:    make([]int64, len(sc.Tasks)),
+		maxStreak: make([]int, len(sc.Tasks)),
+		degrades:  make([]int64, len(sc.Tasks)),
+		readmits:  make([]int64, len(sc.Tasks)),
+	}
+	seeds := sim.NewRand(seed)
+	lateBefore := make([]int64, len(sc.Tasks))
+	for r := 0; r < sc.Replications; r++ {
+		for i := range recs {
+			lateBefore[i] = recs[i].late
+		}
+		out := runReplication(sc, spec, model, policy, seeds.Uint64(), durationNs, recs)
+		// A replication "misses" if any reserved slice went unserved
+		// (scheduler miss) or any job completed past its deadline (late
+		// job); survival demands neither.
+		repBad := int64(0)
+		for i := range sc.Tasks {
+			agg.arrivals[i] += out.arrivals[i]
+			agg.misses[i] += out.misses[i]
+			repBad += out.misses[i] + (recs[i].late - lateBefore[i])
+			if out.maxStreak[i] > agg.maxStreak[i] {
+				agg.maxStreak[i] = out.maxStreak[i]
+			}
+			agg.degrades[i] += out.degrades[i]
+			agg.readmits[i] += out.readmits[i]
+		}
+		agg.steps += out.steps
+		agg.violations += out.violations
+		if repBad == 0 {
+			rep.SurvivedReps++
+			if !verdict.Admit {
+				rep.Disagreement.RejectedCleanReps++
+			}
+		} else if verdict.Admit {
+			rep.Disagreement.AdmittedMissedReps++
+		}
+	}
+
+	rep.SurvivalProb = float64(rep.SurvivedReps) / float64(sc.Replications)
+	rep.EngineSteps = agg.steps
+	rep.InvariantViolations = agg.violations
+	rep.Tasks = make([]TaskReport, len(sc.Tasks))
+	for i, t := range sc.Tasks {
+		tr := TaskReport{
+			Name:          t.Name,
+			PeriodNs:      t.PeriodNs,
+			SliceNs:       t.SliceNs,
+			WcetNs:        t.WcetNs,
+			Arrivals:      agg.arrivals[i],
+			Misses:        agg.misses[i],
+			LateJobs:      recs[i].late,
+			MaxMissStreak: agg.maxStreak[i],
+			Degrades:      agg.degrades[i],
+			Readmits:      agg.readmits[i],
+			RespHist:      recs[i].hist,
+		}
+		if agg.arrivals[i] > 0 {
+			tr.MissRate = float64(agg.misses[i]) / float64(agg.arrivals[i])
+		}
+		if recs[i].hist.N() > 0 {
+			tr.RespP50Ns = recs[i].hist.Quantile(0.50)
+			tr.RespP99Ns = recs[i].hist.Quantile(0.99)
+			tr.RespMeanNs = recs[i].sum.Mean()
+			tr.RespMaxNs = recs[i].sum.Max()
+		}
+		rep.TotalMisses += agg.misses[i]
+		rep.TotalLateJobs += recs[i].late
+		rep.Tasks[i] = tr
+	}
+	return rep, nil
+}
+
+// FaultNames returns the accepted fault preset names in stable order —
+// a convenience re-export so CLI layers need not import internal/fault.
+func FaultNames() []string {
+	names := fault.PresetNames()
+	sort.Strings(names)
+	return names
+}
